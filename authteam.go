@@ -1,0 +1,312 @@
+// Package authteam discovers teams of experts in social networks,
+// optimizing both communication cost and expert authority. It
+// implements "Authority-Based Team Discovery in Social Networks"
+// (Zihayat, An, Golab, Kargar, Szlichta — EDBT 2017): given an expert
+// network whose nodes carry skills and an authority value (such as
+// h-index) and whose edges carry communication costs, it finds
+// connected teams covering a set of required skills under three
+// ranking objectives —
+//
+//   - CC: minimize communication cost (prior state of the art),
+//   - CA-CC: trade communication cost against connector authority
+//     with parameter γ,
+//   - SA-CA-CC: additionally trade skill-holder authority with
+//     parameter λ,
+//
+// plus Random and Exact baselines and Pareto-front discovery over the
+// three raw objectives. All problems except pure skill-holder
+// authority are NP-hard; the discovery algorithms are the paper's
+// greedy search (Algorithm 1) over a transformed graph, with exact
+// distances served either by per-root Dijkstra or by a prebuilt 2-hop
+// cover (pruned landmark labeling) index.
+//
+// # Quick start
+//
+//	g := authteam.NewGraphBuilder(0, 0)
+//	alice := g.AddNode("alice", 12, "databases")
+//	bob := g.AddNode("bob", 3, "networks")
+//	g.AddEdge(alice, bob, 0.4)
+//	graph, _ := g.Build()
+//	client, _ := authteam.New(graph, authteam.Options{Gamma: 0.6, Lambda: 0.6})
+//	team, _ := client.BestTeam(authteam.SACACC, []string{"databases", "networks"})
+//
+// See the examples directory for corpus-scale usage.
+package authteam
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"authteam/internal/core"
+	"authteam/internal/dblp"
+	"authteam/internal/expertgraph"
+	"authteam/internal/oracle"
+	"authteam/internal/team"
+	"authteam/internal/transform"
+)
+
+// Re-exported graph model types.
+type (
+	// Graph is an immutable expert network.
+	Graph = expertgraph.Graph
+	// GraphBuilder assembles a Graph.
+	GraphBuilder = expertgraph.Builder
+	// NodeID identifies an expert.
+	NodeID = expertgraph.NodeID
+	// SkillID identifies a skill.
+	SkillID = expertgraph.SkillID
+	// Team is a discovered team (a connected subgraph with its
+	// skill→expert assignment).
+	Team = team.Team
+	// Score holds every objective of the paper evaluated on one team.
+	Score = team.Score
+	// Profile summarizes a team's authority and publication statistics.
+	Profile = team.Profile
+	// Method selects the ranking strategy.
+	Method = core.Method
+	// ParetoTeam is a non-dominated team with its (CC, CA, SA) vector.
+	ParetoTeam = core.ParetoTeam
+	// Corpus is a bibliographic corpus (authors, papers, venues).
+	Corpus = dblp.Corpus
+)
+
+// Ranking strategies.
+const (
+	// CC minimizes communication cost only (Problem 1).
+	CC = core.CC
+	// CACC minimizes γ·CA + (1−γ)·CC (Problems 2–3).
+	CACC = core.CACC
+	// SACACC minimizes λ·SA + (1−λ)·CA-CC (Problem 5).
+	SACACC = core.SACACC
+)
+
+// Re-exported sentinel errors.
+var (
+	ErrNoTeam         = core.ErrNoTeam
+	ErrNoExpert       = core.ErrNoExpert
+	ErrBudgetExceeded = core.ErrBudgetExceeded
+	// ErrUnknownSkill is returned when a requested skill name is not in
+	// the graph's skill universe.
+	ErrUnknownSkill = errors.New("authteam: unknown skill")
+)
+
+// NewGraphBuilder returns a builder with capacity hints.
+func NewGraphBuilder(nodeHint, edgeHint int) *GraphBuilder {
+	return expertgraph.NewBuilder(nodeHint, edgeHint)
+}
+
+// Options configures a Client.
+type Options struct {
+	// Gamma trades connector authority against communication cost
+	// (0 = pure communication cost, 1 = pure connector authority).
+	Gamma float64
+	// Lambda trades skill-holder authority against the rest.
+	Lambda float64
+	// BuildIndex constructs 2-hop cover indexes at client creation:
+	// slower startup, near-constant-time distance queries afterwards
+	// (the paper's configuration). Without it every discovery call
+	// runs per-root Dijkstra — fine for small graphs and tests.
+	BuildIndex bool
+	// NoNormalize disables the min–max normalization of Definition 4
+	// (normalization is on by default, as in the paper).
+	NoNormalize bool
+}
+
+// Client answers team discovery queries over one expert network and
+// one (γ, λ) parameterization. It is safe for concurrent use.
+type Client struct {
+	g      *Graph
+	params *transform.Params
+	rawIdx oracle.Oracle // nil unless BuildIndex
+	gIdx   oracle.Oracle
+}
+
+// New creates a client over g.
+func New(g *Graph, opt Options) (*Client, error) {
+	p, err := transform.Fit(g, opt.Gamma, opt.Lambda, transform.Options{Normalize: !opt.NoNormalize})
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{g: g, params: p}
+	if opt.BuildIndex {
+		c.rawIdx = oracle.BuildPLL(g, nil)
+		c.gIdx = oracle.BuildPLL(g, p.EdgeWeight())
+	}
+	return c, nil
+}
+
+// Graph returns the client's expert network.
+func (c *Client) Graph() *Graph { return c.g }
+
+// Gamma returns the connector-authority tradeoff parameter.
+func (c *Client) Gamma() float64 { return c.params.Gamma }
+
+// Lambda returns the skill-holder-authority tradeoff parameter.
+func (c *Client) Lambda() float64 { return c.params.Lambda }
+
+// ResolveSkills maps skill names to IDs, failing on unknown names.
+func (c *Client) ResolveSkills(names []string) ([]SkillID, error) {
+	out := make([]SkillID, len(names))
+	for i, n := range names {
+		id, ok := c.g.SkillID(n)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownSkill, n)
+		}
+		out[i] = id
+	}
+	return out, nil
+}
+
+func (c *Client) discoverer(m Method) *core.Discoverer {
+	var opts []core.Option
+	if c.rawIdx != nil {
+		if m == CC {
+			opts = append(opts, core.WithOracle(c.rawIdx))
+		} else {
+			opts = append(opts, core.WithOracle(c.gIdx))
+		}
+	}
+	return core.NewDiscoverer(c.params, m, opts...)
+}
+
+// BestTeam returns the best team covering the named skills under the
+// given ranking strategy.
+func (c *Client) BestTeam(m Method, skills []string) (*Team, error) {
+	project, err := c.ResolveSkills(skills)
+	if err != nil {
+		return nil, err
+	}
+	return c.discoverer(m).BestTeam(project)
+}
+
+// TopK returns up to k distinct teams in increasing cost order.
+func (c *Client) TopK(m Method, skills []string, k int) ([]*Team, error) {
+	project, err := c.ResolveSkills(skills)
+	if err != nil {
+		return nil, err
+	}
+	return c.discoverer(m).TopK(project, k)
+}
+
+// TopKParallel is TopK with the root scan of Algorithm 1 sharded over
+// the given number of goroutines; results are identical to TopK. It
+// shines on paper-scale (40K-node) graphs with the index built.
+func (c *Client) TopKParallel(m Method, skills []string, k, workers int) ([]*Team, error) {
+	project, err := c.ResolveSkills(skills)
+	if err != nil {
+		return nil, err
+	}
+	var dist oracle.Oracle
+	if c.rawIdx != nil {
+		if m == CC {
+			dist = c.rawIdx
+		} else {
+			dist = c.gIdx
+		}
+	}
+	return core.TopKParallel(c.params, m, project, k, workers, dist)
+}
+
+// Random runs the paper's Random baseline: trials random teams, best
+// SA-CA-CC kept. A nil rng uses a fixed seed.
+func (c *Client) Random(skills []string, trials int, rng *rand.Rand) (*Team, error) {
+	project, err := c.ResolveSkills(skills)
+	if err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	if c.gIdx != nil {
+		return core.RandomFast(c.params, project, trials, rng, c.gIdx)
+	}
+	return core.Random(c.params, project, trials, rng)
+}
+
+// ExactOptions re-exports the exhaustive-search knobs.
+type ExactOptions = core.ExactOptions
+
+// Exact returns an (SA-CA-CC)-optimal team, or ErrBudgetExceeded when
+// the assignment space exceeds the budget (the paper's Exact baseline
+// does not terminate beyond 6 skills).
+func (c *Client) Exact(skills []string, opt ExactOptions) (*Team, error) {
+	project, err := c.ResolveSkills(skills)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Oracle == nil && c.gIdx != nil {
+		opt.Oracle = c.gIdx
+	}
+	return core.Exact(c.params, project, opt)
+}
+
+// RarestFirst runs the classic Lappas et al. (KDD'09) heuristic — the
+// origin of the communication-cost line of work — as an additional
+// authority-blind baseline: anchor at a holder of the rarest skill,
+// attach the nearest holder of every other skill.
+func (c *Client) RarestFirst(skills []string) (*Team, error) {
+	project, err := c.ResolveSkills(skills)
+	if err != nil {
+		return nil, err
+	}
+	return core.RarestFirst(c.params, project, c.rawIdx)
+}
+
+// Pareto approximates the Pareto front over the raw (CC, CA, SA)
+// objectives — the paper's §5 future-work direction.
+func (c *Client) Pareto(skills []string, opt core.ParetoOptions) ([]ParetoTeam, error) {
+	project, err := c.ResolveSkills(skills)
+	if err != nil {
+		return nil, err
+	}
+	return core.ParetoFront(c.g, project, opt)
+}
+
+// ParetoOptions re-exports the sweep configuration.
+type ParetoOptions = core.ParetoOptions
+
+// Replacement is a scored substitute recommendation for a departing
+// team member.
+type Replacement = core.Replacement
+
+// ReplaceMember recommends up to k substitutes for a departing member
+// of t (best SA-CA-CC first), keeping the rest of the team intact —
+// the operational scenario of the replacement literature the paper
+// cites as related work.
+func (c *Client) ReplaceMember(t *Team, leaver NodeID, k int) ([]Replacement, error) {
+	return core.ReplaceMember(c.params, t, leaver, k)
+}
+
+// Evaluate computes every objective of the paper for t under the
+// client's parameterization and normalization.
+func (c *Client) Evaluate(t *Team) Score { return team.Evaluate(t, c.params) }
+
+// Profile summarizes t's authority and publication statistics.
+func (c *Client) Profile(t *Team) Profile { return team.ProfileOf(t, c.g) }
+
+// --- Corpus helpers -----------------------------------------------------
+
+// SynthConfig re-exports the synthetic corpus configuration.
+type SynthConfig = dblp.SynthConfig
+
+// SynthesizeCorpus generates a DBLP-like corpus (deterministic per
+// seed); see internal/dblp for the generative model.
+func SynthesizeCorpus(cfg SynthConfig) *Corpus { return dblp.Synthesize(cfg) }
+
+// CorpusGraphOptions re-exports the corpus→graph derivation knobs.
+type CorpusGraphOptions = dblp.GraphOptions
+
+// BuildCorpusGraph derives the expert network from a corpus: h-index
+// authorities, Jaccard-distance coauthor edges, and title-term skills
+// for junior researchers, per §4 of the paper.
+func BuildCorpusGraph(c *Corpus, opt CorpusGraphOptions) (*Graph, error) {
+	g, _, err := dblp.BuildGraph(c, opt)
+	return g, err
+}
+
+// SaveGraph and LoadGraph persist expert networks.
+var (
+	SaveGraph = expertgraph.SaveFile
+	LoadGraph = expertgraph.LoadFile
+)

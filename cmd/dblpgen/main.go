@@ -1,0 +1,97 @@
+// Command dblpgen builds an expert network and saves it to disk —
+// either from the synthetic DBLP-like corpus generator (default) or
+// from a real dblp.xml dump. The saved graph is consumed by teamdisc
+// and by downstream users of the library.
+//
+// Usage:
+//
+//	dblpgen -out graph.bin -authors 40000 -seed 1
+//	dblpgen -out graph.bin -xml dblp.xml -max-year 2015
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"authteam/internal/dblp"
+	"authteam/internal/expertgraph"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "graph.bin", "output path for the expert network")
+		authors   = flag.Int("authors", 4000, "synthetic corpus size (ignored with -xml)")
+		seed      = flag.Int64("seed", 1, "synthetic corpus seed")
+		xmlPath   = flag.String("xml", "", "parse a real dblp.xml dump instead of synthesizing")
+		maxYear   = flag.Int("max-year", 2015, "drop papers after this year (paper setting: 2015)")
+		fullG     = flag.Bool("full", false, "keep all components instead of the largest")
+		juniors   = flag.Int("junior-max-papers", 10, "skill holders have fewer papers than this")
+		support   = flag.Int("min-term-support", 2, "a term needs this many title occurrences to become a skill")
+		stats     = flag.Bool("stats", false, "print dataset statistics and a degree histogram")
+		corpusOut = flag.String("save-corpus", "", "also persist the corpus (reload with -load-corpus)")
+		corpusIn  = flag.String("load-corpus", "", "reuse a previously saved corpus instead of synthesizing/parsing")
+	)
+	flag.Parse()
+
+	var corpus *dblp.Corpus
+	if *corpusIn != "" {
+		var err error
+		corpus, err = dblp.LoadFile(*corpusIn)
+		if err != nil {
+			fail("load corpus: %v", err)
+		}
+	} else if *xmlPath != "" {
+		f, err := os.Open(*xmlPath)
+		if err != nil {
+			fail("open dump: %v", err)
+		}
+		corpus, err = dblp.ParseXML(f, dblp.ParseXMLOptions{MaxYear: *maxYear})
+		f.Close()
+		if err != nil {
+			fail("parse dump: %v", err)
+		}
+		fmt.Println("note: dblp.xml carries no citation counts; authorities default to 1.")
+		fmt.Println("      Join external h-index data via the library's Corpus.SetCitations.")
+	} else {
+		corpus = dblp.Synthesize(dblp.SynthConfig{Seed: *seed, Authors: *authors})
+	}
+	fmt.Println("corpus:", corpus)
+	if *corpusOut != "" {
+		if err := dblp.SaveFile(*corpusOut, corpus); err != nil {
+			fail("save corpus: %v", err)
+		}
+		fmt.Println("corpus saved:", *corpusOut)
+	}
+
+	g, _, err := dblp.BuildGraph(corpus, dblp.GraphOptions{
+		JuniorMaxPapers:  *juniors,
+		MinTermSupport:   *support,
+		LargestComponent: !*fullG,
+	})
+	if err != nil {
+		fail("build graph: %v", err)
+	}
+	fmt.Println("graph: ", g)
+
+	if *stats {
+		fmt.Println()
+		fmt.Println(expertgraph.ComputeStats(g))
+		bounds, counts := expertgraph.DegreeHistogram(g)
+		fmt.Println("degree histogram (bucket upper bound: count):")
+		for i, b := range bounds {
+			fmt.Printf("  ≤%-5d %d\n", b, counts[i])
+		}
+		fmt.Println()
+	}
+
+	if err := expertgraph.SaveFile(*out, g); err != nil {
+		fail("save: %v", err)
+	}
+	fmt.Println("saved: ", *out)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dblpgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,137 @@
+// Command expgen regenerates every figure and table of the paper's
+// evaluation (§4) over the synthetic corpus: Figure 3 (SA-CA-CC scores
+// vs λ), Figure 4 (top-5 precision), Figure 5 (sensitivity to λ),
+// Figure 6 (qualitative teams), the §4.3 quality-of-teams statistic
+// and the §4.1 runtime table. ASCII tables go to stdout; CSVs go to
+// the -out directory.
+//
+// Usage:
+//
+//	expgen -fig all                      # everything, default scale
+//	expgen -fig 3 -scale 40000           # paper-scale Figure 3
+//	expgen -table quality -projects 5
+//	expgen -fig all -quick               # smoke-test scale (~seconds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"authteam/internal/eval"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "3 | 4 | 5 | 6 | all")
+		table    = flag.String("table", "", "quality | runtime | ablations")
+		outDir   = flag.String("out", "results", "CSV output directory")
+		scale    = flag.Int("scale", 2000, "corpus size in authors")
+		projects = flag.Int("projects", 50, "projects per skill count (paper: 50)")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = NumCPU)")
+		quick    = flag.Bool("quick", false, "smoke-test scale: tiny corpus, few projects")
+	)
+	flag.Parse()
+	if *fig == "" && *table == "" {
+		*fig = "all"
+	}
+
+	cfg := eval.Config{
+		Seed:     *seed,
+		Authors:  *scale,
+		Projects: *projects,
+		Workers:  *workers,
+	}
+	if *quick {
+		cfg.Authors = 600
+		cfg.Projects = 3
+		cfg.SkillCounts = []int{4, 6}
+		cfg.RandomTrials = 500
+		cfg.ExactProjects = 2
+		cfg.ExactCandidates = 4
+		cfg.QualityTrials = 40
+	}
+
+	start := time.Now()
+	fmt.Printf("building environment (authors=%d, seed=%d)...\n", cfg.Authors, cfg.Seed)
+	env, err := eval.NewEnv(cfg)
+	if err != nil {
+		fail("env: %v", err)
+	}
+	fmt.Printf("ready in %v: %v\n\n", time.Since(start).Round(time.Millisecond), env.Graph)
+
+	runFig := func(n string) {
+		switch n {
+		case "3":
+			timed("Figure 3", func() renderable { return must(eval.RunFig3(env)) }, *outDir, "fig3.csv")
+		case "4":
+			timed("Figure 4", func() renderable { return must(eval.RunFig4(env)) }, *outDir, "fig4.csv")
+		case "5":
+			timed("Figure 5", func() renderable { return must(eval.RunFig5(env)) }, *outDir, "fig5.csv")
+		case "6":
+			timed("Figure 6", func() renderable { return must(eval.RunFig6(env)) }, *outDir, "fig6.csv")
+		default:
+			fail("unknown figure %q", n)
+		}
+	}
+	runTable := func(n string) {
+		switch n {
+		case "quality":
+			timed("§4.3 quality", func() renderable { return must(eval.RunQuality(env)) }, *outDir, "quality.csv")
+		case "runtime":
+			timed("§4.1 runtime", func() renderable { return must(eval.RunRuntime(env)) }, *outDir, "runtime.csv")
+		case "ablations":
+			timed("ablations", func() renderable { return must(eval.RunAblations(env)) }, *outDir, "ablations.csv")
+		default:
+			fail("unknown table %q", n)
+		}
+	}
+
+	switch {
+	case *fig == "all":
+		for _, n := range []string{"3", "4", "5", "6"} {
+			runFig(n)
+		}
+		runTable("quality")
+		runTable("runtime")
+		runTable("ablations")
+	case *fig != "":
+		runFig(*fig)
+	}
+	if *table != "" && *fig != "all" {
+		runTable(*table)
+	}
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// renderable is what every experiment result provides.
+type renderable interface{ Table() *eval.Table }
+
+func timed(name string, run func() renderable, outDir, csvName string) {
+	t0 := time.Now()
+	res := run()
+	tab := res.Table()
+	if err := tab.Render(os.Stdout); err != nil {
+		fail("render: %v", err)
+	}
+	path := filepath.Join(outDir, csvName)
+	if err := tab.WriteCSV(path); err != nil {
+		fail("csv: %v", err)
+	}
+	fmt.Printf("[%s done in %v, csv: %s]\n\n", name, time.Since(t0).Round(time.Millisecond), path)
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		fail("%v", err)
+	}
+	return v
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "expgen: "+format+"\n", args...)
+	os.Exit(1)
+}

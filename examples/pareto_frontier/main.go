@@ -1,0 +1,111 @@
+// Pareto frontier: the paper's §5 future-work direction — instead of
+// collapsing communication cost, connector authority and skill-holder
+// authority into one score with tradeoff parameters, present the
+// decision maker with every non-dominated team.
+//
+// The example builds a consulting-firm staffing scenario where the
+// three objectives genuinely conflict, prints the full frontier, and
+// shows how the single-objective optima sit at its extremes.
+//
+// Run with: go run ./examples/pareto_frontier
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"authteam"
+)
+
+func main() {
+	graph, err := buildFirm()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("consultancy graph:", graph)
+
+	engagement := []string{"strategy", "finance", "logistics"}
+	client, err := authteam.New(graph, authteam.Options{Gamma: 0.5, Lambda: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	front, err := client.Pareto(engagement, authteam.ParetoOptions{
+		GammaGrid:  []float64{0, 0.2, 0.4, 0.6, 0.8, 1},
+		LambdaGrid: []float64{0, 0.2, 0.4, 0.6, 0.8, 1},
+		TopK:       3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nPareto-optimal staffing options for [%s]:\n\n",
+		join(engagement))
+	fmt.Printf("  %-3s %-10s %-12s %-12s %-7s %s\n",
+		"#", "comm cost", "conn 1/auth", "hold 1/auth", "size", "members")
+	for i, f := range front {
+		fmt.Printf("  %-3d %-10.3f %-12.3f %-12.3f %-7d %s\n",
+			i+1, f.CC, f.CA, f.SA, f.Team.Size(), memberNames(graph, f.Team))
+	}
+
+	fmt.Println("\nReading the frontier:")
+	fmt.Println(" - the lowest comm-cost row is what CC-only ranking (prior work) returns;")
+	fmt.Println(" - rows with lower 1/authority sums pay communication cost for seniority;")
+	fmt.Println(" - every row is optimal for *some* (γ, λ) preference, so the client can")
+	fmt.Println("   choose without fixing tradeoff parameters in advance (§5 of the paper).")
+}
+
+func memberNames(g *authteam.Graph, tm *authteam.Team) string {
+	out := ""
+	for i, u := range tm.Nodes {
+		if i > 0 {
+			out += ", "
+		}
+		out += g.Name(u)
+	}
+	return out
+}
+
+func join(xs []string) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += ", "
+		}
+		out += x
+	}
+	return out
+}
+
+// buildFirm wires a small consultancy where cheap-but-junior and
+// senior-but-distant teams both exist, so the frontier has real spread.
+func buildFirm() (*authteam.Graph, error) {
+	b := authteam.NewGraphBuilder(12, 16)
+	// A tight junior pod that has worked together a lot (cheap edges).
+	js := b.AddNode("Jade", 2, "strategy")
+	jf := b.AddNode("Jon", 1, "finance")
+	jl := b.AddNode("Jim", 2, "logistics")
+	b.AddEdge(js, jf, 0.1)
+	b.AddEdge(jf, jl, 0.1)
+	// Senior partners, each authoritative but rarely co-staffed.
+	ps := b.AddNode("Petra", 45, "strategy")
+	pf := b.AddNode("Pavel", 38, "finance")
+	pl := b.AddNode("Ping", 52, "logistics")
+	// A managing director who has worked with every partner.
+	md := b.AddNode("Magda", 80)
+	b.AddEdge(md, ps, 0.5)
+	b.AddEdge(md, pf, 0.5)
+	b.AddEdge(md, pl, 0.5)
+	// Mid-level consultants bridging pods and partners.
+	m1 := b.AddNode("Mia", 12, "finance")
+	m2 := b.AddNode("Moe", 15, "strategy")
+	b.AddEdge(m1, js, 0.3)
+	b.AddEdge(m1, pf, 0.6)
+	b.AddEdge(m2, jl, 0.3)
+	b.AddEdge(m2, ps, 0.6)
+	b.AddEdge(m1, m2, 0.4)
+	// Weak ties between the junior pod and the partner layer.
+	b.AddEdge(js, md, 0.9)
+	b.AddEdge(jl, pl, 0.9)
+	return b.Build()
+}

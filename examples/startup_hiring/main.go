@@ -1,0 +1,144 @@
+// Startup hiring: a LinkedIn-style scenario from the paper's
+// introduction. A founder needs a founding team covering several
+// engineering skills; candidates are connected through past
+// collaborations (edge weight = how little they have worked together)
+// and carry an endorsement-based authority score. The example contrasts
+// the γ/λ tradeoffs and finishes with the Pareto front, which shows
+// every non-dominated cost/authority compromise at once.
+//
+// Run with: go run ./examples/startup_hiring
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"authteam"
+)
+
+func main() {
+	graph, err := buildTalentPool()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("talent pool:", graph)
+
+	roles := []string{"backend", "frontend", "ml", "devops"}
+
+	// A founder who only minimizes coordination friction (γ=λ=0)
+	// versus one who pays for seniority (γ=λ=0.8).
+	for _, cfg := range []struct {
+		name          string
+		gamma, lambda float64
+	}{
+		{"friction-minimizing", 0, 0},
+		{"balanced", 0.5, 0.5},
+		{"seniority-seeking", 0.8, 0.8},
+	} {
+		client, err := authteam.New(graph, authteam.Options{Gamma: cfg.gamma, Lambda: cfg.lambda})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tm, err := client.BestTeam(authteam.SACACC, roles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := client.Profile(tm)
+		s := client.Evaluate(tm)
+		fmt.Printf("\n%s founder (γ=%.1f, λ=%.1f) hires %d people:\n",
+			cfg.name, cfg.gamma, cfg.lambda, tm.Size())
+		for _, u := range tm.Nodes {
+			fmt.Printf("  - %-10s (endorsements %.0f)\n", graph.Name(u), graph.Authority(u))
+		}
+		fmt.Printf("  coordination cost %.3f, avg seniority %.1f\n", s.CC, p.AvgTeamAuth)
+	}
+
+	// The Pareto front: every non-dominated tradeoff in one call.
+	client, err := authteam.New(graph, authteam.Options{Gamma: 0.5, Lambda: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	front, err := client.Pareto(roles, authteam.ParetoOptions{TopK: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPareto front over (communication, connector authority, holder authority): %d teams\n", len(front))
+	for i, f := range front {
+		fmt.Printf("  option %d: CC=%.3f CA=%.3f SA=%.3f, members=%d\n",
+			i+1, f.CC, f.CA, f.SA, f.Team.Size())
+	}
+
+	// Sanity yardstick: a random-search baseline with 10,000 draws.
+	rnd, err := client.Random(roles, 10000, rand.New(rand.NewSource(7)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrandom baseline (10k draws) scores %.4f; greedy scores %.4f\n",
+		client.Evaluate(rnd).SACACC, bestScore(client, roles))
+}
+
+func bestScore(client *authteam.Client, roles []string) float64 {
+	tm, err := client.BestTeam(authteam.SACACC, roles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return client.Evaluate(tm).SACACC
+}
+
+// buildTalentPool wires a 40-person network: four specialist clusters
+// around a few well-connected seniors, with authority following
+// seniority.
+func buildTalentPool() (*authteam.Graph, error) {
+	b := authteam.NewGraphBuilder(40, 120)
+	rng := rand.New(rand.NewSource(42))
+	skills := []string{"backend", "frontend", "ml", "devops"}
+
+	var seniors []authteam.NodeID
+	for i, s := range skills {
+		// One senior per specialty (high authority, also skilled).
+		seniors = append(seniors,
+			b.AddNode(fmt.Sprintf("senior-%s", s), float64(60+10*i), s))
+	}
+	var juniors []authteam.NodeID
+	for i := 0; i < 32; i++ {
+		s := skills[i%len(skills)]
+		id := b.AddNode(fmt.Sprintf("dev-%02d", i), float64(1+rng.Intn(12)), s)
+		juniors = append(juniors, id)
+		// Juniors know their specialty's senior (weak-to-medium tie).
+		b.AddEdge(id, seniors[i%len(seniors)], 0.3+0.5*rng.Float64())
+	}
+	// A few cross-cluster collaborations.
+	conn1 := b.AddNode("cto-candidate", 90)
+	conn2 := b.AddNode("agency-lead", 25)
+	for _, s := range seniors {
+		b.AddEdge(conn1, s, 0.2+0.2*rng.Float64())
+	}
+	b.AddEdge(conn2, seniors[0], 0.4)
+	b.AddEdge(conn2, seniors[1], 0.4)
+	for i := 0; i < 24; i++ {
+		u := juniors[rng.Intn(len(juniors))]
+		v := juniors[rng.Intn(len(juniors))]
+		if u != v {
+			if _, exists := graphEdge(u, v, b); !exists {
+				b.AddEdge(u, v, 0.5+0.5*rng.Float64())
+			}
+		}
+	}
+	return b.Build()
+}
+
+// graphEdge deduplicates random edges during pool construction.
+var seen = map[[2]authteam.NodeID]bool{}
+
+func graphEdge(u, v authteam.NodeID, _ *authteam.GraphBuilder) (struct{}, bool) {
+	if u > v {
+		u, v = v, u
+	}
+	key := [2]authteam.NodeID{u, v}
+	if seen[key] {
+		return struct{}{}, true
+	}
+	seen[key] = true
+	return struct{}{}, false
+}

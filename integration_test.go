@@ -1,0 +1,283 @@
+package authteam_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"authteam"
+
+	"authteam/internal/core"
+	"authteam/internal/dblp"
+	"authteam/internal/expertgraph"
+	"authteam/internal/pll"
+	"authteam/internal/team"
+	"authteam/internal/transform"
+	"authteam/internal/workload"
+)
+
+// TestEndToEndPipeline runs the full corpus → graph → index → discovery
+// → evaluation → replacement pipeline through the public facade, on a
+// deterministic synthetic corpus.
+func TestEndToEndPipeline(t *testing.T) {
+	corpus := authteam.SynthesizeCorpus(authteam.SynthConfig{Seed: 5, Authors: 800})
+	g, err := authteam.BuildCorpusGraph(corpus, authteam.CorpusGraphOptions{LargestComponent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := authteam.New(g, authteam.Options{Gamma: 0.6, Lambda: 0.6, BuildIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick a feasible 4-skill project via the workload generator.
+	gen, err := workload.NewGenerator(g, 3, workload.Options{MinHolders: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	project, err := gen.Project(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skills := make([]string, len(project))
+	for i, s := range project {
+		skills[i] = g.SkillName(s)
+	}
+
+	var teams []*authteam.Team
+	for _, m := range []authteam.Method{authteam.CC, authteam.CACC, authteam.SACACC} {
+		tm, err := client.BestTeam(m, skills)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if err := tm.Validate(g, project); err != nil {
+			t.Fatalf("%v: invalid team: %v", m, err)
+		}
+		teams = append(teams, tm)
+	}
+
+	// The headline property on this instance: the SA-CA-CC team is at
+	// least as good as the CC team on the SA-CA-CC objective.
+	ccScore := client.Evaluate(teams[0]).SACACC
+	saScore := client.Evaluate(teams[2]).SACACC
+	if saScore > ccScore+1e-9 {
+		t.Errorf("SA-CA-CC (%v) worse than CC (%v) on its own objective", saScore, ccScore)
+	}
+
+	// Replace a holder of the SA-CA-CC team.
+	saTeam := teams[2]
+	leaver := saTeam.Holders()[0]
+	reps, err := client.ReplaceMember(saTeam, leaver, 3)
+	switch {
+	case errors.Is(err, authteam.ErrNoTeam), errors.Is(err, authteam.ErrNoExpert):
+		// acceptable: no substitute exists on this instance
+	case err != nil:
+		t.Fatal(err)
+	default:
+		for _, r := range reps {
+			if err := r.Team.Validate(g, project); err != nil {
+				t.Errorf("replacement invalid: %v", err)
+			}
+		}
+	}
+
+	// Baselines bracket the greedy.
+	exact, err := client.Exact(skills, authteam.ExactOptions{MaxCandidatesPerSkill: 4})
+	if err == nil {
+		if client.Evaluate(exact).SACACC > saScore+1e-9 {
+			t.Error("Exact (with warm start) must never be worse than greedy")
+		}
+	} else if !errors.Is(err, authteam.ErrBudgetExceeded) {
+		t.Fatal(err)
+	}
+	rnd, err := client.Random(skills, 500, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rnd.Validate(g, project); err != nil {
+		t.Errorf("random team invalid: %v", err)
+	}
+}
+
+// TestDiscoveryInvariantsProperty drives the whole stack with random
+// graphs and projects: every returned team must validate, evaluate to
+// finite nonnegative scores, and the three methods must rank
+// consistently on their own objectives.
+func TestDiscoveryInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := dblp.Synthesize(dblp.SynthConfig{Seed: seed, Authors: 150 + rng.Intn(150)})
+		g, _, err := dblp.BuildGraph(c, dblp.GraphOptions{LargestComponent: true})
+		if err != nil {
+			return false
+		}
+		gen, err := workload.NewGenerator(g, seed, workload.Options{})
+		if err != nil {
+			return false
+		}
+		project, err := gen.Project(2 + rng.Intn(2))
+		if err != nil {
+			return true // tiny corpus without a feasible project: skip
+		}
+		p, err := transform.Fit(g, rng.Float64(), rng.Float64(), transform.Options{Normalize: true})
+		if err != nil {
+			return false
+		}
+		for _, m := range []core.Method{core.CC, core.CACC, core.SACACC} {
+			teams, err := core.NewDiscoverer(p, m).TopK(project, 3)
+			if errors.Is(err, core.ErrNoTeam) {
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			for _, tm := range teams {
+				if tm.Validate(g, project) != nil {
+					return false
+				}
+				s := team.Evaluate(tm, p)
+				if s.SACACC < 0 || s.CC < 0 || s.CA < 0 || s.SA < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestObjectiveOptimalityProperty: on small graphs where Exact is
+// tractable, each method's team must be the best among the three on
+// the objective it optimizes (up to greedy slack, which Exact
+// bounds from below).
+func TestObjectiveOptimalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 6; trial++ {
+		c := dblp.Synthesize(dblp.SynthConfig{Seed: int64(trial), Authors: 250})
+		g, _, err := dblp.BuildGraph(c, dblp.GraphOptions{LargestComponent: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := workload.NewGenerator(g, int64(trial), workload.Options{MinHolders: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		project, err := gen.Project(3)
+		if err != nil {
+			continue
+		}
+		p, err := transform.Fit(g, 0.6, 0.6, transform.Options{Normalize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := core.NewDiscoverer(p, core.SACACC).BestTeam(project)
+		if err != nil {
+			continue
+		}
+		exact, err := core.Exact(p, project, core.ExactOptions{MaxCandidatesPerSkill: 6})
+		if err != nil {
+			continue
+		}
+		ge := team.Evaluate(greedy, p).SACACC
+		ee := team.Evaluate(exact, p).SACACC
+		if ee > ge+1e-9 {
+			t.Errorf("trial %d: exact %v worse than greedy %v", trial, ee, ge)
+		}
+		_ = rng
+	}
+}
+
+// TestFigure1EndToEnd reproduces the motivating example through the
+// facade, asserting the paper's Figure 1 conclusion.
+func TestFigure1EndToEnd(t *testing.T) {
+	b := authteam.NewGraphBuilder(6, 4)
+	ren := b.AddNode("Xiang Ren", 11, "TM")
+	han := b.AddNode("Jiawei Han", 139)
+	liu := b.AddNode("Jialu Liu", 9, "SN")
+	kotzias := b.AddNode("Dimitrios Kotzias", 3, "TM")
+	lappas := b.AddNode("Theodoros Lappas", 12)
+	golshan := b.AddNode("Behzad Golshan", 5, "SN")
+	b.AddEdge(ren, han, 1)
+	b.AddEdge(han, liu, 1)
+	b.AddEdge(kotzias, lappas, 1)
+	b.AddEdge(lappas, golshan, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := authteam.New(g, authteam.Options{Gamma: 0.6, Lambda: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := client.BestTeam(authteam.SACACC, []string{"SN", "TM"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, u := range tm.Nodes {
+		names[g.Name(u)] = true
+	}
+	if !names["Jiawei Han"] || !names["Xiang Ren"] || !names["Jialu Liu"] {
+		t.Errorf("SA-CA-CC should return team (a) of Figure 1, got %v", names)
+	}
+}
+
+// TestPLLDisconnectedProperty: the index agrees with Dijkstra on
+// graphs with many components (Infinity included).
+func TestPLLDisconnectedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(30)
+		b := expertgraph.NewBuilder(n, n)
+		for i := 0; i < n; i++ {
+			b.AddNode("", 1)
+		}
+		type pair struct{ u, v expertgraph.NodeID }
+		seen := map[pair]bool{}
+		// Sparse random edges only — often several components.
+		for i := 0; i < n/2; i++ {
+			u := expertgraph.NodeID(rng.Intn(n))
+			v := expertgraph.NodeID(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[pair{u, v}] {
+				continue
+			}
+			seen[pair{u, v}] = true
+			b.AddEdge(u, v, 0.1+rng.Float64())
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		idx := pll.Build(g)
+		src := expertgraph.NodeID(rng.Intn(n))
+		ref := expertgraph.Dijkstra(g, src)
+		for v := 0; v < n; v++ {
+			got := idx.Dist(src, expertgraph.NodeID(v))
+			want := ref.Dist[v]
+			if math.IsInf(want, 1) {
+				if !math.IsInf(got, 1) {
+					return false
+				}
+				continue
+			}
+			// Hub-sum and path-sum round differently at the last ulp.
+			if math.Abs(got-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/oracle"
+	"authteam/internal/team"
+	"authteam/internal/transform"
+)
+
+// Exact baseline (§4 of the paper): exhaustive search for an
+// (SA-CA-CC)-optimal team. The search space is the product of the
+// candidate holder sets C(s1) × … × C(st); each complete assignment is
+// connected optimally with the node-weighted Steiner solver, so the
+// returned team is a true optimum of Definition 6 over all teams
+// (every optimal team is a tree whose holder set appears in the
+// enumeration, and the Steiner DP connects a holder set optimally).
+//
+// The paper reports that Exact "did not terminate in reasonable time"
+// beyond 6 skills; this implementation makes the same behaviour
+// explicit with an assignment budget and branch-and-bound pruning on
+// the skill-holder authority term.
+
+// ErrBudgetExceeded is returned when Exact's assignment budget runs
+// out, the library's equivalent of the paper's "did not terminate".
+var ErrBudgetExceeded = errors.New("core: exact search budget exceeded")
+
+// ExactOptions tunes the exhaustive search.
+type ExactOptions struct {
+	// MaxAssignments bounds the number of complete skill-holder
+	// assignments evaluated. 0 means DefaultMaxAssignments.
+	MaxAssignments int
+	// MaxCandidatesPerSkill truncates each C(s) to its best candidates
+	// by inverse authority before enumerating (0 = keep all). With a
+	// truncation the result is exact over the truncated candidate
+	// space, not the full graph — the tractability knob the experiment
+	// harness uses on corpora whose skills have hundreds of holders.
+	MaxCandidatesPerSkill int
+	// Oracle, when set, must answer distances over the G' weights of
+	// the same parameterization; it speeds up the greedy warm start
+	// that seeds the branch-and-bound upper bound.
+	Oracle oracle.Oracle
+}
+
+// DefaultMaxAssignments is the default Exact search budget.
+const DefaultMaxAssignments = 500000
+
+// Exact returns an (SA-CA-CC)-optimal team for the project, or
+// ErrBudgetExceeded if the space is too large, mirroring the paper's
+// observation that exhaustive search is intractable beyond 6 skills.
+func Exact(p *transform.Params, project []expertgraph.SkillID, opt ExactOptions) (*team.Team, error) {
+	if len(project) == 0 {
+		return nil, ErrEmptyProject
+	}
+	budget := opt.MaxAssignments
+	if budget <= 0 {
+		budget = DefaultMaxAssignments
+	}
+	g := p.Graph()
+
+	// Candidate holders per skill, cheapest authority first so good
+	// assignments are found early and the bound tightens fast.
+	cands := make([]skillCands, len(project))
+	for i, s := range project {
+		experts := g.ExpertsWithSkill(s)
+		if len(experts) == 0 {
+			return nil, ErrNoExpert
+		}
+		sorted := append([]expertgraph.NodeID(nil), experts...)
+		sort.Slice(sorted, func(a, b int) bool {
+			return p.NormInv(sorted[a]) < p.NormInv(sorted[b])
+		})
+		if opt.MaxCandidatesPerSkill > 0 && len(sorted) > opt.MaxCandidatesPerSkill {
+			sorted = sorted[:opt.MaxCandidatesPerSkill]
+		}
+		cands[i] = skillCands{skill: s, experts: sorted}
+	}
+	// Most-constrained skill first shrinks the tree width near the root.
+	sort.Slice(cands, func(a, b int) bool {
+		return len(cands[a].experts) < len(cands[b].experts)
+	})
+
+	solver := &steinerSolver{
+		g: g,
+		edgeCost: func(u, v expertgraph.NodeID, w float64) float64 {
+			return (1 - p.Lambda) * (1 - p.Gamma) * p.NormW(w)
+		},
+		nodeCost: make([]float64, g.NumNodes()),
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		solver.nodeCost[u] = (1 - p.Lambda) * p.Gamma * p.NormInv(expertgraph.NodeID(u))
+	}
+
+	search := exactSearch{
+		p:       p,
+		g:       g,
+		cands:   cands,
+		solver:  solver,
+		memo:    make(map[string]steinerResult),
+		budget:  budget,
+		best:    math.Inf(1),
+		current: make([]expertgraph.NodeID, len(cands)),
+	}
+	search.precomputePairLB(g)
+
+	// Warm start: the greedy SA-CA-CC solution's objective is a valid
+	// upper bound (team.Evaluate and the search total measure the same
+	// quantity on trees), and a tight initial bound lets the
+	// branch-and-bound prune most of the assignment space immediately.
+	var warmOpts []Option
+	if opt.Oracle != nil {
+		warmOpts = append(warmOpts, WithOracle(opt.Oracle))
+	}
+	var warm *team.Team
+	if greedy, err := NewDiscoverer(p, SACACC, warmOpts...).BestTeam(project); err == nil {
+		warm = greedy
+		search.best = team.Evaluate(greedy, p).SACACC
+	}
+
+	search.dfs(0, 0)
+	if search.exceeded {
+		return nil, ErrBudgetExceeded
+	}
+	if search.bestAssign == nil {
+		// Nothing beat the warm start (or nothing was feasible).
+		if warm != nil {
+			return warm, nil
+		}
+		return nil, ErrNoTeam
+	}
+
+	// Materialize the winning team.
+	res := search.bestTree
+	assignment := make(map[expertgraph.SkillID]expertgraph.NodeID, len(cands))
+	for i, sc := range cands {
+		assignment[sc.skill] = search.bestAssign[i]
+	}
+	t := &team.Team{
+		Root:       search.bestAssign[0],
+		Nodes:      res.Nodes,
+		Edges:      res.Edges,
+		Assignment: assignment,
+	}
+	return t, nil
+}
+
+// skillCands pairs a required skill with its candidate holders C(s).
+type skillCands struct {
+	skill   expertgraph.SkillID
+	experts []expertgraph.NodeID
+}
+
+type exactSearch struct {
+	p      *transform.Params
+	g      *expertgraph.Graph
+	cands  []skillCands
+	solver *steinerSolver
+	memo   map[string]steinerResult
+
+	budget   int
+	exceeded bool
+
+	current    []expertgraph.NodeID
+	best       float64
+	bestAssign []expertgraph.NodeID
+	bestTree   steinerResult
+
+	// pairLB[u] holds, for candidate holder u, the Steiner-edge-cost
+	// distance to every node: any tree containing two holders costs at
+	// least their pairwise connector-free path, a cheap and valid
+	// branch-and-bound lower bound. pairUB adds node costs on arrival,
+	// giving realizable path costs used to derive Steiner upper bounds
+	// and DP node masks.
+	pairLB map[expertgraph.NodeID][]float64
+	pairUB map[expertgraph.NodeID][]float64
+}
+
+// precomputePairLB runs two Dijkstras per distinct candidate holder.
+//
+// The lower-bound distance pays edge costs plus the node costs of
+// every non-candidate node entered: for ANY holder set H drawn from
+// the candidates, the in-tree path between two holders pays edge costs
+// plus node costs of its non-H interior nodes, which is at least this
+// quantity (the precompute zeroes all candidates, a superset of H, and
+// zeroing more nodes only lowers a path's cost). The upper-bound
+// distance pays every node cost on arrival, giving realizable
+// connecting-path costs for Steiner upper bounds and DP masks.
+func (s *exactSearch) precomputePairLB(g *expertgraph.Graph) {
+	isCand := make([]bool, g.NumNodes())
+	distinct := map[expertgraph.NodeID]bool{}
+	for _, sc := range s.cands {
+		for _, v := range sc.experts {
+			distinct[v] = true
+			isCand[v] = true
+		}
+	}
+	// The precompute pays off only when candidate sets are small; for
+	// huge candidate spaces the budget aborts the search anyway.
+	if len(distinct) > 256 {
+		return
+	}
+	s.pairLB = make(map[expertgraph.NodeID][]float64, len(distinct))
+	s.pairUB = make(map[expertgraph.NodeID][]float64, len(distinct))
+	ws := expertgraph.NewDijkstraWorkspace(g)
+	for v := range distinct {
+		res := ws.RunWeighted(v, func(u, w expertgraph.NodeID, wt float64) float64 {
+			c := s.solver.edgeCost(u, w, wt)
+			if !isCand[w] {
+				c += s.solver.nodeCost[w]
+			}
+			return c
+		})
+		s.pairLB[v] = append([]float64(nil), res.Dist...)
+		res = ws.RunWeighted(v, func(u, w expertgraph.NodeID, wt float64) float64 {
+			return s.solver.edgeCost(u, w, wt) + s.solver.nodeCost[w]
+		})
+		s.pairUB[v] = append([]float64(nil), res.Dist...)
+	}
+}
+
+// primUB upper-bounds the Steiner cost of connecting H: the MST of the
+// complete graph on H under realizable (node-inclusive) path costs.
+func (s *exactSearch) primUB(h []expertgraph.NodeID) float64 {
+	if s.pairUB == nil || len(h) <= 1 {
+		return math.Inf(1)
+	}
+	in := make([]bool, len(h))
+	in[0] = true
+	total := 0.0
+	for added := 1; added < len(h); added++ {
+		best := math.Inf(1)
+		bestJ := -1
+		for i := range h {
+			if !in[i] {
+				continue
+			}
+			di := s.pairUB[h[i]]
+			for j := range h {
+				if in[j] {
+					continue
+				}
+				if d := di[h[j]]; d < best {
+					best, bestJ = d, j
+				}
+			}
+		}
+		if bestJ < 0 {
+			return math.Inf(1)
+		}
+		in[bestJ] = true
+		total += best
+	}
+	return total
+}
+
+// allowedMask returns the nodes that can participate in an optimal
+// Steiner tree over H: any tree node lies on an in-tree path to every
+// terminal, so its edge-only distance to each terminal is at most the
+// tree cost, which is at most ub.
+func (s *exactSearch) allowedMask(h []expertgraph.NodeID, ub float64) []bool {
+	allowed := make([]bool, s.g.NumNodes())
+	for v := range allowed {
+		ok := true
+		for _, t := range h {
+			if s.pairLB[t][v] > ub {
+				ok = false
+				break
+			}
+		}
+		allowed[v] = ok
+	}
+	return allowed
+}
+
+// steinerLB lower-bounds the Steiner cost of connecting the chosen
+// holders: the maximum pairwise connector-free distance.
+func (s *exactSearch) steinerLB(chosen []expertgraph.NodeID) float64 {
+	if s.pairLB == nil {
+		return 0
+	}
+	lb := 0.0
+	for i := 0; i < len(chosen); i++ {
+		di := s.pairLB[chosen[i]]
+		for j := i + 1; j < len(chosen); j++ {
+			if d := di[chosen[j]]; d > lb {
+				lb = d
+			}
+		}
+	}
+	return lb
+}
+
+// dfs enumerates assignments depth-first. saPartial is λ·Σ ā' over the
+// distinct holders chosen so far — a valid lower bound on the final
+// objective because the Steiner term and future holder terms are
+// nonnegative.
+func (s *exactSearch) dfs(depth int, saPartial float64) {
+	if s.exceeded || saPartial+s.steinerLB(s.current[:depth]) >= s.best {
+		return
+	}
+	if depth == len(s.cands) {
+		if s.budget == 0 {
+			s.exceeded = true
+			return
+		}
+		s.budget--
+		s.evalComplete(saPartial)
+		return
+	}
+	for _, v := range s.cands[depth].experts {
+		add := 0.0
+		if !contains(s.current[:depth], v) {
+			add = s.p.Lambda * s.p.NormInv(v)
+		}
+		s.current[depth] = v
+		s.dfs(depth+1, saPartial+add)
+		if s.exceeded {
+			return
+		}
+	}
+}
+
+func (s *exactSearch) evalComplete(sa float64) {
+	key := holderKey(s.current)
+	res, ok := s.memo[key]
+	if !ok {
+		// The Steiner DP is the expensive step; skip it when the lower
+		// bound already rules this assignment out, and mask the DP to
+		// the provably relevant neighbourhood otherwise. The mask bound
+		// is min(realizable upper bound, improvement threshold): a node
+		// of any tree that improves on the incumbent lies within
+		// bound of every terminal by the pairLB argument, so the masked
+		// DP is exact for every tree that matters. The stored value is
+		// either the true optimum (when below the bound used) or a
+		// certificate that no improving tree existed; both stay valid
+		// as the incumbent only tightens (sa is a function of the
+		// holder set, so revisits see the same sa).
+		bound := s.best - sa // improving trees cost strictly less
+		if bound <= 0 {
+			return
+		}
+		if lb := s.steinerLB(s.current); lb >= bound {
+			return
+		}
+		var allowed []bool
+		if s.pairLB != nil && s.pairUB != nil {
+			h := dedupNodes(s.current)
+			maskBound := bound
+			if ub := s.primUB(h); ub < maskBound {
+				maskBound = ub
+			}
+			if !math.IsInf(maskBound, 1) {
+				allowed = s.allowedMask(h, maskBound)
+			}
+		}
+		res = s.solver.solveMasked(s.current, allowed)
+		s.memo[key] = res
+	}
+	if total := sa + res.Cost; total < s.best {
+		s.best = total
+		s.bestAssign = append(s.bestAssign[:0], s.current...)
+		s.bestTree = res
+	}
+}
+
+func contains(xs []expertgraph.NodeID, v expertgraph.NodeID) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func holderKey(assign []expertgraph.NodeID) string {
+	h := dedupNodes(assign)
+	buf := make([]byte, 0, 4*len(h))
+	for _, u := range h {
+		buf = appendInt(buf, int32(u))
+	}
+	return string(buf)
+}

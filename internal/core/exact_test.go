@@ -1,0 +1,238 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/team"
+	"authteam/internal/transform"
+)
+
+func TestExactSimple(t *testing.T) {
+	g, project := gridGraph(t)
+	p := fitOrDie(t, g, 0.6, 0.6)
+	tm, err := Exact(p, project, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.Validate(g, project); err != nil {
+		t.Fatalf("invalid exact team: %v", err)
+	}
+}
+
+func TestExactNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 8; trial++ {
+		g, project := randomSkillGraph(rng, 25, 40, 3, 3)
+		p := fitOrDie(t, g, 0.6, 0.6)
+		exact, err := Exact(p, project, ExactOptions{})
+		if errors.Is(err, ErrNoTeam) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d exact: %v", trial, err)
+		}
+		greedy, err := NewDiscoverer(p, SACACC).BestTeam(project)
+		if err != nil {
+			t.Fatalf("trial %d greedy: %v", trial, err)
+		}
+		se := team.Evaluate(exact, p).SACACC
+		sg := team.Evaluate(greedy, p).SACACC
+		if se > sg+1e-9 {
+			t.Errorf("trial %d: exact %v worse than greedy %v", trial, se, sg)
+		}
+	}
+}
+
+// TestExactIsOptimal cross-checks Exact against a brute-force optimum
+// over all teams on tiny graphs: enumerate every node subset, every
+// feasible assignment within it, connect with the subset's MST.
+func TestExactIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 6; trial++ {
+		g, project := randomSkillGraph(rng, 9, 12, 2, 2)
+		p := fitOrDie(t, g, 0.5, 0.5)
+		exact, err := Exact(p, project, ExactOptions{})
+		if errors.Is(err, ErrNoTeam) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := team.Evaluate(exact, p).SACACC
+		want := bruteForceBestTeam(t, g, p, project)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("trial %d: exact %v, brute force %v", trial, got, want)
+		}
+	}
+}
+
+// bruteForceBestTeam enumerates all subsets of nodes; for each
+// connected, covering subset it tries every assignment and connects
+// the subset with its MST (the cheapest way to keep a fixed node set
+// connected), returning the minimum SA-CA-CC.
+func bruteForceBestTeam(t *testing.T, g *expertgraph.Graph,
+	p *transform.Params, project []expertgraph.SkillID) float64 {
+	t.Helper()
+	n := g.NumNodes()
+	best := math.Inf(1)
+	for mask := 1; mask < (1 << n); mask++ {
+		// Nodes in subset.
+		var nodes []expertgraph.NodeID
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				nodes = append(nodes, expertgraph.NodeID(v))
+			}
+		}
+		ccRaw, connected := mstCost(g, mask)
+		if !connected {
+			continue
+		}
+		// Every assignment: for each skill, a holder within the subset.
+		assignSets := make([][]expertgraph.NodeID, len(project))
+		feasible := true
+		for i, s := range project {
+			for _, u := range nodes {
+				if g.HasSkill(u, s) {
+					assignSets[i] = append(assignSets[i], u)
+				}
+			}
+			if len(assignSets[i]) == 0 {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		// Normalized CC of the MST edges: recompute edge by edge.
+		_ = ccRaw
+		cc := mstNormalizedCost(g, mask, p)
+		idx := make([]int, len(project))
+		for {
+			holders := map[expertgraph.NodeID]bool{}
+			for i := range project {
+				holders[assignSets[i][idx[i]]] = true
+			}
+			sa, ca := 0.0, 0.0
+			for _, u := range nodes {
+				if holders[u] {
+					sa += p.NormInv(u)
+				} else {
+					ca += p.NormInv(u)
+				}
+			}
+			cacc := p.Gamma*ca + (1-p.Gamma)*cc
+			sacacc := p.Lambda*sa + (1-p.Lambda)*cacc
+			if sacacc < best {
+				best = sacacc
+			}
+			// Next assignment.
+			carry := len(project) - 1
+			for carry >= 0 {
+				idx[carry]++
+				if idx[carry] < len(assignSets[carry]) {
+					break
+				}
+				idx[carry] = 0
+				carry--
+			}
+			if carry < 0 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// mstNormalizedCost recomputes the MST of the induced subgraph using
+// normalized edge weights.
+func mstNormalizedCost(g *expertgraph.Graph, mask int, p *transform.Params) float64 {
+	var nodes []expertgraph.NodeID
+	for v := 0; v < g.NumNodes(); v++ {
+		if mask&(1<<v) != 0 {
+			nodes = append(nodes, expertgraph.NodeID(v))
+		}
+	}
+	if len(nodes) <= 1 {
+		return 0
+	}
+	in := map[expertgraph.NodeID]bool{nodes[0]: true}
+	total := 0.0
+	for len(in) < len(nodes) {
+		bestW := math.Inf(1)
+		var bestV expertgraph.NodeID
+		found := false
+		for u := range in {
+			g.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
+				if mask&(1<<v) != 0 && !in[v] {
+					if nw := p.NormW(w); nw < bestW {
+						bestW, bestV, found = nw, v, true
+					}
+				}
+				return true
+			})
+		}
+		if !found {
+			return math.Inf(1)
+		}
+		in[bestV] = true
+		total += bestW
+	}
+	return total
+}
+
+func TestExactBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, project := randomSkillGraph(rng, 30, 50, 4, 4)
+	p := fitOrDie(t, g, 0.6, 0.6)
+	_, err := Exact(p, project, ExactOptions{MaxAssignments: 1})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		// With a budget of one assignment the enumeration must abort
+		// unless the project is trivially small.
+		total := 1
+		for _, s := range project {
+			total *= len(g.ExpertsWithSkill(s))
+		}
+		if total > 1 {
+			t.Errorf("budget 1 over %d assignments: err = %v, want ErrBudgetExceeded",
+				total, err)
+		}
+	}
+}
+
+func TestExactEmptyProject(t *testing.T) {
+	g, _ := gridGraph(t)
+	p := fitOrDie(t, g, 0.5, 0.5)
+	if _, err := Exact(p, nil, ExactOptions{}); !errors.Is(err, ErrEmptyProject) {
+		t.Errorf("err = %v, want ErrEmptyProject", err)
+	}
+}
+
+func TestExactMultiSkillHolder(t *testing.T) {
+	// A single expert holding both skills with high authority should
+	// beat two separate low-authority holders when λ is high.
+	b := expertgraph.NewBuilder(3, 2)
+	ace := b.AddNode("ace", 50, "db", "ml")
+	d1 := b.AddNode("d1", 1, "db")
+	d2 := b.AddNode("d2", 1, "ml")
+	b.AddEdge(ace, d1, 0.1)
+	b.AddEdge(d1, d2, 0.1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := g.SkillID("db")
+	ml, _ := g.SkillID("ml")
+	p := fitOrDie(t, g, 0.5, 0.9)
+	tm, err := Exact(p, []expertgraph.SkillID{db, ml}, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Size() != 1 || tm.Nodes[0] != ace {
+		t.Errorf("exact should pick the ace alone, got %v", tm.Nodes)
+	}
+}

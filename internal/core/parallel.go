@@ -1,0 +1,159 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/oracle"
+	"authteam/internal/team"
+	"authteam/internal/transform"
+)
+
+// Parallel discovery. Algorithm 1's root loop is embarrassingly
+// parallel: every root's greedy evaluation is independent, and the
+// 2-hop cover index is safe for concurrent readers. TopKParallel
+// shards the roots over workers, each with its own Discoverer (the
+// path-reconstruction workspace is per-goroutine state), then merges
+// the per-shard candidate lists. Results are identical to the
+// sequential TopK — merging preserves the (cost, root) total order and
+// the same deduplication applies.
+
+// TopKParallel runs TopK with the root scan sharded over workers
+// goroutines (values < 2 fall back to the sequential path). The dist
+// oracle must be safe for concurrent use when workers > 1 — the PLL
+// oracle is; per-root Dijkstra oracles are created per worker when
+// dist is nil.
+func TopKParallel(p *transform.Params, m Method, project []expertgraph.SkillID,
+	k, workers int, dist oracle.Oracle) ([]*team.Team, error) {
+
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	if len(project) == 0 {
+		return nil, ErrEmptyProject
+	}
+	newDiscoverer := func(roots []expertgraph.NodeID) *Discoverer {
+		opts := []Option{WithRoots(roots)}
+		if dist != nil {
+			opts = append(opts, WithOracle(dist))
+		}
+		return NewDiscoverer(p, m, opts...)
+	}
+	g := p.Graph()
+	n := g.NumNodes()
+	if workers < 2 || n < 2*workers {
+		return newDiscoverer(nil).TopK(project, k)
+	}
+
+	// Shard roots contiguously.
+	shards := make([][]expertgraph.NodeID, workers)
+	all := allNodes(g)
+	per := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		if lo < hi {
+			shards[w] = all[lo:hi]
+		}
+	}
+
+	type shardOut struct {
+		teams []*team.Team
+		err   error
+	}
+	outs := make([]shardOut, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		if len(shards[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			teams, err := newDiscoverer(shards[w]).TopK(project, k)
+			outs[w] = shardOut{teams: teams, err: err}
+		}(w)
+	}
+	wg.Wait()
+
+	// Merge: collect per-shard winners with their surrogate-order
+	// proxy. Each shard's TopK is sorted by greedy cost; re-scoring
+	// merged teams by evaluated objective would change semantics, so
+	// the merge re-ranks by the same greedy cost, recomputed from the
+	// shard order via a stable global sort on (cost-rank, root).
+	type ranked struct {
+		t    *team.Team
+		cost float64
+	}
+	var pool []ranked
+	anySuccess := false
+	var firstErr error
+	for _, out := range outs {
+		switch out.err {
+		case nil:
+			anySuccess = true
+			for _, tm := range out.teams {
+				pool = append(pool, ranked{t: tm, cost: surrogateOf(p, m, tm, project)})
+			}
+		default:
+			if firstErr == nil {
+				firstErr = out.err
+			}
+		}
+	}
+	if !anySuccess {
+		return nil, firstErr
+	}
+	sort.SliceStable(pool, func(i, j int) bool {
+		if pool[i].cost != pool[j].cost {
+			return pool[i].cost < pool[j].cost
+		}
+		return pool[i].t.Root < pool[j].t.Root
+	})
+	seen := make(map[string]bool)
+	merged := make([]*team.Team, 0, k)
+	for _, r := range pool {
+		sig := signature(r.t)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		merged = append(merged, r.t)
+		if len(merged) == k {
+			break
+		}
+	}
+	return merged, nil
+}
+
+// surrogateOf recomputes the greedy surrogate cost of a reconstructed
+// team for merge ordering: the sum over skills of the holder cost at
+// the team's root, using exact (Dijkstra) distances over the method's
+// search weights.
+func surrogateOf(p *transform.Params, m Method, tm *team.Team,
+	project []expertgraph.SkillID) float64 {
+
+	g := p.Graph()
+	ws := expertgraph.NewDijkstraWorkspace(g)
+	var sssp *expertgraph.SSSP
+	if m == CC {
+		sssp = ws.Run(tm.Root)
+	} else {
+		sssp = ws.RunWeighted(tm.Root, p.EdgeWeight())
+	}
+	d := Discoverer{params: p, method: m, g: g}
+	cost := 0.0
+	for _, s := range project {
+		holder := tm.Assignment[s]
+		if holder == tm.Root && g.HasSkill(tm.Root, s) {
+			cost += d.rootHolderCost(tm.Root)
+			continue
+		}
+		cost += d.holderCost(sssp.Dist[holder], holder)
+	}
+	return cost
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/oracle"
+	"authteam/internal/team"
+)
+
+func TestTopKParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	for trial := 0; trial < 5; trial++ {
+		g, project := randomSkillGraph(rng, 60, 100, 3, 3)
+		p := fitOrDie(t, g, 0.6, 0.6)
+		idx := oracle.BuildPLL(g, p.EdgeWeight())
+		for _, m := range []Method{CC, CACC, SACACC} {
+			var shared oracle.Oracle
+			if m != CC {
+				shared = idx
+			}
+			var opts []Option
+			if shared != nil {
+				opts = append(opts, WithOracle(shared))
+			}
+			seq, err1 := NewDiscoverer(p, m, opts...).TopK(project, 4)
+			par, err2 := TopKParallel(p, m, project, 4, 3, shared)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("trial %d %v: error mismatch %v vs %v", trial, m, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if len(seq) != len(par) {
+				t.Fatalf("trial %d %v: %d vs %d teams", trial, m, len(seq), len(par))
+			}
+			for i := range seq {
+				s1 := team.Evaluate(seq[i], p)
+				s2 := team.Evaluate(par[i], p)
+				if s1.SACACC != s2.SACACC {
+					t.Errorf("trial %d %v team %d: sequential %v vs parallel %v",
+						trial, m, i, s1.SACACC, s2.SACACC)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKParallelSmallGraphFallback(t *testing.T) {
+	g, project := gridGraph(t)
+	p := fitOrDie(t, g, 0.6, 0.6)
+	// 3 nodes with 8 workers: falls back to the sequential path.
+	teams, err := TopKParallel(p, SACACC, project, 2, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(teams) == 0 {
+		t.Fatal("no teams")
+	}
+	for _, tm := range teams {
+		if err := tm.Validate(g, project); err != nil {
+			t.Errorf("invalid team: %v", err)
+		}
+	}
+}
+
+func TestTopKParallelErrors(t *testing.T) {
+	g, project := gridGraph(t)
+	p := fitOrDie(t, g, 0.6, 0.6)
+	if _, err := TopKParallel(p, CC, project, 0, 2, nil); !errors.Is(err, ErrBadK) {
+		t.Errorf("k=0: %v", err)
+	}
+	if _, err := TopKParallel(p, CC, nil, 1, 2, nil); !errors.Is(err, ErrEmptyProject) {
+		t.Errorf("empty project: %v", err)
+	}
+}
+
+func TestTopKParallelAllShardsFail(t *testing.T) {
+	// Two disconnected pairs holding different skills: no root reaches
+	// both skills, so every shard returns ErrNoTeam.
+	b := expertgraph.NewBuilder(4, 2)
+	a1 := b.AddNode("a1", 1, "x")
+	a2 := b.AddNode("a2", 1, "x")
+	c1 := b.AddNode("c1", 1, "y")
+	c2 := b.AddNode("c2", 1, "y")
+	b.AddEdge(a1, a2, 1)
+	b.AddEdge(c1, c2, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := g.SkillID("x")
+	y, _ := g.SkillID("y")
+	p := fitOrDie(t, g, 0.5, 0.5)
+	_, err = TopKParallel(p, CC, []expertgraph.SkillID{x, y}, 1, 2, nil)
+	if !errors.Is(err, ErrNoTeam) {
+		t.Errorf("err = %v, want ErrNoTeam", err)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"sort"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/oracle"
+	"authteam/internal/team"
+	"authteam/internal/transform"
+)
+
+// Pareto-front team discovery — the future-work direction the paper
+// sketches in §5 ("find a set of Pareto-optimal teams" instead of
+// collapsing CC, CA and SA with tradeoff parameters). The front is
+// approximated by sweeping Algorithm 1 over a (γ, λ) grid, evaluating
+// every discovered team on the raw (CC, CA, SA) axes, and keeping the
+// non-dominated set.
+
+// ParetoTeam is a non-dominated team with its raw objective vector and
+// the parameterization that surfaced it.
+type ParetoTeam struct {
+	Team *team.Team
+	// CC, CA and SA are evaluated on raw (unnormalized) scales so the
+	// vector is parameter-free.
+	CC, CA, SA    float64
+	Gamma, Lambda float64
+}
+
+// ParetoOptions configures the sweep.
+type ParetoOptions struct {
+	// GammaGrid and LambdaGrid default to {0, 0.25, 0.5, 0.75, 1}.
+	GammaGrid, LambdaGrid []float64
+	// TopK teams are collected per grid point (default 3).
+	TopK int
+	// UsePLL builds a landmark index per γ instead of per-root Dijkstra.
+	UsePLL bool
+	// Normalize applies Def. 4 normalization inside the search (it does
+	// not affect the reported raw vectors). Defaults to true.
+	NoNormalize bool
+}
+
+var defaultGrid = []float64{0, 0.25, 0.5, 0.75, 1}
+
+// ParetoFront sweeps the tradeoff grid and returns the non-dominated
+// teams sorted by ascending CC. It returns ErrNoTeam when no grid
+// point yields a feasible team.
+func ParetoFront(g *expertgraph.Graph, project []expertgraph.SkillID,
+	opt ParetoOptions) ([]ParetoTeam, error) {
+
+	gammas := opt.GammaGrid
+	if len(gammas) == 0 {
+		gammas = defaultGrid
+	}
+	lambdas := opt.LambdaGrid
+	if len(lambdas) == 0 {
+		lambdas = defaultGrid
+	}
+	k := opt.TopK
+	if k <= 0 {
+		k = 3
+	}
+
+	// Raw-scale evaluator: γ and λ are irrelevant for the CC/CA/SA
+	// components themselves.
+	raw, err := transform.Fit(g, 0, 0, transform.Options{Normalize: false})
+	if err != nil {
+		return nil, err
+	}
+
+	var pool []ParetoTeam
+	seen := make(map[string]bool)
+	feasible := false
+	for _, gamma := range gammas {
+		var shared oracle.Oracle
+		for _, lambda := range lambdas {
+			p, err := transform.Fit(g, gamma, lambda, transform.Options{Normalize: !opt.NoNormalize})
+			if err != nil {
+				return nil, err
+			}
+			var opts []Option
+			if opt.UsePLL {
+				if shared == nil {
+					// λ does not enter the G' edge weights, so one index
+					// per γ serves every λ.
+					shared = oracle.BuildPLL(g, p.EdgeWeight())
+				}
+				opts = append(opts, WithOracle(shared))
+			}
+			d := NewDiscoverer(p, SACACC, opts...)
+			teams, err := d.TopK(project, k)
+			if err != nil {
+				continue // this grid point found nothing; others may
+			}
+			feasible = true
+			for _, t := range teams {
+				sig := signature(t)
+				if seen[sig] {
+					continue
+				}
+				seen[sig] = true
+				s := team.Evaluate(t, raw)
+				pool = append(pool, ParetoTeam{
+					Team: t, CC: s.CC, CA: s.CA, SA: s.SA,
+					Gamma: gamma, Lambda: lambda,
+				})
+			}
+		}
+	}
+	if !feasible {
+		return nil, ErrNoTeam
+	}
+
+	front := filterDominated(pool)
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].CC != front[j].CC {
+			return front[i].CC < front[j].CC
+		}
+		if front[i].CA != front[j].CA {
+			return front[i].CA < front[j].CA
+		}
+		return front[i].SA < front[j].SA
+	})
+	return front, nil
+}
+
+// dominates reports whether a is at least as good as b on every axis
+// and strictly better on at least one (all objectives minimized).
+func dominates(a, b ParetoTeam) bool {
+	if a.CC > b.CC || a.CA > b.CA || a.SA > b.SA {
+		return false
+	}
+	return a.CC < b.CC || a.CA < b.CA || a.SA < b.SA
+}
+
+func filterDominated(pool []ParetoTeam) []ParetoTeam {
+	var front []ParetoTeam
+	for i, cand := range pool {
+		dominated := false
+		for j, other := range pool {
+			if i == j {
+				continue
+			}
+			if dominates(other, cand) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, cand)
+		}
+	}
+	// Equal vectors all survive the loop above; keep one per vector.
+	seen := make(map[[3]float64]bool)
+	out := front[:0]
+	for _, f := range front {
+		key := [3]float64{f.CC, f.CA, f.SA}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, f)
+	}
+	return out
+}

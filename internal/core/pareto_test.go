@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"authteam/internal/expertgraph"
+)
+
+func TestParetoFrontBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, project := randomSkillGraph(rng, 40, 60, 3, 3)
+	front, err := ParetoFront(g, project, ParetoOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	// No member may dominate another.
+	for i := range front {
+		for j := range front {
+			if i != j && dominates(front[i], front[j]) {
+				t.Errorf("front[%d] dominates front[%d]", i, j)
+			}
+		}
+	}
+	// Sorted by CC ascending.
+	for i := 1; i < len(front); i++ {
+		if front[i].CC < front[i-1].CC {
+			t.Error("front not sorted by CC")
+		}
+	}
+	// All teams valid.
+	for _, f := range front {
+		if err := f.Team.Validate(g, project); err != nil {
+			t.Errorf("invalid front team: %v", err)
+		}
+	}
+}
+
+func TestParetoCustomGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g, project := randomSkillGraph(rng, 30, 50, 2, 2)
+	front, err := ParetoFront(g, project, ParetoOptions{
+		GammaGrid:  []float64{0, 1},
+		LambdaGrid: []float64{0, 1},
+		TopK:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+}
+
+func TestParetoNoTeam(t *testing.T) {
+	// Disconnected holders: every grid point fails.
+	b := expertgraph.NewBuilder(2, 0)
+	b.AddNode("a", 1, "db")
+	b.AddNode("b", 1, "ml")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := g.SkillID("db")
+	ml, _ := g.SkillID("ml")
+	if _, err := ParetoFront(g, []expertgraph.SkillID{db, ml}, ParetoOptions{}); !errors.Is(err, ErrNoTeam) {
+		t.Errorf("err = %v, want ErrNoTeam", err)
+	}
+}
+
+func TestParetoWithPLL(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g, project := randomSkillGraph(rng, 30, 50, 2, 2)
+	plain, err := ParetoFront(g, project, ParetoOptions{
+		GammaGrid: []float64{0.5}, LambdaGrid: []float64{0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := ParetoFront(g, project, ParetoOptions{
+		GammaGrid: []float64{0.5}, LambdaGrid: []float64{0.5}, UsePLL: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(indexed) {
+		t.Fatalf("front sizes differ: %d vs %d", len(plain), len(indexed))
+	}
+	for i := range plain {
+		if plain[i].CC != indexed[i].CC || plain[i].CA != indexed[i].CA ||
+			plain[i].SA != indexed[i].SA {
+			t.Errorf("front[%d] vectors differ between oracles", i)
+		}
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := ParetoTeam{CC: 1, CA: 1, SA: 1}
+	b := ParetoTeam{CC: 2, CA: 1, SA: 1}
+	c := ParetoTeam{CC: 0.5, CA: 2, SA: 1}
+	if !dominates(a, b) {
+		t.Error("a should dominate b")
+	}
+	if dominates(b, a) {
+		t.Error("b should not dominate a")
+	}
+	if dominates(a, c) || dominates(c, a) {
+		t.Error("a and c are incomparable")
+	}
+	if dominates(a, a) {
+		t.Error("no strict improvement: a does not dominate itself")
+	}
+}
+
+func TestFilterDominatedKeepsOnePerVector(t *testing.T) {
+	pool := []ParetoTeam{
+		{CC: 1, CA: 1, SA: 1},
+		{CC: 1, CA: 1, SA: 1}, // duplicate vector
+		{CC: 2, CA: 2, SA: 2}, // dominated
+	}
+	front := filterDominated(pool)
+	if len(front) != 1 {
+		t.Errorf("front size = %d, want 1", len(front))
+	}
+}

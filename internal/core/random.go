@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math/rand"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/oracle"
+	"authteam/internal/team"
+	"authteam/internal/transform"
+)
+
+// DefaultRandomTrials is the number of random teams the paper's Random
+// baseline draws (§4: "randomly builds 10,000 teams").
+const DefaultRandomTrials = 10000
+
+// Random implements the paper's Random baseline: build trials random
+// teams (random root, random holder per skill, connected by shortest
+// paths) and return the one with the lowest SA-CA-CC score. It returns
+// ErrNoTeam if no random team was feasible — callers on pathological
+// graphs should retry with more trials.
+func Random(p *transform.Params, project []expertgraph.SkillID,
+	trials int, rng *rand.Rand) (*team.Team, error) {
+
+	if len(project) == 0 {
+		return nil, ErrEmptyProject
+	}
+	if trials <= 0 {
+		trials = DefaultRandomTrials
+	}
+	g := p.Graph()
+	experts := make([][]expertgraph.NodeID, len(project))
+	for i, s := range project {
+		experts[i] = g.ExpertsWithSkill(s)
+		if len(experts[i]) == 0 {
+			return nil, ErrNoExpert
+		}
+	}
+
+	ws := expertgraph.NewDijkstraWorkspace(g)
+	var best *team.Team
+	bestScore := expertgraph.Infinity
+
+	// Drawing the root first and reusing its shortest-path tree for all
+	// trials that drew the same root would bias the sample, so each
+	// trial is independent: root, then holders, then connect.
+	for trial := 0; trial < trials; trial++ {
+		root := expertgraph.NodeID(rng.Intn(g.NumNodes()))
+		sssp := ws.Run(root)
+		assignment := make(map[expertgraph.SkillID]expertgraph.NodeID, len(project))
+		paths := make(map[expertgraph.SkillID][]expertgraph.NodeID, len(project))
+		ok := true
+		for i, s := range project {
+			holder := experts[i][rng.Intn(len(experts[i]))]
+			path := sssp.PathTo(holder)
+			if path == nil {
+				ok = false
+				break
+			}
+			assignment[s] = holder
+			paths[s] = path
+		}
+		if !ok {
+			continue
+		}
+		t, err := team.FromPaths(g, root, assignment, paths)
+		if err != nil {
+			return nil, err // paths come from the SSSP tree; failure is a bug
+		}
+		if score := team.Evaluate(t, p).SACACC; score < bestScore {
+			bestScore, best = score, t
+		}
+	}
+	if best == nil {
+		return nil, ErrNoTeam
+	}
+	return best, nil
+}
+
+// RandomFast is the oracle-backed variant of the Random baseline used
+// by the experiment harness at scale: each of the trials draws a
+// random root and a random holder per skill and is scored with the
+// same greedy surrogate Algorithm 1 uses (sum of adjusted G' distances
+// root→holder); only the winning candidate is materialized into an
+// actual team. Exhaustively materializing all 10,000 random teams (one
+// shortest-path tree each, as Random does) costs minutes per query on
+// paper-scale graphs; the surrogate selection preserves the baseline's
+// role — a cheap random-search yardstick — at microseconds per trial.
+// The oracle must answer distances over the G' weights of p.
+func RandomFast(p *transform.Params, project []expertgraph.SkillID,
+	trials int, rng *rand.Rand, dist oracle.Oracle) (*team.Team, error) {
+
+	if len(project) == 0 {
+		return nil, ErrEmptyProject
+	}
+	if trials <= 0 {
+		trials = DefaultRandomTrials
+	}
+	g := p.Graph()
+	experts := make([][]expertgraph.NodeID, len(project))
+	for i, s := range project {
+		experts[i] = g.ExpertsWithSkill(s)
+		if len(experts[i]) == 0 {
+			return nil, ErrNoExpert
+		}
+	}
+
+	best := candidate{cost: expertgraph.Infinity}
+	found := false
+	assign := make([]expertgraph.NodeID, len(project))
+	for trial := 0; trial < trials; trial++ {
+		root := expertgraph.NodeID(rng.Intn(g.NumNodes()))
+		cost := 0.0
+		ok := true
+		for i := range project {
+			holder := experts[i][rng.Intn(len(experts[i]))]
+			d := dist.Dist(root, holder)
+			if d == expertgraph.Infinity {
+				ok = false
+				break
+			}
+			assign[i] = holder
+			cost += p.SACACCCost(d, holder)
+		}
+		if ok && cost < best.cost {
+			best = candidate{root: root, cost: cost, assign: append([]expertgraph.NodeID(nil), assign...)}
+			found = true
+		}
+	}
+	if !found {
+		return nil, ErrNoTeam
+	}
+	d := &Discoverer{
+		params: p,
+		method: SACACC,
+		g:      g,
+		weight: p.EdgeWeight(),
+		ws:     expertgraph.NewDijkstraWorkspace(g),
+	}
+	return d.reconstruct(best, project)
+}

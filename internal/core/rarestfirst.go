@@ -1,0 +1,95 @@
+package core
+
+import (
+	"authteam/internal/expertgraph"
+	"authteam/internal/oracle"
+	"authteam/internal/team"
+	"authteam/internal/transform"
+)
+
+// RarestFirst is the classic team-formation heuristic of Lappas, Liu
+// and Terzi (KDD 2009) — the origin of the communication-cost line of
+// work the paper builds on (its reference [3]). Instead of scanning
+// every node as a root, it anchors the team at a holder of the
+// *rarest* required skill and attaches the closest holder of every
+// other skill, minimizing the diameter-style cost
+//
+//	max_s DIST(anchor, holder_s)
+//
+// It is provided as an additional baseline: cheaper than Algorithm 1
+// (only |C(s_rare)| anchors are tried) but blind to authority and to
+// total cost, which is exactly the gap the paper's objectives close.
+
+// RarestFirst returns the best anchor's team, connecting members by
+// shortest paths in G (raw weights). It reports ErrNoTeam when no
+// anchor reaches every skill.
+func RarestFirst(p *transform.Params, project []expertgraph.SkillID,
+	dist oracle.Oracle) (*team.Team, error) {
+
+	if len(project) == 0 {
+		return nil, ErrEmptyProject
+	}
+	g := p.Graph()
+	if dist == nil {
+		dist = oracle.NewDijkstra(g, nil)
+	}
+
+	experts := make([][]expertgraph.NodeID, len(project))
+	rarest := 0
+	for i, s := range project {
+		experts[i] = g.ExpertsWithSkill(s)
+		if len(experts[i]) == 0 {
+			return nil, ErrNoExpert
+		}
+		if len(experts[i]) < len(experts[rarest]) {
+			rarest = i
+		}
+	}
+
+	bestCost := expertgraph.Infinity
+	var best candidate
+	found := false
+	for _, anchor := range experts[rarest] {
+		c := candidate{root: anchor, assign: make([]expertgraph.NodeID, len(project))}
+		worst := 0.0
+		ok := true
+		for i := range project {
+			if i == rarest {
+				c.assign[i] = anchor
+				continue
+			}
+			nearest := expertgraph.NodeID(-1)
+			nearestD := expertgraph.Infinity
+			for _, v := range experts[i] {
+				if d := dist.Dist(anchor, v); d < nearestD {
+					nearestD, nearest = d, v
+				}
+			}
+			if nearest < 0 {
+				ok = false
+				break
+			}
+			c.assign[i] = nearest
+			if nearestD > worst {
+				worst = nearestD
+			}
+		}
+		if !ok {
+			continue
+		}
+		if worst < bestCost || (worst == bestCost && anchor < best.root) {
+			bestCost, best, found = worst, c, true
+		}
+	}
+	if !found {
+		return nil, ErrNoTeam
+	}
+
+	d := &Discoverer{
+		params: p,
+		method: CC,
+		g:      g,
+		ws:     expertgraph.NewDijkstraWorkspace(g),
+	}
+	return d.reconstruct(best, project)
+}

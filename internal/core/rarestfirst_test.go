@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"authteam/internal/oracle"
+	"authteam/internal/team"
+)
+
+func TestRarestFirstBasic(t *testing.T) {
+	g, project := gridGraph(t)
+	p := fitOrDie(t, g, 0.6, 0.6)
+	tm, err := RarestFirst(p, project, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.Validate(g, project); err != nil {
+		t.Fatalf("invalid team: %v", err)
+	}
+	// The anchor holds the rarest skill, so it is a holder.
+	if len(tm.Holders()) == 0 {
+		t.Fatal("no holders")
+	}
+}
+
+func TestRarestFirstAnchorsOnRarestSkill(t *testing.T) {
+	g, project := figure1Graph(t)
+	p := fitOrDie(t, g, 0.6, 0.6)
+	tm, err := RarestFirst(p, project, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both skills have 2 holders; either anchor works, and the team
+	// must cover both skills with a valid tree.
+	if err := tm.Validate(g, project); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRarestFirstMatchesWithOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g, project := randomSkillGraph(rng, 50, 80, 3, 3)
+	p := fitOrDie(t, g, 0.6, 0.6)
+	plain, err1 := RarestFirst(p, project, nil)
+	indexed, err2 := RarestFirst(p, project, oracle.BuildPLL(g, nil))
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("errors differ: %v vs %v", err1, err2)
+	}
+	if err1 != nil {
+		return
+	}
+	if signature(plain) != signature(indexed) {
+		t.Error("oracle choice changed the RarestFirst team")
+	}
+}
+
+func TestRarestFirstErrors(t *testing.T) {
+	g, _ := gridGraph(t)
+	p := fitOrDie(t, g, 0.6, 0.6)
+	if _, err := RarestFirst(p, nil, nil); !errors.Is(err, ErrEmptyProject) {
+		t.Errorf("empty project: %v", err)
+	}
+}
+
+// TestRarestFirstVsAlgorithm1 documents why the paper's full root scan
+// matters: RarestFirst explores fewer anchors, so Algorithm 1's CC
+// team is never worse on communication cost.
+func TestRarestFirstVsAlgorithm1(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	better := 0
+	for trial := 0; trial < 10; trial++ {
+		g, project := randomSkillGraph(rng, 40, 60, 3, 3)
+		p := fitOrDie(t, g, 0.6, 0.6)
+		rf, err := RarestFirst(p, project, nil)
+		if err != nil {
+			continue
+		}
+		alg1, err := NewDiscoverer(p, CC).BestTeam(project)
+		if err != nil {
+			continue
+		}
+		// Compare on the evaluated normalized CC of the trees.
+		ccRF := team.Evaluate(rf, p).CC
+		ccA1 := team.Evaluate(alg1, p).CC
+		if ccA1 <= ccRF+1e-9 {
+			better++
+		}
+	}
+	if better < 7 {
+		t.Errorf("Algorithm 1 should usually match or beat RarestFirst on CC (won %d/10)", better)
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/team"
+	"authteam/internal/transform"
+)
+
+// Team member replacement — the operational scenario of Li et al.
+// (WWW'15), cited by the paper as related work [4]: a member of an
+// already-formed team becomes unavailable and the best substitute must
+// be recommended. Under the authority-based model, a good replacement
+// keeps the project covered while minimizing the SA-CA-CC objective of
+// the repaired team.
+//
+// The repair keeps the remaining members fixed: the leaver's skills
+// are re-assigned to a candidate substitute (or to remaining members
+// that already hold them), and the substitute is wired into the team
+// by re-running Algorithm 1's tree construction from the original
+// root. This mirrors how the replacement literature scores candidates
+// by "keeping the rest of the team intact".
+
+// Replacement is one scored substitute recommendation.
+type Replacement struct {
+	Candidate expertgraph.NodeID
+	Team      *team.Team // the repaired team
+	Score     team.Score // objectives of the repaired team
+}
+
+// ReplaceMember recommends up to k substitutes for leaver in t, best
+// (lowest SA-CA-CC) first. The leaver must be a team member; if it
+// holds no skills (a pure connector), the repair simply re-routes the
+// team around it and a single zero-candidate entry is returned when
+// possible.
+func ReplaceMember(p *transform.Params, t *team.Team,
+	leaver expertgraph.NodeID, k int) ([]Replacement, error) {
+
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	g := p.Graph()
+	onTeam := false
+	for _, u := range t.Nodes {
+		if u == leaver {
+			onTeam = true
+			break
+		}
+	}
+	if !onTeam {
+		return nil, fmt.Errorf("core: expert %d is not on the team", leaver)
+	}
+
+	// Skills the leaver covers, and the rest of the assignment.
+	var orphaned []expertgraph.SkillID
+	project := make([]expertgraph.SkillID, 0, len(t.Assignment))
+	for s, holder := range t.Assignment {
+		project = append(project, s)
+		if holder == leaver {
+			orphaned = append(orphaned, s)
+		}
+	}
+	sort.Slice(project, func(i, j int) bool { return project[i] < project[j] })
+	sort.Slice(orphaned, func(i, j int) bool { return orphaned[i] < orphaned[j] })
+
+	root := t.Root
+	if root == leaver {
+		// Re-root at the highest-authority survivor: the root is a
+		// construction artifact, and any member keeps the tree intact.
+		root = -1
+		for _, u := range t.Nodes {
+			if u != leaver && (root < 0 || p.NormInv(u) < p.NormInv(root)) {
+				root = u
+			}
+		}
+		if root < 0 {
+			return nil, ErrNoTeam // single-member team: nothing to keep
+		}
+	}
+
+	// Candidate substitutes: experts holding every orphaned skill the
+	// survivors cannot absorb. (Candidates holding only part of the
+	// orphaned set would need multi-expert repair, which is a full
+	// re-discovery — out of scope for a replacement recommendation,
+	// same as in the replacement literature.)
+	survivors := make(map[expertgraph.NodeID]bool, len(t.Nodes))
+	for _, u := range t.Nodes {
+		if u != leaver {
+			survivors[u] = true
+		}
+	}
+	needed := make([]expertgraph.SkillID, 0, len(orphaned))
+	absorbed := make(map[expertgraph.SkillID]expertgraph.NodeID)
+	for _, s := range orphaned {
+		if holder := absorbSkill(g, survivors, s); holder >= 0 {
+			absorbed[s] = holder
+		} else {
+			needed = append(needed, s)
+		}
+	}
+
+	var candidates []expertgraph.NodeID
+	if len(needed) == 0 {
+		candidates = []expertgraph.NodeID{-1} // pure re-route, no new member
+	} else {
+		candidates = holdersOfAll(g, needed)
+		for i := 0; i < len(candidates); i++ {
+			if candidates[i] == leaver {
+				candidates = append(candidates[:i], candidates[i+1:]...)
+				break
+			}
+		}
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("%w: no substitute holds %q", ErrNoExpert,
+				g.SkillName(needed[0]))
+		}
+	}
+
+	ws := expertgraph.NewDijkstraWorkspace(g)
+	weight := p.EdgeWeight()
+	var out []Replacement
+	for _, cand := range candidates {
+		repaired, err := repairTeam(g, ws, weight, t, root, leaver, cand, absorbed, needed)
+		if err != nil {
+			continue // candidate unreachable without the leaver
+		}
+		out = append(out, Replacement{
+			Candidate: cand,
+			Team:      repaired,
+			Score:     team.Evaluate(repaired, p),
+		})
+	}
+	if len(out) == 0 {
+		return nil, ErrNoTeam
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score.SACACC != out[j].Score.SACACC {
+			return out[i].Score.SACACC < out[j].Score.SACACC
+		}
+		return out[i].Candidate < out[j].Candidate
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// absorbSkill finds a surviving member already holding s (preferring
+// the highest authority), or -1.
+func absorbSkill(g *expertgraph.Graph, survivors map[expertgraph.NodeID]bool,
+	s expertgraph.SkillID) expertgraph.NodeID {
+
+	best := expertgraph.NodeID(-1)
+	for _, u := range g.ExpertsWithSkill(s) {
+		if survivors[u] && (best < 0 || g.Authority(u) > g.Authority(best)) {
+			best = u
+		}
+	}
+	return best
+}
+
+// holdersOfAll returns experts holding every skill in needed.
+func holdersOfAll(g *expertgraph.Graph, needed []expertgraph.SkillID) []expertgraph.NodeID {
+	if len(needed) == 0 {
+		return nil
+	}
+	var out []expertgraph.NodeID
+	for _, u := range g.ExpertsWithSkill(needed[0]) {
+		all := true
+		for _, s := range needed[1:] {
+			if !g.HasSkill(u, s) {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// repairTeam rebuilds the team tree from root with the leaver's graph
+// presence removed: paths are recomputed in G' with the leaver's edges
+// skipped, keeping every surviving assignment and wiring in the
+// candidate (when cand ≥ 0) for the skills the survivors cannot cover.
+func repairTeam(g *expertgraph.Graph, ws *expertgraph.DijkstraWorkspace,
+	weight func(u, v expertgraph.NodeID, w float64) float64,
+	t *team.Team, root, leaver, cand expertgraph.NodeID,
+	absorbed map[expertgraph.SkillID]expertgraph.NodeID,
+	needed []expertgraph.SkillID) (*team.Team, error) {
+
+	blocked := func(u, v expertgraph.NodeID, w float64) float64 {
+		if u == leaver || v == leaver {
+			return expertgraph.Infinity
+		}
+		return weight(u, v, w)
+	}
+	sssp := ws.RunWeighted(root, blocked)
+
+	assignment := make(map[expertgraph.SkillID]expertgraph.NodeID, len(t.Assignment))
+	paths := make(map[expertgraph.SkillID][]expertgraph.NodeID, len(t.Assignment))
+	for s, holder := range t.Assignment {
+		if holder == leaver {
+			if ab, ok := absorbed[s]; ok {
+				holder = ab
+			} else {
+				holder = cand
+			}
+		}
+		if holder < 0 {
+			return nil, ErrNoTeam
+		}
+		path := sssp.PathTo(holder)
+		if path == nil {
+			return nil, ErrNoTeam
+		}
+		assignment[s] = holder
+		paths[s] = path
+	}
+	return team.FromPaths(g, root, assignment, paths)
+}

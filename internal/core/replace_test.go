@@ -1,0 +1,230 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/team"
+)
+
+// replaceFixture: a team {holder-a, bridge, holder-b} with spare
+// holders available for both skills.
+//
+//	a1(db,2) -- bridge(20) -- b1(ml,3)
+//	a2(db,9) -- bridge        b2(ml,8) -- bridge
+//	a1 -- a2 (cheap)
+func replaceFixture(t *testing.T) (*expertgraph.Graph, *team.Team) {
+	t.Helper()
+	b := expertgraph.NewBuilder(6, 8)
+	a1 := b.AddNode("a1", 2, "db")
+	a2 := b.AddNode("a2", 9, "db")
+	b1 := b.AddNode("b1", 3, "ml")
+	b2 := b.AddNode("b2", 8, "ml")
+	bridge := b.AddNode("bridge", 20)
+	b.AddEdge(a1, bridge, 0.4)
+	b.AddEdge(b1, bridge, 0.4)
+	b.AddEdge(a2, bridge, 0.5)
+	b.AddEdge(b2, bridge, 0.5)
+	b.AddEdge(a1, a2, 0.2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := g.SkillID("db")
+	ml, _ := g.SkillID("ml")
+	tm, err := team.FromPaths(g, bridge,
+		map[expertgraph.SkillID]expertgraph.NodeID{db: a1, ml: b1},
+		map[expertgraph.SkillID][]expertgraph.NodeID{
+			db: {bridge, a1},
+			ml: {bridge, b1},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tm
+}
+
+func TestReplaceHolder(t *testing.T) {
+	g, tm := replaceFixture(t)
+	p := fitOrDie(t, g, 0.6, 0.6)
+	db, _ := g.SkillID("db")
+	ml, _ := g.SkillID("ml")
+
+	// a1 (db holder) leaves; a2 is the only other db expert.
+	reps, err := ReplaceMember(p, tm, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) == 0 {
+		t.Fatal("no replacements")
+	}
+	best := reps[0]
+	if best.Candidate != 1 { // a2
+		t.Errorf("candidate = %d, want a2 (1)", best.Candidate)
+	}
+	if err := best.Team.Validate(g, []expertgraph.SkillID{db, ml}); err != nil {
+		t.Fatalf("repaired team invalid: %v", err)
+	}
+	// The leaver is gone.
+	for _, u := range best.Team.Nodes {
+		if u == 0 {
+			t.Error("leaver still on the repaired team")
+		}
+	}
+}
+
+func TestReplaceKeepsSurvivingAssignments(t *testing.T) {
+	g, tm := replaceFixture(t)
+	p := fitOrDie(t, g, 0.6, 0.6)
+	ml, _ := g.SkillID("ml")
+	reps, err := ReplaceMember(p, tm, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps[0].Team.Assignment[ml] != 2 { // b1 keeps ml
+		t.Errorf("surviving assignment changed: %v", reps[0].Team.Assignment)
+	}
+}
+
+func TestReplaceConnector(t *testing.T) {
+	g, tm := replaceFixture(t)
+	p := fitOrDie(t, g, 0.6, 0.6)
+	// The bridge (pure connector, also the root) leaves. The repair
+	// must re-route; a1–a2 keeps db reachable but ml's b1 becomes
+	// unreachable without the bridge → no valid repair exists.
+	_, err := ReplaceMember(p, tm, 4, 3)
+	if !errors.Is(err, ErrNoTeam) {
+		t.Errorf("err = %v, want ErrNoTeam (graph split without the bridge)", err)
+	}
+}
+
+func TestReplaceConnectorWithDetour(t *testing.T) {
+	// Same shape plus a detour edge so the connector is replaceable.
+	b := expertgraph.NewBuilder(4, 4)
+	h1 := b.AddNode("h1", 2, "db")
+	h2 := b.AddNode("h2", 3, "ml")
+	conn := b.AddNode("conn", 10)
+	detour := b.AddNode("detour", 30)
+	b.AddEdge(h1, conn, 0.4)
+	b.AddEdge(conn, h2, 0.4)
+	b.AddEdge(h1, detour, 0.5)
+	b.AddEdge(detour, h2, 0.5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := g.SkillID("db")
+	ml, _ := g.SkillID("ml")
+	tm, err := team.FromPaths(g, conn,
+		map[expertgraph.SkillID]expertgraph.NodeID{db: h1, ml: h2},
+		map[expertgraph.SkillID][]expertgraph.NodeID{
+			db: {conn, h1}, ml: {conn, h2},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fitOrDie(t, g, 0.6, 0.6)
+	reps, err := ReplaceMember(p, tm, conn, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired := reps[0].Team
+	if err := repaired.Validate(g, []expertgraph.SkillID{db, ml}); err != nil {
+		t.Fatalf("invalid repair: %v", err)
+	}
+	for _, u := range repaired.Nodes {
+		if u == conn {
+			t.Error("left connector still present")
+		}
+	}
+	// The detour node must now connect the team.
+	found := false
+	for _, u := range repaired.Nodes {
+		if u == detour {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("repair should route through the detour")
+	}
+}
+
+func TestReplaceErrors(t *testing.T) {
+	g, tm := replaceFixture(t)
+	p := fitOrDie(t, g, 0.6, 0.6)
+	if _, err := ReplaceMember(p, tm, 0, 0); !errors.Is(err, ErrBadK) {
+		t.Errorf("k=0: %v", err)
+	}
+	if _, err := ReplaceMember(p, tm, 3, 1); err == nil {
+		t.Error("replacing a non-member should fail")
+	}
+}
+
+func TestReplaceMultiSkillLeaver(t *testing.T) {
+	// The leaver holds both skills; the substitute must too.
+	b := expertgraph.NewBuilder(4, 3)
+	ace := b.AddNode("ace", 5, "db", "ml")
+	spare := b.AddNode("spare", 7, "db", "ml")
+	partial := b.AddNode("partial", 9, "db") // holds only one: not a candidate
+	hub := b.AddNode("hub", 12)
+	b.AddEdge(ace, hub, 0.3)
+	b.AddEdge(spare, hub, 0.3)
+	b.AddEdge(partial, hub, 0.3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := g.SkillID("db")
+	ml, _ := g.SkillID("ml")
+	tm, err := team.FromPaths(g, hub,
+		map[expertgraph.SkillID]expertgraph.NodeID{db: ace, ml: ace},
+		map[expertgraph.SkillID][]expertgraph.NodeID{
+			db: {hub, ace}, ml: {hub, ace},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fitOrDie(t, g, 0.6, 0.6)
+	reps, err := ReplaceMember(p, tm, ace, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reps {
+		if r.Candidate == partial {
+			t.Error("partial-skill expert recommended for a multi-skill leaver")
+		}
+	}
+	if reps[0].Candidate != spare {
+		t.Errorf("best = %d, want spare (%d)", reps[0].Candidate, spare)
+	}
+}
+
+func TestReplaceRankedByScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	g, project := randomSkillGraph(rng, 40, 60, 3, 3)
+	p := fitOrDie(t, g, 0.6, 0.6)
+	tm, err := NewDiscoverer(p, SACACC).BestTeam(project)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaver := tm.Holders()[0]
+	reps, err := ReplaceMember(p, tm, leaver, 10)
+	if errors.Is(err, ErrNoTeam) || errors.Is(err, ErrNoExpert) {
+		t.Skip("no feasible replacement on this instance")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(reps); i++ {
+		if reps[i].Score.SACACC < reps[i-1].Score.SACACC-1e-12 {
+			t.Error("replacements not sorted by score")
+		}
+	}
+	for _, r := range reps {
+		if err := r.Team.Validate(g, project); err != nil {
+			t.Errorf("candidate %d: invalid team: %v", r.Candidate, err)
+		}
+	}
+}

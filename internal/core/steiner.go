@@ -1,0 +1,305 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/team"
+)
+
+// Node-weighted Steiner tree solver in the Dreyfus–Wagner /
+// Erickson–Monma–Veinott style, used by the Exact baseline: given a
+// set of terminals (the chosen skill holders) it finds the tree
+// containing all of them that minimizes
+//
+//	Σ_{e ∈ tree} edgeCost(e)  +  Σ_{v ∈ tree, v ∉ terminals} nodeCost(v)
+//
+// which, with edgeCost = (1−λ)(1−γ)·w̄ and nodeCost = (1−λ)γ·ā', is the
+// connector-plus-communication part of the SA-CA-CC objective.
+//
+// The DP state S[X][v] is the cheapest tree spanning terminal subset X
+// plus node v, counting every cost except v's own node cost (so merges
+// at v never double-pay v). Transitions: merge two subtrees at v, or
+// grow the root from u to a neighbour v paying ĉ(u) + edgeCost(u,v).
+// Complexity O(3^t·n + 2^t·m log n) for t terminals.
+
+type steinerSolver struct {
+	g        *expertgraph.Graph
+	edgeCost func(u, v expertgraph.NodeID, w float64) float64
+	nodeCost []float64 // connector cost per node; terminals zeroed per solve
+}
+
+type steinerResult struct {
+	Cost  float64
+	Nodes []expertgraph.NodeID // all tree nodes, sorted
+	Edges []team.Edge          // tree edges with raw graph weights
+}
+
+const noPred = int32(-1)
+
+// solve computes the optimal node-weighted Steiner tree over the given
+// terminals. Terminals may contain duplicates; they are deduplicated.
+// A single terminal yields a zero-cost single-node tree. If the
+// terminals cannot all be connected, Cost is +Inf.
+func (s *steinerSolver) solve(terminals []expertgraph.NodeID) steinerResult {
+	return s.solveMasked(terminals, nil)
+}
+
+// solveMasked restricts the DP to allowed nodes (nil = all). The
+// caller must guarantee an optimal tree exists within the mask —
+// Exact derives masks from a proven upper bound, which keeps the
+// result exact while shrinking the per-subset Dijkstra dramatically.
+func (s *steinerSolver) solveMasked(terminals []expertgraph.NodeID, allowed []bool) steinerResult {
+	terms := dedupNodes(terminals)
+	t := len(terms)
+	n := s.g.NumNodes()
+	if t == 0 {
+		return steinerResult{}
+	}
+	if t == 1 {
+		return steinerResult{Cost: 0, Nodes: []expertgraph.NodeID{terms[0]}}
+	}
+
+	chat := make([]float64, n)
+	copy(chat, s.nodeCost)
+	for _, u := range terms {
+		chat[u] = 0
+	}
+
+	full := (1 << t) - 1
+	dist := make([][]float64, full+1)
+	growFrom := make([][]int32, full+1) // ≥0: grew from that node
+	mergeSub := make([][]int32, full+1) // >0: merged with that submask
+
+	for mask := 1; mask <= full; mask++ {
+		dist[mask] = make([]float64, n)
+		growFrom[mask] = make([]int32, n)
+		mergeSub[mask] = make([]int32, n)
+		for v := 0; v < n; v++ {
+			dist[mask][v] = math.Inf(1)
+			growFrom[mask][v] = noPred
+		}
+	}
+	for i, u := range terms {
+		dist[1<<i][u] = 0
+	}
+
+	h := &lazyHeap{}
+	h.ensure(n)
+	for mask := 1; mask <= full; mask++ {
+		// Merge step: combine complementary subsets at each node. Only
+		// submasks containing the lowest set bit are enumerated to
+		// visit each partition once.
+		low := mask & -mask
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			if sub&low == 0 {
+				continue
+			}
+			rest := mask ^ sub
+			if rest == 0 {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				if c := dist[sub][v] + dist[rest][v]; c < dist[mask][v] {
+					dist[mask][v] = c
+					mergeSub[mask][v] = int32(sub)
+					growFrom[mask][v] = noPred
+				}
+			}
+		}
+		// Grow step: Dijkstra over the whole node set, seeded with the
+		// merged values, paying ĉ(u) + edgeCost(u,v) per extension.
+		h.reset()
+		for v := 0; v < n; v++ {
+			if !math.IsInf(dist[mask][v], 1) {
+				h.push(expertgraph.NodeID(v), dist[mask][v])
+			}
+		}
+		for h.len() > 0 {
+			u, du := h.pop()
+			if du > dist[mask][u] {
+				continue // stale entry
+			}
+			s.g.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
+				if allowed != nil && !allowed[v] {
+					return true
+				}
+				if c := du + chat[u] + s.edgeCost(u, v, w); c < dist[mask][v] {
+					dist[mask][v] = c
+					growFrom[mask][v] = int32(u)
+					mergeSub[mask][v] = 0
+					h.push(v, c)
+				}
+				return true
+			})
+		}
+	}
+
+	// Pick the best root; a non-terminal root pays its own node cost.
+	bestV, bestCost := expertgraph.NodeID(-1), math.Inf(1)
+	for v := 0; v < n; v++ {
+		if c := dist[full][v] + chat[v]; c < bestCost {
+			bestCost, bestV = c, expertgraph.NodeID(v)
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		return steinerResult{Cost: math.Inf(1)}
+	}
+
+	// Traceback.
+	type state struct {
+		mask int
+		v    expertgraph.NodeID
+	}
+	nodeSet := map[expertgraph.NodeID]bool{}
+	type ekey struct{ u, v expertgraph.NodeID }
+	edgeSet := map[ekey]bool{}
+	stack := []state{{full, bestV}}
+	for len(stack) > 0 {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodeSet[st.v] = true
+		if u := growFrom[st.mask][st.v]; u != noPred {
+			a, b := expertgraph.NodeID(u), st.v
+			if a > b {
+				a, b = b, a
+			}
+			edgeSet[ekey{a, b}] = true
+			stack = append(stack, state{st.mask, expertgraph.NodeID(u)})
+			continue
+		}
+		if sub := mergeSub[st.mask][st.v]; sub > 0 {
+			stack = append(stack, state{int(sub), st.v}, state{st.mask ^ int(sub), st.v})
+		}
+		// Base case (singleton mask at its terminal): nothing to do.
+	}
+
+	res := steinerResult{Cost: bestCost}
+	for u := range nodeSet {
+		res.Nodes = append(res.Nodes, u)
+	}
+	sort.Slice(res.Nodes, func(i, j int) bool { return res.Nodes[i] < res.Nodes[j] })
+	for k := range edgeSet {
+		w, ok := s.g.EdgeWeight(k.u, k.v)
+		if !ok {
+			panic("core: steiner traceback produced a non-edge")
+		}
+		res.Edges = append(res.Edges, team.Edge{U: k.u, V: k.v, W: w})
+	}
+	sort.Slice(res.Edges, func(i, j int) bool {
+		if res.Edges[i].U != res.Edges[j].U {
+			return res.Edges[i].U < res.Edges[j].U
+		}
+		return res.Edges[i].V < res.Edges[j].V
+	})
+	return res
+}
+
+func dedupNodes(in []expertgraph.NodeID) []expertgraph.NodeID {
+	out := append([]expertgraph.NodeID(nil), in...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	k := 0
+	for i, u := range out {
+		if i == 0 || u != out[i-1] {
+			out[k] = u
+			k++
+		}
+	}
+	return out[:k]
+}
+
+// lazyHeap is a position-indexed binary min-heap with decrease-key —
+// each node appears at most once, so the Dijkstra inside the DP never
+// processes stale entries (the heap dominated the Exact profile with
+// lazy deletion).
+type lazyHeap struct {
+	ids  []expertgraph.NodeID
+	prio []float64
+	pos  []int32 // node -> heap slot, -1 when absent
+}
+
+func (h *lazyHeap) ensure(n int) {
+	if len(h.pos) < n {
+		h.pos = make([]int32, n)
+		for i := range h.pos {
+			h.pos[i] = -1
+		}
+	}
+}
+
+func (h *lazyHeap) reset() {
+	for _, u := range h.ids {
+		h.pos[u] = -1
+	}
+	h.ids = h.ids[:0]
+	h.prio = h.prio[:0]
+}
+
+func (h *lazyHeap) len() int { return len(h.ids) }
+
+// push inserts u or lowers its priority; higher priorities are ignored.
+func (h *lazyHeap) push(u expertgraph.NodeID, p float64) {
+	if i := h.pos[u]; i >= 0 {
+		if h.prio[i] <= p {
+			return
+		}
+		h.prio[i] = p
+		h.up(int(i))
+		return
+	}
+	h.ids = append(h.ids, u)
+	h.prio = append(h.prio, p)
+	h.pos[u] = int32(len(h.ids) - 1)
+	h.up(len(h.ids) - 1)
+}
+
+func (h *lazyHeap) pop() (expertgraph.NodeID, float64) {
+	top, p := h.ids[0], h.prio[0]
+	last := len(h.ids) - 1
+	h.swap(0, last)
+	h.ids = h.ids[:last]
+	h.prio = h.prio[:last]
+	h.pos[top] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return top, p
+}
+
+func (h *lazyHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[parent] <= h.prio[i] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *lazyHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.prio[l] < h.prio[smallest] {
+			smallest = l
+		}
+		if r < n && h.prio[r] < h.prio[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *lazyHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+	h.pos[h.ids[i]] = int32(i)
+	h.pos[h.ids[j]] = int32(j)
+}

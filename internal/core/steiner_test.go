@@ -1,0 +1,380 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"authteam/internal/expertgraph"
+)
+
+// identitySolver builds a solver whose edge cost is the stored weight
+// and whose node cost is the given per-node slice.
+func identitySolver(g *expertgraph.Graph, nodeCost []float64) *steinerSolver {
+	if nodeCost == nil {
+		nodeCost = make([]float64, g.NumNodes())
+	}
+	return &steinerSolver{
+		g:        g,
+		edgeCost: func(u, v expertgraph.NodeID, w float64) float64 { return w },
+		nodeCost: nodeCost,
+	}
+}
+
+func pathGraph(t *testing.T, n int, w float64) *expertgraph.Graph {
+	t.Helper()
+	b := expertgraph.NewBuilder(n, n-1)
+	for i := 0; i < n; i++ {
+		b.AddNode("", 1)
+	}
+	for i := 1; i < n; i++ {
+		b.AddEdge(expertgraph.NodeID(i-1), expertgraph.NodeID(i), w)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSteinerSingleTerminal(t *testing.T) {
+	g := pathGraph(t, 5, 1)
+	res := identitySolver(g, nil).solve([]expertgraph.NodeID{3})
+	if res.Cost != 0 {
+		t.Errorf("Cost = %v, want 0", res.Cost)
+	}
+	if len(res.Nodes) != 1 || res.Nodes[0] != 3 {
+		t.Errorf("Nodes = %v, want [3]", res.Nodes)
+	}
+	if len(res.Edges) != 0 {
+		t.Errorf("Edges = %v, want none", res.Edges)
+	}
+}
+
+func TestSteinerTwoTerminalsIsShortestPath(t *testing.T) {
+	g := pathGraph(t, 6, 2)
+	res := identitySolver(g, nil).solve([]expertgraph.NodeID{1, 4})
+	if res.Cost != 6 { // 3 edges × 2
+		t.Errorf("Cost = %v, want 6", res.Cost)
+	}
+	if len(res.Edges) != 3 {
+		t.Errorf("Edges = %d, want 3", len(res.Edges))
+	}
+	if len(res.Nodes) != 4 {
+		t.Errorf("Nodes = %v, want 4 nodes", res.Nodes)
+	}
+}
+
+func TestSteinerNodeCosts(t *testing.T) {
+	// Two routes between terminals 0 and 2: direct edge cost 5, or via
+	// node 1 with edges 1+1 but node cost c(1). The solver must switch
+	// routes as c(1) crosses 3.
+	build := func(c1 float64) (*steinerSolver, *expertgraph.Graph) {
+		b := expertgraph.NewBuilder(3, 3)
+		b.AddNode("t0", 1)
+		b.AddNode("mid", 1)
+		b.AddNode("t2", 1)
+		b.AddEdge(0, 2, 5)
+		b.AddEdge(0, 1, 1)
+		b.AddEdge(1, 2, 1)
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return identitySolver(g, []float64{0, c1, 0}), g
+	}
+	s, _ := build(1) // via mid: 1+1+1 = 3 < 5
+	if res := s.solve([]expertgraph.NodeID{0, 2}); math.Abs(res.Cost-3) > 1e-12 {
+		t.Errorf("cheap mid: Cost = %v, want 3", res.Cost)
+	}
+	s, _ = build(10) // via mid: 12 > 5 → direct
+	res := s.solve([]expertgraph.NodeID{0, 2})
+	if math.Abs(res.Cost-5) > 1e-12 {
+		t.Errorf("expensive mid: Cost = %v, want 5", res.Cost)
+	}
+	if len(res.Nodes) != 2 {
+		t.Errorf("expensive mid should avoid node 1: %v", res.Nodes)
+	}
+}
+
+func TestSteinerTerminalNodeCostIgnored(t *testing.T) {
+	// Terminals never pay their own node cost.
+	g := pathGraph(t, 3, 1)
+	costs := []float64{100, 0.5, 100}
+	res := identitySolver(g, costs).solve([]expertgraph.NodeID{0, 2})
+	want := 2 + 0.5 // two edges plus the middle Steiner node
+	if math.Abs(res.Cost-want) > 1e-12 {
+		t.Errorf("Cost = %v, want %v", res.Cost, want)
+	}
+}
+
+func TestSteinerStarMerge(t *testing.T) {
+	// Three terminals around a hub: the optimal tree is the star, and
+	// reaching it requires the DP's merge step.
+	b := expertgraph.NewBuilder(4, 3)
+	hub := b.AddNode("hub", 1)
+	t0 := b.AddNode("t0", 1)
+	t1 := b.AddNode("t1", 1)
+	t2 := b.AddNode("t2", 1)
+	b.AddEdge(hub, t0, 1)
+	b.AddEdge(hub, t1, 1)
+	b.AddEdge(hub, t2, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := make([]float64, 4)
+	costs[hub] = 0.25
+	res := identitySolver(g, costs).solve([]expertgraph.NodeID{t0, t1, t2})
+	if math.Abs(res.Cost-3.25) > 1e-12 {
+		t.Errorf("Cost = %v, want 3.25", res.Cost)
+	}
+	if len(res.Edges) != 3 || len(res.Nodes) != 4 {
+		t.Errorf("tree shape: %d edges %d nodes, want 3/4", len(res.Edges), len(res.Nodes))
+	}
+}
+
+func TestSteinerDisconnected(t *testing.T) {
+	b := expertgraph.NewBuilder(4, 2)
+	for i := 0; i < 4; i++ {
+		b.AddNode("", 1)
+	}
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := identitySolver(g, nil).solve([]expertgraph.NodeID{0, 3})
+	if !math.IsInf(res.Cost, 1) {
+		t.Errorf("Cost = %v, want +Inf", res.Cost)
+	}
+}
+
+func TestSteinerDuplicateTerminals(t *testing.T) {
+	g := pathGraph(t, 4, 1)
+	res := identitySolver(g, nil).solve([]expertgraph.NodeID{2, 2, 2})
+	if res.Cost != 0 || len(res.Nodes) != 1 {
+		t.Errorf("duplicates should collapse: %+v", res)
+	}
+}
+
+// bruteForceSteiner enumerates every node subset containing the
+// terminals, checks connectivity and computes MST + node costs — an
+// independent O(2^n) reference.
+func bruteForceSteiner(g *expertgraph.Graph, nodeCost []float64,
+	terminals []expertgraph.NodeID) float64 {
+
+	terms := dedupNodes(terminals)
+	n := g.NumNodes()
+	isTerm := make([]bool, n)
+	for _, u := range terms {
+		isTerm[u] = true
+	}
+	best := math.Inf(1)
+	for mask := 0; mask < (1 << n); mask++ {
+		ok := true
+		for _, u := range terms {
+			if mask&(1<<u) == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		cost, connected := mstCost(g, mask)
+		if !connected {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 && !isTerm[v] {
+				cost += nodeCost[v]
+			}
+		}
+		if cost < best {
+			best = cost
+		}
+	}
+	return best
+}
+
+// mstCost computes the MST weight of the induced subgraph on the mask's
+// nodes via Prim, reporting whether the subgraph is connected.
+func mstCost(g *expertgraph.Graph, mask int) (float64, bool) {
+	var nodes []expertgraph.NodeID
+	for v := 0; v < g.NumNodes(); v++ {
+		if mask&(1<<v) != 0 {
+			nodes = append(nodes, expertgraph.NodeID(v))
+		}
+	}
+	if len(nodes) == 0 {
+		return 0, false
+	}
+	if len(nodes) == 1 {
+		return 0, true
+	}
+	in := map[expertgraph.NodeID]bool{nodes[0]: true}
+	total := 0.0
+	for len(in) < len(nodes) {
+		bestW := math.Inf(1)
+		var bestV expertgraph.NodeID
+		found := false
+		for u := range in {
+			g.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
+				if mask&(1<<v) != 0 && !in[v] && w < bestW {
+					bestW, bestV, found = w, v, true
+				}
+				return true
+			})
+		}
+		if !found {
+			return 0, false
+		}
+		in[bestV] = true
+		total += bestW
+	}
+	return total, true
+}
+
+func TestSteinerMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6) // ≤ 9 nodes keeps 2^n enumeration instant
+		b := expertgraph.NewBuilder(n, 2*n)
+		for i := 0; i < n; i++ {
+			b.AddNode("", 1)
+		}
+		type pair struct{ u, v expertgraph.NodeID }
+		seen := map[pair]bool{}
+		add := func(u, v expertgraph.NodeID) {
+			if u == v {
+				return
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[pair{u, v}] {
+				return
+			}
+			seen[pair{u, v}] = true
+			b.AddEdge(u, v, 0.1+rng.Float64())
+		}
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			add(expertgraph.NodeID(perm[i-1]), expertgraph.NodeID(perm[i]))
+		}
+		for i := 0; i < n; i++ {
+			add(expertgraph.NodeID(rng.Intn(n)), expertgraph.NodeID(rng.Intn(n)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		nodeCost := make([]float64, n)
+		for i := range nodeCost {
+			nodeCost[i] = rng.Float64()
+		}
+		nterm := 1 + rng.Intn(3)
+		terms := make([]expertgraph.NodeID, nterm)
+		for i := range terms {
+			terms[i] = expertgraph.NodeID(rng.Intn(n))
+		}
+		got := identitySolver(g, nodeCost).solve(terms).Cost
+		want := bruteForceSteiner(g, nodeCost, terms)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSteinerTreeIsRealizable checks that the traceback produces a
+// connected tree whose recomputed cost matches the reported cost.
+func TestSteinerTreeIsRealizable(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(12)
+		b := expertgraph.NewBuilder(n, 3*n)
+		for i := 0; i < n; i++ {
+			b.AddNode("", 1)
+		}
+		type pair struct{ u, v expertgraph.NodeID }
+		seen := map[pair]bool{}
+		add := func(u, v expertgraph.NodeID) {
+			if u == v {
+				return
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[pair{u, v}] {
+				return
+			}
+			seen[pair{u, v}] = true
+			b.AddEdge(u, v, 0.1+rng.Float64())
+		}
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			add(expertgraph.NodeID(perm[i-1]), expertgraph.NodeID(perm[i]))
+		}
+		for i := 0; i < 2*n; i++ {
+			add(expertgraph.NodeID(rng.Intn(n)), expertgraph.NodeID(rng.Intn(n)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodeCost := make([]float64, n)
+		for i := range nodeCost {
+			nodeCost[i] = rng.Float64() * 0.5
+		}
+		terms := []expertgraph.NodeID{
+			expertgraph.NodeID(rng.Intn(n)),
+			expertgraph.NodeID(rng.Intn(n)),
+			expertgraph.NodeID(rng.Intn(n)),
+		}
+		s := identitySolver(g, nodeCost)
+		res := s.solve(terms)
+
+		// Recompute cost from the returned tree.
+		isTerm := map[expertgraph.NodeID]bool{}
+		for _, u := range dedupNodes(terms) {
+			isTerm[u] = true
+		}
+		recomputed := 0.0
+		for _, e := range res.Edges {
+			recomputed += e.W
+		}
+		for _, u := range res.Nodes {
+			if !isTerm[u] {
+				recomputed += nodeCost[u]
+			}
+		}
+		if math.Abs(recomputed-res.Cost) > 1e-9 {
+			t.Fatalf("trial %d: traceback cost %v != reported %v", trial, recomputed, res.Cost)
+		}
+		// Tree shape: |edges| = |nodes| - 1 and connected.
+		if len(res.Edges) != len(res.Nodes)-1 {
+			t.Fatalf("trial %d: %d edges for %d nodes", trial, len(res.Edges), len(res.Nodes))
+		}
+	}
+}
+
+func TestDedupNodes(t *testing.T) {
+	in := []expertgraph.NodeID{3, 1, 3, 2, 1}
+	out := dedupNodes(in)
+	want := []expertgraph.NodeID{1, 2, 3}
+	if len(out) != 3 {
+		t.Fatalf("dedup = %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("dedup = %v, want %v", out, want)
+		}
+	}
+	if dedupNodes(nil) == nil != true {
+		t.Error("dedup(nil) should be empty")
+	}
+}

@@ -1,0 +1,239 @@
+// Package dblp implements the dataset substrate of the paper's
+// evaluation (§4): a bibliographic corpus of authors, papers and
+// venues, the derivation of the expert network from it (h-index node
+// weights, Jaccard edge weights, title-term skills for junior
+// researchers), a calibrated synthetic corpus generator for offline
+// use, and a streaming parser for the real dblp.xml dump.
+package dblp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AuthorID indexes Corpus.Authors.
+type AuthorID int32
+
+// PaperID indexes Corpus.Papers.
+type PaperID int32
+
+// VenueID indexes Corpus.Venues.
+type VenueID int32
+
+// Author is one researcher.
+type Author struct {
+	Name   string
+	Papers []PaperID // sorted ascending
+}
+
+// Paper is one publication.
+type Paper struct {
+	Title     string
+	Year      int
+	Venue     VenueID
+	Authors   []AuthorID
+	Citations int
+}
+
+// Venue is a publication venue with a quality rating in [1, 5]
+// standing in for the Microsoft Academic conference ranking used by
+// §4.3 of the paper.
+type Venue struct {
+	Name   string
+	Rating float64
+}
+
+// Corpus is an immutable bibliography. Build one with a Builder, the
+// synthetic generator, or the XML parser.
+type Corpus struct {
+	Authors []Author
+	Papers  []Paper
+	Venues  []Venue
+}
+
+// NumAuthors returns the number of authors.
+func (c *Corpus) NumAuthors() int { return len(c.Authors) }
+
+// NumPapers returns the number of papers.
+func (c *Corpus) NumPapers() int { return len(c.Papers) }
+
+// PaperCount returns the number of papers by author a.
+func (c *Corpus) PaperCount(a AuthorID) int { return len(c.Authors[a].Papers) }
+
+// HIndex computes the h-index of author a: the largest h such that at
+// least h of the author's papers have at least h citations each.
+func (c *Corpus) HIndex(a AuthorID) int {
+	cites := make([]int, 0, len(c.Authors[a].Papers))
+	for _, p := range c.Authors[a].Papers {
+		cites = append(cites, c.Papers[p].Citations)
+	}
+	return HIndexOf(cites)
+}
+
+// HIndexOf computes the h-index of a citation multiset.
+func HIndexOf(citations []int) int {
+	sorted := append([]int(nil), citations...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	h := 0
+	for i, cites := range sorted {
+		if cites >= i+1 {
+			h = i + 1
+		} else {
+			break
+		}
+	}
+	return h
+}
+
+// Jaccard returns the Jaccard similarity |A∩B| / |A∪B| between the
+// paper sets of two authors (0 when both are empty). The paper sets
+// must be sorted, which Builder guarantees.
+func (c *Corpus) Jaccard(a, b AuthorID) float64 {
+	pa, pb := c.Authors[a].Papers, c.Authors[b].Papers
+	if len(pa) == 0 && len(pb) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(pa) && j < len(pb) {
+		switch {
+		case pa[i] == pb[j]:
+			inter++
+			i++
+			j++
+		case pa[i] < pb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(pa) + len(pb) - inter
+	return float64(inter) / float64(union)
+}
+
+// CoauthorWeight returns the paper's edge weight between two authors:
+// 1 − Jaccard(papers(a), papers(b)), so frequent collaborators are
+// "close" (§4: "we set edge weights ... to 1 − |bi∩bj| / |bi∪bj|").
+func (c *Corpus) CoauthorWeight(a, b AuthorID) float64 {
+	return 1 - c.Jaccard(a, b)
+}
+
+// TitleTerms tokenizes a paper title into lowercase terms, dropping
+// stop words and short tokens. Multi-word phrases the paper uses as
+// skills (e.g. "object oriented") are kept together when adjacent.
+func TitleTerms(title string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(title), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z') && !(r >= '0' && r <= '9') && r != '-'
+	})
+	var out []string
+	for i := 0; i < len(fields); i++ {
+		tok := fields[i]
+		// Join known two-word phrases into one term.
+		if i+1 < len(fields) {
+			if phrase := tok + " " + fields[i+1]; phraseTerms[phrase] {
+				out = append(out, phrase)
+				i++
+				continue
+			}
+		}
+		if len(tok) < 3 || stopWords[tok] {
+			continue
+		}
+		out = append(out, tok)
+	}
+	return out
+}
+
+// phraseTerms are multi-word skills that must survive tokenization
+// (the Fig. 6 project uses "object oriented").
+var phraseTerms = map[string]bool{
+	"object oriented":  true,
+	"social networks":  true,
+	"text mining":      true,
+	"machine learning": true,
+	"data mining":      true,
+}
+
+var stopWords = map[string]bool{
+	"the": true, "and": true, "for": true, "with": true, "from": true,
+	"using": true, "towards": true, "toward": true, "via": true,
+	"based": true, "approach": true, "study": true, "analysis": true,
+	"new": true, "novel": true, "efficient": true, "effective": true,
+	"its": true, "are": true, "can": true, "into": true, "over": true,
+}
+
+// Builder assembles a Corpus incrementally; used by the generator and
+// the XML parser. Authors are interned by name.
+type Builder struct {
+	corpus    Corpus
+	authorIDs map[string]AuthorID
+	venueIDs  map[string]VenueID
+}
+
+// NewBuilder returns an empty corpus builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		authorIDs: make(map[string]AuthorID),
+		venueIDs:  make(map[string]VenueID),
+	}
+}
+
+// Author interns an author by name.
+func (b *Builder) Author(name string) AuthorID {
+	if id, ok := b.authorIDs[name]; ok {
+		return id
+	}
+	id := AuthorID(len(b.corpus.Authors))
+	b.corpus.Authors = append(b.corpus.Authors, Author{Name: name})
+	b.authorIDs[name] = id
+	return id
+}
+
+// Venue interns a venue by name with the given rating; the rating of
+// an existing venue is left unchanged.
+func (b *Builder) Venue(name string, rating float64) VenueID {
+	if id, ok := b.venueIDs[name]; ok {
+		return id
+	}
+	id := VenueID(len(b.corpus.Venues))
+	b.corpus.Venues = append(b.corpus.Venues, Venue{Name: name, Rating: rating})
+	b.venueIDs[name] = id
+	return id
+}
+
+// AddPaper records a paper and links it to its authors. Duplicate
+// authors on one paper are collapsed.
+func (b *Builder) AddPaper(title string, year int, venue VenueID,
+	citations int, authors ...AuthorID) PaperID {
+
+	pid := PaperID(len(b.corpus.Papers))
+	seen := make(map[AuthorID]bool, len(authors))
+	var uniq []AuthorID
+	for _, a := range authors {
+		if !seen[a] {
+			seen[a] = true
+			uniq = append(uniq, a)
+			b.corpus.Authors[a].Papers = append(b.corpus.Authors[a].Papers, pid)
+		}
+	}
+	b.corpus.Papers = append(b.corpus.Papers, Paper{
+		Title: title, Year: year, Venue: venue,
+		Authors: uniq, Citations: citations,
+	})
+	return pid
+}
+
+// Build freezes the corpus. Paper lists are appended in increasing
+// PaperID order, so they are already sorted.
+func (b *Builder) Build() *Corpus {
+	c := b.corpus
+	b.corpus = Corpus{}
+	return &c
+}
+
+// String summarizes the corpus.
+func (c *Corpus) String() string {
+	return fmt.Sprintf("dblp{authors: %d, papers: %d, venues: %d}",
+		len(c.Authors), len(c.Papers), len(c.Venues))
+}

@@ -1,0 +1,211 @@
+package dblp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHIndexOf(t *testing.T) {
+	cases := []struct {
+		name  string
+		cites []int
+		want  int
+	}{
+		{"empty", nil, 0},
+		{"zeros", []int{0, 0, 0}, 0},
+		{"single cited", []int{5}, 1},
+		{"classic", []int{10, 8, 5, 4, 3}, 4},
+		{"uniform", []int{3, 3, 3, 3, 3}, 3},
+		{"heavy tail", []int{100, 1, 1, 1}, 1},
+		{"exact diagonal", []int{4, 3, 2, 1}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := HIndexOf(c.cites); got != c.want {
+				t.Errorf("HIndexOf(%v) = %d, want %d", c.cites, got, c.want)
+			}
+		})
+	}
+}
+
+func TestHIndexProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		cites := make([]int, len(raw))
+		for i, r := range raw {
+			cites[i] = int(r)
+		}
+		h := HIndexOf(cites)
+		// 0 ≤ h ≤ len and h ≤ max citation.
+		if h < 0 || h > len(cites) {
+			return false
+		}
+		maxC := 0
+		for _, c := range cites {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		return h <= maxC || (h == 0 && maxC == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHIndexDoesNotMutate(t *testing.T) {
+	in := []int{1, 5, 2}
+	HIndexOf(in)
+	if in[0] != 1 || in[1] != 5 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func buildTinyCorpus(t *testing.T) (*Corpus, []AuthorID) {
+	t.Helper()
+	b := NewBuilder()
+	alice := b.Author("Alice")
+	bob := b.Author("Bob")
+	carol := b.Author("Carol")
+	v := b.Venue("VLDB", 5)
+	b.AddPaper("Query Optimization in Databases", 2010, v, 50, alice, bob)
+	b.AddPaper("Indexing for Query Processing", 2012, v, 30, alice, bob)
+	b.AddPaper("Databases and Query Languages", 2013, v, 10, alice)
+	b.AddPaper("Social Networks Influence", 2014, v, 5, carol)
+	return b.Build(), []AuthorID{alice, bob, carol}
+}
+
+func TestBuilderInterning(t *testing.T) {
+	b := NewBuilder()
+	a1 := b.Author("X")
+	a2 := b.Author("X")
+	if a1 != a2 {
+		t.Error("same name should intern to one AuthorID")
+	}
+	v1 := b.Venue("KDD", 5)
+	v2 := b.Venue("KDD", 1) // rating of existing venue unchanged
+	if v1 != v2 {
+		t.Error("same venue should intern to one VenueID")
+	}
+	c := b.Build()
+	if c.Venues[v1].Rating != 5 {
+		t.Errorf("rating = %v, want first-write 5", c.Venues[v1].Rating)
+	}
+}
+
+func TestAddPaperDeduplicatesAuthors(t *testing.T) {
+	b := NewBuilder()
+	a := b.Author("A")
+	v := b.Venue("V", 1)
+	p := b.AddPaper("Self Collaboration", 2010, v, 0, a, a, a)
+	c := b.Build()
+	if len(c.Papers[p].Authors) != 1 {
+		t.Errorf("authors = %v, want deduplicated single entry", c.Papers[p].Authors)
+	}
+	if c.PaperCount(a) != 1 {
+		t.Errorf("paper count = %d, want 1", c.PaperCount(a))
+	}
+}
+
+func TestCorpusHIndex(t *testing.T) {
+	c, ids := buildTinyCorpus(t)
+	// Alice: citations 50, 30, 10 → h = 3.
+	if got := c.HIndex(ids[0]); got != 3 {
+		t.Errorf("Alice h-index = %d, want 3", got)
+	}
+	// Bob: 50, 30 → h = 2. Carol: 5 → h = 1.
+	if got := c.HIndex(ids[1]); got != 2 {
+		t.Errorf("Bob h-index = %d, want 2", got)
+	}
+	if got := c.HIndex(ids[2]); got != 1 {
+		t.Errorf("Carol h-index = %d, want 1", got)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	c, ids := buildTinyCorpus(t)
+	// Alice has papers {0,1,2}, Bob {0,1}: J = 2/3.
+	if got := c.Jaccard(ids[0], ids[1]); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Jaccard = %v, want 2/3", got)
+	}
+	// Alice vs Carol: disjoint → 0.
+	if got := c.Jaccard(ids[0], ids[2]); got != 0 {
+		t.Errorf("disjoint Jaccard = %v, want 0", got)
+	}
+	// Self similarity is 1.
+	if got := c.Jaccard(ids[0], ids[0]); got != 1 {
+		t.Errorf("self Jaccard = %v, want 1", got)
+	}
+	// Edge weight is the complement.
+	if got := c.CoauthorWeight(ids[0], ids[1]); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("CoauthorWeight = %v, want 1/3", got)
+	}
+}
+
+func TestJaccardSymmetryProperty(t *testing.T) {
+	c, ids := buildTinyCorpus(t)
+	for _, a := range ids {
+		for _, b := range ids {
+			if c.Jaccard(a, b) != c.Jaccard(b, a) {
+				t.Errorf("Jaccard(%d,%d) not symmetric", a, b)
+			}
+		}
+	}
+}
+
+func TestTitleTerms(t *testing.T) {
+	cases := []struct {
+		title string
+		want  []string
+	}{
+		{"Query Optimization in Databases", []string{"query", "optimization", "databases"}},
+		{"The Analysis of New Data", []string{"data"}}, // stop words dropped
+		{"Object Oriented Design Patterns", []string{"object oriented", "design", "patterns"}},
+		{"Social Networks and Text Mining", []string{"social networks", "text mining"}},
+		{"", nil},
+		{"A An Of", nil}, // all too short / stopwords
+	}
+	for _, c := range cases {
+		got := TitleTerms(c.title)
+		if len(got) != len(c.want) {
+			t.Errorf("TitleTerms(%q) = %v, want %v", c.title, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("TitleTerms(%q) = %v, want %v", c.title, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestSkillsOf(t *testing.T) {
+	c, ids := buildTinyCorpus(t)
+	// Alice: "query" appears in 3 titles, "databases" in 2,
+	// "indexing"/"optimization"/"processing"/"languages" once each.
+	skills := c.SkillsOf(ids[0], 2)
+	want := []string{"databases", "query"}
+	if len(skills) != len(want) {
+		t.Fatalf("SkillsOf = %v, want %v", skills, want)
+	}
+	for i := range want {
+		if skills[i] != want[i] {
+			t.Fatalf("SkillsOf = %v, want %v", skills, want)
+		}
+	}
+	// With support 1 Carol gets her single-paper terms too.
+	if got := c.SkillsOf(ids[2], 1); len(got) != 2 { // "social networks", "influence"
+		t.Errorf("SkillsOf(carol, 1) = %v, want 2 terms", got)
+	}
+	if got := c.SkillsOf(ids[2], 2); len(got) != 0 {
+		t.Errorf("SkillsOf(carol, 2) = %v, want none", got)
+	}
+}
+
+func TestCorpusString(t *testing.T) {
+	c, _ := buildTinyCorpus(t)
+	if c.String() != "dblp{authors: 3, papers: 4, venues: 1}" {
+		t.Errorf("String = %q", c.String())
+	}
+}

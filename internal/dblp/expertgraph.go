@@ -1,0 +1,119 @@
+package dblp
+
+import (
+	"fmt"
+	"sort"
+
+	"authteam/internal/expertgraph"
+)
+
+// Expert network derivation (§4 of the paper): nodes are authors with
+// h-index authority, edges connect coauthors with Jaccard-distance
+// weights, and junior researchers (< 10 papers) are labelled with
+// skills — title terms occurring in at least two of their papers.
+
+// GraphOptions controls the corpus → expert network conversion.
+type GraphOptions struct {
+	// JuniorMaxPapers: authors with strictly fewer papers are the
+	// potential skill holders (paper: "junior researchers with fewer
+	// than 10 papers"). 0 means 10.
+	JuniorMaxPapers int
+	// MinTermSupport: a term becomes a skill when it occurs in at
+	// least this many of the author's titles (paper: "terms that occur
+	// in at least two of their paper titles"). 0 means 2.
+	MinTermSupport int
+	// LargestComponent restricts the graph to its largest connected
+	// component, the usual setup for team formation on DBLP.
+	LargestComponent bool
+}
+
+func (o GraphOptions) withDefaults() GraphOptions {
+	if o.JuniorMaxPapers == 0 {
+		o.JuniorMaxPapers = 10
+	}
+	if o.MinTermSupport == 0 {
+		o.MinTermSupport = 2
+	}
+	return o
+}
+
+// BuildGraph derives the expert network from the corpus. The returned
+// mapping translates graph NodeIDs back to corpus AuthorIDs (identity
+// when LargestComponent is off).
+func BuildGraph(c *Corpus, opt GraphOptions) (*expertgraph.Graph, []AuthorID, error) {
+	opt = opt.withDefaults()
+	b := expertgraph.NewBuilder(c.NumAuthors(), c.NumPapers()*3)
+
+	for a := range c.Authors {
+		aid := AuthorID(a)
+		id := b.AddNode(c.Authors[a].Name, float64(c.HIndex(aid)))
+		b.SetPubs(id, c.PaperCount(aid))
+		if c.PaperCount(aid) < opt.JuniorMaxPapers {
+			for _, skill := range c.SkillsOf(aid, opt.MinTermSupport) {
+				b.AddSkillTo(id, skill)
+			}
+		}
+	}
+
+	// Coauthor edges, deduplicated across papers.
+	type pair struct{ u, v AuthorID }
+	seen := make(map[pair]bool)
+	for _, p := range c.Papers {
+		for i := 0; i < len(p.Authors); i++ {
+			for j := i + 1; j < len(p.Authors); j++ {
+				u, v := p.Authors[i], p.Authors[j]
+				if u > v {
+					u, v = v, u
+				}
+				if seen[pair{u, v}] {
+					continue
+				}
+				seen[pair{u, v}] = true
+				b.AddEdge(expertgraph.NodeID(u), expertgraph.NodeID(v), c.CoauthorWeight(u, v))
+			}
+		}
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("dblp: graph build: %w", err)
+	}
+	mapping := make([]AuthorID, c.NumAuthors())
+	for i := range mapping {
+		mapping[i] = AuthorID(i)
+	}
+	if opt.LargestComponent {
+		keep := expertgraph.LargestComponent(g)
+		sub, newToOld := expertgraph.Subgraph(g, keep)
+		mapping = make([]AuthorID, len(newToOld))
+		for i, old := range newToOld {
+			mapping[i] = AuthorID(old)
+		}
+		g = sub
+	}
+	return g, mapping, nil
+}
+
+// SkillsOf extracts the skills of one author: title terms that occur
+// in at least minSupport of their papers.
+func (c *Corpus) SkillsOf(a AuthorID, minSupport int) []string {
+	counts := make(map[string]int)
+	for _, p := range c.Authors[a].Papers {
+		// Count each term once per paper.
+		inPaper := make(map[string]bool)
+		for _, term := range TitleTerms(c.Papers[p].Title) {
+			inPaper[term] = true
+		}
+		for term := range inPaper {
+			counts[term]++
+		}
+	}
+	var skills []string
+	for term, n := range counts {
+		if n >= minSupport {
+			skills = append(skills, term)
+		}
+	}
+	sort.Strings(skills)
+	return skills
+}

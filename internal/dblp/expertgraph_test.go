@@ -1,0 +1,154 @@
+package dblp
+
+import (
+	"math"
+	"testing"
+
+	"authteam/internal/expertgraph"
+)
+
+// juniorSeniorCorpus: a junior (2 papers, repeat terms) coauthoring
+// with a prolific senior (12 papers).
+func juniorSeniorCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	b := NewBuilder()
+	junior := b.Author("Junior")
+	senior := b.Author("Senior")
+	v := b.Venue("V", 3)
+	b.AddPaper("Clustering Patterns in Graphs", 2012, v, 3, junior, senior)
+	b.AddPaper("Graphs Clustering at Scale", 2013, v, 2, junior)
+	for i := 0; i < 10; i++ {
+		b.AddPaper("Spectral Methods Volume", 2000+i, v, 40+i, senior)
+	}
+	return b.Build()
+}
+
+func TestBuildGraphSkillsOnlyForJuniors(t *testing.T) {
+	c := juniorSeniorCorpus(t)
+	g, mapping, err := BuildGraph(c, GraphOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 {
+		t.Fatalf("nodes = %d, want 2", g.NumNodes())
+	}
+	var jr, sr expertgraph.NodeID = -1, -1
+	for u := expertgraph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		switch c.Authors[mapping[u]].Name {
+		case "Junior":
+			jr = u
+		case "Senior":
+			sr = u
+		}
+	}
+	// Junior repeats "clustering" and "graphs" across both titles.
+	if len(g.Skills(jr)) != 2 {
+		t.Errorf("junior skills = %d, want 2", len(g.Skills(jr)))
+	}
+	// Senior has 12 papers (≥ 10): no skills even though terms repeat.
+	if len(g.Skills(sr)) != 0 {
+		t.Errorf("senior skills = %v, want none", g.Skills(sr))
+	}
+}
+
+func TestBuildGraphAuthorityAndWeights(t *testing.T) {
+	c := juniorSeniorCorpus(t)
+	g, mapping, err := BuildGraph(c, GraphOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr, sr expertgraph.NodeID
+	for u := expertgraph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		if c.Authors[mapping[u]].Name == "Junior" {
+			jr = u
+		} else {
+			sr = u
+		}
+	}
+	// Authority = h-index (floored at 1).
+	if got := g.Authority(sr); got != float64(c.HIndex(mapping[sr])) {
+		t.Errorf("senior authority = %v, want h-index %d", got, c.HIndex(mapping[sr]))
+	}
+	// Pubs recorded.
+	if g.Pubs(sr) != 11 {
+		t.Errorf("senior pubs = %d, want 11", g.Pubs(sr))
+	}
+	// Edge weight = 1 − Jaccard: shared 1 of 12 distinct papers.
+	w, ok := g.EdgeWeight(jr, sr)
+	if !ok {
+		t.Fatal("coauthor edge missing")
+	}
+	wantJ := 1.0 / 12
+	if math.Abs(w-(1-wantJ)) > 1e-12 {
+		t.Errorf("edge weight = %v, want %v", w, 1-wantJ)
+	}
+}
+
+func TestBuildGraphDefaults(t *testing.T) {
+	// MinTermSupport default is 2: single-occurrence terms are not
+	// skills; JuniorMaxPapers default is 10.
+	b := NewBuilder()
+	a := b.Author("OneHit")
+	v := b.Venue("V", 1)
+	b.AddPaper("Unique Wording Here", 2010, v, 0, a)
+	c := b.Build()
+	g, _, err := BuildGraph(c, GraphOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumSkills() != 0 {
+		t.Errorf("skills = %d, want 0 with support 2", g.NumSkills())
+	}
+	g2, _, err := BuildGraph(c, GraphOptions{MinTermSupport: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumSkills() == 0 {
+		t.Error("support 1 should mine single-occurrence terms")
+	}
+}
+
+func TestBuildGraphLargestComponent(t *testing.T) {
+	b := NewBuilder()
+	// Component 1: three authors on shared papers. Component 2: loner.
+	a1, a2, a3 := b.Author("A1"), b.Author("A2"), b.Author("A3")
+	loner := b.Author("Loner")
+	v := b.Venue("V", 1)
+	b.AddPaper("Joint Work Graphs", 2010, v, 1, a1, a2)
+	b.AddPaper("More Joint Graphs", 2011, v, 1, a2, a3)
+	b.AddPaper("Solo Effort Theory", 2012, v, 1, loner)
+	c := b.Build()
+	g, mapping, err := BuildGraph(c, GraphOptions{LargestComponent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("LCC nodes = %d, want 3", g.NumNodes())
+	}
+	for _, aid := range mapping {
+		if c.Authors[aid].Name == "Loner" {
+			t.Error("loner should be dropped from largest component")
+		}
+	}
+}
+
+func TestBuildGraphEdgeDedup(t *testing.T) {
+	// Coauthors on several papers still produce one edge.
+	b := NewBuilder()
+	x, y := b.Author("X"), b.Author("Y")
+	v := b.Venue("V", 1)
+	b.AddPaper("First Shared Result", 2010, v, 1, x, y)
+	b.AddPaper("Second Shared Result", 2011, v, 1, x, y)
+	c := b.Build()
+	g, _, err := BuildGraph(c, GraphOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("edges = %d, want 1", g.NumEdges())
+	}
+	// Jaccard = 1 (identical paper sets) → weight 0.
+	if w, _ := g.EdgeWeight(0, 1); w != 0 {
+		t.Errorf("weight = %v, want 0 for identical paper sets", w)
+	}
+}

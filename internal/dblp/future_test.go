@@ -1,0 +1,119 @@
+package dblp
+
+import (
+	"math/rand"
+	"testing"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/team"
+)
+
+// twoTeams builds a strong team (high h-indexes) and a weak team on
+// one graph, mirroring the §4.3 SA-CA-CC-vs-CC comparison.
+func twoTeams(t *testing.T) (*expertgraph.Graph, *team.Team, *team.Team) {
+	t.Helper()
+	// Authority gaps sized like Figure 6 of the paper (team h-indexes
+	// ~6 vs ~2), not a degenerate blowout.
+	b := expertgraph.NewBuilder(6, 4)
+	s1 := b.AddNode("strong1", 10, "x")
+	s2 := b.AddNode("strong2", 14, "y")
+	w1 := b.AddNode("weak1", 1, "x")
+	w2 := b.AddNode("weak2", 2, "y")
+	b.AddEdge(s1, s2, 0.5)
+	b.AddEdge(w1, w2, 0.5)
+	b.AddNode("pad1", 1)
+	b.AddNode("pad2", 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := g.SkillID("x")
+	y, _ := g.SkillID("y")
+	strong, err := team.FromPaths(g, s1,
+		map[expertgraph.SkillID]expertgraph.NodeID{x: s1, y: s2},
+		map[expertgraph.SkillID][]expertgraph.NodeID{x: {s1}, y: {s1, s2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, err := team.FromPaths(g, w1,
+		map[expertgraph.SkillID]expertgraph.NodeID{x: w1, y: w2},
+		map[expertgraph.SkillID][]expertgraph.NodeID{x: {w1}, y: {w1, w2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, strong, weak
+}
+
+func TestSimulateVenueRatingsBounds(t *testing.T) {
+	g, strong, _ := twoTeams(t)
+	rng := rand.New(rand.NewSource(1))
+	var m FutureModel
+	ratings := m.SimulateVenueRatings(strong, g, rng)
+	if len(ratings) != 3 { // default PapersPerTeam
+		t.Fatalf("papers = %d, want 3", len(ratings))
+	}
+	for _, r := range ratings {
+		if r < 1 || r > 5 {
+			t.Errorf("rating %v outside [1,5]", r)
+		}
+	}
+}
+
+func TestStrongTeamWinsMostly(t *testing.T) {
+	g, strong, weak := twoTeams(t)
+	rng := rand.New(rand.NewSource(2))
+	var m FutureModel
+	wins := 0
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		if m.CompareTeams(strong, weak, g, rng) {
+			wins++
+		}
+	}
+	frac := float64(wins) / trials
+	// The mentorship model should make the authoritative team win most
+	// of the time, but noise must leave the weak team real chances —
+	// the paper reports 78%, not 100%.
+	if frac < 0.6 {
+		t.Errorf("strong team win rate = %.2f, want > 0.6", frac)
+	}
+	if frac > 0.99 {
+		t.Errorf("strong team win rate = %.2f — noise too small to be honest", frac)
+	}
+}
+
+func TestCompareDeterministicPerSeed(t *testing.T) {
+	g, strong, weak := twoTeams(t)
+	var m FutureModel
+	r1 := m.CompareTeams(strong, weak, g, rand.New(rand.NewSource(7)))
+	r2 := m.CompareTeams(strong, weak, g, rand.New(rand.NewSource(7)))
+	if r1 != r2 {
+		t.Error("same seed should reproduce the same outcome")
+	}
+}
+
+func TestFutureModelCustomParams(t *testing.T) {
+	g, strong, _ := twoTeams(t)
+	m := FutureModel{PapersPerTeam: 7, Noise: 0.01, MentorEffect: 0.5, BaseRating: 2}
+	ratings := m.SimulateVenueRatings(strong, g, rand.New(rand.NewSource(3)))
+	if len(ratings) != 7 {
+		t.Fatalf("papers = %d, want 7", len(ratings))
+	}
+}
+
+func TestVenuesByRating(t *testing.T) {
+	b := NewBuilder()
+	b.Venue("Mid", 3)
+	b.Venue("Top", 5)
+	b.Venue("Low", 1)
+	b.Venue("AlsoTop", 5)
+	c := b.Build()
+	order := VenuesByRating(c)
+	if c.Venues[order[0]].Name != "AlsoTop" || c.Venues[order[1]].Name != "Top" {
+		t.Errorf("ties break by name: got %q, %q",
+			c.Venues[order[0]].Name, c.Venues[order[1]].Name)
+	}
+	if c.Venues[order[3]].Name != "Low" {
+		t.Errorf("worst venue last: got %q", c.Venues[order[3]].Name)
+	}
+}

@@ -1,0 +1,76 @@
+package dblp
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Corpus serialization. Parsing the 3+ GB dblp.xml dump takes minutes;
+// persisting the resulting corpus makes iterating on graph-derivation
+// parameters (junior threshold, term support) cheap.
+
+const ioFormatVersion = 1
+
+type flatCorpus struct {
+	Version int
+	Authors []Author
+	Papers  []Paper
+	Venues  []Venue
+}
+
+// Write encodes the corpus to w.
+func Write(w io.Writer, c *Corpus) error {
+	f := flatCorpus{
+		Version: ioFormatVersion,
+		Authors: c.Authors,
+		Papers:  c.Papers,
+		Venues:  c.Venues,
+	}
+	if err := gob.NewEncoder(w).Encode(&f); err != nil {
+		return fmt.Errorf("dblp: encode corpus: %w", err)
+	}
+	return nil
+}
+
+// Read decodes a corpus written with Write.
+func Read(r io.Reader) (*Corpus, error) {
+	var f flatCorpus
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("dblp: decode corpus: %w", err)
+	}
+	if f.Version != ioFormatVersion {
+		return nil, fmt.Errorf("dblp: unsupported corpus format version %d", f.Version)
+	}
+	return &Corpus{Authors: f.Authors, Papers: f.Papers, Venues: f.Venues}, nil
+}
+
+// SaveFile writes the corpus to path.
+func SaveFile(path string, c *Corpus) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dblp: save corpus: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := Write(bw, c); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("dblp: save corpus: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadFile reads a corpus from path.
+func LoadFile(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dblp: load corpus: %w", err)
+	}
+	defer f.Close()
+	return Read(bufio.NewReader(f))
+}

@@ -1,0 +1,98 @@
+package dblp
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestCorpusRoundTrip(t *testing.T) {
+	c := Synthesize(SynthConfig{Seed: 6, Authors: 200})
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCorporaEqual(t, c, c2)
+}
+
+func TestCorpusSaveLoadFile(t *testing.T) {
+	c := Synthesize(SynthConfig{Seed: 7, Authors: 150})
+	path := filepath.Join(t.TempDir(), "corpus.bin")
+	if err := SaveFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCorporaEqual(t, c, c2)
+}
+
+func TestCorpusLoadMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.bin")); err == nil {
+		t.Error("loading a missing corpus should fail")
+	}
+}
+
+func TestCorpusReadGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("reading garbage should fail")
+	}
+}
+
+// TestRoundTripPreservesDerivedGraph: the derived expert network must
+// be identical after a round trip (h-index, weights, skills all come
+// from corpus content).
+func TestRoundTripPreservesDerivedGraph(t *testing.T) {
+	c := Synthesize(SynthConfig{Seed: 8, Authors: 300})
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, _, err := BuildGraph(c, GraphOptions{LargestComponent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := BuildGraph(c2, GraphOptions{LargestComponent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() ||
+		g1.NumSkills() != g2.NumSkills() {
+		t.Errorf("derived graphs differ: %v vs %v", g1, g2)
+	}
+}
+
+func assertCorporaEqual(t *testing.T, a, b *Corpus) {
+	t.Helper()
+	if a.NumAuthors() != b.NumAuthors() || a.NumPapers() != b.NumPapers() ||
+		len(a.Venues) != len(b.Venues) {
+		t.Fatalf("sizes differ: %v vs %v", a, b)
+	}
+	for i := range a.Authors {
+		if a.Authors[i].Name != b.Authors[i].Name ||
+			len(a.Authors[i].Papers) != len(b.Authors[i].Papers) {
+			t.Fatalf("author %d differs", i)
+		}
+	}
+	for i := range a.Papers {
+		pa, pb := a.Papers[i], b.Papers[i]
+		if pa.Title != pb.Title || pa.Year != pb.Year ||
+			pa.Citations != pb.Citations || pa.Venue != pb.Venue {
+			t.Fatalf("paper %d differs", i)
+		}
+	}
+	for i := range a.Venues {
+		if a.Venues[i] != b.Venues[i] {
+			t.Fatalf("venue %d differs", i)
+		}
+	}
+}

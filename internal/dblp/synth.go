@@ -1,0 +1,263 @@
+package dblp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Synthetic DBLP-like corpus generator. The real evaluation of the
+// paper uses the DBLP XML dump (to 2015) filtered to a 40K-node /
+// 125K-edge co-authorship graph; offline we generate a corpus with the
+// same statistical shape:
+//
+//   - power-law productivity (most authors are juniors with < 10
+//     papers — the skill holders; a heavy tail of prolific seniors),
+//   - topic communities whose vocabularies supply title terms (and so
+//     skills), with occasional cross-topic collaboration,
+//   - repeat collaboration, so Jaccard edge weights are non-trivial,
+//   - citation counts correlated with productivity and venue tier, so
+//     h-index (the authority) correlates with seniority,
+//   - tiered venues standing in for the Microsoft Academic ranking.
+//
+// Everything is deterministic given the seed.
+
+// SynthConfig parameterizes the generator. The zero value gives a
+// CI-scale corpus (~4K authors); Scale up with Authors for the
+// paper-scale 40K graph.
+type SynthConfig struct {
+	// Seed drives all randomness. The default 0 is a valid seed.
+	Seed int64
+	// Authors is the number of authors to generate (default 4000).
+	Authors int
+	// ProductivityAlpha is the Pareto tail exponent of papers per
+	// author (default 1.45; smaller = heavier tail).
+	ProductivityAlpha float64
+	// MaxPapers caps one author's papers (default 250).
+	MaxPapers int
+	// FirstYear..LastYear bound publication years (default 1996–2015,
+	// matching the paper's "DBLP dataset up to 2015").
+	FirstYear, LastYear int
+}
+
+func (c SynthConfig) withDefaults() SynthConfig {
+	if c.Authors == 0 {
+		c.Authors = 4000
+	}
+	if c.ProductivityAlpha == 0 {
+		c.ProductivityAlpha = 1.45
+	}
+	if c.MaxPapers == 0 {
+		c.MaxPapers = 250
+	}
+	if c.FirstYear == 0 {
+		c.FirstYear = 1996
+	}
+	if c.LastYear == 0 {
+		c.LastYear = 2015
+	}
+	return c
+}
+
+// Synthesize generates a corpus.
+func Synthesize(cfg SynthConfig) *Corpus {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := NewBuilder()
+
+	// Venues, grouped by tier for prestige-driven selection.
+	var tierVenues [][]VenueID
+	for _, tier := range venueTiers {
+		var ids []VenueID
+		for i := 0; i < tier.count; i++ {
+			ids = append(ids, b.Venue(fmt.Sprintf("%s-%d", tier.prefix, i+1), tier.rating))
+		}
+		tierVenues = append(tierVenues, ids)
+	}
+
+	n := cfg.Authors
+	topic := make([]int, n)
+	target := make([]int, n) // papers to write
+	prestige := make([]float64, n)
+	topicMembers := make([][]AuthorID, len(topicVocab))
+	maxPrestige := 1.0
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("%s %s %d",
+			firstNames[rng.Intn(len(firstNames))],
+			lastNames[rng.Intn(len(lastNames))], i)
+		id := b.Author(name)
+		topic[i] = rng.Intn(len(topicVocab))
+		topicMembers[topic[i]] = append(topicMembers[topic[i]], id)
+		target[i] = paretoInt(rng, cfg.ProductivityAlpha, cfg.MaxPapers)
+		prestige[i] = float64(target[i]) * (0.5 + rng.Float64())
+		if prestige[i] > maxPrestige {
+			maxPrestige = prestige[i]
+		}
+	}
+
+	// Paper slots: each author appears once per target paper, so lead
+	// selection is productivity-weighted by construction.
+	var slots []AuthorID
+	for i := 0; i < n; i++ {
+		for k := 0; k < target[i]; k++ {
+			slots = append(slots, AuthorID(i))
+		}
+	}
+	rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+
+	prevCollab := make([][]AuthorID, n)
+	for _, lead := range slots {
+		coauthors := pickCoauthors(rng, lead, topic, topicMembers, prevCollab, n)
+		authors := append([]AuthorID{lead}, coauthors...)
+
+		title := makeTitle(rng, topic[lead], coauthors, topic)
+		year := cfg.FirstYear + rng.Intn(cfg.LastYear-cfg.FirstYear+1)
+
+		// Venue tier from lead prestige plus noise: tier index 0 is the
+		// top tier.
+		pNorm := prestige[lead] / maxPrestige
+		tierScore := pNorm + rng.NormFloat64()*0.18
+		tier := 0
+		switch {
+		case tierScore > 0.55:
+			tier = 0
+		case tierScore > 0.3:
+			tier = 1
+		case tierScore > 0.15:
+			tier = 2
+		case tierScore > 0.06:
+			tier = 3
+		default:
+			tier = 4
+		}
+		venue := tierVenues[tier][rng.Intn(len(tierVenues[tier]))]
+
+		// Citations: heavy-tailed, boosted by venue quality, lead
+		// prestige, and paper age. The quadratic prestige multiplier
+		// gives prolific seniors h-indexes in the 40–140 range (the
+		// paper's running example tops out at Jiawei Han's 139) while
+		// juniors stay in single digits.
+		age := float64(cfg.LastYear-year+1) / float64(cfg.LastYear-cfg.FirstYear+1)
+		rating := venueTiers[tier].rating
+		base := float64(paretoInt(rng, 1.15, 3000))
+		boost := 1 + 60*pNorm*pNorm
+		cites := int(base * boost * (0.25 + rating/5) * (0.3 + 0.7*age))
+
+		b.AddPaper(title, year, venue, cites, authors...)
+
+		for _, co := range coauthors {
+			prevCollab[lead] = append(prevCollab[lead], co)
+			prevCollab[co] = append(prevCollab[co], lead)
+		}
+	}
+	return b.Build()
+}
+
+// pickCoauthors draws 0–4 coauthors: repeat collaborators with
+// probability ~0.7 when available, same-topic colleagues most of the
+// rest of the time, and occasional cross-topic collaborators (which
+// keep the giant component connected across communities).
+func pickCoauthors(rng *rand.Rand, lead AuthorID, topic []int,
+	topicMembers [][]AuthorID, prevCollab [][]AuthorID, n int) []AuthorID {
+
+	k := coauthorCount(rng)
+	seen := map[AuthorID]bool{lead: true}
+	var out []AuthorID
+	for len(out) < k {
+		var cand AuthorID
+		switch {
+		case len(prevCollab[lead]) > 0 && rng.Float64() < 0.72:
+			cand = prevCollab[lead][rng.Intn(len(prevCollab[lead]))]
+		case rng.Float64() < 0.85:
+			members := topicMembers[topic[lead]]
+			cand = members[rng.Intn(len(members))]
+		default:
+			cand = AuthorID(rng.Intn(n))
+		}
+		if !seen[cand] {
+			seen[cand] = true
+			out = append(out, cand)
+		} else if rng.Float64() < 0.3 {
+			break // tiny collaboration pools: give up instead of looping
+		}
+	}
+	return out
+}
+
+func coauthorCount(rng *rand.Rand) int {
+	r := rng.Float64()
+	switch {
+	case r < 0.14:
+		return 0
+	case r < 0.48:
+		return 1
+	case r < 0.78:
+		return 2
+	case r < 0.93:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// makeTitle assembles a title whose content terms come from the lead's
+// topic (plus sometimes a coauthor's topic), so junior authors repeat
+// topic terms across papers and mine into skills.
+func makeTitle(rng *rand.Rand, leadTopic int, coauthors []AuthorID, topic []int) string {
+	vocab := topicVocab[leadTopic]
+	nTerms := 2 + rng.Intn(3)
+	seen := make(map[string]bool, nTerms+2)
+	var terms []string
+	for len(terms) < nTerms {
+		t := vocab[rng.Intn(len(vocab))]
+		if !seen[t] {
+			seen[t] = true
+			terms = append(terms, t)
+		}
+	}
+	if len(coauthors) > 0 && rng.Float64() < 0.3 {
+		coVocab := topicVocab[topic[coauthors[rng.Intn(len(coauthors))]]]
+		t := coVocab[rng.Intn(len(coVocab))]
+		if !seen[t] {
+			terms = append(terms, t)
+		}
+	}
+	generic := genericTerms[rng.Intn(len(genericTerms))]
+	switch rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("%s %s for %s", capitalize(generic), joinTerms(terms[:1]), joinTerms(terms[1:]))
+	case 1:
+		return fmt.Sprintf("On %s in %s %s", joinTerms(terms[:1]), joinTerms(terms[1:]), generic)
+	default:
+		return fmt.Sprintf("%s of %s with %s", capitalize(joinTerms(terms[:1])), joinTerms(terms[1:]), generic)
+	}
+}
+
+func joinTerms(terms []string) string { return strings.Join(terms, " ") }
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	if s[0] >= 'a' && s[0] <= 'z' {
+		return string(s[0]-'a'+'A') + s[1:]
+	}
+	return s
+}
+
+// paretoInt draws a discrete Pareto-tailed value ≥ 1 capped at max.
+func paretoInt(rng *rand.Rand, alpha float64, max int) int {
+	u := rng.Float64()
+	if u == 0 {
+		return max
+	}
+	v := int(math.Pow(1/u, 1/alpha))
+	if v < 1 {
+		v = 1
+	}
+	if v > max {
+		v = max
+	}
+	return v
+}

@@ -1,0 +1,185 @@
+package dblp
+
+import (
+	"testing"
+
+	"authteam/internal/expertgraph"
+)
+
+func synthGraph(t *testing.T, seed int64, authors int) (*Corpus, *expertgraph.Graph) {
+	t.Helper()
+	c := Synthesize(SynthConfig{Seed: seed, Authors: authors})
+	g, _, err := BuildGraph(c, GraphOptions{LargestComponent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, g
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	c1 := Synthesize(SynthConfig{Seed: 42, Authors: 300})
+	c2 := Synthesize(SynthConfig{Seed: 42, Authors: 300})
+	if c1.NumPapers() != c2.NumPapers() {
+		t.Fatalf("paper counts differ: %d vs %d", c1.NumPapers(), c2.NumPapers())
+	}
+	for i := range c1.Papers {
+		if c1.Papers[i].Title != c2.Papers[i].Title ||
+			c1.Papers[i].Citations != c2.Papers[i].Citations {
+			t.Fatalf("paper %d differs between identical seeds", i)
+		}
+	}
+	c3 := Synthesize(SynthConfig{Seed: 43, Authors: 300})
+	if c3.NumPapers() == c1.NumPapers() && c3.Papers[0].Title == c1.Papers[0].Title {
+		t.Error("different seeds produced suspiciously identical corpora")
+	}
+}
+
+// TestSynthesizeShape asserts the statistical shape the experiments
+// rely on (calibrated against the paper's 40K/125K DBLP graph).
+func TestSynthesizeShape(t *testing.T) {
+	c, g := synthGraph(t, 1, 1500)
+
+	// The giant component holds nearly all authors.
+	if g.NumNodes() < 1200 {
+		t.Errorf("largest component too small: %d of 1500", g.NumNodes())
+	}
+	// Edge density in the DBLP band (paper: 125K/40K ≈ 3.1).
+	ratio := float64(g.NumEdges()) / float64(g.NumNodes())
+	if ratio < 2 || ratio > 6 {
+		t.Errorf("edge/node ratio = %.2f, want within [2, 6]", ratio)
+	}
+	// Juniors (skill holders) dominate, as in any bibliography.
+	juniors := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.Pubs(expertgraph.NodeID(u)) < 10 {
+			juniors++
+		}
+	}
+	if frac := float64(juniors) / float64(g.NumNodes()); frac < 0.6 {
+		t.Errorf("junior fraction = %.2f, want > 0.6", frac)
+	}
+	// Authority has a heavy tail: someone important exists.
+	maxAuth := 0.0
+	for u := 0; u < g.NumNodes(); u++ {
+		if a := g.Authority(expertgraph.NodeID(u)); a > maxAuth {
+			maxAuth = a
+		}
+	}
+	if maxAuth < 15 {
+		t.Errorf("max h-index = %v, want a senior tail (> 15)", maxAuth)
+	}
+	// Edge weights are Jaccard distances in [0, 1].
+	lo, hi := g.EdgeWeightBounds()
+	if lo < 0 || hi > 1 {
+		t.Errorf("edge weight bounds (%v, %v) outside [0,1]", lo, hi)
+	}
+	_ = c
+}
+
+// TestSynthesizeFigure6Skills checks that the paper's qualitative
+// project [analytics, matrix, communities, object oriented] is
+// coverable in the synthetic corpus.
+func TestSynthesizeFigure6Skills(t *testing.T) {
+	_, g := synthGraph(t, 1, 1500)
+	for _, skill := range []string{"analytics", "matrix", "communities", "object oriented"} {
+		id, ok := g.SkillID(skill)
+		if !ok {
+			t.Errorf("skill %q missing from synthetic corpus", skill)
+			continue
+		}
+		if len(g.ExpertsWithSkill(id)) == 0 {
+			t.Errorf("skill %q has no holders", skill)
+		}
+	}
+}
+
+func TestSynthesizeSkillsAreMineable(t *testing.T) {
+	_, g := synthGraph(t, 2, 800)
+	if g.NumSkills() < 30 {
+		t.Errorf("skill universe = %d, want ≥ 30 for workload generation", g.NumSkills())
+	}
+	// Each mined skill has at least one holder by construction.
+	for s := 0; s < g.NumSkills(); s++ {
+		if len(g.ExpertsWithSkill(expertgraph.SkillID(s))) == 0 {
+			t.Errorf("skill %q mined but holder lost", g.SkillName(expertgraph.SkillID(s)))
+		}
+	}
+}
+
+func TestSynthesizeYearsBounded(t *testing.T) {
+	c := Synthesize(SynthConfig{Seed: 3, Authors: 200, FirstYear: 2000, LastYear: 2005})
+	for _, p := range c.Papers {
+		if p.Year < 2000 || p.Year > 2005 {
+			t.Fatalf("paper year %d outside [2000, 2005]", p.Year)
+		}
+	}
+}
+
+func TestSynthesizeVenueTiers(t *testing.T) {
+	c := Synthesize(SynthConfig{Seed: 4, Authors: 400})
+	ratings := map[float64]bool{}
+	for _, v := range c.Venues {
+		ratings[v.Rating] = true
+	}
+	for _, want := range []float64{1, 2, 3, 4, 5} {
+		if !ratings[want] {
+			t.Errorf("venue tier with rating %v missing", want)
+		}
+	}
+	// Prestigious authors publish in better venues on average: compare
+	// mean venue rating of top-decile authors vs bottom half.
+	hi, lo := 0.0, 0.0
+	nhi, nlo := 0, 0
+	for a := range c.Authors {
+		aid := AuthorID(a)
+		n := c.PaperCount(aid)
+		sum := 0.0
+		for _, p := range c.Authors[a].Papers {
+			sum += c.Venues[c.Papers[p].Venue].Rating
+		}
+		if n == 0 {
+			continue
+		}
+		avg := sum / float64(n)
+		if n >= 30 {
+			hi += avg
+			nhi++
+		} else if n <= 3 {
+			lo += avg
+			nlo++
+		}
+	}
+	if nhi == 0 || nlo == 0 {
+		t.Skip("corpus too small for prestige comparison")
+	}
+	if hi/float64(nhi) <= lo/float64(nlo) {
+		t.Errorf("prolific authors should publish in better venues: %.2f vs %.2f",
+			hi/float64(nhi), lo/float64(nlo))
+	}
+}
+
+func TestParetoInt(t *testing.T) {
+	c := Synthesize(SynthConfig{Seed: 5, Authors: 1000})
+	// Productivity is heavy-tailed: median small, max large.
+	counts := make([]int, 0, 1000)
+	maxC := 0
+	for a := range c.Authors {
+		n := c.PaperCount(AuthorID(a))
+		counts = append(counts, n)
+		if n > maxC {
+			maxC = n
+		}
+	}
+	small := 0
+	for _, n := range counts {
+		if n <= 5 {
+			small++
+		}
+	}
+	if float64(small)/float64(len(counts)) < 0.5 {
+		t.Error("most authors should have few papers")
+	}
+	if maxC < 30 {
+		t.Errorf("max papers = %d, want a productive tail", maxC)
+	}
+}

@@ -1,0 +1,92 @@
+package dblp
+
+// Topic vocabularies for the synthetic corpus. Each topic supplies the
+// terms its papers draw titles from; because skills are mined from
+// title terms, these vocabularies are also the skill universe of the
+// synthetic expert network. The Figure 6 project of the paper —
+// [analytics, matrix, communities, object oriented] — is deliberately
+// covered. Vocabulary size controls |C(s)|, the holders per skill:
+// real DBLP has a huge term universe and so modest C(s) sizes, which
+// the 16-term topics approximate at synthetic scale.
+
+// topicVocab lists, per research topic, the content-bearing terms used
+// in titles of that topic.
+var topicVocab = [][]string{
+	{"social networks", "communities", "influence", "diffusion", "centrality", "homophily", "ties", "cascade",
+		"friendship", "followers", "virality", "polarization", "engagement", "moderation", "anonymity", "reciprocity"},
+	{"text mining", "topic", "document", "sentiment", "corpus", "extraction", "summarization", "annotation",
+		"keyphrase", "lexicon", "stylometry", "readability", "deduplication", "normalization", "tokenization", "glossary"},
+	{"data mining", "patterns", "itemsets", "clustering", "outlier", "association", "episodes", "sequences",
+		"discretization", "pruning", "lattice", "support", "confidence", "contrast", "subgroup", "redescription"},
+	{"machine learning", "kernel", "regression", "ensemble", "boosting", "features", "generalization", "sparsity",
+		"calibration", "bandits", "metalearning", "distillation", "augmentation", "pretraining", "finetuning", "dropout"},
+	{"databases", "query", "indexing", "transactions", "schema", "joins", "optimizer", "views",
+		"concurrency", "recovery", "partitions", "buffering", "histograms", "cardinalities", "materialization", "vacuuming"},
+	{"information retrieval", "ranking", "relevance", "search", "feedback", "snippets", "crawling", "queries",
+		"reranking", "freshness", "diversification", "clickthrough", "pooling", "judgments", "expansion", "facets"},
+	{"graphs", "matrix", "spectral", "partitioning", "embedding", "reachability", "subgraph", "motifs",
+		"treewidth", "coloring", "matching", "flows", "cliques", "isomorphism", "sparsification", "contraction"},
+	{"software engineering", "object oriented", "refactoring", "testing", "debugging", "traceability", "modularity", "inheritance",
+		"mutation", "coverage", "linting", "refinement", "antipatterns", "idioms", "migration", "deprecation"},
+	{"distributed systems", "consensus", "replication", "fault", "latency", "sharding", "gossip", "membership",
+		"quorum", "leases", "snapshots", "geodistribution", "backpressure", "reconfiguration", "failover", "heartbeats"},
+	{"security", "encryption", "authentication", "privacy", "intrusion", "malware", "obfuscation", "provenance",
+		"sandboxing", "attestation", "fuzzing", "exfiltration", "honeypots", "revocation", "hardening", "phishing"},
+	{"computer vision", "segmentation", "detection", "tracking", "stereo", "saliency", "texture", "registration",
+		"deblurring", "superresolution", "keypoints", "occlusion", "rectification", "photometry", "panorama", "inpainting"},
+	{"natural language", "parsing", "translation", "grammar", "semantics", "discourse", "morphology", "coreference",
+		"disambiguation", "entailment", "paraphrase", "negation", "anaphora", "treebank", "lemmatization", "diacritics"},
+	{"recommendation", "collaborative", "personalization", "preferences", "ratings", "coldstart", "serendipity", "trust",
+		"sessions", "implicit", "explanations", "popularity", "novelty", "churn", "bundling", "upselling"},
+	{"bioinformatics", "genome", "sequence", "alignment", "protein", "expression", "phylogeny", "motif",
+		"variants", "orthologs", "assembly", "haplotype", "epigenetics", "pathways", "docking", "primers"},
+	{"optimization", "convex", "gradient", "heuristics", "scheduling", "allocation", "knapsack", "relaxation",
+		"duality", "cutting", "branching", "annealing", "swarm", "penalty", "feasibility", "warmstart"},
+	{"visualization", "analytics", "dashboards", "interaction", "exploration", "layout", "perception", "storytelling",
+		"brushing", "glyphs", "treemaps", "choropleth", "animation", "overview", "linking", "zooming"},
+	{"stream processing", "windows", "sketches", "sampling", "approximation", "cardinality", "drift", "workloads",
+		"watermarks", "checkpointing", "lateness", "throughput", "micro-batching", "spill", "reordering", "compaction"},
+	{"crowdsourcing", "workers", "tasks", "incentives", "aggregation", "quality", "labeling", "marketplaces",
+		"adjudication", "redundancy", "spammers", "qualification", "payouts", "batching", "arbitration", "gamification"},
+	{"semantic web", "ontology", "linked", "reasoning", "triples", "vocabulary", "entities", "alignments",
+		"shapes", "federation", "lineage", "inference", "taxonomy", "thesaurus", "curation", "interlinking"},
+	{"hardware", "cache", "pipeline", "accelerator", "energy", "verification", "synthesis", "placement",
+		"routing", "prefetching", "speculation", "coherence", "interconnect", "throttling", "binning", "yield"},
+}
+
+// genericTerms pad titles; they are common enough across topics that
+// they rarely become skills (they also include frequent stop-ish
+// words filtered by TitleTerms only when too short).
+var genericTerms = []string{
+	"framework", "system", "model", "evaluation", "learning", "large",
+	"scalable", "adaptive", "dynamic", "robust", "parallel", "online",
+}
+
+// firstNames and lastNames drive synthetic author naming.
+var firstNames = []string{
+	"Wei", "Ana", "John", "Maria", "Chen", "Priya", "Ahmed", "Elena",
+	"Jun", "Sofia", "David", "Yuki", "Omar", "Ingrid", "Carlos", "Mei",
+	"Ivan", "Fatima", "Lucas", "Nadia", "Peter", "Amara", "Tomás", "Lin",
+}
+
+var lastNames = []string{
+	"Zhang", "Garcia", "Smith", "Kumar", "Chen", "Novak", "Hassan",
+	"Silva", "Tanaka", "Olsen", "Brown", "Ali", "Rossi", "Wang",
+	"Petrov", "Nguyen", "Okafor", "Larsen", "Martin", "Sato", "Weber",
+	"Costa", "Park", "Dubois",
+}
+
+// venueTiers define the synthetic venue universe standing in for the
+// Microsoft Academic conference ranking: tier name prefix, count and
+// rating (higher is better).
+var venueTiers = []struct {
+	prefix string
+	count  int
+	rating float64
+}{
+	{"TopConf", 6, 5.0},
+	{"StrongConf", 10, 4.0},
+	{"SolidConf", 14, 3.0},
+	{"RegionalConf", 12, 2.0},
+	{"Workshop", 18, 1.0},
+}

@@ -1,0 +1,116 @@
+package dblp
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleXML = `<?xml version="1.0" encoding="ISO-8859-1"?>
+<dblp>
+<article mdate="2017-05-28" key="journals/x/1">
+  <author>Alice Able</author>
+  <author>Bob Best</author>
+  <title>Query Processing over Streams</title>
+  <year>2014</year>
+  <journal>TODS</journal>
+</article>
+<inproceedings mdate="2017-05-28" key="conf/y/2">
+  <author>Alice Able</author>
+  <title>Stream Indexing Structures</title>
+  <year>2015</year>
+  <booktitle>SIGMOD</booktitle>
+</inproceedings>
+<inproceedings key="conf/y/3">
+  <author>Carol Cole</author>
+  <title>Future Work After the Cutoff</title>
+  <year>2016</year>
+  <booktitle>SIGMOD</booktitle>
+</inproceedings>
+<phdthesis key="thesis/z/4">
+  <author>Dave Dent</author>
+  <title>Ignored Record Types</title>
+  <year>2012</year>
+</phdthesis>
+<article key="journals/x/5">
+  <title>No Authors Here</title>
+  <year>2010</year>
+  <journal>TODS</journal>
+</article>
+</dblp>`
+
+func TestParseXML(t *testing.T) {
+	c, err := ParseXML(strings.NewReader(sampleXML), ParseXMLOptions{MaxYear: 2015})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accepted: papers 1 and 2. Dropped: 2016 paper (MaxYear), the
+	// phdthesis (wrong record type), the authorless article.
+	if c.NumPapers() != 2 {
+		t.Fatalf("papers = %d, want 2", c.NumPapers())
+	}
+	if c.NumAuthors() != 2 {
+		t.Fatalf("authors = %d, want 2 (Alice, Bob)", c.NumAuthors())
+	}
+	alice := AuthorID(0)
+	if c.Authors[alice].Name != "Alice Able" {
+		t.Errorf("author 0 = %q", c.Authors[alice].Name)
+	}
+	if c.PaperCount(alice) != 2 {
+		t.Errorf("Alice papers = %d, want 2", c.PaperCount(alice))
+	}
+	// Venues interned from journal and booktitle.
+	if len(c.Venues) != 2 {
+		t.Errorf("venues = %d, want 2 (TODS, SIGMOD)", len(c.Venues))
+	}
+	// Citations default to zero (the dump has none).
+	for _, p := range c.Papers {
+		if p.Citations != 0 {
+			t.Error("parsed citations should be 0")
+		}
+	}
+}
+
+func TestParseXMLMaxPapers(t *testing.T) {
+	c, err := ParseXML(strings.NewReader(sampleXML), ParseXMLOptions{MaxPapers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPapers() != 1 {
+		t.Fatalf("papers = %d, want 1 (stopped early)", c.NumPapers())
+	}
+}
+
+func TestParseXMLNoFilter(t *testing.T) {
+	c, err := ParseXML(strings.NewReader(sampleXML), ParseXMLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPapers() != 3 { // the 2016 paper is kept without MaxYear
+		t.Fatalf("papers = %d, want 3", c.NumPapers())
+	}
+}
+
+func TestParseXMLGarbage(t *testing.T) {
+	if _, err := ParseXML(strings.NewReader("<dblp><article><title>un"), ParseXMLOptions{}); err == nil {
+		t.Error("truncated XML should fail")
+	}
+}
+
+func TestSetOverrides(t *testing.T) {
+	c, err := ParseXML(strings.NewReader(sampleXML), ParseXMLOptions{MaxYear: 2015})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetCitations(0, 99)
+	if c.Papers[0].Citations != 99 {
+		t.Error("SetCitations did not stick")
+	}
+	c.SetVenueRating(0, 4.5)
+	if c.Venues[0].Rating != 4.5 {
+		t.Error("SetVenueRating did not stick")
+	}
+	// Joined citations feed the h-index as usual.
+	if c.HIndex(0) != 1 {
+		t.Errorf("h-index after join = %d, want 1", c.HIndex(0))
+	}
+}

@@ -1,0 +1,179 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"authteam/internal/core"
+	"authteam/internal/expertgraph"
+	"authteam/internal/team"
+	"authteam/internal/transform"
+)
+
+// Ablations of the design choices DESIGN.md §5 calls out:
+//
+//  1. Oracle — the 2-hop cover index must return exactly the teams the
+//     exact Dijkstra oracle returns (it answers the same DIST values),
+//     while being dramatically faster per query; this quantifies both.
+//  2. Normalization — Definition 4 requires min–max normalization of
+//     edge and node scales before combining. Without it, the raw
+//     scales silently re-weight γ and λ; the ablation reports how team
+//     composition changes.
+//  3. Surrogate — Algorithm 1 scores roots with Σ path costs (shared
+//     path segments double-counted). The gap between the surrogate
+//     and the evaluated tree objective measures how loose the greedy
+//     score is in practice.
+
+// AblationResult carries the three studies.
+type AblationResult struct {
+	// Oracle study.
+	OracleProjects   int
+	OracleAgreements int     // projects where PLL and Dijkstra teams tie exactly
+	PLLQueryMS       float64 // mean full-query latency via the index
+	DijkstraQueryMS  float64 // mean full-query latency via per-root Dijkstra
+
+	// Normalization study (SA-CA-CC teams, mean over projects).
+	NormHolderH, RawHolderH float64 // avg holder h-index with/without Def. 4
+	NormConnH, RawConnH     float64
+	NormSize, RawSize       float64
+
+	// Surrogate study: mean (evaluated objective) / (greedy surrogate).
+	SurrogateRatio float64
+}
+
+// ablationProjects is the sample size per study.
+const ablationProjects = 5
+
+// RunAblations executes all three studies on 4-skill projects.
+func RunAblations(env *Env) (*AblationResult, error) {
+	cfg := env.Cfg
+	p, err := env.Params(cfg.Lambda)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := env.Generator(808)
+	if err != nil {
+		return nil, err
+	}
+	projects, err := gen.Projects(ablationProjects, 4)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{OracleProjects: len(projects)}
+
+	// 1. Oracle agreement and speed.
+	for _, project := range projects {
+		t0 := time.Now()
+		viaIdx, err := env.Discoverer(core.SACACC, p).BestTeam(project)
+		if err != nil {
+			return nil, err
+		}
+		res.PLLQueryMS += msSince(t0)
+
+		t0 = time.Now()
+		viaDijkstra, err := core.NewDiscoverer(p, core.SACACC).BestTeam(project)
+		if err != nil {
+			return nil, err
+		}
+		res.DijkstraQueryMS += msSince(t0)
+
+		if team.Evaluate(viaIdx, p).SACACC == team.Evaluate(viaDijkstra, p).SACACC {
+			res.OracleAgreements++
+		}
+	}
+	res.PLLQueryMS /= float64(len(projects))
+	res.DijkstraQueryMS /= float64(len(projects))
+
+	// 2. Normalization.
+	raw, err := transform.Fit(env.Graph, cfg.Gamma, cfg.Lambda, transform.Options{Normalize: false})
+	if err != nil {
+		return nil, err
+	}
+	for _, project := range projects {
+		normTeam, err := env.Discoverer(core.SACACC, p).BestTeam(project)
+		if err != nil {
+			return nil, err
+		}
+		rawTeam, err := core.NewDiscoverer(raw, core.SACACC).BestTeam(project)
+		if err != nil {
+			return nil, err
+		}
+		np := team.ProfileOf(normTeam, env.Graph)
+		rp := team.ProfileOf(rawTeam, env.Graph)
+		res.NormHolderH += np.AvgHolderAuth
+		res.RawHolderH += rp.AvgHolderAuth
+		res.NormConnH += np.AvgConnectorAuth
+		res.RawConnH += rp.AvgConnectorAuth
+		res.NormSize += float64(np.Size)
+		res.RawSize += float64(rp.Size)
+	}
+	n := float64(len(projects))
+	res.NormHolderH /= n
+	res.RawHolderH /= n
+	res.NormConnH /= n
+	res.RawConnH /= n
+	res.NormSize /= n
+	res.RawSize /= n
+
+	// 3. Surrogate gap: compare the greedy surrogate cost (recomputed
+	// from oracle distances for the winning root) with the evaluated
+	// objective of the reconstructed tree.
+	total, count := 0.0, 0
+	for _, project := range projects {
+		tm, err := env.Discoverer(core.SACACC, p).BestTeam(project)
+		if err != nil {
+			return nil, err
+		}
+		surrogate := surrogateCost(env, p, tm, project)
+		evaluated := team.Evaluate(tm, p).SACACC
+		if surrogate > 0 {
+			total += evaluated / surrogate
+			count++
+		}
+	}
+	if count > 0 {
+		res.SurrogateRatio = total / float64(count)
+	}
+	return res, nil
+}
+
+// surrogateCost recomputes Algorithm 1's greedy score for the team's
+// root and assignment.
+func surrogateCost(env *Env, p *transform.Params, tm *team.Team,
+	project []expertgraph.SkillID) float64 {
+
+	ws := expertgraph.NewDijkstraWorkspace(env.Graph)
+	sssp := ws.RunWeighted(tm.Root, p.EdgeWeight())
+	cost := 0.0
+	for _, s := range project {
+		holder := tm.Assignment[s]
+		if holder == tm.Root && env.Graph.HasSkill(tm.Root, s) {
+			cost += p.Lambda * p.NormInv(tm.Root)
+			continue
+		}
+		cost += p.SACACCCost(sssp.Dist[holder], holder)
+	}
+	return cost
+}
+
+// Table renders the three studies.
+func (r *AblationResult) Table() *Table {
+	t := &Table{
+		Title:   "Ablations — oracle, normalization, surrogate (4-skill projects)",
+		Headers: []string{"study", "metric", "value"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"oracle", "PLL/Dijkstra team agreement",
+			fmt.Sprintf("%d/%d", r.OracleAgreements, r.OracleProjects)},
+		[]string{"oracle", "mean query via index (ms)", fmtF(r.PLLQueryMS, 1)},
+		[]string{"oracle", "mean query via Dijkstra (ms)", fmtF(r.DijkstraQueryMS, 1)},
+		[]string{"normalization", "avg holder h (Def.4 on / off)",
+			fmt.Sprintf("%s / %s", fmtF(r.NormHolderH, 2), fmtF(r.RawHolderH, 2))},
+		[]string{"normalization", "avg connector h (on / off)",
+			fmt.Sprintf("%s / %s", fmtF(r.NormConnH, 2), fmtF(r.RawConnH, 2))},
+		[]string{"normalization", "team size (on / off)",
+			fmt.Sprintf("%s / %s", fmtF(r.NormSize, 2), fmtF(r.RawSize, 2))},
+		[]string{"surrogate", "evaluated / greedy-surrogate ratio", fmtF(r.SurrogateRatio, 3)},
+	)
+	return t
+}

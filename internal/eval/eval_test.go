@@ -1,0 +1,343 @@
+package eval
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testEnv builds a tiny but non-degenerate environment shared by the
+// harness tests. Scales are small so the full suite stays fast; the
+// experiment *shapes* are asserted at this scale and reproduced at
+// paper scale by cmd/expgen.
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	env, err := NewEnv(Config{
+		Seed:            3,
+		Authors:         600,
+		Projects:        3,
+		SkillCounts:     []int{2, 3},
+		Lambdas:         []float64{0.2, 0.6},
+		RandomTrials:    400,
+		ExactSkillLimit: 3,
+		ExactCandidates: 4,
+		// Run Exact on every project so the aggregate Exact ≤ SA-CA-CC
+		// comparison in TestFig3 averages over the same project set.
+		ExactProjects:      3,
+		QualityProjects:    2,
+		QualityTrials:      40,
+		SensitivityLambdas: []float64{0.2, 0.5, 0.8},
+		Workers:            2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestNewEnvDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Authors != 2000 || cfg.Projects != 50 || cfg.Gamma != 0.6 {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	if len(cfg.SkillCounts) != 4 || cfg.SkillCounts[3] != 10 {
+		t.Errorf("SkillCounts = %v", cfg.SkillCounts)
+	}
+	if len(cfg.Lambdas) != 4 {
+		t.Errorf("Lambdas = %v", cfg.Lambdas)
+	}
+	if len(cfg.SensitivityLambdas) != 9 {
+		t.Errorf("SensitivityLambdas = %v", cfg.SensitivityLambdas)
+	}
+}
+
+func TestFig3(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunFig3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Panels) != 2 {
+		t.Fatalf("panels = %d, want 2", len(res.Panels))
+	}
+	for _, panel := range res.Panels {
+		for _, method := range []string{"CC", "CA-CC", "SA-CA-CC", "Random"} {
+			means := panel.Mean[method]
+			if len(means) != 2 {
+				t.Fatalf("%s: %d cells", method, len(means))
+			}
+			for i, v := range means {
+				if math.IsNaN(v) || v < 0 {
+					t.Errorf("%s skills=%d λ-cell %d: score %v", method, panel.Skills, i, v)
+				}
+			}
+		}
+		// The headline claim: SA-CA-CC scores at most CC and CA-CC on
+		// its own objective (mean over projects, every λ).
+		for i := range panel.Lambdas {
+			sa := panel.Mean["SA-CA-CC"][i]
+			if sa > panel.Mean["CC"][i]+1e-9 {
+				t.Errorf("skills=%d λ=%v: SA-CA-CC (%v) worse than CC (%v)",
+					panel.Skills, panel.Lambdas[i], sa, panel.Mean["CC"][i])
+			}
+			if sa > panel.Mean["Random"][i]+1e-9 {
+				t.Errorf("skills=%d λ=%v: SA-CA-CC (%v) worse than Random (%v)",
+					panel.Skills, panel.Lambdas[i], sa, panel.Mean["Random"][i])
+			}
+			// Exact lower-bounds the greedy wherever it ran.
+			if ex := panel.Mean["Exact"][i]; !math.IsNaN(ex) && ex > sa+1e-9 {
+				t.Errorf("skills=%d λ=%v: Exact (%v) worse than SA-CA-CC (%v)",
+					panel.Skills, panel.Lambdas[i], ex, sa)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SA-CA-CC") {
+		t.Error("table missing method column")
+	}
+}
+
+func TestFig4(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunFig4(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for _, m := range fig4Methods {
+			p := row.Precision[m]
+			if p < 0 || p > 100 {
+				t.Errorf("precision %v out of range", p)
+			}
+		}
+		// The paper's finding: the authority-aware methods beat CC.
+		if row.Precision["SA-CA-CC"] <= row.Precision["CC"] {
+			t.Errorf("skills=%d: SA-CA-CC precision %.1f not above CC %.1f",
+				row.Skills, row.Precision["SA-CA-CC"], row.Precision["CC"])
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig5(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunFig5(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TopKFixed.Points) != 3 || len(res.BestRandom.Points) != 3 {
+		t.Fatalf("sweep lengths: %d, %d", len(res.TopKFixed.Points), len(res.BestRandom.Points))
+	}
+	for _, s := range []Fig5Series{res.TopKFixed, res.BestRandom} {
+		for _, pt := range s.Points {
+			if pt.Size < 1 {
+				t.Errorf("team size %v < 1", pt.Size)
+			}
+			if pt.HolderH < 0 || pt.ConnH < 0 || pt.Pubs < 0 {
+				t.Errorf("negative profile values: %+v", pt)
+			}
+		}
+		norm := s.Normalized()
+		if len(norm) != 4 {
+			t.Fatalf("normalized series = %d", len(norm))
+		}
+		for _, series := range norm {
+			for _, v := range series {
+				if v < 0 || v > 1 {
+					t.Errorf("normalized value %v outside [0,1]", v)
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig6(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunFig6(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Teams) != 3 {
+		t.Fatalf("teams = %d, want 3", len(res.Teams))
+	}
+	for _, ft := range res.Teams {
+		if len(ft.Members) == 0 {
+			t.Errorf("%s: empty team", ft.Method)
+		}
+		holders := 0
+		for _, m := range ft.Members {
+			if strings.HasPrefix(m.Role, "holder(") {
+				holders++
+			}
+		}
+		if holders == 0 {
+			t.Errorf("%s: no holders rendered", ft.Method)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "connector") && !strings.Contains(buf.String(), "holder") {
+		t.Error("rendering lost the roles")
+	}
+}
+
+func TestQuality(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunQuality(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comparisons != res.Projects*res.TrialsEach {
+		t.Errorf("comparisons = %d", res.Comparisons)
+	}
+	if res.WinPct < 0 || res.WinPct > 100 {
+		t.Errorf("win pct = %v", res.WinPct)
+	}
+	// Shape: the authority-aware method should win the majority, as in
+	// the paper's 78% (exact value depends on corpus scale).
+	if res.WinPct < 50 {
+		t.Errorf("SA-CA-CC win rate %.1f%% below 50%% — mentorship shape lost", res.WinPct)
+	}
+	var buf bytes.Buffer
+	if err := res.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuntime(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunRuntime(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for _, m := range fig4Methods {
+			if row.MeanMS[m] < 0 {
+				t.Errorf("negative latency for %s", m)
+			}
+		}
+	}
+	if res.IndexBuildMS["G"] <= 0 || res.IndexBuildMS["G'"] <= 0 {
+		t.Error("index build times missing")
+	}
+	var buf bytes.Buffer
+	if err := res.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunAblations(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The index answers exact distances: team objective values must
+	// agree with the Dijkstra oracle on every project.
+	if res.OracleAgreements != res.OracleProjects {
+		t.Errorf("oracle agreement %d/%d — the index changed results",
+			res.OracleAgreements, res.OracleProjects)
+	}
+	if res.SurrogateRatio <= 0 {
+		t.Errorf("surrogate ratio = %v", res.SurrogateRatio)
+	}
+	// The surrogate sums per-holder path costs (shared segments double
+	// counted, holder terms adjusted), so the evaluated objective is
+	// normally below the surrogate: ratio ≤ ~1.
+	if res.SurrogateRatio > 1.5 {
+		t.Errorf("surrogate ratio %v implausibly high", res.SurrogateRatio)
+	}
+	if res.NormSize <= 0 || res.RawSize <= 0 {
+		t.Error("normalization study produced empty teams")
+	}
+	var buf bytes.Buffer
+	if err := res.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJudgesDeterministic(t *testing.T) {
+	env := testEnv(t)
+	p, err := env.Params(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := env.Generator(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	project, err := gen.Project(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	teams, err := env.Discoverer(0, p).TopK(project, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := PanelPrecision(NewPanel(6, 9), teams, env.Graph)
+	p2 := PanelPrecision(NewPanel(6, 9), teams, env.Graph)
+	if p1 != p2 {
+		t.Error("same panel seed should give identical precision")
+	}
+	if p1 <= 0 || p1 > 100 {
+		t.Errorf("precision %v out of range", p1)
+	}
+}
+
+func TestPanelPrecisionEmpty(t *testing.T) {
+	if PanelPrecision(NewPanel(3, 1), nil, nil) != 0 {
+		t.Error("empty team list should score 0")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{
+		Title:   "test",
+		Headers: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}, {"3", "4"}},
+	}
+	path := filepath.Join(t.TempDir(), "sub", "out.csv")
+	if err := tab.WriteCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "3") {
+		t.Errorf("render lost cells: %q", out)
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if fmtScore(math.NaN()) != "—" {
+		t.Error("NaN should render as dash")
+	}
+	if fmtScore(1.25) != "1.2500" {
+		t.Errorf("fmtScore = %q", fmtScore(1.25))
+	}
+	if fmtF(2.345, 1) != "2.3" {
+		t.Errorf("fmtF = %q", fmtF(2.345, 1))
+	}
+}

@@ -1,0 +1,240 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"authteam/internal/core"
+	"authteam/internal/expertgraph"
+	"authteam/internal/team"
+	"authteam/internal/transform"
+)
+
+// Figure 3: mean SA-CA-CC score of each ranking strategy (CC, CA-CC,
+// SA-CA-CC, Random, Exact) as a function of λ, one panel per project
+// size (4/6/8/10 skills), γ fixed (0.6 in the paper), averaged over
+// Projects random projects. Exact runs only for small panels, exactly
+// as the paper reports ("Exact was only able to handle 4 and 6
+// skills").
+
+// Fig3Panel is one subplot: skills fixed, series over λ.
+type Fig3Panel struct {
+	Skills  int
+	Lambdas []float64
+	// Mean[method][i] is the mean SA-CA-CC score at Lambdas[i]; NaN
+	// when the series was not run (Exact on large panels).
+	Mean map[string][]float64
+}
+
+// Fig3Result aggregates all panels.
+type Fig3Result struct {
+	Panels []Fig3Panel
+}
+
+// projectScores carries one project's per-λ scores for each method.
+type projectScores struct {
+	scores map[string][]float64 // method -> per-λ SA-CA-CC (NaN = missing)
+	err    error
+}
+
+// RunFig3 executes the Figure 3 experiment.
+func RunFig3(env *Env) (*Fig3Result, error) {
+	cfg := env.Cfg
+	// Per-λ transform params are immutable after Fit and shared across
+	// workers.
+	params := make([]*transform.Params, len(cfg.Lambdas))
+	for i, l := range cfg.Lambdas {
+		p, err := env.Params(l)
+		if err != nil {
+			return nil, err
+		}
+		params[i] = p
+	}
+
+	res := &Fig3Result{}
+	for _, skills := range cfg.SkillCounts {
+		gen, err := env.Generator(int64(300 + skills))
+		if err != nil {
+			return nil, err
+		}
+		projects, err := gen.Projects(cfg.Projects, skills)
+		if err != nil {
+			return nil, fmt.Errorf("fig3: %d-skill workload: %w", skills, err)
+		}
+		panel := Fig3Panel{
+			Skills:  skills,
+			Lambdas: cfg.Lambdas,
+			Mean:    make(map[string][]float64, len(MethodNames)),
+		}
+
+		out := make([]projectScores, len(projects))
+		runParallel(cfg.Workers, len(projects), func(pi int) {
+			out[pi] = fig3Project(env, params, projects[pi], skills, pi)
+		})
+
+		for _, method := range MethodNames {
+			sums := make([]float64, len(cfg.Lambdas))
+			counts := make([]int, len(cfg.Lambdas))
+			for pi := range out {
+				if out[pi].err != nil {
+					continue
+				}
+				for i, v := range out[pi].scores[method] {
+					if !math.IsNaN(v) {
+						sums[i] += v
+						counts[i]++
+					}
+				}
+			}
+			means := make([]float64, len(cfg.Lambdas))
+			for i := range means {
+				if counts[i] == 0 {
+					means[i] = math.NaN()
+				} else {
+					means[i] = sums[i] / float64(counts[i])
+				}
+			}
+			panel.Mean[method] = means
+		}
+		for _, ps := range out {
+			if ps.err != nil {
+				return nil, ps.err
+			}
+		}
+		res.Panels = append(res.Panels, panel)
+	}
+	return res, nil
+}
+
+// fig3Project computes every method's per-λ score for one project.
+func fig3Project(env *Env, params []*transform.Params,
+	project []expertgraph.SkillID, skills, projectIdx int) projectScores {
+
+	cfg := env.Cfg
+	nan := func() []float64 {
+		xs := make([]float64, len(params))
+		for i := range xs {
+			xs[i] = math.NaN()
+		}
+		return xs
+	}
+	ps := projectScores{scores: map[string][]float64{
+		"CC": nan(), "CA-CC": nan(), "SA-CA-CC": nan(), "Random": nan(), "Exact": nan(),
+	}}
+
+	evalAt := func(tm *team.Team, i int) float64 {
+		return team.Evaluate(tm, params[i]).SACACC
+	}
+
+	// CC and CA-CC searches are λ-independent: one team each, scored
+	// under every λ.
+	ccTeam, err := env.Discoverer(core.CC, params[0]).BestTeam(project)
+	if err != nil {
+		ps.err = fmt.Errorf("fig3: CC on project %d: %w", projectIdx, err)
+		return ps
+	}
+	caccTeam, err := env.Discoverer(core.CACC, params[0]).BestTeam(project)
+	if err != nil {
+		ps.err = fmt.Errorf("fig3: CA-CC on project %d: %w", projectIdx, err)
+		return ps
+	}
+	for i := range params {
+		ps.scores["CC"][i] = evalAt(ccTeam, i)
+		ps.scores["CA-CC"][i] = evalAt(caccTeam, i)
+	}
+
+	for i, p := range params {
+		saTeam, err := env.Discoverer(core.SACACC, p).BestTeam(project)
+		if err != nil {
+			ps.err = fmt.Errorf("fig3: SA-CA-CC on project %d: %w", projectIdx, err)
+			return ps
+		}
+		ps.scores["SA-CA-CC"][i] = evalAt(saTeam, i)
+
+		rng := rand.New(rand.NewSource(cfg.Seed*7_777_777 + int64(projectIdx)*131 + int64(i)))
+		var rndTeam *team.Team
+		if env.gOracle != nil {
+			rndTeam, err = core.RandomFast(p, project, cfg.RandomTrials, rng, env.gOracle)
+		} else {
+			rndTeam, err = core.Random(p, project, cfg.RandomTrials, rng)
+		}
+		if err != nil {
+			ps.err = fmt.Errorf("fig3: Random on project %d: %w", projectIdx, err)
+			return ps
+		}
+		ps.scores["Random"][i] = evalAt(rndTeam, i)
+
+		if skills <= cfg.ExactSkillLimit && projectIdx < cfg.ExactProjects {
+			// The assignment space is |C|^skills; beyond 4 skills the
+			// candidate truncation tightens further to keep Exact's
+			// exponential cost within minutes (the paper stops at 6
+			// skills for the same reason).
+			cands := cfg.ExactCandidates
+			if skills > 4 && cands > 3 {
+				cands = 3
+			}
+			exTeam, err := core.Exact(p, project, core.ExactOptions{
+				MaxCandidatesPerSkill: cands,
+				Oracle:                env.gOracle,
+			})
+			switch {
+			case err == nil:
+				ps.scores["Exact"][i] = evalAt(exTeam, i)
+			case errors.Is(err, core.ErrBudgetExceeded):
+				// The paper's "did not terminate": leave the cell blank.
+			default:
+				ps.err = fmt.Errorf("fig3: Exact on project %d: %w", projectIdx, err)
+				return ps
+			}
+		}
+	}
+	return ps
+}
+
+// Table renders the panels as one long table (panel, λ, one column per
+// method).
+func (r *Fig3Result) Table() *Table {
+	t := &Table{
+		Title:   "Figure 3 — mean SA-CA-CC score by ranking strategy (lower is better)",
+		Headers: append([]string{"skills", "lambda"}, MethodNames...),
+	}
+	for _, panel := range r.Panels {
+		for i, l := range panel.Lambdas {
+			row := []string{fmt.Sprintf("%d", panel.Skills), fmtF(l, 1)}
+			for _, m := range MethodNames {
+				row = append(row, fmtScore(panel.Mean[m][i]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}
+
+// runParallel fans fn(i) for i in [0, n) over w workers.
+func runParallel(w, n int, fn func(i int)) {
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

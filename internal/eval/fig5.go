@@ -1,0 +1,163 @@
+package eval
+
+import (
+	"fmt"
+
+	"authteam/internal/core"
+	"authteam/internal/expertgraph"
+	"authteam/internal/stats"
+	"authteam/internal/team"
+)
+
+// Figure 5: sensitivity of the discovered teams to λ — (a) average
+// skill-holder h-index, (b) average connector h-index, (c) average
+// team size, (d) average publications — under the paper's two
+// methodologies: the top-5 teams of the fixed project [analytics,
+// matrix, communities, object oriented], and the best team of five
+// random 4-skill projects. The paper plots normalized values; both raw
+// and normalized series are reported.
+
+// Fig5Point is one λ sample of the four measures.
+type Fig5Point struct {
+	Lambda  float64
+	HolderH float64 // avg skill-holder h-index
+	ConnH   float64 // avg connector h-index
+	Size    float64 // avg team size
+	Pubs    float64 // avg publications per member
+}
+
+// Fig5Series is one methodology's sweep.
+type Fig5Series struct {
+	Name   string
+	Points []Fig5Point
+}
+
+// Fig5Result aggregates both methodologies.
+type Fig5Result struct {
+	TopKFixed    Fig5Series // top-5 teams of the fixed 4-skill project
+	BestRandom   Fig5Series // best team of 5 random 4-skill projects
+	UsedFallback bool       // fixed project replaced by a random one
+}
+
+const fig5RandomProjects = 5
+
+// RunFig5 executes the sensitivity experiment.
+func RunFig5(env *Env) (*Fig5Result, error) {
+	cfg := env.Cfg
+	res := &Fig5Result{}
+
+	fixed, ok := env.Figure6Project()
+	if !ok {
+		// The corpus is expected to cover the Figure 6 skills; fall
+		// back to a random 4-skill project at tiny test scales.
+		gen, err := env.Generator(555)
+		if err != nil {
+			return nil, err
+		}
+		fixed, err = gen.Project(4)
+		if err != nil {
+			return nil, err
+		}
+		res.UsedFallback = true
+	}
+
+	gen, err := env.Generator(556)
+	if err != nil {
+		return nil, err
+	}
+	randomProjects, err := gen.Projects(fig5RandomProjects, 4)
+	if err != nil {
+		return nil, err
+	}
+
+	res.TopKFixed = Fig5Series{Name: fmt.Sprintf("top-%d teams, fixed project", cfg.TopK)}
+	res.BestRandom = Fig5Series{Name: fmt.Sprintf("best team, %d random projects", fig5RandomProjects)}
+
+	for _, lambda := range cfg.SensitivityLambdas {
+		p, err := env.Params(lambda)
+		if err != nil {
+			return nil, err
+		}
+		// Methodology 1: top-k on the fixed project.
+		teams, err := env.Discoverer(core.SACACC, p).TopK(fixed, cfg.TopK)
+		if err != nil {
+			return nil, fmt.Errorf("fig5: fixed project at λ=%.1f: %w", lambda, err)
+		}
+		res.TopKFixed.Points = append(res.TopKFixed.Points, averageProfiles(env.Graph, teams, lambda))
+
+		// Methodology 2: best team per random project.
+		var bests []*team.Team
+		for _, project := range randomProjects {
+			tm, err := env.Discoverer(core.SACACC, p).BestTeam(project)
+			if err != nil {
+				return nil, fmt.Errorf("fig5: random project at λ=%.1f: %w", lambda, err)
+			}
+			bests = append(bests, tm)
+		}
+		res.BestRandom.Points = append(res.BestRandom.Points, averageProfiles(env.Graph, bests, lambda))
+	}
+	return res, nil
+}
+
+func averageProfiles(g *expertgraph.Graph, teams []*team.Team, lambda float64) Fig5Point {
+	pt := Fig5Point{Lambda: lambda}
+	if len(teams) == 0 {
+		return pt
+	}
+	for _, tm := range teams {
+		pr := team.ProfileOf(tm, g)
+		pt.HolderH += pr.AvgHolderAuth
+		pt.ConnH += pr.AvgConnectorAuth
+		pt.Size += float64(pr.Size)
+		pt.Pubs += pr.AvgPubs
+	}
+	n := float64(len(teams))
+	pt.HolderH /= n
+	pt.ConnH /= n
+	pt.Size /= n
+	pt.Pubs /= n
+	return pt
+}
+
+// Normalized returns the series' four measures min–max normalized over
+// the sweep, the scale of the paper's plot.
+func (s Fig5Series) Normalized() [][]float64 {
+	pick := func(f func(Fig5Point) float64) []float64 {
+		xs := make([]float64, len(s.Points))
+		for i, p := range s.Points {
+			xs[i] = f(p)
+		}
+		return stats.Normalize(xs)
+	}
+	return [][]float64{
+		pick(func(p Fig5Point) float64 { return p.HolderH }),
+		pick(func(p Fig5Point) float64 { return p.ConnH }),
+		pick(func(p Fig5Point) float64 { return p.Size }),
+		pick(func(p Fig5Point) float64 { return p.Pubs }),
+	}
+}
+
+// Table renders both series, raw and normalized.
+func (r *Fig5Result) Table() *Table {
+	t := &Table{
+		Title: "Figure 5 — sensitivity to λ (raw values, normalized in parentheses)",
+		Headers: []string{"series", "lambda", "holder h-index", "connector h-index",
+			"team size", "avg pubs"},
+	}
+	add := func(s Fig5Series) {
+		norm := s.Normalized()
+		for i, p := range s.Points {
+			t.Rows = append(t.Rows, []string{
+				s.Name,
+				fmtF(p.Lambda, 1),
+				fmt.Sprintf("%s (%s)", fmtF(p.HolderH, 2), fmtF(norm[0][i], 2)),
+				fmt.Sprintf("%s (%s)", fmtF(p.ConnH, 2), fmtF(norm[1][i], 2)),
+				fmt.Sprintf("%s (%s)", fmtF(p.Size, 2), fmtF(norm[2][i], 2)),
+				fmt.Sprintf("%s (%s)", fmtF(p.Pubs, 2), fmtF(norm[3][i], 2)),
+			})
+		}
+	}
+	add(r.TopKFixed)
+	add(r.BestRandom)
+	return t
+}

@@ -1,0 +1,116 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Rendering helpers shared by the figure runners: aligned ASCII tables
+// for terminals and CSV files for plotting.
+
+// Table is a rendered experiment artifact.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Render writes the table to w with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(rule); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// WriteCSV writes the table (headers + rows) to path, creating parent
+// directories as needed.
+func (t *Table) WriteCSV(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("eval: csv dir: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(t.Headers); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.WriteAll(t.Rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// fmtScore formats an objective value; NaN renders as a dash (the
+// paper leaves Exact blank where it did not terminate).
+func fmtScore(x float64) string {
+	if math.IsNaN(x) {
+		return "—"
+	}
+	return fmt.Sprintf("%.4f", x)
+}
+
+func fmtF(x float64, prec int) string {
+	if math.IsNaN(x) {
+		return "—"
+	}
+	return fmt.Sprintf("%.*f", prec, x)
+}

@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"authteam/internal/core"
+	"authteam/internal/oracle"
+)
+
+// §4.1 runtime claims: CC, CA-CC and SA-CA-CC "have similar runtime
+// since they use the same fundamental algorithm and indexing methods";
+// queries take a few hundred milliseconds, growing with the number of
+// required skills. This runner measures mean per-query wall time for
+// each method and skill count, plus the one-off index construction
+// costs.
+
+// RuntimeRow is one skill count's mean query latencies.
+type RuntimeRow struct {
+	Skills int
+	MeanMS map[string]float64
+}
+
+// RuntimeResult aggregates the measurements.
+type RuntimeResult struct {
+	Rows         []RuntimeRow
+	IndexBuildMS map[string]float64 // "G"/"G'" PLL construction
+	Nodes, Edges int
+}
+
+// runtimeProjects is how many queries are averaged per cell.
+const runtimeProjects = 5
+
+// RunRuntime executes the timing experiment.
+func RunRuntime(env *Env) (*RuntimeResult, error) {
+	cfg := env.Cfg
+	p, err := env.Params(cfg.Lambda)
+	if err != nil {
+		return nil, err
+	}
+	res := &RuntimeResult{
+		IndexBuildMS: make(map[string]float64, 2),
+		Nodes:        env.Graph.NumNodes(),
+		Edges:        env.Graph.NumEdges(),
+	}
+
+	// Index construction cost (rebuild fresh so the measurement does
+	// not depend on env warm-up).
+	t0 := time.Now()
+	oracle.BuildPLL(env.Graph, nil)
+	res.IndexBuildMS["G"] = msSince(t0)
+	t0 = time.Now()
+	oracle.BuildPLL(env.Graph, p.EdgeWeight())
+	res.IndexBuildMS["G'"] = msSince(t0)
+
+	for _, skills := range cfg.SkillCounts {
+		gen, err := env.Generator(int64(900 + skills))
+		if err != nil {
+			return nil, err
+		}
+		projects, err := gen.Projects(runtimeProjects, skills)
+		if err != nil {
+			return nil, err
+		}
+		row := RuntimeRow{Skills: skills, MeanMS: make(map[string]float64, 3)}
+		for mi, method := range []core.Method{core.CC, core.CACC, core.SACACC} {
+			total := 0.0
+			for _, project := range projects {
+				d := env.Discoverer(method, p)
+				t0 := time.Now()
+				if _, err := d.BestTeam(project); err != nil {
+					return nil, fmt.Errorf("runtime: %v: %w", method, err)
+				}
+				total += msSince(t0)
+			}
+			row.MeanMS[fig4Methods[mi]] = total / float64(len(projects))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t).Microseconds()) / 1000
+}
+
+// Table renders the latency matrix.
+func (r *RuntimeResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("§4.1 — mean query latency (ms) on %d nodes / %d edges (index build: G %.0fms, G' %.0fms)",
+			r.Nodes, r.Edges, r.IndexBuildMS["G"], r.IndexBuildMS["G'"]),
+		Headers: append([]string{"skills"}, fig4Methods...),
+	}
+	for _, row := range r.Rows {
+		cells := []string{fmt.Sprintf("%d", row.Skills)}
+		for _, m := range fig4Methods {
+			cells = append(cells, fmtF(row.MeanMS[m], 1))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}

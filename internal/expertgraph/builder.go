@@ -1,0 +1,237 @@
+package expertgraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Common build errors. Errors returned by Build wrap one of these, so
+// callers can match with errors.Is.
+var (
+	ErrSelfLoop       = errors.New("expertgraph: self loop")
+	ErrDuplicateEdge  = errors.New("expertgraph: duplicate edge")
+	ErrNegativeWeight = errors.New("expertgraph: negative edge weight")
+	ErrUnknownNode    = errors.New("expertgraph: unknown node")
+)
+
+type pendingEdge struct {
+	u, v NodeID
+	w    float64
+}
+
+// Builder assembles a Graph. It is not safe for concurrent use. The
+// zero value is ready to use.
+type Builder struct {
+	nodes  []Node
+	skills [][]SkillID
+
+	skillNames []string
+	skillIDs   map[string]SkillID
+
+	edges   []pendingEdge
+	edgeErr error
+}
+
+// NewBuilder returns a Builder with capacity hints for nodes and edges.
+func NewBuilder(nodeHint, edgeHint int) *Builder {
+	return &Builder{
+		nodes:    make([]Node, 0, nodeHint),
+		skills:   make([][]SkillID, 0, nodeHint),
+		edges:    make([]pendingEdge, 0, edgeHint),
+		skillIDs: make(map[string]SkillID),
+	}
+}
+
+// Skill interns a skill name and returns its ID. Calling it for an
+// already-known name returns the existing ID.
+func (b *Builder) Skill(name string) SkillID {
+	if b.skillIDs == nil {
+		b.skillIDs = make(map[string]SkillID)
+	}
+	if id, ok := b.skillIDs[name]; ok {
+		return id
+	}
+	id := SkillID(len(b.skillNames))
+	b.skillNames = append(b.skillNames, name)
+	b.skillIDs[name] = id
+	return id
+}
+
+// AddNode adds an expert and returns its NodeID. Authority values
+// below 1 are floored to 1 so that a'(c) = 1/a(c) stays defined and
+// bounded (the paper uses h-index, which can be 0 for juniors).
+func (b *Builder) AddNode(name string, authority float64, skills ...string) NodeID {
+	if authority < 1 {
+		authority = 1
+	}
+	id := NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, Node{Name: name, Authority: authority})
+	ids := make([]SkillID, 0, len(skills))
+	for _, s := range skills {
+		ids = appendSkill(ids, b.Skill(s))
+	}
+	b.skills = append(b.skills, ids)
+	return id
+}
+
+// SetPubs records the publication count of expert u.
+func (b *Builder) SetPubs(u NodeID, pubs int) {
+	b.nodes[u].Pubs = pubs
+}
+
+// AddSkillTo grants skill s to an existing expert.
+func (b *Builder) AddSkillTo(u NodeID, skill string) {
+	b.skills[u] = appendSkill(b.skills[u], b.Skill(skill))
+}
+
+func appendSkill(ids []SkillID, id SkillID) []SkillID {
+	for _, have := range ids {
+		if have == id {
+			return ids
+		}
+	}
+	return append(ids, id)
+}
+
+// AddEdge records an undirected edge between u and v with weight w.
+// Validation errors (self loop, negative weight, unknown endpoint,
+// duplicate edge) are sticky and reported by Build; this keeps bulk
+// loading loops free of per-call error handling.
+func (b *Builder) AddEdge(u, v NodeID, w float64) {
+	if b.edgeErr != nil {
+		return
+	}
+	switch {
+	case u == v:
+		b.edgeErr = fmt.Errorf("%w: node %d", ErrSelfLoop, u)
+	case w < 0:
+		b.edgeErr = fmt.Errorf("%w: edge (%d,%d) weight %v", ErrNegativeWeight, u, v, w)
+	case int(u) >= len(b.nodes) || u < 0:
+		b.edgeErr = fmt.Errorf("%w: %d", ErrUnknownNode, u)
+	case int(v) >= len(b.nodes) || v < 0:
+		b.edgeErr = fmt.Errorf("%w: %d", ErrUnknownNode, v)
+	default:
+		if u > v {
+			u, v = v, u
+		}
+		b.edges = append(b.edges, pendingEdge{u: u, v: v, w: w})
+	}
+}
+
+// NumNodes returns the number of experts added so far.
+func (b *Builder) NumNodes() int { return len(b.nodes) }
+
+// Build validates the accumulated nodes and edges and freezes them into
+// an immutable Graph. The Builder must not be reused afterwards.
+func (b *Builder) Build() (*Graph, error) {
+	if b.edgeErr != nil {
+		return nil, b.edgeErr
+	}
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].u != b.edges[j].u {
+			return b.edges[i].u < b.edges[j].u
+		}
+		return b.edges[i].v < b.edges[j].v
+	})
+	for i := 1; i < len(b.edges); i++ {
+		if b.edges[i] == b.edges[i-1] || (b.edges[i].u == b.edges[i-1].u && b.edges[i].v == b.edges[i-1].v) {
+			return nil, fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, b.edges[i].u, b.edges[i].v)
+		}
+	}
+
+	n := len(b.nodes)
+	g := &Graph{
+		nodes:      b.nodes,
+		inv:        make([]float64, n),
+		skillNames: b.skillNames,
+		skillIDs:   b.skillIDs,
+		numEdges:   len(b.edges),
+	}
+	if g.skillIDs == nil {
+		g.skillIDs = make(map[string]SkillID)
+	}
+	for i, nd := range g.nodes {
+		g.inv[i] = 1 / nd.Authority
+	}
+
+	// Adjacency CSR: count degrees, then fill both directions.
+	deg := make([]int32, n+1)
+	for _, e := range b.edges {
+		deg[e.u+1]++
+		deg[e.v+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	g.adjOff = deg
+	g.adjTo = make([]NodeID, 2*len(b.edges))
+	g.adjW = make([]float64, 2*len(b.edges))
+	cursor := make([]int32, n)
+	for _, e := range b.edges {
+		i := g.adjOff[e.u] + cursor[e.u]
+		g.adjTo[i], g.adjW[i] = e.v, e.w
+		cursor[e.u]++
+		j := g.adjOff[e.v] + cursor[e.v]
+		g.adjTo[j], g.adjW[j] = e.u, e.w
+		cursor[e.v]++
+	}
+
+	// Node-skill CSR.
+	g.nodeSkOff = make([]int32, n+1)
+	total := 0
+	for i, sk := range b.skills {
+		total += len(sk)
+		g.nodeSkOff[i+1] = int32(total)
+	}
+	g.nodeSk = make([]SkillID, 0, total)
+	for _, sk := range b.skills {
+		g.nodeSk = append(g.nodeSk, sk...)
+	}
+
+	// Inverted skill index C(s), sorted by NodeID (nodes are visited in
+	// increasing order so append order is already sorted).
+	ns := len(g.skillNames)
+	counts := make([]int32, ns+1)
+	for _, s := range g.nodeSk {
+		counts[s+1]++
+	}
+	for i := 0; i < ns; i++ {
+		counts[i+1] += counts[i]
+	}
+	g.skillOff = counts
+	g.skillOf = make([]NodeID, total)
+	fill := make([]int32, ns)
+	for u := 0; u < n; u++ {
+		for _, s := range g.Skills(NodeID(u)) {
+			g.skillOf[g.skillOff[s]+fill[s]] = NodeID(u)
+			fill[s]++
+		}
+	}
+
+	// Weight and authority bounds for the normalizer (Def. 4 requires
+	// normalizing node and edge scales before combining them).
+	if len(b.edges) > 0 {
+		g.minW, g.maxW = b.edges[0].w, b.edges[0].w
+		for _, e := range b.edges[1:] {
+			if e.w < g.minW {
+				g.minW = e.w
+			}
+			if e.w > g.maxW {
+				g.maxW = e.w
+			}
+		}
+	}
+	if n > 0 {
+		g.minInv, g.maxInv = g.inv[0], g.inv[0]
+		for _, a := range g.inv[1:] {
+			if a < g.minInv {
+				g.minInv = a
+			}
+			if a > g.maxInv {
+				g.maxInv = a
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,100 @@
+package expertgraph
+
+// Connected components and subgraph extraction. Team discovery requires
+// every required skill to be reachable from some root, so experiments
+// typically run on the largest connected component of the corpus graph,
+// exactly like prior team-formation work on DBLP.
+
+// Components labels each node with a component ID (0-based, in order of
+// first discovery) and returns the labels plus the component count.
+func Components(g *Graph) (labels []int32, count int) {
+	n := g.NumNodes()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []NodeID
+	var comp int32
+	for start := 0; start < n; start++ {
+		if labels[start] != -1 {
+			continue
+		}
+		queue = append(queue[:0], NodeID(start))
+		labels[start] = comp
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			g.Neighbors(u, func(v NodeID, _ float64) bool {
+				if labels[v] == -1 {
+					labels[v] = comp
+					queue = append(queue, v)
+				}
+				return true
+			})
+		}
+		comp++
+	}
+	return labels, int(comp)
+}
+
+// LargestComponent returns the node set of the largest connected
+// component, sorted by NodeID.
+func LargestComponent(g *Graph) []NodeID {
+	labels, count := Components(g)
+	if count == 0 {
+		return nil
+	}
+	sizes := make([]int, count)
+	for _, c := range labels {
+		sizes[c]++
+	}
+	best := 0
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = c
+		}
+	}
+	nodes := make([]NodeID, 0, sizes[best])
+	for u, c := range labels {
+		if int(c) == best {
+			nodes = append(nodes, NodeID(u))
+		}
+	}
+	return nodes
+}
+
+// Subgraph extracts the induced subgraph on keep (which must contain no
+// duplicates). It returns the new graph and a mapping from new NodeID to
+// the original NodeID. Skills are re-interned so the subgraph's skill
+// universe contains only skills held by kept nodes.
+func Subgraph(g *Graph, keep []NodeID) (*Graph, []NodeID) {
+	oldToNew := make(map[NodeID]NodeID, len(keep))
+	newToOld := make([]NodeID, len(keep))
+	b := NewBuilder(len(keep), len(keep)*2)
+	for i, u := range keep {
+		oldToNew[u] = NodeID(i)
+		newToOld[i] = u
+		nd := g.Node(u)
+		id := b.AddNode(nd.Name, nd.Authority)
+		b.SetPubs(id, nd.Pubs)
+		for _, s := range g.Skills(u) {
+			b.AddSkillTo(id, g.SkillName(s))
+		}
+	}
+	for _, u := range keep {
+		g.Neighbors(u, func(v NodeID, w float64) bool {
+			nv, ok := oldToNew[v]
+			if ok && u < v { // add each undirected edge once
+				b.AddEdge(oldToNew[u], nv, w)
+			}
+			return true
+		})
+	}
+	sub, err := b.Build()
+	if err != nil {
+		// Induced subgraphs of a valid graph cannot produce invalid
+		// edges; reaching this is a bug in the extraction above.
+		panic("expertgraph: Subgraph build failed: " + err.Error())
+	}
+	return sub, newToOld
+}

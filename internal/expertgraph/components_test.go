@@ -1,0 +1,128 @@
+package expertgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestComponentsSingle(t *testing.T) {
+	g := buildDiamond(t)
+	labels, count := Components(g)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	for u, c := range labels {
+		if c != 0 {
+			t.Errorf("label[%d] = %d, want 0", u, c)
+		}
+	}
+}
+
+func TestComponentsMultiple(t *testing.T) {
+	b := NewBuilder(5, 2)
+	a := b.AddNode("a", 1)
+	bb := b.AddNode("b", 1)
+	c := b.AddNode("c", 1)
+	d := b.AddNode("d", 1)
+	b.AddNode("isolated", 1)
+	b.AddEdge(a, bb, 1)
+	b.AddEdge(c, d, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, count := Components(g)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[2] != labels[3] {
+		t.Error("pairs should share labels")
+	}
+	if labels[0] == labels[2] || labels[0] == labels[4] || labels[2] == labels[4] {
+		t.Error("distinct components should have distinct labels")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	b := NewBuilder(6, 4)
+	// Component 1: 4 nodes in a path. Component 2: 2 nodes.
+	n0 := b.AddNode("0", 1)
+	n1 := b.AddNode("1", 1)
+	n2 := b.AddNode("2", 1)
+	n3 := b.AddNode("3", 1)
+	n4 := b.AddNode("4", 1)
+	n5 := b.AddNode("5", 1)
+	b.AddEdge(n0, n1, 1)
+	b.AddEdge(n1, n2, 1)
+	b.AddEdge(n2, n3, 1)
+	b.AddEdge(n4, n5, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := LargestComponent(g)
+	if len(lc) != 4 {
+		t.Fatalf("largest component size = %d, want 4", len(lc))
+	}
+	for i, u := range []NodeID{0, 1, 2, 3} {
+		if lc[i] != u {
+			t.Errorf("lc[%d] = %d, want %d", i, lc[i], u)
+		}
+	}
+}
+
+func TestLargestComponentEmpty(t *testing.T) {
+	g, err := NewBuilder(0, 0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc := LargestComponent(g); lc != nil {
+		t.Errorf("empty graph largest component = %v, want nil", lc)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := buildDiamond(t)
+	sub, newToOld := Subgraph(g, []NodeID{0, 1, 3}) // drop node c
+	if sub.NumNodes() != 3 {
+		t.Fatalf("sub nodes = %d, want 3", sub.NumNodes())
+	}
+	if sub.NumEdges() != 2 { // a-b and b-d survive; edges through c drop
+		t.Fatalf("sub edges = %d, want 2", sub.NumEdges())
+	}
+	// Mapping preserves identity.
+	for newID, oldID := range newToOld {
+		if sub.Name(NodeID(newID)) != g.Name(oldID) {
+			t.Errorf("name mismatch at new %d / old %d", newID, oldID)
+		}
+		if sub.Authority(NodeID(newID)) != g.Authority(oldID) {
+			t.Errorf("authority mismatch at new %d / old %d", newID, oldID)
+		}
+	}
+	// Skill survives: node a held "db".
+	db, ok := sub.SkillID("db")
+	if !ok {
+		t.Fatal("skill db lost in subgraph")
+	}
+	if experts := sub.ExpertsWithSkill(db); len(experts) != 1 {
+		t.Errorf("db experts = %v, want exactly the copy of a", experts)
+	}
+}
+
+func TestSubgraphPreservesDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomConnectedGraph(rng, 40, 60)
+	keep := LargestComponent(g) // whole graph: connected by construction
+	sub, newToOld := Subgraph(g, keep)
+	if sub.NumNodes() != g.NumNodes() || sub.NumEdges() != g.NumEdges() {
+		t.Fatal("identity subgraph should preserve node and edge counts")
+	}
+	dOrig := Dijkstra(g, newToOld[0])
+	dSub := Dijkstra(sub, 0)
+	for newID, oldID := range newToOld {
+		if diff := dSub.Dist[newID] - dOrig.Dist[oldID]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("distance mismatch for node %d: %v vs %v", newID,
+				dSub.Dist[newID], dOrig.Dist[oldID])
+		}
+	}
+}

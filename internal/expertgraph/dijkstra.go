@@ -1,0 +1,218 @@
+package expertgraph
+
+// Dijkstra shortest paths over the expert network. This is both the
+// exact reference implementation of the paper's DIST function and the
+// tool used to reconstruct the tree of a winning team (the 2-hop cover
+// index answers distances only).
+//
+// A reusable workspace amortizes allocations across the many SSSP calls
+// Algorithm 1 issues when running without the landmark index.
+
+// indexedHeap is a binary min-heap of node/priority pairs supporting
+// decrease-key through a position index. It is intentionally minimal:
+// the PLL package carries its own heap tuned for label construction.
+type indexedHeap struct {
+	ids  []NodeID
+	prio []float64
+	pos  []int32 // node -> heap index, -1 when absent
+}
+
+func newIndexedHeap(n int) *indexedHeap {
+	h := &indexedHeap{pos: make([]int32, n)}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+func (h *indexedHeap) reset() {
+	for _, id := range h.ids {
+		h.pos[id] = -1
+	}
+	h.ids = h.ids[:0]
+	h.prio = h.prio[:0]
+}
+
+func (h *indexedHeap) len() int { return len(h.ids) }
+
+func (h *indexedHeap) push(u NodeID, p float64) {
+	h.ids = append(h.ids, u)
+	h.prio = append(h.prio, p)
+	h.pos[u] = int32(len(h.ids) - 1)
+	h.up(len(h.ids) - 1)
+}
+
+// decrease lowers the priority of u, which must already be in the heap.
+func (h *indexedHeap) decrease(u NodeID, p float64) {
+	i := h.pos[u]
+	h.prio[i] = p
+	h.up(int(i))
+}
+
+func (h *indexedHeap) contains(u NodeID) bool { return h.pos[u] >= 0 }
+
+func (h *indexedHeap) pop() (NodeID, float64) {
+	top, p := h.ids[0], h.prio[0]
+	last := len(h.ids) - 1
+	h.swap(0, last)
+	h.ids = h.ids[:last]
+	h.prio = h.prio[:last]
+	h.pos[top] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return top, p
+}
+
+func (h *indexedHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+	h.pos[h.ids[i]] = int32(i)
+	h.pos[h.ids[j]] = int32(j)
+}
+
+func (h *indexedHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[parent] <= h.prio[i] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *indexedHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.prio[l] < h.prio[smallest] {
+			smallest = l
+		}
+		if r < n && h.prio[r] < h.prio[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// SSSP holds the result of a single-source shortest path computation.
+// Dist[v] is Infinity and Parent[v] is -1 for unreachable nodes.
+type SSSP struct {
+	Source NodeID
+	Dist   []float64
+	Parent []NodeID
+}
+
+// PathTo reconstructs the shortest path from the source to v as a node
+// sequence source..v, or nil if v is unreachable.
+func (s *SSSP) PathTo(v NodeID) []NodeID {
+	if s.Dist[v] == Infinity && v != s.Source {
+		return nil
+	}
+	var rev []NodeID
+	for u := v; u != -1; u = s.Parent[u] {
+		rev = append(rev, u)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// DijkstraWorkspace owns the scratch memory for repeated SSSP runs on
+// one graph. It is not safe for concurrent use; create one per
+// goroutine.
+type DijkstraWorkspace struct {
+	g      *Graph
+	heap   *indexedHeap
+	dist   []float64
+	parent []NodeID
+}
+
+// NewDijkstraWorkspace allocates a workspace sized for g.
+func NewDijkstraWorkspace(g *Graph) *DijkstraWorkspace {
+	n := g.NumNodes()
+	w := &DijkstraWorkspace{
+		g:      g,
+		heap:   newIndexedHeap(n),
+		dist:   make([]float64, n),
+		parent: make([]NodeID, n),
+	}
+	return w
+}
+
+// Run computes single-source shortest paths from src. The returned SSSP
+// aliases workspace memory and is invalidated by the next Run call;
+// copy Dist/Parent if they must outlive it.
+func (w *DijkstraWorkspace) Run(src NodeID) *SSSP {
+	return w.run(src, nil)
+}
+
+// RunWeighted computes shortest paths using edgeWeight(u, v, w) in
+// place of the stored weight w for each traversed edge. This is how
+// the transformed graph G' (§3.2.2) is searched without materializing
+// it: the transform package supplies the reweighting function.
+func (w *DijkstraWorkspace) RunWeighted(src NodeID, edgeWeight func(u, v NodeID, w float64) float64) *SSSP {
+	return w.run(src, edgeWeight)
+}
+
+func (w *DijkstraWorkspace) run(src NodeID, reweight func(u, v NodeID, w float64) float64) *SSSP {
+	n := w.g.NumNodes()
+	for i := 0; i < n; i++ {
+		w.dist[i] = Infinity
+		w.parent[i] = -1
+	}
+	w.heap.reset()
+	w.dist[src] = 0
+	w.heap.push(src, 0)
+	for w.heap.len() > 0 {
+		u, du := w.heap.pop()
+		if du > w.dist[u] {
+			continue
+		}
+		w.g.Neighbors(u, func(v NodeID, wt float64) bool {
+			if reweight != nil {
+				wt = reweight(u, v, wt)
+			}
+			if nd := du + wt; nd < w.dist[v] {
+				w.dist[v] = nd
+				w.parent[v] = u
+				if w.heap.contains(v) {
+					w.heap.decrease(v, nd)
+				} else {
+					w.heap.push(v, nd)
+				}
+			}
+			return true
+		})
+	}
+	return &SSSP{Source: src, Dist: w.dist, Parent: w.parent}
+}
+
+// Dijkstra is a convenience wrapper that allocates a fresh workspace,
+// runs SSSP from src and returns an independent result.
+func Dijkstra(g *Graph, src NodeID) *SSSP {
+	res := NewDijkstraWorkspace(g).Run(src)
+	out := &SSSP{
+		Source: src,
+		Dist:   append([]float64(nil), res.Dist...),
+		Parent: append([]NodeID(nil), res.Parent...),
+	}
+	return out
+}
+
+// ShortestPath returns the shortest path between u and v and its
+// length, or (nil, Infinity) when v is unreachable from u.
+func ShortestPath(g *Graph, u, v NodeID) ([]NodeID, float64) {
+	res := NewDijkstraWorkspace(g).Run(u)
+	if res.Dist[v] == Infinity {
+		return nil, Infinity
+	}
+	return res.PathTo(v), res.Dist[v]
+}

@@ -1,0 +1,245 @@
+package expertgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDijkstraDiamond(t *testing.T) {
+	g := buildDiamond(t)
+	// Diamond: a-b 1.0, a-c 2.0, b-d 0.5, c-d 1.0.
+	res := Dijkstra(g, 0)
+	want := []float64{0, 1.0, 2.0, 1.5}
+	for v, d := range want {
+		if math.Abs(res.Dist[v]-d) > 1e-12 {
+			t.Errorf("Dist[%d] = %v, want %v", v, res.Dist[v], d)
+		}
+	}
+}
+
+func TestDijkstraPath(t *testing.T) {
+	g := buildDiamond(t)
+	res := Dijkstra(g, 0)
+	path := res.PathTo(3)
+	want := []NodeID{0, 1, 3} // a -> b -> d (cost 1.5 beats a->c->d = 3.0)
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	b := NewBuilder(3, 1)
+	u, v := b.AddNode("u", 1), b.AddNode("v", 1)
+	b.AddNode("island", 1)
+	b.AddEdge(u, v, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Dijkstra(g, 0)
+	if !math.IsInf(res.Dist[2], 1) {
+		t.Errorf("island Dist = %v, want +Inf", res.Dist[2])
+	}
+	if res.PathTo(2) != nil {
+		t.Error("path to island should be nil")
+	}
+}
+
+func TestDijkstraPathToSource(t *testing.T) {
+	g := buildDiamond(t)
+	res := Dijkstra(g, 2)
+	path := res.PathTo(2)
+	if len(path) != 1 || path[0] != 2 {
+		t.Errorf("PathTo(source) = %v, want [2]", path)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := buildDiamond(t)
+	path, d := ShortestPath(g, 2, 1) // c->a->b = 3.0 vs c->d->b = 1.5
+	if math.Abs(d-1.5) > 1e-12 {
+		t.Errorf("dist = %v, want 1.5", d)
+	}
+	want := []NodeID{2, 3, 1}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestWorkspaceReuse(t *testing.T) {
+	g := buildDiamond(t)
+	ws := NewDijkstraWorkspace(g)
+	r1 := ws.Run(0)
+	d03 := r1.Dist[3]
+	r2 := ws.Run(3)
+	if math.Abs(r2.Dist[0]-d03) > 1e-12 {
+		t.Errorf("symmetric distance mismatch: %v vs %v", r2.Dist[0], d03)
+	}
+	// Run from every node to shake out stale workspace state.
+	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+		res := ws.Run(u)
+		if res.Dist[u] != 0 {
+			t.Errorf("Dist[src=%d] = %v, want 0", u, res.Dist[u])
+		}
+	}
+}
+
+func TestRunWeighted(t *testing.T) {
+	g := buildDiamond(t)
+	ws := NewDijkstraWorkspace(g)
+	// Constant reweighting to 1 turns the search into hop counting.
+	res := ws.RunWeighted(0, func(u, v NodeID, w float64) float64 { return 1 })
+	want := []float64{0, 1, 1, 2}
+	for v, d := range want {
+		if res.Dist[v] != d {
+			t.Errorf("hop Dist[%d] = %v, want %v", v, res.Dist[v], d)
+		}
+	}
+}
+
+// randomConnectedGraph builds a connected random graph: a spanning path
+// plus extra random edges, with uniform weights in (0, 1].
+func randomConnectedGraph(rng *rand.Rand, n, extra int) *Graph {
+	b := NewBuilder(n, n+extra)
+	for i := 0; i < n; i++ {
+		b.AddNode("", float64(1+rng.Intn(20)))
+	}
+	type pair struct{ u, v NodeID }
+	seen := make(map[pair]bool)
+	addEdge := func(u, v NodeID) {
+		if u == v {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[pair{u, v}] {
+			return
+		}
+		seen[pair{u, v}] = true
+		b.AddEdge(u, v, 0.05+rng.Float64())
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		addEdge(NodeID(perm[i-1]), NodeID(perm[i]))
+	}
+	for i := 0; i < extra; i++ {
+		addEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// bellmanFord is an independent O(VE) reference for shortest paths.
+func bellmanFord(g *Graph, src NodeID) []float64 {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	dist[src] = 0
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for u := NodeID(0); int(u) < n; u++ {
+			if dist[u] == Infinity {
+				continue
+			}
+			g.Neighbors(u, func(v NodeID, w float64) bool {
+				if nd := dist[u] + w; nd < dist[v] {
+					dist[v] = nd
+					changed = true
+				}
+				return true
+			})
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+func TestDijkstraMatchesBellmanFordProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		g := randomConnectedGraph(rng, n, n)
+		src := NodeID(rng.Intn(n))
+		d1 := Dijkstra(g, src).Dist
+		d2 := bellmanFord(g, src)
+		for i := range d1 {
+			if math.Abs(d1[i]-d2[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDijkstraTriangleInequalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomConnectedGraph(rng, 60, 120)
+	all := make([]*SSSP, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		all[u] = Dijkstra(g, NodeID(u))
+	}
+	for trial := 0; trial < 500; trial++ {
+		a := rng.Intn(g.NumNodes())
+		b := rng.Intn(g.NumNodes())
+		c := rng.Intn(g.NumNodes())
+		if all[a].Dist[b] > all[a].Dist[c]+all[c].Dist[b]+1e-9 {
+			t.Fatalf("triangle inequality violated: d(%d,%d) > d(%d,%d)+d(%d,%d)",
+				a, b, a, c, c, b)
+		}
+	}
+}
+
+func TestHeapOrdering(t *testing.T) {
+	h := newIndexedHeap(10)
+	prios := []float64{5, 1, 4, 2, 3}
+	for i, p := range prios {
+		h.push(NodeID(i), p)
+	}
+	h.decrease(0, 0.5) // node 0: 5 -> 0.5, now the minimum
+	var got []NodeID
+	for h.len() > 0 {
+		u, _ := h.pop()
+		got = append(got, u)
+	}
+	want := []NodeID{0, 1, 3, 4, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("heap pop order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHeapReset(t *testing.T) {
+	h := newIndexedHeap(4)
+	h.push(1, 2)
+	h.push(2, 1)
+	h.reset()
+	if h.len() != 0 || h.contains(1) || h.contains(2) {
+		t.Error("reset should empty the heap and clear positions")
+	}
+	h.push(3, 1)
+	if u, _ := h.pop(); u != 3 {
+		t.Error("heap unusable after reset")
+	}
+}

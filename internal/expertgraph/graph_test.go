@@ -1,0 +1,256 @@
+package expertgraph
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+)
+
+// buildDiamond returns the 4-node diamond used across tests:
+//
+//	a(auth 2, skills: db) — b(auth 4, skills: ml)     a-b: 1.0
+//	a — c(auth 1, skills: db, ml)                      a-c: 2.0
+//	b — d(auth 8, no skills)                           b-d: 0.5
+//	c — d                                              c-d: 1.0
+func buildDiamond(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4, 4)
+	a := b.AddNode("a", 2, "db")
+	bb := b.AddNode("b", 4, "ml")
+	c := b.AddNode("c", 1, "db", "ml")
+	d := b.AddNode("d", 8)
+	b.AddEdge(a, bb, 1.0)
+	b.AddEdge(a, c, 2.0)
+	b.AddEdge(bb, d, 0.5)
+	b.AddEdge(c, d, 1.0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestBuildCounts(t *testing.T) {
+	g := buildDiamond(t)
+	if g.NumNodes() != 4 {
+		t.Errorf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if g.NumSkills() != 2 {
+		t.Errorf("NumSkills = %d, want 2", g.NumSkills())
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	g := buildDiamond(t)
+	if g.Name(0) != "a" {
+		t.Errorf("Name(0) = %q, want a", g.Name(0))
+	}
+	if g.Authority(1) != 4 {
+		t.Errorf("Authority(1) = %v, want 4", g.Authority(1))
+	}
+	if got := g.InvAuthority(1); got != 0.25 {
+		t.Errorf("InvAuthority(1) = %v, want 0.25", got)
+	}
+	if g.Degree(0) != 2 || g.Degree(3) != 2 {
+		t.Errorf("Degree = %d,%d, want 2,2", g.Degree(0), g.Degree(3))
+	}
+}
+
+func TestAuthorityFloor(t *testing.T) {
+	b := NewBuilder(1, 0)
+	id := b.AddNode("zero", 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Authority(id) != 1 {
+		t.Errorf("authority 0 should floor to 1, got %v", g.Authority(id))
+	}
+	if g.InvAuthority(id) != 1 {
+		t.Errorf("inverse authority should be 1, got %v", g.InvAuthority(id))
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := buildDiamond(t)
+	var got []NodeID
+	g.Neighbors(0, func(v NodeID, w float64) bool {
+		got = append(got, v)
+		return true
+	})
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	want := []NodeID{1, 2}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Neighbors(0) = %v, want %v", got, want)
+	}
+}
+
+func TestNeighborsEarlyStop(t *testing.T) {
+	g := buildDiamond(t)
+	calls := 0
+	g.Neighbors(0, func(NodeID, float64) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("early-stop iteration made %d calls, want 1", calls)
+	}
+}
+
+func TestEdgeWeight(t *testing.T) {
+	g := buildDiamond(t)
+	if w, ok := g.EdgeWeight(1, 3); !ok || w != 0.5 {
+		t.Errorf("EdgeWeight(1,3) = %v,%v, want 0.5,true", w, ok)
+	}
+	if w, ok := g.EdgeWeight(3, 1); !ok || w != 0.5 {
+		t.Errorf("EdgeWeight(3,1) = %v,%v, want symmetric 0.5,true", w, ok)
+	}
+	if _, ok := g.EdgeWeight(0, 3); ok {
+		t.Error("EdgeWeight(0,3) should not exist")
+	}
+}
+
+func TestSkills(t *testing.T) {
+	g := buildDiamond(t)
+	db, ok := g.SkillID("db")
+	if !ok {
+		t.Fatal("skill db missing")
+	}
+	ml, ok := g.SkillID("ml")
+	if !ok {
+		t.Fatal("skill ml missing")
+	}
+	if g.SkillName(db) != "db" || g.SkillName(ml) != "ml" {
+		t.Error("SkillName round-trip failed")
+	}
+	if !g.HasSkill(0, db) || g.HasSkill(0, ml) {
+		t.Error("node a should hold db only")
+	}
+	if !g.HasSkill(2, db) || !g.HasSkill(2, ml) {
+		t.Error("node c should hold both skills")
+	}
+	if len(g.Skills(3)) != 0 {
+		t.Error("node d should hold no skills")
+	}
+}
+
+func TestExpertsWithSkill(t *testing.T) {
+	g := buildDiamond(t)
+	db, _ := g.SkillID("db")
+	got := g.ExpertsWithSkill(db)
+	want := []NodeID{0, 2}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("ExpertsWithSkill(db) = %v, want %v", got, want)
+	}
+}
+
+func TestSkillIDUnknown(t *testing.T) {
+	g := buildDiamond(t)
+	if _, ok := g.SkillID("quantum"); ok {
+		t.Error("unknown skill should not resolve")
+	}
+}
+
+func TestAddSkillToDeduplicates(t *testing.T) {
+	b := NewBuilder(1, 0)
+	id := b.AddNode("x", 1, "db")
+	b.AddSkillTo(id, "db")
+	b.AddSkillTo(id, "db")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Skills(id)) != 1 {
+		t.Errorf("duplicate skill grants should collapse, got %v", g.Skills(id))
+	}
+}
+
+func TestBounds(t *testing.T) {
+	g := buildDiamond(t)
+	lo, hi := g.EdgeWeightBounds()
+	if lo != 0.5 || hi != 2.0 {
+		t.Errorf("EdgeWeightBounds = (%v,%v), want (0.5,2)", lo, hi)
+	}
+	alo, ahi := g.InvAuthorityBounds()
+	if alo != 0.125 || ahi != 1.0 {
+		t.Errorf("InvAuthorityBounds = (%v,%v), want (0.125,1)", alo, ahi)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	t.Run("self loop", func(t *testing.T) {
+		b := NewBuilder(1, 1)
+		u := b.AddNode("u", 1)
+		b.AddEdge(u, u, 1)
+		if _, err := b.Build(); !errors.Is(err, ErrSelfLoop) {
+			t.Errorf("err = %v, want ErrSelfLoop", err)
+		}
+	})
+	t.Run("negative weight", func(t *testing.T) {
+		b := NewBuilder(2, 1)
+		u, v := b.AddNode("u", 1), b.AddNode("v", 1)
+		b.AddEdge(u, v, -0.5)
+		if _, err := b.Build(); !errors.Is(err, ErrNegativeWeight) {
+			t.Errorf("err = %v, want ErrNegativeWeight", err)
+		}
+	})
+	t.Run("unknown node", func(t *testing.T) {
+		b := NewBuilder(1, 1)
+		u := b.AddNode("u", 1)
+		b.AddEdge(u, 99, 1)
+		if _, err := b.Build(); !errors.Is(err, ErrUnknownNode) {
+			t.Errorf("err = %v, want ErrUnknownNode", err)
+		}
+	})
+	t.Run("duplicate edge", func(t *testing.T) {
+		b := NewBuilder(2, 2)
+		u, v := b.AddNode("u", 1), b.AddNode("v", 1)
+		b.AddEdge(u, v, 1)
+		b.AddEdge(v, u, 2) // same undirected edge, opposite order
+		if _, err := b.Build(); !errors.Is(err, ErrDuplicateEdge) {
+			t.Errorf("err = %v, want ErrDuplicateEdge", err)
+		}
+	})
+}
+
+func TestValidNode(t *testing.T) {
+	g := buildDiamond(t)
+	if !g.ValidNode(0) || !g.ValidNode(3) {
+		t.Error("nodes 0 and 3 should be valid")
+	}
+	if g.ValidNode(-1) || g.ValidNode(4) {
+		t.Error("-1 and 4 should be invalid")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := NewBuilder(0, 0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Error("empty build should give empty graph")
+	}
+	lo, hi := g.EdgeWeightBounds()
+	if lo != 0 || hi != 0 {
+		t.Error("empty graph bounds should be zero")
+	}
+}
+
+func TestInfinityIsInf(t *testing.T) {
+	if !math.IsInf(Infinity, 1) {
+		t.Error("Infinity must be +Inf")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	g := buildDiamond(t)
+	want := "expertgraph{nodes: 4, edges: 4, skills: 2}"
+	if g.String() != want {
+		t.Errorf("String = %q, want %q", g.String(), want)
+	}
+}

@@ -1,0 +1,103 @@
+package expertgraph
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := buildDiamond(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g := buildDiamond(t)
+	path := filepath.Join(t.TempDir(), "graph.bin")
+	if err := SaveFile(path, g); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	g2, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.bin")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}
+
+func TestReadGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a graph"))); err == nil {
+		t.Error("reading garbage should fail")
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomConnectedGraph(rng, 100, 150)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func assertGraphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatalf("node count %d != %d", a.NumNodes(), b.NumNodes())
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge count %d != %d", a.NumEdges(), b.NumEdges())
+	}
+	if a.NumSkills() != b.NumSkills() {
+		t.Fatalf("skill count %d != %d", a.NumSkills(), b.NumSkills())
+	}
+	for u := NodeID(0); int(u) < a.NumNodes(); u++ {
+		if a.Node(u) != b.Node(u) {
+			t.Fatalf("node %d record mismatch: %+v vs %+v", u, a.Node(u), b.Node(u))
+		}
+		as, bs := a.Skills(u), b.Skills(u)
+		if len(as) != len(bs) {
+			t.Fatalf("node %d skills differ", u)
+		}
+		for i := range as {
+			if a.SkillName(as[i]) != b.SkillName(bs[i]) {
+				t.Fatalf("node %d skill %d name mismatch", u, i)
+			}
+		}
+		// Adjacency round-trips with identical weights.
+		type edge struct {
+			v NodeID
+			w float64
+		}
+		var ae, be []edge
+		a.Neighbors(u, func(v NodeID, w float64) bool { ae = append(ae, edge{v, w}); return true })
+		b.Neighbors(u, func(v NodeID, w float64) bool { be = append(be, edge{v, w}); return true })
+		if len(ae) != len(be) {
+			t.Fatalf("node %d degree mismatch", u)
+		}
+		for i := range ae {
+			if ae[i] != be[i] {
+				t.Fatalf("node %d edge %d mismatch: %+v vs %+v", u, i, ae[i], be[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package expertgraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Dataset statistics for released expert networks: degree and skill
+// distributions, authority and weight histograms. cmd/dblpgen prints
+// these so users can compare their corpus against the paper's
+// 40K-node / 125K-edge DBLP graph before running experiments.
+
+// GraphStats summarizes an expert network.
+type GraphStats struct {
+	Nodes, Edges, Skills int
+	Components           int
+	LargestComponent     int
+
+	AvgDegree float64
+	MaxDegree int
+
+	MinWeight, MaxWeight, AvgWeight float64
+
+	MinAuthority, MaxAuthority, AvgAuthority float64
+	Juniors                                  int // nodes with < 10 pubs
+
+	SkillHolders       int // nodes holding ≥ 1 skill
+	AvgSkillsPerNode   float64
+	AvgHoldersPerSkill float64
+	MaxHoldersPerSkill int
+}
+
+// ComputeStats scans g once and fills a GraphStats.
+func ComputeStats(g *Graph) GraphStats {
+	s := GraphStats{
+		Nodes:  g.NumNodes(),
+		Edges:  g.NumEdges(),
+		Skills: g.NumSkills(),
+	}
+	if s.Nodes == 0 {
+		return s
+	}
+	labels, count := Components(g)
+	s.Components = count
+	sizes := make([]int, count)
+	for _, c := range labels {
+		sizes[c]++
+	}
+	for _, sz := range sizes {
+		if sz > s.LargestComponent {
+			s.LargestComponent = sz
+		}
+	}
+
+	s.MinAuthority = math.Inf(1)
+	totalDeg, totalSkills := 0, 0
+	var totalAuth float64
+	for u := NodeID(0); int(u) < s.Nodes; u++ {
+		d := g.Degree(u)
+		totalDeg += d
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		a := g.Authority(u)
+		totalAuth += a
+		if a < s.MinAuthority {
+			s.MinAuthority = a
+		}
+		if a > s.MaxAuthority {
+			s.MaxAuthority = a
+		}
+		if g.Pubs(u) < 10 {
+			s.Juniors++
+		}
+		if n := len(g.Skills(u)); n > 0 {
+			s.SkillHolders++
+			totalSkills += n
+		}
+	}
+	s.AvgDegree = float64(totalDeg) / float64(s.Nodes)
+	s.AvgAuthority = totalAuth / float64(s.Nodes)
+	s.AvgSkillsPerNode = float64(totalSkills) / float64(s.Nodes)
+
+	if s.Edges > 0 {
+		s.MinWeight, s.MaxWeight = g.EdgeWeightBounds()
+		var totalW float64
+		for u := NodeID(0); int(u) < s.Nodes; u++ {
+			g.Neighbors(u, func(v NodeID, w float64) bool {
+				if u < v {
+					totalW += w
+				}
+				return true
+			})
+		}
+		s.AvgWeight = totalW / float64(s.Edges)
+	}
+
+	for sk := 0; sk < s.Skills; sk++ {
+		n := len(g.ExpertsWithSkill(SkillID(sk)))
+		if n > s.MaxHoldersPerSkill {
+			s.MaxHoldersPerSkill = n
+		}
+	}
+	if s.Skills > 0 {
+		s.AvgHoldersPerSkill = float64(totalSkills) / float64(s.Skills)
+	}
+	return s
+}
+
+// String renders the stats as a multi-line report.
+func (s GraphStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes: %d  edges: %d  skills: %d\n", s.Nodes, s.Edges, s.Skills)
+	fmt.Fprintf(&b, "components: %d (largest %d)\n", s.Components, s.LargestComponent)
+	fmt.Fprintf(&b, "degree: avg %.2f  max %d\n", s.AvgDegree, s.MaxDegree)
+	fmt.Fprintf(&b, "edge weight: min %.3f  avg %.3f  max %.3f\n", s.MinWeight, s.AvgWeight, s.MaxWeight)
+	fmt.Fprintf(&b, "authority: min %.0f  avg %.2f  max %.0f\n", s.MinAuthority, s.AvgAuthority, s.MaxAuthority)
+	fmt.Fprintf(&b, "juniors (<10 pubs): %d (%.0f%%)\n", s.Juniors, 100*float64(s.Juniors)/float64(max(1, s.Nodes)))
+	fmt.Fprintf(&b, "skill holders: %d  avg skills/node: %.2f  holders/skill: avg %.1f max %d",
+		s.SkillHolders, s.AvgSkillsPerNode, s.AvgHoldersPerSkill, s.MaxHoldersPerSkill)
+	return b.String()
+}
+
+// DegreeHistogram returns bucketed degree counts with power-of-two
+// bucket upper bounds: [1, 2, 4, 8, …].
+func DegreeHistogram(g *Graph) (bounds []int, counts []int) {
+	maxDeg := 0
+	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+		if d := g.Degree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	for b := 1; b <= maxDeg || b == 1; b *= 2 {
+		bounds = append(bounds, b)
+		if b > maxDeg {
+			break
+		}
+	}
+	counts = make([]int, len(bounds))
+	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+		d := g.Degree(u)
+		idx := sort.SearchInts(bounds, d)
+		if idx == len(bounds) {
+			idx = len(bounds) - 1
+		}
+		counts[idx]++
+	}
+	return bounds, counts
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,100 @@
+package expertgraph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestComputeStats(t *testing.T) {
+	g := buildDiamond(t)
+	s := ComputeStats(g)
+	if s.Nodes != 4 || s.Edges != 4 || s.Skills != 2 {
+		t.Errorf("counts: %+v", s)
+	}
+	if s.Components != 1 || s.LargestComponent != 4 {
+		t.Errorf("components: %+v", s)
+	}
+	if s.AvgDegree != 2 || s.MaxDegree != 2 {
+		t.Errorf("degree: avg %v max %d", s.AvgDegree, s.MaxDegree)
+	}
+	if s.MinWeight != 0.5 || s.MaxWeight != 2.0 {
+		t.Errorf("weights: %+v", s)
+	}
+	// (1+2+0.5+1)/4 = 1.125
+	if s.AvgWeight != 1.125 {
+		t.Errorf("AvgWeight = %v, want 1.125", s.AvgWeight)
+	}
+	if s.MinAuthority != 1 || s.MaxAuthority != 8 {
+		t.Errorf("authority: %+v", s)
+	}
+	if s.SkillHolders != 3 { // a, b, c hold skills; d does not
+		t.Errorf("SkillHolders = %d, want 3", s.SkillHolders)
+	}
+	if s.MaxHoldersPerSkill != 2 {
+		t.Errorf("MaxHoldersPerSkill = %d, want 2", s.MaxHoldersPerSkill)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	g, err := NewBuilder(0, 0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(g)
+	if s.Nodes != 0 || s.Components != 0 {
+		t.Errorf("empty stats: %+v", s)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	g := buildDiamond(t)
+	out := ComputeStats(g).String()
+	for _, want := range []string{"nodes: 4", "edges: 4", "juniors", "holders/skill"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	// Star: hub degree 5, leaves degree 1.
+	b := NewBuilder(6, 5)
+	hub := b.AddNode("hub", 1)
+	for i := 0; i < 5; i++ {
+		leaf := b.AddNode("", 1)
+		b.AddEdge(hub, leaf, 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, counts := DegreeHistogram(g)
+	if len(bounds) != len(counts) {
+		t.Fatal("bounds/counts length mismatch")
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 6 {
+		t.Errorf("histogram total = %d, want 6", total)
+	}
+	// 5 leaves in the ≤1 bucket.
+	if bounds[0] != 1 || counts[0] != 5 {
+		t.Errorf("bucket[0]: bound %d count %d, want 1/5", bounds[0], counts[0])
+	}
+}
+
+func TestDegreeHistogramCoversAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomConnectedGraph(rng, 50, 100)
+	_, counts := DegreeHistogram(g)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != g.NumNodes() {
+		t.Errorf("histogram total %d != nodes %d", total, g.NumNodes())
+	}
+}

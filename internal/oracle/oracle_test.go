@@ -1,0 +1,125 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/pll"
+)
+
+func randomGraph(rng *rand.Rand, n, extra int) *expertgraph.Graph {
+	b := expertgraph.NewBuilder(n, n+extra)
+	for i := 0; i < n; i++ {
+		b.AddNode("", float64(1+rng.Intn(10)))
+	}
+	type pair struct{ u, v expertgraph.NodeID }
+	seen := make(map[pair]bool)
+	add := func(u, v expertgraph.NodeID) {
+		if u == v {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[pair{u, v}] {
+			return
+		}
+		seen[pair{u, v}] = true
+		b.AddEdge(u, v, 0.05+rng.Float64())
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		add(expertgraph.NodeID(perm[i-1]), expertgraph.NodeID(perm[i]))
+	}
+	for i := 0; i < extra; i++ {
+		add(expertgraph.NodeID(rng.Intn(n)), expertgraph.NodeID(rng.Intn(n)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestOraclesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 60, 100)
+	dj := NewDijkstra(g, nil)
+	pl := BuildPLL(g, nil)
+	for trial := 0; trial < 500; trial++ {
+		u := expertgraph.NodeID(rng.Intn(60))
+		v := expertgraph.NodeID(rng.Intn(60))
+		d1, d2 := dj.Dist(u, v), pl.Dist(u, v)
+		if math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("oracle mismatch at (%d,%d): dijkstra=%v pll=%v", u, v, d1, d2)
+		}
+	}
+}
+
+func TestOraclesAgreeReweighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 40, 60)
+	// Authority-dependent reweighting, like the G' transform.
+	wf := func(u, v expertgraph.NodeID, w float64) float64 {
+		return w + 0.5*(g.InvAuthority(u)+g.InvAuthority(v))
+	}
+	dj := NewDijkstra(g, wf)
+	pl := BuildPLL(g, wf)
+	for trial := 0; trial < 300; trial++ {
+		u := expertgraph.NodeID(rng.Intn(40))
+		v := expertgraph.NodeID(rng.Intn(40))
+		d1, d2 := dj.Dist(u, v), pl.Dist(u, v)
+		if math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("reweighted mismatch at (%d,%d): dijkstra=%v pll=%v", u, v, d1, d2)
+		}
+	}
+}
+
+func TestDijkstraSourceCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 30, 40)
+	dj := NewDijkstra(g, nil)
+	a := dj.AllFrom(5)
+	b := dj.AllFrom(5)
+	if &a[0] != &b[0] {
+		t.Error("repeated AllFrom on the same source should reuse the cache")
+	}
+	d1 := dj.Dist(5, 9)
+	c := dj.AllFrom(7) // switch source
+	_ = c
+	d2 := dj.Dist(5, 9) // switch back: recompute, same value
+	if math.Abs(d1-d2) > 1e-12 {
+		t.Errorf("distance changed across cache invalidation: %v vs %v", d1, d2)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomGraph(rng, 20, 20)
+	scale := 1.0
+	dj := NewDijkstra(g, func(u, v expertgraph.NodeID, w float64) float64 {
+		return w * scale
+	})
+	d1 := dj.Dist(0, 10)
+	scale = 2.0
+	dj.Invalidate()
+	d2 := dj.Dist(0, 10)
+	if math.Abs(d2-2*d1) > 1e-9 {
+		t.Errorf("after doubling weights: %v, want %v", d2, 2*d1)
+	}
+}
+
+func TestPLLOracleIndexAccessor(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 10, 10)
+	ix := pll.Build(g)
+	o := NewPLL(ix)
+	if o.Index() != ix {
+		t.Error("Index() should return the wrapped index")
+	}
+	if o.Dist(0, 0) != 0 {
+		t.Error("self distance should be 0")
+	}
+}

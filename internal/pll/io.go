@@ -1,0 +1,97 @@
+package pll
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"authteam/internal/expertgraph"
+)
+
+// Index serialization: building a 2-hop cover is the expensive step, so
+// tools persist it next to the graph and reload in milliseconds.
+
+const ioFormatVersion = 1
+
+type flatIndex struct {
+	Version int
+	N       int
+	Off     []int32
+	Ranks   []int32
+	Dists   []float64
+	RankOf  []int32
+	NodeAt  []expertgraph.NodeID
+}
+
+// Write encodes the index to w.
+func Write(w io.Writer, ix *Index) error {
+	f := flatIndex{
+		Version: ioFormatVersion,
+		N:       ix.n,
+		Off:     ix.off,
+		Ranks:   make([]int32, len(ix.entries)),
+		Dists:   make([]float64, len(ix.entries)),
+		RankOf:  ix.rankOf,
+		NodeAt:  ix.nodeAt,
+	}
+	for i, e := range ix.entries {
+		f.Ranks[i] = e.rank
+		f.Dists[i] = e.dist
+	}
+	if err := gob.NewEncoder(w).Encode(&f); err != nil {
+		return fmt.Errorf("pll: encode: %w", err)
+	}
+	return nil
+}
+
+// Read decodes an index previously written with Write.
+func Read(r io.Reader) (*Index, error) {
+	var f flatIndex
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("pll: decode: %w", err)
+	}
+	if f.Version != ioFormatVersion {
+		return nil, fmt.Errorf("pll: unsupported format version %d", f.Version)
+	}
+	ix := &Index{
+		n:       f.N,
+		off:     f.Off,
+		entries: make([]labelEntry, len(f.Ranks)),
+		rankOf:  f.RankOf,
+		nodeAt:  f.NodeAt,
+	}
+	for i := range f.Ranks {
+		ix.entries[i] = labelEntry{rank: f.Ranks[i], dist: f.Dists[i]}
+	}
+	return ix, nil
+}
+
+// SaveFile writes the index to path.
+func SaveFile(path string, ix *Index) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("pll: save: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := Write(bw, ix); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("pll: save: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadFile reads an index from path.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pll: load: %w", err)
+	}
+	defer f.Close()
+	return Read(bufio.NewReader(f))
+}

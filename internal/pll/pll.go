@@ -1,0 +1,320 @@
+// Package pll implements Pruned Landmark Labeling (2-hop cover) for
+// weighted undirected graphs, following Akiba, Iwata and Yoshida
+// (SIGMOD 2013) — the index the paper uses to answer the DIST calls of
+// Algorithm 1 in (near) constant time.
+//
+// Construction runs a pruned Dijkstra from every node in landmark order
+// (highest degree first by default). A visit of node u at distance d
+// from landmark L is pruned when the labels built so far already prove
+// dist(L,u) ≤ d; otherwise (L,d) is appended to u's label. Queries
+// merge-join the two sorted label arrays. For small-world graphs such
+// as co-authorship networks labels stay short, giving microsecond
+// queries over graphs where per-query Dijkstra would be milliseconds.
+package pll
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"authteam/internal/expertgraph"
+)
+
+// Infinity is the distance reported for disconnected pairs.
+var Infinity = math.Inf(1)
+
+// labelEntry is one hub entry in a node's label: the landmark's rank in
+// the construction order and the exact distance to it.
+type labelEntry struct {
+	rank int32
+	dist float64
+}
+
+// Index is an immutable 2-hop cover over a fixed graph. It is safe for
+// concurrent queries.
+type Index struct {
+	n int
+	// labels in CSR layout: entries of node u live in
+	// entries[off[u]:off[u+1]], sorted by rank ascending.
+	off     []int32
+	entries []labelEntry
+	// rankOf maps NodeID to its construction rank, and nodeAt is the
+	// inverse; exposed for diagnostics and serialization.
+	rankOf []int32
+	nodeAt []expertgraph.NodeID
+}
+
+// Order determines the landmark processing order. Better orders put
+// central nodes first, which prunes more and keeps labels short.
+type Order int
+
+const (
+	// OrderDegree processes nodes by descending degree (ties by ID).
+	// This is the standard heuristic from the PLL paper.
+	OrderDegree Order = iota
+	// OrderNatural processes nodes in NodeID order; mainly for tests,
+	// since it produces much larger labels.
+	OrderNatural
+)
+
+// Options configures index construction.
+type Options struct {
+	Order Order
+	// Weight optionally reweights each edge during construction,
+	// allowing an index over the transformed graph G' (§3.2.2 of the
+	// paper) without materializing it. Nil means stored weights.
+	Weight func(u, v expertgraph.NodeID, w float64) float64
+}
+
+// Build constructs the index for g with default options.
+func Build(g *expertgraph.Graph) *Index {
+	return BuildWithOptions(g, Options{})
+}
+
+// BuildWithOptions constructs the index for g.
+func BuildWithOptions(g *expertgraph.Graph, opt Options) *Index {
+	n := g.NumNodes()
+	idx := &Index{
+		n:      n,
+		rankOf: make([]int32, n),
+		nodeAt: make([]expertgraph.NodeID, n),
+	}
+	switch opt.Order {
+	case OrderNatural:
+		for i := 0; i < n; i++ {
+			idx.nodeAt[i] = expertgraph.NodeID(i)
+		}
+	default:
+		for i := 0; i < n; i++ {
+			idx.nodeAt[i] = expertgraph.NodeID(i)
+		}
+		sort.SliceStable(idx.nodeAt, func(a, b int) bool {
+			da, db := g.Degree(idx.nodeAt[a]), g.Degree(idx.nodeAt[b])
+			if da != db {
+				return da > db
+			}
+			return idx.nodeAt[a] < idx.nodeAt[b]
+		})
+	}
+	for r, u := range idx.nodeAt {
+		idx.rankOf[u] = int32(r)
+	}
+
+	// Mutable per-node labels during construction.
+	labels := make([][]labelEntry, n)
+
+	// Scratch for the pruned Dijkstra.
+	dist := make([]float64, n)
+	visited := make([]bool, n)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	var touched []expertgraph.NodeID
+	// hubDist[r] is the distance from the current landmark to the
+	// landmark of rank r, according to the landmark's own label; used
+	// for O(|label|) prune queries.
+	hubDist := make([]float64, n)
+	for i := range hubDist {
+		hubDist[i] = Infinity
+	}
+
+	h := newPairHeap(n)
+
+	for r := 0; r < n; r++ {
+		lm := idx.nodeAt[r]
+		// Load the landmark's current label into hubDist.
+		for _, e := range labels[lm] {
+			hubDist[e.rank] = e.dist
+		}
+
+		h.reset()
+		h.push(lm, 0)
+		dist[lm] = 0
+		touched = append(touched[:0], lm)
+
+		for h.len() > 0 {
+			u, du := h.pop()
+			if visited[u] || du > dist[u] {
+				continue
+			}
+			visited[u] = true
+			// Prune: can existing labels already certify d(lm,u) ≤ du?
+			pruned := false
+			for _, e := range labels[u] {
+				if hd := hubDist[e.rank]; hd+e.dist <= du {
+					pruned = true
+					break
+				}
+			}
+			if pruned {
+				continue
+			}
+			labels[u] = append(labels[u], labelEntry{rank: int32(r), dist: du})
+			g.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
+				if opt.Weight != nil {
+					w = opt.Weight(u, v, w)
+				}
+				if nd := du + w; nd < dist[v] {
+					if dist[v] == Infinity {
+						touched = append(touched, v)
+					}
+					dist[v] = nd
+					h.push(v, nd)
+				}
+				return true
+			})
+		}
+
+		// Reset scratch for the next landmark.
+		for _, u := range touched {
+			dist[u] = Infinity
+			visited[u] = false
+		}
+		for _, e := range labels[lm] {
+			hubDist[e.rank] = Infinity
+		}
+	}
+
+	// Freeze into CSR.
+	total := 0
+	idx.off = make([]int32, n+1)
+	for i, l := range labels {
+		total += len(l)
+		idx.off[i+1] = int32(total)
+	}
+	idx.entries = make([]labelEntry, 0, total)
+	for _, l := range labels {
+		idx.entries = append(idx.entries, l...)
+	}
+	return idx
+}
+
+// Dist returns the exact shortest-path distance between u and v, or
+// Infinity when they are disconnected.
+func (ix *Index) Dist(u, v expertgraph.NodeID) float64 {
+	if u == v {
+		return 0
+	}
+	lu := ix.entries[ix.off[u]:ix.off[u+1]]
+	lv := ix.entries[ix.off[v]:ix.off[v+1]]
+	best := Infinity
+	i, j := 0, 0
+	for i < len(lu) && j < len(lv) {
+		switch {
+		case lu[i].rank == lv[j].rank:
+			if d := lu[i].dist + lv[j].dist; d < best {
+				best = d
+			}
+			i++
+			j++
+		case lu[i].rank < lv[j].rank:
+			i++
+		default:
+			j++
+		}
+	}
+	return best
+}
+
+// NumNodes returns the number of indexed nodes.
+func (ix *Index) NumNodes() int { return ix.n }
+
+// LabelSize returns the number of hub entries in u's label.
+func (ix *Index) LabelSize(u expertgraph.NodeID) int {
+	return int(ix.off[u+1] - ix.off[u])
+}
+
+// Stats summarizes the index for logging and benchmarking.
+type Stats struct {
+	Nodes        int
+	TotalEntries int
+	AvgLabelSize float64
+	MaxLabelSize int
+	Bytes        int
+}
+
+// Stats computes index statistics.
+func (ix *Index) Stats() Stats {
+	s := Stats{Nodes: ix.n, TotalEntries: len(ix.entries)}
+	for u := 0; u < ix.n; u++ {
+		if l := ix.LabelSize(expertgraph.NodeID(u)); l > s.MaxLabelSize {
+			s.MaxLabelSize = l
+		}
+	}
+	if ix.n > 0 {
+		s.AvgLabelSize = float64(s.TotalEntries) / float64(ix.n)
+	}
+	s.Bytes = len(ix.entries)*12 + len(ix.off)*4 + len(ix.rankOf)*4 + len(ix.nodeAt)*4
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("pll{nodes: %d, entries: %d, avg: %.1f, max: %d, ~%dKB}",
+		s.Nodes, s.TotalEntries, s.AvgLabelSize, s.MaxLabelSize, s.Bytes/1024)
+}
+
+// pairHeap is a plain binary min-heap of (node, priority) pairs with
+// lazy deletion — pruned Dijkstra never needs decrease-key because
+// stale entries are skipped on pop.
+type pairHeap struct {
+	ids  []expertgraph.NodeID
+	prio []float64
+}
+
+func newPairHeap(capacity int) *pairHeap {
+	return &pairHeap{
+		ids:  make([]expertgraph.NodeID, 0, capacity),
+		prio: make([]float64, 0, capacity),
+	}
+}
+
+func (h *pairHeap) reset() {
+	h.ids = h.ids[:0]
+	h.prio = h.prio[:0]
+}
+
+func (h *pairHeap) len() int { return len(h.ids) }
+
+func (h *pairHeap) push(u expertgraph.NodeID, p float64) {
+	h.ids = append(h.ids, u)
+	h.prio = append(h.prio, p)
+	i := len(h.ids) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[parent] <= h.prio[i] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *pairHeap) pop() (expertgraph.NodeID, float64) {
+	top, p := h.ids[0], h.prio[0]
+	last := len(h.ids) - 1
+	h.swap(0, last)
+	h.ids = h.ids[:last]
+	h.prio = h.prio[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.prio[l] < h.prio[smallest] {
+			smallest = l
+		}
+		if r < last && h.prio[r] < h.prio[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return top, p
+}
+
+func (h *pairHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+}

@@ -1,0 +1,195 @@
+// Package stats provides small numeric helpers shared by the team
+// discovery algorithms and the experiment harness: means, min–max
+// normalization, percentiles and simple accumulators.
+//
+// Everything operates on float64 slices and is allocation-conscious; the
+// helpers never mutate their inputs unless documented otherwise.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Min returns the minimum of xs. It panics on an empty slice because a
+// minimum of nothing is a programming error, not a data condition.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// StdDev returns the population standard deviation of xs (0 for fewer
+// than two samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	v := 0.0
+	for _, x := range xs {
+		d := x - m
+		v += d * d
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}
+
+// Normalize min–max normalizes xs into [0,1] and returns a new slice.
+// If all values are equal the result is all zeros (a constant carries no
+// ranking information, and zero keeps combined objectives well-defined).
+func Normalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	lo, hi := Min(xs), Max(xs)
+	span := hi - lo
+	if span == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - lo) / span
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using
+// linear interpolation between closest ranks. It panics on an empty
+// slice or an out-of-range p.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Scaler performs min–max scaling with bounds fixed at construction so
+// that the same affine map can be applied to values outside the fitting
+// set (e.g. normalizing a path length using graph-wide edge bounds).
+type Scaler struct {
+	lo, span float64
+}
+
+// NewScaler fits a scaler to the given bounds. If hi ≤ lo the scaler
+// maps everything to 0 (constant input carries no information).
+func NewScaler(lo, hi float64) Scaler {
+	if hi <= lo {
+		return Scaler{lo: lo, span: 0}
+	}
+	return Scaler{lo: lo, span: hi - lo}
+}
+
+// FitScaler fits a scaler to the min and max of xs.
+func FitScaler(xs []float64) Scaler {
+	if len(xs) == 0 {
+		return Scaler{}
+	}
+	return NewScaler(Min(xs), Max(xs))
+}
+
+// Scale maps x through the scaler. Values outside the fitted range
+// extrapolate linearly (they are not clamped), which keeps sums of
+// scaled terms additive.
+func (s Scaler) Scale(x float64) float64 {
+	if s.span == 0 {
+		return 0
+	}
+	return (x - s.lo) / s.span
+}
+
+// Bounds reports the fitted (lo, hi) interval.
+func (s Scaler) Bounds() (lo, hi float64) {
+	return s.lo, s.lo + s.span
+}
+
+// Welford is an online mean/variance accumulator (Welford's algorithm),
+// useful in benchmarks and long experiment sweeps where storing every
+// sample would be wasteful.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds a sample into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples seen.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 before any samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running population variance (0 before two samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }

@@ -1,0 +1,244 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3}, 3},
+		{"pair", []float64{1, 3}, 2},
+		{"negatives", []float64{-2, 2, -4, 4}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Mean(c.in); !almostEq(got, c.want) {
+				t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{1.5, 2.5, -1}); !almostEq(got, 3) {
+		t.Errorf("Sum = %v, want 3", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v, want -1", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v, want 7", got)
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min(nil) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestMaxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Max(nil) did not panic")
+		}
+	}()
+	Max(nil)
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev single = %v, want 0", got)
+	}
+	// Population stddev of {2,4,4,4,5,5,7,9} is exactly 2.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := StdDev(xs); !almostEq(got, 2) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 6})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if !almostEq(got[i], want[i]) {
+			t.Errorf("Normalize[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNormalizeConstant(t *testing.T) {
+	for _, v := range Normalize([]float64{3, 3, 3}) {
+		if v != 0 {
+			t.Errorf("constant input should normalize to 0, got %v", v)
+		}
+	}
+}
+
+func TestNormalizeDoesNotMutate(t *testing.T) {
+	in := []float64{1, 2}
+	Normalize(in)
+	if in[0] != 1 || in[1] != 2 {
+		t.Errorf("Normalize mutated input: %v", in)
+	}
+}
+
+func TestNormalizeRangeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true // skip pathological float inputs
+			}
+		}
+		out := Normalize(xs)
+		for _, v := range out {
+			if v < 0 || v > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileSingle(t *testing.T) {
+	if got := Percentile([]float64{42}, 99); got != 42 {
+		t.Errorf("Percentile singleton = %v, want 42", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentile(101) did not panic")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+func TestScaler(t *testing.T) {
+	s := NewScaler(10, 20)
+	if got := s.Scale(10); got != 0 {
+		t.Errorf("Scale(lo) = %v, want 0", got)
+	}
+	if got := s.Scale(20); got != 1 {
+		t.Errorf("Scale(hi) = %v, want 1", got)
+	}
+	if got := s.Scale(15); !almostEq(got, 0.5) {
+		t.Errorf("Scale(mid) = %v, want 0.5", got)
+	}
+	// Extrapolation outside the fitted range stays linear.
+	if got := s.Scale(30); !almostEq(got, 2) {
+		t.Errorf("Scale(30) = %v, want 2", got)
+	}
+}
+
+func TestScalerDegenerate(t *testing.T) {
+	s := NewScaler(5, 5)
+	if got := s.Scale(123); got != 0 {
+		t.Errorf("degenerate Scale = %v, want 0", got)
+	}
+}
+
+func TestFitScaler(t *testing.T) {
+	s := FitScaler([]float64{4, 8, 6})
+	lo, hi := s.Bounds()
+	if lo != 4 || hi != 8 {
+		t.Errorf("Bounds = (%v,%v), want (4,8)", lo, hi)
+	}
+	if s := FitScaler(nil); s.Scale(1) != 0 {
+		t.Error("empty FitScaler should scale to 0")
+	}
+}
+
+func TestScalerLinearityProperty(t *testing.T) {
+	// Scaling is affine: Scale(x)+Scale(y) - Scale(z) relates linearly.
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+			return true
+		}
+		x = math.Mod(x, 1e6)
+		y = math.Mod(y, 1e6)
+		s := NewScaler(0, 10)
+		return almostEq(s.Scale(x)+s.Scale(y), s.Scale(x+y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != len(xs) {
+		t.Errorf("N = %d, want %d", w.N(), len(xs))
+	}
+	if !almostEq(w.Mean(), Mean(xs)) {
+		t.Errorf("Welford mean %v != batch mean %v", w.Mean(), Mean(xs))
+	}
+	if !almostEq(w.StdDev(), StdDev(xs)) {
+		t.Errorf("Welford stddev %v != batch stddev %v", w.StdDev(), StdDev(xs))
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.N() != 0 {
+		t.Error("zero-value Welford should report zeros")
+	}
+}
+
+func TestWelfordMatchesBatchProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		var w Welford
+		for _, x := range xs {
+			w.Add(x)
+		}
+		return math.Abs(w.Mean()-Mean(xs)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

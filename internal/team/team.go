@@ -1,0 +1,264 @@
+// Package team defines the team model of the paper (Definition 1): a
+// connected subgraph of the expert network whose nodes cover a project,
+// together with the skill→expert assignment, plus the evaluation of
+// every ranking objective (Definitions 2–6) on an actual team.
+//
+// Algorithm 1 scores candidates with a greedy surrogate during search;
+// the objective values reported by the paper's experiments are computed
+// on the returned team subgraph. This package is that ground truth.
+package team
+
+import (
+	"fmt"
+	"sort"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/transform"
+)
+
+// Edge is an undirected team edge with its raw graph weight.
+type Edge struct {
+	U, V expertgraph.NodeID
+	W    float64
+}
+
+// Team is a connected subgraph covering a project. Nodes not assigned
+// any skill are connectors (Definition 3).
+type Team struct {
+	Root       expertgraph.NodeID
+	Nodes      []expertgraph.NodeID // sorted, unique
+	Edges      []Edge               // unique, U < V
+	Assignment map[expertgraph.SkillID]expertgraph.NodeID
+}
+
+// FromPaths builds a team from root-to-holder shortest paths drawn from
+// a single shortest-path tree. assignment maps each required skill to
+// its chosen holder; paths[s] is the node sequence root..holder for
+// skill s. Shared path prefixes are deduplicated.
+func FromPaths(g *expertgraph.Graph, root expertgraph.NodeID,
+	assignment map[expertgraph.SkillID]expertgraph.NodeID,
+	paths map[expertgraph.SkillID][]expertgraph.NodeID) (*Team, error) {
+
+	nodeSet := map[expertgraph.NodeID]bool{root: true}
+	type ekey struct{ u, v expertgraph.NodeID }
+	edgeSet := map[ekey]float64{}
+	for s, path := range paths {
+		if len(path) == 0 {
+			return nil, fmt.Errorf("team: empty path for skill %d", s)
+		}
+		if path[0] != root {
+			return nil, fmt.Errorf("team: path for skill %d starts at %d, not root %d",
+				s, path[0], root)
+		}
+		if last := path[len(path)-1]; last != assignment[s] {
+			return nil, fmt.Errorf("team: path for skill %d ends at %d, assignment says %d",
+				s, last, assignment[s])
+		}
+		for i, u := range path {
+			nodeSet[u] = true
+			if i == 0 {
+				continue
+			}
+			w, ok := g.EdgeWeight(path[i-1], u)
+			if !ok {
+				return nil, fmt.Errorf("team: path edge (%d,%d) not in graph", path[i-1], u)
+			}
+			a, b := path[i-1], u
+			if a > b {
+				a, b = b, a
+			}
+			edgeSet[ekey{a, b}] = w
+		}
+	}
+
+	t := &Team{
+		Root:       root,
+		Assignment: make(map[expertgraph.SkillID]expertgraph.NodeID, len(assignment)),
+	}
+	for s, c := range assignment {
+		t.Assignment[s] = c
+	}
+	for u := range nodeSet {
+		t.Nodes = append(t.Nodes, u)
+	}
+	sort.Slice(t.Nodes, func(i, j int) bool { return t.Nodes[i] < t.Nodes[j] })
+	for k, w := range edgeSet {
+		t.Edges = append(t.Edges, Edge{U: k.u, V: k.v, W: w})
+	}
+	sort.Slice(t.Edges, func(i, j int) bool {
+		if t.Edges[i].U != t.Edges[j].U {
+			return t.Edges[i].U < t.Edges[j].U
+		}
+		return t.Edges[i].V < t.Edges[j].V
+	})
+	return t, nil
+}
+
+// Holders returns the distinct skill holders, sorted. An expert
+// covering several skills appears once (Definition 1 allows csi = csj).
+func (t *Team) Holders() []expertgraph.NodeID {
+	seen := make(map[expertgraph.NodeID]bool, len(t.Assignment))
+	var out []expertgraph.NodeID
+	for _, c := range t.Assignment {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Connectors returns team nodes that hold no assigned skill, sorted
+// (Definition 3: all nodes excluding skill holders).
+func (t *Team) Connectors() []expertgraph.NodeID {
+	holder := make(map[expertgraph.NodeID]bool, len(t.Assignment))
+	for _, c := range t.Assignment {
+		holder[c] = true
+	}
+	var out []expertgraph.NodeID
+	for _, u := range t.Nodes {
+		if !holder[u] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Size returns the number of experts on the team.
+func (t *Team) Size() int { return len(t.Nodes) }
+
+// Validate checks that t is a well-formed team for project: every
+// required skill is assigned to a team member that actually holds it,
+// all edges exist in g, and the team subgraph is connected.
+func (t *Team) Validate(g *expertgraph.Graph, project []expertgraph.SkillID) error {
+	inTeam := make(map[expertgraph.NodeID]bool, len(t.Nodes))
+	for _, u := range t.Nodes {
+		if !g.ValidNode(u) {
+			return fmt.Errorf("team: node %d not in graph", u)
+		}
+		inTeam[u] = true
+	}
+	for _, s := range project {
+		c, ok := t.Assignment[s]
+		if !ok {
+			return fmt.Errorf("team: skill %q unassigned", g.SkillName(s))
+		}
+		if !inTeam[c] {
+			return fmt.Errorf("team: holder %d of skill %q not on team", c, g.SkillName(s))
+		}
+		if !g.HasSkill(c, s) {
+			return fmt.Errorf("team: expert %q does not hold skill %q",
+				g.Name(c), g.SkillName(s))
+		}
+	}
+	for _, e := range t.Edges {
+		if !inTeam[e.U] || !inTeam[e.V] {
+			return fmt.Errorf("team: edge (%d,%d) endpoint not on team", e.U, e.V)
+		}
+		w, ok := g.EdgeWeight(e.U, e.V)
+		if !ok {
+			return fmt.Errorf("team: edge (%d,%d) not in graph", e.U, e.V)
+		}
+		if w != e.W {
+			return fmt.Errorf("team: edge (%d,%d) weight %v differs from graph %v",
+				e.U, e.V, e.W, w)
+		}
+	}
+	if !t.connected() {
+		return fmt.Errorf("team: subgraph not connected")
+	}
+	return nil
+}
+
+func (t *Team) connected() bool {
+	if len(t.Nodes) <= 1 {
+		return true
+	}
+	adj := make(map[expertgraph.NodeID][]expertgraph.NodeID, len(t.Nodes))
+	for _, e := range t.Edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	seen := map[expertgraph.NodeID]bool{t.Nodes[0]: true}
+	stack := []expertgraph.NodeID{t.Nodes[0]}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return len(seen) == len(t.Nodes)
+}
+
+// Score holds every objective of the paper evaluated on one team, on
+// the normalized scales of the supplied transform parameters.
+type Score struct {
+	CC     float64 // Definition 2: Σ edge weights
+	CA     float64 // Definition 3: Σ connector inverse authorities
+	SA     float64 // Definition 5: Σ holder inverse authorities
+	CACC   float64 // Definition 4: γ·CA + (1−γ)·CC
+	SACACC float64 // Definition 6: λ·SA + (1−λ)·CA-CC
+}
+
+// Evaluate computes all objectives of t under params.
+func Evaluate(t *Team, p *transform.Params) Score {
+	var s Score
+	for _, e := range t.Edges {
+		s.CC += p.NormW(e.W)
+	}
+	for _, u := range t.Connectors() {
+		s.CA += p.NormInv(u)
+	}
+	for _, u := range t.Holders() {
+		s.SA += p.NormInv(u)
+	}
+	s.CACC = p.Gamma*s.CA + (1-p.Gamma)*s.CC
+	s.SACACC = p.Lambda*s.SA + (1-p.Lambda)*s.CACC
+	return s
+}
+
+// Profile summarizes the human-facing statistics the paper reports in
+// Figures 5 and 6: average authorities, team-wide authority and
+// publication counts.
+type Profile struct {
+	Size               int
+	AvgHolderAuth      float64
+	AvgConnectorAuth   float64
+	AvgTeamAuth        float64
+	AvgPubs            float64
+	Holders, Connector int
+}
+
+// ProfileOf computes the display profile of t over g.
+func ProfileOf(t *Team, g *expertgraph.Graph) Profile {
+	pr := Profile{Size: t.Size()}
+	holders := t.Holders()
+	conns := t.Connectors()
+	pr.Holders, pr.Connector = len(holders), len(conns)
+	for _, u := range holders {
+		pr.AvgHolderAuth += g.Authority(u)
+	}
+	if len(holders) > 0 {
+		pr.AvgHolderAuth /= float64(len(holders))
+	}
+	for _, u := range conns {
+		pr.AvgConnectorAuth += g.Authority(u)
+	}
+	if len(conns) > 0 {
+		pr.AvgConnectorAuth /= float64(len(conns))
+	}
+	for _, u := range t.Nodes {
+		pr.AvgTeamAuth += g.Authority(u)
+		pr.AvgPubs += float64(g.Pubs(u))
+	}
+	if len(t.Nodes) > 0 {
+		pr.AvgTeamAuth /= float64(len(t.Nodes))
+		pr.AvgPubs /= float64(len(t.Nodes))
+	}
+	return pr
+}

@@ -1,0 +1,312 @@
+package team
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/transform"
+)
+
+// fixture builds the 5-node graph used throughout:
+//
+//	root r(a=5) — h1(a=2, db) via w=0.4
+//	r — m(a=10) via w=0.2, m — h2(a=1, ml) via w=0.3
+//
+// so the team for {db, ml} rooted at r is a 4-node tree with connector
+// m (h-index 10) when h2 is reached through m.
+func fixture(t *testing.T) (*expertgraph.Graph, map[string]expertgraph.NodeID) {
+	t.Helper()
+	b := expertgraph.NewBuilder(5, 4)
+	r := b.AddNode("r", 5)
+	h1 := b.AddNode("h1", 2, "db")
+	m := b.AddNode("m", 10)
+	h2 := b.AddNode("h2", 1, "ml")
+	x := b.AddNode("x", 3, "db")
+	b.SetPubs(r, 50)
+	b.SetPubs(h1, 5)
+	b.SetPubs(m, 100)
+	b.SetPubs(h2, 3)
+	b.AddEdge(r, h1, 0.4)
+	b.AddEdge(r, m, 0.2)
+	b.AddEdge(m, h2, 0.3)
+	b.AddEdge(r, x, 0.9)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, map[string]expertgraph.NodeID{"r": r, "h1": h1, "m": m, "h2": h2, "x": x}
+}
+
+func makeTeam(t *testing.T, g *expertgraph.Graph, ids map[string]expertgraph.NodeID) *Team {
+	t.Helper()
+	db, _ := g.SkillID("db")
+	ml, _ := g.SkillID("ml")
+	assignment := map[expertgraph.SkillID]expertgraph.NodeID{
+		db: ids["h1"],
+		ml: ids["h2"],
+	}
+	paths := map[expertgraph.SkillID][]expertgraph.NodeID{
+		db: {ids["r"], ids["h1"]},
+		ml: {ids["r"], ids["m"], ids["h2"]},
+	}
+	tm, err := FromPaths(g, ids["r"], assignment, paths)
+	if err != nil {
+		t.Fatalf("FromPaths: %v", err)
+	}
+	return tm
+}
+
+func TestFromPaths(t *testing.T) {
+	g, ids := fixture(t)
+	tm := makeTeam(t, g, ids)
+	if tm.Size() != 4 {
+		t.Errorf("Size = %d, want 4", tm.Size())
+	}
+	if len(tm.Edges) != 3 {
+		t.Errorf("edges = %d, want 3", len(tm.Edges))
+	}
+	if tm.Root != ids["r"] {
+		t.Errorf("Root = %d, want %d", tm.Root, ids["r"])
+	}
+}
+
+func TestFromPathsSharedPrefix(t *testing.T) {
+	g, ids := fixture(t)
+	db, _ := g.SkillID("db")
+	ml, _ := g.SkillID("ml")
+	// Both paths pass through m: shared prefix edges deduplicate.
+	assignment := map[expertgraph.SkillID]expertgraph.NodeID{db: ids["h1"], ml: ids["h2"]}
+	paths := map[expertgraph.SkillID][]expertgraph.NodeID{
+		db: {ids["m"], ids["r"], ids["h1"]},
+		ml: {ids["m"], ids["h2"]},
+	}
+	tm, err := FromPaths(g, ids["m"], assignment, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tm.Edges) != 3 {
+		t.Errorf("edges = %d, want 3 (no duplicates)", len(tm.Edges))
+	}
+}
+
+func TestFromPathsErrors(t *testing.T) {
+	g, ids := fixture(t)
+	db, _ := g.SkillID("db")
+	t.Run("wrong start", func(t *testing.T) {
+		_, err := FromPaths(g, ids["r"],
+			map[expertgraph.SkillID]expertgraph.NodeID{db: ids["h1"]},
+			map[expertgraph.SkillID][]expertgraph.NodeID{db: {ids["m"], ids["h1"]}})
+		if err == nil || !strings.Contains(err.Error(), "root") {
+			t.Errorf("want root error, got %v", err)
+		}
+	})
+	t.Run("wrong end", func(t *testing.T) {
+		_, err := FromPaths(g, ids["r"],
+			map[expertgraph.SkillID]expertgraph.NodeID{db: ids["x"]},
+			map[expertgraph.SkillID][]expertgraph.NodeID{db: {ids["r"], ids["h1"]}})
+		if err == nil || !strings.Contains(err.Error(), "assignment") {
+			t.Errorf("want assignment error, got %v", err)
+		}
+	})
+	t.Run("missing edge", func(t *testing.T) {
+		_, err := FromPaths(g, ids["r"],
+			map[expertgraph.SkillID]expertgraph.NodeID{db: ids["h1"]},
+			map[expertgraph.SkillID][]expertgraph.NodeID{db: {ids["r"], ids["h2"], ids["h1"]}})
+		if err == nil || !strings.Contains(err.Error(), "not in graph") {
+			t.Errorf("want missing edge error, got %v", err)
+		}
+	})
+	t.Run("empty path", func(t *testing.T) {
+		_, err := FromPaths(g, ids["r"],
+			map[expertgraph.SkillID]expertgraph.NodeID{db: ids["h1"]},
+			map[expertgraph.SkillID][]expertgraph.NodeID{db: {}})
+		if err == nil {
+			t.Error("want empty path error")
+		}
+	})
+}
+
+func TestHoldersAndConnectors(t *testing.T) {
+	g, ids := fixture(t)
+	tm := makeTeam(t, g, ids)
+	holders := tm.Holders()
+	if len(holders) != 2 || holders[0] != ids["h1"] || holders[1] != ids["h2"] {
+		t.Errorf("Holders = %v, want [h1 h2]", holders)
+	}
+	conns := tm.Connectors()
+	if len(conns) != 2 || conns[0] != ids["r"] || conns[1] != ids["m"] {
+		t.Errorf("Connectors = %v, want [r m]", conns)
+	}
+}
+
+func TestMultiSkillHolderCountedOnce(t *testing.T) {
+	g, ids := fixture(t)
+	db, _ := g.SkillID("db")
+	ml, _ := g.SkillID("ml")
+	// One expert covers both skills (csi == csj is allowed by Def. 1).
+	assignment := map[expertgraph.SkillID]expertgraph.NodeID{db: ids["h1"], ml: ids["h1"]}
+	paths := map[expertgraph.SkillID][]expertgraph.NodeID{
+		db: {ids["h1"]},
+		ml: {ids["h1"]},
+	}
+	tm, err := FromPaths(g, ids["h1"], assignment, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tm.Holders()) != 1 {
+		t.Errorf("Holders = %v, want single h1", tm.Holders())
+	}
+	if len(tm.Connectors()) != 0 {
+		t.Errorf("Connectors = %v, want none", tm.Connectors())
+	}
+	if tm.Size() != 1 {
+		t.Errorf("Size = %d, want 1", tm.Size())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g, ids := fixture(t)
+	tm := makeTeam(t, g, ids)
+	db, _ := g.SkillID("db")
+	ml, _ := g.SkillID("ml")
+	if err := tm.Validate(g, []expertgraph.SkillID{db, ml}); err != nil {
+		t.Errorf("valid team rejected: %v", err)
+	}
+}
+
+func TestValidateFailures(t *testing.T) {
+	g, ids := fixture(t)
+	db, _ := g.SkillID("db")
+	ml, _ := g.SkillID("ml")
+	tm := makeTeam(t, g, ids)
+
+	t.Run("unassigned skill", func(t *testing.T) {
+		bad := *tm
+		bad.Assignment = map[expertgraph.SkillID]expertgraph.NodeID{db: ids["h1"]}
+		if err := bad.Validate(g, []expertgraph.SkillID{db, ml}); err == nil {
+			t.Error("missing assignment should fail")
+		}
+	})
+	t.Run("holder lacks skill", func(t *testing.T) {
+		bad := makeTeam(t, g, ids)
+		bad.Assignment[ml] = ids["m"] // m holds nothing
+		if err := bad.Validate(g, []expertgraph.SkillID{db, ml}); err == nil {
+			t.Error("holder without skill should fail")
+		}
+	})
+	t.Run("disconnected", func(t *testing.T) {
+		bad := makeTeam(t, g, ids)
+		bad.Edges = bad.Edges[:1] // drop edges: nodes no longer connected
+		if err := bad.Validate(g, []expertgraph.SkillID{db, ml}); err == nil {
+			t.Error("disconnected team should fail")
+		}
+	})
+	t.Run("edge weight tampered", func(t *testing.T) {
+		bad := makeTeam(t, g, ids)
+		bad.Edges = append([]Edge(nil), bad.Edges...)
+		bad.Edges[0].W += 0.1
+		if err := bad.Validate(g, []expertgraph.SkillID{db, ml}); err == nil {
+			t.Error("tampered edge weight should fail")
+		}
+	})
+}
+
+func TestEvaluateRawScales(t *testing.T) {
+	g, ids := fixture(t)
+	tm := makeTeam(t, g, ids)
+	p, err := transform.Fit(g, 0.6, 0.4, transform.Options{Normalize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Evaluate(tm, p)
+	// CC: edges 0.4 + 0.2 + 0.3 = 0.9
+	if math.Abs(s.CC-0.9) > 1e-12 {
+		t.Errorf("CC = %v, want 0.9", s.CC)
+	}
+	// CA: connectors r(a=5), m(a=10): 0.2 + 0.1 = 0.3
+	if math.Abs(s.CA-0.3) > 1e-12 {
+		t.Errorf("CA = %v, want 0.3", s.CA)
+	}
+	// SA: holders h1(a=2), h2(a=1): 0.5 + 1 = 1.5
+	if math.Abs(s.SA-1.5) > 1e-12 {
+		t.Errorf("SA = %v, want 1.5", s.SA)
+	}
+	wantCACC := 0.6*0.3 + 0.4*0.9
+	if math.Abs(s.CACC-wantCACC) > 1e-12 {
+		t.Errorf("CACC = %v, want %v", s.CACC, wantCACC)
+	}
+	wantSACACC := 0.4*1.5 + 0.6*wantCACC
+	if math.Abs(s.SACACC-wantSACACC) > 1e-12 {
+		t.Errorf("SACACC = %v, want %v", s.SACACC, wantSACACC)
+	}
+}
+
+func TestEvaluateObjectiveIdentities(t *testing.T) {
+	g, ids := fixture(t)
+	tm := makeTeam(t, g, ids)
+	// γ=0: CA-CC reduces to CC. λ=0: SA-CA-CC reduces to CA-CC.
+	p0, err := transform.Fit(g, 0, 0, transform.Options{Normalize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Evaluate(tm, p0)
+	if s.CACC != s.CC {
+		t.Errorf("γ=0: CACC %v != CC %v", s.CACC, s.CC)
+	}
+	if s.SACACC != s.CACC {
+		t.Errorf("λ=0: SACACC %v != CACC %v", s.SACACC, s.CACC)
+	}
+	// γ=1: CA-CC reduces to CA. λ=1: SA-CA-CC reduces to SA.
+	p1, err := transform.Fit(g, 1, 1, transform.Options{Normalize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := Evaluate(tm, p1)
+	if s1.CACC != s1.CA {
+		t.Errorf("γ=1: CACC %v != CA %v", s1.CACC, s1.CA)
+	}
+	if s1.SACACC != s1.SA {
+		t.Errorf("λ=1: SACACC %v != SA %v", s1.SACACC, s1.SA)
+	}
+}
+
+func TestProfileOf(t *testing.T) {
+	g, ids := fixture(t)
+	tm := makeTeam(t, g, ids)
+	pr := ProfileOf(tm, g)
+	if pr.Size != 4 || pr.Holders != 2 || pr.Connector != 2 {
+		t.Errorf("counts = %+v", pr)
+	}
+	if math.Abs(pr.AvgHolderAuth-1.5) > 1e-12 { // (2+1)/2
+		t.Errorf("AvgHolderAuth = %v, want 1.5", pr.AvgHolderAuth)
+	}
+	if math.Abs(pr.AvgConnectorAuth-7.5) > 1e-12 { // (5+10)/2
+		t.Errorf("AvgConnectorAuth = %v, want 7.5", pr.AvgConnectorAuth)
+	}
+	if math.Abs(pr.AvgTeamAuth-4.5) > 1e-12 { // (5+2+10+1)/4
+		t.Errorf("AvgTeamAuth = %v, want 4.5", pr.AvgTeamAuth)
+	}
+	if math.Abs(pr.AvgPubs-39.5) > 1e-12 { // (50+5+100+3)/4
+		t.Errorf("AvgPubs = %v, want 39.5", pr.AvgPubs)
+	}
+}
+
+func TestProfileSingleton(t *testing.T) {
+	g, ids := fixture(t)
+	db, _ := g.SkillID("db")
+	tm, err := FromPaths(g, ids["h1"],
+		map[expertgraph.SkillID]expertgraph.NodeID{db: ids["h1"]},
+		map[expertgraph.SkillID][]expertgraph.NodeID{db: {ids["h1"]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := ProfileOf(tm, g)
+	if pr.AvgConnectorAuth != 0 {
+		t.Errorf("no connectors: AvgConnectorAuth = %v, want 0", pr.AvgConnectorAuth)
+	}
+	if pr.AvgHolderAuth != 2 {
+		t.Errorf("AvgHolderAuth = %v, want 2", pr.AvgHolderAuth)
+	}
+}

@@ -1,0 +1,128 @@
+// Package transform implements the node-weight-to-edge-weight graph
+// transformation of §3.2.2 of the paper, which lets one search
+// algorithm (Algorithm 1) optimize all of the paper's objectives.
+//
+// Given tradeoff parameters γ (connector authority vs communication
+// cost) and λ (skill-holder authority vs everything else), the
+// transformed graph G' reweights every edge (ci, cj) as
+//
+//	w'(ci,cj) = γ·(a'(ci)+a'(cj)) + 2·(1−γ)·w(ci,cj)
+//
+// so that a shortest path in G' accounts for the inverse authorities of
+// its internal nodes (each internal node is incident to two path edges,
+// hence the factor 2 on the communication term to keep the scales
+// matched). Because edge weights and inverse authorities live on
+// different scales, Definition 4 of the paper normalizes both before
+// combining; Params carries the fitted min–max scalers and applies them
+// consistently in search and in reported objective values.
+package transform
+
+import (
+	"fmt"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/stats"
+)
+
+// Params bundles the tradeoff parameters and the normalization fitted
+// to one graph. Construct with Fit; the zero value is not usable.
+type Params struct {
+	Gamma  float64 // connector-authority weight γ ∈ [0,1] (Def. 4)
+	Lambda float64 // skill-holder-authority weight λ ∈ [0,1] (Def. 6)
+
+	g      *expertgraph.Graph
+	wScale stats.Scaler
+	aScale stats.Scaler
+	// normInv caches the normalized inverse authority ā'(u) per node.
+	normInv []float64
+}
+
+// Options controls fitting.
+type Options struct {
+	// Normalize enables the min–max normalization of Def. 4. It is on
+	// in all paper experiments; turning it off (ablation) combines raw
+	// scales directly.
+	Normalize bool
+}
+
+// Fit validates (γ, λ) and fits normalization scalers to g.
+func Fit(g *expertgraph.Graph, gamma, lambda float64, opt Options) (*Params, error) {
+	if gamma < 0 || gamma > 1 {
+		return nil, fmt.Errorf("transform: gamma %v out of [0,1]", gamma)
+	}
+	if lambda < 0 || lambda > 1 {
+		return nil, fmt.Errorf("transform: lambda %v out of [0,1]", lambda)
+	}
+	p := &Params{Gamma: gamma, Lambda: lambda, g: g}
+	if opt.Normalize {
+		p.wScale = stats.NewScaler(spread(g.EdgeWeightBounds()))
+		p.aScale = stats.NewScaler(spread(g.InvAuthorityBounds()))
+	} else {
+		p.wScale = stats.NewScaler(0, 1) // identity map
+		p.aScale = stats.NewScaler(0, 1)
+	}
+	p.normInv = make([]float64, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		p.normInv[u] = p.aScale.Scale(g.InvAuthority(expertgraph.NodeID(u)))
+	}
+	return p, nil
+}
+
+// spread widens degenerate bounds so a constant scale maps to 0 via
+// Scaler's degenerate handling rather than dividing by zero.
+func spread(lo, hi float64) (float64, float64) { return lo, hi }
+
+// Graph returns the graph the params were fitted to.
+func (p *Params) Graph() *expertgraph.Graph { return p.g }
+
+// NormW returns the normalized edge weight w̄.
+func (p *Params) NormW(w float64) float64 { return p.wScale.Scale(w) }
+
+// NormInv returns the normalized inverse authority ā'(u).
+func (p *Params) NormInv(u expertgraph.NodeID) float64 { return p.normInv[u] }
+
+// EdgeWeight returns the G' weight function
+// w'(u,v) = γ(ā'(u)+ā'(v)) + 2(1−γ)w̄(u,v), suitable for the reweighted
+// Dijkstra and PLL builders.
+func (p *Params) EdgeWeight() func(u, v expertgraph.NodeID, w float64) float64 {
+	gamma := p.Gamma
+	norm := p.normInv
+	ws := p.wScale
+	return func(u, v expertgraph.NodeID, w float64) float64 {
+		return gamma*(norm[u]+norm[v]) + 2*(1-gamma)*ws.Scale(w)
+	}
+}
+
+// CACCCost converts a G' distance DIST'(root, v) into the CA-CC greedy
+// cost of picking v as a skill holder (§3.2.2): the holder's own
+// authority is removed because v is a skill holder, not a connector.
+func (p *Params) CACCCost(distPrime float64, v expertgraph.NodeID) float64 {
+	return distPrime - p.Gamma*p.normInv[v]
+}
+
+// SACACCCost converts a G' distance into the SA-CA-CC greedy cost of
+// picking v as a skill holder (§3.2.3):
+//
+//	(1−λ)·(DIST'(root,v) − γ·ā'(v)) + λ·ā'(v)
+//
+// i.e. the holder's authority is removed from the connector term and
+// re-added under the skill-holder tradeoff λ.
+func (p *Params) SACACCCost(distPrime float64, v expertgraph.NodeID) float64 {
+	return (1-p.Lambda)*(distPrime-p.Gamma*p.normInv[v]) + p.Lambda*p.normInv[v]
+}
+
+// PathWeight computes the exact G' weight of a path given as a node
+// sequence, for verifying oracle distances against the telescoped
+// definition. It returns 0 for paths of fewer than two nodes.
+func (p *Params) PathWeight(path []expertgraph.NodeID) float64 {
+	total := 0.0
+	ew := p.EdgeWeight()
+	for i := 1; i < len(path); i++ {
+		w, ok := p.g.EdgeWeight(path[i-1], path[i])
+		if !ok {
+			return expertgraph.Infinity
+		}
+		total += ew(path[i-1], path[i], w)
+	}
+	return total
+}

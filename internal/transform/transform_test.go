@@ -1,0 +1,248 @@
+package transform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"authteam/internal/expertgraph"
+)
+
+// buildLine returns a 4-node path graph with distinct authorities and
+// weights so normalization is non-trivial:
+//
+//	n0(a=1) --0.2-- n1(a=2) --0.6-- n2(a=4) --1.0-- n3(a=10)
+func buildLine(t *testing.T) *expertgraph.Graph {
+	t.Helper()
+	b := expertgraph.NewBuilder(4, 3)
+	n0 := b.AddNode("n0", 1)
+	n1 := b.AddNode("n1", 2)
+	n2 := b.AddNode("n2", 4)
+	n3 := b.AddNode("n3", 10)
+	b.AddEdge(n0, n1, 0.2)
+	b.AddEdge(n1, n2, 0.6)
+	b.AddEdge(n2, n3, 1.0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFitValidation(t *testing.T) {
+	g := buildLine(t)
+	for _, bad := range []struct{ gamma, lambda float64 }{
+		{-0.1, 0.5}, {1.1, 0.5}, {0.5, -0.1}, {0.5, 1.1},
+	} {
+		if _, err := Fit(g, bad.gamma, bad.lambda, Options{}); err == nil {
+			t.Errorf("Fit(γ=%v, λ=%v) should fail", bad.gamma, bad.lambda)
+		}
+	}
+	if _, err := Fit(g, 0, 0, Options{}); err != nil {
+		t.Errorf("boundary params should be accepted: %v", err)
+	}
+	if _, err := Fit(g, 1, 1, Options{}); err != nil {
+		t.Errorf("boundary params should be accepted: %v", err)
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	g := buildLine(t)
+	p, err := Fit(g, 0.6, 0.6, Options{Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge weights 0.2..1.0 normalize to 0..1.
+	if got := p.NormW(0.2); got != 0 {
+		t.Errorf("NormW(min) = %v, want 0", got)
+	}
+	if got := p.NormW(1.0); got != 1 {
+		t.Errorf("NormW(max) = %v, want 1", got)
+	}
+	if got := p.NormW(0.6); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("NormW(mid) = %v, want 0.5", got)
+	}
+	// Inverse authorities: 1/1=1 is max (→1), 1/10=0.1 is min (→0):
+	// high authority means zero cost.
+	if got := p.NormInv(0); got != 1 {
+		t.Errorf("NormInv(lowest authority) = %v, want 1", got)
+	}
+	if got := p.NormInv(3); got != 0 {
+		t.Errorf("NormInv(highest authority) = %v, want 0", got)
+	}
+}
+
+func TestNoNormalizationIsIdentity(t *testing.T) {
+	g := buildLine(t)
+	p, err := Fit(g, 0.5, 0.5, Options{Normalize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.NormW(0.6); got != 0.6 {
+		t.Errorf("raw NormW = %v, want 0.6", got)
+	}
+	if got := p.NormInv(1); got != 0.5 { // a'(n1) = 1/2
+		t.Errorf("raw NormInv = %v, want 0.5", got)
+	}
+}
+
+func TestEdgeWeightFormula(t *testing.T) {
+	g := buildLine(t)
+	p, err := Fit(g, 0.6, 0.5, Options{Normalize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew := p.EdgeWeight()
+	// Edge (n1,n2): w=0.6, a'(n1)=0.5, a'(n2)=0.25.
+	want := 0.6*(0.5+0.25) + 2*0.4*0.6
+	if got := ew(1, 2, 0.6); math.Abs(got-want) > 1e-12 {
+		t.Errorf("w'(1,2) = %v, want %v", got, want)
+	}
+}
+
+func TestGammaZeroReducesToCommunication(t *testing.T) {
+	g := buildLine(t)
+	p, err := Fit(g, 0, 0, Options{Normalize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew := p.EdgeWeight()
+	// γ=0: w' = 2w exactly; authority plays no role.
+	if got := ew(0, 1, 0.2); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("γ=0 w' = %v, want 0.4", got)
+	}
+}
+
+func TestGammaOneIgnoresCommunication(t *testing.T) {
+	g := buildLine(t)
+	p, err := Fit(g, 1, 0, Options{Normalize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew := p.EdgeWeight()
+	// γ=1: w' = a'(u)+a'(v) regardless of w.
+	want := 1.0 + 0.5
+	if got := ew(0, 1, 123.0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("γ=1 w' = %v, want %v", got, want)
+	}
+}
+
+// TestPathTelescoping verifies the core property of the transformation:
+// the G' weight of a path x0..xk equals
+//
+//	γ·(a'(x0) + a'(xk) + 2·Σ internal a') + 2(1−γ)·Σ w
+//
+// so internal (connector) authorities count twice and endpoints once.
+func TestPathTelescoping(t *testing.T) {
+	g := buildLine(t)
+	p, err := Fit(g, 0.6, 0.5, Options{Normalize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := []expertgraph.NodeID{0, 1, 2, 3}
+	got := p.PathWeight(path)
+	aInv := []float64{1, 0.5, 0.25, 0.1}
+	ccSum := 0.2 + 0.6 + 1.0
+	want := 0.6*(aInv[0]+aInv[3]+2*(aInv[1]+aInv[2])) + 2*0.4*ccSum
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("PathWeight = %v, want %v", got, want)
+	}
+}
+
+func TestPathTelescopingProperty(t *testing.T) {
+	f := func(seed int64, gRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gamma := math.Mod(math.Abs(gRaw), 1)
+		n := 4 + rng.Intn(10)
+		b := expertgraph.NewBuilder(n, n-1)
+		for i := 0; i < n; i++ {
+			b.AddNode("", float64(1+rng.Intn(15)))
+		}
+		ws := make([]float64, n-1)
+		for i := 1; i < n; i++ {
+			ws[i-1] = 0.05 + rng.Float64()
+			b.AddEdge(expertgraph.NodeID(i-1), expertgraph.NodeID(i), ws[i-1])
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		p, err := Fit(g, gamma, 0.5, Options{Normalize: false})
+		if err != nil {
+			return false
+		}
+		path := make([]expertgraph.NodeID, n)
+		for i := range path {
+			path[i] = expertgraph.NodeID(i)
+		}
+		got := p.PathWeight(path)
+		want := gamma * (g.InvAuthority(0) + g.InvAuthority(expertgraph.NodeID(n-1)))
+		for i := 1; i < n-1; i++ {
+			want += 2 * gamma * g.InvAuthority(expertgraph.NodeID(i))
+		}
+		for _, w := range ws {
+			want += 2 * (1 - gamma) * w
+		}
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHolderCostAdjustments(t *testing.T) {
+	g := buildLine(t)
+	p, err := Fit(g, 0.6, 0.3, Options{Normalize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := 2.5
+	v := expertgraph.NodeID(1) // a'(v) = 0.5
+	if got, want := p.CACCCost(dist, v), dist-0.6*0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("CACCCost = %v, want %v", got, want)
+	}
+	wantSA := (1-0.3)*(dist-0.6*0.5) + 0.3*0.5
+	if got := p.SACACCCost(dist, v); math.Abs(got-wantSA) > 1e-12 {
+		t.Errorf("SACACCCost = %v, want %v", got, wantSA)
+	}
+}
+
+func TestLambdaZeroSACACCEqualsCACC(t *testing.T) {
+	g := buildLine(t)
+	p, err := Fit(g, 0.6, 0, Options{Normalize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := expertgraph.NodeID(0); v < 4; v++ {
+		d := 1.7
+		if math.Abs(p.SACACCCost(d, v)-p.CACCCost(d, v)) > 1e-12 {
+			t.Errorf("λ=0: SACACCCost should equal CACCCost at node %d", v)
+		}
+	}
+}
+
+func TestPathWeightMissingEdge(t *testing.T) {
+	g := buildLine(t)
+	p, err := Fit(g, 0.5, 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.PathWeight([]expertgraph.NodeID{0, 2}); !math.IsInf(got, 1) {
+		t.Errorf("non-adjacent path weight = %v, want +Inf", got)
+	}
+	if got := p.PathWeight([]expertgraph.NodeID{0}); got != 0 {
+		t.Errorf("single-node path weight = %v, want 0", got)
+	}
+}
+
+func TestGraphAccessor(t *testing.T) {
+	g := buildLine(t)
+	p, err := Fit(g, 0.5, 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Graph() != g {
+		t.Error("Graph() should return the fitted graph")
+	}
+}

@@ -1,0 +1,147 @@
+// Package workload generates the experimental workloads of §4 of the
+// paper: random projects of 4, 6, 8 or 10 required skills, sampled so
+// a team exists (every skill coverable within one connected component
+// of the expert network), with deterministic seeding so experiment
+// runs are reproducible.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"authteam/internal/expertgraph"
+)
+
+// Common errors.
+var (
+	ErrTooFewSkills = errors.New("workload: not enough eligible skills")
+	ErrInfeasible   = errors.New("workload: could not sample a feasible project")
+)
+
+// Options configures the generator.
+type Options struct {
+	// MinHolders excludes skills with fewer holders (default 1).
+	// Raising it avoids degenerate projects where a skill has exactly
+	// one holder and every method must pick the same expert.
+	MinHolders int
+	// MaxAttempts bounds rejection sampling per project (default 200).
+	MaxAttempts int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinHolders == 0 {
+		o.MinHolders = 1
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 200
+	}
+	return o
+}
+
+// Generator samples feasible projects from one expert network. It is
+// not safe for concurrent use (it owns its rand.Rand); create one per
+// goroutine.
+type Generator struct {
+	g        *expertgraph.Graph
+	rng      *rand.Rand
+	opt      Options
+	eligible []expertgraph.SkillID
+	compOf   []int32
+}
+
+// NewGenerator prepares a generator over g with the given seed.
+func NewGenerator(g *expertgraph.Graph, seed int64, opt Options) (*Generator, error) {
+	opt = opt.withDefaults()
+	gen := &Generator{
+		g:   g,
+		rng: rand.New(rand.NewSource(seed)),
+		opt: opt,
+	}
+	for s := 0; s < g.NumSkills(); s++ {
+		id := expertgraph.SkillID(s)
+		if len(g.ExpertsWithSkill(id)) >= opt.MinHolders {
+			gen.eligible = append(gen.eligible, id)
+		}
+	}
+	gen.compOf, _ = expertgraph.Components(g)
+	return gen, nil
+}
+
+// EligibleSkills returns how many skills the generator samples from.
+func (gen *Generator) EligibleSkills() int { return len(gen.eligible) }
+
+// Project samples one feasible project with n distinct skills.
+func (gen *Generator) Project(n int) ([]expertgraph.SkillID, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: project size %d", n)
+	}
+	if len(gen.eligible) < n {
+		return nil, fmt.Errorf("%w: need %d, have %d", ErrTooFewSkills, n, len(gen.eligible))
+	}
+	for attempt := 0; attempt < gen.opt.MaxAttempts; attempt++ {
+		project := gen.sample(n)
+		if gen.feasible(project) {
+			return project, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %d skills after %d attempts", ErrInfeasible, n, gen.opt.MaxAttempts)
+}
+
+// Projects samples count feasible projects of n skills each.
+func (gen *Generator) Projects(count, n int) ([][]expertgraph.SkillID, error) {
+	out := make([][]expertgraph.SkillID, 0, count)
+	for i := 0; i < count; i++ {
+		p, err := gen.Project(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// sample draws n distinct eligible skills (partial Fisher–Yates).
+func (gen *Generator) sample(n int) []expertgraph.SkillID {
+	idx := gen.rng.Perm(len(gen.eligible))[:n]
+	out := make([]expertgraph.SkillID, n)
+	for i, j := range idx {
+		out[i] = gen.eligible[j]
+	}
+	return out
+}
+
+// feasible reports whether some connected component contains at least
+// one holder of every skill in the project, i.e. a team exists.
+func (gen *Generator) feasible(project []expertgraph.SkillID) bool {
+	if len(project) == 0 {
+		return false
+	}
+	// Components holding skill 0's holders are the only candidates.
+	cands := make(map[int32]int) // component -> skills covered so far
+	for _, u := range gen.g.ExpertsWithSkill(project[0]) {
+		cands[gen.compOf[u]] = 1
+	}
+	for i := 1; i < len(project); i++ {
+		hit := make(map[int32]bool)
+		for _, u := range gen.g.ExpertsWithSkill(project[i]) {
+			hit[gen.compOf[u]] = true
+		}
+		alive := false
+		for comp, covered := range cands {
+			if covered == i && hit[comp] {
+				cands[comp] = i + 1
+				alive = true
+			}
+		}
+		if !alive {
+			return false
+		}
+	}
+	for _, covered := range cands {
+		if covered == len(project) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"authteam/internal/dblp"
+	"authteam/internal/expertgraph"
+)
+
+func testGraph(t *testing.T) *expertgraph.Graph {
+	t.Helper()
+	c := dblp.Synthesize(dblp.SynthConfig{Seed: 1, Authors: 500})
+	g, _, err := dblp.BuildGraph(c, dblp.GraphOptions{LargestComponent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestProjectSizes(t *testing.T) {
+	g := testGraph(t)
+	gen, err := NewGenerator(g, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{4, 6, 8, 10} {
+		p, err := gen.Project(n)
+		if err != nil {
+			t.Fatalf("Project(%d): %v", n, err)
+		}
+		if len(p) != n {
+			t.Fatalf("Project(%d) returned %d skills", n, len(p))
+		}
+		// Distinct skills.
+		seen := make(map[expertgraph.SkillID]bool)
+		for _, s := range p {
+			if seen[s] {
+				t.Errorf("duplicate skill %d in project", s)
+			}
+			seen[s] = true
+			if len(g.ExpertsWithSkill(s)) == 0 {
+				t.Errorf("skill %d has no holders", s)
+			}
+		}
+	}
+}
+
+func TestProjectsDeterministic(t *testing.T) {
+	g := testGraph(t)
+	gen1, _ := NewGenerator(g, 7, Options{})
+	gen2, _ := NewGenerator(g, 7, Options{})
+	p1, err := gen1.Projects(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := gen2.Projects(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		for j := range p1[i] {
+			if p1[i][j] != p2[i][j] {
+				t.Fatal("same seed should give identical projects")
+			}
+		}
+	}
+	gen3, _ := NewGenerator(g, 8, Options{})
+	p3, err := gen3.Projects(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range p1 {
+		for j := range p1[i] {
+			if p1[i][j] != p3[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds should give different projects")
+	}
+}
+
+func TestMinHolders(t *testing.T) {
+	g := testGraph(t)
+	loose, _ := NewGenerator(g, 1, Options{MinHolders: 1})
+	strict, _ := NewGenerator(g, 1, Options{MinHolders: 5})
+	if strict.EligibleSkills() >= loose.EligibleSkills() {
+		t.Errorf("MinHolders should shrink eligibility: %d vs %d",
+			strict.EligibleSkills(), loose.EligibleSkills())
+	}
+	p, err := strict.Project(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p {
+		if len(g.ExpertsWithSkill(s)) < 5 {
+			t.Errorf("skill %d has fewer than 5 holders", s)
+		}
+	}
+}
+
+func TestTooFewSkills(t *testing.T) {
+	b := expertgraph.NewBuilder(2, 1)
+	x := b.AddNode("x", 1, "only")
+	y := b.AddNode("y", 1)
+	b.AddEdge(x, y, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewGenerator(g, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gen.Project(4); !errors.Is(err, ErrTooFewSkills) {
+		t.Errorf("err = %v, want ErrTooFewSkills", err)
+	}
+}
+
+func TestBadProjectSize(t *testing.T) {
+	g := testGraph(t)
+	gen, _ := NewGenerator(g, 1, Options{})
+	if _, err := gen.Project(0); err == nil {
+		t.Error("Project(0) should fail")
+	}
+}
+
+// TestFeasibilityAcrossComponents builds a graph where skills only
+// co-occur within one component and checks the sampler never returns
+// a cross-component project.
+func TestFeasibilityAcrossComponents(t *testing.T) {
+	b := expertgraph.NewBuilder(4, 2)
+	// Component A holds skills {a, b}; component B holds {c, d}.
+	a1 := b.AddNode("a1", 1, "a")
+	a2 := b.AddNode("a2", 1, "b")
+	c1 := b.AddNode("c1", 1, "c")
+	c2 := b.AddNode("c2", 1, "d")
+	b.AddEdge(a1, a2, 1)
+	b.AddEdge(c1, c2, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewGenerator(g, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compOf, _ := expertgraph.Components(g)
+	for trial := 0; trial < 50; trial++ {
+		p, err := gen.Project(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comps := make(map[int32]bool)
+		for _, s := range p {
+			for _, u := range g.ExpertsWithSkill(s) {
+				comps[compOf[u]] = true
+			}
+		}
+		if len(comps) != 1 {
+			t.Fatalf("project %v spans %d components", p, len(comps))
+		}
+	}
+	// A 3-skill project is infeasible here (components hold 2 each).
+	if _, err := gen.Project(3); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
