@@ -1,40 +1,100 @@
 // Command teamdisc answers team discovery queries over a saved expert
-// network (see dblpgen), printing the discovered teams with their
-// objective scores and member profiles.
+// network (see dblpgen) — either one-shot from the command line, or as
+// a long-lived HTTP daemon that builds the 2-hop cover index once and
+// amortizes it over many concurrent requests.
 //
 // Usage:
 //
 //	teamdisc -graph graph.bin -skills "analytics,matrix,communities" \
 //	         -method sa-ca-cc -gamma 0.6 -lambda 0.6 -k 5
 //	teamdisc -graph graph.bin -skills "query,indexing" -method pareto
+//	teamdisc serve -graph graph.bin -addr :7411
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"authteam/internal/core"
 	"authteam/internal/expertgraph"
+	"authteam/internal/oracle"
+	"authteam/internal/server"
 	"authteam/internal/team"
 	"authteam/internal/transform"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
+	runQuery(os.Args[1:])
+}
+
+// runServe starts the long-lived query-serving daemon.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("teamdisc serve", flag.ExitOnError)
 	var (
-		graphPath = flag.String("graph", "graph.bin", "expert network file (from dblpgen)")
-		skillsArg = flag.String("skills", "", "comma-separated required skills")
-		methodArg = flag.String("method", "sa-ca-cc", "cc | ca-cc | sa-ca-cc | random | exact | pareto")
-		gamma     = flag.Float64("gamma", 0.6, "connector-authority tradeoff γ")
-		lambda    = flag.Float64("lambda", 0.6, "skill-holder-authority tradeoff λ")
-		k         = flag.Int("k", 1, "number of teams (top-k)")
-		useIndex  = flag.Bool("index", true, "build a 2-hop cover index before searching")
-		trials    = flag.Int("trials", core.DefaultRandomTrials, "random baseline trials")
-		seed      = flag.Int64("seed", 1, "random baseline seed")
+		graphPath = fs.String("graph", "graph.bin", "expert network file (from dblpgen)")
+		addr      = fs.String("addr", ":7411", "listen address")
+		gamma     = fs.Float64("gamma", 0.6, "default connector-authority tradeoff γ")
+		lambda    = fs.Float64("lambda", 0.6, "default skill-holder-authority tradeoff λ")
+		cacheSize = fs.Int("cache", 1024, "result cache entries (negative disables)")
+		timeout   = fs.Duration("timeout", 30*time.Second, "per-request discovery timeout")
+		workers   = fs.Int("workers", 0, "root-scan parallelism (0 = NumCPU)")
+		noPersist = fs.Bool("no-persist-index", false, "do not save built indexes next to the graph")
+		cold      = fs.Bool("cold", false, "skip warming the default-γ index at startup")
 	)
-	flag.Parse()
+	fs.Parse(args)
+
+	srv, err := server.New(server.Config{
+		Addr:           *addr,
+		GraphPath:      *graphPath,
+		Gamma:          gamma,
+		Lambda:         lambda,
+		CacheSize:      *cacheSize,
+		RequestTimeout: *timeout,
+		Workers:        *workers,
+		NoPersistIndex: *noPersist,
+		WarmIndex:      !*cold,
+	})
+	if err != nil {
+		fail("serve: %v", err)
+	}
+	log.Printf("teamdisc serve: %v on %s (γ=%.2f λ=%.2f)", srv.Graph(), *addr, *gamma, *lambda)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.ListenAndServe(ctx); err != nil {
+		fail("serve: %v", err)
+	}
+	log.Printf("teamdisc serve: drained, bye")
+}
+
+// runQuery answers one discovery query and exits (the original CLI).
+func runQuery(args []string) {
+	fs := flag.NewFlagSet("teamdisc", flag.ExitOnError)
+	var (
+		graphPath = fs.String("graph", "graph.bin", "expert network file (from dblpgen)")
+		skillsArg = fs.String("skills", "", "comma-separated required skills")
+		methodArg = fs.String("method", "sa-ca-cc", "cc | ca-cc | sa-ca-cc | random | exact | pareto")
+		gamma     = fs.Float64("gamma", 0.6, "connector-authority tradeoff γ")
+		lambda    = fs.Float64("lambda", 0.6, "skill-holder-authority tradeoff λ")
+		k         = fs.Int("k", 1, "number of teams (top-k)")
+		useIndex  = fs.Bool("index", true, "build a 2-hop cover index before searching")
+		workers   = fs.Int("workers", 1, "shard the root scan over this many goroutines")
+		trials    = fs.Int("trials", core.DefaultRandomTrials, "random baseline trials")
+		seed      = fs.Int64("seed", 1, "random baseline seed")
+	)
+	fs.Parse(args)
 	if *skillsArg == "" {
 		fail("missing -skills")
 	}
@@ -83,11 +143,16 @@ func main() {
 		method := map[string]core.Method{
 			"cc": core.CC, "ca-cc": core.CACC, "sa-ca-cc": core.SACACC,
 		}[*methodArg]
-		var opts []core.Option
+		// With -index the 2-hop cover is built once over the method's
+		// search weights and shared by every root-scan goroutine; the
+		// parallel path requires a concurrency-safe oracle, which the
+		// per-root Dijkstra oracle is not, so without -index the scan
+		// creates one Dijkstra oracle per worker internally.
+		var dist oracle.Oracle
 		if *useIndex {
-			opts = append(opts, core.WithPLL())
+			dist = core.BuildIndexOracle(p, method)
 		}
-		teams, err = core.NewDiscoverer(p, method, opts...).TopK(project, *k)
+		teams, err = core.TopKParallel(p, method, project, *k, *workers, dist)
 	case "random":
 		var tm *team.Team
 		tm, err = core.Random(p, project, *trials, rand.New(rand.NewSource(*seed)))

@@ -1,0 +1,3 @@
+module authteam
+
+go 1.24

@@ -90,6 +90,19 @@ func WithPLL() Option {
 	return func(d *Discoverer) { d.dist = oracle.BuildPLL(d.g, d.weight) }
 }
 
+// BuildIndexOracle constructs a 2-hop cover oracle over method m's
+// search weights — raw stored weights for CC, the G' weights of
+// p.EdgeWeight() otherwise. It is the sharable equivalent of WithPLL:
+// the returned oracle is safe for concurrent use and can serve every
+// discoverer (and TopKParallel call) with the same method and γ.
+func BuildIndexOracle(p *transform.Params, m Method) *oracle.PLLOracle {
+	var weight oracle.WeightFunc
+	if m != CC {
+		weight = p.EdgeWeight()
+	}
+	return oracle.BuildPLL(p.Graph(), weight)
+}
+
 // WithRoots restricts the candidate roots of line 3 of Algorithm 1.
 // Useful for parallel sharding and for experiments.
 func WithRoots(roots []expertgraph.NodeID) Option {

@@ -85,20 +85,14 @@ func TopKParallel(p *transform.Params, m Method, project []expertgraph.SkillID,
 	// merged teams by evaluated objective would change semantics, so
 	// the merge re-ranks by the same greedy cost, recomputed from the
 	// shard order via a stable global sort on (cost-rank, root).
-	type ranked struct {
-		t    *team.Team
-		cost float64
-	}
-	var pool []ranked
+	var pool []*team.Team
 	anySuccess := false
 	var firstErr error
 	for _, out := range outs {
 		switch out.err {
 		case nil:
 			anySuccess = true
-			for _, tm := range out.teams {
-				pool = append(pool, ranked{t: tm, cost: surrogateOf(p, m, tm, project)})
-			}
+			pool = append(pool, out.teams...)
 		default:
 			if firstErr == nil {
 				firstErr = out.err
@@ -108,21 +102,27 @@ func TopKParallel(p *transform.Params, m Method, project []expertgraph.SkillID,
 	if !anySuccess {
 		return nil, firstErr
 	}
-	sort.SliceStable(pool, func(i, j int) bool {
-		if pool[i].cost != pool[j].cost {
-			return pool[i].cost < pool[j].cost
+	costs := surrogateCosts(p, m, pool, project)
+	order := make([]int, len(pool))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		i, j := order[a], order[b]
+		if costs[i] != costs[j] {
+			return costs[i] < costs[j]
 		}
-		return pool[i].t.Root < pool[j].t.Root
+		return pool[i].Root < pool[j].Root
 	})
 	seen := make(map[string]bool)
 	merged := make([]*team.Team, 0, k)
-	for _, r := range pool {
-		sig := signature(r.t)
+	for _, i := range order {
+		sig := signature(pool[i])
 		if seen[sig] {
 			continue
 		}
 		seen[sig] = true
-		merged = append(merged, r.t)
+		merged = append(merged, pool[i])
 		if len(merged) == k {
 			break
 		}
@@ -130,30 +130,45 @@ func TopKParallel(p *transform.Params, m Method, project []expertgraph.SkillID,
 	return merged, nil
 }
 
-// surrogateOf recomputes the greedy surrogate cost of a reconstructed
-// team for merge ordering: the sum over skills of the holder cost at
-// the team's root, using exact (Dijkstra) distances over the method's
-// search weights.
-func surrogateOf(p *transform.Params, m Method, tm *team.Team,
-	project []expertgraph.SkillID) float64 {
+// surrogateCosts recomputes the greedy surrogate cost of each
+// reconstructed team for merge ordering: the sum over skills of the
+// holder cost at the team's root, using exact (Dijkstra) distances
+// over the method's search weights. One workspace is allocated for
+// the whole pool and teams are grouped by root so each distinct
+// (root, method) pays a single SSSP — the pool holds up to workers·k
+// teams, and running a fresh full Dijkstra per team made the merge
+// cost O(workers·k) SSSPs plus as many workspace allocations.
+func surrogateCosts(p *transform.Params, m Method, pool []*team.Team,
+	project []expertgraph.SkillID) []float64 {
 
 	g := p.Graph()
+	byRoot := make(map[expertgraph.NodeID][]int, len(pool))
+	for i, tm := range pool {
+		byRoot[tm.Root] = append(byRoot[tm.Root], i)
+	}
 	ws := expertgraph.NewDijkstraWorkspace(g)
-	var sssp *expertgraph.SSSP
-	if m == CC {
-		sssp = ws.Run(tm.Root)
-	} else {
-		sssp = ws.RunWeighted(tm.Root, p.EdgeWeight())
-	}
 	d := Discoverer{params: p, method: m, g: g}
-	cost := 0.0
-	for _, s := range project {
-		holder := tm.Assignment[s]
-		if holder == tm.Root && g.HasSkill(tm.Root, s) {
-			cost += d.rootHolderCost(tm.Root)
-			continue
+	costs := make([]float64, len(pool))
+	for root, members := range byRoot {
+		var sssp *expertgraph.SSSP
+		if m == CC {
+			sssp = ws.Run(root)
+		} else {
+			sssp = ws.RunWeighted(root, p.EdgeWeight())
 		}
-		cost += d.holderCost(sssp.Dist[holder], holder)
+		for _, i := range members {
+			tm := pool[i]
+			cost := 0.0
+			for _, s := range project {
+				holder := tm.Assignment[s]
+				if holder == root && g.HasSkill(root, s) {
+					cost += d.rootHolderCost(root)
+					continue
+				}
+				cost += d.holderCost(sssp.Dist[holder], holder)
+			}
+			costs[i] = cost
+		}
 	}
-	return cost
+	return costs
 }

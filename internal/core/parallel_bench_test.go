@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/team"
+	"authteam/internal/transform"
+)
+
+// naiveSurrogateCosts is the pre-optimization merge re-scoring kept as
+// a reference: a fresh workspace and a full SSSP per pooled team.
+func naiveSurrogateCosts(p *transform.Params, m Method, pool []*team.Team,
+	project []expertgraph.SkillID) []float64 {
+
+	g := p.Graph()
+	costs := make([]float64, len(pool))
+	for i, tm := range pool {
+		ws := expertgraph.NewDijkstraWorkspace(g)
+		var sssp *expertgraph.SSSP
+		if m == CC {
+			sssp = ws.Run(tm.Root)
+		} else {
+			sssp = ws.RunWeighted(tm.Root, p.EdgeWeight())
+		}
+		d := Discoverer{params: p, method: m, g: g}
+		cost := 0.0
+		for _, s := range project {
+			holder := tm.Assignment[s]
+			if holder == tm.Root && g.HasSkill(tm.Root, s) {
+				cost += d.rootHolderCost(tm.Root)
+				continue
+			}
+			cost += d.holderCost(sssp.Dist[holder], holder)
+		}
+		costs[i] = cost
+	}
+	return costs
+}
+
+// mergePool builds a realistic merge pool: every shard contributes its
+// top-k, and duplicated entries exercise the per-root SSSP reuse.
+func mergePool(tb testing.TB, p *transform.Params, m Method,
+	project []expertgraph.SkillID, k int) []*team.Team {
+
+	teams, err := NewDiscoverer(p, m).TopK(project, k)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// Duplicate the pool as a second "shard" that found the same teams.
+	return append(append([]*team.Team(nil), teams...), teams...)
+}
+
+func TestSurrogateCostsMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 5; trial++ {
+		g, project := randomSkillGraph(rng, 60, 100, 3, 3)
+		p := fitOrDie(t, g, 0.6, 0.6)
+		for _, m := range []Method{CC, CACC, SACACC} {
+			pool := mergePool(t, p, m, project, 4)
+			got := surrogateCosts(p, m, pool, project)
+			want := naiveSurrogateCosts(p, m, pool, project)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d %v: %d vs %d costs", trial, m, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("trial %d %v team %d: grouped %v, naive %v",
+						trial, m, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func benchmarkSurrogate(b *testing.B, fn func(*transform.Params, Method, []*team.Team, []expertgraph.SkillID) []float64) {
+	rng := rand.New(rand.NewSource(7))
+	g, project := randomSkillGraph(rng, 600, 1800, 4, 4)
+	p, err := transform.Fit(g, 0.6, 0.6, transform.Options{Normalize: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := mergePool(b, p, SACACC, project, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(p, SACACC, pool, project)
+	}
+}
+
+func BenchmarkSurrogateCostsGrouped(b *testing.B) {
+	benchmarkSurrogate(b, surrogateCosts)
+}
+
+func BenchmarkSurrogateCostsNaive(b *testing.B) {
+	benchmarkSurrogate(b, naiveSurrogateCosts)
+}

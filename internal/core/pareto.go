@@ -34,6 +34,12 @@ type ParetoOptions struct {
 	TopK int
 	// UsePLL builds a landmark index per γ instead of per-root Dijkstra.
 	UsePLL bool
+	// IndexFor, when non-nil, supplies the distance oracle for each
+	// grid γ instead of building one per call — callers with a
+	// long-lived index cache (e.g. the serving layer) inject it here
+	// to amortize construction across sweeps. Takes precedence over
+	// UsePLL.
+	IndexFor func(p *transform.Params, m Method) oracle.Oracle
 	// Normalize applies Def. 4 normalization inside the search (it does
 	// not affect the reported raw vectors). Defaults to true.
 	NoNormalize bool
@@ -78,11 +84,15 @@ func ParetoFront(g *expertgraph.Graph, project []expertgraph.SkillID,
 				return nil, err
 			}
 			var opts []Option
-			if opt.UsePLL {
+			if opt.IndexFor != nil || opt.UsePLL {
 				if shared == nil {
 					// λ does not enter the G' edge weights, so one index
 					// per γ serves every λ.
-					shared = oracle.BuildPLL(g, p.EdgeWeight())
+					if opt.IndexFor != nil {
+						shared = opt.IndexFor(p, SACACC)
+					} else {
+						shared = oracle.BuildPLL(g, p.EdgeWeight())
+					}
 				}
 				opts = append(opts, WithOracle(shared))
 			}

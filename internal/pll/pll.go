@@ -20,8 +20,12 @@ import (
 	"authteam/internal/expertgraph"
 )
 
-// Infinity is the distance reported for disconnected pairs.
-var Infinity = math.Inf(1)
+// infinity is the distance reported for disconnected pairs. It is
+// unexported — math.Inf(1) cannot be a Go constant, and an exported
+// mutable var would let importers corrupt every distance comparison in
+// the package; callers detect disconnection with math.IsInf (the value
+// equals expertgraph.Infinity, the graph layer's shared sentinel).
+var infinity = math.Inf(1)
 
 // labelEntry is one hub entry in a node's label: the landmark's rank in
 // the construction order and the exact distance to it.
@@ -107,7 +111,7 @@ func BuildWithOptions(g *expertgraph.Graph, opt Options) *Index {
 	dist := make([]float64, n)
 	visited := make([]bool, n)
 	for i := range dist {
-		dist[i] = Infinity
+		dist[i] = infinity
 	}
 	var touched []expertgraph.NodeID
 	// hubDist[r] is the distance from the current landmark to the
@@ -115,7 +119,7 @@ func BuildWithOptions(g *expertgraph.Graph, opt Options) *Index {
 	// for O(|label|) prune queries.
 	hubDist := make([]float64, n)
 	for i := range hubDist {
-		hubDist[i] = Infinity
+		hubDist[i] = infinity
 	}
 
 	h := newPairHeap(n)
@@ -155,7 +159,7 @@ func BuildWithOptions(g *expertgraph.Graph, opt Options) *Index {
 					w = opt.Weight(u, v, w)
 				}
 				if nd := du + w; nd < dist[v] {
-					if dist[v] == Infinity {
+					if dist[v] == infinity {
 						touched = append(touched, v)
 					}
 					dist[v] = nd
@@ -167,11 +171,11 @@ func BuildWithOptions(g *expertgraph.Graph, opt Options) *Index {
 
 		// Reset scratch for the next landmark.
 		for _, u := range touched {
-			dist[u] = Infinity
+			dist[u] = infinity
 			visited[u] = false
 		}
 		for _, e := range labels[lm] {
-			hubDist[e.rank] = Infinity
+			hubDist[e.rank] = infinity
 		}
 	}
 
@@ -190,14 +194,14 @@ func BuildWithOptions(g *expertgraph.Graph, opt Options) *Index {
 }
 
 // Dist returns the exact shortest-path distance between u and v, or
-// Infinity when they are disconnected.
+// +Inf when they are disconnected.
 func (ix *Index) Dist(u, v expertgraph.NodeID) float64 {
 	if u == v {
 		return 0
 	}
 	lu := ix.entries[ix.off[u]:ix.off[u+1]]
 	lv := ix.entries[ix.off[v]:ix.off[v+1]]
-	best := Infinity
+	best := infinity
 	i, j := 0, 0
 	for i < len(lu) && j < len(lv) {
 		switch {

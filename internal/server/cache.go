@@ -1,0 +1,100 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a mutex-guarded LRU map from canonical request keys to
+// immutable response payloads. Discovery over a fixed graph is a pure
+// function of the normalized request, so repeated identical queries —
+// the dominant pattern in dashboard and A/B traffic — are answered
+// without touching the search at all.
+type lruCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	items    map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type lruEntry struct {
+	key string
+	val *DiscoverResponse
+}
+
+// newLRU creates a cache holding up to capacity entries. A capacity
+// < 1 disables caching: Get always misses and Put is a no-op.
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Enabled reports whether the cache stores anything at all.
+func (c *lruCache) Enabled() bool { return c.capacity >= 1 }
+
+// Get returns the cached response for key, promoting it to
+// most-recently-used. The returned value is shared and must be treated
+// as immutable by callers.
+func (c *lruCache) Get(key string) (*DiscoverResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put stores val under key, evicting the least-recently-used entry
+// when the cache is full.
+func (c *lruCache) Put(key string, val *DiscoverResponse) {
+	if c.capacity < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// CacheStats is the cache section of the /stats payload.
+type CacheStats struct {
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	Size     int     `json:"size"`
+	Capacity int     `json:"capacity"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// Stats reports hit/miss counters and occupancy.
+func (c *lruCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		Hits:     c.hits,
+		Misses:   c.misses,
+		Size:     c.ll.Len(),
+		Capacity: c.capacity,
+	}
+	if total := c.hits + c.misses; total > 0 {
+		s.HitRate = float64(c.hits) / float64(total)
+	}
+	return s
+}

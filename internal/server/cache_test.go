@@ -1,0 +1,86 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func resp(tag string) *DiscoverResponse {
+	return &DiscoverResponse{Method: tag}
+}
+
+func TestLRUBasic(t *testing.T) {
+	c := newLRU(2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", resp("a"))
+	got, ok := c.Get("a")
+	if !ok || got.Method != "a" {
+		t.Fatalf("Get(a) = %v, %v", got, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Size != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	c.Put("a", resp("a"))
+	c.Put("b", resp("b"))
+	c.Get("a") // promote a; b is now LRU
+	c.Put("c", resp("c"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	for _, key := range []string{"a", "c"} {
+		if _, ok := c.Get(key); !ok {
+			t.Errorf("%s should have survived", key)
+		}
+	}
+	if s := c.Stats(); s.Size != 2 {
+		t.Errorf("size = %d, want 2", s.Size)
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := newLRU(2)
+	c.Put("a", resp("old"))
+	c.Put("a", resp("new"))
+	got, ok := c.Get("a")
+	if !ok || got.Method != "new" {
+		t.Fatalf("Get(a) = %v, %v; want updated value", got, ok)
+	}
+	if s := c.Stats(); s.Size != 1 {
+		t.Errorf("size = %d, want 1", s.Size)
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRU(0)
+	c.Put("a", resp("a"))
+	if _, ok := c.Get("a"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if s := c.Stats(); s.Size != 0 || s.Capacity != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestLRUChurn(t *testing.T) {
+	c := newLRU(8)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), resp("x"))
+	}
+	s := c.Stats()
+	if s.Size != 8 {
+		t.Fatalf("size = %d, want 8", s.Size)
+	}
+	// Only the 8 most recent survive.
+	for i := 92; i < 100; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("k%d missing", i)
+		}
+	}
+}

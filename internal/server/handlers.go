@@ -1,0 +1,591 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"authteam/internal/core"
+	"authteam/internal/expertgraph"
+	"authteam/internal/oracle"
+	"authteam/internal/team"
+	"authteam/internal/transform"
+)
+
+// defaultMethod is the strategy applied when a request omits "method":
+// SA-CA-CC, the paper's headline objective.
+const defaultMethod = core.SACACC
+
+// maxBatchSize bounds one batch request; larger sweeps should be
+// split client-side so a single call cannot monopolize the daemon.
+const maxBatchSize = 1024
+
+// maxK and maxTrials bound per-request work. Unbounded values are a
+// denial-of-service vector: a huge k panics the top-k allocation in an
+// unrecovered worker goroutine (killing the process), and a huge
+// trials count pins a core long after the request has timed out.
+const (
+	maxK      = 100
+	maxTrials = 1_000_000
+)
+
+// DiscoverRequest is the body of POST /v1/discover and one element of
+// a batch. Omitted gamma/lambda fall back to the server defaults;
+// omitted k means 1; trials and seed apply to the random baseline only.
+type DiscoverRequest struct {
+	Skills []string `json:"skills"`
+	Method string   `json:"method,omitempty"` // cc | ca-cc | sa-ca-cc | random | exact | pareto
+	Gamma  *float64 `json:"gamma,omitempty"`
+	Lambda *float64 `json:"lambda,omitempty"`
+	K      int      `json:"k,omitempty"`
+	Trials int      `json:"trials,omitempty"`
+	Seed   *int64   `json:"seed,omitempty"`
+}
+
+// MemberResult is one expert of a discovered team. Skills lists the
+// project skills assigned to the member; connectors have none.
+type MemberResult struct {
+	Name      string   `json:"name"`
+	Authority float64  `json:"authority"`
+	Pubs      int      `json:"pubs"`
+	Skills    []string `json:"skills,omitempty"`
+}
+
+// ScoreResult carries every objective of the paper evaluated on one
+// team under the request's (γ, λ), on normalized scales.
+type ScoreResult struct {
+	CC     float64 `json:"cc"`
+	CA     float64 `json:"ca"`
+	SA     float64 `json:"sa"`
+	CACC   float64 `json:"ca_cc"`
+	SACACC float64 `json:"sa_ca_cc"`
+}
+
+// TeamResult is one discovered team.
+type TeamResult struct {
+	Root    string         `json:"root"`
+	Size    int            `json:"size"`
+	Members []MemberResult `json:"members"`
+	Scores  ScoreResult    `json:"scores"`
+}
+
+// ParetoResult is one non-dominated team with its raw objective
+// vector and the grid point that surfaced it.
+type ParetoResult struct {
+	CC     float64    `json:"cc"`
+	CA     float64    `json:"ca"`
+	SA     float64    `json:"sa"`
+	Gamma  float64    `json:"gamma"`
+	Lambda float64    `json:"lambda"`
+	Team   TeamResult `json:"team"`
+}
+
+// DiscoverResponse is the reply to one discovery request. Exactly one
+// of Teams and Pareto is populated, depending on the method.
+type DiscoverResponse struct {
+	Method    string         `json:"method"`
+	Skills    []string       `json:"skills"`
+	Gamma     float64        `json:"gamma"`
+	Lambda    float64        `json:"lambda"`
+	K         int            `json:"k"`
+	Teams     []TeamResult   `json:"teams,omitempty"`
+	Pareto    []ParetoResult `json:"pareto,omitempty"`
+	Cached    bool           `json:"cached"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+}
+
+// BatchRequest is the body of POST /v1/discover/batch.
+type BatchRequest struct {
+	Requests []DiscoverRequest `json:"requests"`
+}
+
+// BatchItem is the outcome of one batch element, at the same index as
+// its request. Failed elements carry Error and a zero Response.
+type BatchItem struct {
+	Index    int               `json:"index"`
+	Status   int               `json:"status"`
+	Error    string            `json:"error,omitempty"`
+	Response *DiscoverResponse `json:"response,omitempty"`
+}
+
+// BatchResponse is the reply to a batch request.
+type BatchResponse struct {
+	Results   []BatchItem `json:"results"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+}
+
+// errorResponse is the body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// httpError pairs a client-facing message with its status code.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func errf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// query is a normalized, validated discovery request: skills resolved
+// and deduplicated, defaults applied. Two requests that normalize to
+// the same query share one cache entry.
+type query struct {
+	methodName string
+	method     core.Method
+	project    []expertgraph.SkillID
+	names      []string // skill names in project (SkillID) order
+	gamma      float64
+	lambda     float64
+	k          int
+	trials     int
+	seed       int64
+}
+
+// normalize validates req against the graph and server defaults.
+func (s *Server) normalize(req *DiscoverRequest) (*query, *httpError) {
+	if len(req.Skills) == 0 {
+		return nil, errf(http.StatusBadRequest, "missing skills")
+	}
+	seen := make(map[expertgraph.SkillID]bool, len(req.Skills))
+	q := &query{
+		gamma:  s.gamma,
+		lambda: s.lambda,
+		k:      1,
+		trials: core.DefaultRandomTrials,
+		seed:   1,
+	}
+	for _, name := range req.Skills {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, errf(http.StatusBadRequest, "empty skill name")
+		}
+		id, ok := s.g.SkillID(name)
+		if !ok {
+			return nil, errf(http.StatusBadRequest, "unknown skill %q", name)
+		}
+		if !seen[id] {
+			seen[id] = true
+			q.project = append(q.project, id)
+		}
+	}
+	sort.Slice(q.project, func(i, j int) bool { return q.project[i] < q.project[j] })
+	for _, id := range q.project {
+		q.names = append(q.names, s.g.SkillName(id))
+	}
+
+	q.methodName = req.Method
+	if q.methodName == "" {
+		q.methodName = "sa-ca-cc"
+	}
+	switch q.methodName {
+	case "cc":
+		q.method = core.CC
+	case "ca-cc":
+		q.method = core.CACC
+	case "sa-ca-cc":
+		q.method = core.SACACC
+	case "random", "exact", "pareto":
+	default:
+		return nil, errf(http.StatusBadRequest, "unknown method %q", q.methodName)
+	}
+
+	if req.Gamma != nil {
+		q.gamma = *req.Gamma
+	}
+	if req.Lambda != nil {
+		q.lambda = *req.Lambda
+	}
+	if q.gamma < 0 || q.gamma > 1 {
+		return nil, errf(http.StatusBadRequest, "gamma %v out of [0,1]", q.gamma)
+	}
+	if q.lambda < 0 || q.lambda > 1 {
+		return nil, errf(http.StatusBadRequest, "lambda %v out of [0,1]", q.lambda)
+	}
+	if req.K < 0 || req.K > maxK {
+		return nil, errf(http.StatusBadRequest, "k must be in 1..%d", maxK)
+	}
+	if req.K > 0 {
+		q.k = req.K
+	}
+	if req.Trials < 0 || req.Trials > maxTrials {
+		return nil, errf(http.StatusBadRequest, "trials must be in 1..%d", maxTrials)
+	}
+	if req.Trials > 0 {
+		q.trials = req.Trials
+	}
+	if req.Seed != nil {
+		q.seed = *req.Seed
+	}
+	return q, nil
+}
+
+// cacheKey canonically encodes the parameters the normalized query's
+// method actually reads — pareto sweeps its own grid (γ, λ and k are
+// ignored), and random/exact return a single team (k is ignored) — so
+// requests differing only in ignored fields share one entry. Every
+// method is deterministic given this key (random is seeded), so equal
+// keys imply equal responses.
+func (q *query) cacheKey() string {
+	var b strings.Builder
+	switch q.methodName {
+	case "pareto":
+		b.WriteString("pareto")
+	case "random":
+		fmt.Fprintf(&b, "random|g%.9g|l%.9g|t%d|s%d", q.gamma, q.lambda, q.trials, q.seed)
+	case "exact":
+		fmt.Fprintf(&b, "exact|g%.9g|l%.9g", q.gamma, q.lambda)
+	default:
+		fmt.Fprintf(&b, "%s|g%.9g|l%.9g|k%d", q.methodName, q.gamma, q.lambda, q.k)
+	}
+	for _, id := range q.project {
+		fmt.Fprintf(&b, "|%d", id)
+	}
+	return b.String()
+}
+
+// discoverOne runs the full request pipeline — normalize, cache
+// lookup, timed compute, metrics — and is shared by the single and
+// batch endpoints. scanWorkers is the root-scan parallelism granted
+// to this one discovery.
+func (s *Server) discoverOne(ctx context.Context, req *DiscoverRequest, scanWorkers int) (*DiscoverResponse, *httpError) {
+	q, herr := s.normalize(req)
+	if herr != nil {
+		s.metrics.record(methodLabel(req.Method), 0, true)
+		return nil, herr
+	}
+	start := time.Now()
+	key := q.cacheKey()
+	// Singleflight: concurrent identical cache misses elect one leader
+	// whose worker computes and fills the cache; the rest wait on the
+	// leader's latch (bounded by their context and the request
+	// timeout) and then re-read the cache. With caching disabled there
+	// is nowhere for waiters to read a result from, so every request
+	// computes independently.
+	var latch chan struct{}
+	for s.cache.Enabled() {
+		if hit, ok := s.cache.Get(key); ok {
+			resp := *hit // shallow copy; Teams/Pareto stay shared and immutable
+			resp.Cached = true
+			resp.ElapsedMS = msSince(start)
+			// Re-echo the request's own parameters: the cached entry
+			// may come from a request differing in fields its method
+			// ignores (e.g. pareto's γ/λ/k).
+			resp.Gamma, resp.Lambda, resp.K = q.gamma, q.lambda, q.k
+			s.metrics.record(q.methodName, time.Since(start), false)
+			return &resp, nil
+		}
+		s.flightMu.Lock()
+		inflight, waiting := s.flights[key]
+		if !waiting {
+			latch = make(chan struct{})
+			s.flights[key] = latch
+			s.flightMu.Unlock()
+			break // leader: compute below
+		}
+		s.flightMu.Unlock()
+		select {
+		case <-inflight:
+			// Leader's worker finished (filling the cache on success);
+			// loop to re-read.
+		case <-ctx.Done():
+			s.metrics.record(q.methodName, time.Since(start), true)
+			return nil, errf(http.StatusGatewayTimeout, "request cancelled")
+		case <-time.After(s.cfg.RequestTimeout):
+			s.metrics.record(q.methodName, time.Since(start), true)
+			return nil, errf(http.StatusGatewayTimeout,
+				"discovery exceeded the %v request timeout", s.cfg.RequestTimeout)
+		}
+	}
+	release := func() {}
+	if latch != nil {
+		release = func() {
+			s.flightMu.Lock()
+			delete(s.flights, key)
+			s.flightMu.Unlock()
+			close(latch)
+		}
+	}
+	resp, herr := s.computeWithTimeout(ctx, q, key, scanWorkers, release)
+	if herr != nil {
+		s.metrics.record(q.methodName, time.Since(start), true)
+		return nil, herr
+	}
+	s.metrics.record(q.methodName, time.Since(start), false)
+	return resp, nil
+}
+
+// computeWithTimeout bounds one discovery computation by the server's
+// request timeout (and the caller's context). The search itself has no
+// cancellation points, so on timeout the worker goroutine is abandoned
+// — but it still fills the result cache when it eventually finishes,
+// so a client retrying a slow query converges on a hit instead of
+// recomputing forever. The worker finalizes the response (ElapsedMS,
+// cache fill) before publishing it; afterwards the response is
+// immutable.
+func (s *Server) computeWithTimeout(ctx context.Context, q *query, key string, scanWorkers int, release func()) (*DiscoverResponse, *httpError) {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+	type outcome struct {
+		resp *DiscoverResponse
+		herr *httpError
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer release() // after the cache fill, so waiters re-read a hit
+		start := time.Now()
+		resp, herr := s.compute(q, scanWorkers)
+		if herr == nil {
+			resp.ElapsedMS = msSince(start)
+			s.cache.Put(key, resp)
+		}
+		ch <- outcome{resp, herr}
+	}()
+	select {
+	case out := <-ch:
+		return out.resp, out.herr
+	case <-ctx.Done():
+		return nil, errf(http.StatusGatewayTimeout,
+			"discovery exceeded the %v request timeout", s.cfg.RequestTimeout)
+	}
+}
+
+// compute runs the selected discovery method against the shared graph
+// and indexes.
+func (s *Server) compute(q *query, scanWorkers int) (*DiscoverResponse, *httpError) {
+	p, err := s.paramsFor(q.gamma, q.lambda)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	resp := &DiscoverResponse{
+		Method: q.methodName,
+		Skills: q.names,
+		Gamma:  q.gamma,
+		Lambda: q.lambda,
+		K:      q.k,
+	}
+	switch q.methodName {
+	case "random":
+		tm, err := core.Random(p, q.project, q.trials, rand.New(rand.NewSource(q.seed)))
+		if err != nil {
+			return nil, discoveryError(err)
+		}
+		resp.Teams = []TeamResult{s.teamResult(tm, p)}
+	case "exact":
+		tm, err := core.Exact(p, q.project, core.ExactOptions{})
+		if err != nil {
+			return nil, discoveryError(err)
+		}
+		resp.Teams = []TeamResult{s.teamResult(tm, p)}
+	case "pareto":
+		front, err := core.ParetoFront(s.g, q.project, core.ParetoOptions{
+			// Route the sweep's per-γ indexes through the server's
+			// resident set so repeated pareto queries amortize the
+			// builds like every other method.
+			IndexFor: func(p *transform.Params, m core.Method) oracle.Oracle {
+				return s.indexes.forMethod(p, m)
+			},
+		})
+		if err != nil {
+			return nil, discoveryError(err)
+		}
+		for _, f := range front {
+			fp, err := s.paramsFor(f.Gamma, f.Lambda)
+			if err != nil {
+				return nil, errf(http.StatusInternalServerError, "%v", err)
+			}
+			resp.Pareto = append(resp.Pareto, ParetoResult{
+				CC: f.CC, CA: f.CA, SA: f.SA,
+				Gamma: f.Gamma, Lambda: f.Lambda,
+				Team: s.teamResult(f.Team, fp),
+			})
+		}
+	default: // cc | ca-cc | sa-ca-cc
+		dist := s.indexes.forMethod(p, q.method)
+		teams, err := core.TopKParallel(p, q.method, q.project, q.k, scanWorkers, dist)
+		if err != nil {
+			return nil, discoveryError(err)
+		}
+		for _, tm := range teams {
+			resp.Teams = append(resp.Teams, s.teamResult(tm, p))
+		}
+	}
+	return resp, nil
+}
+
+// methodLabel sanitizes a client-supplied method string for the
+// per-method metrics counters: unknown strings collapse to one label
+// so arbitrary input cannot grow the counter map without bound.
+func methodLabel(m string) string {
+	switch m {
+	case "":
+		return "sa-ca-cc"
+	case "cc", "ca-cc", "sa-ca-cc", "random", "exact", "pareto":
+		return m
+	default:
+		return "invalid"
+	}
+}
+
+// discoveryError maps library errors to HTTP statuses: an infeasible
+// project is the client's data condition (404), anything else a server
+// fault (500).
+func discoveryError(err error) *httpError {
+	if errors.Is(err, core.ErrNoTeam) || errors.Is(err, core.ErrNoExpert) {
+		return errf(http.StatusNotFound, "%v", err)
+	}
+	return errf(http.StatusInternalServerError, "%v", err)
+}
+
+// teamResult serializes one team with member roles and all objective
+// scores under p.
+func (s *Server) teamResult(tm *team.Team, p *transform.Params) TeamResult {
+	roles := make(map[expertgraph.NodeID][]string, len(tm.Assignment))
+	for sid, holder := range tm.Assignment {
+		roles[holder] = append(roles[holder], s.g.SkillName(sid))
+	}
+	for _, r := range roles {
+		sort.Strings(r)
+	}
+	out := TeamResult{
+		Root:    s.g.Name(tm.Root),
+		Size:    tm.Size(),
+		Members: make([]MemberResult, 0, len(tm.Nodes)),
+	}
+	for _, u := range tm.Nodes {
+		out.Members = append(out.Members, MemberResult{
+			Name:      s.g.Name(u),
+			Authority: s.g.Authority(u),
+			Pubs:      s.g.Pubs(u),
+			Skills:    roles[u],
+		})
+	}
+	sc := team.Evaluate(tm, p)
+	out.Scores = ScoreResult{CC: sc.CC, CA: sc.CA, SA: sc.SA, CACC: sc.CACC, SACACC: sc.SACACC}
+	return out
+}
+
+func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	var req DiscoverRequest
+	if herr := decodeBody(r, &req); herr != nil {
+		writeError(w, herr)
+		return
+	}
+	resp, herr := s.discoverOne(r.Context(), &req, s.cfg.Workers)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if herr := decodeBody(r, &req); herr != nil {
+		writeError(w, herr)
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, errf(http.StatusBadRequest, "empty batch"))
+		return
+	}
+	if len(req.Requests) > maxBatchSize {
+		writeError(w, errf(http.StatusBadRequest,
+			"batch of %d exceeds the %d-request limit", len(req.Requests), maxBatchSize))
+		return
+	}
+	start := time.Now()
+	results := make([]BatchItem, len(req.Requests))
+	// Split the worker budget between batch fan-out and each item's
+	// root scan, so one batch cannot oversubscribe the CPU with up to
+	// Workers² goroutines.
+	fanout := min(len(req.Requests), s.cfg.Workers)
+	scanWorkers := max(1, s.cfg.Workers/fanout)
+	sem := make(chan struct{}, fanout)
+	var wg sync.WaitGroup
+	for i := range req.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			resp, herr := s.discoverOne(r.Context(), &req.Requests[i], scanWorkers)
+			item := BatchItem{Index: i, Status: http.StatusOK, Response: resp}
+			if herr != nil {
+				item.Status, item.Error, item.Response = herr.status, herr.msg, nil
+			}
+			results[i] = item
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchResponse{
+		Results:   results,
+		ElapsedMS: msSince(start),
+	})
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Graph         struct {
+		Nodes  int `json:"nodes"`
+		Edges  int `json:"edges"`
+		Skills int `json:"skills"`
+	} `json:"graph"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{Status: "ok"}
+	resp.UptimeSeconds = time.Since(s.metrics.start).Seconds()
+	resp.Graph.Nodes = s.g.NumNodes()
+	resp.Graph.Edges = s.g.NumEdges()
+	resp.Graph.Skills = s.g.NumSkills()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	MetricsSnapshot
+	Cache CacheStats `json:"cache"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		MetricsSnapshot: s.metrics.snapshot(),
+		Cache:           s.cache.Stats(),
+	})
+}
+
+// decodeBody parses a JSON request body, rejecting empty and malformed
+// bodies with 400.
+func decodeBody(r *http.Request, dst any) *httpError {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(dst); err != nil {
+		return errf(http.StatusBadRequest, "invalid request body: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, herr *httpError) {
+	writeJSON(w, herr.status, errorResponse{Error: herr.msg})
+}
+
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sync"
+
+	"authteam/internal/core"
+	"authteam/internal/expertgraph"
+	"authteam/internal/oracle"
+	"authteam/internal/pll"
+	"authteam/internal/transform"
+)
+
+// maxResidentIndexes bounds the number of distinct 2-hop covers kept in
+// memory. CC traffic shares one raw-weight index; CA-CC and SA-CA-CC
+// traffic shares one index per γ (λ only shifts holder costs, not edge
+// weights), so real deployments need two or three. The bound only
+// protects against adversarial γ sweeps.
+const maxResidentIndexes = 8
+
+// indexSet owns the 2-hop cover indexes the server queries. Building
+// one is the expensive amortized step of the paper (§4.1), so the set
+// memoizes per weight-function key and optionally persists each index
+// next to the graph file for instant reloads on restart.
+type indexSet struct {
+	g *expertgraph.Graph
+	// base is the persistence path prefix ("" disables persistence);
+	// the index for key k lives at <base>.pll-<k>.
+	base string
+
+	mu      sync.Mutex
+	oracles map[string]*oracle.PLLOracle
+	// building holds one latch per in-flight build so a slow build for
+	// a new key never blocks lookups of resident indexes, and
+	// concurrent requests for the same missing key build it once.
+	building map[string]chan struct{}
+}
+
+func newIndexSet(g *expertgraph.Graph, base string) *indexSet {
+	return &indexSet{
+		g:        g,
+		base:     base,
+		oracles:  make(map[string]*oracle.PLLOracle),
+		building: make(map[string]chan struct{}),
+	}
+}
+
+// indexKey canonically names the weight function an index was built
+// over: raw stored weights for CC, the G' weights at γ otherwise.
+func indexKey(m core.Method, gamma float64) string {
+	if m == core.CC {
+		return "cc"
+	}
+	return fmt.Sprintf("g%.9g", gamma)
+}
+
+// forMethod returns the (possibly cached) index oracle serving method m
+// under params p, building — and persisting, when enabled — on first
+// use. Safe for concurrent use: resident keys are served with a map
+// lookup, and a missing key is built exactly once while other keys
+// remain available.
+func (s *indexSet) forMethod(p *transform.Params, m core.Method) *oracle.PLLOracle {
+	key := indexKey(m, p.Gamma)
+	s.mu.Lock()
+	for {
+		if o, ok := s.oracles[key]; ok {
+			s.mu.Unlock()
+			return o
+		}
+		latch, inflight := s.building[key]
+		if !inflight {
+			break
+		}
+		s.mu.Unlock()
+		<-latch
+		s.mu.Lock()
+	}
+	latch := make(chan struct{})
+	s.building[key] = latch
+	s.mu.Unlock()
+
+	o := s.load(key)
+	if o != nil && !s.verifyIndex(o, p, m) {
+		log.Printf("server: ignoring stale index %s (distances disagree with the graph)", s.path(key))
+		o = nil
+	}
+	if o == nil {
+		o = core.BuildIndexOracle(p, m)
+		s.save(key, o.Index())
+	}
+
+	s.mu.Lock()
+	if len(s.oracles) >= maxResidentIndexes {
+		for k := range s.oracles {
+			delete(s.oracles, k)
+			break
+		}
+	}
+	s.oracles[key] = o
+	delete(s.building, key)
+	s.mu.Unlock()
+	close(latch)
+	return o
+}
+
+// load reads a previously persisted index for key, discarding it when
+// it does not match the loaded graph (e.g. the graph file was rebuilt).
+func (s *indexSet) load(key string) *oracle.PLLOracle {
+	if s.base == "" {
+		return nil
+	}
+	path := s.path(key)
+	ix, err := pll.LoadFile(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			log.Printf("server: ignoring index %s: %v", path, err)
+		}
+		return nil
+	}
+	if ix.NumNodes() != s.g.NumNodes() {
+		log.Printf("server: ignoring stale index %s (%d nodes, graph has %d)",
+			path, ix.NumNodes(), s.g.NumNodes())
+		return nil
+	}
+	log.Printf("server: loaded index %s: %v", path, ix.Stats())
+	return oracle.NewPLL(ix)
+}
+
+// verifyIndex spot-checks a loaded index against the live graph: one
+// reference SSSP from the highest-degree node, compared at sampled
+// targets. Node counts alone cannot catch a regenerated graph with the
+// same size but different edges or weights, which would silently make
+// every distance wrong. Costs one Dijkstra per load — noise next to a
+// rebuild.
+func (s *indexSet) verifyIndex(o *oracle.PLLOracle, p *transform.Params, m core.Method) bool {
+	n := s.g.NumNodes()
+	if n == 0 {
+		return true
+	}
+	src := expertgraph.NodeID(0)
+	for u := 1; u < n; u++ {
+		if s.g.Degree(expertgraph.NodeID(u)) > s.g.Degree(src) {
+			src = expertgraph.NodeID(u)
+		}
+	}
+	ws := expertgraph.NewDijkstraWorkspace(s.g)
+	var sssp *expertgraph.SSSP
+	if m == core.CC {
+		sssp = ws.Run(src)
+	} else {
+		sssp = ws.RunWeighted(src, p.EdgeWeight())
+	}
+	step := n/64 + 1
+	for v := 0; v < n; v += step {
+		if !distClose(o.Dist(src, expertgraph.NodeID(v)), sssp.Dist[v]) {
+			return false
+		}
+	}
+	return true
+}
+
+// distClose compares distances up to float summation-order noise (PLL
+// accumulates path weights in a different order than Dijkstra).
+func distClose(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return a == b
+	}
+	d := math.Abs(a - b)
+	return d <= 1e-9 || d <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// save persists a freshly built index; failures are logged and
+// non-fatal because persistence is purely a restart optimization.
+func (s *indexSet) save(key string, ix *pll.Index) {
+	if s.base == "" {
+		return
+	}
+	path := s.path(key)
+	if err := pll.SaveFile(path, ix); err != nil {
+		log.Printf("server: persist index %s: %v", path, err)
+		return
+	}
+	log.Printf("server: persisted index %s: %v", path, ix.Stats())
+}
+
+func (s *indexSet) path(key string) string {
+	return s.base + ".pll-" + key
+}

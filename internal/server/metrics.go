@@ -1,0 +1,100 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"authteam/internal/stats"
+)
+
+// latencyWindow bounds the per-request latency samples kept for
+// percentile reporting. A few thousand samples give stable p99
+// estimates without unbounded growth under sustained traffic.
+const latencyWindow = 4096
+
+// metrics accumulates request counters and a sliding window of
+// latencies. All methods are safe for concurrent use.
+type metrics struct {
+	mu       sync.Mutex
+	start    time.Time
+	total    uint64
+	errors   uint64
+	byMethod map[string]uint64
+	welford  stats.Welford
+	window   []float64 // ring buffer of latencies in milliseconds
+	next     int
+	filled   bool
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:    time.Now(),
+		byMethod: make(map[string]uint64),
+	}
+}
+
+// record folds one completed discovery into the counters. Failed
+// requests count toward total and errors but not toward latency, so
+// fast validation rejections do not drag the percentiles down.
+func (m *metrics) record(method string, elapsed time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total++
+	if method != "" {
+		m.byMethod[method]++
+	}
+	if failed {
+		m.errors++
+		return
+	}
+	ms := float64(elapsed) / float64(time.Millisecond)
+	m.welford.Add(ms)
+	if len(m.window) < latencyWindow {
+		m.window = append(m.window, ms)
+		return
+	}
+	m.window[m.next] = ms
+	m.next = (m.next + 1) % latencyWindow
+	m.filled = true
+}
+
+// LatencyStats is the latency section of the /stats payload, in
+// milliseconds over the sliding sample window (mean is lifetime).
+type LatencyStats struct {
+	Count  int     `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// MetricsSnapshot is the query-counter section of the /stats payload.
+type MetricsSnapshot struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Queries       uint64            `json:"queries"`
+	Errors        uint64            `json:"errors"`
+	ByMethod      map[string]uint64 `json:"by_method"`
+	Latency       LatencyStats      `json:"latency"`
+}
+
+func (m *metrics) snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Queries:       m.total,
+		Errors:        m.errors,
+		ByMethod:      make(map[string]uint64, len(m.byMethod)),
+	}
+	for k, v := range m.byMethod {
+		snap.ByMethod[k] = v
+	}
+	snap.Latency.Count = m.welford.N()
+	snap.Latency.MeanMS = m.welford.Mean()
+	if len(m.window) > 0 {
+		snap.Latency.P50MS = stats.Percentile(m.window, 50)
+		snap.Latency.P90MS = stats.Percentile(m.window, 90)
+		snap.Latency.P99MS = stats.Percentile(m.window, 99)
+	}
+	return snap
+}

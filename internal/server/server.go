@@ -1,0 +1,205 @@
+// Package server is the long-lived query-serving layer over the team
+// discovery library: an HTTP/JSON daemon that loads the expert graph
+// and its 2-hop cover index once at startup and then amortizes that
+// preprocessing over arbitrarily many discovery requests — the usage
+// regime the paper's indexing argument (§4.1) assumes, and the seam
+// every scaling extension (sharding, batching, replication) plugs
+// into.
+//
+// Endpoints:
+//
+//	POST /v1/discover        one project → top-k teams
+//	POST /v1/discover/batch  many projects, fanned out over workers
+//	GET  /healthz            liveness + graph summary
+//	GET  /stats              query counters, latency percentiles,
+//	                         cache hit rate
+//
+// Identical requests are served from an LRU result cache keyed on the
+// normalized project and full parameterization; every computation is
+// bounded by a per-request timeout and the daemon drains in-flight
+// requests on shutdown.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/transform"
+)
+
+// Config parameterizes a Server. The zero value is usable given a
+// Graph or GraphPath.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default ":7411").
+	Addr string
+	// GraphPath is the expert network file produced by dblpgen. It is
+	// ignored when Graph is non-nil, but still used (when non-empty) as
+	// the persistence prefix for built indexes.
+	GraphPath string
+	// Graph serves an already-loaded graph (tests, embedding).
+	Graph *expertgraph.Graph
+	// NoPersistIndex disables writing built 2-hop covers next to the
+	// graph file.
+	NoPersistIndex bool
+	// CacheSize bounds the result LRU (default 1024; negative
+	// disables caching).
+	CacheSize int
+	// RequestTimeout bounds each discovery computation (default 30s).
+	RequestTimeout time.Duration
+	// Workers is the root-scan parallelism per discovery and the
+	// fan-out width of batch requests (default runtime.NumCPU()).
+	Workers int
+	// Gamma and Lambda are the defaults applied to requests that omit
+	// them. Nil means 0.6 (the paper's setting); pointers keep an
+	// explicit server default of 0 distinguishable from unset.
+	Gamma, Lambda *float64
+	// WarmIndex builds the default-γ G' index during New instead of on
+	// the first CA-CC/SA-CA-CC request.
+	WarmIndex bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":7411"
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	return c
+}
+
+// Server answers team discovery requests over one expert network. It
+// is safe for concurrent use; create with New.
+type Server struct {
+	cfg     Config
+	g       *expertgraph.Graph
+	indexes *indexSet
+	cache   *lruCache
+	metrics *metrics
+	// gamma and lambda are the resolved request defaults.
+	gamma, lambda float64
+
+	// params memoizes transform fits per (γ, λ). Fitting is O(n), so
+	// the map is simply cleared if a parameter sweep overgrows it.
+	pmu    sync.Mutex
+	params map[[2]float64]*transform.Params
+
+	// flights holds one latch per cache key being computed, so
+	// concurrent identical requests run the discovery once.
+	flightMu sync.Mutex
+	flights  map[string]chan struct{}
+}
+
+// New loads (or adopts) the graph and prepares the serving state. With
+// cfg.WarmIndex it also builds the default-γ index before returning,
+// so the first request pays no preprocessing latency.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	g := cfg.Graph
+	if g == nil {
+		if cfg.GraphPath == "" {
+			return nil, fmt.Errorf("server: config needs Graph or GraphPath")
+		}
+		var err error
+		g, err = expertgraph.LoadFile(cfg.GraphPath)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
+	base := cfg.GraphPath
+	if cfg.NoPersistIndex {
+		base = ""
+	}
+	s := &Server{
+		cfg:     cfg,
+		g:       g,
+		indexes: newIndexSet(g, base),
+		cache:   newLRU(cfg.CacheSize),
+		metrics: newMetrics(),
+		gamma:   0.6,
+		lambda:  0.6,
+		params:  make(map[[2]float64]*transform.Params),
+		flights: make(map[string]chan struct{}),
+	}
+	if cfg.Gamma != nil {
+		s.gamma = *cfg.Gamma
+	}
+	if cfg.Lambda != nil {
+		s.lambda = *cfg.Lambda
+	}
+	if s.gamma < 0 || s.gamma > 1 || s.lambda < 0 || s.lambda > 1 {
+		return nil, fmt.Errorf("server: default γ=%v λ=%v out of [0,1]", s.gamma, s.lambda)
+	}
+	if cfg.WarmIndex {
+		p, err := s.paramsFor(s.gamma, s.lambda)
+		if err != nil {
+			return nil, err
+		}
+		s.indexes.forMethod(p, defaultMethod)
+	}
+	return s, nil
+}
+
+// Graph returns the expert network being served.
+func (s *Server) Graph() *expertgraph.Graph { return s.g }
+
+// paramsFor returns the memoized transform fit for (γ, λ).
+func (s *Server) paramsFor(gamma, lambda float64) (*transform.Params, error) {
+	key := [2]float64{gamma, lambda}
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if p, ok := s.params[key]; ok {
+		return p, nil
+	}
+	p, err := transform.Fit(s.g, gamma, lambda, transform.Options{Normalize: true})
+	if err != nil {
+		return nil, err
+	}
+	if len(s.params) >= 256 {
+		clear(s.params)
+	}
+	s.params[key] = p
+	return p, nil
+}
+
+// Handler returns the routed HTTP handler, for embedding the server
+// under an existing mux or an httptest server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/discover", s.handleDiscover)
+	mux.HandleFunc("POST /v1/discover/batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// ListenAndServe serves until ctx is cancelled, then shuts down
+// gracefully, draining in-flight requests for up to 10 seconds.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	srv := &http.Server{
+		Addr:              s.cfg.Addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		drain, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(drain)
+	}
+}

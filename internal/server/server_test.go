@@ -1,0 +1,532 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"authteam/internal/dblp"
+	"authteam/internal/expertgraph"
+	"authteam/internal/workload"
+)
+
+// builderGraph is a small handcrafted network: three skills, one
+// high-authority connector (dave), every node reachable.
+func builderGraph(t *testing.T) *expertgraph.Graph {
+	t.Helper()
+	b := expertgraph.NewBuilder(5, 6)
+	alice := b.AddNode("alice", 12, "analytics")
+	bob := b.AddNode("bob", 3, "matrix")
+	carol := b.AddNode("carol", 7, "communities")
+	dave := b.AddNode("dave", 9)
+	erin := b.AddNode("erin", 5, "analytics", "matrix")
+	b.AddEdge(alice, dave, 0.3)
+	b.AddEdge(dave, bob, 0.2)
+	b.AddEdge(dave, carol, 0.5)
+	b.AddEdge(alice, erin, 0.9)
+	b.AddEdge(erin, carol, 0.4)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func newTestServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := Config{Graph: builderGraph(t), Workers: 4, CacheSize: 64}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func decodeDiscover(t *testing.T, data []byte) DiscoverResponse {
+	t.Helper()
+	var out DiscoverResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("decode %s: %v", data, err)
+	}
+	return out
+}
+
+func TestDiscoverBasic(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	status, data := postJSON(t, ts.URL+"/v1/discover",
+		`{"skills": ["analytics", "matrix", "communities"], "method": "sa-ca-cc", "k": 2}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, data)
+	}
+	out := decodeDiscover(t, data)
+	if len(out.Teams) == 0 {
+		t.Fatal("no teams")
+	}
+	if out.Cached {
+		t.Error("first query reported cached")
+	}
+	if out.Gamma != 0.6 || out.Lambda != 0.6 {
+		t.Errorf("defaults not applied: γ=%v λ=%v", out.Gamma, out.Lambda)
+	}
+	// Every requested skill must be assigned to some member.
+	covered := make(map[string]bool)
+	for _, m := range out.Teams[0].Members {
+		for _, s := range m.Skills {
+			covered[s] = true
+		}
+	}
+	for _, s := range []string{"analytics", "matrix", "communities"} {
+		if !covered[s] {
+			t.Errorf("skill %q not covered: %s", s, data)
+		}
+	}
+}
+
+func TestDiscoverAllMethods(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	for _, method := range []string{"cc", "ca-cc", "sa-ca-cc", "random", "exact"} {
+		body := fmt.Sprintf(`{"skills": ["analytics", "communities"], "method": %q}`, method)
+		status, data := postJSON(t, ts.URL+"/v1/discover", body)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", method, status, data)
+		}
+		if out := decodeDiscover(t, data); len(out.Teams) == 0 {
+			t.Errorf("%s: no teams", method)
+		}
+	}
+	status, data := postJSON(t, ts.URL+"/v1/discover",
+		`{"skills": ["analytics", "communities"], "method": "pareto"}`)
+	if status != http.StatusOK {
+		t.Fatalf("pareto: status %d: %s", status, data)
+	}
+	if out := decodeDiscover(t, data); len(out.Pareto) == 0 {
+		t.Error("pareto: empty front")
+	}
+}
+
+func TestDiscoverErrors(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"empty body", "", http.StatusBadRequest},
+		{"malformed json", "{", http.StatusBadRequest},
+		{"missing skills", `{"method": "cc"}`, http.StatusBadRequest},
+		{"unknown skill", `{"skills": ["juggling"]}`, http.StatusBadRequest},
+		{"blank skill", `{"skills": [" "]}`, http.StatusBadRequest},
+		{"bad method", `{"skills": ["analytics"], "method": "steiner"}`, http.StatusBadRequest},
+		{"bad gamma", `{"skills": ["analytics"], "gamma": 1.5}`, http.StatusBadRequest},
+		{"bad lambda", `{"skills": ["analytics"], "lambda": -0.1}`, http.StatusBadRequest},
+		{"negative k", `{"skills": ["analytics"], "k": -1}`, http.StatusBadRequest},
+		{"huge k", `{"skills": ["analytics"], "k": 4611686018427387904}`, http.StatusBadRequest},
+		{"negative trials", `{"skills": ["analytics"], "method": "random", "trials": -5}`, http.StatusBadRequest},
+		{"huge trials", `{"skills": ["analytics"], "method": "random", "trials": 2000000000}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		status, data := postJSON(t, ts.URL+"/v1/discover", tc.body)
+		if status != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, status, tc.want, data)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: malformed error body %s", tc.name, data)
+		}
+	}
+}
+
+func TestDiscoverInfeasible(t *testing.T) {
+	b := expertgraph.NewBuilder(4, 2)
+	a1 := b.AddNode("a1", 1, "x")
+	a2 := b.AddNode("a2", 1, "x")
+	c1 := b.AddNode("c1", 1, "y")
+	c2 := b.AddNode("c2", 1, "y")
+	b.AddEdge(a1, a2, 1)
+	b.AddEdge(c1, c2, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Graph: g, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	status, data := postJSON(t, ts.URL+"/v1/discover", `{"skills": ["x", "y"]}`)
+	if status != http.StatusNotFound {
+		t.Fatalf("status %d, want 404: %s", status, data)
+	}
+}
+
+func TestCacheHitDeterminism(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	body := `{"skills": ["matrix", "analytics"], "method": "ca-cc", "k": 3}`
+	status1, data1 := postJSON(t, ts.URL+"/v1/discover", body)
+	if status1 != http.StatusOK {
+		t.Fatalf("first: status %d: %s", status1, data1)
+	}
+	// Same query with reordered, duplicated skills normalizes to the
+	// same cache key.
+	status2, data2 := postJSON(t, ts.URL+"/v1/discover",
+		`{"skills": ["analytics", "matrix", "analytics"], "method": "ca-cc", "k": 3}`)
+	if status2 != http.StatusOK {
+		t.Fatalf("second: status %d: %s", status2, data2)
+	}
+	first, second := decodeDiscover(t, data1), decodeDiscover(t, data2)
+	if first.Cached {
+		t.Error("first query reported cached")
+	}
+	if !second.Cached {
+		t.Error("repeat query not served from cache")
+	}
+	a, _ := json.Marshal(first.Teams)
+	b, _ := json.Marshal(second.Teams)
+	if !bytes.Equal(a, b) {
+		t.Errorf("cached teams differ:\n%s\n%s", a, b)
+	}
+	if hits := s.cache.Stats().Hits; hits == 0 {
+		t.Error("cache hit count is zero after a repeated identical query")
+	}
+}
+
+func TestBatch(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	status, data := postJSON(t, ts.URL+"/v1/discover/batch", `{"requests": [
+		{"skills": ["analytics", "communities"], "method": "sa-ca-cc"},
+		{"skills": ["nope"]},
+		{"skills": ["matrix"], "method": "cc", "k": 2}
+	]}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, data)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(out.Results))
+	}
+	for i, item := range out.Results {
+		if item.Index != i {
+			t.Errorf("result %d has index %d", i, item.Index)
+		}
+	}
+	if out.Results[0].Status != http.StatusOK || len(out.Results[0].Response.Teams) == 0 {
+		t.Errorf("item 0: %+v", out.Results[0])
+	}
+	if out.Results[1].Status != http.StatusBadRequest || out.Results[1].Error == "" {
+		t.Errorf("item 1: %+v", out.Results[1])
+	}
+	if out.Results[2].Status != http.StatusOK {
+		t.Errorf("item 2: %+v", out.Results[2])
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	for name, body := range map[string]string{
+		"empty body":  "",
+		"empty batch": `{"requests": []}`,
+	} {
+		status, data := postJSON(t, ts.URL+"/v1/discover/batch", body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, status, data)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "ok" {
+		t.Errorf("status %q", out.Status)
+	}
+	if out.Graph.Nodes != s.Graph().NumNodes() {
+		t.Errorf("nodes = %d, want %d", out.Graph.Nodes, s.Graph().NumNodes())
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	postJSON(t, ts.URL+"/v1/discover", `{"skills": ["analytics"]}`)
+	postJSON(t, ts.URL+"/v1/discover", `{"skills": ["analytics"]}`)
+	postJSON(t, ts.URL+"/v1/discover", `{"skills": ["analytics"], "method": "bogus"}`)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Queries != 3 {
+		t.Errorf("queries = %d, want 3", out.Queries)
+	}
+	if out.Errors != 1 {
+		t.Errorf("errors = %d, want 1", out.Errors)
+	}
+	if out.ByMethod["sa-ca-cc"] != 2 {
+		t.Errorf("by_method = %v", out.ByMethod)
+	}
+	// Arbitrary client method strings must not become counter keys.
+	if out.ByMethod["invalid"] != 1 || out.ByMethod["bogus"] != 0 {
+		t.Errorf("by_method = %v, want invalid=1 and no raw label", out.ByMethod)
+	}
+	if out.Cache.Hits != 1 || out.Cache.Misses != 1 {
+		t.Errorf("cache = %+v", out.Cache)
+	}
+	if out.Latency.Count != 2 {
+		t.Errorf("latency count = %d, want 2", out.Latency.Count)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) { c.RequestTimeout = time.Nanosecond })
+	status, data := postJSON(t, ts.URL+"/v1/discover", `{"skills": ["analytics"]}`)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", status, data)
+	}
+}
+
+func TestIndexPersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "graph.bin")
+	if err := expertgraph.SaveFile(path, builderGraph(t)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{GraphPath: path, Workers: 2, WarmIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexPath := path + ".pll-g0.6"
+	if _, err := os.Stat(indexPath); err != nil {
+		t.Fatalf("warm index not persisted: %v", err)
+	}
+	_ = s
+	// A second server over the same path must come up (loading, not
+	// rebuilding, the persisted index) and serve queries.
+	s2, err := New(Config{GraphPath: path, Workers: 2, WarmIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s2.Handler())
+	defer ts.Close()
+	status, data := postJSON(t, ts.URL+"/v1/discover", `{"skills": ["analytics", "communities"]}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, data)
+	}
+}
+
+// TestStaleIndexDetected regenerates the graph with the same node
+// count but different edge weights; the persisted index must be
+// rejected by the distance spot-check, not silently reused.
+func TestStaleIndexDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "graph.bin")
+	if err := expertgraph.SaveFile(path, builderGraph(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{GraphPath: path, Workers: 2, WarmIndex: true}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(path + ".pll-g0.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same topology, different weights → same node count, different
+	// distances.
+	b := expertgraph.NewBuilder(5, 6)
+	alice := b.AddNode("alice", 12, "analytics")
+	bob := b.AddNode("bob", 3, "matrix")
+	carol := b.AddNode("carol", 7, "communities")
+	dave := b.AddNode("dave", 9)
+	erin := b.AddNode("erin", 5, "analytics", "matrix")
+	b.AddEdge(alice, dave, 0.9)
+	b.AddEdge(dave, bob, 0.8)
+	b.AddEdge(dave, carol, 0.1)
+	b.AddEdge(alice, erin, 0.2)
+	b.AddEdge(erin, carol, 0.7)
+	g2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := expertgraph.SaveFile(path, g2); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Config{GraphPath: path, Workers: 2, WarmIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path + ".pll-g0.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().After(before.ModTime()) && after.Size() == before.Size() {
+		t.Error("stale index was not rebuilt after the graph changed")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	status, data := postJSON(t, ts.URL+"/v1/discover", `{"skills": ["analytics", "communities"]}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, data)
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	s, err := New(Config{Graph: builderGraph(t), Addr: "127.0.0.1:0", Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe(ctx) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// synthGraph builds the expgen-style synthetic expert network used by
+// the concurrency test.
+func synthGraph(tb testing.TB) *expertgraph.Graph {
+	tb.Helper()
+	corpus := dblp.Synthesize(dblp.SynthConfig{Seed: 1, Authors: 400})
+	g, _, err := dblp.BuildGraph(corpus, dblp.GraphOptions{LargestComponent: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+// TestConcurrentDiscover drives ≥64 concurrent discovery requests
+// against a synthetic graph — the acceptance load for the serving
+// layer — mixing methods and repeating queries so both the compute and
+// cache paths run under contention (go test -race covers the races).
+func TestConcurrentDiscover(t *testing.T) {
+	g := synthGraph(t)
+	s, err := New(Config{Graph: g, Workers: 4, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	gen, err := workload.NewGenerator(g, 7, workload.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bodies []string
+	methods := []string{"cc", "ca-cc", "sa-ca-cc"}
+	for i := 0; i < 8; i++ {
+		project, err := gen.Project(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := make([]string, len(project))
+		for j, id := range project {
+			names[j] = g.SkillName(id)
+		}
+		payload, _ := json.Marshal(DiscoverRequest{
+			Skills: names,
+			Method: methods[i%len(methods)],
+			K:      2,
+		})
+		bodies = append(bodies, string(payload))
+	}
+
+	const requests = 96
+	var wg sync.WaitGroup
+	errs := make(chan string, requests)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/discover", "application/json",
+				strings.NewReader(bodies[i%len(bodies)]))
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			data, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Sprintf("status %d: %s", resp.StatusCode, data)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	snap := s.metrics.snapshot()
+	if snap.Queries != requests {
+		t.Errorf("queries = %d, want %d", snap.Queries, requests)
+	}
+	// The concurrent wave may race past the cache before the first
+	// fill (no request coalescing), so assert the cache on a repeat
+	// pass: every body has been computed at least once by now.
+	for i, body := range bodies {
+		status, data := postJSON(t, ts.URL+"/v1/discover", body)
+		if status != http.StatusOK {
+			t.Fatalf("repeat %d: status %d: %s", i, status, data)
+		}
+		if out := decodeDiscover(t, data); !out.Cached {
+			t.Errorf("repeat %d not served from cache", i)
+		}
+	}
+	if hits := s.cache.Stats().Hits; hits == 0 {
+		t.Error("no cache hits across repeated identical queries")
+	}
+}
