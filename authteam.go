@@ -37,10 +37,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"authteam/internal/core"
 	"authteam/internal/dblp"
 	"authteam/internal/expertgraph"
+	"authteam/internal/live"
 	"authteam/internal/oracle"
 	"authteam/internal/team"
 	"authteam/internal/transform"
@@ -106,50 +108,208 @@ type Options struct {
 	// BuildIndex constructs 2-hop cover indexes at client creation:
 	// slower startup, near-constant-time distance queries afterwards
 	// (the paper's configuration). Without it every discovery call
-	// runs per-root Dijkstra — fine for small graphs and tests.
+	// runs per-root Dijkstra — fine for small graphs and tests. After
+	// live mutations the indexes are carried forward by incremental
+	// repair when possible and rebuilt otherwise, lazily on the next
+	// query.
 	BuildIndex bool
 	// NoNormalize disables the min–max normalization of Definition 4
 	// (normalization is on by default, as in the paper).
 	NoNormalize bool
+	// Journal enables the write-ahead mutation journal at the given
+	// path: mutations applied through the client survive restarts and
+	// are replayed onto the graph by the next New call with the same
+	// path.
+	Journal string
 }
 
-// Client answers team discovery queries over one expert network and
-// one (γ, λ) parameterization. It is safe for concurrent use.
-type Client struct {
+// clientState is the per-epoch derived serving state: the materialized
+// graph, the fitted parameterization and (optionally) the 2-hop cover
+// indexes. It is immutable once published.
+type clientState struct {
+	snap   *live.Snapshot
 	g      *Graph
 	params *transform.Params
-	rawIdx oracle.Oracle // nil unless BuildIndex
-	gIdx   oracle.Oracle
+	rawIdx *oracle.PLLOracle // nil unless BuildIndex
+	gIdx   *oracle.PLLOracle
+}
+
+// clientRepairBudget caps how many delta mutations the client absorbs
+// by incremental index repair before preferring a rebuild.
+const clientRepairBudget = 512
+
+// Client answers team discovery queries over one expert network and
+// one (γ, λ) parameterization, and accepts live mutations (AddExpert,
+// AddCollaboration, UpdateExpert) that take effect atomically between
+// queries. It is safe for concurrent use: every query runs against one
+// epoch snapshot, and derived state (parameter fit, indexes) is
+// refreshed lazily — incrementally when the mutation delta allows —
+// on the first query after a mutation.
+type Client struct {
+	store *live.Store
+	opt   Options
+
+	mu sync.Mutex
+	st *clientState
+	// refresh is the latch of an in-flight state refresh; queries
+	// needing a newer epoch wait on it instead of redundantly
+	// rebuilding, and the expensive work (transform fit, index
+	// repair/rebuild) runs outside mu so Epoch()/mutators never block
+	// behind it.
+	refresh chan struct{}
 }
 
 // New creates a client over g.
 func New(g *Graph, opt Options) (*Client, error) {
-	p, err := transform.Fit(g, opt.Gamma, opt.Lambda, transform.Options{Normalize: !opt.NoNormalize})
+	store, err := live.Open(g, live.Config{JournalPath: opt.Journal})
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{g: g, params: p}
-	if opt.BuildIndex {
-		c.rawIdx = oracle.BuildPLL(g, nil)
-		c.gIdx = oracle.BuildPLL(g, p.EdgeWeight())
+	c := &Client{store: store, opt: opt}
+	if _, err := c.state(); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
 
-// Graph returns the client's expert network.
-func (c *Client) Graph() *Graph { return c.g }
+// state returns a derived state at least as new as the epoch current
+// when the query arrived, refreshing it if mutations have advanced the
+// store since the last query. One refresher works at a time (outside
+// the lock); concurrent queries needing the new epoch wait on its
+// latch rather than duplicating the fit/rebuild.
+func (c *Client) state() (*clientState, error) {
+	want := c.store.Epoch()
+	c.mu.Lock()
+	var old *clientState
+	for {
+		// A state at least as new as the query's admission epoch is a
+		// valid consistent view (read-your-writes holds; a refresher
+		// may legitimately have moved past `want`).
+		if c.st != nil && c.st.snap.Epoch() >= want {
+			st := c.st
+			c.mu.Unlock()
+			return st, nil
+		}
+		if c.refresh == nil {
+			old = c.st
+			break
+		}
+		latch := c.refresh
+		c.mu.Unlock()
+		<-latch
+		c.mu.Lock()
+	}
+	latch := make(chan struct{})
+	c.refresh = latch
+	c.mu.Unlock()
+
+	st, err := c.derive(old)
+
+	c.mu.Lock()
+	if err == nil {
+		c.st = st
+	}
+	c.refresh = nil
+	c.mu.Unlock()
+	close(latch)
+	return st, err
+}
+
+// derive computes the full serving state for the store's current
+// epoch, carrying old's indexes forward incrementally when possible.
+func (c *Client) derive(old *clientState) (*clientState, error) {
+	snap := c.store.Snapshot()
+	g, err := snap.Graph()
+	if err != nil {
+		return nil, err
+	}
+	p, err := transform.Fit(g, c.opt.Gamma, c.opt.Lambda, transform.Options{Normalize: !c.opt.NoNormalize})
+	if err != nil {
+		return nil, err
+	}
+	st := &clientState{snap: snap, g: g, params: p}
+	if c.opt.BuildIndex {
+		st.rawIdx = c.refreshIndex(old, snap, nil, func(o *clientState) *oracle.PLLOracle { return o.rawIdx })
+		st.gIdx = c.refreshIndex(old, snap, p.EdgeWeight(), func(o *clientState) *oracle.PLLOracle { return o.gIdx })
+	}
+	return st, nil
+}
+
+// refreshIndex carries one index to snap — incrementally from the
+// previous state when the delta is insert-only and in-bounds, from
+// scratch otherwise.
+func (c *Client) refreshIndex(old *clientState, snap *live.Snapshot,
+	weight live.WeightFunc, pick func(*clientState) *oracle.PLLOracle) *oracle.PLLOracle {
+	if old != nil {
+		if prev := pick(old); prev != nil {
+			if ix, ok := live.MaintainIndex(prev.Index(), old.snap, snap, weight, clientRepairBudget); ok {
+				return oracle.NewPLL(ix)
+			}
+		}
+	}
+	g, err := snap.Graph()
+	if err != nil {
+		return nil
+	}
+	return oracle.BuildPLL(g, oracle.WeightFunc(weight))
+}
+
+// Graph returns the expert network at the current epoch.
+func (c *Client) Graph() *Graph {
+	st, err := c.state()
+	if err != nil {
+		return nil
+	}
+	return st.g
+}
+
+// Epoch returns the number of mutations applied since the base graph.
+func (c *Client) Epoch() uint64 { return c.store.Epoch() }
+
+// Close releases the mutation journal (if any). Queries keep working;
+// further mutations fail.
+func (c *Client) Close() error { return c.store.Close() }
+
+// AddExpert adds a new expert with the given authority and skills. The
+// expert is visible to every subsequent query (read-your-writes).
+func (c *Client) AddExpert(name string, authority float64, skills ...string) (NodeID, error) {
+	id, _, err := c.store.AddExpert(name, authority, skills)
+	return id, err
+}
+
+// AddCollaboration adds an undirected collaboration edge between two
+// experts with communication cost w.
+func (c *Client) AddCollaboration(u, v NodeID, w float64) error {
+	_, err := c.store.AddCollaboration(u, v, w)
+	return err
+}
+
+// UpdateExpert updates an expert's authority (nil leaves it unchanged)
+// and/or grants additional skills.
+func (c *Client) UpdateExpert(id NodeID, authority *float64, addSkills ...string) error {
+	_, err := c.store.UpdateExpert(id, authority, addSkills)
+	return err
+}
 
 // Gamma returns the connector-authority tradeoff parameter.
-func (c *Client) Gamma() float64 { return c.params.Gamma }
+func (c *Client) Gamma() float64 { return c.opt.Gamma }
 
 // Lambda returns the skill-holder-authority tradeoff parameter.
-func (c *Client) Lambda() float64 { return c.params.Lambda }
+func (c *Client) Lambda() float64 { return c.opt.Lambda }
 
 // ResolveSkills maps skill names to IDs, failing on unknown names.
 func (c *Client) ResolveSkills(names []string) ([]SkillID, error) {
+	st, err := c.state()
+	if err != nil {
+		return nil, err
+	}
+	return resolveSkills(st, names)
+}
+
+func resolveSkills(st *clientState, names []string) ([]SkillID, error) {
 	out := make([]SkillID, len(names))
 	for i, n := range names {
-		id, ok := c.g.SkillID(n)
+		id, ok := st.g.SkillID(n)
 		if !ok {
 			return nil, fmt.Errorf("%w: %q", ErrUnknownSkill, n)
 		}
@@ -158,70 +318,86 @@ func (c *Client) ResolveSkills(names []string) ([]SkillID, error) {
 	return out, nil
 }
 
-func (c *Client) discoverer(m Method) *core.Discoverer {
+func (st *clientState) discoverer(m Method) *core.Discoverer {
 	var opts []core.Option
-	if c.rawIdx != nil {
-		if m == CC {
-			opts = append(opts, core.WithOracle(c.rawIdx))
-		} else {
-			opts = append(opts, core.WithOracle(c.gIdx))
-		}
+	idx := st.gIdx
+	if m == CC {
+		idx = st.rawIdx
 	}
-	return core.NewDiscoverer(c.params, m, opts...)
+	if idx != nil {
+		opts = append(opts, core.WithOracle(idx))
+	}
+	return core.NewDiscoverer(st.params, m, opts...)
 }
 
 // BestTeam returns the best team covering the named skills under the
 // given ranking strategy.
 func (c *Client) BestTeam(m Method, skills []string) (*Team, error) {
-	project, err := c.ResolveSkills(skills)
+	st, err := c.state()
 	if err != nil {
 		return nil, err
 	}
-	return c.discoverer(m).BestTeam(project)
+	project, err := resolveSkills(st, skills)
+	if err != nil {
+		return nil, err
+	}
+	return st.discoverer(m).BestTeam(project)
 }
 
 // TopK returns up to k distinct teams in increasing cost order.
 func (c *Client) TopK(m Method, skills []string, k int) ([]*Team, error) {
-	project, err := c.ResolveSkills(skills)
+	st, err := c.state()
 	if err != nil {
 		return nil, err
 	}
-	return c.discoverer(m).TopK(project, k)
+	project, err := resolveSkills(st, skills)
+	if err != nil {
+		return nil, err
+	}
+	return st.discoverer(m).TopK(project, k)
 }
 
 // TopKParallel is TopK with the root scan of Algorithm 1 sharded over
 // the given number of goroutines; results are identical to TopK. It
 // shines on paper-scale (40K-node) graphs with the index built.
 func (c *Client) TopKParallel(m Method, skills []string, k, workers int) ([]*Team, error) {
-	project, err := c.ResolveSkills(skills)
+	st, err := c.state()
+	if err != nil {
+		return nil, err
+	}
+	project, err := resolveSkills(st, skills)
 	if err != nil {
 		return nil, err
 	}
 	var dist oracle.Oracle
-	if c.rawIdx != nil {
-		if m == CC {
-			dist = c.rawIdx
-		} else {
-			dist = c.gIdx
-		}
+	idx := st.gIdx
+	if m == CC {
+		idx = st.rawIdx
 	}
-	return core.TopKParallel(c.params, m, project, k, workers, dist)
+	if idx != nil {
+		dist = idx
+	}
+	return core.TopKParallel(st.params, m, project, k, workers, dist)
 }
 
 // Random runs the paper's Random baseline: trials random teams, best
 // SA-CA-CC kept. A nil rng uses a fixed seed.
 func (c *Client) Random(skills []string, trials int, rng *rand.Rand) (*Team, error) {
-	project, err := c.ResolveSkills(skills)
+	st, err := c.state()
+	if err != nil {
+		return nil, err
+	}
+	project, err := resolveSkills(st, skills)
 	if err != nil {
 		return nil, err
 	}
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
-	if c.gIdx != nil {
-		return core.RandomFast(c.params, project, trials, rng, c.gIdx)
+	if st.gIdx != nil {
+		return core.RandomFast(st.params, project, trials, rng, st.gIdx)
 	}
-	return core.Random(c.params, project, trials, rng)
+	return core.Random(st.params, project, trials, rng)
 }
 
 // ExactOptions re-exports the exhaustive-search knobs.
@@ -231,14 +407,18 @@ type ExactOptions = core.ExactOptions
 // the assignment space exceeds the budget (the paper's Exact baseline
 // does not terminate beyond 6 skills).
 func (c *Client) Exact(skills []string, opt ExactOptions) (*Team, error) {
-	project, err := c.ResolveSkills(skills)
+	st, err := c.state()
 	if err != nil {
 		return nil, err
 	}
-	if opt.Oracle == nil && c.gIdx != nil {
-		opt.Oracle = c.gIdx
+	project, err := resolveSkills(st, skills)
+	if err != nil {
+		return nil, err
 	}
-	return core.Exact(c.params, project, opt)
+	if opt.Oracle == nil && st.gIdx != nil {
+		opt.Oracle = st.gIdx
+	}
+	return core.Exact(st.params, project, opt)
 }
 
 // RarestFirst runs the classic Lappas et al. (KDD'09) heuristic — the
@@ -246,21 +426,33 @@ func (c *Client) Exact(skills []string, opt ExactOptions) (*Team, error) {
 // authority-blind baseline: anchor at a holder of the rarest skill,
 // attach the nearest holder of every other skill.
 func (c *Client) RarestFirst(skills []string) (*Team, error) {
-	project, err := c.ResolveSkills(skills)
+	st, err := c.state()
 	if err != nil {
 		return nil, err
 	}
-	return core.RarestFirst(c.params, project, c.rawIdx)
+	project, err := resolveSkills(st, skills)
+	if err != nil {
+		return nil, err
+	}
+	var dist oracle.Oracle
+	if st.rawIdx != nil {
+		dist = st.rawIdx
+	}
+	return core.RarestFirst(st.params, project, dist)
 }
 
 // Pareto approximates the Pareto front over the raw (CC, CA, SA)
 // objectives — the paper's §5 future-work direction.
 func (c *Client) Pareto(skills []string, opt core.ParetoOptions) ([]ParetoTeam, error) {
-	project, err := c.ResolveSkills(skills)
+	st, err := c.state()
 	if err != nil {
 		return nil, err
 	}
-	return core.ParetoFront(c.g, project, opt)
+	project, err := resolveSkills(st, skills)
+	if err != nil {
+		return nil, err
+	}
+	return core.ParetoFront(st.g, project, opt)
 }
 
 // ParetoOptions re-exports the sweep configuration.
@@ -275,15 +467,31 @@ type Replacement = core.Replacement
 // the operational scenario of the replacement literature the paper
 // cites as related work.
 func (c *Client) ReplaceMember(t *Team, leaver NodeID, k int) ([]Replacement, error) {
-	return core.ReplaceMember(c.params, t, leaver, k)
+	st, err := c.state()
+	if err != nil {
+		return nil, err
+	}
+	return core.ReplaceMember(st.params, t, leaver, k)
 }
 
 // Evaluate computes every objective of the paper for t under the
-// client's parameterization and normalization.
-func (c *Client) Evaluate(t *Team) Score { return team.Evaluate(t, c.params) }
+// client's parameterization and normalization at the current epoch.
+func (c *Client) Evaluate(t *Team) Score {
+	st, err := c.state()
+	if err != nil {
+		return Score{}
+	}
+	return team.Evaluate(t, st.params)
+}
 
 // Profile summarizes t's authority and publication statistics.
-func (c *Client) Profile(t *Team) Profile { return team.ProfileOf(t, c.g) }
+func (c *Client) Profile(t *Team) Profile {
+	st, err := c.state()
+	if err != nil {
+		return Profile{}
+	}
+	return team.ProfileOf(t, st.g)
+}
 
 // --- Corpus helpers -----------------------------------------------------
 

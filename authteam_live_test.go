@@ -1,0 +1,236 @@
+package authteam_test
+
+import (
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"authteam"
+)
+
+func liveBase(t *testing.T) *authteam.Graph {
+	t.Helper()
+	b := authteam.NewGraphBuilder(6, 8)
+	ana := b.AddNode("ana", 10, "databases")
+	bo := b.AddNode("bo", 4, "networks")
+	cy := b.AddNode("cy", 7, "ml")
+	dee := b.AddNode("dee", 12)
+	b.AddEdge(ana, dee, 0.3)
+	b.AddEdge(dee, bo, 0.4)
+	b.AddEdge(dee, cy, 0.5)
+	b.AddEdge(ana, bo, 0.8)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func teamNames(tm *authteam.Team, g *authteam.Graph) []string {
+	names := make([]string, 0, len(tm.Nodes))
+	for _, u := range tm.Nodes {
+		names = append(names, g.Name(u))
+	}
+	sort.Strings(names)
+	return names
+}
+
+func TestClientLiveMutations(t *testing.T) {
+	for _, buildIndex := range []bool{false, true} {
+		c, err := authteam.New(liveBase(t), authteam.Options{Gamma: 0.6, Lambda: 0.6, BuildIndex: buildIndex})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Epoch() != 0 {
+			t.Fatalf("fresh epoch %d", c.Epoch())
+		}
+		before, err := c.BestTeam(authteam.SACACC, []string{"databases", "networks"})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Grow the network: a high-authority generalist wired to dee.
+		id, err := c.AddExpert("zed", 40, "databases", "networks")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddCollaboration(id, 3, 0.3); err != nil {
+			t.Fatal(err)
+		}
+		if c.Epoch() != 2 {
+			t.Fatalf("epoch after two mutations: %d", c.Epoch())
+		}
+
+		after, err := c.BestTeam(authteam.SACACC, []string{"databases", "networks"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := c.Graph()
+		found := false
+		for _, u := range after.Nodes {
+			if g.Name(u) == "zed" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("buildIndex=%v: zed not picked; before=%v after=%v",
+				buildIndex, teamNames(before, g), teamNames(after, g))
+		}
+
+		// A brand-new skill is queryable immediately.
+		if _, err := c.AddExpert("quinn", 3, "quantum"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.BestTeam(authteam.CC, []string{"quantum"}); err != nil {
+			t.Fatalf("new skill not discoverable: %v", err)
+		}
+
+		// Authority updates are visible and re-fit the normalization.
+		auth := 2.0
+		if err := c.UpdateExpert(0, &auth, "sql"); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Graph().Authority(0); got != 2 {
+			t.Errorf("authority after update: %v", got)
+		}
+	}
+}
+
+// TestClientIndexMatchesDijkstraAfterMutations cross-checks the
+// incrementally repaired client indexes against index-free discovery:
+// both configurations must pick the same best team at every epoch.
+func TestClientIndexMatchesDijkstraAfterMutations(t *testing.T) {
+	withIdx, err := authteam.New(liveBase(t), authteam.Options{Gamma: 0.6, Lambda: 0.6, BuildIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noIdx, err := authteam.New(liveBase(t), authteam.Options{Gamma: 0.6, Lambda: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(c *authteam.Client) {
+		t.Helper()
+		id, err := c.AddExpert("m", 9, "ml")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddCollaboration(id, 0, 0.45); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddCollaboration(id, 1, 0.6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	project := []string{"databases", "networks", "ml"}
+	for round := 0; round < 3; round++ {
+		mutate(withIdx)
+		mutate(noIdx)
+		a, err := withIdx.BestTeam(authteam.SACACC, project)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := noIdx.BestTeam(authteam.SACACC, project)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, bn := teamNames(a, withIdx.Graph()), teamNames(b, noIdx.Graph())
+		if len(an) != len(bn) {
+			t.Fatalf("round %d: teams differ: %v vs %v", round, an, bn)
+		}
+		for i := range an {
+			if an[i] != bn[i] {
+				t.Fatalf("round %d: teams differ: %v vs %v", round, an, bn)
+			}
+		}
+	}
+}
+
+// TestClientConcurrentQueriesAndMutations exercises the client's
+// refresh latch: queries racing a mutation stream must all see a
+// consistent state at least as new as their admission epoch. Run
+// under -race.
+func TestClientConcurrentQueriesAndMutations(t *testing.T) {
+	c, err := authteam.New(liveBase(t), authteam.Options{Gamma: 0.6, Lambda: 0.6, BuildIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var done atomic.Bool
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				if _, err := c.BestTeam(authteam.SACACC, []string{"databases", "networks"}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		for i := 0; i < 60; i++ {
+			id, err := c.AddExpert("c", 5+float64(i%10), "databases")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := c.AddCollaboration(id, 3, 0.35); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%10 == 0 { // periodically force the non-repairable path
+				auth := 3 + float64(i%7)
+				if err := c.UpdateExpert(0, &auth); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if c.Epoch() < 120 {
+		t.Fatalf("epoch %d after writer finished", c.Epoch())
+	}
+}
+
+func TestClientJournalReplay(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "client.wal")
+	g := liveBase(t)
+	c, err := authteam.New(g, authteam.Options{Gamma: 0.6, Lambda: 0.6, Journal: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.AddExpert("kai", 15, "golang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddCollaboration(id, 0, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	want := c.Epoch()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := authteam.New(g, authteam.Options{Gamma: 0.6, Lambda: 0.6, Journal: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Epoch() != want {
+		t.Fatalf("replayed epoch %d, want %d", c2.Epoch(), want)
+	}
+	tm, err := c2.BestTeam(authteam.CC, []string{"golang"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := teamNames(tm, c2.Graph()); len(names) != 1 || names[0] != "kai" {
+		t.Fatalf("replayed expert not served: %v", names)
+	}
+}

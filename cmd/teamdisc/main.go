@@ -8,7 +8,7 @@
 //	teamdisc -graph graph.bin -skills "analytics,matrix,communities" \
 //	         -method sa-ca-cc -gamma 0.6 -lambda 0.6 -k 5
 //	teamdisc -graph graph.bin -skills "query,indexing" -method pareto
-//	teamdisc serve -graph graph.bin -addr :7411
+//	teamdisc serve -graph graph.bin -addr :7411 -journal graph.wal
 package main
 
 import (
@@ -52,6 +52,9 @@ func runServe(args []string) {
 		workers   = fs.Int("workers", 0, "root-scan parallelism (0 = NumCPU)")
 		noPersist = fs.Bool("no-persist-index", false, "do not save built indexes next to the graph")
 		cold      = fs.Bool("cold", false, "skip warming the default-γ index at startup")
+		journal   = fs.String("journal", "", "write-ahead mutation journal; replayed onto the graph at boot (empty disables live-mutation durability)")
+		jsync     = fs.Bool("journal-sync", false, "fsync the journal after every mutation")
+		budget    = fs.Int("repair-budget", 0, "max delta mutations absorbed by incremental index repair before a full rebuild (0 = default 512, negative disables)")
 	)
 	fs.Parse(args)
 
@@ -65,9 +68,15 @@ func runServe(args []string) {
 		Workers:        *workers,
 		NoPersistIndex: *noPersist,
 		WarmIndex:      !*cold,
+		JournalPath:    *journal,
+		JournalSync:    *jsync,
+		RepairBudget:   *budget,
 	})
 	if err != nil {
 		fail("serve: %v", err)
+	}
+	if epoch := srv.Store().Epoch(); epoch > 0 {
+		log.Printf("teamdisc serve: journal replayed %d mutations (epoch %d)", epoch, epoch)
 	}
 	log.Printf("teamdisc serve: %v on %s (γ=%.2f λ=%.2f)", srv.Graph(), *addr, *gamma, *lambda)
 

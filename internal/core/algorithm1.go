@@ -15,6 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"authteam/internal/expertgraph"
@@ -277,10 +278,10 @@ func (d *Discoverer) evalRoot(root expertgraph.NodeID,
 			continue
 		}
 		best := expertgraph.NodeID(-1)
-		bestCost := expertgraph.Infinity
+		bestCost := expertgraph.Infinity()
 		for _, v := range experts[i] {
 			dist := d.dist.Dist(root, v)
-			if dist == expertgraph.Infinity {
+			if math.IsInf(dist, 1) {
 				continue
 			}
 			if cost := d.holderCost(dist, v); cost < bestCost {

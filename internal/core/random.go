@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 
 	"authteam/internal/expertgraph"
@@ -38,7 +39,7 @@ func Random(p *transform.Params, project []expertgraph.SkillID,
 
 	ws := expertgraph.NewDijkstraWorkspace(g)
 	var best *team.Team
-	bestScore := expertgraph.Infinity
+	bestScore := expertgraph.Infinity()
 
 	// Drawing the root first and reusing its shortest-path tree for all
 	// trials that drew the same root would bias the sample, so each
@@ -104,7 +105,7 @@ func RandomFast(p *transform.Params, project []expertgraph.SkillID,
 		}
 	}
 
-	best := candidate{cost: expertgraph.Infinity}
+	best := candidate{cost: expertgraph.Infinity()}
 	found := false
 	assign := make([]expertgraph.NodeID, len(project))
 	for trial := 0; trial < trials; trial++ {
@@ -114,7 +115,7 @@ func RandomFast(p *transform.Params, project []expertgraph.SkillID,
 		for i := range project {
 			holder := experts[i][rng.Intn(len(experts[i]))]
 			d := dist.Dist(root, holder)
-			if d == expertgraph.Infinity {
+			if math.IsInf(d, 1) {
 				ok = false
 				break
 			}

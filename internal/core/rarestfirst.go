@@ -46,7 +46,7 @@ func RarestFirst(p *transform.Params, project []expertgraph.SkillID,
 		}
 	}
 
-	bestCost := expertgraph.Infinity
+	bestCost := expertgraph.Infinity()
 	var best candidate
 	found := false
 	for _, anchor := range experts[rarest] {
@@ -59,7 +59,7 @@ func RarestFirst(p *transform.Params, project []expertgraph.SkillID,
 				continue
 			}
 			nearest := expertgraph.NodeID(-1)
-			nearestD := expertgraph.Infinity
+			nearestD := expertgraph.Infinity()
 			for _, v := range experts[i] {
 				if d := dist.Dist(anchor, v); d < nearestD {
 					nearestD, nearest = d, v

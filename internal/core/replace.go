@@ -194,7 +194,7 @@ func repairTeam(g *expertgraph.Graph, ws *expertgraph.DijkstraWorkspace,
 
 	blocked := func(u, v expertgraph.NodeID, w float64) float64 {
 		if u == leaver || v == leaver {
-			return expertgraph.Infinity
+			return expertgraph.Infinity()
 		}
 		return weight(u, v, w)
 	}

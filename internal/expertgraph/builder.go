@@ -80,6 +80,16 @@ func (b *Builder) SetPubs(u NodeID, pubs int) {
 	b.nodes[u].Pubs = pubs
 }
 
+// SetAuthority replaces the authority of an already-added expert,
+// applying the same ≥ 1 floor as AddNode. It is how live authority
+// updates are replayed when a mutated graph is materialized.
+func (b *Builder) SetAuthority(u NodeID, authority float64) {
+	if authority < 1 {
+		authority = 1
+	}
+	b.nodes[u].Authority = authority
+}
+
 // AddSkillTo grants skill s to an existing expert.
 func (b *Builder) AddSkillTo(u NodeID, skill string) {
 	b.skills[u] = appendSkill(b.skills[u], b.Skill(skill))

@@ -8,6 +8,8 @@ package expertgraph
 // A reusable workspace amortizes allocations across the many SSSP calls
 // Algorithm 1 issues when running without the landmark index.
 
+import "math"
+
 // indexedHeap is a binary min-heap of node/priority pairs supporting
 // decrease-key through a position index. It is intentionally minimal:
 // the PLL package carries its own heap tuned for label construction.
@@ -112,7 +114,7 @@ type SSSP struct {
 // PathTo reconstructs the shortest path from the source to v as a node
 // sequence source..v, or nil if v is unreachable.
 func (s *SSSP) PathTo(v NodeID) []NodeID {
-	if s.Dist[v] == Infinity && v != s.Source {
+	if math.IsInf(s.Dist[v], 1) && v != s.Source {
 		return nil
 	}
 	var rev []NodeID
@@ -165,7 +167,7 @@ func (w *DijkstraWorkspace) RunWeighted(src NodeID, edgeWeight func(u, v NodeID,
 func (w *DijkstraWorkspace) run(src NodeID, reweight func(u, v NodeID, w float64) float64) *SSSP {
 	n := w.g.NumNodes()
 	for i := 0; i < n; i++ {
-		w.dist[i] = Infinity
+		w.dist[i] = infinity
 		w.parent[i] = -1
 	}
 	w.heap.reset()
@@ -211,8 +213,8 @@ func Dijkstra(g *Graph, src NodeID) *SSSP {
 // length, or (nil, Infinity) when v is unreachable from u.
 func ShortestPath(g *Graph, u, v NodeID) ([]NodeID, float64) {
 	res := NewDijkstraWorkspace(g).Run(u)
-	if res.Dist[v] == Infinity {
-		return nil, Infinity
+	if math.IsInf(res.Dist[v], 1) {
+		return nil, infinity
 	}
 	return res.PathTo(v), res.Dist[v]
 }

@@ -147,13 +147,13 @@ func bellmanFord(g *Graph, src NodeID) []float64 {
 	n := g.NumNodes()
 	dist := make([]float64, n)
 	for i := range dist {
-		dist[i] = Infinity
+		dist[i] = infinity
 	}
 	dist[src] = 0
 	for iter := 0; iter < n; iter++ {
 		changed := false
 		for u := NodeID(0); int(u) < n; u++ {
-			if dist[u] == Infinity {
+			if math.IsInf(dist[u], 1) {
 				continue
 			}
 			g.Neighbors(u, func(v NodeID, w float64) bool {

@@ -23,8 +23,17 @@ type NodeID int32
 // dense, assigned in first-use order starting at 0.
 type SkillID int32
 
-// Infinity is the distance reported between disconnected experts.
-var Infinity = math.Inf(1)
+// infinity is the distance reported between disconnected experts. It
+// is unexported — math.Inf(1) cannot be a Go constant, and an exported
+// mutable var would let importers corrupt every distance comparison
+// that uses it as a sentinel. Importers read it through Infinity() and
+// detect disconnection with math.IsInf(d, 1).
+var infinity = math.Inf(1)
+
+// Infinity returns the distance reported between disconnected experts
+// (+Inf). It is an accessor rather than an exported var so the
+// sentinel stays read-only.
+func Infinity() float64 { return infinity }
 
 // Node is the per-expert record. Authority is the raw application
 // authority (the paper uses h-index); it is floored at 1 at build time

@@ -242,8 +242,8 @@ func TestEmptyGraph(t *testing.T) {
 }
 
 func TestInfinityIsInf(t *testing.T) {
-	if !math.IsInf(Infinity, 1) {
-		t.Error("Infinity must be +Inf")
+	if !math.IsInf(Infinity(), 1) {
+		t.Error("Infinity() must be +Inf")
 	}
 }
 

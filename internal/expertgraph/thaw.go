@@ -1,0 +1,33 @@
+package expertgraph
+
+// Thaw copies g into a fresh Builder so an extended graph can be built
+// without mutating g — the materialization primitive of the live
+// mutation overlay, which replays a delta of added nodes, edges and
+// skill grants on top of a frozen base graph. Capacity hints reserve
+// room for the delta so the copy does not reallocate while replaying.
+func (g *Graph) Thaw(extraNodeHint, extraEdgeHint int) *Builder {
+	b := NewBuilder(g.NumNodes()+extraNodeHint, g.NumEdges()+extraEdgeHint)
+	// Intern skills in ID order so the thawed builder assigns the same
+	// SkillIDs as g, keeping delta mutations that reference existing
+	// skills stable across materializations.
+	for s := 0; s < g.NumSkills(); s++ {
+		b.Skill(g.SkillName(SkillID(s)))
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		nd := g.Node(NodeID(u))
+		id := b.AddNode(nd.Name, nd.Authority)
+		b.SetPubs(id, nd.Pubs)
+		for _, s := range g.Skills(NodeID(u)) {
+			b.AddSkillTo(id, g.SkillName(s))
+		}
+	}
+	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+		g.Neighbors(u, func(v NodeID, w float64) bool {
+			if u < v {
+				b.AddEdge(u, v, w)
+			}
+			return true
+		})
+	}
+	return b
+}

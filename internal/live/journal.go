@@ -1,0 +1,142 @@
+package live
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+// The write-ahead journal is a plain append-only file of one JSON
+// mutation per line — trivially greppable, trivially replayable, and
+// robust to a crash mid-write: a torn final record is detected on open
+// and truncated away (everything before it was fully written, so the
+// store resumes at the last durable epoch).
+
+// journal appends mutations to the WAL.
+type journal struct {
+	f       *os.File
+	sync    bool
+	closed  bool
+	records uint64
+	bytes   int64
+}
+
+// openJournal reads (and crash-repairs) an existing journal at path,
+// returning the mutations to replay and the open append handle.
+func openJournal(path string, sync bool) ([]Mutation, *journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("live: journal: %w", err)
+	}
+	muts, good, err := readJournal(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	end, serr := f.Seek(0, io.SeekEnd)
+	if serr != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("live: journal: %w", serr)
+	}
+	if good < end {
+		log.Printf("live: journal %s: truncating %d bytes of torn trailing record", path, end-good)
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("live: journal truncate: %w", err)
+		}
+		if _, err := f.Seek(good, io.SeekStart); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("live: journal: %w", err)
+		}
+	}
+	return muts, &journal{f: f, sync: sync, records: uint64(len(muts)), bytes: good}, nil
+}
+
+// readJournal parses the journal from the start, returning the parsed
+// mutations and the byte offset of the end of the last good record. A
+// malformed or torn *final* record is tolerated (the offset stops
+// before it); corruption followed by further records is an error,
+// because silently skipping an interior mutation would replay a
+// different history than the one that was served.
+func readJournal(f *os.File) ([]Mutation, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("live: journal: %w", err)
+	}
+	var (
+		muts []Mutation
+		good int64
+	)
+	r := bufio.NewReader(f)
+	for lineNo := 1; ; lineNo++ {
+		line, err := r.ReadBytes('\n')
+		complete := err == nil
+		if err != nil && !errors.Is(err, io.EOF) {
+			return nil, 0, fmt.Errorf("live: journal: %w", err)
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			var m Mutation
+			if jerr := json.Unmarshal(trimmed, &m); jerr != nil || !complete {
+				// Torn or malformed tail: stop here; openJournal
+				// truncates the remainder. Anything after it would be
+				// interior corruption.
+				if !complete {
+					return muts, good, nil
+				}
+				if _, peekErr := r.Peek(1); peekErr == nil {
+					return nil, 0, fmt.Errorf("live: journal record %d is corrupt mid-file: %v", lineNo, jerr)
+				}
+				return muts, good, nil
+			}
+			muts = append(muts, m)
+		}
+		if complete {
+			good += int64(len(line))
+		}
+		if !complete { // EOF
+			return muts, good, nil
+		}
+	}
+}
+
+// Append writes one mutation record. The write happens before the
+// mutation is applied (write-ahead), so a mutation is never visible to
+// readers without being durable in the journal.
+func (j *journal) Append(m Mutation) error {
+	if j.closed {
+		return errors.New("live: journal closed")
+	}
+	buf, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("live: journal encode: %w", err)
+	}
+	buf = append(buf, '\n')
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("live: journal append: %w", err)
+	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("live: journal sync: %w", err)
+		}
+	}
+	j.records++
+	j.bytes += int64(len(buf))
+	return nil
+}
+
+// Close closes the journal file.
+func (j *journal) Close() error {
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if j.f == nil {
+		return nil
+	}
+	return j.f.Close()
+}

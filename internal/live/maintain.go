@@ -1,0 +1,102 @@
+package live
+
+import (
+	"authteam/internal/expertgraph"
+	"authteam/internal/pll"
+)
+
+// Incremental 2-hop cover maintenance across epochs. Rebuilding a PLL
+// index is the single most expensive computation in the system
+// (O(n·m)-ish), so the serving layer asks MaintainIndex to carry an
+// existing index forward through the mutation delta first, and only
+// rebuilds when the delta is not repairable (or too large to be worth
+// repairing — repaired labels are a superset of a fresh build's, so
+// unbounded repair would let them drift).
+
+// WeightFunc mirrors oracle.WeightFunc / pll.Options.Weight: the
+// search-weight transformation the index was built over (nil = stored
+// weights).
+type WeightFunc = func(u, v expertgraph.NodeID, w float64) float64
+
+// MaintainIndex returns an index valid at snapshot `to`, derived from
+// ix — an index valid at snapshot `from` over weight function weight —
+// by replaying the mutation delta with resumed pruned Dijkstras
+// (pll.DynamicIndex). It returns ok=false when the delta cannot be
+// repaired incrementally and the caller must rebuild:
+//
+//   - the delta exceeds budget mutations (staleness budget; budget ≤ 0
+//     means unbounded),
+//   - a weighted index saw an authority update (it changes the G'
+//     weight of every edge at the node, a decremental update resumed
+//     searches cannot express), or
+//   - a weighted index saw the graph's normalization bounds move (new
+//     extreme edge weight or authority rescales *every* edge weight).
+//
+// Raw-weight indexes (weight == nil) are repairable under every
+// insertion and are indifferent to authority and skill updates.
+//
+// For weighted indexes, weight must be derived from `to`'s fitted
+// parameters; the bounds check above guarantees it agrees with the
+// weights ix was built over. Both snapshots must come from the same
+// store. ix is not modified.
+func MaintainIndex(ix *pll.Index, from, to *Snapshot, weight WeightFunc, budget int) (*pll.Index, bool) {
+	muts, ok := to.MutationsSince(from.Epoch())
+	if !ok {
+		return nil, false
+	}
+	if len(muts) == 0 {
+		return ix, true
+	}
+	if budget > 0 && len(muts) > budget {
+		return nil, false
+	}
+	for _, m := range muts {
+		if weight != nil && m.Op == OpUpdateNode && m.SetAuthority != nil {
+			return nil, false
+		}
+	}
+	toG, err := to.Graph()
+	if err != nil {
+		return nil, false
+	}
+	if weight != nil {
+		fromG, err := from.Graph()
+		if err != nil {
+			return nil, false
+		}
+		if !sameBounds(fromG, toG) {
+			return nil, false
+		}
+	}
+
+	d := pll.NewDynamic(ix, weight)
+	// Grow to the final node count first: resumed searches traverse the
+	// *final* graph, which can reach a node added later in the delta
+	// through an edge inserted earlier in it. Node additions commute —
+	// a node is isolated until its edges arrive.
+	for _, m := range muts {
+		if m.Op == OpAddNode {
+			d.AddNode()
+		}
+	}
+	for _, m := range muts {
+		// Update mutations have no effect on any index's distances
+		// (authority updates on weighted indexes were rejected above;
+		// skill grants never touch edge weights).
+		if m.Op == OpAddEdge {
+			d.InsertEdge(toG, m.U, m.V, m.W)
+		}
+	}
+	return d.Freeze(), true
+}
+
+// sameBounds reports whether the min–max normalization inputs of Def. 4
+// are identical between two graphs, which makes their fitted Params
+// (at equal γ, λ) produce identical G' weights for shared edges.
+func sameBounds(a, b *expertgraph.Graph) bool {
+	aw0, aw1 := a.EdgeWeightBounds()
+	bw0, bw1 := b.EdgeWeightBounds()
+	ai0, ai1 := a.InvAuthorityBounds()
+	bi0, bi1 := b.InvAuthorityBounds()
+	return aw0 == bw0 && aw1 == bw1 && ai0 == bi0 && ai1 == bi1
+}

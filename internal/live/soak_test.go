@@ -1,0 +1,204 @@
+package live
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"authteam/internal/core"
+	"authteam/internal/expertgraph"
+	"authteam/internal/pll"
+	"authteam/internal/transform"
+)
+
+// TestConcurrentSoak is the acceptance scenario for the live
+// subsystem: concurrent readers run full discovery queries while one
+// writer streams ≥ 1000 node/edge insertions. Every query must see a
+// consistent epoch, the incrementally repaired 2-hop cover must agree
+// with a from-scratch rebuild, and a killed-and-restarted store must
+// replay its journal to the identical epoch. Run it under -race.
+func TestConcurrentSoak(t *testing.T) {
+	const (
+		baseNodes = 120
+		mutations = 1100
+		readers   = 4
+	)
+	rng := rand.New(rand.NewSource(42))
+	base := testGraph(rng, baseNodes)
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	s := mustOpen(t, base, Config{JournalPath: path})
+	epoch0 := s.Snapshot()
+
+	project := resolveProject(t, base, []string{"analytics", "matrix", "communities"})
+
+	var (
+		done    atomic.Bool
+		queries atomic.Int64
+		wg      sync.WaitGroup
+	)
+	errCh := make(chan error, readers+1)
+
+	// Readers: discover continuously, each query pinned to one snapshot.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for !done.Load() {
+				snap := s.Snapshot()
+				g, err := snap.Graph()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				// Consistency: the snapshot's cheap counters and its
+				// materialized graph must describe the same epoch.
+				if g.NumNodes() != snap.NumNodes() || g.NumEdges() != snap.NumEdges() {
+					errCh <- errors.New("snapshot counters disagree with materialized graph")
+					return
+				}
+				p, err := transform.Fit(g, 0.6, 0.6, transform.Options{Normalize: true})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				tm, err := core.NewDiscoverer(p, core.SACACC).BestTeam(project)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for _, u := range tm.Nodes {
+					if !g.ValidNode(u) {
+						errCh <- errors.New("team member outside the snapshot's graph")
+						return
+					}
+				}
+				for _, sid := range project {
+					if _, ok := tm.Assignment[sid]; !ok {
+						errCh <- errors.New("uncovered project skill")
+						return
+					}
+				}
+				queries.Add(1)
+			}
+		}(r)
+	}
+
+	// Writer: stream insertions (plus a sprinkle of updates).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		wrng := rand.New(rand.NewSource(43))
+		skills := []string{"analytics", "matrix", "communities", "indexing", "query"}
+		inserted := 0
+		for inserted < mutations {
+			n := s.Snapshot().NumNodes()
+			switch roll := wrng.Intn(10); {
+			case roll == 0: // new expert
+				if _, _, err := s.AddExpert("live", 1+float64(wrng.Intn(20)),
+					[]string{skills[wrng.Intn(len(skills))]}); err != nil {
+					errCh <- err
+					return
+				}
+				inserted++
+			case roll == 1: // authority/skill update (not an insertion)
+				auth := 1 + float64(wrng.Intn(40))
+				if _, err := s.UpdateExpert(expertgraph.NodeID(wrng.Intn(n)), &auth, nil); err != nil {
+					errCh <- err
+					return
+				}
+			default: // new collaboration
+				u := expertgraph.NodeID(wrng.Intn(n))
+				v := expertgraph.NodeID(wrng.Intn(n))
+				if u == v {
+					continue
+				}
+				switch _, err := s.AddCollaboration(u, v, 0.05+wrng.Float64()); {
+				case err == nil:
+					inserted++
+				case errors.Is(err, ErrDuplicateEdge):
+				default:
+					errCh <- err
+					return
+				}
+			}
+			// Pace against the readers so the streams genuinely
+			// interleave: every 100 insertions, wait for at least one
+			// more query to complete against the mutated store.
+			if inserted%100 == 0 {
+				for want := queries.Load() + 1; queries.Load() < want; {
+					runtime.Gosched()
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if queries.Load() == 0 {
+		t.Fatal("no reader queries completed")
+	}
+	final := s.Snapshot()
+	if final.Epoch() < mutations {
+		t.Fatalf("final epoch %d < %d insertions", final.Epoch(), mutations)
+	}
+	t.Logf("soak: %d queries against %d mutations (final epoch %d)",
+		queries.Load(), final.Epoch(), final.Epoch())
+
+	// Incremental PLL repair across the full delta must agree with a
+	// from-scratch rebuild on random pairs.
+	repaired, ok := MaintainIndex(pll.Build(base), epoch0, final, nil, 0)
+	if !ok {
+		t.Fatal("raw incremental repair refused the soak delta")
+	}
+	finalG, err := final.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := pll.Build(finalG)
+	prng := rand.New(rand.NewSource(44))
+	for i := 0; i < 150; i++ {
+		u := expertgraph.NodeID(prng.Intn(finalG.NumNodes()))
+		v := expertgraph.NodeID(prng.Intn(finalG.NumNodes()))
+		got, want := repaired.Dist(u, v), fresh.Dist(u, v)
+		if math.Abs(got-want) > 1e-9 && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+			t.Fatalf("repaired dist(%d,%d)=%v, rebuild %v", u, v, got, want)
+		}
+	}
+
+	// Kill and restart: the journal must replay to the identical epoch
+	// and graph.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, base, Config{JournalPath: path})
+	if s2.Epoch() != final.Epoch() {
+		t.Fatalf("replayed epoch %d, want %d", s2.Epoch(), final.Epoch())
+	}
+	g2, err := s2.Snapshot().Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, finalG, g2)
+}
+
+func resolveProject(t *testing.T, g *expertgraph.Graph, names []string) []expertgraph.SkillID {
+	t.Helper()
+	out := make([]expertgraph.SkillID, len(names))
+	for i, n := range names {
+		id, ok := g.SkillID(n)
+		if !ok {
+			t.Fatalf("skill %q missing from test graph", n)
+		}
+		out[i] = id
+	}
+	return out
+}

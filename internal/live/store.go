@@ -1,0 +1,432 @@
+// Package live makes the expert network mutable while it serves
+// traffic. The paper's network is a *social* network — collaborations,
+// skills and authority scores change continuously — but the
+// expertgraph substrate is deliberately immutable (that is what makes
+// it safe for lock-free concurrent readers). This package bridges the
+// two with an epoch-versioned overlay:
+//
+//   - Store accepts mutations (add expert, add collaboration, update
+//     authority/skills), serialized through a single writer lock.
+//   - Every mutation produces a new immutable Snapshot, published with
+//     an atomic pointer swap; readers resolve the current snapshot
+//     without locks and keep a consistent view for as long as they
+//     hold it (snapshot isolation).
+//   - A Snapshot materializes a full *expertgraph.Graph lazily — the
+//     frozen base graph is thawed and the mutation delta replayed —
+//     and memoizes it, so a burst of mutations costs one rebuild per
+//     *queried* epoch, not per mutation.
+//   - A write-ahead journal makes mutations survive restarts: each is
+//     appended (one JSON object per line) before it is applied, and
+//     Open replays the journal onto the persisted base graph, ending
+//     at the identical epoch.
+//
+// Incremental 2-hop cover maintenance lives in MaintainIndex, which
+// repairs a PLL index across epochs with resumed pruned Dijkstras
+// instead of rebuilding it.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"authteam/internal/expertgraph"
+)
+
+// Op identifies a mutation kind in the journal and the in-memory log.
+type Op string
+
+// Mutation kinds.
+const (
+	OpAddNode    Op = "add_node"
+	OpAddEdge    Op = "add_edge"
+	OpUpdateNode Op = "update_node"
+)
+
+// Mutation is one atomic change to the expert network — the unit of
+// the write-ahead journal and of the per-epoch delta log. Exactly the
+// fields of its Op are meaningful.
+type Mutation struct {
+	Op Op `json:"op"`
+
+	// add_node
+	Name      string   `json:"name,omitempty"`
+	Authority float64  `json:"authority,omitempty"`
+	Skills    []string `json:"skills,omitempty"`
+
+	// add_edge
+	U expertgraph.NodeID `json:"u,omitempty"`
+	V expertgraph.NodeID `json:"v,omitempty"`
+	W float64            `json:"w,omitempty"`
+
+	// update_node
+	Node         expertgraph.NodeID `json:"node,omitempty"`
+	SetAuthority *float64           `json:"set_authority,omitempty"`
+	AddSkills    []string           `json:"add_skills,omitempty"`
+}
+
+// Validation errors returned by the mutators.
+var (
+	ErrUnknownNode   = errors.New("live: unknown node")
+	ErrSelfLoop      = errors.New("live: self loop")
+	ErrDuplicateEdge = errors.New("live: edge already exists")
+	ErrNegativeW     = errors.New("live: negative edge weight")
+	ErrEmptyUpdate   = errors.New("live: update changes nothing")
+	ErrEmptyName     = errors.New("live: empty expert name")
+)
+
+// Config parameterizes Open.
+type Config struct {
+	// JournalPath enables the write-ahead journal ("" disables it). If
+	// the file exists its mutations are replayed onto the base graph.
+	JournalPath string
+	// Sync fsyncs the journal after every record. Off by default: a
+	// process crash still keeps every completed write (the OS page
+	// cache survives it), only a host power loss can drop the tail.
+	Sync bool
+}
+
+// Store is the mutable overlay over one immutable base graph. All
+// mutators are safe for concurrent use (they serialize on an internal
+// lock); Snapshot is lock-free.
+type Store struct {
+	base *expertgraph.Graph
+	snap atomic.Pointer[Snapshot]
+
+	mu      sync.Mutex // serializes writers
+	log     []Mutation // full mutation log since base; len == epoch
+	journal *journal   // nil when journaling is disabled
+
+	// Writer-side validation state, maintained so mutations are
+	// validated in O(1)/O(log) without materializing a graph.
+	nNodes  int
+	nEdges  int
+	edgeSet map[uint64]struct{}
+
+	// Mutation counters for observability (atomics: read by /stats
+	// without the writer lock).
+	nodesAdded   atomic.Uint64
+	edgesAdded   atomic.Uint64
+	nodesUpdated atomic.Uint64
+}
+
+// Counters reports how many mutations of each kind the store has
+// applied (including journal replay).
+type Counters struct {
+	NodesAdded   uint64 `json:"nodes_added"`
+	EdgesAdded   uint64 `json:"edges_added"`
+	NodesUpdated uint64 `json:"nodes_updated"`
+}
+
+func edgeKey(u, v expertgraph.NodeID) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// Open wraps base in a mutable store. With cfg.JournalPath set, an
+// existing journal is replayed (restoring the pre-restart epoch) and
+// subsequent mutations are appended to it.
+func Open(base *expertgraph.Graph, cfg Config) (*Store, error) {
+	s := &Store{
+		base:    base,
+		nNodes:  base.NumNodes(),
+		nEdges:  base.NumEdges(),
+		edgeSet: make(map[uint64]struct{}, base.NumEdges()),
+	}
+	for u := expertgraph.NodeID(0); int(u) < base.NumNodes(); u++ {
+		base.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
+			if u < v {
+				s.edgeSet[edgeKey(u, v)] = struct{}{}
+			}
+			return true
+		})
+	}
+	s.snap.Store(&Snapshot{base: base, g: base, nodes: s.nNodes, edges: s.nEdges})
+
+	if cfg.JournalPath != "" {
+		replayed, j, err := openJournal(cfg.JournalPath, cfg.Sync)
+		if err != nil {
+			return nil, err
+		}
+		for i, m := range replayed {
+			if _, _, err := s.apply(m, false); err != nil {
+				j.Close()
+				return nil, fmt.Errorf("live: journal record %d: %w", i+1, err)
+			}
+		}
+		s.journal = j
+	}
+	return s, nil
+}
+
+// Close releases the journal. The store stays readable; further
+// mutations fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	// Close marks the journal closed in place (further Appends fail)
+	// but keeps it referenced so JournalStats still reports the real
+	// record/byte counts.
+	return s.journal.Close()
+}
+
+// Snapshot returns the current epoch's immutable view. It never
+// blocks, and the returned snapshot stays valid (and consistent)
+// however many mutations follow.
+func (s *Store) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Epoch returns the current epoch: the number of mutations applied
+// since the base graph.
+func (s *Store) Epoch() uint64 { return s.snap.Load().epoch }
+
+// SnapshotAt reconstructs the snapshot of a past epoch (ok=false when
+// epoch is ahead of the store). The mutation log is append-only, so a
+// historical snapshot is just a shorter prefix of it; materializing
+// its graph costs the same lazy replay as any snapshot. Used to anchor
+// state persisted at an earlier epoch (e.g. an on-disk 2-hop cover)
+// so it can be repaired forward instead of discarded.
+func (s *Store) SnapshotAt(epoch uint64) (*Snapshot, bool) {
+	cur := s.Snapshot()
+	if epoch > cur.epoch {
+		return nil, false
+	}
+	if epoch == cur.epoch {
+		return cur, true
+	}
+	log := cur.log[:epoch]
+	nodes, edges := s.base.NumNodes(), s.base.NumEdges()
+	for _, m := range log {
+		switch m.Op {
+		case OpAddNode:
+			nodes++
+		case OpAddEdge:
+			edges++
+		}
+	}
+	sn := &Snapshot{epoch: epoch, base: s.base, log: log, nodes: nodes, edges: edges}
+	if epoch == 0 {
+		sn.g = s.base
+	}
+	return sn, true
+}
+
+// Counters reports lifetime mutation counts by kind.
+func (s *Store) Counters() Counters {
+	return Counters{
+		NodesAdded:   s.nodesAdded.Load(),
+		EdgesAdded:   s.edgesAdded.Load(),
+		NodesUpdated: s.nodesUpdated.Load(),
+	}
+}
+
+// JournalStats reports the journal's record count and byte size, both
+// zero when journaling is disabled.
+func (s *Store) JournalStats() (records uint64, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return 0, 0
+	}
+	return s.journal.records, s.journal.bytes
+}
+
+// AddExpert adds a new expert and returns its NodeID and the epoch at
+// which it became visible. Authority values below 1 are floored to 1
+// (the Builder's rule, so a'(c) = 1/a(c) stays defined).
+func (s *Store) AddExpert(name string, authority float64, skills []string) (expertgraph.NodeID, uint64, error) {
+	id, epoch, err := s.Apply(Mutation{Op: OpAddNode, Name: name, Authority: authority, Skills: skills})
+	return id, epoch, err
+}
+
+// AddCollaboration adds an undirected edge (u, v) with communication
+// cost w and returns the epoch at which it became visible.
+func (s *Store) AddCollaboration(u, v expertgraph.NodeID, w float64) (uint64, error) {
+	_, epoch, err := s.Apply(Mutation{Op: OpAddEdge, U: u, V: v, W: w})
+	return epoch, err
+}
+
+// UpdateExpert updates an existing expert's authority (when authority
+// is non-nil) and/or grants additional skills.
+func (s *Store) UpdateExpert(id expertgraph.NodeID, authority *float64, addSkills []string) (uint64, error) {
+	_, epoch, err := s.Apply(Mutation{Op: OpUpdateNode, Node: id, SetAuthority: authority, AddSkills: addSkills})
+	return epoch, err
+}
+
+// Apply validates m, journals it, applies it and publishes the new
+// epoch's snapshot. It returns the assigned NodeID for add_node
+// mutations (0 otherwise) and the new epoch. Mutations are applied in
+// a total order; the returned epoch supports read-your-writes — any
+// snapshot resolved afterwards has at least that epoch.
+func (s *Store) Apply(m Mutation) (expertgraph.NodeID, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.apply(m, true)
+}
+
+// apply is Apply without the lock (held by the caller) and with
+// journaling optional (off during replay).
+func (s *Store) apply(m Mutation, journal bool) (expertgraph.NodeID, uint64, error) {
+	var newID expertgraph.NodeID
+
+	// Validate before touching any state.
+	switch m.Op {
+	case OpAddNode:
+		if m.Name == "" {
+			return 0, 0, ErrEmptyName
+		}
+		if m.Authority < 1 {
+			m.Authority = 1
+		}
+		newID = expertgraph.NodeID(s.nNodes)
+	case OpAddEdge:
+		switch {
+		case m.U == m.V:
+			return 0, 0, fmt.Errorf("%w: node %d", ErrSelfLoop, m.U)
+		case m.W < 0:
+			return 0, 0, fmt.Errorf("%w: %v", ErrNegativeW, m.W)
+		case m.U < 0 || int(m.U) >= s.nNodes:
+			return 0, 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.U)
+		case m.V < 0 || int(m.V) >= s.nNodes:
+			return 0, 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.V)
+		}
+		if _, dup := s.edgeSet[edgeKey(m.U, m.V)]; dup {
+			return 0, 0, fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, m.U, m.V)
+		}
+	case OpUpdateNode:
+		if m.Node < 0 || int(m.Node) >= s.nNodes {
+			return 0, 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.Node)
+		}
+		if m.SetAuthority == nil && len(m.AddSkills) == 0 {
+			return 0, 0, ErrEmptyUpdate
+		}
+		if m.SetAuthority != nil && *m.SetAuthority < 1 {
+			one := 1.0
+			m.SetAuthority = &one
+		}
+	default:
+		return 0, 0, fmt.Errorf("live: unknown op %q", m.Op)
+	}
+
+	// Journal first (write-ahead), then mutate in-memory state.
+	if journal && s.journal != nil {
+		if err := s.journal.Append(m); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	switch m.Op {
+	case OpAddNode:
+		s.nNodes++
+		s.nodesAdded.Add(1)
+	case OpAddEdge:
+		s.edgeSet[edgeKey(m.U, m.V)] = struct{}{}
+		s.nEdges++
+		s.edgesAdded.Add(1)
+	case OpUpdateNode:
+		s.nodesUpdated.Add(1)
+	}
+
+	// Append-only log with structural sharing: every snapshot holds a
+	// header over the same backing array, capped at its own epoch.
+	// The writer only ever appends past every published length, so
+	// readers never observe a write.
+	s.log = append(s.log, m)
+	prev := s.snap.Load()
+	next := &Snapshot{
+		epoch: prev.epoch + 1,
+		base:  s.base,
+		log:   s.log,
+		nodes: s.nNodes,
+		edges: s.nEdges,
+	}
+	s.snap.Store(next)
+	return newID, next.epoch, nil
+}
+
+// Snapshot is one epoch's immutable, consistent view of the network.
+// It is safe for concurrent use.
+type Snapshot struct {
+	epoch uint64
+	base  *expertgraph.Graph
+	log   []Mutation // the first `epoch` mutations since base
+	nodes int
+	edges int
+
+	once sync.Once
+	g    *expertgraph.Graph
+	err  error
+}
+
+// Epoch returns the snapshot's epoch (0 = the unmodified base graph).
+func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// NumNodes returns the expert count at this epoch without
+// materializing the graph.
+func (sn *Snapshot) NumNodes() int { return sn.nodes }
+
+// NumEdges returns the undirected edge count at this epoch without
+// materializing the graph.
+func (sn *Snapshot) NumEdges() int { return sn.edges }
+
+// Graph materializes (and memoizes) the full expert network at this
+// epoch: the base graph is thawed and the mutation delta replayed.
+// Every caller of the same snapshot shares one materialization.
+func (sn *Snapshot) Graph() (*expertgraph.Graph, error) {
+	sn.once.Do(func() {
+		if sn.g != nil { // epoch 0 carries the base graph directly
+			return
+		}
+		sn.g, sn.err = materialize(sn.base, sn.log)
+	})
+	return sn.g, sn.err
+}
+
+// MutationsSince returns the mutations applied after epoch `from` up
+// to this snapshot, or ok=false when from is ahead of this snapshot.
+// Both snapshots must come from the same store.
+func (sn *Snapshot) MutationsSince(from uint64) (muts []Mutation, ok bool) {
+	if from > sn.epoch {
+		return nil, false
+	}
+	return sn.log[from:sn.epoch], true
+}
+
+// materialize replays the delta onto a thawed copy of base.
+func materialize(base *expertgraph.Graph, muts []Mutation) (*expertgraph.Graph, error) {
+	extraNodes, extraEdges := 0, 0
+	for _, m := range muts {
+		switch m.Op {
+		case OpAddNode:
+			extraNodes++
+		case OpAddEdge:
+			extraEdges++
+		}
+	}
+	b := base.Thaw(extraNodes, extraEdges)
+	for _, m := range muts {
+		switch m.Op {
+		case OpAddNode:
+			b.AddNode(m.Name, m.Authority, m.Skills...)
+		case OpAddEdge:
+			b.AddEdge(m.U, m.V, m.W)
+		case OpUpdateNode:
+			if m.SetAuthority != nil {
+				b.SetAuthority(m.Node, *m.SetAuthority)
+			}
+			for _, sk := range m.AddSkills {
+				b.AddSkillTo(m.Node, sk)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("live: materialize: %w", err)
+	}
+	return g, nil
+}

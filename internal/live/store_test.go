@@ -1,0 +1,400 @@
+package live
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/pll"
+)
+
+// testGraph builds a connected random expert network with skills.
+func testGraph(rng *rand.Rand, n int) *expertgraph.Graph {
+	skills := []string{"analytics", "matrix", "communities", "indexing", "query"}
+	b := expertgraph.NewBuilder(n, 2*n)
+	for i := 0; i < n; i++ {
+		sk := skills[rng.Intn(len(skills))]
+		b.AddNode("", 1+float64(rng.Intn(30)), sk)
+	}
+	type pair struct{ u, v expertgraph.NodeID }
+	seen := make(map[pair]bool)
+	add := func(u, v expertgraph.NodeID) {
+		if u == v {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[pair{u, v}] {
+			return
+		}
+		seen[pair{u, v}] = true
+		b.AddEdge(u, v, 0.05+0.9*rng.Float64())
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		add(expertgraph.NodeID(perm[i-1]), expertgraph.NodeID(perm[i]))
+	}
+	for i := 0; i < n/2; i++ {
+		add(expertgraph.NodeID(rng.Intn(n)), expertgraph.NodeID(rng.Intn(n)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func mustOpen(t *testing.T, g *expertgraph.Graph, cfg Config) *Store {
+	t.Helper()
+	s, err := Open(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := mustOpen(t, testGraph(rng, 20), Config{})
+
+	before := s.Snapshot()
+	if before.Epoch() != 0 {
+		t.Fatalf("fresh store epoch %d", before.Epoch())
+	}
+	id, epoch, err := s.AddExpert("newcomer", 4, []string{"analytics", "rust"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("epoch after first mutation: %d", epoch)
+	}
+	if _, err := s.AddCollaboration(id, 3, 0.4); err != nil {
+		t.Fatal(err)
+	}
+
+	after := s.Snapshot()
+	bg, err := before.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := after.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The old snapshot must not see the mutation (snapshot isolation).
+	if bg.NumNodes() != 20 || ag.NumNodes() != 21 {
+		t.Fatalf("node counts: before %d, after %d", bg.NumNodes(), ag.NumNodes())
+	}
+	if ag.Name(id) != "newcomer" || ag.Authority(id) != 4 {
+		t.Fatalf("new node record: %+v", ag.Node(id))
+	}
+	if _, ok := bg.SkillID("rust"); ok {
+		t.Error("old snapshot sees the new skill")
+	}
+	if sid, ok := ag.SkillID("rust"); !ok {
+		t.Error("new snapshot missing the new skill")
+	} else if got := ag.ExpertsWithSkill(sid); len(got) != 1 || got[0] != id {
+		t.Errorf("C(rust) = %v", got)
+	}
+	if w, ok := ag.EdgeWeight(id, 3); !ok || w != 0.4 {
+		t.Errorf("edge weight: %v %v", w, ok)
+	}
+	// Cheap introspection agrees with the materialized graph.
+	if after.NumNodes() != ag.NumNodes() || after.NumEdges() != ag.NumEdges() {
+		t.Errorf("snapshot counters (%d,%d) vs graph (%d,%d)",
+			after.NumNodes(), after.NumEdges(), ag.NumNodes(), ag.NumEdges())
+	}
+}
+
+func TestUpdateExpert(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := mustOpen(t, testGraph(rng, 10), Config{})
+	auth := 50.0
+	if _, err := s.UpdateExpert(2, &auth, []string{"golang"}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Snapshot().Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Authority(2) != 50 {
+		t.Errorf("authority = %v", g.Authority(2))
+	}
+	if sid, ok := g.SkillID("golang"); !ok || !g.HasSkill(2, sid) {
+		t.Error("skill grant missing")
+	}
+	c := s.Counters()
+	if c.NodesUpdated != 1 {
+		t.Errorf("counters: %+v", c)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := mustOpen(t, testGraph(rng, 10), Config{})
+	cases := []struct {
+		name string
+		err  error
+		run  func() error
+	}{
+		{"self loop", ErrSelfLoop, func() error { _, err := s.AddCollaboration(1, 1, 0.5); return err }},
+		{"negative weight", ErrNegativeW, func() error { _, err := s.AddCollaboration(1, 2, -0.5); return err }},
+		{"unknown node", ErrUnknownNode, func() error { _, err := s.AddCollaboration(1, 99, 0.5); return err }},
+		{"unknown update", ErrUnknownNode, func() error { _, err := s.UpdateExpert(-1, nil, []string{"x"}); return err }},
+		{"empty update", ErrEmptyUpdate, func() error { _, err := s.UpdateExpert(1, nil, nil); return err }},
+		{"empty name", ErrEmptyName, func() error { _, _, err := s.AddExpert("", 1, nil); return err }},
+	}
+	for _, tc := range cases {
+		if err := tc.run(); !errors.Is(err, tc.err) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.err)
+		}
+	}
+	// Duplicate of an existing base edge and of a delta edge.
+	g := s.base
+	var u, v expertgraph.NodeID = -1, -1
+	g.Neighbors(0, func(x expertgraph.NodeID, w float64) bool { u, v = 0, x; return false })
+	if _, err := s.AddCollaboration(u, v, 0.1); !errors.Is(err, ErrDuplicateEdge) {
+		t.Errorf("base duplicate: %v", err)
+	}
+	if s.Epoch() != 0 {
+		t.Errorf("rejected mutations advanced the epoch to %d", s.Epoch())
+	}
+}
+
+func TestJournalReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	base := testGraph(rng, 30)
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+
+	s := mustOpen(t, base, Config{JournalPath: path})
+	id, _, err := s.AddExpert("alice2", 7, []string{"matrix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddCollaboration(id, 5, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	auth := 9.0
+	if _, err := s.UpdateExpert(3, &auth, []string{"query"}); err != nil {
+		t.Fatal(err)
+	}
+	wantEpoch := s.Epoch()
+	wantG, err := s.Snapshot().Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Journal accounting must survive Close (the store stays readable).
+	if rec, bytes := s.JournalStats(); rec != wantEpoch || bytes == 0 {
+		t.Errorf("journal stats after close: %d records, %d bytes", rec, bytes)
+	}
+
+	// "Restart": reopen over the same base graph.
+	s2 := mustOpen(t, base, Config{JournalPath: path})
+	if s2.Epoch() != wantEpoch {
+		t.Fatalf("replayed epoch %d, want %d", s2.Epoch(), wantEpoch)
+	}
+	g2, err := s2.Snapshot().Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, wantG, g2)
+
+	// The replayed store keeps accepting (and journaling) writes.
+	if _, err := s2.AddCollaboration(0, id, 0.33); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Epoch() != wantEpoch+1 {
+		t.Fatalf("epoch after post-replay write: %d", s2.Epoch())
+	}
+}
+
+func TestJournalTornTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := testGraph(rng, 20)
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+
+	s := mustOpen(t, base, Config{JournalPath: path})
+	for i := 0; i < 5; i++ {
+		if _, err := s.AddCollaboration(expertgraph.NodeID(i), expertgraph.NodeID(i+10), 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: a torn, newline-less final record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"add_edge","u":1,"v":2,"w":0.1`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := mustOpen(t, base, Config{JournalPath: path})
+	if s2.Epoch() != 5 {
+		t.Fatalf("epoch after torn-tail replay: %d, want 5", s2.Epoch())
+	}
+	// The torn bytes must be gone so the next append starts clean.
+	if _, err := s2.AddCollaboration(3, 17, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := mustOpen(t, base, Config{JournalPath: path})
+	if s3.Epoch() != 6 {
+		t.Fatalf("epoch after truncate+append replay: %d, want 6", s3.Epoch())
+	}
+}
+
+func TestJournalInteriorCorruptionRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	content := `{"op":"add_edge","u":0,"v":5,"w":0.1}
+NOT JSON AT ALL
+{"op":"add_edge","u":1,"v":6,"w":0.1}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	if _, err := Open(testGraph(rng, 10), Config{JournalPath: path}); err == nil {
+		t.Fatal("interior corruption silently accepted")
+	}
+}
+
+func TestMaintainRawAlwaysEligible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := testGraph(rng, 40)
+	s := mustOpen(t, base, Config{})
+	from := s.Snapshot()
+	ix := pll.Build(base)
+
+	id, _, err := s.AddExpert("n", 3, []string{"analytics"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddCollaboration(id, 7, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	auth := 99.0
+	if _, err := s.UpdateExpert(1, &auth, nil); err != nil {
+		t.Fatal(err)
+	}
+	to := s.Snapshot()
+
+	repaired, ok := MaintainIndex(ix, from, to, nil, 0)
+	if !ok {
+		t.Fatal("raw repair refused")
+	}
+	g, err := to.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := pll.Build(g)
+	for i := 0; i < 200; i++ {
+		u := expertgraph.NodeID(rng.Intn(g.NumNodes()))
+		v := expertgraph.NodeID(rng.Intn(g.NumNodes()))
+		got, want := repaired.Dist(u, v), fresh.Dist(u, v)
+		if math.Abs(got-want) > 1e-9 && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+			t.Fatalf("dist(%d,%d) repaired %v fresh %v", u, v, got, want)
+		}
+	}
+}
+
+func TestMaintainRefusals(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	base := testGraph(rng, 30)
+	s := mustOpen(t, base, Config{})
+	from := s.Snapshot()
+	weight := func(u, v expertgraph.NodeID, w float64) float64 { return w }
+	ix := pll.BuildWithOptions(base, pll.Options{Weight: weight})
+
+	// Authority update → weighted repair refused, raw allowed.
+	auth := 123.0
+	if _, err := s.UpdateExpert(2, &auth, nil); err != nil {
+		t.Fatal(err)
+	}
+	to := s.Snapshot()
+	if _, ok := MaintainIndex(ix, from, to, weight, 0); ok {
+		t.Error("weighted repair accepted an authority update")
+	}
+	if _, ok := MaintainIndex(ix, from, to, nil, 0); !ok {
+		t.Error("raw repair refused an authority update")
+	}
+
+	// Staleness budget.
+	for added := 0; added < 4; {
+		u := expertgraph.NodeID(rng.Intn(30))
+		v := expertgraph.NodeID(rng.Intn(30))
+		if u == v {
+			continue
+		}
+		switch _, err := s.AddCollaboration(u, v, 0.4); {
+		case err == nil:
+			added++
+		case errors.Is(err, ErrDuplicateEdge):
+		default:
+			t.Fatal(err)
+		}
+	}
+	to = s.Snapshot()
+	if _, ok := MaintainIndex(ix, from, to, nil, 3); ok {
+		t.Error("budget of 3 accepted 5 mutations")
+	}
+
+	// A snapshot ahead of `to` is not a valid repair source.
+	if _, ok := MaintainIndex(ix, to, from, nil, 0); ok {
+		t.Error("repair accepted from > to")
+	}
+
+	// Bound widening (edge weight far outside the base range) →
+	// weighted repair refused.
+	s2 := mustOpen(t, base, Config{})
+	from2 := s2.Snapshot()
+	if _, err := s2.AddCollaboration(0, 25, 50.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := MaintainIndex(ix, from2, s2.Snapshot(), weight, 0); ok {
+		t.Error("weighted repair accepted a bound-widening edge")
+	}
+}
+
+func assertGraphsEqual(t *testing.T, a, b *expertgraph.Graph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() || a.NumSkills() != b.NumSkills() {
+		t.Fatalf("graph shape: (%d,%d,%d) vs (%d,%d,%d)",
+			a.NumNodes(), a.NumEdges(), a.NumSkills(),
+			b.NumNodes(), b.NumEdges(), b.NumSkills())
+	}
+	for u := 0; u < a.NumNodes(); u++ {
+		id := expertgraph.NodeID(u)
+		if a.Authority(id) != b.Authority(id) || a.Name(id) != b.Name(id) {
+			t.Fatalf("node %d differs: %+v vs %+v", u, a.Node(id), b.Node(id))
+		}
+		as, bs := a.Skills(id), b.Skills(id)
+		if len(as) != len(bs) {
+			t.Fatalf("node %d skills differ", u)
+		}
+		for i := range as {
+			if a.SkillName(as[i]) != b.SkillName(bs[i]) {
+				t.Fatalf("node %d skill %d differs", u, i)
+			}
+		}
+		a.Neighbors(id, func(v expertgraph.NodeID, w float64) bool {
+			if bw, ok := b.EdgeWeight(id, v); !ok || bw != w {
+				t.Fatalf("edge (%d,%d) differs: %v vs %v,%v", u, v, w, bw, ok)
+			}
+			return true
+		})
+	}
+}

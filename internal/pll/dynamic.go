@@ -1,0 +1,284 @@
+package pll
+
+import (
+	"sort"
+
+	"authteam/internal/expertgraph"
+)
+
+// Incremental maintenance of a 2-hop cover under node and edge
+// insertions, following the dynamization of pruned landmark labeling
+// (Akiba, Iwata, Yoshida — "Dynamic and Historical Shortest-Path
+// Distance Queries on Large Evolving Networks", WWW 2014), adapted
+// from BFS to weighted Dijkstra.
+//
+// On inserting edge (u, v), only shortest paths through the new edge
+// can improve. For every landmark that already labels u or v, the
+// landmark's original pruned Dijkstra is *resumed*: seeded at the far
+// endpoint with the distance through the new edge and expanded with
+// the same prefix-rank pruning rule as construction. Repair therefore
+// costs a handful of truncated Dijkstras instead of a full O(n·m)
+// rebuild. The repaired index answers every query exactly; it may
+// carry entries a from-scratch build would have pruned (resumption
+// never removes labels), which is why callers bound repair work with a
+// staleness budget and fall back to a rebuild once labels drift.
+
+// DynamicIndex is a mutable 2-hop cover. It is the thawed counterpart
+// of Index: labels live in per-node slices that InsertEdge and AddNode
+// grow in place. It is NOT safe for concurrent use — mutate it from a
+// single goroutine and Freeze it into an immutable Index for readers.
+type DynamicIndex struct {
+	labels [][]labelEntry // per node, sorted by rank ascending
+	rankOf []int32
+	nodeAt []expertgraph.NodeID
+	weight func(u, v expertgraph.NodeID, w float64) float64 // nil = stored weights
+
+	// Scratch for resumed Dijkstras, sized to the node count.
+	dist    []float64
+	hubDist []float64
+	heap    *pairHeap
+
+	// visits counts label-array touches across all repairs, the work
+	// measure callers can compare against a rebuild.
+	visits int
+}
+
+// NewDynamic thaws ix into a mutable index. The weight function must
+// be the one the index was built over (nil for stored weights); it is
+// used to expand resumed Dijkstras. ix itself is not modified.
+func NewDynamic(ix *Index, weight func(u, v expertgraph.NodeID, w float64) float64) *DynamicIndex {
+	n := ix.n
+	d := &DynamicIndex{
+		labels:  make([][]labelEntry, n),
+		rankOf:  append([]int32(nil), ix.rankOf...),
+		nodeAt:  append([]expertgraph.NodeID(nil), ix.nodeAt...),
+		weight:  weight,
+		dist:    make([]float64, n),
+		hubDist: make([]float64, n),
+		heap:    newPairHeap(64),
+	}
+	for u := 0; u < n; u++ {
+		lo, hi := ix.off[u], ix.off[u+1]
+		d.labels[u] = append([]labelEntry(nil), ix.entries[lo:hi]...)
+	}
+	for i := range d.dist {
+		d.dist[i] = infinity
+		d.hubDist[i] = infinity
+	}
+	return d
+}
+
+// NumNodes returns the number of indexed nodes.
+func (d *DynamicIndex) NumNodes() int { return len(d.labels) }
+
+// Visits returns the cumulative label-touch count of all repairs since
+// thawing, a proxy for repair work.
+func (d *DynamicIndex) Visits() int { return d.visits }
+
+// AddNode appends a new, initially isolated node to the index and
+// returns its ID. The node is ranked last (least central) — the
+// standard placement for a newcomer, revisited only by a full rebuild
+// — and starts with the self label every landmark carries. Edges
+// incident to it are indexed by subsequent InsertEdge calls.
+func (d *DynamicIndex) AddNode() expertgraph.NodeID {
+	id := expertgraph.NodeID(len(d.labels))
+	rank := int32(len(d.labels))
+	d.labels = append(d.labels, []labelEntry{{rank: rank, dist: 0}})
+	d.rankOf = append(d.rankOf, rank)
+	d.nodeAt = append(d.nodeAt, id)
+	d.dist = append(d.dist, infinity)
+	d.hubDist = append(d.hubDist, infinity)
+	return id
+}
+
+// Dist returns the exact shortest-path distance between u and v, or
+// +Inf when they are disconnected.
+func (d *DynamicIndex) Dist(u, v expertgraph.NodeID) float64 {
+	if u == v {
+		return 0
+	}
+	return mergeJoin(d.labels[u], d.labels[v])
+}
+
+func mergeJoin(lu, lv []labelEntry) float64 {
+	best := infinity
+	i, j := 0, 0
+	for i < len(lu) && j < len(lv) {
+		switch {
+		case lu[i].rank == lv[j].rank:
+			if s := lu[i].dist + lv[j].dist; s < best {
+				best = s
+			}
+			i++
+			j++
+		case lu[i].rank < lv[j].rank:
+			i++
+		default:
+			j++
+		}
+	}
+	return best
+}
+
+// entryFor returns u's label distance to the landmark of rank r and
+// whether the entry exists.
+func (d *DynamicIndex) entryFor(u expertgraph.NodeID, r int32) (float64, bool) {
+	l := d.labels[u]
+	i := sort.Search(len(l), func(i int) bool { return l[i].rank >= r })
+	if i < len(l) && l[i].rank == r {
+		return l[i].dist, true
+	}
+	return 0, false
+}
+
+// setEntry inserts or tightens the (r, dist) entry of u's label,
+// keeping it sorted by rank.
+func (d *DynamicIndex) setEntry(u expertgraph.NodeID, r int32, dist float64) {
+	l := d.labels[u]
+	i := sort.Search(len(l), func(i int) bool { return l[i].rank >= r })
+	if i < len(l) && l[i].rank == r {
+		if dist < l[i].dist {
+			l[i].dist = dist
+		}
+		return
+	}
+	l = append(l, labelEntry{})
+	copy(l[i+1:], l[i:])
+	l[i] = labelEntry{rank: r, dist: dist}
+	d.labels[u] = l
+}
+
+// InsertEdge repairs the index for a new undirected edge (u, v) with
+// stored weight w. g must be the graph WITH the edge (and any other
+// already-reported insertions) applied — resumed searches traverse it.
+// Both endpoints must already be indexed (AddNode first for new
+// nodes). Inserting a batch of edges one call at a time over the final
+// graph converges to an index that answers every pair exactly: any
+// improved shortest path uses at least one inserted edge, and that
+// edge's resumption propagates the improvement through the rest of the
+// batch's edges, which are already traversable.
+func (d *DynamicIndex) InsertEdge(g *expertgraph.Graph, u, v expertgraph.NodeID, w float64) {
+	wp := w
+	if d.weight != nil {
+		wp = d.weight(u, v, w)
+	}
+	// Affected landmarks: every hub of either endpoint, resumed in
+	// ascending rank order so higher-priority repairs maximize pruning
+	// of later ones (and so a new node inherits its neighbor's hubs
+	// before its own bottom-ranked landmark is resumed).
+	ranks := make([]int32, 0, len(d.labels[u])+len(d.labels[v]))
+	for _, e := range d.labels[u] {
+		ranks = append(ranks, e.rank)
+	}
+	for _, e := range d.labels[v] {
+		ranks = append(ranks, e.rank)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	for i, r := range ranks {
+		if i > 0 && ranks[i-1] == r {
+			continue // deduplicate hubs shared by both endpoints
+		}
+		d.resume(g, r, u, v, wp)
+	}
+}
+
+// resume continues the pruned Dijkstra of the landmark with rank r
+// across the new edge (u, v) of search weight wp: each endpoint the
+// landmark labels seeds the far endpoint at label distance + wp, and
+// the search expands exactly like construction, pruning any node whose
+// distance is already certified by hubs ranked above r.
+func (d *DynamicIndex) resume(g *expertgraph.Graph, r int32, u, v expertgraph.NodeID, wp float64) {
+	lm := d.nodeAt[r]
+	// Load the landmark's label for O(|label|) prefix prune queries.
+	for _, e := range d.labels[lm] {
+		d.hubDist[e.rank] = e.dist
+	}
+	d.heap.reset()
+	var touched []expertgraph.NodeID
+	seed := func(x expertgraph.NodeID, dx float64) {
+		if dx < d.dist[x] {
+			if d.dist[x] == infinity {
+				touched = append(touched, x)
+			}
+			d.dist[x] = dx
+			d.heap.push(x, dx)
+		}
+	}
+	if du, ok := d.entryFor(u, r); ok {
+		seed(v, du+wp)
+	}
+	if dv, ok := d.entryFor(v, r); ok {
+		seed(u, dv+wp)
+	}
+	for d.heap.len() > 0 {
+		x, dx := d.heap.pop()
+		if dx > d.dist[x] {
+			continue
+		}
+		d.visits++
+		// An existing entry at or below dx already covers this visit.
+		if have, ok := d.entryFor(x, r); ok && have <= dx {
+			continue
+		}
+		// Prefix prune: hubs ranked above r (rank < r) that certify
+		// dist(lm, x) ≤ dx make the entry redundant, exactly as in
+		// construction. Ranks below r are ignored — the cover
+		// invariant ties each entry to the highest-ranked vertex on
+		// its shortest path.
+		pruned := false
+		for _, e := range d.labels[x] {
+			if e.rank >= r {
+				break
+			}
+			if hd := d.hubDist[e.rank]; hd+e.dist <= dx {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		d.setEntry(x, r, dx)
+		g.Neighbors(x, func(y expertgraph.NodeID, wxy float64) bool {
+			if d.weight != nil {
+				wxy = d.weight(x, y, wxy)
+			}
+			if nd := dx + wxy; nd < d.dist[y] {
+				if d.dist[y] == infinity {
+					touched = append(touched, y)
+				}
+				d.dist[y] = nd
+				d.heap.push(y, nd)
+			}
+			return true
+		})
+	}
+	for _, x := range touched {
+		d.dist[x] = infinity
+	}
+	for _, e := range d.labels[lm] {
+		d.hubDist[e.rank] = infinity
+	}
+}
+
+// Freeze packs the labels into an immutable CSR Index for concurrent
+// readers. The DynamicIndex remains usable afterwards.
+func (d *DynamicIndex) Freeze() *Index {
+	n := len(d.labels)
+	ix := &Index{
+		n:      n,
+		off:    make([]int32, n+1),
+		rankOf: append([]int32(nil), d.rankOf...),
+		nodeAt: append([]expertgraph.NodeID(nil), d.nodeAt...),
+	}
+	total := 0
+	for i, l := range d.labels {
+		total += len(l)
+		ix.off[i+1] = int32(total)
+	}
+	ix.entries = make([]labelEntry, 0, total)
+	for _, l := range d.labels {
+		ix.entries = append(ix.entries, l...)
+	}
+	return ix
+}

@@ -1,0 +1,242 @@
+package pll
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"authteam/internal/expertgraph"
+)
+
+// edgeSet collects the existing undirected edges of g for sampling
+// fresh pairs.
+func edgeSet(g *expertgraph.Graph) map[[2]expertgraph.NodeID]bool {
+	seen := make(map[[2]expertgraph.NodeID]bool)
+	for u := expertgraph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		g.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
+			if u < v {
+				seen[[2]expertgraph.NodeID{u, v}] = true
+			}
+			return true
+		})
+	}
+	return seen
+}
+
+// checkAllPairs compares every pair's distance between the repaired
+// dynamic index and a from-scratch build over the same graph.
+func checkAllPairs(t *testing.T, d *DynamicIndex, fresh *Index, n int) {
+	t.Helper()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			got := d.Dist(expertgraph.NodeID(u), expertgraph.NodeID(v))
+			want := fresh.Dist(expertgraph.NodeID(u), expertgraph.NodeID(v))
+			if math.IsInf(got, 1) && math.IsInf(want, 1) {
+				continue
+			}
+			if diff := math.Abs(got - want); diff > 1e-9 {
+				t.Fatalf("dist(%d,%d): repaired %v, rebuilt %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestDynamicInsertEdgeMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 12 + rng.Intn(30)
+		g := randomGraph(rng, n, n/2)
+		base := Build(g)
+
+		// Pick fresh edges to insert.
+		existing := edgeSet(g)
+		type edge struct {
+			u, v expertgraph.NodeID
+			w    float64
+		}
+		var inserts []edge
+		for len(inserts) < 2+rng.Intn(8) {
+			u := expertgraph.NodeID(rng.Intn(n))
+			v := expertgraph.NodeID(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if existing[[2]expertgraph.NodeID{u, v}] {
+				continue
+			}
+			existing[[2]expertgraph.NodeID{u, v}] = true
+			inserts = append(inserts, edge{u, v, 0.05 + rng.Float64()})
+		}
+
+		b := g.Thaw(0, len(inserts))
+		for _, e := range inserts {
+			b.AddEdge(e.u, e.v, e.w)
+		}
+		g2, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		d := NewDynamic(base, nil)
+		for _, e := range inserts {
+			d.InsertEdge(g2, e.u, e.v, e.w)
+		}
+		checkAllPairs(t, d, Build(g2), n)
+	}
+}
+
+func TestDynamicAddNodeMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(20)
+		g := randomGraph(rng, n, n/3)
+		base := Build(g)
+		d := NewDynamic(base, nil)
+
+		// Grow the graph with new nodes, each wired to 1–3 existing or
+		// new nodes, replaying the same sequence into the builder.
+		b := g.Thaw(4, 12)
+		type edge struct {
+			u, v expertgraph.NodeID
+			w    float64
+		}
+		var newEdges []edge
+		total := n
+		for a := 0; a < 3; a++ {
+			id := b.AddNode("", 1)
+			if got := d.AddNode(); got != id {
+				t.Fatalf("AddNode id %d, builder assigned %d", got, id)
+			}
+			deg := 1 + rng.Intn(3)
+			used := map[expertgraph.NodeID]bool{id: true}
+			for j := 0; j < deg; j++ {
+				v := expertgraph.NodeID(rng.Intn(total))
+				if used[v] {
+					continue
+				}
+				used[v] = true
+				w := 0.05 + rng.Float64()
+				b.AddEdge(id, v, w)
+				newEdges = append(newEdges, edge{id, v, w})
+			}
+			total++
+		}
+		g2, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range newEdges {
+			d.InsertEdge(g2, e.u, e.v, e.w)
+		}
+		checkAllPairs(t, d, Build(g2), total)
+	}
+}
+
+func TestDynamicWeightedInsertMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	// A G'-shaped weight function: node terms plus a scaled edge term,
+	// mirroring how transform.Params reweights edges.
+	weight := func(u, v expertgraph.NodeID, w float64) float64 {
+		return 0.01*float64(u%7) + 0.01*float64(v%7) + 2*w
+	}
+	for trial := 0; trial < 15; trial++ {
+		n := 12 + rng.Intn(20)
+		g := randomGraph(rng, n, n/2)
+		base := BuildWithOptions(g, Options{Weight: weight})
+
+		existing := edgeSet(g)
+		var u, v expertgraph.NodeID
+		for {
+			u = expertgraph.NodeID(rng.Intn(n))
+			v = expertgraph.NodeID(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if !existing[[2]expertgraph.NodeID{u, v}] {
+				break
+			}
+		}
+		w := 0.05 + rng.Float64()
+		b := g.Thaw(0, 1)
+		b.AddEdge(u, v, w)
+		g2, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		d := NewDynamic(base, weight)
+		d.InsertEdge(g2, u, v, w)
+		checkAllPairs(t, d, BuildWithOptions(g2, Options{Weight: weight}), n)
+	}
+}
+
+func TestDynamicFreezeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := randomGraph(rng, 25, 15)
+	base := Build(g)
+
+	d := NewDynamic(base, nil)
+	id := d.AddNode()
+	b := g.Thaw(1, 2)
+	if got := b.AddNode("", 1); got != id {
+		t.Fatalf("id mismatch: %d vs %d", got, id)
+	}
+	b.AddEdge(id, 0, 0.3)
+	b.AddEdge(id, 5, 0.7)
+	g2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.InsertEdge(g2, id, 0, 0.3)
+	d.InsertEdge(g2, id, 5, 0.7)
+
+	frozen := d.Freeze()
+	if frozen.NumNodes() != g2.NumNodes() {
+		t.Fatalf("frozen nodes %d, graph %d", frozen.NumNodes(), g2.NumNodes())
+	}
+	for u := 0; u < g2.NumNodes(); u++ {
+		for v := 0; v < g2.NumNodes(); v++ {
+			a := d.Dist(expertgraph.NodeID(u), expertgraph.NodeID(v))
+			b := frozen.Dist(expertgraph.NodeID(u), expertgraph.NodeID(v))
+			if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+				t.Fatalf("freeze changed dist(%d,%d): %v vs %v", u, v, a, b)
+			}
+		}
+	}
+	// The repair accounting must have registered work.
+	if d.Visits() == 0 {
+		t.Error("expected repair visits to be counted")
+	}
+}
+
+func TestDynamicNoopOnRedundantEdge(t *testing.T) {
+	// Inserting an edge that creates no shorter path must not corrupt
+	// distances (it may add a few entries, but queries stay exact).
+	b := expertgraph.NewBuilder(4, 4)
+	for i := 0; i < 4; i++ {
+		b.AddNode("", 1)
+	}
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Build(g)
+	b2 := g.Thaw(0, 1)
+	b2.AddEdge(0, 3, 100) // longer than the existing 0-1-2-3 path
+	g2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDynamic(base, nil)
+	d.InsertEdge(g2, 0, 3, 100)
+	checkAllPairs(t, d, Build(g2), 4)
+}

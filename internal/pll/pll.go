@@ -24,7 +24,7 @@ import (
 // unexported — math.Inf(1) cannot be a Go constant, and an exported
 // mutable var would let importers corrupt every distance comparison in
 // the package; callers detect disconnection with math.IsInf (the value
-// equals expertgraph.Infinity, the graph layer's shared sentinel).
+// equals expertgraph.Infinity(), the graph layer's shared sentinel).
 var infinity = math.Inf(1)
 
 // labelEntry is one hub entry in a node's label: the landmark's rank in

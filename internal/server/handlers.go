@@ -14,6 +14,7 @@ import (
 
 	"authteam/internal/core"
 	"authteam/internal/expertgraph"
+	"authteam/internal/live"
 	"authteam/internal/oracle"
 	"authteam/internal/team"
 	"authteam/internal/transform"
@@ -88,13 +89,17 @@ type ParetoResult struct {
 }
 
 // DiscoverResponse is the reply to one discovery request. Exactly one
-// of Teams and Pareto is populated, depending on the method.
+// of Teams and Pareto is populated, depending on the method. Epoch is
+// the graph epoch the answer was computed against — mutations advance
+// it, and a response (cached or not) always belongs to exactly one
+// epoch.
 type DiscoverResponse struct {
 	Method    string         `json:"method"`
 	Skills    []string       `json:"skills"`
 	Gamma     float64        `json:"gamma"`
 	Lambda    float64        `json:"lambda"`
 	K         int            `json:"k"`
+	Epoch     uint64         `json:"epoch"`
 	Teams     []TeamResult   `json:"teams,omitempty"`
 	Pareto    []ParetoResult `json:"pareto,omitempty"`
 	Cached    bool           `json:"cached"`
@@ -151,8 +156,9 @@ type query struct {
 	seed       int64
 }
 
-// normalize validates req against the graph and server defaults.
-func (s *Server) normalize(req *DiscoverRequest) (*query, *httpError) {
+// normalize validates req against the view's graph and the server
+// defaults.
+func (s *Server) normalize(v view, req *DiscoverRequest) (*query, *httpError) {
 	if len(req.Skills) == 0 {
 		return nil, errf(http.StatusBadRequest, "missing skills")
 	}
@@ -169,7 +175,7 @@ func (s *Server) normalize(req *DiscoverRequest) (*query, *httpError) {
 		if name == "" {
 			return nil, errf(http.StatusBadRequest, "empty skill name")
 		}
-		id, ok := s.g.SkillID(name)
+		id, ok := v.g.SkillID(name)
 		if !ok {
 			return nil, errf(http.StatusBadRequest, "unknown skill %q", name)
 		}
@@ -180,7 +186,7 @@ func (s *Server) normalize(req *DiscoverRequest) (*query, *httpError) {
 	}
 	sort.Slice(q.project, func(i, j int) bool { return q.project[i] < q.project[j] })
 	for _, id := range q.project {
-		q.names = append(q.names, s.g.SkillName(id))
+		q.names = append(q.names, v.g.SkillName(id))
 	}
 
 	q.methodName = req.Method
@@ -258,13 +264,24 @@ func (q *query) cacheKey() string {
 // batch endpoints. scanWorkers is the root-scan parallelism granted
 // to this one discovery.
 func (s *Server) discoverOne(ctx context.Context, req *DiscoverRequest, scanWorkers int) (*DiscoverResponse, *httpError) {
-	q, herr := s.normalize(req)
+	// Resolve the epoch once; the whole request — skill resolution,
+	// cache key, search, scoring — runs against this one snapshot.
+	v, herr := s.view()
+	if herr != nil {
+		s.metrics.record(methodLabel(req.Method), 0, true)
+		return nil, herr
+	}
+	q, herr := s.normalize(v, req)
 	if herr != nil {
 		s.metrics.record(methodLabel(req.Method), 0, true)
 		return nil, herr
 	}
 	start := time.Now()
-	key := q.cacheKey()
+	// Epoch-keyed cache entries: a mutation advances the epoch and
+	// thereby orphans every cached result of the old epoch, so a
+	// discover answer is never served from a dead epoch (the orphans
+	// age out of the LRU).
+	key := fmt.Sprintf("e%d|%s", v.epoch(), q.cacheKey())
 	// Singleflight: concurrent identical cache misses elect one leader
 	// whose worker computes and fills the cache; the rest wait on the
 	// leader's latch (bounded by their context and the request
@@ -315,7 +332,7 @@ func (s *Server) discoverOne(ctx context.Context, req *DiscoverRequest, scanWork
 			close(latch)
 		}
 	}
-	resp, herr := s.computeWithTimeout(ctx, q, key, scanWorkers, release)
+	resp, herr := s.computeWithTimeout(ctx, v, q, key, scanWorkers, release)
 	if herr != nil {
 		s.metrics.record(q.methodName, time.Since(start), true)
 		return nil, herr
@@ -332,7 +349,7 @@ func (s *Server) discoverOne(ctx context.Context, req *DiscoverRequest, scanWork
 // recomputing forever. The worker finalizes the response (ElapsedMS,
 // cache fill) before publishing it; afterwards the response is
 // immutable.
-func (s *Server) computeWithTimeout(ctx context.Context, q *query, key string, scanWorkers int, release func()) (*DiscoverResponse, *httpError) {
+func (s *Server) computeWithTimeout(ctx context.Context, v view, q *query, key string, scanWorkers int, release func()) (*DiscoverResponse, *httpError) {
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
 	type outcome struct {
@@ -343,7 +360,7 @@ func (s *Server) computeWithTimeout(ctx context.Context, q *query, key string, s
 	go func() {
 		defer release() // after the cache fill, so waiters re-read a hit
 		start := time.Now()
-		resp, herr := s.compute(q, scanWorkers)
+		resp, herr := s.compute(v, q, scanWorkers)
 		if herr == nil {
 			resp.ElapsedMS = msSince(start)
 			s.cache.Put(key, resp)
@@ -359,10 +376,10 @@ func (s *Server) computeWithTimeout(ctx context.Context, q *query, key string, s
 	}
 }
 
-// compute runs the selected discovery method against the shared graph
+// compute runs the selected discovery method against the view's graph
 // and indexes.
-func (s *Server) compute(q *query, scanWorkers int) (*DiscoverResponse, *httpError) {
-	p, err := s.paramsFor(q.gamma, q.lambda)
+func (s *Server) compute(v view, q *query, scanWorkers int) (*DiscoverResponse, *httpError) {
+	p, err := s.paramsFor(v, q.gamma, q.lambda)
 	if err != nil {
 		return nil, errf(http.StatusBadRequest, "%v", err)
 	}
@@ -372,6 +389,7 @@ func (s *Server) compute(q *query, scanWorkers int) (*DiscoverResponse, *httpErr
 		Gamma:  q.gamma,
 		Lambda: q.lambda,
 		K:      q.k,
+		Epoch:  v.epoch(),
 	}
 	switch q.methodName {
 	case "random":
@@ -379,44 +397,49 @@ func (s *Server) compute(q *query, scanWorkers int) (*DiscoverResponse, *httpErr
 		if err != nil {
 			return nil, discoveryError(err)
 		}
-		resp.Teams = []TeamResult{s.teamResult(tm, p)}
+		resp.Teams = []TeamResult{s.teamResult(v.g, tm, p)}
 	case "exact":
 		tm, err := core.Exact(p, q.project, core.ExactOptions{})
 		if err != nil {
 			return nil, discoveryError(err)
 		}
-		resp.Teams = []TeamResult{s.teamResult(tm, p)}
+		resp.Teams = []TeamResult{s.teamResult(v.g, tm, p)}
 	case "pareto":
-		front, err := core.ParetoFront(s.g, q.project, core.ParetoOptions{
+		front, err := core.ParetoFront(v.g, q.project, core.ParetoOptions{
 			// Route the sweep's per-γ indexes through the server's
 			// resident set so repeated pareto queries amortize the
-			// builds like every other method.
+			// builds like every other method. A nil oracle (index not
+			// yet current at this epoch) falls back to per-root
+			// Dijkstra inside the sweep.
 			IndexFor: func(p *transform.Params, m core.Method) oracle.Oracle {
-				return s.indexes.forMethod(p, m)
+				return s.indexes.forMethod(v, p, m)
 			},
 		})
 		if err != nil {
 			return nil, discoveryError(err)
 		}
 		for _, f := range front {
-			fp, err := s.paramsFor(f.Gamma, f.Lambda)
+			fp, err := s.paramsFor(v, f.Gamma, f.Lambda)
 			if err != nil {
 				return nil, errf(http.StatusInternalServerError, "%v", err)
 			}
 			resp.Pareto = append(resp.Pareto, ParetoResult{
 				CC: f.CC, CA: f.CA, SA: f.SA,
 				Gamma: f.Gamma, Lambda: f.Lambda,
-				Team: s.teamResult(f.Team, fp),
+				Team: s.teamResult(v.g, f.Team, fp),
 			})
 		}
 	default: // cc | ca-cc | sa-ca-cc
-		dist := s.indexes.forMethod(p, q.method)
+		// A nil oracle means no index is current at this epoch (a
+		// rebuild is in flight); TopKParallel then runs exact per-root
+		// Dijkstra — slower, but never a dead epoch's distances.
+		dist := s.indexes.forMethod(v, p, q.method)
 		teams, err := core.TopKParallel(p, q.method, q.project, q.k, scanWorkers, dist)
 		if err != nil {
 			return nil, discoveryError(err)
 		}
 		for _, tm := range teams {
-			resp.Teams = append(resp.Teams, s.teamResult(tm, p))
+			resp.Teams = append(resp.Teams, s.teamResult(v.g, tm, p))
 		}
 	}
 	return resp, nil
@@ -447,25 +470,26 @@ func discoveryError(err error) *httpError {
 }
 
 // teamResult serializes one team with member roles and all objective
-// scores under p.
-func (s *Server) teamResult(tm *team.Team, p *transform.Params) TeamResult {
+// scores under p, reading node records from the graph the team was
+// discovered on.
+func (s *Server) teamResult(g *expertgraph.Graph, tm *team.Team, p *transform.Params) TeamResult {
 	roles := make(map[expertgraph.NodeID][]string, len(tm.Assignment))
 	for sid, holder := range tm.Assignment {
-		roles[holder] = append(roles[holder], s.g.SkillName(sid))
+		roles[holder] = append(roles[holder], g.SkillName(sid))
 	}
 	for _, r := range roles {
 		sort.Strings(r)
 	}
 	out := TeamResult{
-		Root:    s.g.Name(tm.Root),
+		Root:    g.Name(tm.Root),
 		Size:    tm.Size(),
 		Members: make([]MemberResult, 0, len(tm.Nodes)),
 	}
 	for _, u := range tm.Nodes {
 		out.Members = append(out.Members, MemberResult{
-			Name:      s.g.Name(u),
-			Authority: s.g.Authority(u),
-			Pubs:      s.g.Pubs(u),
+			Name:      g.Name(u),
+			Authority: g.Authority(u),
+			Pubs:      g.Pubs(u),
 			Skills:    roles[u],
 		})
 	}
@@ -537,6 +561,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 type HealthResponse struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	Epoch         uint64  `json:"epoch"`
 	Graph         struct {
 		Nodes  int `json:"nodes"`
 		Edges  int `json:"edges"`
@@ -545,24 +570,57 @@ type HealthResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	resp := HealthResponse{Status: "ok"}
+	v, herr := s.view()
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	resp := HealthResponse{Status: "ok", Epoch: v.epoch()}
 	resp.UptimeSeconds = time.Since(s.metrics.start).Seconds()
-	resp.Graph.Nodes = s.g.NumNodes()
-	resp.Graph.Edges = s.g.NumEdges()
-	resp.Graph.Skills = s.g.NumSkills()
+	resp.Graph.Nodes = v.g.NumNodes()
+	resp.Graph.Edges = v.g.NumEdges()
+	resp.Graph.Skills = v.g.NumSkills()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// LiveStats is the live-mutation section of the /stats payload.
+type LiveStats struct {
+	Epoch          uint64 `json:"epoch"`
+	Nodes          int    `json:"nodes"`
+	Edges          int    `json:"edges"`
+	JournalRecords uint64 `json:"journal_records"`
+	JournalBytes   int64  `json:"journal_bytes"`
+	PendingRebuild bool   `json:"pending_rebuild"`
+	live.Counters
+	IncrementalRepairs uint64 `json:"incremental_repairs"`
+	FullRebuilds       uint64 `json:"full_rebuilds"`
 }
 
 // StatsResponse is the body of GET /stats.
 type StatsResponse struct {
 	MetricsSnapshot
 	Cache CacheStats `json:"cache"`
+	Live  LiveStats  `json:"live"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Snapshot()
+	records, bytes := s.store.JournalStats()
+	pending, repairs, rebuilds := s.indexes.stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		MetricsSnapshot: s.metrics.snapshot(),
 		Cache:           s.cache.Stats(),
+		Live: LiveStats{
+			Epoch:              snap.Epoch(),
+			Nodes:              snap.NumNodes(),
+			Edges:              snap.NumEdges(),
+			JournalRecords:     records,
+			JournalBytes:       bytes,
+			PendingRebuild:     pending,
+			Counters:           s.store.Counters(),
+			IncrementalRepairs: repairs,
+			FullRebuilds:       rebuilds,
+		},
 	})
 }
 

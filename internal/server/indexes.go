@@ -6,10 +6,14 @@ import (
 	"log"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"authteam/internal/core"
 	"authteam/internal/expertgraph"
+	"authteam/internal/live"
 	"authteam/internal/oracle"
 	"authteam/internal/pll"
 	"authteam/internal/transform"
@@ -24,28 +28,57 @@ const maxResidentIndexes = 8
 
 // indexSet owns the 2-hop cover indexes the server queries. Building
 // one is the expensive amortized step of the paper (§4.1), so the set
-// memoizes per weight-function key and optionally persists each index
-// next to the graph file for instant reloads on restart.
+// memoizes per weight-function key, carries resident indexes across
+// graph epochs with incremental repair (live.MaintainIndex), and
+// optionally persists each index next to the graph file for instant
+// reloads on restart.
+//
+// Epoch discipline: every lookup is against one snapshot view, and the
+// returned oracle (when non-nil) answers distances for exactly that
+// epoch. A lookup that cannot be satisfied without a full rebuild
+// kicks the rebuild asynchronously and returns nil — the discovery
+// layer then falls back to exact per-root Dijkstra, so queries never
+// see distances from a dead epoch.
 type indexSet struct {
-	g *expertgraph.Graph
 	// base is the persistence path prefix ("" disables persistence);
-	// the index for key k lives at <base>.pll-<k>.
+	// the index for key k lives at <base>.pll-<k>, with the epoch it
+	// was built at in the <base>.pll-<k>.epoch sidecar.
 	base string
+	// store anchors persisted indexes: a file saved at epoch E is
+	// thawed against the store's reconstructed epoch-E snapshot and
+	// repaired forward to the serving epoch.
+	store *live.Store
+	// repairBudget caps the delta length incremental repair accepts.
+	repairBudget int
 
 	mu      sync.Mutex
-	oracles map[string]*oracle.PLLOracle
-	// building holds one latch per in-flight build so a slow build for
-	// a new key never blocks lookups of resident indexes, and
-	// concurrent requests for the same missing key build it once.
+	entries map[string]*indexEntry
+	// building holds one latch per in-flight build/repair. Requests
+	// finding a latch AND a resident (stale) entry return immediately
+	// with nil; requests finding a latch and no entry (cold start)
+	// wait, preserving the original build-once behavior.
 	building map[string]chan struct{}
+
+	pending  atomic.Int32  // in-flight async rebuilds
+	repairs  atomic.Uint64 // incremental repairs applied
+	rebuilds atomic.Uint64 // full builds (cold, stale-load, async)
 }
 
-func newIndexSet(g *expertgraph.Graph, base string) *indexSet {
+// indexEntry pairs a resident oracle with the snapshot it is exact
+// for. The snapshot is retained so the next epoch's repair can diff
+// against it (mutation window, normalization bounds).
+type indexEntry struct {
+	oracle *oracle.PLLOracle
+	snap   *live.Snapshot
+}
+
+func newIndexSet(base string, store *live.Store, repairBudget int) *indexSet {
 	return &indexSet{
-		g:        g,
-		base:     base,
-		oracles:  make(map[string]*oracle.PLLOracle),
-		building: make(map[string]chan struct{}),
+		base:         base,
+		store:        store,
+		repairBudget: repairBudget,
+		entries:      make(map[string]*indexEntry),
+		building:     make(map[string]chan struct{}),
 	}
 }
 
@@ -58,58 +91,124 @@ func indexKey(m core.Method, gamma float64) string {
 	return fmt.Sprintf("g%.9g", gamma)
 }
 
-// forMethod returns the (possibly cached) index oracle serving method m
-// under params p, building — and persisting, when enabled — on first
-// use. Safe for concurrent use: resident keys are served with a map
-// lookup, and a missing key is built exactly once while other keys
-// remain available.
-func (s *indexSet) forMethod(p *transform.Params, m core.Method) *oracle.PLLOracle {
+// stats reports the set's maintenance counters.
+func (s *indexSet) stats() (pending bool, repairs, rebuilds uint64) {
+	return s.pending.Load() > 0, s.repairs.Load(), s.rebuilds.Load()
+}
+
+// forMethod returns an index oracle serving method m under params p at
+// the view's epoch, or nil when no epoch-exact index is resident yet
+// (the caller must then answer with per-root Dijkstra). Resident
+// epoch-exact keys are served with a map lookup; a stale resident key
+// is repaired in place when the mutation delta allows it and rebuilt
+// asynchronously otherwise; a missing key is built synchronously,
+// exactly once.
+func (s *indexSet) forMethod(v view, p *transform.Params, m core.Method) oracle.Oracle {
 	key := indexKey(m, p.Gamma)
 	s.mu.Lock()
 	for {
-		if o, ok := s.oracles[key]; ok {
+		if e, ok := s.entries[key]; ok && e.snap.Epoch() == v.epoch() {
 			s.mu.Unlock()
-			return o
+			return e.oracle
 		}
 		latch, inflight := s.building[key]
 		if !inflight {
 			break
 		}
+		if _, ok := s.entries[key]; ok {
+			// A repair/rebuild is in flight; don't serve the dead
+			// epoch and don't queue behind the refresh.
+			s.mu.Unlock()
+			return nil
+		}
 		s.mu.Unlock()
 		<-latch
 		s.mu.Lock()
 	}
+	stale := s.entries[key]
 	latch := make(chan struct{})
 	s.building[key] = latch
 	s.mu.Unlock()
 
-	o := s.load(key)
-	if o != nil && !s.verifyIndex(o, p, m) {
-		log.Printf("server: ignoring stale index %s (distances disagree with the graph)", s.path(key))
-		o = nil
-	}
-	if o == nil {
-		o = core.BuildIndexOracle(p, m)
-		s.save(key, o.Index())
+	install := func(e *indexEntry) {
+		s.mu.Lock()
+		if e != nil {
+			// Evict a sibling only when this key actually grows the
+			// map; replacing a resident key in place must not cost an
+			// unrelated index its slot.
+			if _, resident := s.entries[key]; !resident && len(s.entries) >= maxResidentIndexes {
+				for k := range s.entries {
+					if k != key {
+						delete(s.entries, k)
+						break
+					}
+				}
+			}
+			s.entries[key] = e
+		}
+		delete(s.building, key)
+		s.mu.Unlock()
+		close(latch)
 	}
 
-	s.mu.Lock()
-	if len(s.oracles) >= maxResidentIndexes {
-		for k := range s.oracles {
-			delete(s.oracles, k)
-			break
+	if stale == nil {
+		// Cold start for this key: disk, else a synchronous build.
+		o := s.load(key, v, p, m)
+		if o == nil {
+			o = core.BuildIndexOracle(p, m)
+			s.rebuilds.Add(1)
+			s.save(key, o.Index(), v.epoch())
+		}
+		install(&indexEntry{oracle: o, snap: v.snap})
+		return o
+	}
+
+	// A view older than the resident entry (a slow request that
+	// resolved its snapshot before a sibling refreshed the index) must
+	// not rebuild for its already-dead epoch, let alone overwrite the
+	// newer entry: answer it with per-root Dijkstra and move on.
+	if stale.snap.Epoch() > v.epoch() {
+		install(nil)
+		return nil
+	}
+
+	// Stale resident index: prefer carrying it forward incrementally.
+	var weight live.WeightFunc
+	if m != core.CC {
+		weight = p.EdgeWeight()
+	}
+	if s.repairBudget >= 0 {
+		if ix, ok := live.MaintainIndex(stale.oracle.Index(), stale.snap, v.snap, weight, s.repairBudget); ok {
+			o := oracle.NewPLL(ix)
+			s.repairs.Add(1)
+			install(&indexEntry{oracle: o, snap: v.snap})
+			return o
 		}
 	}
-	s.oracles[key] = o
-	delete(s.building, key)
-	s.mu.Unlock()
-	close(latch)
-	return o
+
+	// Not repairable (authority update, normalization shift, or past
+	// the staleness budget): rebuild off the request path and serve
+	// this query — and every query until the build lands — with exact
+	// per-root Dijkstra.
+	s.pending.Add(1)
+	go func() {
+		defer s.pending.Add(-1)
+		o := core.BuildIndexOracle(p, m)
+		s.rebuilds.Add(1)
+		s.save(key, o.Index(), v.epoch())
+		install(&indexEntry{oracle: o, snap: v.snap})
+	}()
+	return nil
 }
 
-// load reads a previously persisted index for key, discarding it when
-// it does not match the loaded graph (e.g. the graph file was rebuilt).
-func (s *indexSet) load(key string) *oracle.PLLOracle {
+// load reads a previously persisted index for key. The index is
+// anchored at the epoch recorded in its sidecar: when the serving
+// epoch is ahead (journal replayed more mutations since the save), the
+// loaded index is repaired across the delta before use, or discarded
+// when the delta is not repairable — a persisted index must never be
+// served at an epoch it does not describe, and the final distance
+// spot-check guards against a silently regenerated graph file.
+func (s *indexSet) load(key string, v view, p *transform.Params, m core.Method) *oracle.PLLOracle {
 	if s.base == "" {
 		return nil
 	}
@@ -121,33 +220,79 @@ func (s *indexSet) load(key string) *oracle.PLLOracle {
 		}
 		return nil
 	}
-	if ix.NumNodes() != s.g.NumNodes() {
+	savedEpoch := s.loadEpoch(key)
+	if savedEpoch != v.epoch() {
+		from, ok := s.store.SnapshotAt(savedEpoch)
+		if !ok {
+			log.Printf("server: ignoring index %s (saved at epoch %d, store at %d)",
+				path, savedEpoch, v.epoch())
+			return nil
+		}
+		if ix.NumNodes() != from.NumNodes() {
+			log.Printf("server: ignoring stale index %s (%d nodes, epoch %d had %d)",
+				path, ix.NumNodes(), savedEpoch, from.NumNodes())
+			return nil
+		}
+		var weight live.WeightFunc
+		if m != core.CC {
+			weight = p.EdgeWeight()
+		}
+		repaired, ok := live.MaintainIndex(ix, from, v.snap, weight, s.repairBudget)
+		if !ok {
+			log.Printf("server: ignoring index %s (epoch %d delta to %d not repairable)",
+				path, savedEpoch, v.epoch())
+			return nil
+		}
+		s.repairs.Add(1)
+		ix = repaired
+	}
+	if ix.NumNodes() != v.g.NumNodes() {
 		log.Printf("server: ignoring stale index %s (%d nodes, graph has %d)",
-			path, ix.NumNodes(), s.g.NumNodes())
+			path, ix.NumNodes(), v.g.NumNodes())
 		return nil
 	}
-	log.Printf("server: loaded index %s: %v", path, ix.Stats())
-	return oracle.NewPLL(ix)
+	o := oracle.NewPLL(ix)
+	if !s.verifyIndex(o, v, p, m) {
+		log.Printf("server: ignoring stale index %s (distances disagree with the graph)", path)
+		return nil
+	}
+	log.Printf("server: loaded index %s at epoch %d: %v", path, v.epoch(), ix.Stats())
+	return o
 }
 
-// verifyIndex spot-checks a loaded index against the live graph: one
+// loadEpoch reads the epoch sidecar of a persisted index; a missing or
+// unreadable sidecar anchors the file at epoch 0 (the base graph),
+// which is what pre-sidecar deployments persisted.
+func (s *indexSet) loadEpoch(key string) uint64 {
+	buf, err := os.ReadFile(s.epochPath(key))
+	if err != nil {
+		return 0
+	}
+	epoch, err := strconv.ParseUint(strings.TrimSpace(string(buf)), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return epoch
+}
+
+// verifyIndex spot-checks a loaded index against the view's graph: one
 // reference SSSP from the highest-degree node, compared at sampled
 // targets. Node counts alone cannot catch a regenerated graph with the
 // same size but different edges or weights, which would silently make
 // every distance wrong. Costs one Dijkstra per load — noise next to a
 // rebuild.
-func (s *indexSet) verifyIndex(o *oracle.PLLOracle, p *transform.Params, m core.Method) bool {
-	n := s.g.NumNodes()
+func (s *indexSet) verifyIndex(o *oracle.PLLOracle, v view, p *transform.Params, m core.Method) bool {
+	n := v.g.NumNodes()
 	if n == 0 {
 		return true
 	}
 	src := expertgraph.NodeID(0)
 	for u := 1; u < n; u++ {
-		if s.g.Degree(expertgraph.NodeID(u)) > s.g.Degree(src) {
+		if v.g.Degree(expertgraph.NodeID(u)) > v.g.Degree(src) {
 			src = expertgraph.NodeID(u)
 		}
 	}
-	ws := expertgraph.NewDijkstraWorkspace(s.g)
+	ws := expertgraph.NewDijkstraWorkspace(v.g)
 	var sssp *expertgraph.SSSP
 	if m == core.CC {
 		sssp = ws.Run(src)
@@ -155,8 +300,8 @@ func (s *indexSet) verifyIndex(o *oracle.PLLOracle, p *transform.Params, m core.
 		sssp = ws.RunWeighted(src, p.EdgeWeight())
 	}
 	step := n/64 + 1
-	for v := 0; v < n; v += step {
-		if !distClose(o.Dist(src, expertgraph.NodeID(v)), sssp.Dist[v]) {
+	for t := 0; t < n; t += step {
+		if !distClose(o.Dist(src, expertgraph.NodeID(t)), sssp.Dist[t]) {
 			return false
 		}
 	}
@@ -173,9 +318,12 @@ func distClose(a, b float64) bool {
 	return d <= 1e-9 || d <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
 }
 
-// save persists a freshly built index; failures are logged and
-// non-fatal because persistence is purely a restart optimization.
-func (s *indexSet) save(key string, ix *pll.Index) {
+// save persists a freshly built index with its epoch sidecar; failures
+// are logged and non-fatal because persistence is purely a restart
+// optimization. Repaired indexes are not persisted — the journal
+// already makes their epochs reproducible, and a restart replays it
+// and repairs again from the saved anchor.
+func (s *indexSet) save(key string, ix *pll.Index, epoch uint64) {
 	if s.base == "" {
 		return
 	}
@@ -184,9 +332,16 @@ func (s *indexSet) save(key string, ix *pll.Index) {
 		log.Printf("server: persist index %s: %v", path, err)
 		return
 	}
-	log.Printf("server: persisted index %s: %v", path, ix.Stats())
+	if err := os.WriteFile(s.epochPath(key), []byte(strconv.FormatUint(epoch, 10)+"\n"), 0o644); err != nil {
+		log.Printf("server: persist index epoch %s: %v", s.epochPath(key), err)
+	}
+	log.Printf("server: persisted index %s at epoch %d: %v", path, epoch, ix.Stats())
 }
 
 func (s *indexSet) path(key string) string {
 	return s.base + ".pll-" + key
+}
+
+func (s *indexSet) epochPath(key string) string {
+	return s.path(key) + ".epoch"
 }

@@ -24,13 +24,33 @@ type metrics struct {
 	window   []float64 // ring buffer of latencies in milliseconds
 	next     int
 	filled   bool
+
+	// Live-mutation counters, keyed by op (add_node, add_edge,
+	// update_node). Rejected mutations count toward mutationErrs only.
+	mutations    uint64
+	mutationErrs uint64
+	byOp         map[string]uint64
 }
 
 func newMetrics() *metrics {
 	return &metrics{
 		start:    time.Now(),
 		byMethod: make(map[string]uint64),
+		byOp:     make(map[string]uint64),
 	}
+}
+
+// recordMutation folds one /v1/graph mutation attempt into the
+// counters.
+func (m *metrics) recordMutation(op string, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if failed {
+		m.mutationErrs++
+		return
+	}
+	m.mutations++
+	m.byOp[op]++
 }
 
 // record folds one completed discovery into the counters. Failed
@@ -70,24 +90,33 @@ type LatencyStats struct {
 
 // MetricsSnapshot is the query-counter section of the /stats payload.
 type MetricsSnapshot struct {
-	UptimeSeconds float64           `json:"uptime_seconds"`
-	Queries       uint64            `json:"queries"`
-	Errors        uint64            `json:"errors"`
-	ByMethod      map[string]uint64 `json:"by_method"`
-	Latency       LatencyStats      `json:"latency"`
+	UptimeSeconds  float64           `json:"uptime_seconds"`
+	Queries        uint64            `json:"queries"`
+	Errors         uint64            `json:"errors"`
+	ByMethod       map[string]uint64 `json:"by_method"`
+	Mutations      uint64            `json:"mutations"`
+	MutationErrors uint64            `json:"mutation_errors"`
+	ByOp           map[string]uint64 `json:"by_op"`
+	Latency        LatencyStats      `json:"latency"`
 }
 
 func (m *metrics) snapshot() MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	snap := MetricsSnapshot{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		Queries:       m.total,
-		Errors:        m.errors,
-		ByMethod:      make(map[string]uint64, len(m.byMethod)),
+		UptimeSeconds:  time.Since(m.start).Seconds(),
+		Queries:        m.total,
+		Errors:         m.errors,
+		ByMethod:       make(map[string]uint64, len(m.byMethod)),
+		Mutations:      m.mutations,
+		MutationErrors: m.mutationErrs,
+		ByOp:           make(map[string]uint64, len(m.byOp)),
 	}
 	for k, v := range m.byMethod {
 		snap.ByMethod[k] = v
+	}
+	for k, v := range m.byOp {
+		snap.ByOp[k] = v
 	}
 	snap.Latency.Count = m.welford.N()
 	snap.Latency.MeanMS = m.welford.Mean()

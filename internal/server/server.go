@@ -8,16 +8,27 @@
 //
 // Endpoints:
 //
-//	POST /v1/discover        one project → top-k teams
-//	POST /v1/discover/batch  many projects, fanned out over workers
-//	GET  /healthz            liveness + graph summary
-//	GET  /stats              query counters, latency percentiles,
-//	                         cache hit rate
+//	POST  /v1/discover         one project → top-k teams
+//	POST  /v1/discover/batch   many projects, fanned out over workers
+//	POST  /v1/graph/nodes      add an expert (live mutation)
+//	POST  /v1/graph/edges      add a collaboration (live mutation)
+//	PATCH /v1/graph/nodes/{id} update authority / grant skills
+//	GET   /healthz             liveness + graph summary + epoch
+//	GET   /stats               query counters, latency percentiles,
+//	                           cache hit rate, live-mutation state
 //
-// Identical requests are served from an LRU result cache keyed on the
-// normalized project and full parameterization; every computation is
-// bounded by a per-request timeout and the daemon drains in-flight
-// requests on shutdown.
+// The graph is served through the live-mutation overlay
+// (internal/live): every request resolves one epoch snapshot and runs
+// entirely against it (snapshot isolation), mutations advance the
+// epoch atomically, and the result cache is epoch-keyed so a discover
+// answer is never served from a dead epoch. The 2-hop cover indexes
+// are carried across epochs by incremental repair (resumed pruned
+// Dijkstras); when a delta is not repairable the index is rebuilt
+// asynchronously while affected queries fall back to exact per-root
+// Dijkstra. Identical requests are served from an LRU result cache
+// keyed on the epoch, the normalized project and the full
+// parameterization; every computation is bounded by a per-request
+// timeout and the daemon drains in-flight requests on shutdown.
 package server
 
 import (
@@ -29,6 +40,7 @@ import (
 	"time"
 
 	"authteam/internal/expertgraph"
+	"authteam/internal/live"
 	"authteam/internal/transform"
 )
 
@@ -43,6 +55,17 @@ type Config struct {
 	GraphPath string
 	// Graph serves an already-loaded graph (tests, embedding).
 	Graph *expertgraph.Graph
+	// JournalPath enables the write-ahead mutation journal. An existing
+	// journal is replayed onto the base graph at startup, restoring the
+	// pre-restart epoch. Empty disables journaling (mutations are then
+	// lost on restart).
+	JournalPath string
+	// JournalSync fsyncs the journal after every mutation.
+	JournalSync bool
+	// RepairBudget caps how many delta mutations an index is carried
+	// across by incremental repair before a full rebuild is preferred
+	// (default 512; negative disables incremental repair).
+	RepairBudget int
 	// NoPersistIndex disables writing built 2-hop covers next to the
 	// graph file.
 	NoPersistIndex bool
@@ -76,6 +99,9 @@ func (c Config) withDefaults() Config {
 	if c.Workers == 0 {
 		c.Workers = runtime.NumCPU()
 	}
+	if c.RepairBudget == 0 {
+		c.RepairBudget = 512
+	}
 	return c
 }
 
@@ -83,17 +109,18 @@ func (c Config) withDefaults() Config {
 // is safe for concurrent use; create with New.
 type Server struct {
 	cfg     Config
-	g       *expertgraph.Graph
+	store   *live.Store
 	indexes *indexSet
 	cache   *lruCache
 	metrics *metrics
 	// gamma and lambda are the resolved request defaults.
 	gamma, lambda float64
 
-	// params memoizes transform fits per (γ, λ). Fitting is O(n), so
-	// the map is simply cleared if a parameter sweep overgrows it.
+	// params memoizes transform fits per (γ, λ, epoch). Fitting is
+	// O(n), so the map is simply cleared if a parameter sweep (or a
+	// long mutation stream) overgrows it.
 	pmu    sync.Mutex
-	params map[[2]float64]*transform.Params
+	params map[paramsKey]*transform.Params
 
 	// flights holds one latch per cache key being computed, so
 	// concurrent identical requests run the discovery once.
@@ -101,9 +128,26 @@ type Server struct {
 	flights  map[string]chan struct{}
 }
 
-// New loads (or adopts) the graph and prepares the serving state. With
-// cfg.WarmIndex it also builds the default-γ index before returning,
-// so the first request pays no preprocessing latency.
+type paramsKey struct {
+	gamma, lambda float64
+	epoch         uint64
+}
+
+// view is one request's consistent slice of the world: an epoch
+// snapshot and its materialized graph. Everything the request touches
+// — skill resolution, search, scoring, serialization — reads this
+// graph, never "the latest" one.
+type view struct {
+	snap *live.Snapshot
+	g    *expertgraph.Graph
+}
+
+func (v view) epoch() uint64 { return v.snap.Epoch() }
+
+// New loads (or adopts) the graph, replays the journal if configured,
+// and prepares the serving state. With cfg.WarmIndex it also builds
+// the default-γ index before returning, so the first request pays no
+// preprocessing latency.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	g := cfg.Graph
@@ -117,19 +161,23 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
+	store, err := live.Open(g, live.Config{JournalPath: cfg.JournalPath, Sync: cfg.JournalSync})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	base := cfg.GraphPath
 	if cfg.NoPersistIndex {
 		base = ""
 	}
 	s := &Server{
 		cfg:     cfg,
-		g:       g,
-		indexes: newIndexSet(g, base),
+		store:   store,
+		indexes: newIndexSet(base, store, cfg.RepairBudget),
 		cache:   newLRU(cfg.CacheSize),
 		metrics: newMetrics(),
 		gamma:   0.6,
 		lambda:  0.6,
-		params:  make(map[[2]float64]*transform.Params),
+		params:  make(map[paramsKey]*transform.Params),
 		flights: make(map[string]chan struct{}),
 	}
 	if cfg.Gamma != nil {
@@ -142,27 +190,54 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: default γ=%v λ=%v out of [0,1]", s.gamma, s.lambda)
 	}
 	if cfg.WarmIndex {
-		p, err := s.paramsFor(s.gamma, s.lambda)
+		v, herr := s.view()
+		if herr != nil {
+			return nil, fmt.Errorf("server: %s", herr.msg)
+		}
+		p, err := s.paramsFor(v, s.gamma, s.lambda)
 		if err != nil {
 			return nil, err
 		}
-		s.indexes.forMethod(p, defaultMethod)
+		s.indexes.forMethod(v, p, defaultMethod)
 	}
 	return s, nil
 }
 
-// Graph returns the expert network being served.
-func (s *Server) Graph() *expertgraph.Graph { return s.g }
+// Store exposes the live mutation overlay (for embedding and tests).
+func (s *Server) Store() *live.Store { return s.store }
 
-// paramsFor returns the memoized transform fit for (γ, λ).
-func (s *Server) paramsFor(gamma, lambda float64) (*transform.Params, error) {
-	key := [2]float64{gamma, lambda}
+// Graph returns the expert network at the current epoch.
+func (s *Server) Graph() *expertgraph.Graph {
+	g, err := s.store.Snapshot().Graph()
+	if err != nil {
+		// Mutations are validated before they are admitted, so a
+		// snapshot always materializes; this keeps the accessor simple
+		// for logging call sites.
+		panic(err)
+	}
+	return g
+}
+
+// view resolves the current epoch snapshot and materializes its graph.
+func (s *Server) view() (view, *httpError) {
+	snap := s.store.Snapshot()
+	g, err := snap.Graph()
+	if err != nil {
+		return view{}, errf(http.StatusInternalServerError, "materialize epoch %d: %v", snap.Epoch(), err)
+	}
+	return view{snap: snap, g: g}, nil
+}
+
+// paramsFor returns the memoized transform fit for (γ, λ) at the
+// view's epoch.
+func (s *Server) paramsFor(v view, gamma, lambda float64) (*transform.Params, error) {
+	key := paramsKey{gamma: gamma, lambda: lambda, epoch: v.epoch()}
 	s.pmu.Lock()
 	defer s.pmu.Unlock()
 	if p, ok := s.params[key]; ok {
 		return p, nil
 	}
-	p, err := transform.Fit(s.g, gamma, lambda, transform.Options{Normalize: true})
+	p, err := transform.Fit(v.g, gamma, lambda, transform.Options{Normalize: true})
 	if err != nil {
 		return nil, err
 	}
@@ -179,10 +254,17 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/discover", s.handleDiscover)
 	mux.HandleFunc("POST /v1/discover/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/graph/nodes", s.handleAddNode)
+	mux.HandleFunc("POST /v1/graph/edges", s.handleAddEdge)
+	mux.HandleFunc("PATCH /v1/graph/nodes/{id}", s.handleUpdateNode)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
 }
+
+// Close releases the mutation journal. Serving (reads) keeps working;
+// further mutations fail.
+func (s *Server) Close() error { return s.store.Close() }
 
 // ListenAndServe serves until ctx is cancelled, then shuts down
 // gracefully, draining in-flight requests for up to 10 seconds.
@@ -200,6 +282,10 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	case <-ctx.Done():
 		drain, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		return srv.Shutdown(drain)
+		err := srv.Shutdown(drain)
+		if cerr := s.Close(); err == nil {
+			err = cerr
+		}
+		return err
 	}
 }

@@ -120,7 +120,7 @@ func (p *Params) PathWeight(path []expertgraph.NodeID) float64 {
 	for i := 1; i < len(path); i++ {
 		w, ok := p.g.EdgeWeight(path[i-1], path[i])
 		if !ok {
-			return expertgraph.Infinity
+			return expertgraph.Infinity()
 		}
 		total += ew(path[i-1], path[i], w)
 	}
