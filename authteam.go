@@ -52,6 +52,9 @@ import (
 type (
 	// Graph is an immutable expert network.
 	Graph = expertgraph.Graph
+	// GraphView is the read-only surface every discovery algorithm
+	// consumes; *Graph and the live mutation overlay both satisfy it.
+	GraphView = expertgraph.GraphView
 	// GraphBuilder assembles a Graph.
 	GraphBuilder = expertgraph.Builder
 	// NodeID identifies an expert.
@@ -121,14 +124,23 @@ type Options struct {
 	// are replayed onto the graph by the next New call with the same
 	// path.
 	Journal string
+	// CompactThreshold folds the journal into a persisted base graph
+	// (Journal+".base") at client creation when at least this many
+	// records had to be replayed, keeping future replays O(recent
+	// churn). 0 disables auto-compaction; CompactJournal folds on
+	// demand.
+	CompactThreshold int
 }
 
-// clientState is the per-epoch derived serving state: the materialized
-// graph, the fitted parameterization and (optionally) the 2-hop cover
-// indexes. It is immutable once published.
+// clientState is the per-epoch derived serving state: the epoch's
+// zero-copy graph view, the fitted parameterization and (optionally)
+// the 2-hop cover indexes. It is immutable once published. No graph is
+// materialized to serve queries — the view reads through the base CSR
+// plus the mutation delta; only a full index rebuild (and Graph())
+// materializes.
 type clientState struct {
 	snap   *live.Snapshot
-	g      *Graph
+	g      GraphView
 	params *transform.Params
 	rawIdx *oracle.PLLOracle // nil unless BuildIndex
 	gIdx   *oracle.PLLOracle
@@ -161,7 +173,7 @@ type Client struct {
 
 // New creates a client over g.
 func New(g *Graph, opt Options) (*Client, error) {
-	store, err := live.Open(g, live.Config{JournalPath: opt.Journal})
+	store, err := live.Open(g, live.Config{JournalPath: opt.Journal, CompactThreshold: opt.CompactThreshold})
 	if err != nil {
 		return nil, err
 	}
@@ -217,12 +229,11 @@ func (c *Client) state() (*clientState, error) {
 
 // derive computes the full serving state for the store's current
 // epoch, carrying old's indexes forward incrementally when possible.
+// The state reads through the epoch's overlay view; nothing is
+// materialized unless an index must be rebuilt from scratch.
 func (c *Client) derive(old *clientState) (*clientState, error) {
 	snap := c.store.Snapshot()
-	g, err := snap.Graph()
-	if err != nil {
-		return nil, err
-	}
+	g := snap.View()
 	p, err := transform.Fit(g, c.opt.Gamma, c.opt.Lambda, transform.Options{Normalize: !c.opt.NoNormalize})
 	if err != nil {
 		return nil, err
@@ -254,13 +265,39 @@ func (c *Client) refreshIndex(old *clientState, snap *live.Snapshot,
 	return oracle.BuildPLL(g, oracle.WeightFunc(weight))
 }
 
-// Graph returns the expert network at the current epoch.
+// Graph returns the expert network at the current epoch, materializing
+// it if this epoch was not materialized before (queries do not need
+// this — they read the epoch's view — so the cost is paid only by
+// callers that want an actual *Graph, e.g. to persist it).
 func (c *Client) Graph() *Graph {
 	st, err := c.state()
 	if err != nil {
 		return nil
 	}
+	g, err := st.snap.Graph()
+	if err != nil {
+		return nil
+	}
+	return g
+}
+
+// View returns the read-only graph view at the current epoch without
+// materializing anything.
+func (c *Client) View() GraphView {
+	st, err := c.state()
+	if err != nil {
+		return nil
+	}
 	return st.g
+}
+
+// CompactJournal folds the write-ahead journal into a persisted base
+// graph (Journal+".base") so the next New with the same journal path
+// replays only mutations applied after the fold. It fails on clients
+// opened without a journal.
+func (c *Client) CompactJournal() error {
+	_, err := c.store.Compact()
+	return err
 }
 
 // Epoch returns the number of mutations applied since the base graph.

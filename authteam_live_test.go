@@ -234,3 +234,54 @@ func TestClientJournalReplay(t *testing.T) {
 		t.Fatalf("replayed expert not served: %v", names)
 	}
 }
+
+func TestClientJournalCompaction(t *testing.T) {
+	g := liveBase(t)
+	journal := filepath.Join(t.TempDir(), "client.wal")
+	c, err := authteam.New(g, authteam.Options{Gamma: 0.6, Lambda: 0.6, Journal: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.AddExpert("kai", 15, "golang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddCollaboration(id, 0, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CompactJournal(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-compaction mutations land in the truncated journal.
+	id2, err := c.AddExpert("lee", 9, "rust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddCollaboration(id2, id, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	want := c.Epoch()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the compacted base is adopted, the suffix replayed, and
+	// auto-compaction (threshold 1 ≤ the 2-record suffix) folds again.
+	c2, err := authteam.New(g, authteam.Options{Gamma: 0.6, Lambda: 0.6, Journal: journal, CompactThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Epoch() != want {
+		t.Fatalf("epoch after compacted replay %d, want %d", c2.Epoch(), want)
+	}
+	for _, sk := range []string{"golang", "rust"} {
+		tm, err := c2.BestTeam(authteam.CC, []string{sk})
+		if err != nil {
+			t.Fatalf("%s: %v", sk, err)
+		}
+		if tm.Size() != 1 {
+			t.Fatalf("%s team: %+v", sk, tm)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Overlay-serving benchmarks: the perf evidence for the
+// zero-materialization read path. Under a write-heavy workload every
+// discover lands on a brand-new epoch, which is the worst case for
+// epoch resolution — the old serving path paid a full graph
+// materialization (thaw + delta replay, O(n+m) time and bytes) per
+// queried epoch, the overlay path pays O(|delta|).
+//
+// BenchmarkDiscoverViewServing/overlay       discover via Snapshot.View()
+// BenchmarkDiscoverViewServing/materialized  discover via Snapshot.Graph()
+//
+// Each mode emits a one-line BENCH_view.json record with the discover
+// p50/p99 and the bytes allocated per epoch resolution, and the
+// overlay mode asserts the store-level materialization counter stayed
+// at zero.
+package authteam_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"authteam/internal/core"
+	"authteam/internal/expertgraph"
+	"authteam/internal/live"
+	"authteam/internal/stats"
+	"authteam/internal/transform"
+)
+
+func emitBenchView(name string, fields map[string]any) {
+	fields["bench"] = name
+	buf, _ := json.Marshal(fields)
+	fmt.Printf("BENCH_view.json %s\n", buf)
+}
+
+func BenchmarkDiscoverViewServing(b *testing.B) {
+	benchSetup(b)
+	project := benchProj[4]
+
+	run := func(b *testing.B, mode string, resolve func(*live.Snapshot) (expertgraph.GraphView, error)) {
+		st, err := live.Open(benchG, live.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		rng := rand.New(rand.NewSource(41))
+		pairs := freshPairs(benchG, rng, 100_000)
+
+		lat := make([]float64, 0, 256)
+		var resolveBytes uint64
+		var ms0, ms1 runtime.MemStats
+		epochs := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// One write per query: every discover resolves a fresh epoch.
+			pr := pairs[i%len(pairs)]
+			_, _ = st.AddCollaboration(pr[0], pr[1], 0.05+0.9*rng.Float64())
+
+			t0 := time.Now()
+			snap := st.Snapshot()
+			runtime.ReadMemStats(&ms0)
+			g, err := resolve(snap)
+			runtime.ReadMemStats(&ms1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resolveBytes += ms1.TotalAlloc - ms0.TotalAlloc
+			epochs++
+
+			p, err := transform.Fit(g, 0.6, 0.6, transform.Options{Normalize: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			teams, err := core.NewDiscoverer(p, core.SACACC).TopK(project, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(teams) == 0 {
+				b.Fatal("no team")
+			}
+			lat = append(lat, float64(time.Since(t0))/float64(time.Millisecond))
+		}
+		b.StopTimer()
+
+		if mode == "overlay" && st.Materializations() != 0 {
+			b.Fatalf("overlay serving materialized %d graphs, want 0", st.Materializations())
+		}
+		p50 := stats.Percentile(lat, 50)
+		p99 := stats.Percentile(lat, 99)
+		perEpoch := float64(resolveBytes) / float64(epochs)
+		b.ReportMetric(p50, "p50-ms")
+		b.ReportMetric(perEpoch, "resolve-B/epoch")
+		emitBenchView("discover_view_serving", map[string]any{
+			"mode":                    mode,
+			"queries":                 b.N,
+			"p50_ms":                  p50,
+			"p99_ms":                  p99,
+			"resolve_bytes_per_epoch": perEpoch,
+			"materializations":        st.Materializations(),
+			"final_epoch":             st.Epoch(),
+		})
+	}
+
+	b.Run("overlay", func(b *testing.B) {
+		run(b, "overlay", func(snap *live.Snapshot) (expertgraph.GraphView, error) {
+			return snap.View(), nil
+		})
+	})
+	b.Run("materialized", func(b *testing.B) {
+		run(b, "materialized", func(snap *live.Snapshot) (expertgraph.GraphView, error) {
+			return snap.Graph()
+		})
+	})
+}

@@ -8,7 +8,9 @@
 //	teamdisc -graph graph.bin -skills "analytics,matrix,communities" \
 //	         -method sa-ca-cc -gamma 0.6 -lambda 0.6 -k 5
 //	teamdisc -graph graph.bin -skills "query,indexing" -method pareto
-//	teamdisc serve -graph graph.bin -addr :7411 -journal graph.wal
+//	teamdisc serve -graph graph.bin -addr :7411 -journal graph.wal \
+//	         -compact-threshold 100000
+//	teamdisc compact -graph graph.bin -journal graph.wal
 package main
 
 import (
@@ -19,12 +21,14 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
 
 	"authteam/internal/core"
 	"authteam/internal/expertgraph"
+	"authteam/internal/live"
 	"authteam/internal/oracle"
 	"authteam/internal/server"
 	"authteam/internal/team"
@@ -32,11 +36,53 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		runServe(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			runServe(os.Args[2:])
+			return
+		case "compact":
+			runCompact(os.Args[2:])
+			return
+		}
 	}
 	runQuery(os.Args[1:])
+}
+
+// runCompact folds a mutation journal into its persisted base graph so
+// the next boot replays only the post-compaction suffix.
+func runCompact(args []string) {
+	fs := flag.NewFlagSet("teamdisc compact", flag.ExitOnError)
+	var (
+		graphPath = fs.String("graph", "graph.bin", "expert network file the journal was recorded against")
+		journal   = fs.String("journal", "", "write-ahead mutation journal to fold (required)")
+		threshold = fs.Int("threshold", 0, "only compact when at least this many journal records would be replayed (0 = always)")
+	)
+	fs.Parse(args)
+	if *journal == "" {
+		fail("compact: missing -journal")
+	}
+	g, err := expertgraph.LoadFile(*graphPath)
+	if err != nil {
+		fail("compact: load graph: %v", err)
+	}
+	st, err := live.Open(g, live.Config{JournalPath: *journal})
+	if err != nil {
+		fail("compact: %v", err)
+	}
+	defer st.Close()
+	replayed := st.Epoch() - st.BaseEpoch()
+	if *threshold > 0 && replayed < uint64(*threshold) {
+		fmt.Printf("journal %s: %d records since last compaction, below threshold %d; nothing to do\n",
+			*journal, replayed, *threshold)
+		return
+	}
+	stats, err := st.Compact()
+	if err != nil {
+		fail("compact: %v", err)
+	}
+	fmt.Printf("compacted %s at epoch %d: folded %d records into %s.base, %d remain\n",
+		*journal, stats.Epoch, stats.Folded, *journal, stats.Remaining)
 }
 
 // runServe starts the long-lived query-serving daemon.
@@ -55,30 +101,38 @@ func runServe(args []string) {
 		journal   = fs.String("journal", "", "write-ahead mutation journal; replayed onto the graph at boot (empty disables live-mutation durability)")
 		jsync     = fs.Bool("journal-sync", false, "fsync the journal after every mutation")
 		budget    = fs.Int("repair-budget", 0, "max delta mutations absorbed by incremental index repair before a full rebuild (0 = default 512, negative disables)")
+		compactAt = fs.Int("compact-threshold", 0, "fold the journal into a persisted base graph at boot when replay exceeds this many records (0 disables)")
 	)
 	fs.Parse(args)
 
 	srv, err := server.New(server.Config{
-		Addr:           *addr,
-		GraphPath:      *graphPath,
-		Gamma:          gamma,
-		Lambda:         lambda,
-		CacheSize:      *cacheSize,
-		RequestTimeout: *timeout,
-		Workers:        *workers,
-		NoPersistIndex: *noPersist,
-		WarmIndex:      !*cold,
-		JournalPath:    *journal,
-		JournalSync:    *jsync,
-		RepairBudget:   *budget,
+		Addr:             *addr,
+		GraphPath:        *graphPath,
+		Gamma:            gamma,
+		Lambda:           lambda,
+		CacheSize:        *cacheSize,
+		RequestTimeout:   *timeout,
+		Workers:          *workers,
+		NoPersistIndex:   *noPersist,
+		WarmIndex:        !*cold,
+		JournalPath:      *journal,
+		JournalSync:      *jsync,
+		RepairBudget:     *budget,
+		CompactThreshold: *compactAt,
 	})
 	if err != nil {
 		fail("serve: %v", err)
 	}
 	if epoch := srv.Store().Epoch(); epoch > 0 {
-		log.Printf("teamdisc serve: journal replayed %d mutations (epoch %d)", epoch, epoch)
+		log.Printf("teamdisc serve: journal replayed %d mutations (epoch %d, base epoch %d)",
+			epoch-srv.Store().BaseEpoch(), epoch, srv.Store().BaseEpoch())
 	}
-	log.Printf("teamdisc serve: %v on %s (γ=%.2f λ=%.2f)", srv.Graph(), *addr, *gamma, *lambda)
+	// Read the banner counts through the snapshot, not srv.Graph() —
+	// materializing a full graph just for a log line would start every
+	// journaled boot with live.materializations=1.
+	snap := srv.Store().Snapshot()
+	log.Printf("teamdisc serve: expertgraph{nodes: %d, edges: %d} on %s (γ=%.2f λ=%.2f)",
+		snap.NumNodes(), snap.NumEdges(), *addr, *gamma, *lambda)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -189,6 +243,9 @@ func printTeam(tm *team.Team, g *expertgraph.Graph, p *transform.Params) {
 	holderSkills := make(map[expertgraph.NodeID][]string)
 	for s, c := range tm.Assignment {
 		holderSkills[c] = append(holderSkills[c], g.SkillName(s))
+	}
+	for _, skills := range holderSkills {
+		sort.Strings(skills) // Assignment is a map; pin the display order
 	}
 	for _, u := range tm.Nodes {
 		role := "connector"

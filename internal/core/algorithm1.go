@@ -65,7 +65,7 @@ var (
 type Discoverer struct {
 	params   *transform.Params
 	method   Method
-	g        *expertgraph.Graph
+	g        expertgraph.GraphView
 	dist     oracle.Oracle
 	ws       *expertgraph.DijkstraWorkspace
 	weight   oracle.WeightFunc // search weights; nil = raw (CC)
@@ -345,7 +345,7 @@ func appendInt(buf []byte, v int32) []byte {
 	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 }
 
-func allNodes(g *expertgraph.Graph) []expertgraph.NodeID {
+func allNodes(g expertgraph.GraphView) []expertgraph.NodeID {
 	nodes := make([]expertgraph.NodeID, g.NumNodes())
 	for i := range nodes {
 		nodes[i] = expertgraph.NodeID(i)

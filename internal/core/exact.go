@@ -155,7 +155,7 @@ type skillCands struct {
 
 type exactSearch struct {
 	p      *transform.Params
-	g      *expertgraph.Graph
+	g      expertgraph.GraphView
 	cands  []skillCands
 	solver *steinerSolver
 	memo   map[string]steinerResult
@@ -188,7 +188,7 @@ type exactSearch struct {
 // zeroing more nodes only lowers a path's cost). The upper-bound
 // distance pays every node cost on arrival, giving realizable
 // connecting-path costs for Steiner upper bounds and DP masks.
-func (s *exactSearch) precomputePairLB(g *expertgraph.Graph) {
+func (s *exactSearch) precomputePairLB(g expertgraph.GraphView) {
 	isCand := make([]bool, g.NumNodes())
 	distinct := map[expertgraph.NodeID]bool{}
 	for _, sc := range s.cands {

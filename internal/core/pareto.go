@@ -50,7 +50,7 @@ var defaultGrid = []float64{0, 0.25, 0.5, 0.75, 1}
 // ParetoFront sweeps the tradeoff grid and returns the non-dominated
 // teams sorted by ascending CC. It returns ErrNoTeam when no grid
 // point yields a feasible team.
-func ParetoFront(g *expertgraph.Graph, project []expertgraph.SkillID,
+func ParetoFront(g expertgraph.GraphView, project []expertgraph.SkillID,
 	opt ParetoOptions) ([]ParetoTeam, error) {
 
 	gammas := opt.GammaGrid

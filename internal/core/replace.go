@@ -149,7 +149,7 @@ func ReplaceMember(p *transform.Params, t *team.Team,
 
 // absorbSkill finds a surviving member already holding s (preferring
 // the highest authority), or -1.
-func absorbSkill(g *expertgraph.Graph, survivors map[expertgraph.NodeID]bool,
+func absorbSkill(g expertgraph.GraphView, survivors map[expertgraph.NodeID]bool,
 	s expertgraph.SkillID) expertgraph.NodeID {
 
 	best := expertgraph.NodeID(-1)
@@ -162,7 +162,7 @@ func absorbSkill(g *expertgraph.Graph, survivors map[expertgraph.NodeID]bool,
 }
 
 // holdersOfAll returns experts holding every skill in needed.
-func holdersOfAll(g *expertgraph.Graph, needed []expertgraph.SkillID) []expertgraph.NodeID {
+func holdersOfAll(g expertgraph.GraphView, needed []expertgraph.SkillID) []expertgraph.NodeID {
 	if len(needed) == 0 {
 		return nil
 	}
@@ -186,7 +186,7 @@ func holdersOfAll(g *expertgraph.Graph, needed []expertgraph.SkillID) []expertgr
 // presence removed: paths are recomputed in G' with the leaver's edges
 // skipped, keeping every surviving assignment and wiring in the
 // candidate (when cand ≥ 0) for the skills the survivors cannot cover.
-func repairTeam(g *expertgraph.Graph, ws *expertgraph.DijkstraWorkspace,
+func repairTeam(g expertgraph.GraphView, ws *expertgraph.DijkstraWorkspace,
 	weight func(u, v expertgraph.NodeID, w float64) float64,
 	t *team.Team, root, leaver, cand expertgraph.NodeID,
 	absorbed map[expertgraph.SkillID]expertgraph.NodeID,

@@ -25,7 +25,7 @@ import (
 // Complexity O(3^t·n + 2^t·m log n) for t terminals.
 
 type steinerSolver struct {
-	g        *expertgraph.Graph
+	g        expertgraph.GraphView
 	edgeCost func(u, v expertgraph.NodeID, w float64) float64
 	nodeCost []float64 // connector cost per node; terminals zeroed per solve
 }

@@ -7,7 +7,7 @@ package expertgraph
 
 // Components labels each node with a component ID (0-based, in order of
 // first discovery) and returns the labels plus the component count.
-func Components(g *Graph) (labels []int32, count int) {
+func Components(g GraphView) (labels []int32, count int) {
 	n := g.NumNodes()
 	labels = make([]int32, n)
 	for i := range labels {
@@ -39,7 +39,7 @@ func Components(g *Graph) (labels []int32, count int) {
 
 // LargestComponent returns the node set of the largest connected
 // component, sorted by NodeID.
-func LargestComponent(g *Graph) []NodeID {
+func LargestComponent(g GraphView) []NodeID {
 	labels, count := Components(g)
 	if count == 0 {
 		return nil
@@ -67,16 +67,15 @@ func LargestComponent(g *Graph) []NodeID {
 // duplicates). It returns the new graph and a mapping from new NodeID to
 // the original NodeID. Skills are re-interned so the subgraph's skill
 // universe contains only skills held by kept nodes.
-func Subgraph(g *Graph, keep []NodeID) (*Graph, []NodeID) {
+func Subgraph(g GraphView, keep []NodeID) (*Graph, []NodeID) {
 	oldToNew := make(map[NodeID]NodeID, len(keep))
 	newToOld := make([]NodeID, len(keep))
 	b := NewBuilder(len(keep), len(keep)*2)
 	for i, u := range keep {
 		oldToNew[u] = NodeID(i)
 		newToOld[i] = u
-		nd := g.Node(u)
-		id := b.AddNode(nd.Name, nd.Authority)
-		b.SetPubs(id, nd.Pubs)
+		id := b.AddNode(g.Name(u), g.Authority(u))
+		b.SetPubs(id, g.Pubs(u))
 		for _, s := range g.Skills(u) {
 			b.AddSkillTo(id, g.SkillName(s))
 		}

@@ -128,17 +128,17 @@ func (s *SSSP) PathTo(v NodeID) []NodeID {
 }
 
 // DijkstraWorkspace owns the scratch memory for repeated SSSP runs on
-// one graph. It is not safe for concurrent use; create one per
+// one graph view. It is not safe for concurrent use; create one per
 // goroutine.
 type DijkstraWorkspace struct {
-	g      *Graph
+	g      GraphView
 	heap   *indexedHeap
 	dist   []float64
 	parent []NodeID
 }
 
 // NewDijkstraWorkspace allocates a workspace sized for g.
-func NewDijkstraWorkspace(g *Graph) *DijkstraWorkspace {
+func NewDijkstraWorkspace(g GraphView) *DijkstraWorkspace {
 	n := g.NumNodes()
 	w := &DijkstraWorkspace{
 		g:      g,
@@ -199,7 +199,7 @@ func (w *DijkstraWorkspace) run(src NodeID, reweight func(u, v NodeID, w float64
 
 // Dijkstra is a convenience wrapper that allocates a fresh workspace,
 // runs SSSP from src and returns an independent result.
-func Dijkstra(g *Graph, src NodeID) *SSSP {
+func Dijkstra(g GraphView, src NodeID) *SSSP {
 	res := NewDijkstraWorkspace(g).Run(src)
 	out := &SSSP{
 		Source: src,
@@ -211,7 +211,7 @@ func Dijkstra(g *Graph, src NodeID) *SSSP {
 
 // ShortestPath returns the shortest path between u and v and its
 // length, or (nil, Infinity) when v is unreachable from u.
-func ShortestPath(g *Graph, u, v NodeID) ([]NodeID, float64) {
+func ShortestPath(g GraphView, u, v NodeID) ([]NodeID, float64) {
 	res := NewDijkstraWorkspace(g).Run(u)
 	if math.IsInf(res.Dist[v], 1) {
 		return nil, infinity

@@ -33,7 +33,7 @@ type GraphStats struct {
 }
 
 // ComputeStats scans g once and fills a GraphStats.
-func ComputeStats(g *Graph) GraphStats {
+func ComputeStats(g GraphView) GraphStats {
 	s := GraphStats{
 		Nodes:  g.NumNodes(),
 		Edges:  g.NumEdges(),
@@ -125,7 +125,7 @@ func (s GraphStats) String() string {
 
 // DegreeHistogram returns bucketed degree counts with power-of-two
 // bucket upper bounds: [1, 2, 4, 8, …].
-func DegreeHistogram(g *Graph) (bounds []int, counts []int) {
+func DegreeHistogram(g GraphView) (bounds []int, counts []int) {
 	maxDeg := 0
 	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
 		if d := g.Degree(u); d > maxDeg {

@@ -1,0 +1,233 @@
+package live
+
+import (
+	"bufio"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"authteam/internal/expertgraph"
+)
+
+// Journal compaction: fold the write-ahead log into a persisted base
+// graph so replay-on-boot stays O(churn since the last compaction)
+// instead of O(lifetime mutations). The compacted base lives at
+// <journal>.base — a gob file of {epoch, graph} — and the journal is
+// rewritten to hold only the suffix past that epoch, anchored by a
+// {"journal_start": E} header line.
+//
+// Crash safety hinges on ordering and on both files carrying their own
+// epoch. The base is written to a temp file and renamed into place
+// *before* the journal is rewritten; a crash between the two leaves a
+// new base and an old journal, and Open resolves the overlap by
+// skipping the journal records at or below the base's epoch — replay
+// lands on the identical epoch either way. A crash before the base
+// rename leaves everything untouched, and the journal rewrite itself
+// is also temp-file + rename.
+
+// ErrNoJournal is returned by Compact on a store opened without a
+// journal (there is nothing to fold).
+var ErrNoJournal = errors.New("live: compaction requires a journal")
+
+// CompactStats reports what one compaction did.
+type CompactStats struct {
+	// Epoch is the epoch folded into the persisted base graph.
+	Epoch uint64 `json:"epoch"`
+	// Folded is the number of journal records dropped (now represented
+	// by the base graph).
+	Folded uint64 `json:"folded"`
+	// Remaining is the number of records left in the journal: the
+	// mutations applied while the compaction ran.
+	Remaining uint64 `json:"remaining"`
+}
+
+// basePath locates the compacted base graph next to a journal.
+func basePath(journalPath string) string { return journalPath + ".base" }
+
+// baseHeader precedes the graph in the compacted base file.
+type baseHeader struct {
+	Version int
+	Epoch   uint64
+}
+
+const baseFormatVersion = 1
+
+// Compact folds every mutation up to the current epoch into the
+// persisted base graph and truncates the journal to the suffix applied
+// while the fold ran. Readers are unaffected (the in-memory base and
+// log are untouched — published snapshots stay valid), and writers are
+// only blocked for the final journal swap, not for the materialization.
+//
+// SnapshotAt / MutationsSince keep answering for pre-compaction epochs
+// until the next restart; after a restart the folded history is gone
+// and persisted state anchored below the compaction epoch (e.g. old
+// 2-hop covers) is discarded by its consumers.
+func (s *Store) Compact() (CompactStats, error) {
+	// One compaction at a time: two interleaved folds could overwrite
+	// each other's temp files and leave the base epoch behind the
+	// rewritten journal's start — a pairing Open refuses to load. The
+	// dedicated lock keeps mutators running during the fold (they only
+	// contend on s.mu for the final journal swap).
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
+	s.mu.Lock()
+	if s.journal == nil || s.journal.closed {
+		s.mu.Unlock()
+		return CompactStats{}, ErrNoJournal
+	}
+	s.mu.Unlock()
+
+	snap := s.Snapshot()
+	if err := s.writeBase(snap); err != nil {
+		return CompactStats{}, err
+	}
+	return s.truncateJournal(snap)
+}
+
+// writeBase persists snap's graph (materializing it — the one
+// legitimate materialization besides index rebuilds) with its epoch,
+// atomically. It is the first half of Compact; a crash after it leaves
+// a recoverable base/journal overlap, never a hole.
+func (s *Store) writeBase(snap *Snapshot) error {
+	g, err := snap.Graph()
+	if err != nil {
+		return fmt.Errorf("live: compact: %w", err)
+	}
+	path := basePath(s.journalPath)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("live: compact: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := gob.NewEncoder(bw).Encode(&baseHeader{Version: baseFormatVersion, Epoch: snap.Epoch()}); err != nil {
+		f.Close()
+		return fmt.Errorf("live: compact: %w", err)
+	}
+	if err := expertgraph.Write(bw, g); err != nil {
+		f.Close()
+		return fmt.Errorf("live: compact: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("live: compact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("live: compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("live: compact: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("live: compact: %w", err)
+	}
+	return nil
+}
+
+// truncateJournal rewrites the journal to hold only the mutations past
+// snap's epoch and swaps the store onto the new file. Second half of
+// Compact.
+func (s *Store) truncateJournal(snap *Snapshot) (CompactStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil || s.journal.closed {
+		return CompactStats{}, ErrNoJournal
+	}
+	tail := s.log[snap.Epoch()-s.baseEpoch:]
+	nj, err := rewriteJournal(s.journalPath, snap.Epoch(), tail, s.journal.sync)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	old := s.journal
+	s.journal = nj
+	old.Close()
+	s.compactions.Add(1)
+	return CompactStats{
+		Epoch:     snap.Epoch(),
+		Folded:    snap.Epoch() - old.startEpoch,
+		Remaining: uint64(len(tail)),
+	}, nil
+}
+
+// rewriteJournal writes a fresh journal (header + tail records) to a
+// temp file and renames it over path, returning an open append handle
+// for it.
+func rewriteJournal(path string, startEpoch uint64, tail []Mutation, sync bool) (*journal, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("live: compact journal: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	var total int64
+	hdr, err := json.Marshal(journalHeader{JournalStart: &startEpoch})
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("live: compact journal: %w", err)
+	}
+	hdr = append(hdr, '\n')
+	if _, err := bw.Write(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("live: compact journal: %w", err)
+	}
+	total += int64(len(hdr))
+	for _, m := range tail {
+		buf, err := json.Marshal(m)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("live: compact journal: %w", err)
+		}
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("live: compact journal: %w", err)
+		}
+		total += int64(len(buf))
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("live: compact journal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("live: compact journal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("live: compact journal: %w", err)
+	}
+	// The handle follows the rename (it is bound to the inode), and its
+	// offset already sits at end-of-file for appends.
+	return &journal{f: f, sync: sync, startEpoch: startEpoch, records: uint64(len(tail)), bytes: total}, nil
+}
+
+// loadBaseFile reads a compacted base graph and its epoch. A missing
+// file returns (nil, 0, nil) — the store then starts from the caller's
+// graph at epoch 0.
+func loadBaseFile(path string) (*expertgraph.Graph, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("live: base graph: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var hdr baseHeader
+	if err := gob.NewDecoder(br).Decode(&hdr); err != nil {
+		return nil, 0, fmt.Errorf("live: base graph %s: %w", path, err)
+	}
+	if hdr.Version != baseFormatVersion {
+		return nil, 0, fmt.Errorf("live: base graph %s: unsupported version %d", path, hdr.Version)
+	}
+	g, err := expertgraph.Read(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("live: base graph %s: %w", path, err)
+	}
+	return g, hdr.Epoch, nil
+}

@@ -1,0 +1,235 @@
+package live
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"authteam/internal/expertgraph"
+)
+
+// viewFingerprint summarizes a graph view for cross-restart equality
+// checks: counts, every node's record, and its adjacency in canonical
+// (sorted-by-neighbor) order — Neighbors visit order is
+// implementation-defined and must not leak into the comparison.
+func viewFingerprint(g expertgraph.GraphView) []float64 {
+	fp := []float64{float64(g.NumNodes()), float64(g.NumEdges()), float64(g.NumSkills())}
+	for u := expertgraph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		fp = append(fp, g.Authority(u), float64(g.Degree(u)), float64(len(g.Skills(u))))
+		type half struct {
+			to expertgraph.NodeID
+			w  float64
+		}
+		var adj []half
+		g.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
+			adj = append(adj, half{v, w})
+			return true
+		})
+		sort.Slice(adj, func(i, j int) bool { return adj[i].to < adj[j].to })
+		for _, e := range adj {
+			fp = append(fp, float64(e.to), e.w)
+		}
+	}
+	return fp
+}
+
+func equalFP(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCompactRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := randomBase(t, rng, 25)
+	journal := filepath.Join(t.TempDir(), "graph.wal")
+
+	st, err := Open(base, Config{JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutateRandomly(t, st, rng, 40)
+	preEpoch := st.Epoch()
+
+	stats, err := st.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Epoch != preEpoch || stats.Remaining != 0 || stats.Folded != preEpoch {
+		t.Fatalf("compact stats %+v, want epoch=%d folded=%d remaining=0", stats, preEpoch, preEpoch)
+	}
+	if records, _ := st.JournalStats(); records != 0 {
+		t.Fatalf("journal holds %d records after compaction, want 0", records)
+	}
+	if _, err := os.Stat(basePath(journal)); err != nil {
+		t.Fatalf("compacted base missing: %v", err)
+	}
+
+	// Mutations keep flowing into the truncated journal.
+	mutateRandomly(t, st, rng, 15)
+	finalEpoch := st.Epoch()
+	suffix := finalEpoch - preEpoch
+	want := viewFingerprint(st.Snapshot().View())
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: replay must be bounded by the post-compaction suffix and
+	// land on the identical epoch and graph.
+	st2, err := Open(base, Config{JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Epoch() != finalEpoch {
+		t.Fatalf("restart epoch %d, want %d", st2.Epoch(), finalEpoch)
+	}
+	if st2.BaseEpoch() != preEpoch {
+		t.Fatalf("restart base epoch %d, want %d", st2.BaseEpoch(), preEpoch)
+	}
+	if got := st2.Epoch() - st2.BaseEpoch(); got != suffix {
+		t.Fatalf("replayed %d records, want the %d-record suffix", got, suffix)
+	}
+	if !equalFP(viewFingerprint(st2.Snapshot().View()), want) {
+		t.Fatal("graph after restart differs from pre-restart state")
+	}
+	// History below the compacted base is gone.
+	if _, ok := st2.SnapshotAt(preEpoch - 1); ok {
+		t.Fatal("SnapshotAt resolved an epoch folded into the base")
+	}
+	if _, ok := st2.SnapshotAt(preEpoch); !ok {
+		t.Fatal("SnapshotAt refused the base epoch itself")
+	}
+}
+
+// TestCompactCrashBetweenBaseAndTruncate simulates a kill in Compact's
+// crash window: the base was rewritten (renamed into place) but the
+// journal was never truncated. Reopening must skip the journal prefix
+// already folded into the base and land on the identical epoch.
+func TestCompactCrashBetweenBaseAndTruncate(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	base := randomBase(t, rng, 25)
+	journal := filepath.Join(t.TempDir(), "graph.wal")
+
+	st, err := Open(base, Config{JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutateRandomly(t, st, rng, 30)
+	snap := st.Snapshot()
+	epoch := snap.Epoch()
+	// First half of Compact only: base rename happens, journal
+	// truncation does not — the crash window.
+	if err := st.writeBase(snap); err != nil {
+		t.Fatal(err)
+	}
+	want := viewFingerprint(snap.View())
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(base, Config{JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Epoch() != epoch {
+		t.Fatalf("epoch after crash-recovery %d, want %d", st2.Epoch(), epoch)
+	}
+	if st2.BaseEpoch() != epoch {
+		t.Fatalf("base epoch %d, want %d (nothing replayed: every record is folded)", st2.BaseEpoch(), epoch)
+	}
+	if !equalFP(viewFingerprint(st2.Snapshot().View()), want) {
+		t.Fatal("graph after crash-recovery differs")
+	}
+	// A finished compaction on the recovered store truncates the
+	// overlapping journal and keeps the epoch stable.
+	stats, err := st2.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Epoch != epoch || stats.Remaining != 0 {
+		t.Fatalf("recovery compact stats %+v", stats)
+	}
+	mutateRandomly(t, st2, rng, 10)
+	final := st2.Epoch()
+	st2.Close()
+
+	st3, err := Open(base, Config{JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if st3.Epoch() != final {
+		t.Fatalf("final epoch %d, want %d", st3.Epoch(), final)
+	}
+}
+
+func TestCompactThresholdAtOpen(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	base := randomBase(t, rng, 20)
+	journal := filepath.Join(t.TempDir(), "graph.wal")
+
+	st, err := Open(base, Config{JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutateRandomly(t, st, rng, 20)
+	epoch := st.Epoch()
+	st.Close()
+
+	// Below threshold: replay leaves the journal alone.
+	st2, err := Open(base, Config{JournalPath: journal, CompactThreshold: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Compactions() != 0 {
+		t.Fatal("compacted below threshold")
+	}
+	st2.Close()
+
+	// At/above threshold: boot folds the journal.
+	st3, err := Open(base, Config{JournalPath: journal, CompactThreshold: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Compactions() != 1 {
+		t.Fatalf("compactions = %d, want 1", st3.Compactions())
+	}
+	if records, _ := st3.JournalStats(); records != 0 {
+		t.Fatalf("journal holds %d records after boot compaction", records)
+	}
+	if st3.Epoch() != epoch {
+		t.Fatalf("epoch %d after boot compaction, want %d", st3.Epoch(), epoch)
+	}
+	st3.Close()
+
+	// And the next boot replays nothing at all.
+	st4, err := Open(base, Config{JournalPath: journal, CompactThreshold: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st4.Close()
+	if st4.Epoch() != epoch || st4.BaseEpoch() != epoch || st4.Compactions() != 0 {
+		t.Fatalf("post-compaction boot: epoch %d base %d compactions %d, want %d/%d/0",
+			st4.Epoch(), st4.BaseEpoch(), st4.Compactions(), epoch, epoch)
+	}
+}
+
+func TestCompactWithoutJournal(t *testing.T) {
+	base := randomBase(t, rand.New(rand.NewSource(9)), 10)
+	st, err := Open(base, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Compact(); err != ErrNoJournal {
+		t.Fatalf("Compact without journal: %v, want ErrNoJournal", err)
+	}
+}

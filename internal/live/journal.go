@@ -16,82 +16,115 @@ import (
 // robust to a crash mid-write: a torn final record is detected on open
 // and truncated away (everything before it was fully written, so the
 // store resumes at the last durable epoch).
+//
+// A journal rewritten by compaction starts with a header line
+// ({"journal_start": E}) anchoring its first mutation at epoch E+1;
+// journals without a header start at epoch 0 (a fresh deployment, or
+// one predating compaction).
+
+// journalHeader is the optional first line of a compacted journal.
+// Mutations always carry "op", the header never does, so the two are
+// unambiguous.
+type journalHeader struct {
+	JournalStart *uint64 `json:"journal_start"`
+}
 
 // journal appends mutations to the WAL.
 type journal struct {
-	f       *os.File
-	sync    bool
-	closed  bool
-	records uint64
-	bytes   int64
+	f    *os.File
+	sync bool
+	// startEpoch anchors the file: record i holds the mutation of
+	// epoch startEpoch+i+1.
+	startEpoch uint64
+	closed     bool
+	records    uint64
+	bytes      int64
 }
 
 // openJournal reads (and crash-repairs) an existing journal at path,
-// returning the mutations to replay and the open append handle.
-func openJournal(path string, sync bool) ([]Mutation, *journal, error) {
+// returning the mutations it holds, the epoch its first record applies
+// on top of, and the open append handle.
+func openJournal(path string, sync bool) ([]Mutation, uint64, *journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("live: journal: %w", err)
+		return nil, 0, nil, fmt.Errorf("live: journal: %w", err)
 	}
-	muts, good, err := readJournal(f)
+	muts, start, good, err := readJournal(f)
 	if err != nil {
 		f.Close()
-		return nil, nil, err
+		return nil, 0, nil, err
 	}
 	end, serr := f.Seek(0, io.SeekEnd)
 	if serr != nil {
 		f.Close()
-		return nil, nil, fmt.Errorf("live: journal: %w", serr)
+		return nil, 0, nil, fmt.Errorf("live: journal: %w", serr)
 	}
 	if good < end {
 		log.Printf("live: journal %s: truncating %d bytes of torn trailing record", path, end-good)
 		if err := f.Truncate(good); err != nil {
 			f.Close()
-			return nil, nil, fmt.Errorf("live: journal truncate: %w", err)
+			return nil, 0, nil, fmt.Errorf("live: journal truncate: %w", err)
 		}
 		if _, err := f.Seek(good, io.SeekStart); err != nil {
 			f.Close()
-			return nil, nil, fmt.Errorf("live: journal: %w", err)
+			return nil, 0, nil, fmt.Errorf("live: journal: %w", err)
 		}
 	}
-	return muts, &journal{f: f, sync: sync, records: uint64(len(muts)), bytes: good}, nil
+	j := &journal{f: f, sync: sync, startEpoch: start, records: uint64(len(muts)), bytes: good}
+	return muts, start, j, nil
 }
 
 // readJournal parses the journal from the start, returning the parsed
-// mutations and the byte offset of the end of the last good record. A
-// malformed or torn *final* record is tolerated (the offset stops
-// before it); corruption followed by further records is an error,
-// because silently skipping an interior mutation would replay a
-// different history than the one that was served.
-func readJournal(f *os.File) ([]Mutation, int64, error) {
+// mutations, the start epoch from the header (0 when absent) and the
+// byte offset of the end of the last good record. A malformed or torn
+// *final* record is tolerated (the offset stops before it); corruption
+// followed by further records is an error, because silently skipping
+// an interior mutation would replay a different history than the one
+// that was served.
+func readJournal(f *os.File) ([]Mutation, uint64, int64, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, 0, fmt.Errorf("live: journal: %w", err)
+		return nil, 0, 0, fmt.Errorf("live: journal: %w", err)
 	}
 	var (
-		muts []Mutation
-		good int64
+		muts  []Mutation
+		start uint64
+		good  int64
 	)
 	r := bufio.NewReader(f)
 	for lineNo := 1; ; lineNo++ {
 		line, err := r.ReadBytes('\n')
 		complete := err == nil
 		if err != nil && !errors.Is(err, io.EOF) {
-			return nil, 0, fmt.Errorf("live: journal: %w", err)
+			return nil, 0, 0, fmt.Errorf("live: journal: %w", err)
 		}
 		trimmed := bytes.TrimSpace(line)
 		if len(trimmed) > 0 {
 			var m Mutation
-			if jerr := json.Unmarshal(trimmed, &m); jerr != nil || !complete {
+			jerr := json.Unmarshal(trimmed, &m)
+			if jerr == nil && m.Op == "" && complete {
+				// Not a mutation: the compaction header (first line
+				// only) or garbage.
+				var hdr journalHeader
+				if lineNo == 1 {
+					if herr := json.Unmarshal(trimmed, &hdr); herr == nil && hdr.JournalStart != nil {
+						start = *hdr.JournalStart
+						good += int64(len(line))
+						continue
+					}
+				}
+				jerr = fmt.Errorf("record has no op")
+			}
+			if jerr != nil || !complete {
 				// Torn or malformed tail: stop here; openJournal
 				// truncates the remainder. Anything after it would be
 				// interior corruption.
 				if !complete {
-					return muts, good, nil
+					return muts, start, good, nil
 				}
 				if _, peekErr := r.Peek(1); peekErr == nil {
-					return nil, 0, fmt.Errorf("live: journal record %d is corrupt mid-file: %v", lineNo, jerr)
+					return nil, 0, 0, fmt.Errorf("live: journal record %d is corrupt mid-file: %v", lineNo, jerr)
 				}
-				return muts, good, nil
+				return muts, start, good, nil
 			}
 			muts = append(muts, m)
 		}
@@ -99,7 +132,7 @@ func readJournal(f *os.File) ([]Mutation, int64, error) {
 			good += int64(len(line))
 		}
 		if !complete { // EOF
-			return muts, good, nil
+			return muts, start, good, nil
 		}
 	}
 }

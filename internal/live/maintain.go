@@ -55,18 +55,13 @@ func MaintainIndex(ix *pll.Index, from, to *Snapshot, weight WeightFunc, budget 
 			return nil, false
 		}
 	}
-	toG, err := to.Graph()
-	if err != nil {
+	// Repairs read through the overlay views, never a materialized
+	// graph: the resumed Dijkstras touch only the neighbourhood of the
+	// inserted edges, so the overlay's per-read overhead is noise and
+	// the zero-materialization discipline of the serving path holds.
+	toG := to.View()
+	if weight != nil && !sameBounds(from.View(), toG) {
 		return nil, false
-	}
-	if weight != nil {
-		fromG, err := from.Graph()
-		if err != nil {
-			return nil, false
-		}
-		if !sameBounds(fromG, toG) {
-			return nil, false
-		}
 	}
 
 	d := pll.NewDynamic(ix, weight)
@@ -91,9 +86,9 @@ func MaintainIndex(ix *pll.Index, from, to *Snapshot, weight WeightFunc, budget 
 }
 
 // sameBounds reports whether the min–max normalization inputs of Def. 4
-// are identical between two graphs, which makes their fitted Params
-// (at equal γ, λ) produce identical G' weights for shared edges.
-func sameBounds(a, b *expertgraph.Graph) bool {
+// are identical between two graph views, which makes their fitted
+// Params (at equal γ, λ) produce identical G' weights for shared edges.
+func sameBounds(a, b expertgraph.GraphView) bool {
 	aw0, aw1 := a.EdgeWeightBounds()
 	bw0, bw1 := b.EdgeWeightBounds()
 	ai0, ai1 := a.InvAuthorityBounds()

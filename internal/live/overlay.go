@@ -1,0 +1,487 @@
+package live
+
+import (
+	"sort"
+
+	"authteam/internal/expertgraph"
+)
+
+// OverlayView answers expertgraph.GraphView reads for one epoch
+// straight from the frozen base CSR plus per-node delta patches —
+// the zero-materialization read path of the live store. Building one
+// costs O(|delta|): the base graph's packed arrays are shared, and
+// only the nodes, edges and skills the delta touches get patch
+// entries. Reads on untouched nodes are a map miss away from the raw
+// CSR speed; reads on patched nodes consult small merged slices
+// computed once at construction.
+//
+// The view is semantically identical to the graph Snapshot.Graph()
+// would materialize: same IDs (nodes, skills), same holder ordering
+// (ExpertsWithSkill stays sorted by NodeID), same exact normalization
+// bounds. Only the Neighbors visit order differs (base edges first,
+// then delta edges), which GraphView leaves implementation-defined.
+//
+// OverlayView is immutable after construction and safe for concurrent
+// readers.
+type OverlayView struct {
+	base  *expertgraph.Graph
+	nb    int // base node count
+	nbSk  int // base skill count
+	nodes int
+	edges int
+
+	// Nodes appended by the delta (IDs nb, nb+1, …).
+	newNames  []string
+	newAuth   []float64
+	newInv    []float64
+	newSkills [][]expertgraph.SkillID
+	newAdj    [][]halfEdge
+
+	// Patches on base nodes. skillPatch holds the *full* merged skill
+	// list (base skills + grants, in grant order) so Skills stays a
+	// single lookup.
+	authPatch  map[expertgraph.NodeID]authOverride
+	extraAdj   map[expertgraph.NodeID][]halfEdge
+	skillPatch map[expertgraph.NodeID][]expertgraph.SkillID
+
+	// Skill universe extensions and patched inverted-index rows
+	// (full merged holder lists, sorted by NodeID).
+	newSkillNames []string
+	newSkillIDs   map[string]expertgraph.SkillID
+	holdersPatch  map[expertgraph.SkillID][]expertgraph.NodeID
+
+	minW, maxW     float64
+	minInv, maxInv float64
+}
+
+type halfEdge struct {
+	to expertgraph.NodeID
+	w  float64
+}
+
+type authOverride struct {
+	auth, inv float64
+}
+
+// newOverlay folds the delta into patch structures over base. muts
+// must be the validated mutation log of the target epoch (the store
+// guarantees referenced nodes exist, edges are unique, authorities are
+// floored at 1).
+func newOverlay(base *expertgraph.Graph, muts []Mutation, nodes, edges int) *OverlayView {
+	o := &OverlayView{
+		base:  base,
+		nb:    base.NumNodes(),
+		nbSk:  base.NumSkills(),
+		nodes: nodes,
+		edges: edges,
+	}
+	o.minW, o.maxW = base.EdgeWeightBounds()
+	o.minInv, o.maxInv = base.InvAuthorityBounds()
+	haveW := base.NumEdges() > 0
+	haveInv := o.nb > 0
+	invRescan := false
+
+	// addedHolders accumulates per-skill holder additions; merged and
+	// sorted into holdersPatch at the end.
+	var addedHolders map[expertgraph.SkillID][]expertgraph.NodeID
+
+	skillID := func(name string) expertgraph.SkillID {
+		if id, ok := base.SkillID(name); ok {
+			return id
+		}
+		if id, ok := o.newSkillIDs[name]; ok {
+			return id
+		}
+		id := expertgraph.SkillID(o.nbSk + len(o.newSkillNames))
+		o.newSkillNames = append(o.newSkillNames, name)
+		if o.newSkillIDs == nil {
+			o.newSkillIDs = make(map[string]expertgraph.SkillID)
+		}
+		o.newSkillIDs[name] = id
+		return id
+	}
+	addHolder := func(s expertgraph.SkillID, u expertgraph.NodeID) {
+		if addedHolders == nil {
+			addedHolders = make(map[expertgraph.SkillID][]expertgraph.NodeID)
+		}
+		addedHolders[s] = append(addedHolders[s], u)
+	}
+	foldInv := func(inv float64) {
+		if !haveInv {
+			o.minInv, o.maxInv = inv, inv
+			haveInv = true
+			return
+		}
+		if inv < o.minInv {
+			o.minInv = inv
+		}
+		if inv > o.maxInv {
+			o.maxInv = inv
+		}
+	}
+	effInv := func(u expertgraph.NodeID) float64 {
+		if int(u) >= o.nb {
+			return o.newInv[int(u)-o.nb]
+		}
+		if ov, ok := o.authPatch[u]; ok {
+			return ov.inv
+		}
+		return base.InvAuthority(u)
+	}
+
+	for _, m := range muts {
+		switch m.Op {
+		case OpAddNode:
+			id := expertgraph.NodeID(o.nb + len(o.newNames))
+			inv := 1 / m.Authority
+			o.newNames = append(o.newNames, m.Name)
+			o.newAuth = append(o.newAuth, m.Authority)
+			o.newInv = append(o.newInv, inv)
+			var sk []expertgraph.SkillID
+			for _, name := range m.Skills {
+				s := skillID(name)
+				if containsSkill(sk, s) {
+					continue
+				}
+				sk = append(sk, s)
+				addHolder(s, id)
+			}
+			o.newSkills = append(o.newSkills, sk)
+			o.newAdj = append(o.newAdj, nil)
+			foldInv(inv)
+
+		case OpAddEdge:
+			o.addHalf(m.U, halfEdge{to: m.V, w: m.W})
+			o.addHalf(m.V, halfEdge{to: m.U, w: m.W})
+			if !haveW {
+				o.minW, o.maxW = m.W, m.W
+				haveW = true
+			} else {
+				if m.W < o.minW {
+					o.minW = m.W
+				}
+				if m.W > o.maxW {
+					o.maxW = m.W
+				}
+			}
+
+		case OpUpdateNode:
+			if m.SetAuthority != nil {
+				auth := *m.SetAuthority
+				inv := 1 / auth
+				old := effInv(m.Node)
+				// Replacing the value that holds the current extreme may
+				// shrink the bounds — something a monotone fold cannot
+				// express — so flag a full rescan for the end. Folding
+				// handles every other case exactly.
+				if old == o.minInv || old == o.maxInv {
+					invRescan = true
+				}
+				if int(m.Node) >= o.nb {
+					i := int(m.Node) - o.nb
+					o.newAuth[i], o.newInv[i] = auth, inv
+				} else {
+					if o.authPatch == nil {
+						o.authPatch = make(map[expertgraph.NodeID]authOverride)
+					}
+					o.authPatch[m.Node] = authOverride{auth: auth, inv: inv}
+				}
+				if !invRescan {
+					foldInv(inv)
+				}
+			}
+			for _, name := range m.AddSkills {
+				s := skillID(name)
+				if o.hasSkillDuringBuild(m.Node, s) {
+					continue
+				}
+				if int(m.Node) >= o.nb {
+					i := int(m.Node) - o.nb
+					o.newSkills[i] = append(o.newSkills[i], s)
+				} else {
+					if o.skillPatch == nil {
+						o.skillPatch = make(map[expertgraph.NodeID][]expertgraph.SkillID)
+					}
+					if _, ok := o.skillPatch[m.Node]; !ok {
+						o.skillPatch[m.Node] = append([]expertgraph.SkillID(nil), base.Skills(m.Node)...)
+					}
+					o.skillPatch[m.Node] = append(o.skillPatch[m.Node], s)
+				}
+				addHolder(s, m.Node)
+			}
+		}
+	}
+
+	if invRescan && o.nodes > 0 {
+		first := true
+		for u := 0; u < o.nodes; u++ {
+			inv := effInv(expertgraph.NodeID(u))
+			if first {
+				o.minInv, o.maxInv = inv, inv
+				first = false
+				continue
+			}
+			if inv < o.minInv {
+				o.minInv = inv
+			}
+			if inv > o.maxInv {
+				o.maxInv = inv
+			}
+		}
+	}
+
+	if len(addedHolders) > 0 {
+		o.holdersPatch = make(map[expertgraph.SkillID][]expertgraph.NodeID, len(addedHolders))
+		for s, added := range addedHolders {
+			sortNodeIDs(added)
+			var baseHolders []expertgraph.NodeID
+			if int(s) < o.nbSk {
+				baseHolders = base.ExpertsWithSkill(s)
+			}
+			o.holdersPatch[s] = mergeSortedNodeIDs(baseHolders, added)
+		}
+	}
+	return o
+}
+
+func (o *OverlayView) addHalf(u expertgraph.NodeID, e halfEdge) {
+	if int(u) >= o.nb {
+		i := int(u) - o.nb
+		o.newAdj[i] = append(o.newAdj[i], e)
+		return
+	}
+	if o.extraAdj == nil {
+		o.extraAdj = make(map[expertgraph.NodeID][]halfEdge)
+	}
+	o.extraAdj[u] = append(o.extraAdj[u], e)
+}
+
+// hasSkillDuringBuild checks the effective skill set of u mid-fold.
+func (o *OverlayView) hasSkillDuringBuild(u expertgraph.NodeID, s expertgraph.SkillID) bool {
+	if int(u) >= o.nb {
+		return containsSkill(o.newSkills[int(u)-o.nb], s)
+	}
+	if sk, ok := o.skillPatch[u]; ok {
+		return containsSkill(sk, s)
+	}
+	return int(s) < o.nbSk && o.base.HasSkill(u, s)
+}
+
+func containsSkill(sk []expertgraph.SkillID, s expertgraph.SkillID) bool {
+	for _, have := range sk {
+		if have == s {
+			return true
+		}
+	}
+	return false
+}
+
+func sortNodeIDs(ids []expertgraph.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// mergeSortedNodeIDs merges two sorted, disjoint ID lists.
+func mergeSortedNodeIDs(a, b []expertgraph.NodeID) []expertgraph.NodeID {
+	out := make([]expertgraph.NodeID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// --- expertgraph.GraphView ----------------------------------------------
+
+// NumNodes returns the expert count at this epoch.
+func (o *OverlayView) NumNodes() int { return o.nodes }
+
+// NumEdges returns the undirected edge count at this epoch.
+func (o *OverlayView) NumEdges() int { return o.edges }
+
+// NumSkills returns the size of the skill universe at this epoch.
+func (o *OverlayView) NumSkills() int { return o.nbSk + len(o.newSkillNames) }
+
+// Name returns the display name of expert u.
+func (o *OverlayView) Name(u expertgraph.NodeID) string {
+	if int(u) >= o.nb {
+		return o.newNames[int(u)-o.nb]
+	}
+	return o.base.Name(u)
+}
+
+// Authority returns a(u), the raw authority of expert u.
+func (o *OverlayView) Authority(u expertgraph.NodeID) float64 {
+	if int(u) >= o.nb {
+		return o.newAuth[int(u)-o.nb]
+	}
+	if len(o.authPatch) != 0 {
+		if ov, ok := o.authPatch[u]; ok {
+			return ov.auth
+		}
+	}
+	return o.base.Authority(u)
+}
+
+// InvAuthority returns a'(u) = 1/a(u).
+func (o *OverlayView) InvAuthority(u expertgraph.NodeID) float64 {
+	if int(u) >= o.nb {
+		return o.newInv[int(u)-o.nb]
+	}
+	if len(o.authPatch) != 0 {
+		if ov, ok := o.authPatch[u]; ok {
+			return ov.inv
+		}
+	}
+	return o.base.InvAuthority(u)
+}
+
+// Pubs returns the publication count of expert u (always 0 for experts
+// added through the mutation API, which carries no publication field).
+func (o *OverlayView) Pubs(u expertgraph.NodeID) int {
+	if int(u) >= o.nb {
+		return 0
+	}
+	return o.base.Pubs(u)
+}
+
+// Degree returns the number of neighbours of expert u.
+func (o *OverlayView) Degree(u expertgraph.NodeID) int {
+	if int(u) >= o.nb {
+		return len(o.newAdj[int(u)-o.nb])
+	}
+	d := o.base.Degree(u)
+	if len(o.extraAdj) != 0 {
+		d += len(o.extraAdj[u])
+	}
+	return d
+}
+
+// Neighbors visits base edges first, then delta edges.
+func (o *OverlayView) Neighbors(u expertgraph.NodeID, fn func(v expertgraph.NodeID, w float64) bool) {
+	if int(u) >= o.nb {
+		for _, e := range o.newAdj[int(u)-o.nb] {
+			if !fn(e.to, e.w) {
+				return
+			}
+		}
+		return
+	}
+	if len(o.extraAdj) == 0 {
+		o.base.Neighbors(u, fn)
+		return
+	}
+	extra, ok := o.extraAdj[u]
+	if !ok {
+		o.base.Neighbors(u, fn)
+		return
+	}
+	stopped := false
+	o.base.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
+		if !fn(v, w) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	for _, e := range extra {
+		if !fn(e.to, e.w) {
+			return
+		}
+	}
+}
+
+// EdgeWeight returns the weight of edge (u,v) and whether it exists.
+func (o *OverlayView) EdgeWeight(u, v expertgraph.NodeID) (float64, bool) {
+	if int(u) < o.nb && int(v) < o.nb {
+		if w, ok := o.base.EdgeWeight(u, v); ok {
+			return w, true
+		}
+	}
+	var extra []halfEdge
+	if int(u) >= o.nb {
+		extra = o.newAdj[int(u)-o.nb]
+	} else {
+		extra = o.extraAdj[u]
+	}
+	for _, e := range extra {
+		if e.to == v {
+			return e.w, true
+		}
+	}
+	return 0, false
+}
+
+// SkillID resolves a skill name to its ID.
+func (o *OverlayView) SkillID(name string) (expertgraph.SkillID, bool) {
+	if id, ok := o.base.SkillID(name); ok {
+		return id, true
+	}
+	id, ok := o.newSkillIDs[name]
+	return id, ok
+}
+
+// SkillName returns the name of skill s.
+func (o *OverlayView) SkillName(s expertgraph.SkillID) string {
+	if int(s) >= o.nbSk {
+		return o.newSkillNames[int(s)-o.nbSk]
+	}
+	return o.base.SkillName(s)
+}
+
+// Skills returns the skills held by expert u. The returned slice is
+// shared with the view and must not be modified.
+func (o *OverlayView) Skills(u expertgraph.NodeID) []expertgraph.SkillID {
+	if int(u) >= o.nb {
+		return o.newSkills[int(u)-o.nb]
+	}
+	if len(o.skillPatch) != 0 {
+		if sk, ok := o.skillPatch[u]; ok {
+			return sk
+		}
+	}
+	return o.base.Skills(u)
+}
+
+// HasSkill reports whether expert u holds skill s.
+func (o *OverlayView) HasSkill(u expertgraph.NodeID, s expertgraph.SkillID) bool {
+	return containsSkill(o.Skills(u), s)
+}
+
+// ExpertsWithSkill returns C(s) sorted by NodeID. The returned slice
+// is shared with the view and must not be modified.
+func (o *OverlayView) ExpertsWithSkill(s expertgraph.SkillID) []expertgraph.NodeID {
+	if len(o.holdersPatch) != 0 {
+		if holders, ok := o.holdersPatch[s]; ok {
+			return holders
+		}
+	}
+	if int(s) < o.nbSk {
+		return o.base.ExpertsWithSkill(s)
+	}
+	return nil
+}
+
+// EdgeWeightBounds returns the exact (min, max) edge weight at this
+// epoch — identical to what materializing the graph would compute.
+func (o *OverlayView) EdgeWeightBounds() (lo, hi float64) { return o.minW, o.maxW }
+
+// InvAuthorityBounds returns the exact (min, max) inverse authority at
+// this epoch.
+func (o *OverlayView) InvAuthorityBounds() (lo, hi float64) { return o.minInv, o.maxInv }
+
+// ValidNode reports whether u is a node of this view.
+func (o *OverlayView) ValidNode(u expertgraph.NodeID) bool {
+	return u >= 0 && int(u) < o.nodes
+}
+
+var _ expertgraph.GraphView = (*OverlayView)(nil)

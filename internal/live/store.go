@@ -80,11 +80,19 @@ var (
 type Config struct {
 	// JournalPath enables the write-ahead journal ("" disables it). If
 	// the file exists its mutations are replayed onto the base graph.
+	// A compacted base graph persisted at JournalPath+".base" (see
+	// Compact) supersedes the base graph passed to Open, and only the
+	// journal suffix past its epoch is replayed.
 	JournalPath string
 	// Sync fsyncs the journal after every record. Off by default: a
 	// process crash still keeps every completed write (the OS page
 	// cache survives it), only a host power loss can drop the tail.
 	Sync bool
+	// CompactThreshold folds the journal into the persisted base graph
+	// at Open time when the replayed suffix has at least this many
+	// records, keeping boot replay O(recent churn). 0 disables
+	// auto-compaction (Compact can still be called explicitly).
+	CompactThreshold int
 }
 
 // Store is the mutable overlay over one immutable base graph. All
@@ -92,11 +100,29 @@ type Config struct {
 // lock); Snapshot is lock-free.
 type Store struct {
 	base *expertgraph.Graph
-	snap atomic.Pointer[Snapshot]
+	// baseEpoch is the absolute epoch of the in-memory base graph: 0
+	// for a fresh store, the compaction epoch when Open adopted a
+	// compacted base. Epochs are absolute (they survive compaction and
+	// restarts); log index i holds the mutation of epoch baseEpoch+i+1.
+	baseEpoch   uint64
+	journalPath string
+	snap        atomic.Pointer[Snapshot]
 
 	mu      sync.Mutex // serializes writers
-	log     []Mutation // full mutation log since base; len == epoch
+	log     []Mutation // mutation log since base; len == epoch - baseEpoch
 	journal *journal   // nil when journaling is disabled
+	// compactMu serializes Compact calls (held across the base write
+	// and journal swap; mutators keep running under mu meanwhile).
+	compactMu sync.Mutex
+
+	// prefix memoizes (nodes, edges) counts after every memoEvery
+	// mutations, so SnapshotAt reconstructs a historical snapshot by
+	// scanning at most memoEvery log records past the nearest
+	// checkpoint instead of the whole prefix. Appended under mu.
+	prefix []prefixCount
+	// lastSnapshotScan records how many log entries the most recent
+	// SnapshotAt call scanned (test observability; read under mu).
+	lastSnapshotScan int
 
 	// Writer-side validation state, maintained so mutations are
 	// validated in O(1)/O(log) without materializing a graph.
@@ -109,7 +135,21 @@ type Store struct {
 	nodesAdded   atomic.Uint64
 	edgesAdded   atomic.Uint64
 	nodesUpdated atomic.Uint64
+	// materialized counts full-graph materializations (Snapshot.Graph
+	// actually replaying the delta onto a thawed base) — the number the
+	// overlay read path keeps at zero while serving queries.
+	materialized atomic.Uint64
+	compactions  atomic.Uint64
 }
+
+// prefixCount is one SnapshotAt checkpoint: the graph size after the
+// first k·memoEvery logged mutations.
+type prefixCount struct {
+	nodes, edges int
+}
+
+// memoEvery is the SnapshotAt checkpoint spacing.
+const memoEvery = 256
 
 // Counters reports how many mutations of each kind the store has
 // applied (including journal replay).
@@ -128,36 +168,69 @@ func edgeKey(u, v expertgraph.NodeID) uint64 {
 
 // Open wraps base in a mutable store. With cfg.JournalPath set, an
 // existing journal is replayed (restoring the pre-restart epoch) and
-// subsequent mutations are appended to it.
+// subsequent mutations are appended to it. If a compacted base graph
+// exists next to the journal (JournalPath+".base", written by
+// Compact), it supersedes the passed base and only the journal suffix
+// past its epoch is replayed — so replay stays O(churn since the last
+// compaction) no matter how old the deployment is.
 func Open(base *expertgraph.Graph, cfg Config) (*Store, error) {
-	s := &Store{
-		base:    base,
-		nNodes:  base.NumNodes(),
-		nEdges:  base.NumEdges(),
-		edgeSet: make(map[uint64]struct{}, base.NumEdges()),
+	s := &Store{base: base, journalPath: cfg.JournalPath}
+	var replay []Mutation
+	if cfg.JournalPath != "" {
+		cb, cbEpoch, err := loadBaseFile(basePath(cfg.JournalPath))
+		if err != nil {
+			return nil, err
+		}
+		if cb != nil {
+			s.base, s.baseEpoch = cb, cbEpoch
+		}
+		muts, startEpoch, j, err := openJournal(cfg.JournalPath, cfg.Sync)
+		if err != nil {
+			return nil, err
+		}
+		// The journal covers epochs startEpoch+1 .. startEpoch+len(muts);
+		// records up to the base epoch are already folded into the base
+		// (a crash between Compact's base rewrite and journal truncation
+		// leaves exactly this overlap). A base outside the journal's
+		// range means the two files are from different histories.
+		if s.baseEpoch < startEpoch || s.baseEpoch > startEpoch+uint64(len(muts)) {
+			j.Close()
+			return nil, fmt.Errorf("live: journal %s covers epochs %d..%d, base graph is at epoch %d",
+				cfg.JournalPath, startEpoch, startEpoch+uint64(len(muts)), s.baseEpoch)
+		}
+		replay = muts[s.baseEpoch-startEpoch:]
+		s.journal = j
 	}
-	for u := expertgraph.NodeID(0); int(u) < base.NumNodes(); u++ {
-		base.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
+
+	s.nNodes = s.base.NumNodes()
+	s.nEdges = s.base.NumEdges()
+	s.edgeSet = make(map[uint64]struct{}, s.nEdges)
+	for u := expertgraph.NodeID(0); int(u) < s.nNodes; u++ {
+		s.base.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
 			if u < v {
 				s.edgeSet[edgeKey(u, v)] = struct{}{}
 			}
 			return true
 		})
 	}
-	s.snap.Store(&Snapshot{base: base, g: base, nodes: s.nNodes, edges: s.nEdges})
+	s.snap.Store(&Snapshot{
+		epoch: s.baseEpoch, baseEpoch: s.baseEpoch,
+		base: s.base, g: s.base,
+		nodes: s.nNodes, edges: s.nEdges,
+		matCtr: &s.materialized,
+	})
 
-	if cfg.JournalPath != "" {
-		replayed, j, err := openJournal(cfg.JournalPath, cfg.Sync)
-		if err != nil {
+	for i, m := range replay {
+		if _, _, err := s.apply(m, false); err != nil {
+			s.journal.Close()
+			return nil, fmt.Errorf("live: journal record %d (epoch %d): %w", i+1, s.baseEpoch+uint64(i)+1, err)
+		}
+	}
+	if cfg.CompactThreshold > 0 && len(replay) >= cfg.CompactThreshold {
+		if _, err := s.Compact(); err != nil {
+			s.journal.Close()
 			return nil, err
 		}
-		for i, m := range replayed {
-			if _, _, err := s.apply(m, false); err != nil {
-				j.Close()
-				return nil, fmt.Errorf("live: journal record %d: %w", i+1, err)
-			}
-		}
-		s.journal = j
 	}
 	return s, nil
 }
@@ -186,22 +259,35 @@ func (s *Store) Snapshot() *Snapshot { return s.snap.Load() }
 func (s *Store) Epoch() uint64 { return s.snap.Load().epoch }
 
 // SnapshotAt reconstructs the snapshot of a past epoch (ok=false when
-// epoch is ahead of the store). The mutation log is append-only, so a
-// historical snapshot is just a shorter prefix of it; materializing
-// its graph costs the same lazy replay as any snapshot. Used to anchor
-// state persisted at an earlier epoch (e.g. an on-disk 2-hop cover)
-// so it can be repaired forward instead of discarded.
+// epoch is ahead of the store, or behind its base — compaction folds
+// history into the base graph, and pre-base epochs can no longer be
+// reconstructed). The mutation log is append-only, so a historical
+// snapshot is just a shorter prefix of it; the (nodes, edges) counts
+// are resumed from the nearest prefix checkpoint, making the call
+// O(memoEvery) instead of O(epoch). Used to anchor state persisted at
+// an earlier epoch (e.g. an on-disk 2-hop cover) so it can be repaired
+// forward instead of discarded.
 func (s *Store) SnapshotAt(epoch uint64) (*Snapshot, bool) {
 	cur := s.Snapshot()
-	if epoch > cur.epoch {
+	if epoch > cur.epoch || epoch < cur.baseEpoch {
 		return nil, false
 	}
 	if epoch == cur.epoch {
 		return cur, true
 	}
-	log := cur.log[:epoch]
+	idx := int(epoch - cur.baseEpoch)
+	log := cur.log[:idx]
 	nodes, edges := s.base.NumNodes(), s.base.NumEdges()
-	for _, m := range log {
+	from := 0
+	s.mu.Lock()
+	if k := idx / memoEvery; k > 0 && len(s.prefix) >= k {
+		cp := s.prefix[k-1]
+		nodes, edges = cp.nodes, cp.edges
+		from = k * memoEvery
+	}
+	s.lastSnapshotScan = idx - from
+	s.mu.Unlock()
+	for _, m := range log[from:] {
 		switch m.Op {
 		case OpAddNode:
 			nodes++
@@ -209,12 +295,31 @@ func (s *Store) SnapshotAt(epoch uint64) (*Snapshot, bool) {
 			edges++
 		}
 	}
-	sn := &Snapshot{epoch: epoch, base: s.base, log: log, nodes: nodes, edges: edges}
-	if epoch == 0 {
+	sn := &Snapshot{
+		epoch: epoch, baseEpoch: cur.baseEpoch,
+		base: s.base, log: log, nodes: nodes, edges: edges,
+		matCtr: &s.materialized,
+	}
+	if epoch == cur.baseEpoch {
 		sn.g = s.base
 	}
 	return sn, true
 }
+
+// Materializations reports how many times a snapshot of this store
+// materialized a full graph (thaw + delta replay). The overlay read
+// path keeps this at zero for query serving; index rebuilds and
+// compaction are the intended exceptions.
+func (s *Store) Materializations() uint64 { return s.materialized.Load() }
+
+// Compactions reports how many journal compactions the store has
+// performed (including the auto-compaction at Open).
+func (s *Store) Compactions() uint64 { return s.compactions.Load() }
+
+// BaseEpoch returns the epoch of the store's in-memory base graph: 0
+// for a fresh store, the compaction epoch when Open adopted a
+// compacted base.
+func (s *Store) BaseEpoch() uint64 { return s.baseEpoch }
 
 // Counters reports lifetime mutation counts by kind.
 func (s *Store) Counters() Counters {
@@ -337,13 +442,18 @@ func (s *Store) apply(m Mutation, journal bool) (expertgraph.NodeID, uint64, err
 	// The writer only ever appends past every published length, so
 	// readers never observe a write.
 	s.log = append(s.log, m)
+	if len(s.log)%memoEvery == 0 {
+		s.prefix = append(s.prefix, prefixCount{nodes: s.nNodes, edges: s.nEdges})
+	}
 	prev := s.snap.Load()
 	next := &Snapshot{
-		epoch: prev.epoch + 1,
-		base:  s.base,
-		log:   s.log,
-		nodes: s.nNodes,
-		edges: s.nEdges,
+		epoch:     prev.epoch + 1,
+		baseEpoch: s.baseEpoch,
+		base:      s.base,
+		log:       s.log,
+		nodes:     s.nNodes,
+		edges:     s.nEdges,
+		matCtr:    &s.materialized,
 	}
 	s.snap.Store(next)
 	return newID, next.epoch, nil
@@ -352,18 +462,24 @@ func (s *Store) apply(m Mutation, journal bool) (expertgraph.NodeID, uint64, err
 // Snapshot is one epoch's immutable, consistent view of the network.
 // It is safe for concurrent use.
 type Snapshot struct {
-	epoch uint64
-	base  *expertgraph.Graph
-	log   []Mutation // the first `epoch` mutations since base
-	nodes int
-	edges int
+	epoch     uint64
+	baseEpoch uint64 // epoch of base; log[i] is the mutation of epoch baseEpoch+i+1
+	base      *expertgraph.Graph
+	log       []Mutation // the epoch−baseEpoch mutations since base
+	nodes     int
+	edges     int
+	matCtr    *atomic.Uint64 // store's materialization counter (may be nil)
 
 	once sync.Once
 	g    *expertgraph.Graph
 	err  error
+
+	viewOnce sync.Once
+	view     expertgraph.GraphView
 }
 
-// Epoch returns the snapshot's epoch (0 = the unmodified base graph).
+// Epoch returns the snapshot's epoch (the base epoch = the unmodified
+// base graph).
 func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
 
 // NumNodes returns the expert count at this epoch without
@@ -377,24 +493,51 @@ func (sn *Snapshot) NumEdges() int { return sn.edges }
 // Graph materializes (and memoizes) the full expert network at this
 // epoch: the base graph is thawed and the mutation delta replayed.
 // Every caller of the same snapshot shares one materialization.
+//
+// Query serving does not need this — View answers every read without
+// copying the graph — so materialization is reserved for the jobs that
+// genuinely want a packed CSR copy: full 2-hop index rebuilds and
+// journal compaction. Each actual materialization is counted on the
+// store (see Store.Materializations).
 func (sn *Snapshot) Graph() (*expertgraph.Graph, error) {
 	sn.once.Do(func() {
-		if sn.g != nil { // epoch 0 carries the base graph directly
+		if sn.g != nil { // a base-epoch snapshot carries the base graph directly
 			return
+		}
+		if sn.matCtr != nil {
+			sn.matCtr.Add(1)
 		}
 		sn.g, sn.err = materialize(sn.base, sn.log)
 	})
 	return sn.g, sn.err
 }
 
+// View returns the epoch's read-only graph view without materializing
+// anything: the base graph itself at the base epoch, and a delta
+// overlay (base CSR + per-node patches, O(|delta|) to construct,
+// memoized per snapshot) afterwards. This is the read path the whole
+// query stack — transform fit, distance oracles, Algorithm 1, team
+// evaluation — consumes.
+func (sn *Snapshot) View() expertgraph.GraphView {
+	sn.viewOnce.Do(func() {
+		if sn.epoch == sn.baseEpoch {
+			sn.view = sn.base
+			return
+		}
+		sn.view = newOverlay(sn.base, sn.log[:sn.epoch-sn.baseEpoch], sn.nodes, sn.edges)
+	})
+	return sn.view
+}
+
 // MutationsSince returns the mutations applied after epoch `from` up
-// to this snapshot, or ok=false when from is ahead of this snapshot.
-// Both snapshots must come from the same store.
+// to this snapshot, or ok=false when from is ahead of this snapshot or
+// predates its base (history folded away by compaction). Both
+// snapshots must come from the same store.
 func (sn *Snapshot) MutationsSince(from uint64) (muts []Mutation, ok bool) {
-	if from > sn.epoch {
+	if from > sn.epoch || from < sn.baseEpoch {
 		return nil, false
 	}
-	return sn.log[from:sn.epoch], true
+	return sn.log[from-sn.baseEpoch : sn.epoch-sn.baseEpoch], true
 }
 
 // materialize replays the delta onto a thawed copy of base.

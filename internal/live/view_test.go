@@ -1,0 +1,348 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"authteam/internal/core"
+	"authteam/internal/expertgraph"
+	"authteam/internal/team"
+	"authteam/internal/transform"
+)
+
+// randomBase builds a connected random expert network with continuous
+// edge weights (exact float ties between distinct paths have measure
+// zero, so shortest-path tie-breaking cannot make the overlay and the
+// materialized graph diverge).
+func randomBase(t *testing.T, rng *rand.Rand, n int) *expertgraph.Graph {
+	t.Helper()
+	b := expertgraph.NewBuilder(n, 3*n)
+	for i := 0; i < n; i++ {
+		skills := []string{fmt.Sprintf("s%d", rng.Intn(12))}
+		if rng.Intn(2) == 0 {
+			skills = append(skills, fmt.Sprintf("s%d", rng.Intn(12)))
+		}
+		b.AddNode(fmt.Sprintf("e%d", i), float64(1+rng.Intn(50)), skills...)
+	}
+	for i := 1; i < n; i++ { // random spanning tree keeps it connected
+		b.AddEdge(expertgraph.NodeID(rng.Intn(i)), expertgraph.NodeID(i), 0.1+0.8*rng.Float64())
+	}
+	for tries := 0; tries < 2*n; tries++ {
+		u, v := expertgraph.NodeID(rng.Intn(n)), expertgraph.NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v, 0.1+0.8*rng.Float64())
+	}
+	g, err := b.Build()
+	if err != nil {
+		// The duplicate edges the loop above can produce are rejected by
+		// Build; rebuild without the extras is overkill — just retry the
+		// tree-only graph.
+		b2 := expertgraph.NewBuilder(n, n)
+		for i := 0; i < n; i++ {
+			b2.AddNode(fmt.Sprintf("e%d", i), float64(1+rng.Intn(50)), fmt.Sprintf("s%d", rng.Intn(12)))
+		}
+		for i := 1; i < n; i++ {
+			b2.AddEdge(expertgraph.NodeID(rng.Intn(i)), expertgraph.NodeID(i), 0.1+0.8*rng.Float64())
+		}
+		g, err = b2.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// mutateRandomly applies count random valid mutations (rejections are
+// fine — they advance nothing on either side).
+func mutateRandomly(t *testing.T, st *Store, rng *rand.Rand, count int) {
+	t.Helper()
+	for i := 0; i < count; i++ {
+		n := st.Snapshot().NumNodes()
+		switch rng.Intn(10) {
+		case 0, 1: // add expert, sometimes with a brand-new skill
+			skills := []string{fmt.Sprintf("s%d", rng.Intn(12))}
+			if rng.Intn(3) == 0 {
+				skills = append(skills, fmt.Sprintf("x%d", rng.Intn(6)))
+			}
+			id, _, err := st.AddExpert(fmt.Sprintf("new%d", i), float64(rng.Intn(60)), skills)
+			if err != nil {
+				t.Fatalf("add expert: %v", err)
+			}
+			// Wire the newcomer in so every skill stays reachable.
+			if _, err := st.AddCollaboration(id, expertgraph.NodeID(rng.Intn(n)), 0.05+0.9*rng.Float64()); err != nil {
+				t.Fatalf("connect new expert: %v", err)
+			}
+		case 2: // authority update, occasionally extreme (exercises the bound rescan)
+			auth := float64(1 + rng.Intn(50))
+			if rng.Intn(3) == 0 {
+				auth = float64(200 + rng.Intn(100))
+			}
+			_, _ = st.UpdateExpert(expertgraph.NodeID(rng.Intn(n)), &auth, nil)
+		case 3: // skill grant, sometimes a new skill name
+			sk := fmt.Sprintf("s%d", rng.Intn(12))
+			if rng.Intn(4) == 0 {
+				sk = fmt.Sprintf("x%d", rng.Intn(6))
+			}
+			_, _ = st.UpdateExpert(expertgraph.NodeID(rng.Intn(n)), nil, []string{sk})
+		default: // edge insertion (duplicates/self-loops rejected harmlessly)
+			u, v := expertgraph.NodeID(rng.Intn(n)), expertgraph.NodeID(rng.Intn(n))
+			_, _ = st.AddCollaboration(u, v, 0.05+0.9*rng.Float64())
+		}
+	}
+}
+
+// checkViewStructure verifies every GraphView read agrees between the
+// overlay and the materialized graph.
+func checkViewStructure(t *testing.T, gv expertgraph.GraphView, gm *expertgraph.Graph) {
+	t.Helper()
+	if gv.NumNodes() != gm.NumNodes() || gv.NumEdges() != gm.NumEdges() || gv.NumSkills() != gm.NumSkills() {
+		t.Fatalf("sizes: view (%d,%d,%d) vs graph (%d,%d,%d)",
+			gv.NumNodes(), gv.NumEdges(), gv.NumSkills(),
+			gm.NumNodes(), gm.NumEdges(), gm.NumSkills())
+	}
+	if l1, h1 := gv.EdgeWeightBounds(); true {
+		if l2, h2 := gm.EdgeWeightBounds(); l1 != l2 || h1 != h2 {
+			t.Fatalf("edge bounds: view (%v,%v) vs graph (%v,%v)", l1, h1, l2, h2)
+		}
+	}
+	if l1, h1 := gv.InvAuthorityBounds(); true {
+		if l2, h2 := gm.InvAuthorityBounds(); l1 != l2 || h1 != h2 {
+			t.Fatalf("inv-authority bounds: view (%v,%v) vs graph (%v,%v)", l1, h1, l2, h2)
+		}
+	}
+	for u := expertgraph.NodeID(0); int(u) < gm.NumNodes(); u++ {
+		if gv.Name(u) != gm.Name(u) || gv.Authority(u) != gm.Authority(u) ||
+			gv.InvAuthority(u) != gm.InvAuthority(u) || gv.Pubs(u) != gm.Pubs(u) {
+			t.Fatalf("node %d records differ", u)
+		}
+		if gv.Degree(u) != gm.Degree(u) {
+			t.Fatalf("node %d degree: view %d vs graph %d", u, gv.Degree(u), gm.Degree(u))
+		}
+		viewAdj := map[expertgraph.NodeID]float64{}
+		gv.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
+			viewAdj[v] = w
+			return true
+		})
+		graphAdj := map[expertgraph.NodeID]float64{}
+		gm.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
+			graphAdj[v] = w
+			return true
+		})
+		if !reflect.DeepEqual(viewAdj, graphAdj) {
+			t.Fatalf("node %d adjacency differs: view %v vs graph %v", u, viewAdj, graphAdj)
+		}
+		vs := append([]expertgraph.SkillID(nil), gv.Skills(u)...)
+		ms := append([]expertgraph.SkillID(nil), gm.Skills(u)...)
+		if !reflect.DeepEqual(vs, ms) {
+			t.Fatalf("node %d skills differ: view %v vs graph %v", u, vs, ms)
+		}
+	}
+	for s := expertgraph.SkillID(0); int(s) < gm.NumSkills(); s++ {
+		if gv.SkillName(s) != gm.SkillName(s) {
+			t.Fatalf("skill %d name differs", s)
+		}
+		if id, ok := gv.SkillID(gm.SkillName(s)); !ok || id != s {
+			t.Fatalf("skill %q resolves to (%d,%v) on the view, want %d", gm.SkillName(s), id, ok, s)
+		}
+		if !reflect.DeepEqual(
+			append([]expertgraph.NodeID(nil), gv.ExpertsWithSkill(s)...),
+			append([]expertgraph.NodeID(nil), gm.ExpertsWithSkill(s)...)) {
+			t.Fatalf("holders of %q differ", gm.SkillName(s))
+		}
+	}
+}
+
+// feasibleProject picks project skills that have holders on g.
+func feasibleProject(rng *rand.Rand, g expertgraph.GraphView, want int) []expertgraph.SkillID {
+	var have []expertgraph.SkillID
+	for s := 0; s < g.NumSkills(); s++ {
+		if len(g.ExpertsWithSkill(expertgraph.SkillID(s))) > 0 {
+			have = append(have, expertgraph.SkillID(s))
+		}
+	}
+	rng.Shuffle(len(have), func(i, j int) { have[i], have[j] = have[j], have[i] })
+	if len(have) > want {
+		have = have[:want]
+	}
+	return have
+}
+
+// TestOverlayDifferential is the acceptance test of the overlay read
+// path: across a randomized mutation stream, every core method must
+// return exactly the same teams on the zero-copy OverlayView as on the
+// materialized graph — and the overlay side must perform zero
+// materializations.
+func TestOverlayDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	base := randomBase(t, rng, 60)
+	st, err := Open(base, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	discover := func(g expertgraph.GraphView, project []expertgraph.SkillID) map[string][]*team.Team {
+		out := map[string][]*team.Team{}
+		for _, m := range []core.Method{core.CC, core.CACC, core.SACACC} {
+			p, err := transform.Fit(g, 0.6, 0.6, transform.Options{Normalize: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			teams, err := core.NewDiscoverer(p, m).TopK(project, 3)
+			if err != nil {
+				t.Fatalf("%v: %v", m, err)
+			}
+			out[m.String()] = teams
+			// One PLL-backed run per checkpoint exercises index
+			// construction over the overlay too.
+			if m == core.SACACC {
+				teams, err := core.NewDiscoverer(p, m, core.WithPLL()).TopK(project, 3)
+				if err != nil {
+					t.Fatalf("%v (pll): %v", m, err)
+				}
+				out["sa-ca-cc-pll"] = teams
+			}
+		}
+		front, err := core.ParetoFront(g, project, core.ParetoOptions{})
+		if err != nil {
+			t.Fatalf("pareto: %v", err)
+		}
+		for _, f := range front {
+			out["pareto"] = append(out["pareto"], f.Team)
+		}
+		p, err := transform.Fit(g, 0.6, 0.6, transform.Options{Normalize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := core.Exact(p, project[:min(len(project), 2)], core.ExactOptions{MaxCandidatesPerSkill: 4})
+		if err != nil {
+			t.Fatalf("exact: %v", err)
+		}
+		out["exact"] = []*team.Team{ex}
+		return out
+	}
+
+	for round := 0; round < 4; round++ {
+		mutateRandomly(t, st, rng, 30)
+		snap := st.Snapshot()
+		gv := snap.View()
+
+		before := st.Materializations()
+		project := feasibleProject(rand.New(rand.NewSource(int64(round))), gv, 3)
+		viewTeams := discover(gv, project)
+		checkStructureLater := st.Materializations()
+		if checkStructureLater != before {
+			t.Fatalf("round %d: view-side discovery materialized %d graphs, want 0",
+				round, checkStructureLater-before)
+		}
+
+		gm, err := snap.Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkViewStructure(t, gv, gm)
+		graphTeams := discover(gm, project)
+
+		for method, want := range graphTeams {
+			got := viewTeams[method]
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d method %s: overlay teams differ from materialized teams\noverlay: %+v\nmaterialized: %+v",
+					round, method, got, want)
+			}
+		}
+		if st.Materializations() != before+1 {
+			t.Fatalf("round %d: %d materializations, want exactly the reference one",
+				round, st.Materializations()-before)
+		}
+	}
+}
+
+// TestOverlayBoundsRescan pins the one subtle overlay bound case: an
+// authority update that *removes* the current inverse-authority
+// extreme must shrink the bounds exactly as a rebuild would.
+func TestOverlayBoundsRescan(t *testing.T) {
+	b := expertgraph.NewBuilder(3, 2)
+	b.AddNode("low", 1, "a")   // inv 1.0 — the max extreme
+	b.AddNode("mid", 4, "b")   // inv 0.25
+	b.AddNode("high", 10, "c") // inv 0.1 — the min extreme
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(1, 2, 0.5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth := 5.0 // inv 0.2: the old max (1.0) disappears
+	if _, err := st.UpdateExpert(0, &auth, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	gv := snap.View()
+	gm, err := snap.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vl, vh := gv.InvAuthorityBounds()
+	ml, mh := gm.InvAuthorityBounds()
+	if vl != ml || vh != mh {
+		t.Fatalf("bounds after extreme removal: view (%v,%v) vs graph (%v,%v)", vl, vh, ml, mh)
+	}
+	if vh != 0.25 {
+		t.Fatalf("max inv = %v, want 0.25 (old extreme must vanish)", vh)
+	}
+}
+
+// TestSnapshotAtUsesPrefixMemo verifies that historical snapshot
+// reconstruction is answered from the nearest prefix checkpoint (O(delta
+// since memo), not O(epoch)) and still reports exact counts.
+func TestSnapshotAtUsesPrefixMemo(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := randomBase(t, rng, 20)
+	st, err := Open(base, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 3*memoEvery + 57
+	mutateRandomly(t, st, rng, total+400) // rejections don't advance epochs; overshoot
+	top := st.Epoch()
+	if top < total {
+		t.Fatalf("only %d mutations applied, need ≥ %d", top, total)
+	}
+
+	// Reference counts by brute force over the full log.
+	cur := st.Snapshot()
+	for _, epoch := range []uint64{0, 1, memoEvery - 1, memoEvery, memoEvery + 1, 2*memoEvery + 17, top - 1, top} {
+		sn, ok := st.SnapshotAt(epoch)
+		if !ok {
+			t.Fatalf("SnapshotAt(%d) refused (top %d)", epoch, top)
+		}
+		nodes, edges := base.NumNodes(), base.NumEdges()
+		muts, _ := cur.MutationsSince(0)
+		for _, m := range muts[:epoch] {
+			switch m.Op {
+			case OpAddNode:
+				nodes++
+			case OpAddEdge:
+				edges++
+			}
+		}
+		if sn.NumNodes() != nodes || sn.NumEdges() != edges {
+			t.Fatalf("SnapshotAt(%d) = (%d,%d), want (%d,%d)", epoch, sn.NumNodes(), sn.NumEdges(), nodes, edges)
+		}
+		if epoch < top {
+			st.mu.Lock()
+			scanned := st.lastSnapshotScan
+			st.mu.Unlock()
+			if scanned >= memoEvery {
+				t.Fatalf("SnapshotAt(%d) scanned %d log entries, want < %d (memoized prefix)",
+					epoch, scanned, memoEvery)
+			}
+		}
+	}
+}

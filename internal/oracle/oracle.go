@@ -42,7 +42,7 @@ type DijkstraOracle struct {
 
 // NewDijkstra creates an exact oracle over g. A nil weight uses stored
 // edge weights.
-func NewDijkstra(g *expertgraph.Graph, weight WeightFunc) *DijkstraOracle {
+func NewDijkstra(g expertgraph.GraphView, weight WeightFunc) *DijkstraOracle {
 	return &DijkstraOracle{
 		ws:     expertgraph.NewDijkstraWorkspace(g),
 		weight: weight,
@@ -89,7 +89,7 @@ func NewPLL(ix *pll.Index) *PLLOracle { return &PLLOracle{ix: ix} }
 
 // BuildPLL constructs a 2-hop cover over g (reweighted by weight if
 // non-nil) and returns an oracle over it.
-func BuildPLL(g *expertgraph.Graph, weight WeightFunc) *PLLOracle {
+func BuildPLL(g expertgraph.GraphView, weight WeightFunc) *PLLOracle {
 	ix := pll.BuildWithOptions(g, pll.Options{Weight: weight})
 	return &PLLOracle{ix: ix}
 }

@@ -157,7 +157,7 @@ func (d *DynamicIndex) setEntry(u expertgraph.NodeID, r int32, dist float64) {
 // improved shortest path uses at least one inserted edge, and that
 // edge's resumption propagates the improvement through the rest of the
 // batch's edges, which are already traversable.
-func (d *DynamicIndex) InsertEdge(g *expertgraph.Graph, u, v expertgraph.NodeID, w float64) {
+func (d *DynamicIndex) InsertEdge(g expertgraph.GraphView, u, v expertgraph.NodeID, w float64) {
 	wp := w
 	if d.weight != nil {
 		wp = d.weight(u, v, w)
@@ -187,7 +187,7 @@ func (d *DynamicIndex) InsertEdge(g *expertgraph.Graph, u, v expertgraph.NodeID,
 // landmark labels seeds the far endpoint at label distance + wp, and
 // the search expands exactly like construction, pruning any node whose
 // distance is already certified by hubs ranked above r.
-func (d *DynamicIndex) resume(g *expertgraph.Graph, r int32, u, v expertgraph.NodeID, wp float64) {
+func (d *DynamicIndex) resume(g expertgraph.GraphView, r int32, u, v expertgraph.NodeID, wp float64) {
 	lm := d.nodeAt[r]
 	// Load the landmark's label for O(|label|) prefix prune queries.
 	for _, e := range d.labels[lm] {

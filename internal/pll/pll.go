@@ -71,12 +71,15 @@ type Options struct {
 }
 
 // Build constructs the index for g with default options.
-func Build(g *expertgraph.Graph) *Index {
+func Build(g expertgraph.GraphView) *Index {
 	return BuildWithOptions(g, Options{})
 }
 
-// BuildWithOptions constructs the index for g.
-func BuildWithOptions(g *expertgraph.Graph, opt Options) *Index {
+// BuildWithOptions constructs the index for g. Any GraphView works;
+// construction cost is dominated by the pruned Dijkstras, so building
+// over a delta overlay instead of a packed CSR graph costs only the
+// overlay's per-read overhead.
+func BuildWithOptions(g expertgraph.GraphView, opt Options) *Index {
 	n := g.NumNodes()
 	idx := &Index{
 		n:      n,

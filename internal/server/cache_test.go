@@ -14,7 +14,7 @@ func TestLRUBasic(t *testing.T) {
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("hit on empty cache")
 	}
-	c.Put("a", resp("a"))
+	c.Put("a", 0, resp("a"))
 	got, ok := c.Get("a")
 	if !ok || got.Method != "a" {
 		t.Fatalf("Get(a) = %v, %v", got, ok)
@@ -27,10 +27,10 @@ func TestLRUBasic(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	c := newLRU(2)
-	c.Put("a", resp("a"))
-	c.Put("b", resp("b"))
+	c.Put("a", 0, resp("a"))
+	c.Put("b", 0, resp("b"))
 	c.Get("a") // promote a; b is now LRU
-	c.Put("c", resp("c"))
+	c.Put("c", 0, resp("c"))
 	if _, ok := c.Get("b"); ok {
 		t.Error("b should have been evicted")
 	}
@@ -46,8 +46,8 @@ func TestLRUEviction(t *testing.T) {
 
 func TestLRUUpdateExisting(t *testing.T) {
 	c := newLRU(2)
-	c.Put("a", resp("old"))
-	c.Put("a", resp("new"))
+	c.Put("a", 0, resp("old"))
+	c.Put("a", 0, resp("new"))
 	got, ok := c.Get("a")
 	if !ok || got.Method != "new" {
 		t.Fatalf("Get(a) = %v, %v; want updated value", got, ok)
@@ -59,7 +59,7 @@ func TestLRUUpdateExisting(t *testing.T) {
 
 func TestLRUDisabled(t *testing.T) {
 	c := newLRU(0)
-	c.Put("a", resp("a"))
+	c.Put("a", 0, resp("a"))
 	if _, ok := c.Get("a"); ok {
 		t.Error("disabled cache returned a hit")
 	}
@@ -71,7 +71,7 @@ func TestLRUDisabled(t *testing.T) {
 func TestLRUChurn(t *testing.T) {
 	c := newLRU(8)
 	for i := 0; i < 100; i++ {
-		c.Put(fmt.Sprintf("k%d", i), resp("x"))
+		c.Put(fmt.Sprintf("k%d", i), 0, resp("x"))
 	}
 	s := c.Stats()
 	if s.Size != 8 {

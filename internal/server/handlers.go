@@ -266,11 +266,7 @@ func (q *query) cacheKey() string {
 func (s *Server) discoverOne(ctx context.Context, req *DiscoverRequest, scanWorkers int) (*DiscoverResponse, *httpError) {
 	// Resolve the epoch once; the whole request — skill resolution,
 	// cache key, search, scoring — runs against this one snapshot.
-	v, herr := s.view()
-	if herr != nil {
-		s.metrics.record(methodLabel(req.Method), 0, true)
-		return nil, herr
-	}
+	v := s.view()
 	q, herr := s.normalize(v, req)
 	if herr != nil {
 		s.metrics.record(methodLabel(req.Method), 0, true)
@@ -363,7 +359,7 @@ func (s *Server) computeWithTimeout(ctx context.Context, v view, q *query, key s
 		resp, herr := s.compute(v, q, scanWorkers)
 		if herr == nil {
 			resp.ElapsedMS = msSince(start)
-			s.cache.Put(key, resp)
+			s.cache.Put(key, v.epoch(), resp)
 		}
 		ch <- outcome{resp, herr}
 	}()
@@ -472,7 +468,7 @@ func discoveryError(err error) *httpError {
 // teamResult serializes one team with member roles and all objective
 // scores under p, reading node records from the graph the team was
 // discovered on.
-func (s *Server) teamResult(g *expertgraph.Graph, tm *team.Team, p *transform.Params) TeamResult {
+func (s *Server) teamResult(g expertgraph.GraphView, tm *team.Team, p *transform.Params) TeamResult {
 	roles := make(map[expertgraph.NodeID][]string, len(tm.Assignment))
 	for sid, holder := range tm.Assignment {
 		roles[holder] = append(roles[holder], g.SkillName(sid))
@@ -570,11 +566,7 @@ type HealthResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	v, herr := s.view()
-	if herr != nil {
-		writeError(w, herr)
-		return
-	}
+	v := s.view()
 	resp := HealthResponse{Status: "ok", Epoch: v.epoch()}
 	resp.UptimeSeconds = time.Since(s.metrics.start).Seconds()
 	resp.Graph.Nodes = v.g.NumNodes()
@@ -585,7 +577,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // LiveStats is the live-mutation section of the /stats payload.
 type LiveStats struct {
-	Epoch          uint64 `json:"epoch"`
+	Epoch uint64 `json:"epoch"`
+	// BaseEpoch is the epoch of the store's base graph (> 0 after a
+	// compacted base was adopted at boot); Epoch−BaseEpoch bounds the
+	// next restart's journal replay.
+	BaseEpoch      uint64 `json:"base_epoch"`
 	Nodes          int    `json:"nodes"`
 	Edges          int    `json:"edges"`
 	JournalRecords uint64 `json:"journal_records"`
@@ -594,24 +590,35 @@ type LiveStats struct {
 	live.Counters
 	IncrementalRepairs uint64 `json:"incremental_repairs"`
 	FullRebuilds       uint64 `json:"full_rebuilds"`
+	// Materializations counts full-graph materializations; the overlay
+	// read path keeps it at zero while serving discovers (index
+	// rebuilds and compactions are the intended exceptions).
+	Materializations uint64 `json:"materializations"`
+	Compactions      uint64 `json:"compactions"`
 }
 
 // StatsResponse is the body of GET /stats.
 type StatsResponse struct {
 	MetricsSnapshot
 	Cache CacheStats `json:"cache"`
-	Live  LiveStats  `json:"live"`
+	// CacheEvictionsEpoch mirrors Cache.EpochEvictions at the top
+	// level for dashboards scraping a flat field.
+	CacheEvictionsEpoch uint64    `json:"cache_evictions_epoch"`
+	Live                LiveStats `json:"live"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.store.Snapshot()
 	records, bytes := s.store.JournalStats()
 	pending, repairs, rebuilds := s.indexes.stats()
+	cache := s.cache.Stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		MetricsSnapshot: s.metrics.snapshot(),
-		Cache:           s.cache.Stats(),
+		MetricsSnapshot:     s.metrics.snapshot(),
+		Cache:               cache,
+		CacheEvictionsEpoch: cache.EpochEvictions,
 		Live: LiveStats{
 			Epoch:              snap.Epoch(),
+			BaseEpoch:          s.store.BaseEpoch(),
 			Nodes:              snap.NumNodes(),
 			Edges:              snap.NumEdges(),
 			JournalRecords:     records,
@@ -620,6 +627,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Counters:           s.store.Counters(),
 			IncrementalRepairs: repairs,
 			FullRebuilds:       rebuilds,
+			Materializations:   s.store.Materializations(),
+			Compactions:        s.store.Compactions(),
 		},
 	})
 }

@@ -155,7 +155,7 @@ func (s *indexSet) forMethod(v view, p *transform.Params, m core.Method) oracle.
 		// Cold start for this key: disk, else a synchronous build.
 		o := s.load(key, v, p, m)
 		if o == nil {
-			o = core.BuildIndexOracle(p, m)
+			o = s.build(v, p, m)
 			s.rebuilds.Add(1)
 			s.save(key, o.Index(), v.epoch())
 		}
@@ -193,12 +193,33 @@ func (s *indexSet) forMethod(v view, p *transform.Params, m core.Method) oracle.
 	s.pending.Add(1)
 	go func() {
 		defer s.pending.Add(-1)
-		o := core.BuildIndexOracle(p, m)
+		o := s.build(v, p, m)
 		s.rebuilds.Add(1)
 		s.save(key, o.Index(), v.epoch())
 		install(&indexEntry{oracle: o, snap: v.snap})
 	}()
 	return nil
+}
+
+// build constructs a fresh 2-hop cover for method m at the view's
+// epoch. A full build is the one place the serving layer materializes
+// a graph: the O(n·m)-ish pruned-Dijkstra sweep touches every edge
+// many times, so it runs over the packed CSR copy rather than paying
+// the overlay's per-read overhead throughout; queries keep reading the
+// overlay and never wait on this copy.
+func (s *indexSet) build(v view, p *transform.Params, m core.Method) *oracle.PLLOracle {
+	var weight oracle.WeightFunc
+	if m != core.CC {
+		weight = p.EdgeWeight()
+	}
+	g, err := v.snap.Graph()
+	if err != nil {
+		// Mutations are validated before admission, so materialization
+		// cannot fail on a live store; fall back to the overlay view so
+		// a broken invariant degrades to a slower build, not an outage.
+		return oracle.BuildPLL(v.g, weight)
+	}
+	return oracle.BuildPLL(g, weight)
 }
 
 // load reads a previously persisted index for key. The index is

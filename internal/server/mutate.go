@@ -62,6 +62,7 @@ func (s *Server) handleAddNode(w http.ResponseWriter, r *http.Request) {
 		writeError(w, mutationError(err))
 		return
 	}
+	s.cache.EvictBefore(epoch)
 	s.metrics.recordMutation(string(live.OpAddNode), false)
 	writeJSON(w, http.StatusCreated, s.mutationResponse(epoch, &id))
 }
@@ -79,6 +80,7 @@ func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
 		writeError(w, mutationError(err))
 		return
 	}
+	s.cache.EvictBefore(epoch)
 	s.metrics.recordMutation(string(live.OpAddEdge), false)
 	writeJSON(w, http.StatusCreated, s.mutationResponse(epoch, nil))
 }
@@ -102,6 +104,7 @@ func (s *Server) handleUpdateNode(w http.ResponseWriter, r *http.Request) {
 		writeError(w, mutationError(err))
 		return
 	}
+	s.cache.EvictBefore(epoch)
 	s.metrics.recordMutation(string(live.OpUpdateNode), false)
 	writeJSON(w, http.StatusOK, s.mutationResponse(epoch, nil))
 }

@@ -62,6 +62,11 @@ type Config struct {
 	JournalPath string
 	// JournalSync fsyncs the journal after every mutation.
 	JournalSync bool
+	// CompactThreshold folds the journal into a persisted base graph
+	// (JournalPath+".base") at boot when the replayed suffix has at
+	// least this many records, keeping restart replay O(recent churn).
+	// 0 disables auto-compaction.
+	CompactThreshold int
 	// RepairBudget caps how many delta mutations an index is carried
 	// across by incremental repair before a full rebuild is preferred
 	// (default 512; negative disables incremental repair).
@@ -134,12 +139,13 @@ type paramsKey struct {
 }
 
 // view is one request's consistent slice of the world: an epoch
-// snapshot and its materialized graph. Everything the request touches
-// — skill resolution, search, scoring, serialization — reads this
-// graph, never "the latest" one.
+// snapshot and its zero-copy graph view (base CSR + delta overlay).
+// Everything the request touches — skill resolution, search, scoring,
+// serialization — reads this view, never "the latest" state and never
+// a materialized graph copy.
 type view struct {
 	snap *live.Snapshot
-	g    *expertgraph.Graph
+	g    expertgraph.GraphView
 }
 
 func (v view) epoch() uint64 { return v.snap.Epoch() }
@@ -161,7 +167,11 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
-	store, err := live.Open(g, live.Config{JournalPath: cfg.JournalPath, Sync: cfg.JournalSync})
+	store, err := live.Open(g, live.Config{
+		JournalPath:      cfg.JournalPath,
+		Sync:             cfg.JournalSync,
+		CompactThreshold: cfg.CompactThreshold,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
@@ -190,10 +200,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: default γ=%v λ=%v out of [0,1]", s.gamma, s.lambda)
 	}
 	if cfg.WarmIndex {
-		v, herr := s.view()
-		if herr != nil {
-			return nil, fmt.Errorf("server: %s", herr.msg)
-		}
+		v := s.view()
 		p, err := s.paramsFor(v, s.gamma, s.lambda)
 		if err != nil {
 			return nil, err
@@ -218,14 +225,13 @@ func (s *Server) Graph() *expertgraph.Graph {
 	return g
 }
 
-// view resolves the current epoch snapshot and materializes its graph.
-func (s *Server) view() (view, *httpError) {
+// view resolves the current epoch snapshot and its overlay read view.
+// No graph is materialized: a discover on a freshly mutated epoch
+// costs an O(|delta|) overlay construction (shared by every request on
+// the same snapshot), not a full graph copy.
+func (s *Server) view() view {
 	snap := s.store.Snapshot()
-	g, err := snap.Graph()
-	if err != nil {
-		return view{}, errf(http.StatusInternalServerError, "materialize epoch %d: %v", snap.Epoch(), err)
-	}
-	return view{snap: snap, g: g}, nil
+	return view{snap: snap, g: snap.View()}
 }
 
 // paramsFor returns the memoized transform fit for (γ, λ) at the

@@ -35,7 +35,7 @@ type Team struct {
 // a single shortest-path tree. assignment maps each required skill to
 // its chosen holder; paths[s] is the node sequence root..holder for
 // skill s. Shared path prefixes are deduplicated.
-func FromPaths(g *expertgraph.Graph, root expertgraph.NodeID,
+func FromPaths(g expertgraph.GraphView, root expertgraph.NodeID,
 	assignment map[expertgraph.SkillID]expertgraph.NodeID,
 	paths map[expertgraph.SkillID][]expertgraph.NodeID) (*Team, error) {
 
@@ -131,7 +131,7 @@ func (t *Team) Size() int { return len(t.Nodes) }
 // Validate checks that t is a well-formed team for project: every
 // required skill is assigned to a team member that actually holds it,
 // all edges exist in g, and the team subgraph is connected.
-func (t *Team) Validate(g *expertgraph.Graph, project []expertgraph.SkillID) error {
+func (t *Team) Validate(g expertgraph.GraphView, project []expertgraph.SkillID) error {
 	inTeam := make(map[expertgraph.NodeID]bool, len(t.Nodes))
 	for _, u := range t.Nodes {
 		if !g.ValidNode(u) {
@@ -235,7 +235,7 @@ type Profile struct {
 }
 
 // ProfileOf computes the display profile of t over g.
-func ProfileOf(t *Team, g *expertgraph.Graph) Profile {
+func ProfileOf(t *Team, g expertgraph.GraphView) Profile {
 	pr := Profile{Size: t.Size()}
 	holders := t.Holders()
 	conns := t.Connectors()

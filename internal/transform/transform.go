@@ -25,12 +25,12 @@ import (
 )
 
 // Params bundles the tradeoff parameters and the normalization fitted
-// to one graph. Construct with Fit; the zero value is not usable.
+// to one graph view. Construct with Fit; the zero value is not usable.
 type Params struct {
 	Gamma  float64 // connector-authority weight γ ∈ [0,1] (Def. 4)
 	Lambda float64 // skill-holder-authority weight λ ∈ [0,1] (Def. 6)
 
-	g      *expertgraph.Graph
+	g      expertgraph.GraphView
 	wScale stats.Scaler
 	aScale stats.Scaler
 	// normInv caches the normalized inverse authority ā'(u) per node.
@@ -45,8 +45,10 @@ type Options struct {
 	Normalize bool
 }
 
-// Fit validates (γ, λ) and fits normalization scalers to g.
-func Fit(g *expertgraph.Graph, gamma, lambda float64, opt Options) (*Params, error) {
+// Fit validates (γ, λ) and fits normalization scalers to g. Any
+// GraphView works — fitting only reads bounds and inverse authorities,
+// so the live overlay is fitted without materializing a graph.
+func Fit(g expertgraph.GraphView, gamma, lambda float64, opt Options) (*Params, error) {
 	if gamma < 0 || gamma > 1 {
 		return nil, fmt.Errorf("transform: gamma %v out of [0,1]", gamma)
 	}
@@ -72,8 +74,8 @@ func Fit(g *expertgraph.Graph, gamma, lambda float64, opt Options) (*Params, err
 // Scaler's degenerate handling rather than dividing by zero.
 func spread(lo, hi float64) (float64, float64) { return lo, hi }
 
-// Graph returns the graph the params were fitted to.
-func (p *Params) Graph() *expertgraph.Graph { return p.g }
+// Graph returns the graph view the params were fitted to.
+func (p *Params) Graph() expertgraph.GraphView { return p.g }
 
 // NormW returns the normalized edge weight w̄.
 func (p *Params) NormW(w float64) float64 { return p.wScale.Scale(w) }
