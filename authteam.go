@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"authteam/internal/core"
 	"authteam/internal/dblp"
@@ -91,6 +92,9 @@ var (
 	ErrNoTeam         = core.ErrNoTeam
 	ErrNoExpert       = core.ErrNoExpert
 	ErrBudgetExceeded = core.ErrBudgetExceeded
+	// ErrClosed is returned by mutators after Close (queries keep
+	// working).
+	ErrClosed = live.ErrClosed
 	// ErrUnknownSkill is returned when a requested skill name is not in
 	// the graph's skill universe.
 	ErrUnknownSkill = errors.New("authteam: unknown skill")
@@ -127,9 +131,19 @@ type Options struct {
 	// CompactThreshold folds the journal into a persisted base graph
 	// (Journal+".base") at client creation when at least this many
 	// records had to be replayed, keeping future replays O(recent
-	// churn). 0 disables auto-compaction; CompactJournal folds on
-	// demand.
+	// churn). 0 disables the creation-time fold; CompactJournal folds
+	// on demand. With CompactInterval set it is also the background
+	// compactor's record trigger.
 	CompactThreshold int
+	// CompactInterval starts a background compactor inside the client:
+	// at this (jittered) cadence it folds the journal and re-bases the
+	// in-memory store while queries and mutations keep flowing, so a
+	// long-lived client's resident state stays O(churn since the last
+	// fold). 0 disables it. Requires Journal.
+	CompactInterval time.Duration
+	// CompactBytes is the background compactor's journal-size trigger
+	// (0 disables the byte trigger).
+	CompactBytes int64
 }
 
 // clientState is the per-epoch derived serving state: the epoch's
@@ -160,6 +174,9 @@ const clientRepairBudget = 512
 type Client struct {
 	store *live.Store
 	opt   Options
+	// compactor is the background journal-fold loop (nil unless
+	// Options.CompactInterval and Journal are set).
+	compactor *live.Compactor
 
 	mu sync.Mutex
 	st *clientState
@@ -177,9 +194,25 @@ func New(g *Graph, opt Options) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opt.CompactInterval > 0 && opt.Journal == "" {
+		store.Close()
+		return nil, errors.New("authteam: CompactInterval requires Journal (nothing to fold without a journal)")
+	}
 	c := &Client{store: store, opt: opt}
 	if _, err := c.state(); err != nil {
+		store.Close()
 		return nil, err
+	}
+	if opt.CompactInterval > 0 {
+		c.compactor, err = store.StartCompactor(live.CompactorConfig{
+			Interval:   opt.CompactInterval,
+			MinRecords: uint64(max(opt.CompactThreshold, 0)),
+			MaxBytes:   opt.CompactBytes,
+		})
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
 	}
 	return c, nil
 }
@@ -300,12 +333,30 @@ func (c *Client) CompactJournal() error {
 	return err
 }
 
-// Epoch returns the number of mutations applied since the base graph.
+// Epoch returns the number of mutations applied since the client was
+// created (epochs are absolute: they survive compaction and restarts).
 func (c *Client) Epoch() uint64 { return c.store.Epoch() }
 
-// Close releases the mutation journal (if any). Queries keep working;
-// further mutations fail.
-func (c *Client) Close() error { return c.store.Close() }
+// Compactions reports how many journal folds the client's store has
+// performed (at creation, on demand via CompactJournal, or by the
+// background compactor).
+func (c *Client) Compactions() uint64 { return c.store.Compactions() }
+
+// LogLen reports the resident mutation-log length: mutations applied
+// since the last fold re-based the in-memory store (or since creation
+// when no fold happened yet). Under a background compactor it stays
+// bounded by churn since the last fold.
+func (c *Client) LogLen() int { return c.store.LogLen() }
+
+// Close stops the background compactor (if any) and releases the
+// mutation journal. Queries keep working; further mutations fail with
+// ErrClosed.
+func (c *Client) Close() error {
+	if c.compactor != nil {
+		c.compactor.Stop()
+	}
+	return c.store.Close()
+}
 
 // AddExpert adds a new expert with the given authority and skills. The
 // expert is visible to every subsequent query (read-your-writes).

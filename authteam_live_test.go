@@ -1,11 +1,14 @@
 package authteam_test
 
 import (
+	"errors"
+	"fmt"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"authteam"
 )
@@ -283,5 +286,74 @@ func TestClientJournalCompaction(t *testing.T) {
 		if tm.Size() != 1 {
 			t.Fatalf("%s team: %+v", sk, tm)
 		}
+	}
+}
+
+// TestClientBackgroundCompactor drives a journaled client with the
+// background compactor on: folds happen while the client serves
+// queries and accepts mutations, the resident log resets on every
+// fold, queries keep returning correct teams across re-base
+// boundaries, and a closed client rejects mutations with ErrClosed.
+func TestClientBackgroundCompactor(t *testing.T) {
+	g := liveBase(t)
+	journal := filepath.Join(t.TempDir(), "client.wal")
+	c, err := authteam.New(g, authteam.Options{
+		Gamma: 0.6, Lambda: 0.6, BuildIndex: true,
+		Journal:          journal,
+		CompactInterval:  time.Millisecond,
+		CompactThreshold: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writes = 80
+	for i := 0; i < writes; i++ {
+		id, err := c.AddExpert(fmt.Sprintf("bg%d", i), float64(2+i%9), "databases")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddCollaboration(id, authteam.NodeID(i%4), 0.2); err != nil {
+			t.Fatal(err)
+		}
+		// Interleaved queries exercise index repair across folds.
+		if i%20 == 0 {
+			if _, err := c.BestTeam(authteam.SACACC, []string{"databases", "networks"}); err != nil {
+				t.Fatalf("query at write %d: %v", i, err)
+			}
+		}
+	}
+	// The writes outpace the poll cadence; give the compactor a bounded
+	// window to fold the backlog.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Compactions() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if c.Compactions() == 0 {
+		t.Fatal("background compactor never folded")
+	}
+	if c.LogLen() >= 2*writes {
+		t.Fatalf("resident log %d not reset by the re-base", c.LogLen())
+	}
+	tm, err := c.BestTeam(authteam.SACACC, []string{"databases", "networks"})
+	if err != nil || tm.Size() == 0 {
+		t.Fatalf("post-fold query: %v %v", tm, err)
+	}
+	want := c.Epoch()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddExpert("late", 3, "ml"); !errors.Is(err, authteam.ErrClosed) {
+		t.Fatalf("mutation after Close: %v, want ErrClosed", err)
+	}
+
+	// Restart: compacted base + suffix replay to the identical epoch.
+	c2, err := authteam.New(g, authteam.Options{Gamma: 0.6, Lambda: 0.6, Journal: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Epoch() != want {
+		t.Fatalf("epoch after restart %d, want %d", c2.Epoch(), want)
 	}
 }

@@ -1,0 +1,162 @@
+// Re-base benchmarks: the perf evidence that a never-restarted
+// deployment stays O(recent churn). A journaled store absorbs a
+// sustained write stream while the background compactor folds the
+// journal and re-bases the in-memory store; every iteration also
+// resolves the fresh epoch's OverlayView — whose construction cost is
+// O(resident log) — so the numbers show both quantities staying
+// bounded by churn since the last fold instead of growing with the
+// run.
+//
+// BenchmarkRebaseSustainedWrites emits a one-line BENCH_rebase.json
+// record with the fold count, the worst resident log length observed,
+// the overlay construction p50/p99 and the last fold's duration.
+package authteam_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"authteam/internal/live"
+	"authteam/internal/stats"
+)
+
+func emitBenchRebase(name string, fields map[string]any) {
+	fields["bench"] = name
+	buf, _ := json.Marshal(fields)
+	fmt.Printf("BENCH_rebase.json %s\n", buf)
+}
+
+func BenchmarkRebaseSustainedWrites(b *testing.B) {
+	benchSetup(b)
+	const (
+		minRecords = 2_048
+		highWater  = 4 * minRecords // writer backpressure threshold
+	)
+	st, err := live.Open(benchG, live.Config{
+		JournalPath: filepath.Join(b.TempDir(), "bench.wal"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	comp, err := st.StartCompactor(live.CompactorConfig{
+		Interval:   time.Millisecond,
+		MinRecords: minRecords,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer comp.Stop()
+
+	rng := rand.New(rand.NewSource(47))
+	pairs := freshPairs(benchG, rng, 200_000)
+	buildMS := make([]float64, 0, 4096)
+	maxLogLen := 0
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Backpressure, as a production ingest path would apply it: on a
+		// saturated runner the unthrottled writer can outrun the fold
+		// loop, and the interesting number is the bound the compactor
+		// holds, not how far an unbounded queue can stretch.
+		for st.LogLen() >= highWater {
+			time.Sleep(100 * time.Microsecond)
+		}
+		pr := pairs[i%len(pairs)]
+		if _, err := st.AddCollaboration(pr[0], pr[1], 0.05+0.9*rng.Float64()); err != nil &&
+			!errors.Is(err, live.ErrDuplicateEdge) {
+			b.Fatal(err)
+		}
+		if l := st.LogLen(); l > maxLogLen {
+			maxLogLen = l
+		}
+		// Resolve the fresh epoch's overlay — the per-query epoch
+		// resolution cost the re-base keeps bounded.
+		t0 := time.Now()
+		g := st.Snapshot().View()
+		buildMS = append(buildMS, float64(time.Since(t0))/float64(time.Millisecond))
+		if g.NumNodes() < benchG.NumNodes() {
+			b.Fatal("view lost nodes")
+		}
+		if len(buildMS) == cap(buildMS) { // keep the sample window bounded
+			copy(buildMS, buildMS[len(buildMS)/2:])
+			buildMS = buildMS[:len(buildMS)/2]
+		}
+	}
+	b.StopTimer()
+
+	// The writer checks the high-water mark before every apply, so a
+	// working re-base can never let the resident log past it; reaching
+	// b.N would mean the log was never reset.
+	if b.N > highWater && maxLogLen > highWater+1 {
+		b.Fatalf("resident log reached %d records (high water %d) — re-base is not bounding memory",
+			maxLogLen, highWater)
+	}
+	cs := comp.Stats()
+	p50 := stats.Percentile(buildMS, 50)
+	p99 := stats.Percentile(buildMS, 99)
+	b.ReportMetric(p50, "view-p50-ms")
+	b.ReportMetric(float64(maxLogLen), "max-log-len")
+	emitBenchRebase("rebase_sustained_writes", map[string]any{
+		"mutations":         b.N,
+		"compactions":       st.Compactions(),
+		"compactor_runs":    cs.Runs,
+		"max_log_len":       maxLogLen,
+		"final_log_len":     st.LogLen(),
+		"rebase_epoch":      st.BaseEpoch(),
+		"final_epoch":       st.Epoch(),
+		"view_build_p50_ms": p50,
+		"view_build_p99_ms": p99,
+		"last_fold_ms":      cs.LastFoldMS,
+	})
+}
+
+// BenchmarkRebaseFold isolates the cost of one fold + re-base at a
+// fixed journal depth: materialize the fold epoch, persist the base,
+// rewrite the journal, swap the in-memory store.
+func BenchmarkRebaseFold(b *testing.B) {
+	benchSetup(b)
+	const depth = 10_000
+	rng := rand.New(rand.NewSource(48))
+	pairs := freshPairs(benchG, rng, depth)
+
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := live.Open(benchG, live.Config{
+			JournalPath: filepath.Join(b.TempDir(), fmt.Sprintf("fold%d.wal", i)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pr := range pairs {
+			if _, err := st.AddCollaboration(pr[0], pr[1], 0.5); err != nil &&
+				!errors.Is(err, live.ErrDuplicateEdge) {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		cstats, err := st.Compact()
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cstats.Folded == 0 || st.LogLen() != 0 {
+			b.Fatalf("fold did not re-base: %+v, log %d", cstats, st.LogLen())
+		}
+		st.Close()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	emitBenchRebase("rebase_fold", map[string]any{
+		"journal_depth": depth,
+		"folds":         b.N,
+		"ns_per_fold":   b.Elapsed().Nanoseconds() / int64(b.N),
+	})
+}

@@ -9,7 +9,7 @@
 //	         -method sa-ca-cc -gamma 0.6 -lambda 0.6 -k 5
 //	teamdisc -graph graph.bin -skills "query,indexing" -method pareto
 //	teamdisc serve -graph graph.bin -addr :7411 -journal graph.wal \
-//	         -compact-threshold 100000
+//	         -compact-threshold 100000 -compact-interval 1m
 //	teamdisc compact -graph graph.bin -journal graph.wal
 package main
 
@@ -81,8 +81,12 @@ func runCompact(args []string) {
 	if err != nil {
 		fail("compact: %v", err)
 	}
-	fmt.Printf("compacted %s at epoch %d: folded %d records into %s.base, %d remain\n",
-		*journal, stats.Epoch, stats.Folded, *journal, stats.Remaining)
+	// Folded counts what this run folded into the base; Removed also
+	// includes any crash-window overlap a previously interrupted
+	// compaction had already folded (the two differ only after such a
+	// crash).
+	fmt.Printf("compacted %s at epoch %d: folded %d records into %s.base (%d removed from journal), %d remain\n",
+		*journal, stats.Epoch, stats.Folded, *journal, stats.Removed, stats.Remaining)
 }
 
 // runServe starts the long-lived query-serving daemon.
@@ -101,7 +105,9 @@ func runServe(args []string) {
 		journal   = fs.String("journal", "", "write-ahead mutation journal; replayed onto the graph at boot (empty disables live-mutation durability)")
 		jsync     = fs.Bool("journal-sync", false, "fsync the journal after every mutation")
 		budget    = fs.Int("repair-budget", 0, "max delta mutations absorbed by incremental index repair before a full rebuild (0 = default 512, negative disables)")
-		compactAt = fs.Int("compact-threshold", 0, "fold the journal into a persisted base graph at boot when replay exceeds this many records (0 disables)")
+		compactAt = fs.Int("compact-threshold", 0, "fold the journal when it holds at least this many records — at boot, and (with -compact-interval) while serving (0 disables the boot fold; the background compactor then defaults to 8192 records)")
+		compactIv = fs.Duration("compact-interval", 0, "background compactor poll cadence: fold the journal and re-base in memory while serving, without a restart (0 disables)")
+		compactBy = fs.Int64("compact-bytes", 0, "also fold while serving when the journal file reaches this many bytes (0 disables the byte trigger)")
 	)
 	fs.Parse(args)
 
@@ -119,6 +125,8 @@ func runServe(args []string) {
 		JournalSync:      *jsync,
 		RepairBudget:     *budget,
 		CompactThreshold: *compactAt,
+		CompactInterval:  *compactIv,
+		CompactBytes:     *compactBy,
 	})
 	if err != nil {
 		fail("serve: %v", err)

@@ -35,9 +35,16 @@ var ErrNoJournal = errors.New("live: compaction requires a journal")
 type CompactStats struct {
 	// Epoch is the epoch folded into the persisted base graph.
 	Epoch uint64 `json:"epoch"`
-	// Folded is the number of journal records dropped (now represented
-	// by the base graph).
+	// Folded is the number of mutations this compaction folded into the
+	// base: the records of epochs (pre-fold base epoch, Epoch]. After a
+	// crash in a previous compaction's window it is smaller than
+	// Removed — the overlap records were already represented by the
+	// recovered base and are only being dropped from the journal.
 	Folded uint64 `json:"folded"`
+	// Removed is the number of records removed from the journal file
+	// (everything at or below Epoch, including any crash-window overlap
+	// a previously interrupted compaction had already folded).
+	Removed uint64 `json:"removed"`
 	// Remaining is the number of records left in the journal: the
 	// mutations applied while the compaction ran.
 	Remaining uint64 `json:"remaining"`
@@ -55,15 +62,24 @@ type baseHeader struct {
 const baseFormatVersion = 1
 
 // Compact folds every mutation up to the current epoch into the
-// persisted base graph and truncates the journal to the suffix applied
-// while the fold ran. Readers are unaffected (the in-memory base and
-// log are untouched — published snapshots stay valid), and writers are
-// only blocked for the final journal swap, not for the materialization.
+// persisted base graph, truncates the journal to the suffix applied
+// while the fold ran, and re-bases the store in memory: the folded
+// epoch's materialized graph becomes the new in-memory base, the
+// resident log shrinks to the post-fold suffix, and the SnapshotAt
+// prefix checkpoints are rebuilt for it. A long-running deployment
+// under a background compactor therefore keeps resident state —
+// journal file, mutation log, per-epoch overlay construction cost —
+// O(churn since the last fold), never O(lifetime mutations).
 //
-// SnapshotAt / MutationsSince keep answering for pre-compaction epochs
-// until the next restart; after a restart the folded history is gone
-// and persisted state anchored below the compaction epoch (e.g. old
-// 2-hop covers) is discarded by its consumers.
+// Readers are unaffected throughout: published snapshots carry their
+// own base+log references and stay valid, and writers are only blocked
+// for the final journal swap + re-base, not for the materialization.
+//
+// After the re-base, SnapshotAt refuses epochs below the fold (their
+// graphs can no longer be reconstructed), while MutationsSince keeps
+// answering across exactly one fold boundary (the folded generation's
+// log is retained until the next fold) so incremental index repair
+// survives a re-base.
 func (s *Store) Compact() (CompactStats, error) {
 	// One compaction at a time: two interleaved folds could overwrite
 	// each other's temp files and leave the base epoch behind the
@@ -74,6 +90,10 @@ func (s *Store) Compact() (CompactStats, error) {
 	defer s.compactMu.Unlock()
 
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return CompactStats{}, ErrClosed
+	}
 	if s.journal == nil || s.journal.closed {
 		s.mu.Unlock()
 		return CompactStats{}, ErrNoJournal
@@ -81,21 +101,23 @@ func (s *Store) Compact() (CompactStats, error) {
 	s.mu.Unlock()
 
 	snap := s.Snapshot()
-	if err := s.writeBase(snap); err != nil {
-		return CompactStats{}, err
-	}
-	return s.truncateJournal(snap)
-}
-
-// writeBase persists snap's graph (materializing it — the one
-// legitimate materialization besides index rebuilds) with its epoch,
-// atomically. It is the first half of Compact; a crash after it leaves
-// a recoverable base/journal overlap, never a hole.
-func (s *Store) writeBase(snap *Snapshot) error {
+	// Materializing the fold epoch is the one legitimate
+	// materialization besides index rebuilds; the same graph then
+	// becomes the new in-memory base.
 	g, err := snap.Graph()
 	if err != nil {
-		return fmt.Errorf("live: compact: %w", err)
+		return CompactStats{}, fmt.Errorf("live: compact: %w", err)
 	}
+	if err := s.writeBase(g, snap.Epoch()); err != nil {
+		return CompactStats{}, err
+	}
+	return s.swapAndRebase(snap, g)
+}
+
+// writeBase persists the materialized fold-epoch graph atomically. It
+// is the first half of Compact; a crash after it leaves a recoverable
+// base/journal overlap, never a hole.
+func (s *Store) writeBase(g *expertgraph.Graph, epoch uint64) error {
 	path := basePath(s.journalPath)
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -103,7 +125,7 @@ func (s *Store) writeBase(snap *Snapshot) error {
 		return fmt.Errorf("live: compact: %w", err)
 	}
 	bw := bufio.NewWriter(f)
-	if err := gob.NewEncoder(bw).Encode(&baseHeader{Version: baseFormatVersion, Epoch: snap.Epoch()}); err != nil {
+	if err := gob.NewEncoder(bw).Encode(&baseHeader{Version: baseFormatVersion, Epoch: epoch}); err != nil {
 		f.Close()
 		return fmt.Errorf("live: compact: %w", err)
 	}
@@ -128,16 +150,19 @@ func (s *Store) writeBase(snap *Snapshot) error {
 	return nil
 }
 
-// truncateJournal rewrites the journal to hold only the mutations past
-// snap's epoch and swaps the store onto the new file. Second half of
-// Compact.
-func (s *Store) truncateJournal(snap *Snapshot) (CompactStats, error) {
+// swapAndRebase rewrites the journal to hold only the mutations past
+// snap's epoch, swaps the store onto the new file, and re-bases the
+// in-memory store onto g (the materialized fold-epoch graph). Second
+// half of Compact; runs entirely under the writer lock so mutators
+// never observe a half-swapped store.
+func (s *Store) swapAndRebase(snap *Snapshot, g *expertgraph.Graph) (CompactStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.journal == nil || s.journal.closed {
 		return CompactStats{}, ErrNoJournal
 	}
-	tail := s.log[snap.Epoch()-s.baseEpoch:]
+	foldIdx := snap.Epoch() - s.baseEpoch
+	tail := s.log[foldIdx:]
 	nj, err := rewriteJournal(s.journalPath, snap.Epoch(), tail, s.journal.sync)
 	if err != nil {
 		return CompactStats{}, err
@@ -145,12 +170,75 @@ func (s *Store) truncateJournal(snap *Snapshot) (CompactStats, error) {
 	old := s.journal
 	s.journal = nj
 	old.Close()
+
+	// In-memory re-base: the fold-epoch graph becomes the base, the log
+	// shrinks to the in-flight suffix (copied into a fresh backing array
+	// so the old one is released once published snapshots die), and the
+	// prefix checkpoints are rebuilt over the new log. The folded
+	// generation's log is retained as prevLog so MutationsSince bridges
+	// this one boundary; the generation before it is dropped. The edge
+	// set and node/edge counters describe the current epoch, which the
+	// re-base does not change, so they stay as they are.
+	cur := s.snap.Load()
+	newLog := append(make([]Mutation, 0, len(tail)), tail...)
+	if foldIdx > 0 {
+		// A zero-record fold (crash recovery, back-to-back Compact)
+		// keeps the currently retained generation instead of replacing
+		// it with an empty window.
+		s.prevBaseEpoch, s.prevLog = s.baseEpoch, s.log[:foldIdx]
+	}
+	s.base = g
+	s.baseEpoch = snap.Epoch()
+	s.log = newLog
+	s.prefix = rebuildPrefix(g, newLog)
+	next := &Snapshot{
+		epoch:         cur.epoch,
+		baseEpoch:     s.baseEpoch,
+		base:          g,
+		log:           newLog,
+		prefix:        s.prefix,
+		prevBaseEpoch: s.prevBaseEpoch,
+		prevLog:       s.prevLog,
+		nodes:         s.nNodes,
+		edges:         s.nEdges,
+		matCtr:        &s.materialized,
+	}
+	if next.epoch == next.baseEpoch {
+		next.g = g // base-epoch snapshot: Graph()/View() answer from the base directly
+	}
+	s.snap.Store(next)
+
 	s.compactions.Add(1)
 	return CompactStats{
 		Epoch:     snap.Epoch(),
-		Folded:    snap.Epoch() - old.startEpoch,
+		Folded:    uint64(foldIdx),
+		Removed:   snap.Epoch() - old.startEpoch,
 		Remaining: uint64(len(tail)),
 	}, nil
+}
+
+// rebuildPrefix recomputes the SnapshotAt checkpoints for a re-based
+// log: entry k-1 holds the graph size after the first k·memoEvery
+// records of log on top of base.
+func rebuildPrefix(base *expertgraph.Graph, log []Mutation) []prefixCount {
+	n := len(log) / memoEvery
+	if n == 0 {
+		return nil
+	}
+	out := make([]prefixCount, 0, n)
+	nodes, edges := base.NumNodes(), base.NumEdges()
+	for i, m := range log[:n*memoEvery] {
+		switch m.Op {
+		case OpAddNode:
+			nodes++
+		case OpAddEdge:
+			edges++
+		}
+		if (i+1)%memoEvery == 0 {
+			out = append(out, prefixCount{nodes: nodes, edges: edges})
+		}
+	}
+	return out
 }
 
 // rewriteJournal writes a fresh journal (header + tail records) to a

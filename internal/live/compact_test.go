@@ -63,8 +63,13 @@ func TestCompactRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.Epoch != preEpoch || stats.Remaining != 0 || stats.Folded != preEpoch {
-		t.Fatalf("compact stats %+v, want epoch=%d folded=%d remaining=0", stats, preEpoch, preEpoch)
+	if stats.Epoch != preEpoch || stats.Remaining != 0 || stats.Folded != preEpoch || stats.Removed != preEpoch {
+		t.Fatalf("compact stats %+v, want epoch=%d folded=removed=%d remaining=0", stats, preEpoch, preEpoch)
+	}
+	// In-memory re-base: the fold swapped the resident base graph and
+	// reset the log without a restart.
+	if st.BaseEpoch() != preEpoch || st.LogLen() != 0 {
+		t.Fatalf("after compact: base epoch %d log len %d, want %d/0", st.BaseEpoch(), st.LogLen(), preEpoch)
 	}
 	if records, _ := st.JournalStats(); records != 0 {
 		t.Fatalf("journal holds %d records after compaction, want 0", records)
@@ -127,8 +132,13 @@ func TestCompactCrashBetweenBaseAndTruncate(t *testing.T) {
 	snap := st.Snapshot()
 	epoch := snap.Epoch()
 	// First half of Compact only: base rename happens, journal
-	// truncation does not — the crash window.
-	if err := st.writeBase(snap); err != nil {
+	// truncation (and the in-memory re-base) does not — the crash
+	// window.
+	g, err := snap.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.writeBase(g, snap.Epoch()); err != nil {
 		t.Fatal(err)
 	}
 	want := viewFingerprint(snap.View())
@@ -150,13 +160,17 @@ func TestCompactCrashBetweenBaseAndTruncate(t *testing.T) {
 		t.Fatal("graph after crash-recovery differs")
 	}
 	// A finished compaction on the recovered store truncates the
-	// overlapping journal and keeps the epoch stable.
+	// overlapping journal and keeps the epoch stable. Every journal
+	// record sits in the crash-window overlap the interrupted
+	// compaction already folded into the recovered base, so this
+	// compaction folds nothing itself — Folded must say 0, not
+	// double-count the overlap it merely removes from the journal.
 	stats, err := st2.Compact()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.Epoch != epoch || stats.Remaining != 0 {
-		t.Fatalf("recovery compact stats %+v", stats)
+	if stats.Epoch != epoch || stats.Remaining != 0 || stats.Folded != 0 || stats.Removed != epoch {
+		t.Fatalf("recovery compact stats %+v, want epoch=%d folded=0 removed=%d remaining=0", stats, epoch, epoch)
 	}
 	mutateRandomly(t, st2, rng, 10)
 	final := st2.Epoch()

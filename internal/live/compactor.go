@@ -1,0 +1,165 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Compactor is the background fold loop of a never-restarted
+// deployment: a goroutine that watches how much journal has
+// accumulated since the last fold and triggers Compact — which
+// persists the folded base, truncates the journal, and re-bases the
+// in-memory store — while the store keeps serving reads and writes.
+// Scheduling is jittered so a fleet of replicas with identical write
+// rates does not fold in lockstep, and folds are single-flight: the
+// store's compactMu serializes the loop with any manual Compact call.
+
+// CompactorConfig parameterizes StartCompactor.
+type CompactorConfig struct {
+	// Interval is the poll cadence; each wait is jittered ±20%.
+	// Defaults to 30s.
+	Interval time.Duration
+	// MinRecords triggers a fold when the journal holds at least this
+	// many records (the journal is truncated to the post-fold suffix at
+	// every fold, so its record count is exactly the churn since the
+	// last fold). Defaults to 8192 when MaxBytes is also unset; 0 with
+	// MaxBytes set disables the record trigger.
+	MinRecords uint64
+	// MaxBytes triggers a fold when the journal file reaches this many
+	// bytes. 0 disables the byte trigger.
+	MaxBytes int64
+	// OnFold, when non-nil, observes every fold attempt (stats are
+	// meaningful only when err is nil). Called from the compactor
+	// goroutine; keep it fast.
+	OnFold func(stats CompactStats, took time.Duration, err error)
+}
+
+// defaultCompactorRecords is the record trigger applied when a
+// compactor is started with neither threshold configured.
+const defaultCompactorRecords = 8192
+
+// Compactor runs Compact in the background. Create with
+// Store.StartCompactor; stop with Stop.
+type Compactor struct {
+	store *Store
+	cfg   CompactorConfig
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	runs       atomic.Uint64 // folds attempted (trigger fired)
+	errs       atomic.Uint64
+	lastFoldNS atomic.Int64  // duration of the last successful fold
+	lastEpoch  atomic.Uint64 // epoch of the last successful fold
+}
+
+// CompactorStats is a point-in-time summary of the background
+// compactor for observability endpoints.
+type CompactorStats struct {
+	// Runs counts folds triggered (successful or not); Errors the
+	// failed ones.
+	Runs   uint64 `json:"runs"`
+	Errors uint64 `json:"errors"`
+	// LastFoldMS is the wall time of the most recent successful fold
+	// (materialize + persist + journal swap + re-base), 0 before any.
+	LastFoldMS float64 `json:"last_fold_ms"`
+	// LastEpoch is the epoch the most recent successful fold re-based
+	// the store onto.
+	LastEpoch uint64 `json:"last_epoch"`
+}
+
+// StartCompactor launches the background fold loop. It fails on a
+// store without a journal (there is nothing to fold) and on a closed
+// store.
+func (s *Store) StartCompactor(cfg CompactorConfig) (*Compactor, error) {
+	s.mu.Lock()
+	journaled := s.journal != nil && !s.closed
+	s.mu.Unlock()
+	if !journaled {
+		return nil, fmt.Errorf("start compactor: %w", ErrNoJournal)
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 30 * time.Second
+	}
+	if cfg.MinRecords == 0 && cfg.MaxBytes == 0 {
+		cfg.MinRecords = defaultCompactorRecords
+	}
+	c := &Compactor{
+		store: s,
+		cfg:   cfg,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go c.loop()
+	return c, nil
+}
+
+func (c *Compactor) loop() {
+	defer close(c.done)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	timer := time.NewTimer(jitter(rng, c.cfg.Interval))
+	defer timer.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-timer.C:
+		}
+		if c.due() {
+			c.fold()
+		}
+		timer.Reset(jitter(rng, c.cfg.Interval))
+	}
+}
+
+// due reports whether the journal accumulated enough since the last
+// fold to be worth folding again.
+func (c *Compactor) due() bool {
+	records, bytes := c.store.JournalStats()
+	if c.cfg.MinRecords > 0 && records >= c.cfg.MinRecords {
+		return true
+	}
+	return c.cfg.MaxBytes > 0 && bytes >= c.cfg.MaxBytes
+}
+
+func (c *Compactor) fold() {
+	c.runs.Add(1)
+	start := time.Now()
+	stats, err := c.store.Compact()
+	took := time.Since(start)
+	if err != nil {
+		c.errs.Add(1)
+	} else {
+		c.lastFoldNS.Store(int64(took))
+		c.lastEpoch.Store(stats.Epoch)
+	}
+	if c.cfg.OnFold != nil {
+		c.cfg.OnFold(stats, took, err)
+	}
+}
+
+// jitter spreads d by ±20% so replicas desynchronize.
+func jitter(rng *rand.Rand, d time.Duration) time.Duration {
+	return d + time.Duration((rng.Float64()*0.4-0.2)*float64(d))
+}
+
+// Stop halts the loop and waits for an in-flight fold to finish. It is
+// idempotent and safe to call concurrently.
+func (c *Compactor) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+// Stats reports the compactor's lifetime counters.
+func (c *Compactor) Stats() CompactorStats {
+	return CompactorStats{
+		Runs:       c.runs.Load(),
+		Errors:     c.errs.Load(),
+		LastFoldMS: float64(c.lastFoldNS.Load()) / float64(time.Millisecond),
+		LastEpoch:  c.lastEpoch.Load(),
+	}
+}

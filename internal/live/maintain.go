@@ -35,6 +35,12 @@ type WeightFunc = func(u, v expertgraph.NodeID, w float64) float64
 // Raw-weight indexes (weight == nil) are repairable under every
 // insertion and are indifferent to authority and skill updates.
 //
+// Both anchors are snapshots, never store state, so repair keeps
+// working while — and after — the store re-bases in place: `from` may
+// predate a fold (its mutations are then bridged through the retained
+// previous-generation log) and only an anchor more than one fold
+// generation old forces the rebuild fallback.
+//
 // For weighted indexes, weight must be derived from `to`'s fitted
 // parameters; the bounds check above guarantees it agrees with the
 // weights ix was built over. Both snapshots must come from the same

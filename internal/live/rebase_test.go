@@ -1,0 +1,394 @@
+package live
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/pll"
+)
+
+// TestCloseRejectsMutations pins the Close contract on both store
+// flavors: after Close every mutator fails with ErrClosed — with a
+// journal (where the journal's own closed state used to catch it) and
+// without one (where mutations previously kept succeeding silently).
+func TestCloseRejectsMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct {
+		name string
+		cfg  func(t *testing.T) Config
+	}{
+		{"journalless", func(t *testing.T) Config { return Config{} }},
+		{"journaled", func(t *testing.T) Config {
+			return Config{JournalPath: filepath.Join(t.TempDir(), "wal.jsonl")}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustOpen(t, testGraph(rng, 15), tc.cfg(t))
+			if _, err := s.AddCollaboration(0, 9, 0.3); err != nil {
+				t.Fatal(err)
+			}
+			epoch := s.Epoch()
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := s.AddExpert("late", 2, nil); !errors.Is(err, ErrClosed) {
+				t.Errorf("AddExpert after Close: %v, want ErrClosed", err)
+			}
+			if _, err := s.AddCollaboration(1, 2, 0.5); !errors.Is(err, ErrClosed) {
+				t.Errorf("AddCollaboration after Close: %v, want ErrClosed", err)
+			}
+			auth := 9.0
+			if _, err := s.UpdateExpert(1, &auth, nil); !errors.Is(err, ErrClosed) {
+				t.Errorf("UpdateExpert after Close: %v, want ErrClosed", err)
+			}
+			// Reads survive; rejected mutations advanced nothing.
+			if s.Epoch() != epoch || s.Snapshot().NumNodes() != 15 {
+				t.Errorf("closed store state moved: epoch %d nodes %d", s.Epoch(), s.Snapshot().NumNodes())
+			}
+			if err := s.Close(); err != nil { // idempotent
+				t.Errorf("second Close: %v", err)
+			}
+		})
+	}
+}
+
+// TestRebaseInMemory pins the in-place re-base: after Compact the
+// store's base graph IS the fold epoch's graph, the resident log is
+// empty, pre-fold snapshots keep answering from their own base+log,
+// and SnapshotAt honestly refuses pre-base epochs while still serving
+// post-base ones from the re-based state.
+func TestRebaseInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	base := randomBase(t, rng, 30)
+	st := mustOpen(t, base, Config{JournalPath: filepath.Join(t.TempDir(), "wal")})
+
+	mutateRandomly(t, st, rng, 50)
+	preSnap := st.Snapshot()
+	preFP := viewFingerprint(preSnap.View())
+	foldEpoch := preSnap.Epoch()
+
+	if _, err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st.BaseEpoch() != foldEpoch || st.LogLen() != 0 {
+		t.Fatalf("re-base: base epoch %d log len %d, want %d/0", st.BaseEpoch(), st.LogLen(), foldEpoch)
+	}
+	// The re-based store serves the identical graph...
+	if !equalFP(viewFingerprint(st.Snapshot().View()), preFP) {
+		t.Fatal("graph changed across the re-base")
+	}
+	// ...and the epoch did not move (a fold is not a mutation).
+	if st.Epoch() != foldEpoch {
+		t.Fatalf("epoch moved to %d across the re-base", st.Epoch())
+	}
+	// The pre-fold snapshot is still fully functional (its own base+log).
+	if !equalFP(viewFingerprint(preSnap.View()), preFP) {
+		t.Fatal("published snapshot broken by the re-base")
+	}
+
+	// Mutations continue on the new base; SnapshotAt serves post-base
+	// epochs and refuses pre-base ones.
+	mutateRandomly(t, st, rng, 20)
+	if _, ok := st.SnapshotAt(foldEpoch - 1); ok {
+		t.Fatal("SnapshotAt resolved an epoch below the re-based base")
+	}
+	mid, ok := st.SnapshotAt(foldEpoch + 1)
+	if !ok {
+		t.Fatal("SnapshotAt refused a post-re-base epoch")
+	}
+	if mid.Epoch() != foldEpoch+1 {
+		t.Fatalf("SnapshotAt epoch %d", mid.Epoch())
+	}
+	// The re-based snapshot's delta is only the post-fold churn: its
+	// materialization must agree with an independent replay fingerprint.
+	g, err := st.Snapshot().Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalFP(viewFingerprint(st.Snapshot().View()), viewFingerprint(g)) {
+		t.Fatal("overlay and materialized graph disagree after re-base")
+	}
+}
+
+// TestMaintainIndexAcrossRebase is the acceptance check for index
+// repair surviving a fold: an index anchored shortly *before* a
+// re-base must still repair forward (no spurious full rebuild) thanks
+// to the retained previous-generation log — and an anchor more than
+// one fold generation old must be honestly refused.
+func TestMaintainIndexAcrossRebase(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	base := testGraph(rng, 40)
+	st := mustOpen(t, base, Config{JournalPath: filepath.Join(t.TempDir(), "wal")})
+
+	anchor := st.Snapshot() // epoch 0
+	ix := pll.Build(base)
+
+	// Churn, then fold: the anchor now predates the base epoch.
+	insertEdges(t, st, rng, 25)
+	if _, err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	insertEdges(t, st, rng, 15)
+	to := st.Snapshot()
+	if anchor.Epoch() >= st.BaseEpoch() {
+		t.Fatalf("test setup: anchor %d not below base %d", anchor.Epoch(), st.BaseEpoch())
+	}
+
+	repaired, ok := MaintainIndex(ix, anchor, to, nil, 0)
+	if !ok {
+		t.Fatal("repair across one re-base refused — spurious full rebuild")
+	}
+	g, err := to.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := pll.Build(g)
+	for i := 0; i < 200; i++ {
+		u := expertgraph.NodeID(rng.Intn(g.NumNodes()))
+		v := expertgraph.NodeID(rng.Intn(g.NumNodes()))
+		got, want := repaired.Dist(u, v), fresh.Dist(u, v)
+		if math.Abs(got-want) > 1e-9 && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+			t.Fatalf("dist(%d,%d) repaired %v fresh %v", u, v, got, want)
+		}
+	}
+
+	// The budget still applies across the boundary.
+	if _, ok := MaintainIndex(ix, anchor, to, nil, 10); ok {
+		t.Error("budget of 10 accepted a 40-mutation bridged delta")
+	}
+
+	// Two folds later the anchor's history is gone: honest refusal.
+	insertEdges(t, st, rng, 5)
+	if _, err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := MaintainIndex(ix, anchor, st.Snapshot(), nil, 0); ok {
+		t.Error("repair accepted an anchor two fold generations old")
+	}
+	// But an anchor from the folded (previous) generation still works.
+	if _, ok := MaintainIndex(pll.Build(mustGraph(t, to)), to, st.Snapshot(), nil, 0); !ok {
+		t.Error("repair refused an anchor from the previous generation")
+	}
+}
+
+func mustGraph(t *testing.T, sn *Snapshot) *expertgraph.Graph {
+	t.Helper()
+	g, err := sn.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// insertEdges applies exactly n new collaborations.
+func insertEdges(t *testing.T, st *Store, rng *rand.Rand, n int) {
+	t.Helper()
+	for added := 0; added < n; {
+		nn := st.Snapshot().NumNodes()
+		u := expertgraph.NodeID(rng.Intn(nn))
+		v := expertgraph.NodeID(rng.Intn(nn))
+		if u == v {
+			continue
+		}
+		switch _, err := st.AddCollaboration(u, v, 0.05+0.9*rng.Float64()); {
+		case err == nil:
+			added++
+		case errors.Is(err, ErrDuplicateEdge):
+		default:
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRebaseSoak is the re-base stress test of the acceptance
+// criteria: ≥50k mutations stream into a journaled store while the
+// background compactor folds and re-bases, concurrent readers resolve
+// overlay views and probe SnapshotAt, and the resident log length —
+// which bounds per-epoch OverlayView construction — must stay bounded
+// by churn since the last fold instead of growing with the run. Run it
+// under -race.
+func TestRebaseSoak(t *testing.T) {
+	const (
+		baseNodes  = 400
+		mutations  = 50_000
+		minRecords = 2_000
+		readers    = 2
+	)
+	rng := rand.New(rand.NewSource(21))
+	base := testGraph(rng, baseNodes)
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	s := mustOpen(t, base, Config{JournalPath: path})
+
+	comp, err := s.StartCompactor(CompactorConfig{
+		Interval:   time.Millisecond,
+		MinRecords: minRecords,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		done      atomic.Bool
+		maxLogLen atomic.Int64
+		views     atomic.Int64
+		probes    atomic.Int64
+		wg        sync.WaitGroup
+	)
+	errCh := make(chan error, readers+2)
+
+	// Readers: resolve the epoch's overlay view (the per-query cost the
+	// re-base keeps bounded) and sanity-check it against the snapshot
+	// counters.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				snap := s.Snapshot()
+				g := snap.View()
+				if g.NumNodes() != snap.NumNodes() || g.NumEdges() != snap.NumEdges() {
+					errCh <- errors.New("view counters disagree with snapshot")
+					return
+				}
+				// A handful of reads per view keeps the readers honest
+				// without dominating the writer.
+				for i := 0; i < 8; i++ {
+					u := expertgraph.NodeID(i * g.NumNodes() / 8)
+					g.Degree(u)
+					g.Authority(u)
+				}
+				views.Add(1)
+			}
+		}()
+	}
+
+	// Prober: SnapshotAt across the valid range while folds re-base the
+	// store underneath it — the race satellite of this PR.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		prng := rand.New(rand.NewSource(22))
+		for !done.Load() {
+			cur := s.Snapshot()
+			lo, hi := cur.BaseEpoch(), cur.Epoch()
+			epoch := lo + uint64(prng.Int63n(int64(hi-lo+1)))
+			sn, ok := s.SnapshotAt(epoch)
+			if ok && sn.Epoch() != epoch {
+				errCh <- errors.New("SnapshotAt returned the wrong epoch")
+				return
+			}
+			// ok=false is legitimate: a fold may have re-based past
+			// `epoch` between the two reads.
+			probes.Add(1)
+		}
+	}()
+
+	// Writer: a sustained mutation stream, tracking the worst resident
+	// log length ever observed. When the fold loop falls behind the
+	// unthrottled ingest (guaranteed on a single-CPU runner, where the
+	// spinning readers starve the compactor goroutine) the writer
+	// applies backpressure — exactly what a production ingest path does
+	// — which also makes the log-length bound below deterministic: it
+	// can only hold if the compactor genuinely folds and re-bases, and
+	// a dead compactor trips the stall deadline instead.
+	const highWater = 4 * minRecords
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		wrng := rand.New(rand.NewSource(23))
+		for applied := 0; applied < mutations; {
+			if s.LogLen() >= highWater {
+				stall := time.Now()
+				for s.LogLen() >= highWater {
+					if time.Since(stall) > 30*time.Second {
+						errCh <- errors.New("compactor never caught up: resident log stuck at high water")
+						return
+					}
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+			n := s.Snapshot().NumNodes()
+			var err error
+			switch roll := wrng.Intn(20); {
+			case roll == 0: // occasional new expert
+				_, _, err = s.AddExpert("soak", 1+float64(wrng.Intn(30)), []string{"analytics"})
+			case roll <= 4: // authority updates (always apply)
+				auth := 1 + float64(wrng.Intn(40))
+				_, err = s.UpdateExpert(expertgraph.NodeID(wrng.Intn(n)), &auth, nil)
+			default: // edge insertions
+				u := expertgraph.NodeID(wrng.Intn(n))
+				v := expertgraph.NodeID(wrng.Intn(n))
+				if u == v {
+					continue
+				}
+				if _, e := s.AddCollaboration(u, v, 0.05+wrng.Float64()); errors.Is(e, ErrDuplicateEdge) {
+					continue
+				} else {
+					err = e
+				}
+			}
+			if err != nil {
+				errCh <- err
+				return
+			}
+			applied++
+			if l := int64(s.LogLen()); l > maxLogLen.Load() {
+				maxLogLen.Store(l)
+			}
+		}
+	}()
+
+	wg.Wait()
+	comp.Stop()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	cs := comp.Stats()
+	if cs.Runs == 0 || s.Compactions() == 0 {
+		t.Fatalf("background compactor never folded (runs %d, compactions %d)", cs.Runs, s.Compactions())
+	}
+	if cs.Errors != 0 {
+		t.Fatalf("%d background folds failed", cs.Errors)
+	}
+	// The bound: the single writer checks the high-water mark before
+	// every apply, so the resident log can never exceed it by more than
+	// the one in-flight mutation — unless the re-base silently stopped
+	// resetting the log, in which case it would reach ~50k.
+	if lim := int64(highWater + 1); maxLogLen.Load() > lim {
+		t.Fatalf("resident log reached %d records (trigger %d, limit %d) — re-base is not bounding memory",
+			maxLogLen.Load(), minRecords, lim)
+	}
+	if s.Epoch() < mutations {
+		t.Fatalf("final epoch %d < %d applied mutations", s.Epoch(), mutations)
+	}
+	if views.Load() == 0 || probes.Load() == 0 {
+		t.Fatal("readers or probers never ran")
+	}
+	t.Logf("rebase soak: %d mutations, %d folds, max resident log %d, final log %d, %d views, %d SnapshotAt probes",
+		mutations, s.Compactions(), maxLogLen.Load(), s.LogLen(), views.Load(), probes.Load())
+
+	// Kill and restart: the compacted base + journal suffix must replay
+	// to the identical epoch and graph.
+	finalEpoch := s.Epoch()
+	finalFP := viewFingerprint(s.Snapshot().View())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, base, Config{JournalPath: path})
+	if s2.Epoch() != finalEpoch {
+		t.Fatalf("replayed epoch %d, want %d", s2.Epoch(), finalEpoch)
+	}
+	if !equalFP(viewFingerprint(s2.Snapshot().View()), finalFP) {
+		t.Fatal("graph after restart differs from pre-restart state")
+	}
+}

@@ -39,9 +39,10 @@ func TestConcurrentSoak(t *testing.T) {
 	var (
 		done    atomic.Bool
 		queries atomic.Int64
+		probes  atomic.Int64
 		wg      sync.WaitGroup
 	)
-	errCh := make(chan error, readers+1)
+	errCh := make(chan error, readers+3)
 
 	// Readers: discover continuously, each query pinned to one snapshot.
 	for r := 0; r < readers; r++ {
@@ -87,6 +88,50 @@ func TestConcurrentSoak(t *testing.T) {
 			}
 		}(r)
 	}
+
+	// Prober: SnapshotAt continuously while the store mutates — and
+	// while the compaction below re-bases it in place. SnapshotAt must
+	// read only the captured snapshot (base, log, prefix checkpoints),
+	// so a concurrent base swap can never hand it mismatched state.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		prng := rand.New(rand.NewSource(45))
+		for !done.Load() {
+			cur := s.Snapshot()
+			epoch := cur.BaseEpoch() + uint64(prng.Int63n(int64(cur.Epoch()-cur.BaseEpoch()+1)))
+			sn, ok := s.SnapshotAt(epoch)
+			if !ok {
+				// Legitimate only if a re-base moved the floor past the
+				// probed epoch between the two reads.
+				if epoch >= s.Snapshot().BaseEpoch() {
+					errCh <- errors.New("SnapshotAt refused a resident epoch")
+					return
+				}
+				continue
+			}
+			if sn.Epoch() != epoch || sn.NumNodes() < baseNodes {
+				errCh <- errors.New("SnapshotAt returned inconsistent snapshot")
+				return
+			}
+			probes.Add(1)
+		}
+	}()
+
+	// One compaction mid-stream: fold + journal truncation + in-memory
+	// re-base race against the readers, the prober and the writer.
+	// (Exactly one fold, so the post-soak incremental repair below still
+	// bridges the re-base via the retained previous generation.)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for s.Epoch() < mutations/2 && !done.Load() {
+			runtime.Gosched()
+		}
+		if _, err := s.Compact(); err != nil {
+			errCh <- err
+		}
+	}()
 
 	// Writer: stream insertions (plus a sprinkle of updates).
 	wg.Add(1)
@@ -150,11 +195,19 @@ func TestConcurrentSoak(t *testing.T) {
 	if final.Epoch() < mutations {
 		t.Fatalf("final epoch %d < %d insertions", final.Epoch(), mutations)
 	}
-	t.Logf("soak: %d queries against %d mutations (final epoch %d)",
-		queries.Load(), final.Epoch(), final.Epoch())
+	if probes.Load() == 0 {
+		t.Fatal("no SnapshotAt probes completed")
+	}
+	if s.Compactions() != 1 {
+		t.Fatalf("compactions = %d, want the one mid-stream fold", s.Compactions())
+	}
+	t.Logf("soak: %d queries, %d SnapshotAt probes against %d mutations (final epoch %d, re-based at %d)",
+		queries.Load(), probes.Load(), final.Epoch(), final.Epoch(), s.BaseEpoch())
 
 	// Incremental PLL repair across the full delta must agree with a
-	// from-scratch rebuild on random pairs.
+	// from-scratch rebuild on random pairs — bridging the mid-stream
+	// re-base (epoch0 predates the fold) through the retained previous
+	// generation's log.
 	repaired, ok := MaintainIndex(pll.Build(base), epoch0, final, nil, 0)
 	if !ok {
 		t.Fatal("raw incremental repair refused the soak delta")

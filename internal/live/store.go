@@ -74,6 +74,9 @@ var (
 	ErrNegativeW     = errors.New("live: negative edge weight")
 	ErrEmptyUpdate   = errors.New("live: update changes nothing")
 	ErrEmptyName     = errors.New("live: empty expert name")
+	// ErrClosed is returned by every mutator after Close. Reads
+	// (Snapshot, SnapshotAt, views) keep working.
+	ErrClosed = errors.New("live: store closed")
 )
 
 // Config parameterizes Open.
@@ -99,30 +102,45 @@ type Config struct {
 // mutators are safe for concurrent use (they serialize on an internal
 // lock); Snapshot is lock-free.
 type Store struct {
-	base *expertgraph.Graph
-	// baseEpoch is the absolute epoch of the in-memory base graph: 0
-	// for a fresh store, the compaction epoch when Open adopted a
-	// compacted base. Epochs are absolute (they survive compaction and
-	// restarts); log index i holds the mutation of epoch baseEpoch+i+1.
-	baseEpoch   uint64
 	journalPath string
 	snap        atomic.Pointer[Snapshot]
 
-	mu      sync.Mutex // serializes writers
-	log     []Mutation // mutation log since base; len == epoch - baseEpoch
-	journal *journal   // nil when journaling is disabled
+	mu sync.Mutex // serializes writers
+	// base is the in-memory base graph; baseEpoch its absolute epoch: 0
+	// for a fresh store, the fold epoch after Open adopted a compacted
+	// base or Compact re-based in place. Epochs are absolute (they
+	// survive compaction and restarts); log index i holds the mutation
+	// of epoch baseEpoch+i+1. All four fields are mutated only under mu
+	// (by apply and by Compact's re-base); lock-free readers never
+	// touch them — they read the same values from the published
+	// snapshot, which carries its own base/log references.
+	base      *expertgraph.Graph
+	baseEpoch uint64
+	log       []Mutation // mutation log since base; len == epoch - baseEpoch
+	// prevBaseEpoch/prevLog are the previous re-base generation: the
+	// mutations of epochs (prevBaseEpoch, baseEpoch], retained so
+	// MutationsSince — and through it incremental index repair — keeps
+	// working across one re-base boundary. Exactly one generation is
+	// kept (each re-base replaces it), so resident history is bounded
+	// by two fold windows of churn, never by deployment lifetime.
+	prevBaseEpoch uint64
+	prevLog       []Mutation
+	journal       *journal // nil when journaling is disabled
+	closed        bool     // set by Close; mutators fail with ErrClosed
 	// compactMu serializes Compact calls (held across the base write
 	// and journal swap; mutators keep running under mu meanwhile).
 	compactMu sync.Mutex
 
 	// prefix memoizes (nodes, edges) counts after every memoEvery
-	// mutations, so SnapshotAt reconstructs a historical snapshot by
-	// scanning at most memoEvery log records past the nearest
-	// checkpoint instead of the whole prefix. Appended under mu.
+	// mutations of the current log, so SnapshotAt reconstructs a
+	// historical snapshot by scanning at most memoEvery log records
+	// past the nearest checkpoint instead of the whole prefix.
+	// Appended under mu; published to readers inside each snapshot
+	// (same structural sharing as the log), and rebuilt on re-base.
 	prefix []prefixCount
 	// lastSnapshotScan records how many log entries the most recent
-	// SnapshotAt call scanned (test observability; read under mu).
-	lastSnapshotScan int
+	// SnapshotAt call scanned (test observability).
+	lastSnapshotScan atomic.Int64
 
 	// Writer-side validation state, maintained so mutations are
 	// validated in O(1)/O(log) without materializing a graph.
@@ -236,10 +254,11 @@ func Open(base *expertgraph.Graph, cfg Config) (*Store, error) {
 }
 
 // Close releases the journal. The store stays readable; further
-// mutations fail.
+// mutations fail with ErrClosed — with or without a journal.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.closed = true
 	if s.journal == nil {
 		return nil
 	}
@@ -259,14 +278,18 @@ func (s *Store) Snapshot() *Snapshot { return s.snap.Load() }
 func (s *Store) Epoch() uint64 { return s.snap.Load().epoch }
 
 // SnapshotAt reconstructs the snapshot of a past epoch (ok=false when
-// epoch is ahead of the store, or behind its base — compaction folds
+// epoch is ahead of the store, or behind its base — a fold re-bases
 // history into the base graph, and pre-base epochs can no longer be
-// reconstructed). The mutation log is append-only, so a historical
+// materialized). The mutation log is append-only, so a historical
 // snapshot is just a shorter prefix of it; the (nodes, edges) counts
 // are resumed from the nearest prefix checkpoint, making the call
 // O(memoEvery) instead of O(epoch). Used to anchor state persisted at
 // an earlier epoch (e.g. an on-disk 2-hop cover) so it can be repaired
 // forward instead of discarded.
+//
+// Everything is read from the captured snapshot — base graph, log,
+// prefix checkpoints — never from store fields, so the call is correct
+// even while a concurrent Compact re-bases the store in place.
 func (s *Store) SnapshotAt(epoch uint64) (*Snapshot, bool) {
 	cur := s.Snapshot()
 	if epoch > cur.epoch || epoch < cur.baseEpoch {
@@ -277,16 +300,14 @@ func (s *Store) SnapshotAt(epoch uint64) (*Snapshot, bool) {
 	}
 	idx := int(epoch - cur.baseEpoch)
 	log := cur.log[:idx]
-	nodes, edges := s.base.NumNodes(), s.base.NumEdges()
+	nodes, edges := cur.base.NumNodes(), cur.base.NumEdges()
 	from := 0
-	s.mu.Lock()
-	if k := idx / memoEvery; k > 0 && len(s.prefix) >= k {
-		cp := s.prefix[k-1]
+	if k := idx / memoEvery; k > 0 && len(cur.prefix) >= k {
+		cp := cur.prefix[k-1]
 		nodes, edges = cp.nodes, cp.edges
 		from = k * memoEvery
 	}
-	s.lastSnapshotScan = idx - from
-	s.mu.Unlock()
+	s.lastSnapshotScan.Store(int64(idx - from))
 	for _, m := range log[from:] {
 		switch m.Op {
 		case OpAddNode:
@@ -297,11 +318,13 @@ func (s *Store) SnapshotAt(epoch uint64) (*Snapshot, bool) {
 	}
 	sn := &Snapshot{
 		epoch: epoch, baseEpoch: cur.baseEpoch,
-		base: s.base, log: log, nodes: nodes, edges: edges,
-		matCtr: &s.materialized,
+		base: cur.base, log: log, nodes: nodes, edges: edges,
+		prefix:        cur.prefix[:idx/memoEvery],
+		prevBaseEpoch: cur.prevBaseEpoch, prevLog: cur.prevLog,
+		matCtr: cur.matCtr,
 	}
 	if epoch == cur.baseEpoch {
-		sn.g = s.base
+		sn.g = cur.base
 	}
 	return sn, true
 }
@@ -317,9 +340,19 @@ func (s *Store) Materializations() uint64 { return s.materialized.Load() }
 func (s *Store) Compactions() uint64 { return s.compactions.Load() }
 
 // BaseEpoch returns the epoch of the store's in-memory base graph: 0
-// for a fresh store, the compaction epoch when Open adopted a
-// compacted base.
-func (s *Store) BaseEpoch() uint64 { return s.baseEpoch }
+// for a fresh store, the latest fold epoch after Open adopted a
+// compacted base or Compact re-based the store in place.
+func (s *Store) BaseEpoch() uint64 { return s.snap.Load().baseEpoch }
+
+// LogLen returns the resident mutation-log length: the number of
+// mutations applied since the in-memory base graph (epoch − base
+// epoch). This is the quantity a re-base resets — under a background
+// compactor it stays bounded by churn since the last fold, and it
+// bounds the cost of the next OverlayView construction.
+func (s *Store) LogLen() int {
+	sn := s.snap.Load()
+	return int(sn.epoch - sn.baseEpoch)
+}
 
 // Counters reports lifetime mutation counts by kind.
 func (s *Store) Counters() Counters {
@@ -377,6 +410,9 @@ func (s *Store) Apply(m Mutation) (expertgraph.NodeID, uint64, error) {
 // apply is Apply without the lock (held by the caller) and with
 // journaling optional (off during replay).
 func (s *Store) apply(m Mutation, journal bool) (expertgraph.NodeID, uint64, error) {
+	if s.closed {
+		return 0, 0, ErrClosed
+	}
 	var newID expertgraph.NodeID
 
 	// Validate before touching any state.
@@ -447,28 +483,40 @@ func (s *Store) apply(m Mutation, journal bool) (expertgraph.NodeID, uint64, err
 	}
 	prev := s.snap.Load()
 	next := &Snapshot{
-		epoch:     prev.epoch + 1,
-		baseEpoch: s.baseEpoch,
-		base:      s.base,
-		log:       s.log,
-		nodes:     s.nNodes,
-		edges:     s.nEdges,
-		matCtr:    &s.materialized,
+		epoch:         prev.epoch + 1,
+		baseEpoch:     s.baseEpoch,
+		base:          s.base,
+		log:           s.log,
+		prefix:        s.prefix,
+		prevBaseEpoch: s.prevBaseEpoch,
+		prevLog:       s.prevLog,
+		nodes:         s.nNodes,
+		edges:         s.nEdges,
+		matCtr:        &s.materialized,
 	}
 	s.snap.Store(next)
 	return newID, next.epoch, nil
 }
 
 // Snapshot is one epoch's immutable, consistent view of the network.
-// It is safe for concurrent use.
+// It is safe for concurrent use. A snapshot carries its own base graph
+// and log references, so it stays valid — and keeps answering every
+// read — after the store re-bases in place (Compact swaps the store's
+// base and resets its log, but never mutates a published snapshot).
 type Snapshot struct {
 	epoch     uint64
 	baseEpoch uint64 // epoch of base; log[i] is the mutation of epoch baseEpoch+i+1
 	base      *expertgraph.Graph
-	log       []Mutation // the epoch−baseEpoch mutations since base
-	nodes     int
-	edges     int
-	matCtr    *atomic.Uint64 // store's materialization counter (may be nil)
+	log       []Mutation    // the epoch−baseEpoch mutations since base
+	prefix    []prefixCount // SnapshotAt checkpoints over log (structurally shared)
+	// prevBaseEpoch/prevLog retain the previous re-base generation's
+	// mutations — epochs (prevBaseEpoch, baseEpoch] — so MutationsSince
+	// can bridge exactly one re-base boundary (see Store.prevLog).
+	prevBaseEpoch uint64
+	prevLog       []Mutation
+	nodes         int
+	edges         int
+	matCtr        *atomic.Uint64 // store's materialization counter (may be nil)
 
 	once sync.Once
 	g    *expertgraph.Graph
@@ -481,6 +529,11 @@ type Snapshot struct {
 // Epoch returns the snapshot's epoch (the base epoch = the unmodified
 // base graph).
 func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// BaseEpoch returns the epoch of the base graph this snapshot reads
+// through; Epoch−BaseEpoch is the delta the snapshot's overlay view
+// patches over the base CSR.
+func (sn *Snapshot) BaseEpoch() uint64 { return sn.baseEpoch }
 
 // NumNodes returns the expert count at this epoch without
 // materializing the graph.
@@ -531,13 +584,30 @@ func (sn *Snapshot) View() expertgraph.GraphView {
 
 // MutationsSince returns the mutations applied after epoch `from` up
 // to this snapshot, or ok=false when from is ahead of this snapshot or
-// predates its base (history folded away by compaction). Both
-// snapshots must come from the same store.
+// predates the retained history window. The window is the current
+// re-base generation plus exactly one generation back: a fold re-bases
+// the store but keeps the folded generation's log (prevLog), so state
+// anchored shortly before a fold — a resident 2-hop cover, most
+// commonly — can still be repaired forward instead of rebuilt. Epochs
+// at or below prevBaseEpoch (two or more folds ago) are honestly
+// refused; their history is gone from memory.
 func (sn *Snapshot) MutationsSince(from uint64) (muts []Mutation, ok bool) {
-	if from > sn.epoch || from < sn.baseEpoch {
+	if from > sn.epoch {
 		return nil, false
 	}
-	return sn.log[from-sn.baseEpoch : sn.epoch-sn.baseEpoch], true
+	if from >= sn.baseEpoch {
+		return sn.log[from-sn.baseEpoch : sn.epoch-sn.baseEpoch], true
+	}
+	if sn.prevLog == nil || from < sn.prevBaseEpoch {
+		return nil, false
+	}
+	// Bridge one re-base boundary: prevLog covers (prevBaseEpoch,
+	// baseEpoch], log covers (baseEpoch, epoch].
+	bridge := sn.prevLog[from-sn.prevBaseEpoch:]
+	cur := sn.log[:sn.epoch-sn.baseEpoch]
+	out := make([]Mutation, 0, len(bridge)+len(cur))
+	out = append(out, bridge...)
+	return append(out, cur...), true
 }
 
 // materialize replays the delta onto a thawed copy of base.

@@ -84,3 +84,53 @@ func TestLRUChurn(t *testing.T) {
 		}
 	}
 }
+
+// TestLRUEpochKeyCompaction exercises the epochKeys maintenance branch
+// directly: LRU evictions leave dead keys behind in the per-epoch key
+// list, and once the list reaches 2× capacity within a single epoch it
+// must be compacted down to the live entries — otherwise a
+// mutation-free epoch with heavy query churn grows it without bound.
+func TestLRUEpochKeyCompaction(t *testing.T) {
+	const capacity = 8
+	c := newLRU(capacity)
+	// 10× capacity inserts in one epoch: all but the last 8 are
+	// LRU-evicted, and the key list crosses the 2×-capacity compaction
+	// threshold repeatedly.
+	const inserts = 10 * capacity
+	for i := 0; i < inserts; i++ {
+		c.Put(fmt.Sprintf("e0|k%d", i), 0, resp("x"))
+	}
+	c.mu.Lock()
+	keyLen := len(c.epochKeys[0])
+	c.mu.Unlock()
+	// The list may hold up to 2×capacity−1 entries (live set plus dead
+	// keys accumulated since the last compaction) but must never track
+	// all 80 inserts.
+	if keyLen >= 2*capacity {
+		t.Fatalf("epochKeys holds %d keys after %d single-epoch inserts, want < %d (compacted)",
+			keyLen, inserts, 2*capacity)
+	}
+	if s := c.Stats(); s.Size != capacity {
+		t.Fatalf("size = %d, want %d", s.Size, capacity)
+	}
+
+	// EvictBefore must still be exact after compaction: advancing the
+	// epoch drops precisely the surviving entries of epoch 0.
+	if evicted := c.EvictBefore(1); evicted != capacity {
+		t.Fatalf("EvictBefore(1) evicted %d, want the %d live entries", evicted, capacity)
+	}
+	for i := inserts - capacity; i < inserts; i++ {
+		if _, ok := c.Get(fmt.Sprintf("e0|k%d", i)); ok {
+			t.Errorf("e0|k%d survived EvictBefore", i)
+		}
+	}
+	if s := c.Stats(); s.Size != 0 || s.EpochEvictions != capacity {
+		t.Fatalf("post-evict stats = %+v, want size 0, %d epoch evictions", s, capacity)
+	}
+	c.mu.Lock()
+	rows := len(c.epochKeys)
+	c.mu.Unlock()
+	if rows != 0 {
+		t.Fatalf("epochKeys still tracks %d epochs after EvictBefore", rows)
+	}
+}

@@ -578,9 +578,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // LiveStats is the live-mutation section of the /stats payload.
 type LiveStats struct {
 	Epoch uint64 `json:"epoch"`
-	// BaseEpoch is the epoch of the store's base graph (> 0 after a
-	// compacted base was adopted at boot); Epoch−BaseEpoch bounds the
-	// next restart's journal replay.
+	// BaseEpoch is the epoch of the store's in-memory base graph (> 0
+	// after a compacted base was adopted at boot or a fold re-based the
+	// store while serving); Epoch−BaseEpoch bounds the next restart's
+	// journal replay.
 	BaseEpoch      uint64 `json:"base_epoch"`
 	Nodes          int    `json:"nodes"`
 	Edges          int    `json:"edges"`
@@ -595,6 +596,19 @@ type LiveStats struct {
 	// rebuilds and compactions are the intended exceptions).
 	Materializations uint64 `json:"materializations"`
 	Compactions      uint64 `json:"compactions"`
+	// RebaseEpoch is the epoch the in-memory store was last re-based
+	// onto (by a fold while serving, or by adopting a compacted base at
+	// boot); LogLen is the resident mutation log since then — the
+	// quantity the background compactor keeps bounded, and the cost of
+	// the next per-epoch overlay construction.
+	RebaseEpoch uint64 `json:"rebase_epoch"`
+	LogLen      int    `json:"log_len"`
+	// Compactor reports the background fold loop (zero value when it
+	// is disabled).
+	Compactor live.CompactorStats `json:"compactor"`
+	// CompactorRuns mirrors Compactor.Runs at the top level for
+	// dashboards scraping a flat field.
+	CompactorRuns uint64 `json:"compactor_runs"`
 }
 
 // StatsResponse is the body of GET /stats.
@@ -612,13 +626,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	records, bytes := s.store.JournalStats()
 	pending, repairs, rebuilds := s.indexes.stats()
 	cache := s.cache.Stats()
+	var compactor live.CompactorStats
+	if s.compactor != nil {
+		compactor = s.compactor.Stats()
+	}
+	// Epoch, base epoch and log length all come from the one snapshot
+	// resolved above, so the payload is internally consistent even when
+	// a fold re-bases the store mid-handler (epoch ≥ rebase_epoch and
+	// log_len == epoch − rebase_epoch always hold within a response).
+	baseEpoch := snap.BaseEpoch()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		MetricsSnapshot:     s.metrics.snapshot(),
 		Cache:               cache,
 		CacheEvictionsEpoch: cache.EpochEvictions,
 		Live: LiveStats{
 			Epoch:              snap.Epoch(),
-			BaseEpoch:          s.store.BaseEpoch(),
+			BaseEpoch:          baseEpoch,
 			Nodes:              snap.NumNodes(),
 			Edges:              snap.NumEdges(),
 			JournalRecords:     records,
@@ -629,6 +652,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			FullRebuilds:       rebuilds,
 			Materializations:   s.store.Materializations(),
 			Compactions:        s.store.Compactions(),
+			RebaseEpoch:        baseEpoch,
+			LogLen:             int(snap.Epoch() - baseEpoch),
+			Compactor:          compactor,
+			CompactorRuns:      compactor.Runs,
 		},
 	})
 }

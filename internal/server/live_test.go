@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"authteam/internal/expertgraph"
 )
@@ -503,5 +504,102 @@ func TestDiscoverZeroMaterializations(t *testing.T) {
 	}
 	if pending, repairs, _ := s.indexes.stats(); pending || repairs == 0 {
 		t.Fatalf("expected incremental repairs to carry the index (pending=%v repairs=%d)", pending, repairs)
+	}
+}
+
+// TestBackgroundCompactorServing runs the daemon with the background
+// compactor enabled under a sustained mutation stream: folds must
+// happen while serving (no restart), each one re-basing the in-memory
+// store so the resident log stays bounded, and discovery must keep
+// answering correctly — including via incrementally repaired indexes
+// whose anchors predate a re-base.
+func TestBackgroundCompactorServing(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "wal.jsonl")
+	s, ts := newTestServer(t, func(cfg *Config) {
+		cfg.JournalPath = journal
+		cfg.CompactInterval = time.Millisecond
+		cfg.CompactThreshold = 25
+		cfg.WarmIndex = true
+	})
+	defer s.Close()
+
+	const writes = 150
+	for i := 0; i < writes; i++ {
+		status, data := postJSON(t, ts.URL+"/v1/graph/nodes",
+			fmt.Sprintf(`{"name": "c%d", "authority": %d, "skills": ["matrix"]}`, i, 1+i%15))
+		if status != http.StatusCreated {
+			t.Fatalf("add node %d: %d %s", i, status, data)
+		}
+		id := *decodeMutation(t, data).ID
+		if status, data = postJSON(t, ts.URL+"/v1/graph/edges",
+			fmt.Sprintf(`{"u": %d, "v": %d, "w": 0.3}`, id, i%5)); status != http.StatusCreated {
+			t.Fatalf("add edge %d: %d %s", i, status, data)
+		}
+		// A discover every 8 iterations (16 journal records — under the
+		// 25-record fold trigger) keeps each index anchor within one
+		// fold generation of the serving epoch, so incremental repair
+		// must carry the index across every re-base boundary.
+		if i%8 == 0 {
+			if status, data := postJSON(t, ts.URL+"/v1/discover",
+				`{"skills": ["analytics", "matrix"]}`); status != http.StatusOK {
+				t.Fatalf("discover at write %d: %d %s", i, status, data)
+			}
+		}
+	}
+
+	// The stream outpaces the 1ms poll on a loaded runner; give the
+	// compactor a bounded window to fold the backlog.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.store.Compactions() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s.store.Compactions() == 0 {
+		t.Fatal("background compactor never folded")
+	}
+
+	status, data := getBody(t, ts.URL+"/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d", status)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(data, &stats); err != nil {
+		t.Fatal(err)
+	}
+	l := stats.Live
+	if l.RebaseEpoch == 0 || l.RebaseEpoch != l.BaseEpoch {
+		t.Errorf("rebase epoch %d (base %d), want a re-based store", l.RebaseEpoch, l.BaseEpoch)
+	}
+	if uint64(l.LogLen) != l.Epoch-l.RebaseEpoch {
+		t.Errorf("log_len %d, want epoch-rebase_epoch = %d", l.LogLen, l.Epoch-l.RebaseEpoch)
+	}
+	if l.LogLen >= 2*writes {
+		t.Errorf("resident log %d not reset by the re-base", l.LogLen)
+	}
+	if l.CompactorRuns == 0 || l.Compactor.Runs != l.CompactorRuns {
+		t.Errorf("compactor runs: %+v", l.Compactor)
+	}
+	if l.Compactor.LastFoldMS <= 0 || l.Compactor.LastEpoch == 0 {
+		t.Errorf("compactor fold telemetry missing: %+v", l.Compactor)
+	}
+	for _, field := range []string{`"rebase_epoch"`, `"log_len"`, `"compactor_runs"`, `"last_fold_ms"`} {
+		if !bytes.Contains(data, []byte(field)) {
+			t.Errorf("%s missing from /stats payload", field)
+		}
+	}
+
+	// Post-fold serving still answers, at the live epoch, with teams.
+	status, data = postJSON(t, ts.URL+"/v1/discover", `{"skills": ["analytics", "matrix"]}`)
+	if status != http.StatusOK {
+		t.Fatalf("discover after folds: %d %s", status, data)
+	}
+	out := decodeDiscover(t, data)
+	if out.Epoch != 2*writes || len(out.Teams) == 0 {
+		t.Fatalf("post-fold discover: epoch %d teams %d", out.Epoch, len(out.Teams))
+	}
+	// Incremental repair — not full rebuilds — carried the index
+	// through the re-bases (anchors stayed within the one-generation
+	// MutationsSince window the re-base retains).
+	if _, repairs, _ := s.indexes.stats(); repairs == 0 {
+		t.Error("no incremental repairs across fold boundaries")
 	}
 }

@@ -34,6 +34,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"sync"
@@ -65,8 +66,21 @@ type Config struct {
 	// CompactThreshold folds the journal into a persisted base graph
 	// (JournalPath+".base") at boot when the replayed suffix has at
 	// least this many records, keeping restart replay O(recent churn).
-	// 0 disables auto-compaction.
+	// 0 disables the boot fold. With CompactInterval set it is also the
+	// background compactor's record trigger.
 	CompactThreshold int
+	// CompactInterval enables the background compactor: a goroutine
+	// that polls at this (jittered) cadence and — when the journal has
+	// accumulated CompactThreshold records or CompactBytes bytes since
+	// the last fold — runs Compact while serving, re-basing the
+	// in-memory store so resident log length and per-epoch overlay cost
+	// stay O(churn since the last fold) in a never-restarted daemon.
+	// 0 disables it. Requires JournalPath.
+	CompactInterval time.Duration
+	// CompactBytes is the background compactor's journal-size trigger
+	// (0 disables the byte trigger; with CompactThreshold also 0 the
+	// compactor falls back to a record default).
+	CompactBytes int64
 	// RepairBudget caps how many delta mutations an index is carried
 	// across by incremental repair before a full rebuild is preferred
 	// (default 512; negative disables incremental repair).
@@ -118,6 +132,9 @@ type Server struct {
 	indexes *indexSet
 	cache   *lruCache
 	metrics *metrics
+	// compactor is the background journal-fold loop (nil unless
+	// Config.CompactInterval and JournalPath are set).
+	compactor *live.Compactor
 	// gamma and lambda are the resolved request defaults.
 	gamma, lambda float64
 
@@ -207,6 +224,27 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.indexes.forMethod(v, p, defaultMethod)
 	}
+	if cfg.CompactInterval > 0 && cfg.JournalPath == "" {
+		return nil, fmt.Errorf("server: CompactInterval requires JournalPath (nothing to fold without a journal)")
+	}
+	if cfg.JournalPath != "" && cfg.CompactInterval > 0 {
+		s.compactor, err = store.StartCompactor(live.CompactorConfig{
+			Interval:   cfg.CompactInterval,
+			MinRecords: uint64(max(cfg.CompactThreshold, 0)),
+			MaxBytes:   cfg.CompactBytes,
+			OnFold: func(st live.CompactStats, took time.Duration, err error) {
+				if err != nil {
+					log.Printf("server: background compaction failed: %v", err)
+					return
+				}
+				log.Printf("server: compacted journal at epoch %d in %v (folded %d, %d in-flight remain)",
+					st.Epoch, took.Round(time.Millisecond), st.Folded, st.Remaining)
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
 	return s, nil
 }
 
@@ -268,9 +306,15 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// Close releases the mutation journal. Serving (reads) keeps working;
-// further mutations fail.
-func (s *Server) Close() error { return s.store.Close() }
+// Close stops the background compactor (if any) and releases the
+// mutation journal. Serving (reads) keeps working; further mutations
+// fail with live.ErrClosed.
+func (s *Server) Close() error {
+	if s.compactor != nil {
+		s.compactor.Stop()
+	}
+	return s.store.Close()
+}
 
 // ListenAndServe serves until ctx is cancelled, then shuts down
 // gracefully, draining in-flight requests for up to 10 seconds.
