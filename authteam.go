@@ -95,6 +95,12 @@ var (
 	// ErrClosed is returned by mutators after Close (queries keep
 	// working).
 	ErrClosed = live.ErrClosed
+	// ErrRemovedNode is returned by mutators referencing a tombstoned
+	// expert (removal is permanent; NodeIDs are never reused).
+	ErrRemovedNode = live.ErrRemovedNode
+	// ErrUnknownEdge is returned when removing or re-weighting a
+	// collaboration that does not exist.
+	ErrUnknownEdge = live.ErrUnknownEdge
 	// ErrUnknownSkill is returned when a requested skill name is not in
 	// the graph's skill universe.
 	ErrUnknownSkill = errors.New("authteam: unknown skill")
@@ -273,20 +279,30 @@ func (c *Client) derive(old *clientState) (*clientState, error) {
 	}
 	st := &clientState{snap: snap, g: g, params: p}
 	if c.opt.BuildIndex {
-		st.rawIdx = c.refreshIndex(old, snap, nil, func(o *clientState) *oracle.PLLOracle { return o.rawIdx })
-		st.gIdx = c.refreshIndex(old, snap, p.EdgeWeight(), func(o *clientState) *oracle.PLLOracle { return o.gIdx })
+		st.rawIdx = c.refreshIndex(old, snap, nil, nil, func(o *clientState) *oracle.PLLOracle { return o.rawIdx })
+		var oldWeight live.WeightFunc
+		if old != nil {
+			// The previous state's fit is the weight function the
+			// resident G' index was built over — decremental repair
+			// needs it to recognize entries created under the old
+			// authorities.
+			oldWeight = old.params.EdgeWeight()
+		}
+		st.gIdx = c.refreshIndex(old, snap, p.EdgeWeight(), oldWeight, func(o *clientState) *oracle.PLLOracle { return o.gIdx })
 	}
 	return st, nil
 }
 
 // refreshIndex carries one index to snap — incrementally from the
-// previous state when the delta is insert-only and in-bounds, from
-// scratch otherwise.
+// previous state when the mutation delta is repairable and in budget
+// (insertions, removals, re-weights and authority updates all are, as
+// long as the normalization bounds hold still), from scratch
+// otherwise.
 func (c *Client) refreshIndex(old *clientState, snap *live.Snapshot,
-	weight live.WeightFunc, pick func(*clientState) *oracle.PLLOracle) *oracle.PLLOracle {
+	weight, oldWeight live.WeightFunc, pick func(*clientState) *oracle.PLLOracle) *oracle.PLLOracle {
 	if old != nil {
 		if prev := pick(old); prev != nil {
-			if ix, ok := live.MaintainIndex(prev.Index(), old.snap, snap, weight, clientRepairBudget); ok {
+			if ix, _, ok := live.MaintainIndex(prev.Index(), old.snap, snap, weight, oldWeight, clientRepairBudget); ok {
 				return oracle.NewPLL(ix)
 			}
 		}
@@ -376,6 +392,29 @@ func (c *Client) AddCollaboration(u, v NodeID, w float64) error {
 // and/or grants additional skills.
 func (c *Client) UpdateExpert(id NodeID, authority *float64, addSkills ...string) error {
 	_, err := c.store.UpdateExpert(id, authority, addSkills)
+	return err
+}
+
+// RemoveCollaboration removes the collaboration edge between two
+// experts. Subsequent queries never route through it (read-your-writes
+// holds, as for every mutation).
+func (c *Client) RemoveCollaboration(u, v NodeID) error {
+	_, err := c.store.RemoveCollaboration(u, v)
+	return err
+}
+
+// RemoveExpert tombstones an expert: its collaborations are dropped,
+// its skills cleared, and every further mutation referencing it fails
+// with live.ErrRemovedNode. The NodeID is never reused.
+func (c *Client) RemoveExpert(id NodeID) error {
+	_, err := c.store.RemoveExpert(id)
+	return err
+}
+
+// UpdateCollaboration replaces the communication cost of an existing
+// collaboration edge.
+func (c *Client) UpdateCollaboration(u, v NodeID, w float64) error {
+	_, err := c.store.UpdateCollaboration(u, v, w)
 	return err
 }
 

@@ -150,6 +150,80 @@ func TestClientIndexMatchesDijkstraAfterMutations(t *testing.T) {
 	}
 }
 
+// TestClientDecrementalMutations drives the client's remove/re-weight
+// API end to end, with and without resident indexes: tombstoned
+// experts disappear from teams, removed and re-weighted edges change
+// routing, and the indexed configuration keeps agreeing with the
+// index-free one at every epoch.
+func TestClientDecrementalMutations(t *testing.T) {
+	withIdx, err := authteam.New(liveBase(t), authteam.Options{Gamma: 0.6, Lambda: 0.6, BuildIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noIdx, err := authteam.New(liveBase(t), authteam.Options{Gamma: 0.6, Lambda: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := []*authteam.Client{withIdx, noIdx}
+	both := func(f func(c *authteam.Client) error) {
+		t.Helper()
+		for _, c := range clients {
+			if err := f(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	agree := func(project []string) {
+		t.Helper()
+		a, errA := withIdx.BestTeam(authteam.SACACC, project)
+		b, errB := noIdx.BestTeam(authteam.SACACC, project)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("indexed/index-free disagree on feasibility: %v vs %v", errA, errB)
+		}
+		if errA != nil {
+			return
+		}
+		an, bn := teamNames(a, withIdx.Graph()), teamNames(b, noIdx.Graph())
+		if fmt.Sprint(an) != fmt.Sprint(bn) {
+			t.Fatalf("teams differ: %v vs %v", an, bn)
+		}
+	}
+	project := []string{"databases", "networks"}
+
+	// Re-weight ana—bo much cheaper: the direct pair becomes the team.
+	both(func(c *authteam.Client) error { return c.UpdateCollaboration(0, 1, 0.05) })
+	agree(project)
+
+	// Remove it again: routing goes back through dee.
+	both(func(c *authteam.Client) error { return c.RemoveCollaboration(0, 1) })
+	agree(project)
+
+	// Tombstone bo: the networks skill must vanish with him.
+	both(func(c *authteam.Client) error { return c.RemoveExpert(1) })
+	if _, err := withIdx.BestTeam(authteam.SACACC, project); err == nil {
+		t.Fatal("tombstoned expert's exclusive skill still coverable")
+	}
+	agree(project) // both sides must fail identically
+
+	// Mutating the tombstone fails with the exported sentinel.
+	if err := withIdx.RemoveExpert(1); !errors.Is(err, authteam.ErrRemovedNode) {
+		t.Fatalf("double removal: %v", err)
+	}
+	if err := withIdx.AddCollaboration(0, 1, 0.4); !errors.Is(err, authteam.ErrRemovedNode) {
+		t.Fatalf("edge to tombstone: %v", err)
+	}
+
+	// A replacement expert restores feasibility on both sides.
+	both(func(c *authteam.Client) error {
+		id, err := c.AddExpert("nelly", 8, "networks")
+		if err != nil {
+			return err
+		}
+		return c.AddCollaboration(id, 3, 0.2)
+	})
+	agree(project)
+}
+
 // TestClientConcurrentQueriesAndMutations exercises the client's
 // refresh latch: queries racing a mutation stream must all see a
 // consistent state at least as new as their admission epoch. Run

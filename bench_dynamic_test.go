@@ -1,0 +1,247 @@
+// Fully-dynamic 2-hop cover benchmarks: the perf evidence that
+// decremental repair beats rebuilding. Two numbers matter —
+//
+//	BenchmarkDynamicRepairVsRebuild  label visits + wall time to absorb
+//	                                 one mixed mutation batch by repair,
+//	                                 against a from-scratch build
+//	BenchmarkDiscoverUnderMixedChurn /v1/discover latency while a writer
+//	                                 streams inserts, removals and
+//	                                 re-weights (the stream PR 2–4
+//	                                 could not absorb without rebuilds)
+//
+// Each benchmark emits a one-line BENCH_dynamic.json record for CI log
+// scraping.
+package authteam_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/live"
+	"authteam/internal/pll"
+	"authteam/internal/server"
+	"authteam/internal/stats"
+)
+
+func emitBenchDynamic(name string, fields map[string]any) {
+	fields["bench"] = name
+	buf, _ := json.Marshal(fields)
+	fmt.Printf("BENCH_dynamic.json %s\n", buf)
+}
+
+// mixedBatch applies `count` mixed mutations (half inserts, the rest
+// removals and re-weights) to a fresh store over benchG and returns
+// the store with its pre-batch snapshot.
+func mixedBatch(b *testing.B, rng *rand.Rand, count int) (*live.Store, *live.Snapshot, *live.Snapshot) {
+	b.Helper()
+	st, err := live.Open(benchG, live.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	from := st.Snapshot()
+	pairs := freshPairs(benchG, rng, count)
+	n := benchG.NumNodes()
+	applied := 0
+	for applied < count {
+		switch rng.Intn(4) {
+		case 0, 1: // insert
+			pr := pairs[rng.Intn(len(pairs))]
+			if _, err := st.AddCollaboration(pr[0], pr[1], 0.05+0.9*rng.Float64()); err == nil {
+				applied++
+			}
+		case 2: // remove a random existing edge
+			u := expertgraph.NodeID(rng.Intn(n))
+			var v expertgraph.NodeID
+			deg := 0
+			st.Snapshot().View().Neighbors(u, func(w expertgraph.NodeID, _ float64) bool {
+				deg++
+				if rng.Intn(deg) == 0 {
+					v = w
+				}
+				return true
+			})
+			if deg > 0 {
+				if _, err := st.RemoveCollaboration(u, v); err == nil {
+					applied++
+				}
+			}
+		default: // re-weight a random existing edge
+			u := expertgraph.NodeID(rng.Intn(n))
+			var v expertgraph.NodeID
+			deg := 0
+			st.Snapshot().View().Neighbors(u, func(w expertgraph.NodeID, _ float64) bool {
+				deg++
+				if rng.Intn(deg) == 0 {
+					v = w
+				}
+				return true
+			})
+			if deg > 0 {
+				if _, err := st.UpdateCollaboration(u, v, 0.05+0.9*rng.Float64()); err == nil {
+					applied++
+				}
+			}
+		}
+	}
+	return st, from, st.Snapshot()
+}
+
+func BenchmarkDynamicRepairVsRebuild(b *testing.B) {
+	benchSetup(b)
+	// 16 mutations per batch ≈ the delta a serving-layer repair absorbs
+	// between discovers; repair cost scales with the affected regions
+	// while a rebuild is O(n·m), so the gap widens with graph size.
+	const batch = 16
+	rng := rand.New(rand.NewSource(131))
+	base := pll.Build(benchG)
+
+	var repairNS, rebuildNS int64
+	var visits int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, from, to := mixedBatch(b, rng, batch)
+		b.StartTimer()
+
+		t0 := time.Now()
+		repaired, rs, ok := live.MaintainIndex(base, from, to, nil, nil, 0)
+		repairNS += int64(time.Since(t0))
+		if !ok || repaired == nil {
+			b.Fatal("repair refused the mixed batch")
+		}
+		if rs.Removed == 0 {
+			b.Fatal("batch had no decremental ops")
+		}
+		visits += int64(rs.Visits)
+
+		b.StopTimer()
+		g, err := to.Graph()
+		if err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		fresh := pll.Build(g)
+		rebuildNS += int64(time.Since(t1))
+		_ = fresh
+		st.Close()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(repairNS)/float64(b.N)/1e6, "repair-ms")
+		b.ReportMetric(float64(rebuildNS)/float64(b.N)/1e6, "rebuild-ms")
+		emitBenchDynamic("repair_vs_rebuild", map[string]any{
+			"batches":         b.N,
+			"batch_mutations": batch,
+			"repair_ms_avg":   float64(repairNS) / float64(b.N) / 1e6,
+			"rebuild_ms_avg":  float64(rebuildNS) / float64(b.N) / 1e6,
+			"speedup":         float64(rebuildNS) / float64(max64(repairNS, 1)),
+			"repair_visits":   visits,
+			"graph_nodes":     benchG.NumNodes(),
+			"graph_edges":     benchG.NumEdges(),
+		})
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkDiscoverUnderMixedChurn(b *testing.B) {
+	benchSetup(b)
+	srv, err := server.New(server.Config{
+		Graph:          benchG,
+		NoPersistIndex: true,
+		Workers:        4,
+		WarmIndex:      true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// One writer streams a mixed insert/remove/re-weight workload for
+	// the whole measurement window (~2k mutations/sec offered).
+	var stop atomic.Bool
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		rng := rand.New(rand.NewSource(137))
+		st := srv.Store()
+		pairs := freshPairs(benchG, rng, 100_000)
+		n := benchG.NumNodes()
+		for i := 0; !stop.Load(); i++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				pr := pairs[i%len(pairs)]
+				_, _ = st.AddCollaboration(pr[0], pr[1], 0.05+0.9*rng.Float64())
+			case 2:
+				u := expertgraph.NodeID(rng.Intn(n))
+				st.Snapshot().View().Neighbors(u, func(v expertgraph.NodeID, _ float64) bool {
+					_, _ = st.RemoveCollaboration(u, v)
+					return false
+				})
+			default:
+				u := expertgraph.NodeID(rng.Intn(n))
+				st.Snapshot().View().Neighbors(u, func(v expertgraph.NodeID, _ float64) bool {
+					_, _ = st.UpdateCollaboration(u, v, 0.05+0.9*rng.Float64())
+					return false
+				})
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	skills := make([]string, 0, 4)
+	for _, id := range benchProj[4] {
+		skills = append(skills, benchG.SkillName(id))
+	}
+	body, _ := json.Marshal(map[string]any{"skills": skills, "method": "sa-ca-cc"})
+
+	lat := make([]float64, 0, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		resp, err := http.Post(ts.URL+"/v1/discover", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("discover status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+		lat = append(lat, float64(time.Since(t0))/float64(time.Millisecond))
+	}
+	b.StopTimer()
+	stop.Store(true)
+	<-writerDone
+
+	c := srv.Store().Counters()
+	p50 := stats.Percentile(lat, 50)
+	p99 := stats.Percentile(lat, 99)
+	b.ReportMetric(p50, "p50-ms")
+	b.ReportMetric(p99, "p99-ms")
+	emitBenchDynamic("discover_under_mixed_churn", map[string]any{
+		"queries":       b.N,
+		"p50_ms":        p50,
+		"p99_ms":        p99,
+		"final_epoch":   srv.Store().Epoch(),
+		"edges_added":   c.EdgesAdded,
+		"edges_removed": c.EdgesRemoved,
+		"edges_updated": c.EdgesUpdated,
+	})
+}

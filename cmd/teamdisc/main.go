@@ -11,6 +11,11 @@
 //	teamdisc serve -graph graph.bin -addr :7411 -journal graph.wal \
 //	         -compact-threshold 100000 -compact-interval 1m
 //	teamdisc compact -graph graph.bin -journal graph.wal
+//
+// The daemon's /v1/graph API is fully dynamic: POST adds nodes/edges,
+// PATCH re-weights edges and updates node authority/skills, DELETE
+// removes edges and tombstones nodes — all absorbed by incremental
+// 2-hop cover repair (see the README's "Live updates" section).
 package main
 
 import (

@@ -13,11 +13,21 @@ var (
 	ErrDuplicateEdge  = errors.New("expertgraph: duplicate edge")
 	ErrNegativeWeight = errors.New("expertgraph: negative edge weight")
 	ErrUnknownNode    = errors.New("expertgraph: unknown node")
+	ErrUnknownEdge    = errors.New("expertgraph: unknown edge")
+	ErrRemovedNode    = errors.New("expertgraph: removed node")
 )
 
 type pendingEdge struct {
 	u, v NodeID
 	w    float64
+}
+
+// edgeKey packs an undirected edge into one map key.
+func edgeKey(u, v NodeID) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
 }
 
 // Builder assembles a Graph. It is not safe for concurrent use. The
@@ -31,6 +41,15 @@ type Builder struct {
 
 	edges   []pendingEdge
 	edgeErr error
+
+	// Removal/re-weight state, allocated lazily so the bulk-load path
+	// (no removals) pays nothing. edgeIdx maps an edge key to its slot
+	// in edges; pdeg tracks pending degrees so RemoveNode can insist on
+	// an isolated node in O(1).
+	removed    []bool
+	numRemoved int
+	edgeIdx    map[uint64]int
+	pdeg       []int32
 }
 
 // NewBuilder returns a Builder with capacity hints for nodes and edges.
@@ -72,6 +91,12 @@ func (b *Builder) AddNode(name string, authority float64, skills ...string) Node
 		ids = appendSkill(ids, b.Skill(s))
 	}
 	b.skills = append(b.skills, ids)
+	if b.removed != nil {
+		b.removed = append(b.removed, false)
+	}
+	if b.pdeg != nil {
+		b.pdeg = append(b.pdeg, 0)
+	}
 	return id
 }
 
@@ -121,12 +146,118 @@ func (b *Builder) AddEdge(u, v NodeID, w float64) {
 		b.edgeErr = fmt.Errorf("%w: %d", ErrUnknownNode, u)
 	case int(v) >= len(b.nodes) || v < 0:
 		b.edgeErr = fmt.Errorf("%w: %d", ErrUnknownNode, v)
+	case b.isRemoved(u) || b.isRemoved(v):
+		b.edgeErr = fmt.Errorf("%w: edge (%d,%d)", ErrRemovedNode, u, v)
 	default:
 		if u > v {
 			u, v = v, u
 		}
+		if b.edgeIdx != nil {
+			b.edgeIdx[edgeKey(u, v)] = len(b.edges)
+		}
+		if b.pdeg != nil {
+			b.pdeg[u]++
+			b.pdeg[v]++
+		}
 		b.edges = append(b.edges, pendingEdge{u: u, v: v, w: w})
 	}
+}
+
+func (b *Builder) isRemoved(u NodeID) bool {
+	return b.removed != nil && b.removed[u]
+}
+
+// ensureEdgeIndex lazily builds the edge-key index and pending-degree
+// table the removal/re-weight operations need; the one O(E) pass is
+// paid only by builders that actually mutate edges.
+func (b *Builder) ensureEdgeIndex() {
+	if b.edgeIdx != nil {
+		return
+	}
+	b.edgeIdx = make(map[uint64]int, len(b.edges))
+	b.pdeg = make([]int32, len(b.nodes))
+	for i, e := range b.edges {
+		b.edgeIdx[edgeKey(e.u, e.v)] = i
+		b.pdeg[e.u]++
+		b.pdeg[e.v]++
+	}
+}
+
+// RemoveEdge drops the pending undirected edge (u, v). Removing an
+// edge that was never added is a sticky error, like AddEdge's
+// validation failures.
+func (b *Builder) RemoveEdge(u, v NodeID) {
+	if b.edgeErr != nil {
+		return
+	}
+	b.ensureEdgeIndex()
+	key := edgeKey(u, v)
+	i, ok := b.edgeIdx[key]
+	if !ok {
+		b.edgeErr = fmt.Errorf("%w: (%d,%d)", ErrUnknownEdge, u, v)
+		return
+	}
+	e := b.edges[i]
+	b.pdeg[e.u]--
+	b.pdeg[e.v]--
+	delete(b.edgeIdx, key)
+	last := len(b.edges) - 1
+	if i != last {
+		moved := b.edges[last]
+		b.edges[i] = moved
+		b.edgeIdx[edgeKey(moved.u, moved.v)] = i
+	}
+	b.edges = b.edges[:last]
+}
+
+// UpdateEdge replaces the weight of the pending edge (u, v). Unknown
+// edges and negative weights are sticky errors.
+func (b *Builder) UpdateEdge(u, v NodeID, w float64) {
+	if b.edgeErr != nil {
+		return
+	}
+	if w < 0 {
+		b.edgeErr = fmt.Errorf("%w: edge (%d,%d) weight %v", ErrNegativeWeight, u, v, w)
+		return
+	}
+	b.ensureEdgeIndex()
+	i, ok := b.edgeIdx[edgeKey(u, v)]
+	if !ok {
+		b.edgeErr = fmt.Errorf("%w: (%d,%d)", ErrUnknownEdge, u, v)
+		return
+	}
+	b.edges[i].w = w
+}
+
+// RemoveNode tombstones expert u: its NodeID slot remains (ID spaces
+// stay dense) but the node loses its skills, is excluded from the
+// authority bounds and fails ValidNode in the built graph. The node
+// must be isolated — callers remove its incident edges first (the live
+// mutation log records them with each remove_node, so replay is
+// self-contained). Violations are sticky errors.
+func (b *Builder) RemoveNode(u NodeID) {
+	if b.edgeErr != nil {
+		return
+	}
+	if int(u) >= len(b.nodes) || u < 0 {
+		b.edgeErr = fmt.Errorf("%w: %d", ErrUnknownNode, u)
+		return
+	}
+	if b.isRemoved(u) {
+		b.edgeErr = fmt.Errorf("%w: %d", ErrRemovedNode, u)
+		return
+	}
+	b.ensureEdgeIndex()
+	if b.pdeg[u] != 0 {
+		b.edgeErr = fmt.Errorf("expertgraph: removing node %d with %d incident edges", u, b.pdeg[u])
+		return
+	}
+	if b.removed == nil {
+		b.removed = make([]bool, len(b.nodes))
+	}
+	b.removed[u] = true
+	b.numRemoved++
+	b.skills[u] = nil
 }
 
 // NumNodes returns the number of experts added so far.
@@ -157,6 +288,10 @@ func (b *Builder) Build() (*Graph, error) {
 		skillNames: b.skillNames,
 		skillIDs:   b.skillIDs,
 		numEdges:   len(b.edges),
+		numRemoved: b.numRemoved,
+	}
+	if b.numRemoved > 0 {
+		g.removed = b.removed
 	}
 	if g.skillIDs == nil {
 		g.skillIDs = make(map[string]SkillID)
@@ -232,15 +367,21 @@ func (b *Builder) Build() (*Graph, error) {
 			}
 		}
 	}
-	if n > 0 {
-		g.minInv, g.maxInv = g.inv[0], g.inv[0]
-		for _, a := range g.inv[1:] {
-			if a < g.minInv {
-				g.minInv = a
-			}
-			if a > g.maxInv {
-				g.maxInv = a
-			}
+	first := true
+	for i, a := range g.inv {
+		if g.Removed(NodeID(i)) {
+			continue // tombstones don't participate in normalization
+		}
+		if first {
+			g.minInv, g.maxInv = a, a
+			first = false
+			continue
+		}
+		if a < g.minInv {
+			g.minInv = a
+		}
+		if a > g.maxInv {
+			g.maxInv = a
 		}
 	}
 	return g, nil

@@ -67,6 +67,13 @@ type Graph struct {
 
 	numEdges int // undirected edge count
 
+	// removed marks tombstoned experts (nil when none). A removed node
+	// keeps its NodeID slot — ID spaces stay dense so every consumer's
+	// arrays keep lining up — but it has no edges, holds no skills, is
+	// excluded from the normalization bounds and fails ValidNode.
+	removed    []bool
+	numRemoved int
+
 	minW, maxW     float64 // edge-weight bounds (0,0 when no edges)
 	minInv, maxInv float64 // inverse-authority bounds (0,0 when empty)
 }
@@ -160,13 +167,29 @@ func (g *Graph) EdgeWeightBounds() (lo, hi float64) { return g.minW, g.maxW }
 // graph, or (0, 0) if the graph has no nodes.
 func (g *Graph) InvAuthorityBounds() (lo, hi float64) { return g.minInv, g.maxInv }
 
-// ValidNode reports whether u is a node of this graph.
+// ValidNode reports whether u is a (live) node of this graph; removed
+// experts fail even though their ID slot remains.
 func (g *Graph) ValidNode(u NodeID) bool {
-	return u >= 0 && int(u) < len(g.nodes)
+	return u >= 0 && int(u) < len(g.nodes) && !g.Removed(u)
 }
+
+// Removed reports whether expert u has been tombstoned. Removed nodes
+// keep their NodeID (ID spaces stay dense) but have no edges, hold no
+// skills and are excluded from the normalization bounds.
+func (g *Graph) Removed(u NodeID) bool {
+	return g.removed != nil && g.removed[u]
+}
+
+// NumRemoved returns the number of tombstoned experts; NumNodes −
+// NumRemoved is the live population.
+func (g *Graph) NumRemoved() int { return g.numRemoved }
 
 // String summarizes the graph for logs and error messages.
 func (g *Graph) String() string {
+	if g.numRemoved > 0 {
+		return fmt.Sprintf("expertgraph{nodes: %d (%d removed), edges: %d, skills: %d}",
+			g.NumNodes(), g.numRemoved, g.NumEdges(), g.NumSkills())
+	}
 	return fmt.Sprintf("expertgraph{nodes: %d, edges: %d, skills: %d}",
 		g.NumNodes(), g.NumEdges(), g.NumSkills())
 }

@@ -16,6 +16,10 @@ import (
 const ioFormatVersion = 1
 
 // flatGraph is the serialized form. All fields are exported for gob.
+// Removed (tombstoned experts) was added after version 1 shipped; gob
+// matches fields by name, so old files decode with no tombstones and
+// old readers simply drop the flags (removed nodes are isolated and
+// skill-less either way), keeping the format version stable.
 type flatGraph struct {
 	Version    int
 	Nodes      []Node
@@ -25,6 +29,7 @@ type flatGraph struct {
 	EdgeU      []NodeID
 	EdgeV      []NodeID
 	EdgeW      []float64
+	Removed    []bool
 }
 
 // Write encodes g to w.
@@ -35,6 +40,9 @@ func Write(w io.Writer, g *Graph) error {
 		SkillNames: g.skillNames,
 		NodeSkOff:  g.nodeSkOff,
 		NodeSk:     g.nodeSk,
+	}
+	if g.numRemoved > 0 {
+		f.Removed = g.removed
 	}
 	f.EdgeU = make([]NodeID, 0, g.numEdges)
 	f.EdgeV = make([]NodeID, 0, g.numEdges)
@@ -70,6 +78,9 @@ func Read(r io.Reader) (*Graph, error) {
 		b.SetPubs(id, nd.Pubs)
 		for _, s := range f.NodeSk[f.NodeSkOff[i]:f.NodeSkOff[i+1]] {
 			b.AddSkillTo(id, f.SkillNames[s])
+		}
+		if i < len(f.Removed) && f.Removed[i] {
+			b.RemoveNode(id)
 		}
 	}
 	for i := range f.EdgeU {

@@ -1,0 +1,153 @@
+package expertgraph
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func removalFixture(t *testing.T) *Builder {
+	t.Helper()
+	b := NewBuilder(4, 4)
+	b.AddNode("a", 2, "x")
+	b.AddNode("b", 4, "y")
+	b.AddNode("c", 8, "x", "y")
+	b.AddNode("d", 16, "z")
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(1, 2, 0.7)
+	b.AddEdge(2, 3, 0.9)
+	b.AddEdge(0, 3, 0.2)
+	return b
+}
+
+func TestBuilderRemoveAndUpdateEdge(t *testing.T) {
+	b := removalFixture(t)
+	b.UpdateEdge(1, 2, 0.05) // new min weight
+	b.RemoveEdge(0, 3)       // old min weight gone
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges %d, want 3", g.NumEdges())
+	}
+	if w, ok := g.EdgeWeight(1, 2); !ok || w != 0.05 {
+		t.Fatalf("updated weight %v %v", w, ok)
+	}
+	if _, ok := g.EdgeWeight(0, 3); ok {
+		t.Fatal("removed edge still present")
+	}
+	if lo, hi := g.EdgeWeightBounds(); lo != 0.05 || hi != 0.9 {
+		t.Fatalf("bounds (%v,%v), want (0.05,0.9)", lo, hi)
+	}
+
+	// Unknown-edge operations are sticky errors.
+	b2 := removalFixture(t)
+	b2.RemoveEdge(0, 2)
+	if _, err := b2.Build(); !errors.Is(err, ErrUnknownEdge) {
+		t.Fatalf("remove of unknown edge: %v", err)
+	}
+	b3 := removalFixture(t)
+	b3.UpdateEdge(0, 2, 0.4)
+	if _, err := b3.Build(); !errors.Is(err, ErrUnknownEdge) {
+		t.Fatalf("update of unknown edge: %v", err)
+	}
+}
+
+func TestBuilderRemoveNode(t *testing.T) {
+	b := removalFixture(t)
+	// Node 2 holds skills x and y and the graph's max authority term.
+	b.RemoveEdge(1, 2)
+	b.RemoveEdge(2, 3)
+	b.RemoveNode(2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumRemoved() != 1 {
+		t.Fatalf("nodes %d removed %d", g.NumNodes(), g.NumRemoved())
+	}
+	if g.ValidNode(2) || !g.Removed(2) {
+		t.Fatal("tombstone not reflected")
+	}
+	if g.Degree(2) != 0 || len(g.Skills(2)) != 0 {
+		t.Fatal("tombstone keeps edges or skills")
+	}
+	for _, s := range []string{"x", "y"} {
+		id, ok := g.SkillID(s)
+		if !ok {
+			t.Fatalf("skill %s vanished from the universe", s)
+		}
+		for _, holder := range g.ExpertsWithSkill(id) {
+			if holder == 2 {
+				t.Fatalf("tombstone still holds %s", s)
+			}
+		}
+	}
+	// Authority bounds exclude the tombstone (inv 1/8 was the min
+	// before removal among a=2,4,8,16 → now 1/16 … no: removing a=8
+	// leaves 2,4,16; min inv = 1/16, max = 1/2).
+	if lo, hi := g.InvAuthorityBounds(); lo != 1.0/16 || hi != 0.5 {
+		t.Fatalf("inv bounds (%v,%v)", lo, hi)
+	}
+
+	// Removing a non-isolated node, or twice, is a sticky error.
+	b2 := removalFixture(t)
+	b2.RemoveNode(2)
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("removal of wired node accepted")
+	}
+	b3 := removalFixture(t)
+	b3.RemoveEdge(1, 2)
+	b3.RemoveEdge(2, 3)
+	b3.RemoveNode(2)
+	b3.RemoveNode(2)
+	if _, err := b3.Build(); !errors.Is(err, ErrRemovedNode) {
+		t.Fatalf("double removal: %v", err)
+	}
+	// Edges to tombstones are rejected.
+	b4 := removalFixture(t)
+	b4.RemoveEdge(1, 2)
+	b4.RemoveEdge(2, 3)
+	b4.RemoveNode(2)
+	b4.AddEdge(0, 2, 0.4)
+	if _, err := b4.Build(); !errors.Is(err, ErrRemovedNode) {
+		t.Fatalf("edge to tombstone: %v", err)
+	}
+}
+
+func TestTombstoneRoundTrips(t *testing.T) {
+	b := removalFixture(t)
+	b.RemoveEdge(1, 2)
+	b.RemoveEdge(2, 3)
+	b.RemoveNode(2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Write/Read round trip keeps the tombstone.
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Removed(2) || g2.NumRemoved() != 1 || g2.ValidNode(2) {
+		t.Fatal("serialization dropped the tombstone")
+	}
+	if lo, hi := g2.InvAuthorityBounds(); lo != 1.0/16 || hi != 0.5 {
+		t.Fatalf("round-tripped inv bounds (%v,%v)", lo, hi)
+	}
+
+	// Thaw carries the tombstone into the next builder generation.
+	g3, err := g.Thaw(0, 0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g3.Removed(2) || g3.NumRemoved() != 1 {
+		t.Fatal("Thaw dropped the tombstone")
+	}
+}

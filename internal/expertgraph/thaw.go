@@ -20,6 +20,9 @@ func (g *Graph) Thaw(extraNodeHint, extraEdgeHint int) *Builder {
 		for _, s := range g.Skills(NodeID(u)) {
 			b.AddSkillTo(id, g.SkillName(s))
 		}
+		if g.Removed(NodeID(u)) {
+			b.RemoveNode(id) // tombstones carry over; removed nodes have no edges
+		}
 	}
 	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
 		g.Neighbors(u, func(v NodeID, w float64) bool {

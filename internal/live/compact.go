@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 
 	"authteam/internal/expertgraph"
@@ -111,7 +112,30 @@ func (s *Store) Compact() (CompactStats, error) {
 	if err := s.writeBase(g, snap.Epoch()); err != nil {
 		return CompactStats{}, err
 	}
-	return s.swapAndRebase(snap, g)
+
+	// Stage the journal rewrite outside the writer lock: the bulk of
+	// the post-fold tail — everything applied up to this instant — is
+	// written and fsynced to a temp file while mutators keep running.
+	// The final swap under mu then only appends the handful of records
+	// that raced in meanwhile and renames the file, so the writer stall
+	// is O(in-flight records), not O(journal tail). The captured tail
+	// slice is safe to read without the lock: the log's backing array
+	// is append-only and every captured index is already published.
+	s.mu.Lock()
+	if s.journal == nil || s.journal.closed {
+		s.mu.Unlock()
+		return CompactStats{}, ErrNoJournal
+	}
+	foldIdx := int(snap.Epoch() - s.baseEpoch)
+	tail := s.log[foldIdx:len(s.log):len(s.log)]
+	sync := s.journal.sync
+	s.mu.Unlock()
+
+	staged, err := stageJournal(s.journalPath, snap.Epoch(), tail, sync)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	return s.swapAndRebase(snap, g, staged, foldIdx, len(tail))
 }
 
 // writeBase persists the materialized fold-epoch graph atomically. It
@@ -150,20 +174,22 @@ func (s *Store) writeBase(g *expertgraph.Graph, epoch uint64) error {
 	return nil
 }
 
-// swapAndRebase rewrites the journal to hold only the mutations past
-// snap's epoch, swaps the store onto the new file, and re-bases the
-// in-memory store onto g (the materialized fold-epoch graph). Second
-// half of Compact; runs entirely under the writer lock so mutators
-// never observe a half-swapped store.
-func (s *Store) swapAndRebase(snap *Snapshot, g *expertgraph.Graph) (CompactStats, error) {
+// swapAndRebase appends the records that raced in while the journal
+// rewrite was being staged, atomically installs the staged file, and
+// re-bases the in-memory store onto g (the materialized fold-epoch
+// graph). Final phase of Compact; runs under the writer lock so
+// mutators never observe a half-swapped store — but the lock is held
+// only for the straggler append + rename + in-memory swap, not for the
+// tail rewrite itself.
+func (s *Store) swapAndRebase(snap *Snapshot, g *expertgraph.Graph, staged *stagedJournal, foldIdx, stagedLen int) (CompactStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.journal == nil || s.journal.closed {
+		staged.abort()
 		return CompactStats{}, ErrNoJournal
 	}
-	foldIdx := snap.Epoch() - s.baseEpoch
 	tail := s.log[foldIdx:]
-	nj, err := rewriteJournal(s.journalPath, snap.Epoch(), tail, s.journal.sync)
+	nj, err := staged.install(s.journalPath, tail[stagedLen:])
 	if err != nil {
 		return CompactStats{}, err
 	}
@@ -228,12 +254,7 @@ func rebuildPrefix(base *expertgraph.Graph, log []Mutation) []prefixCount {
 	out := make([]prefixCount, 0, n)
 	nodes, edges := base.NumNodes(), base.NumEdges()
 	for i, m := range log[:n*memoEvery] {
-		switch m.Op {
-		case OpAddNode:
-			nodes++
-		case OpAddEdge:
-			edges++
-		}
+		countMutation(m, &nodes, &edges)
 		if (i+1)%memoEvery == 0 {
 			out = append(out, prefixCount{nodes: nodes, edges: edges})
 		}
@@ -241,56 +262,99 @@ func rebuildPrefix(base *expertgraph.Graph, log []Mutation) []prefixCount {
 	return out
 }
 
-// rewriteJournal writes a fresh journal (header + tail records) to a
-// temp file and renames it over path, returning an open append handle
-// for it.
-func rewriteJournal(path string, startEpoch uint64, tail []Mutation, sync bool) (*journal, error) {
+// stagedJournal is a fully written (and fsynced) replacement journal
+// that has not been renamed into place yet: the expensive half of the
+// rewrite, done without the writer lock.
+type stagedJournal struct {
+	f          *os.File
+	tmp        string
+	sync       bool
+	startEpoch uint64
+	records    uint64
+	bytes      int64
+}
+
+// stageJournal writes a fresh journal (header + tail records) to a
+// temp file and fsyncs it, leaving installation — straggler append +
+// rename — to the short critical section.
+func stageJournal(path string, startEpoch uint64, tail []Mutation, sync bool) (*stagedJournal, error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return nil, fmt.Errorf("live: compact journal: %w", err)
 	}
+	st := &stagedJournal{f: f, tmp: tmp, sync: sync, startEpoch: startEpoch}
 	bw := bufio.NewWriter(f)
-	var total int64
 	hdr, err := json.Marshal(journalHeader{JournalStart: &startEpoch})
 	if err != nil {
-		f.Close()
+		st.abort()
 		return nil, fmt.Errorf("live: compact journal: %w", err)
 	}
 	hdr = append(hdr, '\n')
 	if _, err := bw.Write(hdr); err != nil {
-		f.Close()
+		st.abort()
 		return nil, fmt.Errorf("live: compact journal: %w", err)
 	}
-	total += int64(len(hdr))
-	for _, m := range tail {
-		buf, err := json.Marshal(m)
-		if err != nil {
-			f.Close()
-			return nil, fmt.Errorf("live: compact journal: %w", err)
-		}
-		buf = append(buf, '\n')
-		if _, err := bw.Write(buf); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("live: compact journal: %w", err)
-		}
-		total += int64(len(buf))
+	st.bytes += int64(len(hdr))
+	if err := st.writeRecords(bw, tail); err != nil {
+		st.abort()
+		return nil, err
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
+		st.abort()
 		return nil, fmt.Errorf("live: compact journal: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		st.abort()
 		return nil, fmt.Errorf("live: compact journal: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		f.Close()
+	return st, nil
+}
+
+func (st *stagedJournal) writeRecords(w io.Writer, muts []Mutation) error {
+	for _, m := range muts {
+		buf, err := json.Marshal(m)
+		if err != nil {
+			return fmt.Errorf("live: compact journal: %w", err)
+		}
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("live: compact journal: %w", err)
+		}
+		st.bytes += int64(len(buf))
+		st.records++
+	}
+	return nil
+}
+
+// install appends the records applied while the stage was being
+// written, fsyncs the (small) addition and renames the file over path,
+// returning the open append handle. Called under the store's writer
+// lock; the work here is O(stragglers), not O(tail).
+func (st *stagedJournal) install(path string, stragglers []Mutation) (*journal, error) {
+	if len(stragglers) > 0 {
+		if err := st.writeRecords(st.f, stragglers); err != nil {
+			st.abort()
+			return nil, err
+		}
+		if err := st.f.Sync(); err != nil {
+			st.abort()
+			return nil, fmt.Errorf("live: compact journal: %w", err)
+		}
+	}
+	if err := os.Rename(st.tmp, path); err != nil {
+		st.abort()
 		return nil, fmt.Errorf("live: compact journal: %w", err)
 	}
 	// The handle follows the rename (it is bound to the inode), and its
 	// offset already sits at end-of-file for appends.
-	return &journal{f: f, sync: sync, startEpoch: startEpoch, records: uint64(len(tail)), bytes: total}, nil
+	return &journal{f: st.f, sync: st.sync, startEpoch: st.startEpoch, records: st.records, bytes: st.bytes}, nil
+}
+
+// abort discards a staged journal that will not be installed.
+func (st *stagedJournal) abort() {
+	st.f.Close()
+	os.Remove(st.tmp)
 }
 
 // loadBaseFile reads a compacted base graph and its epoch. A missing

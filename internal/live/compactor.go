@@ -16,6 +16,10 @@ import (
 // Scheduling is jittered so a fleet of replicas with identical write
 // rates does not fold in lockstep, and folds are single-flight: the
 // store's compactMu serializes the loop with any manual Compact call.
+// The poll is only the fallback cadence: Apply nudges a watermark
+// channel the moment a journal append crosses a trigger, so write
+// bursts fold promptly instead of overshooting the byte/record bound
+// until the next poll tick.
 
 // CompactorConfig parameterizes StartCompactor.
 type CompactorConfig struct {
@@ -50,9 +54,14 @@ type Compactor struct {
 	stop     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
+	// wake is the journal-size watermark channel: Apply nudges it
+	// (non-blocking) the moment an append crosses the fold trigger, so
+	// bursts fold promptly instead of overshooting until the next poll.
+	wake chan struct{}
 
 	runs       atomic.Uint64 // folds attempted (trigger fired)
 	errs       atomic.Uint64
+	wakeups    atomic.Uint64 // folds initiated by the watermark signal
 	lastFoldNS atomic.Int64  // duration of the last successful fold
 	lastEpoch  atomic.Uint64 // epoch of the last successful fold
 }
@@ -61,9 +70,11 @@ type Compactor struct {
 // compactor for observability endpoints.
 type CompactorStats struct {
 	// Runs counts folds triggered (successful or not); Errors the
-	// failed ones.
-	Runs   uint64 `json:"runs"`
-	Errors uint64 `json:"errors"`
+	// failed ones; Wakeups the folds initiated by the journal watermark
+	// signal rather than the poll timer.
+	Runs    uint64 `json:"runs"`
+	Errors  uint64 `json:"errors"`
+	Wakeups uint64 `json:"wakeups"`
 	// LastFoldMS is the wall time of the most recent successful fold
 	// (materialize + persist + journal swap + re-base), 0 before any.
 	LastFoldMS float64 `json:"last_fold_ms"`
@@ -93,7 +104,14 @@ func (s *Store) StartCompactor(cfg CompactorConfig) (*Compactor, error) {
 		cfg:   cfg,
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
+		wake:  make(chan struct{}, 1),
 	}
+	// Register the watermark with the store: Apply signals the channel
+	// the moment a journal append crosses either trigger, so the loop
+	// folds promptly under bursts; the jittered poll remains as the
+	// fallback (and as the only trigger for pre-watermark deployments
+	// writing through replay).
+	s.setWatermark(c.wake, cfg.MinRecords, cfg.MaxBytes)
 	go c.loop()
 	return c, nil
 }
@@ -104,13 +122,26 @@ func (c *Compactor) loop() {
 	timer := time.NewTimer(jitter(rng, c.cfg.Interval))
 	defer timer.Stop()
 	for {
+		woken := false
 		select {
 		case <-c.stop:
 			return
 		case <-timer.C:
+		case <-c.wake:
+			woken = true
 		}
 		if c.due() {
+			if woken {
+				c.wakeups.Add(1)
+			}
 			c.fold()
+		}
+		if woken && !timer.Stop() {
+			// Drain the expired timer so Reset arms cleanly.
+			select {
+			case <-timer.C:
+			default:
+			}
 		}
 		timer.Reset(jitter(rng, c.cfg.Interval))
 	}
@@ -150,7 +181,10 @@ func jitter(rng *rand.Rand, d time.Duration) time.Duration {
 // Stop halts the loop and waits for an in-flight fold to finish. It is
 // idempotent and safe to call concurrently.
 func (c *Compactor) Stop() {
-	c.stopOnce.Do(func() { close(c.stop) })
+	c.stopOnce.Do(func() {
+		c.store.setWatermark(nil, 0, 0)
+		close(c.stop)
+	})
 	<-c.done
 }
 
@@ -159,6 +193,7 @@ func (c *Compactor) Stats() CompactorStats {
 	return CompactorStats{
 		Runs:       c.runs.Load(),
 		Errors:     c.errs.Load(),
+		Wakeups:    c.wakeups.Load(),
 		LastFoldMS: float64(c.lastFoldNS.Load()) / float64(time.Millisecond),
 		LastEpoch:  c.lastEpoch.Load(),
 	}

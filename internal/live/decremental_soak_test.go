@@ -1,0 +1,247 @@
+package live
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"authteam/internal/core"
+	"authteam/internal/expertgraph"
+	"authteam/internal/pll"
+	"authteam/internal/transform"
+)
+
+// TestDecrementalSoak is the race-shard acceptance scenario for the
+// fully dynamic store: one writer streams a mixed
+// insert/remove/re-weight/authority workload while readers run
+// discovery queries, a prober replays SnapshotAt, a maintainer carries
+// a 2-hop cover forward by incremental repair only, and the background
+// compactor folds the journal via its watermark signal (the poll
+// interval is an hour — every fold in this test is burst-triggered).
+// Run it under -race.
+func TestDecrementalSoak(t *testing.T) {
+	const (
+		baseNodes = 100
+		mutations = 2000
+		readers   = 3
+	)
+	rng := rand.New(rand.NewSource(51))
+	base := testGraph(rng, baseNodes)
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	s := mustOpen(t, base, Config{JournalPath: path})
+
+	comp, err := s.StartCompactor(CompactorConfig{
+		Interval:   time.Hour, // watermark-only folding
+		MinRecords: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comp.Stop()
+
+	project := resolveProject(t, base, []string{"analytics", "matrix"})
+
+	var (
+		done    atomic.Bool
+		queries atomic.Int64
+		probes  atomic.Int64
+		repairs atomic.Int64
+		wg      sync.WaitGroup
+	)
+	errCh := make(chan error, readers+4)
+
+	// Readers: discovery against the overlay view, tolerating the
+	// infeasibility removals can legitimately cause.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				snap := s.Snapshot()
+				g := snap.View()
+				p, err := transform.Fit(g, 0.6, 0.6, transform.Options{Normalize: true})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				tm, err := core.NewDiscoverer(p, core.SACACC).BestTeam(project)
+				if err != nil {
+					if errors.Is(err, core.ErrNoTeam) || errors.Is(err, core.ErrNoExpert) {
+						queries.Add(1)
+						continue
+					}
+					errCh <- err
+					return
+				}
+				for _, u := range tm.Nodes {
+					if !g.ValidNode(u) {
+						errCh <- errors.New("team member invalid (tombstoned?) in its own snapshot")
+						return
+					}
+				}
+				queries.Add(1)
+			}
+		}()
+	}
+
+	// SnapshotAt prober across concurrent re-bases.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		prng := rand.New(rand.NewSource(53))
+		for !done.Load() {
+			cur := s.Snapshot()
+			epoch := cur.BaseEpoch() + uint64(prng.Int63n(int64(cur.Epoch()-cur.BaseEpoch()+1)))
+			if sn, ok := s.SnapshotAt(epoch); ok {
+				if sn.Epoch() != epoch {
+					errCh <- errors.New("SnapshotAt epoch mismatch")
+					return
+				}
+				probes.Add(1)
+			}
+		}
+	}()
+
+	// Maintainer: carries a raw 2-hop cover forward by incremental
+	// repair only; re-anchors with a fresh build when the window is
+	// gone (>1 fold since the anchor), never otherwise.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		anchor := s.Snapshot()
+		ix := pll.Build(anchor.View())
+		for !done.Load() {
+			to := s.Snapshot()
+			if to.Epoch() == anchor.Epoch() {
+				runtime.Gosched()
+				continue
+			}
+			next, _, ok := MaintainIndex(ix, anchor, to, nil, nil, 0)
+			if !ok {
+				// Anchor aged past the retained fold window.
+				next = pll.Build(to.View())
+			} else {
+				repairs.Add(1)
+			}
+			ix, anchor = next, to
+		}
+		// Final exactness check against a fresh build.
+		g := anchor.View()
+		fresh := pll.Build(g)
+		prng := rand.New(rand.NewSource(54))
+		for i := 0; i < 200; i++ {
+			u := expertgraph.NodeID(prng.Intn(g.NumNodes()))
+			v := expertgraph.NodeID(prng.Intn(g.NumNodes()))
+			got, want := ix.Dist(u, v), fresh.Dist(u, v)
+			if math.Abs(got-want) > 1e-9 && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				errCh <- errors.New("maintained index diverged from fresh build")
+				return
+			}
+		}
+	}()
+
+	// Writer: the mixed stream.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		wrng := rand.New(rand.NewSource(55))
+		skills := []string{"analytics", "matrix", "communities", "indexing", "query"}
+		applied := 0
+		tolerated := func(err error) bool {
+			return errors.Is(err, ErrDuplicateEdge) || errors.Is(err, ErrUnknownEdge) ||
+				errors.Is(err, ErrRemovedNode) || errors.Is(err, ErrSelfLoop) ||
+				errors.Is(err, ErrEmptyUpdate) || errors.Is(err, ErrUnknownNode)
+		}
+		for applied < mutations {
+			n := s.Snapshot().NumNodes()
+			var err error
+			switch wrng.Intn(10) {
+			case 0: // new expert, wired in
+				var id expertgraph.NodeID
+				id, _, err = s.AddExpert("live", 1+float64(wrng.Intn(20)),
+					[]string{skills[wrng.Intn(len(skills))]})
+				if err == nil {
+					applied++
+					_, err = s.AddCollaboration(id, expertgraph.NodeID(wrng.Intn(n)), 0.05+wrng.Float64())
+				}
+			case 1: // authority update
+				auth := 1 + float64(wrng.Intn(40))
+				_, err = s.UpdateExpert(expertgraph.NodeID(wrng.Intn(n)), &auth, nil)
+			case 2, 3: // edge removal
+				if u, v, ok := randomEdge(wrng, s.Snapshot().View()); ok {
+					_, err = s.RemoveCollaboration(u, v)
+				}
+			case 4: // edge re-weight
+				if u, v, ok := randomEdge(wrng, s.Snapshot().View()); ok {
+					_, err = s.UpdateCollaboration(u, v, 0.05+wrng.Float64())
+				}
+			case 5: // node removal (rare-ish)
+				if wrng.Intn(3) == 0 {
+					_, err = s.RemoveExpert(expertgraph.NodeID(wrng.Intn(n)))
+				}
+			default: // edge insertion
+				u := expertgraph.NodeID(wrng.Intn(n))
+				v := expertgraph.NodeID(wrng.Intn(n))
+				if u != v {
+					_, err = s.AddCollaboration(u, v, 0.05+wrng.Float64())
+				}
+			}
+			if err != nil && !tolerated(err) {
+				errCh <- err
+				return
+			}
+			if err == nil {
+				applied++
+			}
+			// Pace against the readers so the streams interleave.
+			if applied%200 == 0 {
+				for want := queries.Load() + 1; queries.Load() < want && !done.Load(); {
+					runtime.Gosched()
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if queries.Load() == 0 || probes.Load() == 0 {
+		t.Fatalf("streams did not interleave: %d queries, %d probes", queries.Load(), probes.Load())
+	}
+	if repairs.Load() == 0 {
+		t.Fatal("no incremental repairs absorbed the mixed stream")
+	}
+	c := s.Counters()
+	if c.EdgesRemoved == 0 || c.EdgesUpdated == 0 || c.NodesRemoved == 0 {
+		t.Fatalf("stream was not genuinely mixed: %+v", c)
+	}
+	if s.Compactions() == 0 {
+		t.Fatal("watermark never triggered a background fold")
+	}
+	if st := comp.Stats(); st.Wakeups == 0 {
+		t.Fatalf("folds happened without watermark wakeups: %+v", st)
+	}
+
+	// Kill and restart: replay of the mixed journal lands on the
+	// identical epoch and graph.
+	epoch := s.Epoch()
+	fp := viewFingerprint(s.Snapshot().View())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, base, Config{JournalPath: path})
+	if s2.Epoch() != epoch || !equalFP(viewFingerprint(s2.Snapshot().View()), fp) {
+		t.Fatalf("restart diverged: epoch %d vs %d", s2.Epoch(), epoch)
+	}
+	t.Logf("decremental soak: %d queries, %d probes, %d repairs, %d folds over %+v",
+		queries.Load(), probes.Load(), repairs.Load(), s.Compactions(), c)
+}

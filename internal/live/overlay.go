@@ -15,6 +15,15 @@ import (
 // CSR speed; reads on patched nodes consult small merged slices
 // computed once at construction.
 //
+// Decremental mutations patch subtractively: removed or re-weighted
+// base edges are masked by key (re-weights re-appear as delta halves
+// at the new weight), tombstoned nodes answer like their materialized
+// counterparts (no edges, no skills, ValidNode false, excluded from
+// holder lists and normalization bounds), and a delta that retires a
+// current extreme — the min/max edge weight or inverse authority —
+// triggers an exact full rescan of that bound, something a monotone
+// fold cannot express.
+//
 // The view is semantically identical to the graph Snapshot.Graph()
 // would materialize: same IDs (nodes, skills), same holder ordering
 // (ExpertsWithSkill stays sorted by NodeID), same exact normalization
@@ -39,10 +48,18 @@ type OverlayView struct {
 
 	// Patches on base nodes. skillPatch holds the *full* merged skill
 	// list (base skills + grants, in grant order) so Skills stays a
-	// single lookup.
+	// single lookup; a tombstoned node's entry is an empty list.
 	authPatch  map[expertgraph.NodeID]authOverride
 	extraAdj   map[expertgraph.NodeID][]halfEdge
 	skillPatch map[expertgraph.NodeID][]expertgraph.SkillID
+
+	// Subtractive patches: base edges masked out by key (removed, or
+	// re-weighted and re-added as delta halves), the per-endpoint count
+	// of masked base edges (for O(1) Degree), and nodes tombstoned by
+	// the delta.
+	removedEdges map[uint64]struct{}
+	removedDeg   map[expertgraph.NodeID]int
+	removedNodes map[expertgraph.NodeID]struct{}
 
 	// Skill universe extensions and patched inverted-index rows
 	// (full merged holder lists, sorted by NodeID).
@@ -65,8 +82,9 @@ type authOverride struct {
 
 // newOverlay folds the delta into patch structures over base. muts
 // must be the validated mutation log of the target epoch (the store
-// guarantees referenced nodes exist, edges are unique, authorities are
-// floored at 1).
+// guarantees referenced nodes exist and are live, edges are unique,
+// authorities are floored at 1, remove_node records carry their
+// incident edges).
 func newOverlay(base *expertgraph.Graph, muts []Mutation, nodes, edges int) *OverlayView {
 	o := &OverlayView{
 		base:  base,
@@ -78,12 +96,15 @@ func newOverlay(base *expertgraph.Graph, muts []Mutation, nodes, edges int) *Ove
 	o.minW, o.maxW = base.EdgeWeightBounds()
 	o.minInv, o.maxInv = base.InvAuthorityBounds()
 	haveW := base.NumEdges() > 0
-	haveInv := o.nb > 0
+	haveInv := o.nb > base.NumRemoved()
 	invRescan := false
+	wRescan := false
 
-	// addedHolders accumulates per-skill holder additions; merged and
-	// sorted into holdersPatch at the end.
+	// addedHolders accumulates per-skill holder additions and
+	// droppedHolders per-skill removals (tombstoned nodes); both are
+	// merged into holdersPatch at the end.
 	var addedHolders map[expertgraph.SkillID][]expertgraph.NodeID
+	var droppedHolders map[expertgraph.SkillID]map[expertgraph.NodeID]struct{}
 
 	skillID := func(name string) expertgraph.SkillID {
 		if id, ok := base.SkillID(name); ok {
@@ -106,6 +127,17 @@ func newOverlay(base *expertgraph.Graph, muts []Mutation, nodes, edges int) *Ove
 		}
 		addedHolders[s] = append(addedHolders[s], u)
 	}
+	dropHolder := func(s expertgraph.SkillID, u expertgraph.NodeID) {
+		if droppedHolders == nil {
+			droppedHolders = make(map[expertgraph.SkillID]map[expertgraph.NodeID]struct{})
+		}
+		set := droppedHolders[s]
+		if set == nil {
+			set = make(map[expertgraph.NodeID]struct{})
+			droppedHolders[s] = set
+		}
+		set[u] = struct{}{}
+	}
 	foldInv := func(inv float64) {
 		if !haveInv {
 			o.minInv, o.maxInv = inv, inv
@@ -117,6 +149,26 @@ func newOverlay(base *expertgraph.Graph, muts []Mutation, nodes, edges int) *Ove
 		}
 		if inv > o.maxInv {
 			o.maxInv = inv
+		}
+	}
+	foldW := func(w float64) {
+		if !haveW {
+			o.minW, o.maxW = w, w
+			haveW = true
+			return
+		}
+		if w < o.minW {
+			o.minW = w
+		}
+		if w > o.maxW {
+			o.maxW = w
+		}
+	}
+	// retireW flags the rescan when a removed or replaced edge weight
+	// may have held the current extreme.
+	retireW := func(w float64) {
+		if w == o.minW || w == o.maxW {
+			wRescan = true
 		}
 	}
 	effInv := func(u expertgraph.NodeID) float64 {
@@ -148,22 +200,61 @@ func newOverlay(base *expertgraph.Graph, muts []Mutation, nodes, edges int) *Ove
 			}
 			o.newSkills = append(o.newSkills, sk)
 			o.newAdj = append(o.newAdj, nil)
-			foldInv(inv)
+			if !invRescan {
+				foldInv(inv)
+			}
 
 		case OpAddEdge:
 			o.addHalf(m.U, halfEdge{to: m.V, w: m.W})
 			o.addHalf(m.V, halfEdge{to: m.U, w: m.W})
-			if !haveW {
-				o.minW, o.maxW = m.W, m.W
-				haveW = true
-			} else {
-				if m.W < o.minW {
-					o.minW = m.W
-				}
-				if m.W > o.maxW {
-					o.maxW = m.W
-				}
+			if !wRescan {
+				foldW(m.W)
 			}
+
+		case OpRemoveEdge:
+			o.maskEdge(m.U, m.V)
+			retireW(m.W)
+
+		case OpUpdateEdge:
+			if o.updateHalf(m.U, m.V, m.W) {
+				o.updateHalf(m.V, m.U, m.W)
+			} else {
+				// A base edge: mask the CSR entry and carry the new
+				// weight as delta halves.
+				o.maskEdge(m.U, m.V)
+				o.addHalf(m.U, halfEdge{to: m.V, w: m.W})
+				o.addHalf(m.V, halfEdge{to: m.U, w: m.W})
+			}
+			retireW(m.OldW)
+			if !wRescan {
+				foldW(m.W)
+			}
+
+		case OpRemoveNode:
+			for _, e := range m.Edges {
+				o.maskEdge(m.Node, e.V)
+				retireW(e.W)
+			}
+			// The tombstone retires the node's authority from the
+			// bounds and its skills from the inverted index.
+			if inv := effInv(m.Node); inv == o.minInv || inv == o.maxInv {
+				invRescan = true
+			}
+			for _, s := range o.effectiveSkills(m.Node) {
+				dropHolder(s, m.Node)
+			}
+			if int(m.Node) >= o.nb {
+				o.newSkills[int(m.Node)-o.nb] = nil
+			} else {
+				if o.skillPatch == nil {
+					o.skillPatch = make(map[expertgraph.NodeID][]expertgraph.SkillID)
+				}
+				o.skillPatch[m.Node] = []expertgraph.SkillID{}
+			}
+			if o.removedNodes == nil {
+				o.removedNodes = make(map[expertgraph.NodeID]struct{})
+			}
+			o.removedNodes[m.Node] = struct{}{}
 
 		case OpUpdateNode:
 			if m.SetAuthority != nil {
@@ -212,33 +303,92 @@ func newOverlay(base *expertgraph.Graph, muts []Mutation, nodes, edges int) *Ove
 		}
 	}
 
-	if invRescan && o.nodes > 0 {
+	if invRescan {
 		first := true
+		lo, hi := 0.0, 0.0
 		for u := 0; u < o.nodes; u++ {
+			if o.isRemoved(expertgraph.NodeID(u)) {
+				continue
+			}
 			inv := effInv(expertgraph.NodeID(u))
 			if first {
-				o.minInv, o.maxInv = inv, inv
+				lo, hi = inv, inv
 				first = false
 				continue
 			}
-			if inv < o.minInv {
-				o.minInv = inv
+			if inv < lo {
+				lo = inv
 			}
-			if inv > o.maxInv {
-				o.maxInv = inv
+			if inv > hi {
+				hi = inv
 			}
 		}
+		o.minInv, o.maxInv = lo, hi
+	}
+	if wRescan {
+		// Exact recomputation over the effective edge set (base minus
+		// masks, plus delta halves), matching what Build would compute.
+		first := true
+		lo, hi := 0.0, 0.0
+		for u := 0; u < o.nodes; u++ {
+			o.Neighbors(expertgraph.NodeID(u), func(_ expertgraph.NodeID, w float64) bool {
+				if first {
+					lo, hi = w, w
+					first = false
+					return true
+				}
+				if w < lo {
+					lo = w
+				}
+				if w > hi {
+					hi = w
+				}
+				return true
+			})
+		}
+		o.minW, o.maxW = lo, hi
 	}
 
-	if len(addedHolders) > 0 {
-		o.holdersPatch = make(map[expertgraph.SkillID][]expertgraph.NodeID, len(addedHolders))
-		for s, added := range addedHolders {
-			sortNodeIDs(added)
+	if len(addedHolders) > 0 || len(droppedHolders) > 0 {
+		o.holdersPatch = make(map[expertgraph.SkillID][]expertgraph.NodeID, len(addedHolders)+len(droppedHolders))
+		patchSkill := func(s expertgraph.SkillID) {
+			if _, done := o.holdersPatch[s]; done {
+				return
+			}
+			dropped := droppedHolders[s]
 			var baseHolders []expertgraph.NodeID
 			if int(s) < o.nbSk {
 				baseHolders = base.ExpertsWithSkill(s)
 			}
+			if len(dropped) > 0 {
+				kept := make([]expertgraph.NodeID, 0, len(baseHolders))
+				for _, u := range baseHolders {
+					if _, gone := dropped[u]; !gone {
+						kept = append(kept, u)
+					}
+				}
+				baseHolders = kept
+			}
+			added := addedHolders[s]
+			if len(dropped) > 0 && len(added) > 0 {
+				kept := make([]expertgraph.NodeID, 0, len(added))
+				for _, u := range added {
+					if _, gone := dropped[u]; !gone {
+						kept = append(kept, u)
+					}
+				}
+				added = kept
+			} else if len(added) > 0 {
+				added = append([]expertgraph.NodeID(nil), added...)
+			}
+			sortNodeIDs(added)
 			o.holdersPatch[s] = mergeSortedNodeIDs(baseHolders, added)
+		}
+		for s := range addedHolders {
+			patchSkill(s)
+		}
+		for s := range droppedHolders {
+			patchSkill(s)
 		}
 	}
 	return o
@@ -256,15 +406,93 @@ func (o *OverlayView) addHalf(u expertgraph.NodeID, e halfEdge) {
 	o.extraAdj[u] = append(o.extraAdj[u], e)
 }
 
-// hasSkillDuringBuild checks the effective skill set of u mid-fold.
-func (o *OverlayView) hasSkillDuringBuild(u expertgraph.NodeID, s expertgraph.SkillID) bool {
+// dropHalf deletes the delta half-edge u→v if present, reporting
+// whether it existed.
+func (o *OverlayView) dropHalf(u, v expertgraph.NodeID) bool {
+	var adj []halfEdge
 	if int(u) >= o.nb {
-		return containsSkill(o.newSkills[int(u)-o.nb], s)
+		adj = o.newAdj[int(u)-o.nb]
+	} else {
+		adj = o.extraAdj[u]
+	}
+	for i, e := range adj {
+		if e.to == v {
+			last := len(adj) - 1
+			adj[i] = adj[last]
+			adj = adj[:last]
+			if int(u) >= o.nb {
+				o.newAdj[int(u)-o.nb] = adj
+			} else if last == 0 {
+				delete(o.extraAdj, u)
+			} else {
+				o.extraAdj[u] = adj
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// updateHalf re-weights the delta half-edge u→v in place, reporting
+// whether it existed.
+func (o *OverlayView) updateHalf(u, v expertgraph.NodeID, w float64) bool {
+	var adj []halfEdge
+	if int(u) >= o.nb {
+		adj = o.newAdj[int(u)-o.nb]
+	} else {
+		adj = o.extraAdj[u]
+	}
+	for i := range adj {
+		if adj[i].to == v {
+			adj[i].w = w
+			return true
+		}
+	}
+	return false
+}
+
+// maskEdge removes the effective edge (u, v) mid-fold: a delta half
+// pair is dropped outright; a base CSR edge is masked by key. An edge
+// that was re-weighted earlier in the delta lives as delta halves over
+// an already-masked base entry, so dropping the halves suffices.
+func (o *OverlayView) maskEdge(u, v expertgraph.NodeID) {
+	if o.dropHalf(u, v) {
+		o.dropHalf(v, u)
+		return
+	}
+	if o.removedEdges == nil {
+		o.removedEdges = make(map[uint64]struct{})
+		o.removedDeg = make(map[expertgraph.NodeID]int)
+	}
+	o.removedEdges[edgeKey(u, v)] = struct{}{}
+	o.removedDeg[u]++
+	o.removedDeg[v]++
+}
+
+// isRemoved reports whether u is tombstoned — by this delta or already
+// in the base graph.
+func (o *OverlayView) isRemoved(u expertgraph.NodeID) bool {
+	if _, gone := o.removedNodes[u]; gone {
+		return true
+	}
+	return int(u) < o.nb && o.base.Removed(u)
+}
+
+// effectiveSkills returns u's skill set mid-fold (shared slices; do
+// not modify).
+func (o *OverlayView) effectiveSkills(u expertgraph.NodeID) []expertgraph.SkillID {
+	if int(u) >= o.nb {
+		return o.newSkills[int(u)-o.nb]
 	}
 	if sk, ok := o.skillPatch[u]; ok {
-		return containsSkill(sk, s)
+		return sk
 	}
-	return int(s) < o.nbSk && o.base.HasSkill(u, s)
+	return o.base.Skills(u)
+}
+
+// hasSkillDuringBuild checks the effective skill set of u mid-fold.
+func (o *OverlayView) hasSkillDuringBuild(u expertgraph.NodeID, s expertgraph.SkillID) bool {
+	return containsSkill(o.effectiveSkills(u), s)
 }
 
 func containsSkill(sk []expertgraph.SkillID, s expertgraph.SkillID) bool {
@@ -299,7 +527,9 @@ func mergeSortedNodeIDs(a, b []expertgraph.NodeID) []expertgraph.NodeID {
 
 // --- expertgraph.GraphView ----------------------------------------------
 
-// NumNodes returns the expert count at this epoch.
+// NumNodes returns the expert count at this epoch (tombstoned experts
+// keep their ID slot and stay counted, exactly as in a materialized
+// graph).
 func (o *OverlayView) NumNodes() int { return o.nodes }
 
 // NumEdges returns the undirected edge count at this epoch.
@@ -353,18 +583,28 @@ func (o *OverlayView) Pubs(u expertgraph.NodeID) int {
 
 // Degree returns the number of neighbours of expert u.
 func (o *OverlayView) Degree(u expertgraph.NodeID) int {
+	if _, gone := o.removedNodes[u]; gone {
+		return 0
+	}
 	if int(u) >= o.nb {
 		return len(o.newAdj[int(u)-o.nb])
 	}
 	d := o.base.Degree(u)
+	if len(o.removedDeg) != 0 {
+		d -= o.removedDeg[u]
+	}
 	if len(o.extraAdj) != 0 {
 		d += len(o.extraAdj[u])
 	}
 	return d
 }
 
-// Neighbors visits base edges first, then delta edges.
+// Neighbors visits base edges first (minus any the delta masked), then
+// delta edges.
 func (o *OverlayView) Neighbors(u expertgraph.NodeID, fn func(v expertgraph.NodeID, w float64) bool) {
+	if _, gone := o.removedNodes[u]; gone {
+		return
+	}
 	if int(u) >= o.nb {
 		for _, e := range o.newAdj[int(u)-o.nb] {
 			if !fn(e.to, e.w) {
@@ -373,25 +613,38 @@ func (o *OverlayView) Neighbors(u expertgraph.NodeID, fn func(v expertgraph.Node
 		}
 		return
 	}
-	if len(o.extraAdj) == 0 {
-		o.base.Neighbors(u, fn)
-		return
-	}
-	extra, ok := o.extraAdj[u]
-	if !ok {
-		o.base.Neighbors(u, fn)
-		return
-	}
-	stopped := false
-	o.base.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
-		if !fn(v, w) {
-			stopped = true
-			return false
+	extra := o.extraAdj[u]
+	if len(o.removedEdges) == 0 {
+		if len(extra) == 0 {
+			o.base.Neighbors(u, fn)
+			return
 		}
-		return true
-	})
-	if stopped {
-		return
+		stopped := false
+		o.base.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
+			if !fn(v, w) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	} else {
+		stopped := false
+		o.base.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
+			if _, masked := o.removedEdges[edgeKey(u, v)]; masked {
+				return true
+			}
+			if !fn(v, w) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
 	}
 	for _, e := range extra {
 		if !fn(e.to, e.w) {
@@ -401,12 +654,9 @@ func (o *OverlayView) Neighbors(u expertgraph.NodeID, fn func(v expertgraph.Node
 }
 
 // EdgeWeight returns the weight of edge (u,v) and whether it exists.
+// Delta halves take precedence (they carry re-weights); masked base
+// entries are invisible.
 func (o *OverlayView) EdgeWeight(u, v expertgraph.NodeID) (float64, bool) {
-	if int(u) < o.nb && int(v) < o.nb {
-		if w, ok := o.base.EdgeWeight(u, v); ok {
-			return w, true
-		}
-	}
 	var extra []halfEdge
 	if int(u) >= o.nb {
 		extra = o.newAdj[int(u)-o.nb]
@@ -417,6 +667,14 @@ func (o *OverlayView) EdgeWeight(u, v expertgraph.NodeID) (float64, bool) {
 		if e.to == v {
 			return e.w, true
 		}
+	}
+	if int(u) < o.nb && int(v) < o.nb {
+		if len(o.removedEdges) != 0 {
+			if _, masked := o.removedEdges[edgeKey(u, v)]; masked {
+				return 0, false
+			}
+		}
+		return o.base.EdgeWeight(u, v)
 	}
 	return 0, false
 }
@@ -476,12 +734,13 @@ func (o *OverlayView) ExpertsWithSkill(s expertgraph.SkillID) []expertgraph.Node
 func (o *OverlayView) EdgeWeightBounds() (lo, hi float64) { return o.minW, o.maxW }
 
 // InvAuthorityBounds returns the exact (min, max) inverse authority at
-// this epoch.
+// this epoch, over live (non-tombstoned) experts.
 func (o *OverlayView) InvAuthorityBounds() (lo, hi float64) { return o.minInv, o.maxInv }
 
-// ValidNode reports whether u is a node of this view.
+// ValidNode reports whether u is a live node of this view (tombstoned
+// experts fail, as on a materialized graph).
 func (o *OverlayView) ValidNode(u expertgraph.NodeID) bool {
-	return u >= 0 && int(u) < o.nodes
+	return u >= 0 && int(u) < o.nodes && !o.isRemoved(u)
 }
 
 var _ expertgraph.GraphView = (*OverlayView)(nil)

@@ -141,7 +141,7 @@ func TestMaintainIndexAcrossRebase(t *testing.T) {
 		t.Fatalf("test setup: anchor %d not below base %d", anchor.Epoch(), st.BaseEpoch())
 	}
 
-	repaired, ok := MaintainIndex(ix, anchor, to, nil, 0)
+	repaired, _, ok := MaintainIndex(ix, anchor, to, nil, nil, 0)
 	if !ok {
 		t.Fatal("repair across one re-base refused — spurious full rebuild")
 	}
@@ -160,7 +160,7 @@ func TestMaintainIndexAcrossRebase(t *testing.T) {
 	}
 
 	// The budget still applies across the boundary.
-	if _, ok := MaintainIndex(ix, anchor, to, nil, 10); ok {
+	if _, _, ok := MaintainIndex(ix, anchor, to, nil, nil, 10); ok {
 		t.Error("budget of 10 accepted a 40-mutation bridged delta")
 	}
 
@@ -169,11 +169,11 @@ func TestMaintainIndexAcrossRebase(t *testing.T) {
 	if _, err := st.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := MaintainIndex(ix, anchor, st.Snapshot(), nil, 0); ok {
+	if _, _, ok := MaintainIndex(ix, anchor, st.Snapshot(), nil, nil, 0); ok {
 		t.Error("repair accepted an anchor two fold generations old")
 	}
 	// But an anchor from the folded (previous) generation still works.
-	if _, ok := MaintainIndex(pll.Build(mustGraph(t, to)), to, st.Snapshot(), nil, 0); !ok {
+	if _, _, ok := MaintainIndex(pll.Build(mustGraph(t, to)), to, st.Snapshot(), nil, nil, 0); !ok {
 		t.Error("repair refused an anchor from the previous generation")
 	}
 }

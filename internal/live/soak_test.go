@@ -208,7 +208,7 @@ func TestConcurrentSoak(t *testing.T) {
 	// from-scratch rebuild on random pairs — bridging the mid-stream
 	// re-base (epoch0 predates the fold) through the retained previous
 	// generation's log.
-	repaired, ok := MaintainIndex(pll.Build(base), epoch0, final, nil, 0)
+	repaired, _, ok := MaintainIndex(pll.Build(base), epoch0, final, nil, nil, 0)
 	if !ok {
 		t.Fatal("raw incremental repair refused the soak delta")
 	}

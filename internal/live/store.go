@@ -5,8 +5,9 @@
 // it safe for lock-free concurrent readers). This package bridges the
 // two with an epoch-versioned overlay:
 //
-//   - Store accepts mutations (add expert, add collaboration, update
-//     authority/skills), serialized through a single writer lock.
+//   - Store accepts mutations (add/remove experts and collaborations,
+//     update authority/skills/edge weights), serialized through a
+//     single writer lock.
 //   - Every mutation produces a new immutable Snapshot, published with
 //     an atomic pointer swap; readers resolve the current snapshot
 //     without locks and keep a consistent view for as long as they
@@ -28,6 +29,7 @@ package live
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -42,7 +44,20 @@ const (
 	OpAddNode    Op = "add_node"
 	OpAddEdge    Op = "add_edge"
 	OpUpdateNode Op = "update_node"
+	OpRemoveEdge Op = "remove_edge"
+	OpRemoveNode Op = "remove_node"
+	OpUpdateEdge Op = "update_edge"
 )
+
+// RemovedEdge records one incident edge dropped by a remove_node
+// mutation: the far endpoint and the stored weight the edge carried.
+// The list is captured at apply time so journal replay, overlay
+// construction and decremental index repair are all self-contained —
+// none of them has to reconstruct the pre-removal adjacency.
+type RemovedEdge struct {
+	V expertgraph.NodeID `json:"v"`
+	W float64            `json:"w"`
+}
 
 // Mutation is one atomic change to the expert network — the unit of
 // the write-ahead journal and of the per-epoch delta log. Exactly the
@@ -55,15 +70,21 @@ type Mutation struct {
 	Authority float64  `json:"authority,omitempty"`
 	Skills    []string `json:"skills,omitempty"`
 
-	// add_edge
-	U expertgraph.NodeID `json:"u,omitempty"`
-	V expertgraph.NodeID `json:"v,omitempty"`
-	W float64            `json:"w,omitempty"`
+	// add_edge / remove_edge / update_edge. W is the new weight for
+	// add/update and the removed edge's last stored weight for
+	// remove_edge (filled at apply time; decremental index repair needs
+	// it); OldW is update_edge's previous weight (also filled at apply).
+	U    expertgraph.NodeID `json:"u,omitempty"`
+	V    expertgraph.NodeID `json:"v,omitempty"`
+	W    float64            `json:"w,omitempty"`
+	OldW float64            `json:"old_w,omitempty"`
 
-	// update_node
+	// update_node / remove_node. Edges lists the incident edges dropped
+	// with a removed node, captured at apply time (see RemovedEdge).
 	Node         expertgraph.NodeID `json:"node,omitempty"`
 	SetAuthority *float64           `json:"set_authority,omitempty"`
 	AddSkills    []string           `json:"add_skills,omitempty"`
+	Edges        []RemovedEdge      `json:"edges,omitempty"`
 }
 
 // Validation errors returned by the mutators.
@@ -71,9 +92,13 @@ var (
 	ErrUnknownNode   = errors.New("live: unknown node")
 	ErrSelfLoop      = errors.New("live: self loop")
 	ErrDuplicateEdge = errors.New("live: edge already exists")
+	ErrUnknownEdge   = errors.New("live: unknown edge")
 	ErrNegativeW     = errors.New("live: negative edge weight")
 	ErrEmptyUpdate   = errors.New("live: update changes nothing")
 	ErrEmptyName     = errors.New("live: empty expert name")
+	// ErrRemovedNode rejects mutations referencing a tombstoned expert:
+	// removal is permanent, the NodeID slot is never resurrected.
+	ErrRemovedNode = errors.New("live: removed node")
 	// ErrClosed is returned by every mutator after Close. Reads
 	// (Snapshot, SnapshotAt, views) keep working.
 	ErrClosed = errors.New("live: store closed")
@@ -143,16 +168,33 @@ type Store struct {
 	lastSnapshotScan atomic.Int64
 
 	// Writer-side validation state, maintained so mutations are
-	// validated in O(1)/O(log) without materializing a graph.
-	nNodes  int
-	nEdges  int
-	edgeSet map[uint64]struct{}
+	// validated in O(1)/O(log) without materializing a graph. nNodes is
+	// the ID-space size (tombstoned nodes keep their slot); edgeSet
+	// maps each live undirected edge to its stored weight, so removals
+	// and re-weights can journal the previous weight without touching a
+	// graph. removedNodes holds the tombstoned IDs.
+	nNodes       int
+	nEdges       int
+	edgeSet      map[uint64]float64
+	removedNodes map[expertgraph.NodeID]struct{}
+
+	// watermark is the background compactor's early-fold signal: when a
+	// journal append crosses the registered record/byte trigger, apply
+	// nudges wmCh (non-blocking) so folds start promptly under write
+	// bursts instead of waiting out the poll interval. Registered and
+	// cleared under mu by the compactor.
+	wmCh      chan struct{}
+	wmRecords uint64
+	wmBytes   int64
 
 	// Mutation counters for observability (atomics: read by /stats
 	// without the writer lock).
 	nodesAdded   atomic.Uint64
 	edgesAdded   atomic.Uint64
 	nodesUpdated atomic.Uint64
+	edgesRemoved atomic.Uint64
+	nodesRemoved atomic.Uint64
+	edgesUpdated atomic.Uint64
 	// materialized counts full-graph materializations (Snapshot.Graph
 	// actually replaying the delta onto a thawed base) — the number the
 	// overlay read path keeps at zero while serving queries.
@@ -175,6 +217,26 @@ type Counters struct {
 	NodesAdded   uint64 `json:"nodes_added"`
 	EdgesAdded   uint64 `json:"edges_added"`
 	NodesUpdated uint64 `json:"nodes_updated"`
+	EdgesRemoved uint64 `json:"edges_removed"`
+	NodesRemoved uint64 `json:"nodes_removed"`
+	EdgesUpdated uint64 `json:"edges_updated"`
+}
+
+// countMutation folds one mutation's effect into running node/edge
+// counts — the single definition SnapshotAt's prefix scan and the
+// re-base checkpoint rebuild both apply, so the two can never drift.
+// Node removals keep their ID slot, so nodes never shrinks.
+func countMutation(m Mutation, nodes, edges *int) {
+	switch m.Op {
+	case OpAddNode:
+		*nodes++
+	case OpAddEdge:
+		*edges++
+	case OpRemoveEdge:
+		*edges--
+	case OpRemoveNode:
+		*edges -= len(m.Edges)
+	}
 }
 
 func edgeKey(u, v expertgraph.NodeID) uint64 {
@@ -222,14 +284,20 @@ func Open(base *expertgraph.Graph, cfg Config) (*Store, error) {
 
 	s.nNodes = s.base.NumNodes()
 	s.nEdges = s.base.NumEdges()
-	s.edgeSet = make(map[uint64]struct{}, s.nEdges)
+	s.edgeSet = make(map[uint64]float64, s.nEdges)
 	for u := expertgraph.NodeID(0); int(u) < s.nNodes; u++ {
 		s.base.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
 			if u < v {
-				s.edgeSet[edgeKey(u, v)] = struct{}{}
+				s.edgeSet[edgeKey(u, v)] = w
 			}
 			return true
 		})
+		if s.base.Removed(u) {
+			if s.removedNodes == nil {
+				s.removedNodes = make(map[expertgraph.NodeID]struct{})
+			}
+			s.removedNodes[u] = struct{}{}
+		}
 	}
 	s.snap.Store(&Snapshot{
 		epoch: s.baseEpoch, baseEpoch: s.baseEpoch,
@@ -309,12 +377,7 @@ func (s *Store) SnapshotAt(epoch uint64) (*Snapshot, bool) {
 	}
 	s.lastSnapshotScan.Store(int64(idx - from))
 	for _, m := range log[from:] {
-		switch m.Op {
-		case OpAddNode:
-			nodes++
-		case OpAddEdge:
-			edges++
-		}
+		countMutation(m, &nodes, &edges)
 	}
 	sn := &Snapshot{
 		epoch: epoch, baseEpoch: cur.baseEpoch,
@@ -360,7 +423,40 @@ func (s *Store) Counters() Counters {
 		NodesAdded:   s.nodesAdded.Load(),
 		EdgesAdded:   s.edgesAdded.Load(),
 		NodesUpdated: s.nodesUpdated.Load(),
+		EdgesRemoved: s.edgesRemoved.Load(),
+		NodesRemoved: s.nodesRemoved.Load(),
+		EdgesUpdated: s.edgesUpdated.Load(),
 	}
+}
+
+// isRemoved reports whether id is tombstoned (caller holds mu).
+func (s *Store) isRemoved(id expertgraph.NodeID) bool {
+	_, gone := s.removedNodes[id]
+	return gone
+}
+
+// incidentEdges captures node's current incident edges from the
+// pre-mutation snapshot view, sorted by far endpoint so the journaled
+// record (and therefore replay and repair) is deterministic. Caller
+// holds mu; the view is the memoized per-snapshot overlay readers
+// share, so this is not an extra materialization.
+func (s *Store) incidentEdges(node expertgraph.NodeID) []RemovedEdge {
+	var out []RemovedEdge
+	s.snap.Load().View().Neighbors(node, func(v expertgraph.NodeID, w float64) bool {
+		out = append(out, RemovedEdge{V: v, W: w})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].V < out[j].V })
+	return out
+}
+
+// setWatermark registers (or, with a nil channel, clears) the
+// background compactor's journal-size triggers; apply nudges ch
+// non-blockingly whenever an append crosses them.
+func (s *Store) setWatermark(ch chan struct{}, records uint64, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wmCh, s.wmRecords, s.wmBytes = ch, records, bytes
 }
 
 // JournalStats reports the journal's record count and byte size, both
@@ -393,6 +489,30 @@ func (s *Store) AddCollaboration(u, v expertgraph.NodeID, w float64) (uint64, er
 // is non-nil) and/or grants additional skills.
 func (s *Store) UpdateExpert(id expertgraph.NodeID, authority *float64, addSkills []string) (uint64, error) {
 	_, epoch, err := s.Apply(Mutation{Op: OpUpdateNode, Node: id, SetAuthority: authority, AddSkills: addSkills})
+	return epoch, err
+}
+
+// RemoveCollaboration removes the undirected edge (u, v) and returns
+// the epoch at which the removal became visible.
+func (s *Store) RemoveCollaboration(u, v expertgraph.NodeID) (uint64, error) {
+	_, epoch, err := s.Apply(Mutation{Op: OpRemoveEdge, U: u, V: v})
+	return epoch, err
+}
+
+// RemoveExpert tombstones expert id: its incident edges are dropped,
+// its skills cleared, and every further mutation referencing it fails
+// with ErrRemovedNode. The NodeID slot is never reused, so snapshots
+// across the removal stay consistent.
+func (s *Store) RemoveExpert(id expertgraph.NodeID) (uint64, error) {
+	_, epoch, err := s.Apply(Mutation{Op: OpRemoveNode, Node: id})
+	return epoch, err
+}
+
+// UpdateCollaboration replaces the communication cost of the existing
+// edge (u, v) and returns the epoch at which the new weight became
+// visible.
+func (s *Store) UpdateCollaboration(u, v expertgraph.NodeID, w float64) (uint64, error) {
+	_, epoch, err := s.Apply(Mutation{Op: OpUpdateEdge, U: u, V: v, W: w})
 	return epoch, err
 }
 
@@ -435,6 +555,10 @@ func (s *Store) apply(m Mutation, journal bool) (expertgraph.NodeID, uint64, err
 			return 0, 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.U)
 		case m.V < 0 || int(m.V) >= s.nNodes:
 			return 0, 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.V)
+		case s.isRemoved(m.U):
+			return 0, 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.U)
+		case s.isRemoved(m.V):
+			return 0, 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.V)
 		}
 		if _, dup := s.edgeSet[edgeKey(m.U, m.V)]; dup {
 			return 0, 0, fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, m.U, m.V)
@@ -443,12 +567,75 @@ func (s *Store) apply(m Mutation, journal bool) (expertgraph.NodeID, uint64, err
 		if m.Node < 0 || int(m.Node) >= s.nNodes {
 			return 0, 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.Node)
 		}
+		if s.isRemoved(m.Node) {
+			return 0, 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.Node)
+		}
 		if m.SetAuthority == nil && len(m.AddSkills) == 0 {
 			return 0, 0, ErrEmptyUpdate
 		}
 		if m.SetAuthority != nil && *m.SetAuthority < 1 {
 			one := 1.0
 			m.SetAuthority = &one
+		}
+	case OpRemoveEdge:
+		switch {
+		case m.U < 0 || int(m.U) >= s.nNodes:
+			return 0, 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.U)
+		case m.V < 0 || int(m.V) >= s.nNodes:
+			return 0, 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.V)
+		case s.isRemoved(m.U):
+			return 0, 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.U)
+		case s.isRemoved(m.V):
+			return 0, 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.V)
+		}
+		w, ok := s.edgeSet[edgeKey(m.U, m.V)]
+		if !ok {
+			return 0, 0, fmt.Errorf("%w: (%d,%d)", ErrUnknownEdge, m.U, m.V)
+		}
+		// Journal the removed edge's stored weight: decremental index
+		// repair and the overlay bound rescan both need it, and replay
+		// must not depend on reconstructing pre-removal state.
+		m.W, m.OldW = w, 0
+	case OpUpdateEdge:
+		switch {
+		case m.W < 0:
+			return 0, 0, fmt.Errorf("%w: %v", ErrNegativeW, m.W)
+		case m.U < 0 || int(m.U) >= s.nNodes:
+			return 0, 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.U)
+		case m.V < 0 || int(m.V) >= s.nNodes:
+			return 0, 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.V)
+		case s.isRemoved(m.U):
+			return 0, 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.U)
+		case s.isRemoved(m.V):
+			return 0, 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.V)
+		}
+		old, ok := s.edgeSet[edgeKey(m.U, m.V)]
+		if !ok {
+			return 0, 0, fmt.Errorf("%w: (%d,%d)", ErrUnknownEdge, m.U, m.V)
+		}
+		if old == m.W {
+			return 0, 0, fmt.Errorf("%w: edge (%d,%d) already weighs %v", ErrEmptyUpdate, m.U, m.V, m.W)
+		}
+		m.OldW = old
+	case OpRemoveNode:
+		if m.Node < 0 || int(m.Node) >= s.nNodes {
+			return 0, 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.Node)
+		}
+		if s.isRemoved(m.Node) {
+			return 0, 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.Node)
+		}
+		if journal {
+			// Fresh apply: capture the node's incident edges from the
+			// pre-mutation snapshot view (shared with readers, so the
+			// overlay fold is not an extra cost). Replay trusts the
+			// journaled list — it was captured and validated when the
+			// mutation was first applied.
+			m.Edges = s.incidentEdges(m.Node)
+		}
+		for _, e := range m.Edges {
+			if _, ok := s.edgeSet[edgeKey(m.Node, e.V)]; !ok {
+				return 0, 0, fmt.Errorf("%w: (%d,%d)", ErrUnknownEdge, m.Node, e.V)
+			}
 		}
 	default:
 		return 0, 0, fmt.Errorf("live: unknown op %q", m.Op)
@@ -459,6 +646,17 @@ func (s *Store) apply(m Mutation, journal bool) (expertgraph.NodeID, uint64, err
 		if err := s.journal.Append(m); err != nil {
 			return 0, 0, err
 		}
+		// Nudge the background compactor when this append crossed its
+		// fold trigger — a non-blocking watermark signal, so folds start
+		// promptly under write bursts without a tight poll interval.
+		if s.wmCh != nil &&
+			((s.wmRecords > 0 && s.journal.records >= s.wmRecords) ||
+				(s.wmBytes > 0 && s.journal.bytes >= s.wmBytes)) {
+			select {
+			case s.wmCh <- struct{}{}:
+			default:
+			}
+		}
 	}
 
 	switch m.Op {
@@ -466,11 +664,28 @@ func (s *Store) apply(m Mutation, journal bool) (expertgraph.NodeID, uint64, err
 		s.nNodes++
 		s.nodesAdded.Add(1)
 	case OpAddEdge:
-		s.edgeSet[edgeKey(m.U, m.V)] = struct{}{}
+		s.edgeSet[edgeKey(m.U, m.V)] = m.W
 		s.nEdges++
 		s.edgesAdded.Add(1)
 	case OpUpdateNode:
 		s.nodesUpdated.Add(1)
+	case OpRemoveEdge:
+		delete(s.edgeSet, edgeKey(m.U, m.V))
+		s.nEdges--
+		s.edgesRemoved.Add(1)
+	case OpUpdateEdge:
+		s.edgeSet[edgeKey(m.U, m.V)] = m.W
+		s.edgesUpdated.Add(1)
+	case OpRemoveNode:
+		for _, e := range m.Edges {
+			delete(s.edgeSet, edgeKey(m.Node, e.V))
+		}
+		s.nEdges -= len(m.Edges)
+		if s.removedNodes == nil {
+			s.removedNodes = make(map[expertgraph.NodeID]struct{})
+		}
+		s.removedNodes[m.Node] = struct{}{}
+		s.nodesRemoved.Add(1)
 	}
 
 	// Append-only log with structural sharing: every snapshot holds a
@@ -635,6 +850,15 @@ func materialize(base *expertgraph.Graph, muts []Mutation) (*expertgraph.Graph, 
 			for _, sk := range m.AddSkills {
 				b.AddSkillTo(m.Node, sk)
 			}
+		case OpRemoveEdge:
+			b.RemoveEdge(m.U, m.V)
+		case OpUpdateEdge:
+			b.UpdateEdge(m.U, m.V, m.W)
+		case OpRemoveNode:
+			for _, e := range m.Edges {
+				b.RemoveEdge(m.Node, e.V)
+			}
+			b.RemoveNode(m.Node)
 		}
 	}
 	g, err := b.Build()

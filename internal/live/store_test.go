@@ -292,7 +292,7 @@ func TestMaintainRawAlwaysEligible(t *testing.T) {
 	}
 	to := s.Snapshot()
 
-	repaired, ok := MaintainIndex(ix, from, to, nil, 0)
+	repaired, _, ok := MaintainIndex(ix, from, to, nil, nil, 0)
 	if !ok {
 		t.Fatal("raw repair refused")
 	}
@@ -319,16 +319,19 @@ func TestMaintainRefusals(t *testing.T) {
 	weight := func(u, v expertgraph.NodeID, w float64) float64 { return w }
 	ix := pll.BuildWithOptions(base, pll.Options{Weight: weight})
 
-	// Authority update → weighted repair refused, raw allowed.
+	// Authority update without the old weight function → weighted
+	// repair refused (it cannot recognize entries built under the old
+	// authorities), raw allowed. With an oldWeight supplied the same
+	// delta repairs — covered by TestMaintainAuthorityReweight.
 	auth := 123.0
 	if _, err := s.UpdateExpert(2, &auth, nil); err != nil {
 		t.Fatal(err)
 	}
 	to := s.Snapshot()
-	if _, ok := MaintainIndex(ix, from, to, weight, 0); ok {
+	if _, _, ok := MaintainIndex(ix, from, to, weight, nil, 0); ok {
 		t.Error("weighted repair accepted an authority update")
 	}
-	if _, ok := MaintainIndex(ix, from, to, nil, 0); !ok {
+	if _, _, ok := MaintainIndex(ix, from, to, nil, nil, 0); !ok {
 		t.Error("raw repair refused an authority update")
 	}
 
@@ -348,12 +351,12 @@ func TestMaintainRefusals(t *testing.T) {
 		}
 	}
 	to = s.Snapshot()
-	if _, ok := MaintainIndex(ix, from, to, nil, 3); ok {
+	if _, _, ok := MaintainIndex(ix, from, to, nil, nil, 3); ok {
 		t.Error("budget of 3 accepted 5 mutations")
 	}
 
 	// A snapshot ahead of `to` is not a valid repair source.
-	if _, ok := MaintainIndex(ix, to, from, nil, 0); ok {
+	if _, _, ok := MaintainIndex(ix, to, from, nil, nil, 0); ok {
 		t.Error("repair accepted from > to")
 	}
 
@@ -364,7 +367,7 @@ func TestMaintainRefusals(t *testing.T) {
 	if _, err := s2.AddCollaboration(0, 25, 50.0); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := MaintainIndex(ix, from2, s2.Snapshot(), weight, 0); ok {
+	if _, _, ok := MaintainIndex(ix, from2, s2.Snapshot(), weight, nil, 0); ok {
 		t.Error("weighted repair accepted a bound-widening edge")
 	}
 }

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -57,13 +58,40 @@ func randomBase(t *testing.T, rng *rand.Rand, n int) *expertgraph.Graph {
 	return g
 }
 
-// mutateRandomly applies count random valid mutations (rejections are
-// fine — they advance nothing on either side).
+// randomEdge picks a uniformly-ish random existing edge of the view
+// (ok=false when the view has none).
+func randomEdge(rng *rand.Rand, g expertgraph.GraphView) (expertgraph.NodeID, expertgraph.NodeID, bool) {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0, 0, false
+	}
+	start := rng.Intn(n)
+	for off := 0; off < n; off++ {
+		u := expertgraph.NodeID((start + off) % n)
+		var pick expertgraph.NodeID
+		seen := 0
+		g.Neighbors(u, func(v expertgraph.NodeID, _ float64) bool {
+			seen++
+			if rng.Intn(seen) == 0 {
+				pick = v
+			}
+			return true
+		})
+		if seen > 0 {
+			return u, pick, true
+		}
+	}
+	return 0, 0, false
+}
+
+// mutateRandomly applies count random mutations across every kind —
+// inserts, removals, re-weights, authority and skill updates
+// (rejections are fine — they advance nothing on either side).
 func mutateRandomly(t *testing.T, st *Store, rng *rand.Rand, count int) {
 	t.Helper()
 	for i := 0; i < count; i++ {
 		n := st.Snapshot().NumNodes()
-		switch rng.Intn(10) {
+		switch rng.Intn(12) {
 		case 0, 1: // add expert, sometimes with a brand-new skill
 			skills := []string{fmt.Sprintf("s%d", rng.Intn(12))}
 			if rng.Intn(3) == 0 {
@@ -73,8 +101,9 @@ func mutateRandomly(t *testing.T, st *Store, rng *rand.Rand, count int) {
 			if err != nil {
 				t.Fatalf("add expert: %v", err)
 			}
-			// Wire the newcomer in so every skill stays reachable.
-			if _, err := st.AddCollaboration(id, expertgraph.NodeID(rng.Intn(n)), 0.05+0.9*rng.Float64()); err != nil {
+			// Wire the newcomer in so every skill stays reachable
+			// (the anchor may be tombstoned — a rejection is fine).
+			if _, err := st.AddCollaboration(id, expertgraph.NodeID(rng.Intn(n)), 0.05+0.9*rng.Float64()); err != nil && !errors.Is(err, ErrRemovedNode) {
 				t.Fatalf("connect new expert: %v", err)
 			}
 		case 2: // authority update, occasionally extreme (exercises the bound rescan)
@@ -89,6 +118,22 @@ func mutateRandomly(t *testing.T, st *Store, rng *rand.Rand, count int) {
 				sk = fmt.Sprintf("x%d", rng.Intn(6))
 			}
 			_, _ = st.UpdateExpert(expertgraph.NodeID(rng.Intn(n)), nil, []string{sk})
+		case 4, 5: // edge re-weight, occasionally extreme (bound rescan)
+			if u, v, ok := randomEdge(rng, st.Snapshot().View()); ok {
+				w := 0.05 + 0.9*rng.Float64()
+				if rng.Intn(4) == 0 {
+					w = 2 + rng.Float64()
+				}
+				_, _ = st.UpdateCollaboration(u, v, w)
+			}
+		case 6, 7: // edge removal
+			if u, v, ok := randomEdge(rng, st.Snapshot().View()); ok {
+				_, _ = st.RemoveCollaboration(u, v)
+			}
+		case 8: // node removal (tombstone; rejections on re-removal are fine)
+			if rng.Intn(2) == 0 {
+				_, _ = st.RemoveExpert(expertgraph.NodeID(rng.Intn(n)))
+			}
 		default: // edge insertion (duplicates/self-loops rejected harmlessly)
 			u, v := expertgraph.NodeID(rng.Intn(n)), expertgraph.NodeID(rng.Intn(n))
 			_, _ = st.AddCollaboration(u, v, 0.05+0.9*rng.Float64())
@@ -119,6 +164,9 @@ func checkViewStructure(t *testing.T, gv expertgraph.GraphView, gm *expertgraph.
 		if gv.Name(u) != gm.Name(u) || gv.Authority(u) != gm.Authority(u) ||
 			gv.InvAuthority(u) != gm.InvAuthority(u) || gv.Pubs(u) != gm.Pubs(u) {
 			t.Fatalf("node %d records differ", u)
+		}
+		if gv.ValidNode(u) != gm.ValidNode(u) {
+			t.Fatalf("node %d validity: view %v vs graph %v", u, gv.ValidNode(u), gm.ValidNode(u))
 		}
 		if gv.Degree(u) != gm.Degree(u) {
 			t.Fatalf("node %d degree: view %d vs graph %d", u, gv.Degree(u), gm.Degree(u))
@@ -188,44 +236,50 @@ func TestOverlayDifferential(t *testing.T) {
 	}
 	defer st.Close()
 
-	discover := func(g expertgraph.GraphView, project []expertgraph.SkillID) map[string][]*team.Team {
-		out := map[string][]*team.Team{}
+	// discover records each method's outcome — the teams, or the error
+	// it failed with. A mutation stream with removals can legitimately
+	// make a project infeasible mid-run; the differential requirement
+	// is then that the overlay fails *identically* to the materialized
+	// graph, not that both succeed.
+	discover := func(g expertgraph.GraphView, project []expertgraph.SkillID) map[string]any {
+		out := map[string]any{}
+		record := func(method string, teams []*team.Team, err error) {
+			if err != nil {
+				out[method] = fmt.Sprintf("error: %v", err)
+				return
+			}
+			out[method] = teams
+		}
 		for _, m := range []core.Method{core.CC, core.CACC, core.SACACC} {
 			p, err := transform.Fit(g, 0.6, 0.6, transform.Options{Normalize: true})
 			if err != nil {
 				t.Fatal(err)
 			}
 			teams, err := core.NewDiscoverer(p, m).TopK(project, 3)
-			if err != nil {
-				t.Fatalf("%v: %v", m, err)
-			}
-			out[m.String()] = teams
+			record(m.String(), teams, err)
 			// One PLL-backed run per checkpoint exercises index
 			// construction over the overlay too.
 			if m == core.SACACC {
 				teams, err := core.NewDiscoverer(p, m, core.WithPLL()).TopK(project, 3)
-				if err != nil {
-					t.Fatalf("%v (pll): %v", m, err)
-				}
-				out["sa-ca-cc-pll"] = teams
+				record("sa-ca-cc-pll", teams, err)
 			}
 		}
 		front, err := core.ParetoFront(g, project, core.ParetoOptions{})
 		if err != nil {
-			t.Fatalf("pareto: %v", err)
-		}
-		for _, f := range front {
-			out["pareto"] = append(out["pareto"], f.Team)
+			out["pareto"] = fmt.Sprintf("error: %v", err)
+		} else {
+			var teams []*team.Team
+			for _, f := range front {
+				teams = append(teams, f.Team)
+			}
+			out["pareto"] = teams
 		}
 		p, err := transform.Fit(g, 0.6, 0.6, transform.Options{Normalize: true})
 		if err != nil {
 			t.Fatal(err)
 		}
 		ex, err := core.Exact(p, project[:min(len(project), 2)], core.ExactOptions{MaxCandidatesPerSkill: 4})
-		if err != nil {
-			t.Fatalf("exact: %v", err)
-		}
-		out["exact"] = []*team.Team{ex}
+		record("exact", []*team.Team{ex}, err)
 		return out
 	}
 
@@ -346,6 +400,10 @@ func TestSnapshotAtUsesPrefixMemo(t *testing.T) {
 				nodes++
 			case OpAddEdge:
 				edges++
+			case OpRemoveEdge:
+				edges--
+			case OpRemoveNode:
+				edges -= len(m.Edges)
 			}
 		}
 		if sn.NumNodes() != nodes || sn.NumEdges() != edges {

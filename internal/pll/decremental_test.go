@@ -1,0 +1,302 @@
+package pll
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"authteam/internal/expertgraph"
+)
+
+// The decremental differentials: after removals, weight increases and
+// mixed op streams, the repaired dynamic index must answer every pair
+// exactly like an index built from scratch over the final graph. These
+// are the acceptance tests of the fully dynamic 2-hop cover — a stale
+// (too small) surviving entry would silently corrupt queries, so the
+// checks are all-pairs, not sampled.
+
+// graphEdges lists g's undirected edges.
+func graphEdges(g *expertgraph.Graph) [][3]float64 {
+	var out [][3]float64
+	for u := expertgraph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		g.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
+			if u < v {
+				out = append(out, [3]float64{float64(u), float64(v), w})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// rebuildWithout returns g minus the given edges (by index into
+// graphEdges order).
+func applyToBuilder(g *expertgraph.Graph, mutate func(b *expertgraph.Builder)) *expertgraph.Graph {
+	b := g.Thaw(0, 4)
+	mutate(b)
+	g2, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g2
+}
+
+func TestDynamicRemoveEdgeMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 40; trial++ {
+		n := 10 + rng.Intn(25)
+		g := randomGraph(rng, n, n)
+		d := NewDynamic(Build(g), nil)
+
+		// Remove a handful of random edges one op at a time, repairing
+		// against the graph after each removal (the per-op contract).
+		removals := 1 + rng.Intn(4)
+		for k := 0; k < removals; k++ {
+			edges := graphEdges(g)
+			if len(edges) == 0 {
+				break
+			}
+			e := edges[rng.Intn(len(edges))]
+			u, v, w := expertgraph.NodeID(e[0]), expertgraph.NodeID(e[1]), e[2]
+			g = applyToBuilder(g, func(b *expertgraph.Builder) { b.RemoveEdge(u, v) })
+			d.RemoveEdge(g, u, v, w)
+		}
+		checkAllPairs(t, d, Build(g), n)
+	}
+}
+
+func TestDynamicIncreaseEdgeMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 40; trial++ {
+		n := 10 + rng.Intn(25)
+		g := randomGraph(rng, n, n)
+		d := NewDynamic(Build(g), nil)
+
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			edges := graphEdges(g)
+			e := edges[rng.Intn(len(edges))]
+			u, v, old := expertgraph.NodeID(e[0]), expertgraph.NodeID(e[1]), e[2]
+			heavier := old + 0.1 + rng.Float64()
+			g = applyToBuilder(g, func(b *expertgraph.Builder) { b.UpdateEdge(u, v, heavier) })
+			d.IncreaseEdge(g, u, v, old)
+		}
+		checkAllPairs(t, d, Build(g), n)
+	}
+}
+
+func TestDynamicDecreaseEdgeMatchesRebuild(t *testing.T) {
+	// A weight decrease is the incremental case: resume across the
+	// now-cheaper edge exactly like an insertion.
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 25; trial++ {
+		n := 10 + rng.Intn(25)
+		g := randomGraph(rng, n, n)
+		d := NewDynamic(Build(g), nil)
+
+		edges := graphEdges(g)
+		e := edges[rng.Intn(len(edges))]
+		u, v, old := expertgraph.NodeID(e[0]), expertgraph.NodeID(e[1]), e[2]
+		lighter := old * (0.1 + 0.7*rng.Float64())
+		g = applyToBuilder(g, func(b *expertgraph.Builder) { b.UpdateEdge(u, v, lighter) })
+		d.InsertEdge(g, u, v, lighter)
+		checkAllPairs(t, d, Build(g), n)
+	}
+}
+
+func TestDynamicRemoveNodeIsolates(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	for trial := 0; trial < 25; trial++ {
+		n := 10 + rng.Intn(20)
+		g := randomGraph(rng, n, n/2)
+		d := NewDynamic(Build(g), nil)
+
+		victim := expertgraph.NodeID(rng.Intn(n))
+		type half struct {
+			v expertgraph.NodeID
+			w float64
+		}
+		var incident []half
+		g.Neighbors(victim, func(v expertgraph.NodeID, w float64) bool {
+			incident = append(incident, half{v, w})
+			return true
+		})
+		// Retire the node edge by edge, each removal repaired against
+		// its own post-state — the per-op contract the live layer's
+		// patch graph provides.
+		for _, h := range incident {
+			g = applyToBuilder(g, func(b *expertgraph.Builder) { b.RemoveEdge(victim, h.v) })
+			d.RemoveEdge(g, victim, h.v, h.w)
+		}
+		g = applyToBuilder(g, func(b *expertgraph.Builder) { b.RemoveNode(victim) })
+
+		checkAllPairs(t, d, Build(g), n)
+		for v := 0; v < n; v++ {
+			if v == int(victim) {
+				continue
+			}
+			if got := d.Dist(victim, expertgraph.NodeID(v)); !math.IsInf(got, 1) {
+				t.Fatalf("removed node %d still reaches %d at %v", victim, v, got)
+			}
+		}
+	}
+}
+
+func TestDynamicMixedStreamMatchesRebuild(t *testing.T) {
+	// The long-haul differential: interleaved inserts, removals,
+	// re-weights (both directions) and node retirements, repaired one
+	// op at a time; the index must stay exact at *every* step, not just
+	// at the end — a stale entry could otherwise be masked by a later
+	// insertion.
+	rng := rand.New(rand.NewSource(113))
+	for trial := 0; trial < 12; trial++ {
+		n := 12 + rng.Intn(16)
+		g := randomGraph(rng, n, n)
+		d := NewDynamic(Build(g), nil)
+		total := n
+
+		for step := 0; step < 25; step++ {
+			switch rng.Intn(6) {
+			case 0: // add a node wired to an existing one
+				id := d.AddNode()
+				anchor := expertgraph.NodeID(rng.Intn(total))
+				w := 0.05 + rng.Float64()
+				g = applyToBuilder(g, func(b *expertgraph.Builder) {
+					nid := b.AddNode("", 1)
+					if nid != id {
+						t.Fatalf("node id drift: %d vs %d", nid, id)
+					}
+					if !g.Removed(anchor) {
+						b.AddEdge(id, anchor, w)
+					}
+				})
+				total++
+				if _, ok := g.EdgeWeight(id, anchor); ok {
+					d.InsertEdge(g, id, anchor, w)
+				}
+			case 1: // insert a fresh edge
+				u := expertgraph.NodeID(rng.Intn(total))
+				v := expertgraph.NodeID(rng.Intn(total))
+				if u == v || g.Removed(u) || g.Removed(v) {
+					continue
+				}
+				if _, dup := g.EdgeWeight(u, v); dup {
+					continue
+				}
+				w := 0.05 + rng.Float64()
+				g = applyToBuilder(g, func(b *expertgraph.Builder) { b.AddEdge(u, v, w) })
+				d.InsertEdge(g, u, v, w)
+			case 2: // remove an edge
+				edges := graphEdges(g)
+				if len(edges) == 0 {
+					continue
+				}
+				e := edges[rng.Intn(len(edges))]
+				u, v, w := expertgraph.NodeID(e[0]), expertgraph.NodeID(e[1]), e[2]
+				g = applyToBuilder(g, func(b *expertgraph.Builder) { b.RemoveEdge(u, v) })
+				d.RemoveEdge(g, u, v, w)
+			case 3: // make an edge heavier
+				edges := graphEdges(g)
+				if len(edges) == 0 {
+					continue
+				}
+				e := edges[rng.Intn(len(edges))]
+				u, v, old := expertgraph.NodeID(e[0]), expertgraph.NodeID(e[1]), e[2]
+				heavier := old + 0.1 + rng.Float64()
+				g = applyToBuilder(g, func(b *expertgraph.Builder) { b.UpdateEdge(u, v, heavier) })
+				d.IncreaseEdge(g, u, v, old)
+			case 4: // make an edge lighter
+				edges := graphEdges(g)
+				if len(edges) == 0 {
+					continue
+				}
+				e := edges[rng.Intn(len(edges))]
+				u, v, old := expertgraph.NodeID(e[0]), expertgraph.NodeID(e[1]), e[2]
+				lighter := old * (0.2 + 0.6*rng.Float64())
+				g = applyToBuilder(g, func(b *expertgraph.Builder) { b.UpdateEdge(u, v, lighter) })
+				d.InsertEdge(g, u, v, lighter)
+			case 5: // retire a node, edge by edge
+				victim := expertgraph.NodeID(rng.Intn(total))
+				if g.Removed(victim) {
+					continue
+				}
+				type half struct {
+					v expertgraph.NodeID
+					w float64
+				}
+				var incident []half
+				g.Neighbors(victim, func(v expertgraph.NodeID, w float64) bool {
+					incident = append(incident, half{v, w})
+					return true
+				})
+				for _, h := range incident {
+					g = applyToBuilder(g, func(b *expertgraph.Builder) { b.RemoveEdge(victim, h.v) })
+					d.RemoveEdge(g, victim, h.v, h.w)
+				}
+				g = applyToBuilder(g, func(b *expertgraph.Builder) { b.RemoveNode(victim) })
+			}
+			checkAllPairs(t, d, Build(g), total)
+		}
+	}
+}
+
+func TestDynamicIncreaseEdgesBatchMatchesRebuild(t *testing.T) {
+	// The atomic-batch case: one semantic change (an authority-style
+	// re-weight) makes every incident edge of a node heavier at once.
+	// The batch must repair in one call and stay exact — this is the
+	// regression test for the interleaved-detection bug sequential
+	// per-edge IncreaseEdge calls would reintroduce.
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 20; trial++ {
+		n := 12 + rng.Intn(20)
+		g := randomGraph(rng, n, n)
+		node := expertgraph.NodeID(rng.Intn(n))
+		oldAuthBias := 0.0
+		newAuthBias := 0.3 + 0.5*rng.Float64() // heavier incident edges
+		weightWith := func(bias float64) func(u, v expertgraph.NodeID, w float64) float64 {
+			return func(u, v expertgraph.NodeID, w float64) float64 {
+				s := w
+				if u == node || v == node {
+					s += bias
+				}
+				return s
+			}
+		}
+		oldW := weightWith(oldAuthBias)
+		newW := weightWith(newAuthBias)
+
+		d := NewDynamic(BuildWithOptions(g, Options{Weight: oldW}), newW)
+		d.SetAltWeight(oldW)
+		var batch []EdgeChange
+		g.Neighbors(node, func(v expertgraph.NodeID, w float64) bool {
+			batch = append(batch, EdgeChange{U: node, V: v, WOld: []float64{oldW(node, v, w), newW(node, v, w)}})
+			return true
+		})
+		d.IncreaseEdges(g, batch)
+		checkAllPairs(t, d, BuildWithOptions(g, Options{Weight: newW}), n)
+	}
+}
+
+func TestDynamicWeightedDecrementMatchesRebuild(t *testing.T) {
+	// Decremental repair under a G'-shaped weight function, including
+	// the two-candidate tight test (SetAltWeight) a weight-function
+	// re-fit requires.
+	rng := rand.New(rand.NewSource(127))
+	oldWeight := func(u, v expertgraph.NodeID, w float64) float64 {
+		return 0.02*float64(u%5) + 0.02*float64(v%5) + 2*w
+	}
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(20)
+		g := randomGraph(rng, n, n)
+		d := NewDynamic(BuildWithOptions(g, Options{Weight: oldWeight}), oldWeight)
+		d.SetAltWeight(oldWeight)
+
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			edges := graphEdges(g)
+			e := edges[rng.Intn(len(edges))]
+			u, v, w := expertgraph.NodeID(e[0]), expertgraph.NodeID(e[1]), e[2]
+			g = applyToBuilder(g, func(b *expertgraph.Builder) { b.RemoveEdge(u, v) })
+			d.RemoveEdge(g, u, v, oldWeight(u, v, w))
+		}
+		checkAllPairs(t, d, BuildWithOptions(g, Options{Weight: oldWeight}), n)
+	}
+}

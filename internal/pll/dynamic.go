@@ -1,37 +1,75 @@
 package pll
 
 import (
+	"math"
 	"sort"
 
 	"authteam/internal/expertgraph"
 )
 
-// Incremental maintenance of a 2-hop cover under node and edge
-// insertions, following the dynamization of pruned landmark labeling
-// (Akiba, Iwata, Yoshida — "Dynamic and Historical Shortest-Path
-// Distance Queries on Large Evolving Networks", WWW 2014), adapted
-// from BFS to weighted Dijkstra.
+// Dynamic maintenance of a 2-hop cover under both incremental and
+// decremental graph changes, following the dynamization of pruned
+// landmark labeling (Akiba, Iwata, Yoshida — "Dynamic and Historical
+// Shortest-Path Distance Queries on Large Evolving Networks", WWW
+// 2014) for insertions and the affected-region invalidation style of
+// decremental 2-hop cover maintenance (D'Angelo, D'Emidio, Frigioni)
+// for removals, both adapted from BFS to weighted Dijkstra.
 //
-// On inserting edge (u, v), only shortest paths through the new edge
-// can improve. For every landmark that already labels u or v, the
-// landmark's original pruned Dijkstra is *resumed*: seeded at the far
-// endpoint with the distance through the new edge and expanded with
-// the same prefix-rank pruning rule as construction. Repair therefore
-// costs a handful of truncated Dijkstras instead of a full O(n·m)
-// rebuild. The repaired index answers every query exactly; it may
-// carry entries a from-scratch build would have pruned (resumption
-// never removes labels), which is why callers bound repair work with a
-// staleness budget and fall back to a rebuild once labels drift.
+// Insertion: on inserting edge (u, v), only shortest paths through the
+// new edge can improve. For every landmark that already labels u or v,
+// the landmark's original pruned Dijkstra is *resumed*: seeded at the
+// far endpoint with the distance through the new edge and expanded
+// with the same prefix-rank pruning rule as construction.
+//
+// Removal / weight increase: distances can only grow, so label entries
+// can become too SMALL — which silently corrupts queries — and must be
+// found and invalidated. A pair's distance can change only if every
+// one of its shortest paths crossed the changed edge, so detection
+// walks the tight shortest-path cones behind each endpoint on the
+// still-intact index (true distances telescope along shortest paths,
+// making the walks complete regardless of which entries individual
+// nodes hold). Every cone member is itself a PLL landmark; its region
+// — the far-side nodes whose path from it crossed the edge — is
+// invalidated wholesale (entries deleted, previously-pruned pairs
+// included, because a removal can also break the covering that
+// justified a pruned entry) and then recomputed by re-running the
+// landmark's pruned Dijkstra restricted to the region, in ascending
+// rank order so each recomputation prunes against already-exact
+// higher-priority labels. Repair therefore costs work proportional to
+// the affected cones, not the graph.
+//
+// The repaired index answers every query exactly; it may carry entries
+// a from-scratch build would have pruned (repairs add but rarely
+// prune), which is why callers bound repair work with a staleness
+// budget and fall back to a rebuild once labels drift.
+
+// Neighborhood is the graph read surface repairs traverse: adjacency
+// with weights, nothing more. Any expertgraph.GraphView satisfies it,
+// and so does the live layer's incremental patch graph, which replays
+// a mutation delta state by state so every repair sees exactly the
+// graph its mutation produced.
+type Neighborhood interface {
+	Neighbors(u expertgraph.NodeID, fn func(v expertgraph.NodeID, w float64) bool)
+}
 
 // DynamicIndex is a mutable 2-hop cover. It is the thawed counterpart
-// of Index: labels live in per-node slices that InsertEdge and AddNode
-// grow in place. It is NOT safe for concurrent use — mutate it from a
-// single goroutine and Freeze it into an immutable Index for readers.
+// of Index: labels live in per-node slices that the repair operations
+// grow, shrink and patch in place. It is NOT safe for concurrent use —
+// mutate it from a single goroutine and Freeze it into an immutable
+// Index for readers.
 type DynamicIndex struct {
 	labels [][]labelEntry // per node, sorted by rank ascending
 	rankOf []int32
 	nodeAt []expertgraph.NodeID
 	weight func(u, v expertgraph.NodeID, w float64) float64 // nil = stored weights
+	// alt is an optional second weight function consulted by the tight
+	// tests of decremental repair: when the weight function itself has
+	// drifted across a repair window (an authority re-fit changes G'
+	// weights), surviving entries may have been created under either
+	// function, and a chain is treated as tight if it is tight under
+	// either. Over-approximating the affected region is safe (it is
+	// recomputed exactly); under-approximating is not.
+	alt func(u, v expertgraph.NodeID, w float64) float64
 
 	// Scratch for resumed Dijkstras, sized to the node count.
 	dist    []float64
@@ -120,6 +158,33 @@ func mergeJoin(lu, lv []labelEntry) float64 {
 	return best
 }
 
+// loadHub mirrors x's label into the rank-indexed hubDist scratch
+// array; unloadHub clears it. While loaded, distLoaded answers
+// d.Dist(x, z) for any z with a single scan of labels[z] — the walks
+// of decremental detection query thousands of distances against one
+// fixed endpoint, and the array form halves the merge cost.
+func (d *DynamicIndex) loadHub(x expertgraph.NodeID) {
+	for _, e := range d.labels[x] {
+		d.hubDist[e.rank] = e.dist
+	}
+}
+
+func (d *DynamicIndex) unloadHub(x expertgraph.NodeID) {
+	for _, e := range d.labels[x] {
+		d.hubDist[e.rank] = infinity
+	}
+}
+
+func (d *DynamicIndex) distLoaded(z expertgraph.NodeID) float64 {
+	best := infinity
+	for _, e := range d.labels[z] {
+		if s := d.hubDist[e.rank] + e.dist; s < best {
+			best = s
+		}
+	}
+	return best
+}
+
 // entryFor returns u's label distance to the landmark of rank r and
 // whether the entry exists.
 func (d *DynamicIndex) entryFor(u expertgraph.NodeID, r int32) (float64, bool) {
@@ -157,7 +222,7 @@ func (d *DynamicIndex) setEntry(u expertgraph.NodeID, r int32, dist float64) {
 // improved shortest path uses at least one inserted edge, and that
 // edge's resumption propagates the improvement through the rest of the
 // batch's edges, which are already traversable.
-func (d *DynamicIndex) InsertEdge(g expertgraph.GraphView, u, v expertgraph.NodeID, w float64) {
+func (d *DynamicIndex) InsertEdge(g Neighborhood, u, v expertgraph.NodeID, w float64) {
 	wp := w
 	if d.weight != nil {
 		wp = d.weight(u, v, w)
@@ -187,7 +252,7 @@ func (d *DynamicIndex) InsertEdge(g expertgraph.GraphView, u, v expertgraph.Node
 // landmark labels seeds the far endpoint at label distance + wp, and
 // the search expands exactly like construction, pruning any node whose
 // distance is already certified by hubs ranked above r.
-func (d *DynamicIndex) resume(g expertgraph.GraphView, r int32, u, v expertgraph.NodeID, wp float64) {
+func (d *DynamicIndex) resume(g Neighborhood, r int32, u, v expertgraph.NodeID, wp float64) {
 	lm := d.nodeAt[r]
 	// Load the landmark's label for O(|label|) prefix prune queries.
 	for _, e := range d.labels[lm] {
@@ -240,6 +305,423 @@ func (d *DynamicIndex) resume(g expertgraph.GraphView, r int32, u, v expertgraph
 		}
 		d.setEntry(x, r, dx)
 		g.Neighbors(x, func(y expertgraph.NodeID, wxy float64) bool {
+			if d.weight != nil {
+				wxy = d.weight(x, y, wxy)
+			}
+			if nd := dx + wxy; nd < d.dist[y] {
+				if d.dist[y] == infinity {
+					touched = append(touched, y)
+				}
+				d.dist[y] = nd
+				d.heap.push(y, nd)
+			}
+			return true
+		})
+	}
+	for _, x := range touched {
+		d.dist[x] = infinity
+	}
+	for _, e := range d.labels[lm] {
+		d.hubDist[e.rank] = infinity
+	}
+}
+
+// SetAltWeight installs a second weight function for the decremental
+// tight tests (see the alt field). Pass nil to clear it.
+func (d *DynamicIndex) SetAltWeight(f func(u, v expertgraph.NodeID, w float64) float64) {
+	d.alt = f
+}
+
+// removeEntry deletes u's entry for the landmark of rank r, if any.
+func (d *DynamicIndex) removeEntry(u expertgraph.NodeID, r int32) {
+	l := d.labels[u]
+	i := sort.Search(len(l), func(i int) bool { return l[i].rank >= r })
+	if i < len(l) && l[i].rank == r {
+		d.labels[u] = append(l[:i], l[i+1:]...)
+	}
+}
+
+// tightEq reports whether got ≈ want up to float summation-order
+// noise. Creation chains telescope distances in the same order the
+// original search did, so true witnesses compare bitwise equal; the
+// tolerance only widens the net when a weight function was re-fitted
+// mid-window. Over-matching is safe (extra invalidation is recomputed
+// exactly), under-matching is not.
+func tightEq(got, want float64) bool {
+	diff := math.Abs(got - want)
+	return diff <= 1e-9 || diff <= 1e-9*math.Abs(want)
+}
+
+// RemoveEdge repairs the index after the undirected edge (u, v) was
+// removed. g must be the graph immediately after the removal — for a
+// sequence of *separate* decrements, apply and repair them one at a
+// time, each against its own post-state (detection walks pre-change
+// shortest paths queried from the index, which is exact for the
+// previous state). wOld lists the candidate *search* weights the edge
+// may have carried while surviving entries were created — one value
+// normally, two when the index's weight function was re-fitted inside
+// the repair window.
+func (d *DynamicIndex) RemoveEdge(g Neighborhood, u, v expertgraph.NodeID, wOld ...float64) {
+	d.repairHeavier(g, []EdgeChange{{U: u, V: v, WOld: wOld}})
+}
+
+// IncreaseEdge repairs the index after edge (u, v)'s search weight
+// grew. g must already carry the new weight; wOld lists the candidate
+// old search weights, as for RemoveEdge. (Weight decreases are the
+// incremental case — use InsertEdge, which resumes across the
+// now-cheaper edge.)
+func (d *DynamicIndex) IncreaseEdge(g Neighborhood, u, v expertgraph.NodeID, wOld ...float64) {
+	d.repairHeavier(g, []EdgeChange{{U: u, V: v, WOld: wOld}})
+}
+
+// EdgeChange names one edge of a simultaneous decremental batch, with
+// the candidate old search weights its surviving entries may encode.
+type EdgeChange struct {
+	U, V expertgraph.NodeID
+	WOld []float64
+}
+
+// IncreaseEdges repairs one *atomic* batch of weight increases — a
+// single semantic change that re-weights several edges at once, most
+// prominently an authority decrease making every incident edge of a
+// node heavier. The batch MUST be repaired in one call: processing the
+// edges one IncreaseEdge at a time would interleave detection (which
+// walks tight chains over consistent pre-change distances) with
+// recomputation (which rewrites some of those distances), and a stale
+// chain crossing a later edge of the batch through an
+// already-recomputed node would no longer telescope — leaving a
+// too-small entry behind. Here every cone and region is detected on
+// the intact pre-batch index before anything is invalidated.
+func (d *DynamicIndex) IncreaseEdges(g Neighborhood, changes []EdgeChange) {
+	d.repairHeavier(g, changes)
+}
+
+// affectedRegion is the invalidation unit of one decremental repair:
+// one affected landmark and the nodes whose distance to it may have
+// grown. set holds the nodes to invalidate AND recompute (the landmark
+// outranks them, so it may have to label them); drop holds nodes that
+// outrank the landmark — any entry there is non-canonical drift whose
+// value can only be stale, so it is deleted without recomputation (the
+// pair's cover lives in higher-priority labels).
+type affectedRegion struct {
+	rank int32
+	set  []expertgraph.NodeID
+	drop []expertgraph.NodeID
+	in   map[expertgraph.NodeID]bool
+}
+
+// affectedCone walks the tight shortest-path cone behind one endpoint
+// of the changed edge: starting from `near`, it collects every node z
+// whose pre-op shortest path to `far` ran through the edge — the tight
+// test uses true pre-op distances queried from the (still intact)
+// index, which telescope along shortest paths, so the walk is complete
+// regardless of which entries individual nodes hold.
+func (d *DynamicIndex) affectedCone(g Neighborhood, near, far expertgraph.NodeID) []expertgraph.NodeID {
+	d.loadHub(far)
+	defer d.unloadHub(far)
+	distFar := map[expertgraph.NodeID]float64{far: 0}
+	toFar := func(z expertgraph.NodeID) float64 {
+		if dz, ok := distFar[z]; ok {
+			return dz
+		}
+		dz := d.distLoaded(z)
+		distFar[z] = dz
+		return dz
+	}
+	cone := []expertgraph.NodeID{near}
+	in := map[expertgraph.NodeID]bool{near: true}
+	for qi := 0; qi < len(cone); qi++ {
+		z := cone[qi]
+		dz := toFar(z)
+		d.visits++
+		g.Neighbors(z, func(y expertgraph.NodeID, w float64) bool {
+			if in[y] {
+				return true
+			}
+			ws := w
+			if d.weight != nil {
+				ws = d.weight(z, y, w)
+			}
+			tight := tightEq(dz+ws, toFar(y))
+			if !tight && d.alt != nil {
+				tight = tightEq(dz+d.alt(z, y, w), toFar(y))
+			}
+			if tight {
+				in[y] = true
+				cone = append(cone, y)
+			}
+			return true
+		})
+	}
+	return cone
+}
+
+// landmarkRegion collects the affected targets of one landmark: the
+// nodes x whose pre-op shortest path *from lm* crossed the changed
+// edge near→far, found by a tight-edge walk from `far` over the
+// landmark's true pre-op distances (d.Dist on the intact index). Every
+// such pair is re-evaluated, not just those holding an entry — a
+// removal can break a *covering* (the hub that made the pruned build
+// skip an entry drifts away), in which case the landmark must now
+// label a node it previously did not.
+//
+// farCone is the tight cone behind `far`: a shortest lm→x path through
+// the edge continues with a shortest far→x path, so every region node
+// is a cone member — the walk filters expansion candidates with one
+// map lookup before paying a distance query.
+func (d *DynamicIndex) landmarkRegion(g Neighborhood, lm, far expertgraph.NodeID, farCone map[expertgraph.NodeID]bool, region *affectedRegion) {
+	r := region.rank
+	d.loadHub(lm)
+	defer d.unloadHub(lm)
+	dist := map[expertgraph.NodeID]float64{lm: 0}
+	fromLm := func(z expertgraph.NodeID) float64 {
+		if dz, ok := dist[z]; ok {
+			return dz
+		}
+		dz := d.distLoaded(z)
+		dist[z] = dz
+		return dz
+	}
+	// The walk keeps its own visited set: in a batch, the same
+	// landmark's region can be grown from several changed edges whose
+	// cone filters differ, so an already-collected node must still be
+	// expandable under this edge's filter.
+	var queue []expertgraph.NodeID
+	visited := map[expertgraph.NodeID]bool{}
+	mark := func(x expertgraph.NodeID) {
+		if x == lm || visited[x] {
+			return
+		}
+		visited[x] = true
+		queue = append(queue, x)
+		if region.in[x] {
+			return
+		}
+		region.in[x] = true
+		if d.rankOf[x] > r {
+			region.set = append(region.set, x)
+		} else {
+			region.drop = append(region.drop, x)
+		}
+	}
+	mark(far)
+	for qi := 0; qi < len(queue); qi++ {
+		x := queue[qi]
+		dx := fromLm(x)
+		d.visits++
+		g.Neighbors(x, func(y expertgraph.NodeID, w float64) bool {
+			if y == lm || visited[y] || !farCone[y] {
+				return true
+			}
+			ws := w
+			if d.weight != nil {
+				ws = d.weight(x, y, w)
+			}
+			tight := tightEq(dx+ws, fromLm(y))
+			if !tight && d.alt != nil {
+				tight = tightEq(dx+d.alt(x, y, w), fromLm(y))
+			}
+			if tight {
+				mark(y)
+			}
+			return true
+		})
+	}
+}
+
+// repairHeavier implements RemoveEdge/IncreaseEdge/IncreaseEdges.
+// Distances can only
+// grow, so label entries can become too small — which would silently
+// corrupt queries — and must be found and invalidated before anything
+// is recomputed:
+//
+//  1. Detection (on the intact index): a pair (s, t) can change only
+//     if every shortest s–t path crossed the changed edge. The
+//     affected sources are the tight cones behind each endpoint; every
+//     node is a PLL landmark, so each cone member lm gets a region —
+//     the nodes on the far side whose pre-op shortest path from lm ran
+//     through the edge, found by a per-landmark tight walk. Both walks
+//     query true pre-op distances from the still-intact index.
+//  2. Invalidation: every (landmark, region-node) entry is deleted
+//     before any recomputation, so detection and boundary seeding
+//     never read an entry that is about to die.
+//  3. Recomputation: each affected landmark's pruned Dijkstra is
+//     re-run restricted to its region, in ascending rank order so it
+//     prunes against already-exact higher-priority labels.
+func (d *DynamicIndex) repairHeavier(g Neighborhood, changes []EdgeChange) {
+	// Phase 1 runs for the WHOLE batch before anything is invalidated:
+	// every cone and region walk reads consistent pre-batch distances.
+	type activeChange struct {
+		u, v             expertgraph.NodeID
+		coneU, coneV     []expertgraph.NodeID
+		inConeU, inConeV map[expertgraph.NodeID]bool
+	}
+	var active []activeChange
+	for _, c := range changes {
+		// The edge was on a shortest u–v path iff its weight was tight
+		// with the pre-change distance; a slack edge changes nothing.
+		duv := d.Dist(c.U, c.V)
+		seedTight := false
+		for _, w := range c.WOld {
+			if tightEq(duv, w) {
+				seedTight = true
+				break
+			}
+		}
+		if !seedTight {
+			continue
+		}
+		ac := activeChange{
+			u:     c.U,
+			v:     c.V,
+			coneU: d.affectedCone(g, c.U, c.V),
+			coneV: d.affectedCone(g, c.V, c.U),
+		}
+		ac.inConeU = make(map[expertgraph.NodeID]bool, len(ac.coneU))
+		for _, z := range ac.coneU {
+			ac.inConeU[z] = true
+		}
+		ac.inConeV = make(map[expertgraph.NodeID]bool, len(ac.coneV))
+		for _, z := range ac.coneV {
+			ac.inConeV[z] = true
+		}
+		active = append(active, ac)
+	}
+	if len(active) == 0 {
+		return
+	}
+
+	regions := make(map[int32]*affectedRegion)
+	regionFor := func(r int32) *affectedRegion {
+		region := regions[r]
+		if region == nil {
+			region = &affectedRegion{rank: r, in: make(map[expertgraph.NodeID]bool)}
+			regions[r] = region
+		}
+		return region
+	}
+	for _, ac := range active {
+		for _, lm := range ac.coneU {
+			d.landmarkRegion(g, lm, ac.v, ac.inConeV, regionFor(d.rankOf[lm]))
+		}
+		for _, lm := range ac.coneV {
+			d.landmarkRegion(g, lm, ac.u, ac.inConeU, regionFor(d.rankOf[lm]))
+		}
+	}
+	ranks := make([]int32, 0, len(regions))
+	for r := range regions {
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+
+	for _, r := range ranks {
+		for _, x := range regions[r].set {
+			d.removeEntry(x, r)
+		}
+		for _, x := range regions[r].drop {
+			d.removeEntry(x, r)
+		}
+	}
+	for _, r := range ranks {
+		if len(regions[r].set) > 0 {
+			d.recomputeRegion(g, *regions[r])
+		}
+	}
+}
+
+// recomputeRegion re-runs the pruned Dijkstra of region's landmark
+// restricted to the invalidated nodes: each is seeded through its
+// neighbors outside the region, whose distances to the landmark are
+// exact (their pairs were untouched by this repair, or recomputed
+// already at a higher priority) and answerable by a rank-bounded merge
+// with the landmark's label. The search then relaxes inside the region
+// with the same prefix-rank pruning rule as construction: a settled
+// node writes an exact entry, and a pruned settle certifies that the
+// covering hub pair is exact (the upper-bound sum is ≤ an exact
+// distance, hence equal), so the 2-hop cover stays exact either way.
+func (d *DynamicIndex) recomputeRegion(g Neighborhood, region affectedRegion) {
+	r := region.rank
+	lm := d.nodeAt[r]
+	// Only set members are recomputed; drop members (they outrank the
+	// landmark — their entries were deleted, their cover lives in
+	// higher-priority labels) count as boundary, answerable through the
+	// rank-bounded merge like any other outside node.
+	inSet := region.in
+	if len(region.drop) > 0 {
+		inSet = make(map[expertgraph.NodeID]bool, len(region.set))
+		for _, x := range region.set {
+			inSet[x] = true
+		}
+	}
+	for _, e := range d.labels[lm] {
+		d.hubDist[e.rank] = e.dist
+	}
+	// distToLm answers d(lm, y) for boundary nodes through hubs of rank
+	// ≤ r only: those labels are already exact, while lower-priority
+	// ranks may still await their own recomputation.
+	distToLm := func(y expertgraph.NodeID) float64 {
+		best := infinity
+		for _, e := range d.labels[y] {
+			if e.rank > r {
+				break
+			}
+			if hd := d.hubDist[e.rank]; hd+e.dist < best {
+				best = hd + e.dist
+			}
+		}
+		return best
+	}
+	d.heap.reset()
+	var touched []expertgraph.NodeID
+	for _, x := range region.set {
+		g.Neighbors(x, func(y expertgraph.NodeID, w float64) bool {
+			if inSet[y] {
+				return true
+			}
+			dy := distToLm(y)
+			if dy == infinity {
+				return true
+			}
+			if d.weight != nil {
+				w = d.weight(y, x, w)
+			}
+			if nd := dy + w; nd < d.dist[x] {
+				if d.dist[x] == infinity {
+					touched = append(touched, x)
+				}
+				d.dist[x] = nd
+				d.heap.push(x, nd)
+			}
+			return true
+		})
+	}
+	for d.heap.len() > 0 {
+		x, dx := d.heap.pop()
+		if dx > d.dist[x] {
+			continue
+		}
+		d.visits++
+		if have, ok := d.entryFor(x, r); ok && have <= dx {
+			continue
+		}
+		pruned := false
+		for _, e := range d.labels[x] {
+			if e.rank >= r {
+				break
+			}
+			if hd := d.hubDist[e.rank]; hd+e.dist <= dx {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		d.setEntry(x, r, dx)
+		g.Neighbors(x, func(y expertgraph.NodeID, wxy float64) bool {
+			if !inSet[y] {
+				return true // outside nodes are already exact
+			}
 			if d.weight != nil {
 				wxy = d.weight(x, y, wxy)
 			}

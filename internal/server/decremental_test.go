@@ -1,0 +1,270 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/live"
+)
+
+func deleteJSON(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestDecrementalEndpoints drives the DELETE/PATCH graph API end to
+// end: edge re-weight, edge removal, node tombstoning, error mapping
+// and the epoch-keyed cache invalidation.
+func TestDecrementalEndpoints(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+
+	// Re-weight dave—carol.
+	status, data := patchJSON(t, ts.URL+"/v1/graph/edges", `{"u": 3, "v": 2, "w": 0.35}`)
+	if status != http.StatusOK {
+		t.Fatalf("patch edge: %d %s", status, data)
+	}
+	if upd := decodeMutation(t, data); upd.Epoch != 1 || upd.Edges != 5 {
+		t.Fatalf("patch edge response: %+v", upd)
+	}
+	if w, _ := s.Store().Snapshot().View().EdgeWeight(3, 2); w != 0.35 {
+		t.Fatalf("re-weight not visible: %v", w)
+	}
+
+	// Cache a discover, then remove an edge: the answer must be
+	// recomputed at the new epoch, never served from the dead one.
+	status, data = postJSON(t, ts.URL+"/v1/discover", `{"skills": ["analytics", "communities"]}`)
+	if status != http.StatusOK {
+		t.Fatalf("discover: %d %s", status, data)
+	}
+	if out := decodeDiscover(t, data); out.Epoch != 1 {
+		t.Fatalf("discover epoch %d", out.Epoch)
+	}
+	status, data = deleteJSON(t, ts.URL+"/v1/graph/edges", `{"u": 4, "v": 2}`)
+	if status != http.StatusOK {
+		t.Fatalf("delete edge: %d %s", status, data)
+	}
+	if del := decodeMutation(t, data); del.Epoch != 2 || del.Edges != 4 {
+		t.Fatalf("delete edge response: %+v", del)
+	}
+	status, data = postJSON(t, ts.URL+"/v1/discover", `{"skills": ["analytics", "communities"]}`)
+	if status != http.StatusOK {
+		t.Fatalf("discover after delete: %d %s", status, data)
+	}
+	if out := decodeDiscover(t, data); out.Epoch != 2 || out.Cached {
+		t.Fatalf("post-removal discover served epoch %d (cached=%v), want fresh epoch 2", out.Epoch, out.Cached)
+	}
+
+	// Tombstone erin: her edges go with her and she stops being
+	// discoverable; her ID answers 410 Gone from then on.
+	status, data = deleteJSON(t, ts.URL+"/v1/graph/nodes/4", ``)
+	if status != http.StatusOK {
+		t.Fatalf("delete node: %d %s", status, data)
+	}
+	del := decodeMutation(t, data)
+	if del.Epoch != 3 || del.Nodes != 5 || del.Edges != 3 {
+		t.Fatalf("delete node response: %+v", del)
+	}
+	if v := s.Store().Snapshot().View(); v.ValidNode(4) || v.Degree(4) != 0 {
+		t.Fatal("tombstoned node still live")
+	}
+	status, data = postJSON(t, ts.URL+"/v1/discover", `{"skills": ["analytics"]}`)
+	if status != http.StatusOK {
+		t.Fatalf("discover after tombstone: %d %s", status, data)
+	}
+	for _, tm := range decodeDiscover(t, data).Teams {
+		for _, m := range tm.Members {
+			if m.Name == "erin" {
+				t.Fatal("tombstoned expert still discovered")
+			}
+		}
+	}
+
+	// Error mapping.
+	for _, tc := range []struct {
+		method, path, body string
+		want               int
+	}{
+		{"DELETE", "/v1/graph/edges", `{"u": 0, "v": 2}`, http.StatusNotFound},  // no such edge
+		{"DELETE", "/v1/graph/edges", `{"u": 0, "v": 99}`, http.StatusNotFound}, // no such node
+		{"PATCH", "/v1/graph/edges", `{"u": 0, "v": 2, "w": 1}`, http.StatusNotFound},
+		{"PATCH", "/v1/graph/edges", `{"u": 0, "v": 3, "w": -1}`, http.StatusBadRequest},
+		{"PATCH", "/v1/graph/edges", `{"u": 0, "v": 3, "w": 0.3}`, http.StatusBadRequest}, // no-op re-weight
+		{"DELETE", "/v1/graph/nodes/4", ``, http.StatusGone},                              // already tombstoned
+		{"DELETE", "/v1/graph/nodes/99", ``, http.StatusNotFound},
+		{"DELETE", "/v1/graph/nodes/xyz", ``, http.StatusBadRequest},
+		{"PATCH", "/v1/graph/nodes/4", `{"authority": 9}`, http.StatusGone},
+		{"POST", "/v1/graph/edges", `{"u": 4, "v": 0, "w": 0.5}`, http.StatusGone},
+		{"DELETE", "/v1/graph/edges", `{"u": 4, "v": 0}`, http.StatusGone},
+		{"PATCH", "/v1/graph/edges", `{"u": 4, "v": 0, "w": 0.5}`, http.StatusGone},
+	} {
+		var status int
+		var data []byte
+		switch tc.method {
+		case "POST":
+			status, data = postJSON(t, ts.URL+tc.path, tc.body)
+		case "PATCH":
+			status, data = patchJSON(t, ts.URL+tc.path, tc.body)
+		default:
+			status, data = deleteJSON(t, ts.URL+tc.path, tc.body)
+		}
+		if status != tc.want {
+			t.Errorf("%s %s %s: status %d, want %d (%s)", tc.method, tc.path, tc.body, status, tc.want, data)
+		}
+	}
+
+	// Mutation counters: /stats reports the new ops and kinds.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := decodeInto(t, resp.Body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Live.EdgesRemoved != 1 || stats.Live.NodesRemoved != 1 || stats.Live.EdgesUpdated != 1 {
+		t.Errorf("live counters: %+v", stats.Live.Counters)
+	}
+	for _, op := range []string{"remove_edge", "remove_node", "update_edge"} {
+		if stats.ByOp[op] != 1 {
+			t.Errorf("by_op[%s] = %d, want 1", op, stats.ByOp[op])
+		}
+	}
+	if stats.MutationErrors == 0 {
+		t.Error("rejected mutations not counted")
+	}
+}
+
+func decodeInto(t *testing.T, r io.Reader, dst any) error {
+	t.Helper()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, dst)
+}
+
+// TestMixedChurnRepairsNotRebuilds is the acceptance criterion of the
+// fully dynamic cover at the serving layer: over a randomized
+// in-bounds insert/remove/re-weight/authority stream, every delta is
+// absorbed by incremental repair — full_rebuilds stays at its warmup
+// value — and the decremental/reweight repair kinds are the ones doing
+// the absorbing.
+func TestMixedChurnRepairsNotRebuilds(t *testing.T) {
+	// Bounds-pinned graph: sentinel extremes the churn never touches,
+	// so the weighted γ index stays repairable for every delta.
+	b := expertgraph.NewBuilder(22, 60)
+	for i := 0; i < 20; i++ {
+		b.AddNode(fmt.Sprintf("e%d", i), 2+float64(i), "s", fmt.Sprintf("k%d", i%4))
+	}
+	lo := b.AddNode("pin-lo", 1, "s")
+	hi := b.AddNode("pin-hi", 1000, "s")
+	b.AddEdge(lo, hi, 0.01)
+	b.AddEdge(lo, 0, 5.0)
+	for i := 1; i < 20; i++ {
+		b.AddEdge(expertgraph.NodeID(i-1), expertgraph.NodeID(i), 0.2+0.02*float64(i))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, func(cfg *Config) {
+		cfg.Graph = g
+		cfg.WarmIndex = true
+	})
+	warm := s.indexes.stats().rebuilds
+
+	rng := rand.New(rand.NewSource(91))
+	store := s.Store()
+	discover := func() {
+		status, data := postJSON(t, ts.URL+"/v1/discover", `{"skills": ["k0", "k1", "k2"], "method": "sa-ca-cc"}`)
+		if status != http.StatusOK {
+			t.Fatalf("discover: %d %s", status, data)
+		}
+	}
+	discover()
+
+	for round := 0; round < 25; round++ {
+		// A small in-bounds delta of mixed kinds, then a discover that
+		// must absorb it by repair.
+		for i := 0; i < 3; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				u, v := expertgraph.NodeID(rng.Intn(20)), expertgraph.NodeID(rng.Intn(20))
+				if u != v {
+					_, _ = store.AddCollaboration(u, v, 0.3+0.4*rng.Float64())
+				}
+			case 1:
+				if u, v, ok := randomStoreEdge(rng, store, 20); ok {
+					_, _ = store.RemoveCollaboration(u, v)
+				}
+			case 2:
+				if u, v, ok := randomStoreEdge(rng, store, 20); ok {
+					_, _ = store.UpdateCollaboration(u, v, 0.3+0.4*rng.Float64())
+				}
+			case 3: // in-bounds authority move
+				auth := 3 + float64(rng.Intn(500))
+				_, _ = store.UpdateExpert(expertgraph.NodeID(rng.Intn(20)), &auth, nil)
+			default: // value-unchanged authority update (must be skipped, not rebuilt)
+				u := expertgraph.NodeID(rng.Intn(20))
+				same := store.Snapshot().View().Authority(u)
+				_, _ = store.UpdateExpert(u, &same, nil)
+			}
+		}
+		discover()
+	}
+
+	ixs := s.indexes.stats()
+	if ixs.rebuilds != warm {
+		t.Errorf("full_rebuilds moved under mixed churn: %d, want warmup value %d", ixs.rebuilds, warm)
+	}
+	if ixs.repairs == 0 || ixs.repairsDecremental == 0 {
+		t.Errorf("repairs did not absorb the stream: %+v", ixs)
+	}
+	if ixs.pending {
+		t.Error("async rebuild pending under mixed churn")
+	}
+}
+
+// randomStoreEdge picks a random edge among the first n nodes (the
+// churn population; sentinel extremes are excluded).
+func randomStoreEdge(rng *rand.Rand, store *live.Store, n int) (expertgraph.NodeID, expertgraph.NodeID, bool) {
+	v := store.Snapshot().View()
+	start := rng.Intn(n)
+	for off := 0; off < n; off++ {
+		u := expertgraph.NodeID((start + off) % n)
+		var pick expertgraph.NodeID
+		found := false
+		v.Neighbors(u, func(w expertgraph.NodeID, _ float64) bool {
+			if int(w) < n {
+				pick, found = w, true
+				return rng.Intn(3) != 0 // keep scanning sometimes, for variety
+			}
+			return true
+		})
+		if found {
+			return u, pick, true
+		}
+	}
+	return 0, 0, false
+}

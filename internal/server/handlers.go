@@ -590,6 +590,13 @@ type LiveStats struct {
 	PendingRebuild bool   `json:"pending_rebuild"`
 	live.Counters
 	IncrementalRepairs uint64 `json:"incremental_repairs"`
+	// Repair-kind breakdown: inserts, decremental (edge/node removals)
+	// and re-weights (edge weight or authority changes) absorbed
+	// without a rebuild. Under mixed churn these climb while
+	// FullRebuilds stays flat — the fully dynamic 2-hop cover at work.
+	RepairsInsert      uint64 `json:"repairs_insert"`
+	RepairsDecremental uint64 `json:"repairs_decremental"`
+	RepairsReweight    uint64 `json:"repairs_reweight"`
 	FullRebuilds       uint64 `json:"full_rebuilds"`
 	// Materializations counts full-graph materializations; the overlay
 	// read path keeps it at zero while serving discovers (index
@@ -624,7 +631,7 @@ type StatsResponse struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.store.Snapshot()
 	records, bytes := s.store.JournalStats()
-	pending, repairs, rebuilds := s.indexes.stats()
+	ixs := s.indexes.stats()
 	cache := s.cache.Stats()
 	var compactor live.CompactorStats
 	if s.compactor != nil {
@@ -646,10 +653,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Edges:              snap.NumEdges(),
 			JournalRecords:     records,
 			JournalBytes:       bytes,
-			PendingRebuild:     pending,
+			PendingRebuild:     ixs.pending,
 			Counters:           s.store.Counters(),
-			IncrementalRepairs: repairs,
-			FullRebuilds:       rebuilds,
+			IncrementalRepairs: ixs.repairs,
+			RepairsInsert:      ixs.repairsInsert,
+			RepairsDecremental: ixs.repairsDecremental,
+			RepairsReweight:    ixs.repairsReweight,
+			FullRebuilds:       ixs.rebuilds,
 			Materializations:   s.store.Materializations(),
 			Compactions:        s.store.Compactions(),
 			RebaseEpoch:        baseEpoch,

@@ -62,14 +62,27 @@ type indexSet struct {
 	pending  atomic.Int32  // in-flight async rebuilds
 	repairs  atomic.Uint64 // incremental repairs applied
 	rebuilds atomic.Uint64 // full builds (cold, stale-load, async)
+	// Repair-kind breakdown: what flavour of delta each repair
+	// absorbed. A repair with any removal counts as decremental, else
+	// any re-weight (edge weight or authority change) as reweight, else
+	// insert — so under mixed churn the decremental and reweight
+	// counters climbing while full_rebuilds stays flat is the evidence
+	// the 2-hop cover is fully dynamic.
+	repairsInsert      atomic.Uint64
+	repairsDecremental atomic.Uint64
+	repairsReweight    atomic.Uint64
 }
 
 // indexEntry pairs a resident oracle with the snapshot it is exact
 // for. The snapshot is retained so the next epoch's repair can diff
-// against it (mutation window, normalization bounds).
+// against it (mutation window, normalization bounds), and params holds
+// the fit the index's weight function was derived from (nil for the
+// raw-weight CC index) — the decremental repair of a later epoch needs
+// the *old* weight function to recognize entries built under it.
 type indexEntry struct {
 	oracle *oracle.PLLOracle
 	snap   *live.Snapshot
+	params *transform.Params
 }
 
 func newIndexSet(base string, store *live.Store, repairBudget int) *indexSet {
@@ -91,9 +104,42 @@ func indexKey(m core.Method, gamma float64) string {
 	return fmt.Sprintf("g%.9g", gamma)
 }
 
+// indexSetStats is the maintenance-counter snapshot of the set.
+type indexSetStats struct {
+	pending            bool
+	repairs, rebuilds  uint64
+	repairsInsert      uint64
+	repairsDecremental uint64
+	repairsReweight    uint64
+}
+
 // stats reports the set's maintenance counters.
-func (s *indexSet) stats() (pending bool, repairs, rebuilds uint64) {
-	return s.pending.Load() > 0, s.repairs.Load(), s.rebuilds.Load()
+func (s *indexSet) stats() indexSetStats {
+	return indexSetStats{
+		pending:            s.pending.Load() > 0,
+		repairs:            s.repairs.Load(),
+		rebuilds:           s.rebuilds.Load(),
+		repairsInsert:      s.repairsInsert.Load(),
+		repairsDecremental: s.repairsDecremental.Load(),
+		repairsReweight:    s.repairsReweight.Load(),
+	}
+}
+
+// countRepair folds one successful MaintainIndex outcome into the
+// kind counters. A delta absorbed entirely for free (only skipped
+// no-ops — value-unchanged authority updates, skill grants) counts
+// toward the repair total but toward no kind: nothing was inserted,
+// removed or re-weighted.
+func (s *indexSet) countRepair(rs live.RepairStats) {
+	s.repairs.Add(1)
+	switch {
+	case rs.Decremental():
+		s.repairsDecremental.Add(1)
+	case rs.Reweight():
+		s.repairsReweight.Add(1)
+	case rs.Inserted > 0:
+		s.repairsInsert.Add(1)
+	}
 }
 
 // forMethod returns an index oracle serving method m under params p at
@@ -151,6 +197,13 @@ func (s *indexSet) forMethod(v view, p *transform.Params, m core.Method) oracle.
 		close(latch)
 	}
 
+	// entryParams records the fit a weighted index's weight function
+	// came from; the next repair needs it as its oldWeight.
+	var entryParams *transform.Params
+	if m != core.CC {
+		entryParams = p
+	}
+
 	if stale == nil {
 		// Cold start for this key: disk, else a synchronous build.
 		o := s.load(key, v, p, m)
@@ -159,7 +212,7 @@ func (s *indexSet) forMethod(v view, p *transform.Params, m core.Method) oracle.
 			s.rebuilds.Add(1)
 			s.save(key, o.Index(), v.epoch())
 		}
-		install(&indexEntry{oracle: o, snap: v.snap})
+		install(&indexEntry{oracle: o, snap: v.snap, params: entryParams})
 		return o
 	}
 
@@ -173,15 +226,21 @@ func (s *indexSet) forMethod(v view, p *transform.Params, m core.Method) oracle.
 	}
 
 	// Stale resident index: prefer carrying it forward incrementally.
-	var weight live.WeightFunc
+	// The old fit (the weights the resident entries were created under)
+	// rides along so decremental and authority re-weight repairs can
+	// recognize them.
+	var weight, oldWeight live.WeightFunc
 	if m != core.CC {
 		weight = p.EdgeWeight()
+		if stale.params != nil {
+			oldWeight = stale.params.EdgeWeight()
+		}
 	}
 	if s.repairBudget >= 0 {
-		if ix, ok := live.MaintainIndex(stale.oracle.Index(), stale.snap, v.snap, weight, s.repairBudget); ok {
+		if ix, rs, ok := live.MaintainIndex(stale.oracle.Index(), stale.snap, v.snap, weight, oldWeight, s.repairBudget); ok {
 			o := oracle.NewPLL(ix)
-			s.repairs.Add(1)
-			install(&indexEntry{oracle: o, snap: v.snap})
+			s.countRepair(rs)
+			install(&indexEntry{oracle: o, snap: v.snap, params: entryParams})
 			return o
 		}
 	}
@@ -196,7 +255,7 @@ func (s *indexSet) forMethod(v view, p *transform.Params, m core.Method) oracle.
 		o := s.build(v, p, m)
 		s.rebuilds.Add(1)
 		s.save(key, o.Index(), v.epoch())
-		install(&indexEntry{oracle: o, snap: v.snap})
+		install(&indexEntry{oracle: o, snap: v.snap, params: entryParams})
 	}()
 	return nil
 }
@@ -254,17 +313,24 @@ func (s *indexSet) load(key string, v view, p *transform.Params, m core.Method) 
 				path, ix.NumNodes(), savedEpoch, from.NumNodes())
 			return nil
 		}
-		var weight live.WeightFunc
+		var weight, oldWeight live.WeightFunc
 		if m != core.CC {
 			weight = p.EdgeWeight()
+			// A persisted index was built over the fit of its save
+			// epoch; re-fit that epoch's view so decremental repair can
+			// recognize entries created under the old authorities. The
+			// O(n) fit is noise next to the build the repair avoids.
+			if oldP, err := transform.Fit(from.View(), p.Gamma, p.Lambda, transform.Options{Normalize: true}); err == nil {
+				oldWeight = oldP.EdgeWeight()
+			}
 		}
-		repaired, ok := live.MaintainIndex(ix, from, v.snap, weight, s.repairBudget)
+		repaired, rs, ok := live.MaintainIndex(ix, from, v.snap, weight, oldWeight, s.repairBudget)
 		if !ok {
 			log.Printf("server: ignoring index %s (epoch %d delta to %d not repairable)",
 				path, savedEpoch, v.epoch())
 			return nil
 		}
-		s.repairs.Add(1)
+		s.countRepair(rs)
 		ix = repaired
 	}
 	if ix.NumNodes() != v.g.NumNodes() {

@@ -188,8 +188,8 @@ func TestCacheInvalidationOnMutation(t *testing.T) {
 // immediately answered from the repaired index.
 func TestIncrementalRepairServesNewEpoch(t *testing.T) {
 	s, ts := newTestServer(t, func(cfg *Config) { cfg.WarmIndex = true })
-	if _, _, rebuilds := s.indexes.stats(); rebuilds != 1 {
-		t.Fatalf("warm build count %d", rebuilds)
+	if ixs := s.indexes.stats(); ixs.rebuilds != 1 {
+		t.Fatalf("warm build count %d", ixs.rebuilds)
 	}
 
 	// alice—carol at weight 0.35 stays inside the base weight bounds
@@ -204,9 +204,9 @@ func TestIncrementalRepairServesNewEpoch(t *testing.T) {
 	if out.Epoch != 1 {
 		t.Fatalf("epoch %d", out.Epoch)
 	}
-	pending, repairs, rebuilds := s.indexes.stats()
-	if pending || repairs != 1 || rebuilds != 1 {
-		t.Errorf("maintenance counters: pending=%v repairs=%d rebuilds=%d", pending, repairs, rebuilds)
+	ixs := s.indexes.stats()
+	if ixs.pending || ixs.repairs != 1 || ixs.rebuilds != 1 {
+		t.Errorf("maintenance counters: pending=%v repairs=%d rebuilds=%d", ixs.pending, ixs.repairs, ixs.rebuilds)
 	}
 
 	// An authority update is not incrementally repairable for the γ
@@ -429,8 +429,8 @@ func TestPersistedIndexRepairedAcrossRestart(t *testing.T) {
 	if got := s2.Store().Epoch(); got != 1 {
 		t.Fatalf("replayed epoch %d", got)
 	}
-	if _, repairs, _ := s2.indexes.stats(); repairs != 1 {
-		t.Fatalf("expected the loaded index to be repaired, repairs=%d", repairs)
+	if ixs := s2.indexes.stats(); ixs.repairs != 1 {
+		t.Fatalf("expected the loaded index to be repaired, repairs=%d", ixs.repairs)
 	}
 
 	// The repaired index must agree with a from-scratch server on the
@@ -502,8 +502,8 @@ func TestDiscoverZeroMaterializations(t *testing.T) {
 	if stats.Live.Materializations != 0 {
 		t.Fatalf("stats report %d materializations", stats.Live.Materializations)
 	}
-	if pending, repairs, _ := s.indexes.stats(); pending || repairs == 0 {
-		t.Fatalf("expected incremental repairs to carry the index (pending=%v repairs=%d)", pending, repairs)
+	if ixs := s.indexes.stats(); ixs.pending || ixs.repairs == 0 {
+		t.Fatalf("expected incremental repairs to carry the index (pending=%v repairs=%d)", ixs.pending, ixs.repairs)
 	}
 }
 
@@ -599,7 +599,7 @@ func TestBackgroundCompactorServing(t *testing.T) {
 	// Incremental repair — not full rebuilds — carried the index
 	// through the re-bases (anchors stayed within the one-generation
 	// MutationsSince window the re-base retains).
-	if _, repairs, _ := s.indexes.stats(); repairs == 0 {
+	if ixs := s.indexes.stats(); ixs.repairs == 0 {
 		t.Error("no incremental repairs across fold boundaries")
 	}
 }

@@ -38,6 +38,20 @@ type UpdateNodeRequest struct {
 	AddSkills []string `json:"add_skills,omitempty"`
 }
 
+// RemoveEdgeRequest is the body of DELETE /v1/graph/edges.
+type RemoveEdgeRequest struct {
+	U expertgraph.NodeID `json:"u"`
+	V expertgraph.NodeID `json:"v"`
+}
+
+// UpdateEdgeRequest is the body of PATCH /v1/graph/edges: the new
+// communication cost of an existing collaboration.
+type UpdateEdgeRequest struct {
+	U expertgraph.NodeID `json:"u"`
+	V expertgraph.NodeID `json:"v"`
+	W float64            `json:"w"`
+}
+
 // MutationResponse is the reply to every successful mutation.
 type MutationResponse struct {
 	// Epoch is the graph epoch at which the mutation became visible.
@@ -109,19 +123,77 @@ func (s *Server) handleUpdateNode(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.mutationResponse(epoch, nil))
 }
 
+func (s *Server) handleRemoveEdge(w http.ResponseWriter, r *http.Request) {
+	var req RemoveEdgeRequest
+	if herr := decodeBody(r, &req); herr != nil {
+		s.metrics.recordMutation(string(live.OpRemoveEdge), true)
+		writeError(w, herr)
+		return
+	}
+	epoch, err := s.store.RemoveCollaboration(req.U, req.V)
+	if err != nil {
+		s.metrics.recordMutation(string(live.OpRemoveEdge), true)
+		writeError(w, mutationError(err))
+		return
+	}
+	s.cache.EvictBefore(epoch)
+	s.metrics.recordMutation(string(live.OpRemoveEdge), false)
+	writeJSON(w, http.StatusOK, s.mutationResponse(epoch, nil))
+}
+
+func (s *Server) handleRemoveNode(w http.ResponseWriter, r *http.Request) {
+	id64, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil {
+		s.metrics.recordMutation(string(live.OpRemoveNode), true)
+		writeError(w, errf(http.StatusBadRequest, "bad node id %q", r.PathValue("id")))
+		return
+	}
+	epoch, serr := s.store.RemoveExpert(expertgraph.NodeID(id64))
+	if serr != nil {
+		s.metrics.recordMutation(string(live.OpRemoveNode), true)
+		writeError(w, mutationError(serr))
+		return
+	}
+	s.cache.EvictBefore(epoch)
+	s.metrics.recordMutation(string(live.OpRemoveNode), false)
+	writeJSON(w, http.StatusOK, s.mutationResponse(epoch, nil))
+}
+
+func (s *Server) handleUpdateEdge(w http.ResponseWriter, r *http.Request) {
+	var req UpdateEdgeRequest
+	if herr := decodeBody(r, &req); herr != nil {
+		s.metrics.recordMutation(string(live.OpUpdateEdge), true)
+		writeError(w, herr)
+		return
+	}
+	epoch, err := s.store.UpdateCollaboration(req.U, req.V, req.W)
+	if err != nil {
+		s.metrics.recordMutation(string(live.OpUpdateEdge), true)
+		writeError(w, mutationError(err))
+		return
+	}
+	s.cache.EvictBefore(epoch)
+	s.metrics.recordMutation(string(live.OpUpdateEdge), false)
+	writeJSON(w, http.StatusOK, s.mutationResponse(epoch, nil))
+}
+
 func (s *Server) mutationResponse(epoch uint64, id *expertgraph.NodeID) MutationResponse {
 	snap := s.store.Snapshot()
 	return MutationResponse{Epoch: epoch, ID: id, Nodes: snap.NumNodes(), Edges: snap.NumEdges()}
 }
 
 // mutationError maps live-store errors to HTTP statuses: unknown
-// nodes are 404, an already-existing edge is a 409 conflict, the
-// remaining validation failures are 400, and anything else (journal
-// I/O) is a server fault.
+// nodes and edges are 404, a tombstoned node is 410 Gone (it existed,
+// and its ID will never come back), an already-existing edge is a 409
+// conflict, the remaining validation failures are 400, and anything
+// else (journal I/O) is a server fault.
 func mutationError(err error) *httpError {
 	switch {
-	case errors.Is(err, live.ErrUnknownNode):
+	case errors.Is(err, live.ErrUnknownNode),
+		errors.Is(err, live.ErrUnknownEdge):
 		return errf(http.StatusNotFound, "%v", err)
+	case errors.Is(err, live.ErrRemovedNode):
+		return errf(http.StatusGone, "%v", err)
 	case errors.Is(err, live.ErrDuplicateEdge):
 		return errf(http.StatusConflict, "%v", err)
 	case errors.Is(err, live.ErrSelfLoop),

@@ -8,14 +8,17 @@
 //
 // Endpoints:
 //
-//	POST  /v1/discover         one project → top-k teams
-//	POST  /v1/discover/batch   many projects, fanned out over workers
-//	POST  /v1/graph/nodes      add an expert (live mutation)
-//	POST  /v1/graph/edges      add a collaboration (live mutation)
-//	PATCH /v1/graph/nodes/{id} update authority / grant skills
-//	GET   /healthz             liveness + graph summary + epoch
-//	GET   /stats               query counters, latency percentiles,
-//	                           cache hit rate, live-mutation state
+//	POST   /v1/discover          one project → top-k teams
+//	POST   /v1/discover/batch    many projects, fanned out over workers
+//	POST   /v1/graph/nodes       add an expert (live mutation)
+//	POST   /v1/graph/edges       add a collaboration (live mutation)
+//	PATCH  /v1/graph/nodes/{id}  update authority / grant skills
+//	DELETE /v1/graph/nodes/{id}  tombstone an expert (drops its edges)
+//	DELETE /v1/graph/edges       remove a collaboration
+//	PATCH  /v1/graph/edges       re-weight a collaboration
+//	GET    /healthz              liveness + graph summary + epoch
+//	GET    /stats                query counters, latency percentiles,
+//	                             cache hit rate, live-mutation state
 //
 // The graph is served through the live-mutation overlay
 // (internal/live): every request resolves one epoch snapshot and runs
@@ -301,6 +304,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/graph/nodes", s.handleAddNode)
 	mux.HandleFunc("POST /v1/graph/edges", s.handleAddEdge)
 	mux.HandleFunc("PATCH /v1/graph/nodes/{id}", s.handleUpdateNode)
+	mux.HandleFunc("DELETE /v1/graph/nodes/{id}", s.handleRemoveNode)
+	mux.HandleFunc("DELETE /v1/graph/edges", s.handleRemoveEdge)
+	mux.HandleFunc("PATCH /v1/graph/edges", s.handleUpdateEdge)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
