@@ -34,6 +34,7 @@
 package authteam
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -45,6 +46,7 @@ import (
 	"authteam/internal/expertgraph"
 	"authteam/internal/live"
 	"authteam/internal/oracle"
+	"authteam/internal/repl"
 	"authteam/internal/team"
 	"authteam/internal/transform"
 )
@@ -104,6 +106,11 @@ var (
 	// ErrUnknownSkill is returned when a requested skill name is not in
 	// the graph's skill universe.
 	ErrUnknownSkill = errors.New("authteam: unknown skill")
+	// ErrReplicationLag is returned by a following client's mutators
+	// when the write committed at the leader but did not replicate back
+	// within Options.FollowWait. The mutation is durable at the leader;
+	// only the local read-your-writes guarantee timed out.
+	ErrReplicationLag = errors.New("authteam: replication lag")
 )
 
 // NewGraphBuilder returns a builder with capacity hints.
@@ -150,6 +157,24 @@ type Options struct {
 	// CompactBytes is the background compactor's journal-size trigger
 	// (0 disables the byte trigger).
 	CompactBytes int64
+	// MemoEvery is the spacing of the store's reconstruction
+	// checkpoints; ≤ 0 keeps the default (256). Smaller values trade
+	// memory for faster historical-epoch reconstruction.
+	MemoEvery int
+	// Follow turns the client into a read replica of the team discovery
+	// server at this base URL (e.g. "http://leader:7411"): the local
+	// store is bootstrapped and kept current from the leader's
+	// replication log, queries run locally, and mutations are forwarded
+	// to the leader and then waited for locally so read-your-writes
+	// holds. New may be called with a nil graph in this mode. Empty
+	// (the default) means a standalone client.
+	Follow string
+	// FollowPoll bounds one replication long-poll (default 25s).
+	FollowPoll time.Duration
+	// FollowWait bounds how long a forwarded mutation waits for its
+	// epoch to replicate back before returning ErrReplicationLag
+	// (default 5s).
+	FollowWait time.Duration
 }
 
 // clientState is the per-epoch derived serving state: the epoch's
@@ -183,6 +208,12 @@ type Client struct {
 	// compactor is the background journal-fold loop (nil unless
 	// Options.CompactInterval and Journal are set).
 	compactor *live.Compactor
+	// follower and leader implement replica mode (nil unless
+	// Options.Follow is set): follower is the background apply loop
+	// pulling the leader's log, leader forwards this client's
+	// mutations.
+	follower *live.Follower
+	leader   *repl.Leader
 
 	mu sync.Mutex
 	st *clientState
@@ -194,9 +225,25 @@ type Client struct {
 	refresh chan struct{}
 }
 
-// New creates a client over g.
+// New creates a client over g. With Options.Follow set, g may be nil:
+// the client starts empty and catches up from the leader's replication
+// log in the background (queries work immediately, against whatever
+// prefix has replicated).
 func New(g *Graph, opt Options) (*Client, error) {
-	store, err := live.Open(g, live.Config{JournalPath: opt.Journal, CompactThreshold: opt.CompactThreshold})
+	if g == nil {
+		if opt.Follow == "" {
+			return nil, errors.New("authteam: nil graph (only a following client may start without one)")
+		}
+		var err error
+		if g, err = NewGraphBuilder(0, 0).Build(); err != nil {
+			return nil, err
+		}
+	}
+	store, err := live.Open(g, live.Config{
+		JournalPath:      opt.Journal,
+		CompactThreshold: opt.CompactThreshold,
+		MemoEvery:        opt.MemoEvery,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -219,6 +266,12 @@ func New(g *Graph, opt Options) (*Client, error) {
 			store.Close()
 			return nil, err
 		}
+	}
+	if opt.Follow != "" {
+		c.leader = repl.NewLeader(opt.Follow, nil)
+		c.follower = live.StartFollower(store, repl.NewHTTPSource(opt.Follow, nil), live.FollowerConfig{
+			PollTimeout: opt.FollowPoll,
+		})
 	}
 	return c, nil
 }
@@ -364,19 +417,66 @@ func (c *Client) Compactions() uint64 { return c.store.Compactions() }
 // bounded by churn since the last fold.
 func (c *Client) LogLen() int { return c.store.LogLen() }
 
-// Close stops the background compactor (if any) and releases the
-// mutation journal. Queries keep working; further mutations fail with
-// ErrClosed.
+// Close stops the replication follower and background compactor (if
+// any) and releases the mutation journal. Queries keep working;
+// further mutations fail with ErrClosed. The follower stops first —
+// its apply loop writes through the store being shut down.
 func (c *Client) Close() error {
+	if c.follower != nil {
+		c.follower.Stop()
+	}
 	if c.compactor != nil {
 		c.compactor.Stop()
 	}
 	return c.store.Close()
 }
 
+// WaitEpoch blocks until the client's store has reached at least the
+// given epoch (true), or ctx expires (reports whether the epoch was
+// reached anyway). On a following client this is the read-your-writes
+// primitive: wait for the epoch a leader acknowledged, then query.
+func (c *Client) WaitEpoch(ctx context.Context, epoch uint64) bool {
+	return c.store.WaitEpoch(ctx, epoch)
+}
+
+// FollowerStats reports the replication apply loop; ok is false on a
+// standalone (non-following) client.
+func (c *Client) FollowerStats() (live.FollowerStats, bool) {
+	if c.follower == nil {
+		return live.FollowerStats{}, false
+	}
+	return c.follower.Stats(), true
+}
+
+// awaitEpoch is the read-your-writes tail of a forwarded mutation:
+// the leader committed at epoch, now wait (bounded) for the local
+// replica to catch up so the caller's next query observes the write.
+func (c *Client) awaitEpoch(epoch uint64) error {
+	wait := c.opt.FollowWait
+	if wait <= 0 {
+		wait = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), wait)
+	defer cancel()
+	if c.store.WaitEpoch(ctx, epoch) {
+		return nil
+	}
+	return fmt.Errorf("%w: write committed at leader epoch %d, replica at %d",
+		ErrReplicationLag, epoch, c.store.Epoch())
+}
+
 // AddExpert adds a new expert with the given authority and skills. The
-// expert is visible to every subsequent query (read-your-writes).
+// expert is visible to every subsequent query (read-your-writes). On a
+// following client the mutation is forwarded to the leader and then
+// waited for locally.
 func (c *Client) AddExpert(name string, authority float64, skills ...string) (NodeID, error) {
+	if c.leader != nil {
+		id, epoch, err := c.leader.AddNode(name, authority, skills)
+		if err != nil {
+			return 0, err
+		}
+		return id, c.awaitEpoch(epoch)
+	}
 	id, _, err := c.store.AddExpert(name, authority, skills)
 	return id, err
 }
@@ -384,6 +484,13 @@ func (c *Client) AddExpert(name string, authority float64, skills ...string) (No
 // AddCollaboration adds an undirected collaboration edge between two
 // experts with communication cost w.
 func (c *Client) AddCollaboration(u, v NodeID, w float64) error {
+	if c.leader != nil {
+		epoch, err := c.leader.AddEdge(u, v, w)
+		if err != nil {
+			return err
+		}
+		return c.awaitEpoch(epoch)
+	}
 	_, err := c.store.AddCollaboration(u, v, w)
 	return err
 }
@@ -391,6 +498,13 @@ func (c *Client) AddCollaboration(u, v NodeID, w float64) error {
 // UpdateExpert updates an expert's authority (nil leaves it unchanged)
 // and/or grants additional skills.
 func (c *Client) UpdateExpert(id NodeID, authority *float64, addSkills ...string) error {
+	if c.leader != nil {
+		epoch, err := c.leader.UpdateNode(id, authority, addSkills)
+		if err != nil {
+			return err
+		}
+		return c.awaitEpoch(epoch)
+	}
 	_, err := c.store.UpdateExpert(id, authority, addSkills)
 	return err
 }
@@ -399,6 +513,13 @@ func (c *Client) UpdateExpert(id NodeID, authority *float64, addSkills ...string
 // experts. Subsequent queries never route through it (read-your-writes
 // holds, as for every mutation).
 func (c *Client) RemoveCollaboration(u, v NodeID) error {
+	if c.leader != nil {
+		epoch, err := c.leader.RemoveEdge(u, v)
+		if err != nil {
+			return err
+		}
+		return c.awaitEpoch(epoch)
+	}
 	_, err := c.store.RemoveCollaboration(u, v)
 	return err
 }
@@ -407,6 +528,13 @@ func (c *Client) RemoveCollaboration(u, v NodeID) error {
 // its skills cleared, and every further mutation referencing it fails
 // with live.ErrRemovedNode. The NodeID is never reused.
 func (c *Client) RemoveExpert(id NodeID) error {
+	if c.leader != nil {
+		epoch, err := c.leader.RemoveNode(id)
+		if err != nil {
+			return err
+		}
+		return c.awaitEpoch(epoch)
+	}
 	_, err := c.store.RemoveExpert(id)
 	return err
 }
@@ -414,6 +542,13 @@ func (c *Client) RemoveExpert(id NodeID) error {
 // UpdateCollaboration replaces the communication cost of an existing
 // collaboration edge.
 func (c *Client) UpdateCollaboration(u, v NodeID, w float64) error {
+	if c.leader != nil {
+		epoch, err := c.leader.UpdateEdge(u, v, w)
+		if err != nil {
+			return err
+		}
+		return c.awaitEpoch(epoch)
+	}
 	_, err := c.store.UpdateCollaboration(u, v, w)
 	return err
 }

@@ -1,0 +1,153 @@
+// Replication benchmarks: the perf evidence for the leader/follower
+// read path. A leader server absorbs a sustained HTTP write stream
+// while an embedded following client tails its replication log; the
+// interesting numbers are how far behind the follower runs and what a
+// read on the replica costs while the stream is live.
+//
+// BenchmarkReplicationStream emits a one-line BENCH_replication.json
+// record with the replication lag p50/p99 (leader-ack to
+// follower-visible, per write) and the follower discover p50 under
+// the concurrent write stream.
+package authteam_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"authteam"
+	"authteam/internal/live"
+	"authteam/internal/repl"
+	"authteam/internal/server"
+	"authteam/internal/stats"
+)
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+func emitBenchReplication(name string, fields map[string]any) {
+	fields["bench"] = name
+	buf, _ := json.Marshal(fields)
+	fmt.Printf("BENCH_replication.json %s\n", buf)
+}
+
+func BenchmarkReplicationStream(b *testing.B) {
+	benchSetup(b)
+	ls, err := server.New(server.Config{Graph: benchG, Workers: 4, CacheSize: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lts := httptest.NewServer(ls.Handler())
+	defer lts.Close()
+	defer ls.Close()
+
+	follower, err := authteam.New(nil, authteam.Options{
+		Follow:     lts.URL,
+		FollowPoll: 200 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer follower.Close()
+	lead := repl.NewLeader(lts.URL, nil)
+
+	// The discover workload: the projected 4-skill task of the shared
+	// bench corpus, by name (the replica resolves names itself).
+	skills := make([]string, 0, len(benchProj[4]))
+	for _, s := range benchProj[4] {
+		skills = append(skills, benchG.SkillName(s))
+	}
+
+	rng := rand.New(rand.NewSource(53))
+	pairs := freshPairs(benchG, rng, 200_000)
+	ctx := context.Background()
+
+	// Wait out the bootstrap so lag samples measure steady tailing,
+	// not the initial base adoption.
+	if epoch, err := lead.AddEdge(pairs[0][0], pairs[0][1], 0.5); err == nil {
+		wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		if !follower.WaitEpoch(wctx, epoch) {
+			b.Fatal("follower never bootstrapped")
+		}
+		cancel()
+	}
+
+	lagMS := make([]float64, 0, 4096)
+	discoverMS := make([]float64, 0, 4096)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Concurrent reader: discovers on the replica while the writes
+	// flow, one fresh epoch per write — the worst case for the
+	// replica's epoch-keyed cache and index repair.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			t0 := time.Now()
+			if _, err := follower.BestTeam(authteam.SACACC, skills); err != nil &&
+				!errors.Is(err, authteam.ErrUnknownSkill) {
+				b.Errorf("replica discover: %v", err)
+				return
+			}
+			discoverMS = append(discoverMS, float64(time.Since(t0))/float64(time.Millisecond))
+		}
+	}()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr := pairs[(i+1)%len(pairs)]
+		epoch, err := lead.AddEdge(pr[0], pr[1], 0.05+0.9*rng.Float64())
+		if err != nil {
+			// Duplicate edges are a workload artifact, not a failure.
+			continue
+		}
+		t0 := time.Now()
+		wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		ok := follower.WaitEpoch(wctx, epoch)
+		cancel()
+		if !ok {
+			b.Fatalf("write %d: follower never reached epoch %d", i, epoch)
+		}
+		lagMS = append(lagMS, float64(time.Since(t0))/float64(time.Millisecond))
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	if b.Failed() {
+		return
+	}
+
+	var fstats live.FollowerStats
+	if fs, ok := follower.FollowerStats(); ok {
+		fstats = fs
+	}
+	if len(lagMS) > 0 {
+		b.ReportMetric(stats.Percentile(lagMS, 0.50), "lag-p50-ms")
+		b.ReportMetric(stats.Percentile(lagMS, 0.99), "lag-p99-ms")
+	}
+	fields := map[string]any{
+		"writes":          len(lagMS),
+		"lag_p50_ms":      round3(stats.Percentile(lagMS, 0.50)),
+		"lag_p99_ms":      round3(stats.Percentile(lagMS, 0.99)),
+		"records_applied": fstats.Applied,
+		"base_fetches":    fstats.BaseFetches,
+	}
+	if len(discoverMS) > 0 {
+		fields["follower_discover_p50_ms"] = round3(stats.Percentile(discoverMS, 0.50))
+		fields["follower_discovers"] = len(discoverMS)
+	}
+	emitBenchReplication("replication_stream", fields)
+}

@@ -10,6 +10,7 @@
 //	teamdisc -graph graph.bin -skills "query,indexing" -method pareto
 //	teamdisc serve -graph graph.bin -addr :7411 -journal graph.wal \
 //	         -compact-threshold 100000 -compact-interval 1m
+//	teamdisc serve -addr :7412 -follow http://leader:7411
 //	teamdisc compact -graph graph.bin -journal graph.wal
 //
 // The daemon's /v1/graph API is fully dynamic: POST adds nodes/edges,
@@ -113,25 +114,37 @@ func runServe(args []string) {
 		compactAt = fs.Int("compact-threshold", 0, "fold the journal when it holds at least this many records — at boot, and (with -compact-interval) while serving (0 disables the boot fold; the background compactor then defaults to 8192 records)")
 		compactIv = fs.Duration("compact-interval", 0, "background compactor poll cadence: fold the journal and re-base in memory while serving, without a restart (0 disables)")
 		compactBy = fs.Int64("compact-bytes", 0, "also fold while serving when the journal file reaches this many bytes (0 disables the byte trigger)")
+		follow    = fs.String("follow", "", "serve as a read replica of the leader at this base URL (e.g. http://leader:7411): bootstrap and stay current from its replication log, redirect mutations to it")
+		followIv  = fs.Duration("follow-poll", 0, "replication long-poll bound (0 = default 25s)")
+		minWait   = fs.Duration("min-epoch-wait", 0, "max time a read carrying X-Authteam-Min-Epoch blocks for replication before redirecting/failing (0 = default 5s)")
+		memoEvery = fs.Int("memo-every", 0, "store reconstruction-checkpoint spacing (0 = default 256)")
+		cacheCF   = fs.Int("cache-compact-factor", 0, "result-cache per-epoch key-list compaction factor (0 = default 2)")
+		visits    = fs.Int("repair-visit-budget", 0, "max label visits one incremental index repair may spend before falling back to an async rebuild (0 disables the cap)")
 	)
 	fs.Parse(args)
 
 	srv, err := server.New(server.Config{
-		Addr:             *addr,
-		GraphPath:        *graphPath,
-		Gamma:            gamma,
-		Lambda:           lambda,
-		CacheSize:        *cacheSize,
-		RequestTimeout:   *timeout,
-		Workers:          *workers,
-		NoPersistIndex:   *noPersist,
-		WarmIndex:        !*cold,
-		JournalPath:      *journal,
-		JournalSync:      *jsync,
-		RepairBudget:     *budget,
-		CompactThreshold: *compactAt,
-		CompactInterval:  *compactIv,
-		CompactBytes:     *compactBy,
+		Addr:               *addr,
+		GraphPath:          *graphPath,
+		Gamma:              gamma,
+		Lambda:             lambda,
+		CacheSize:          *cacheSize,
+		RequestTimeout:     *timeout,
+		Workers:            *workers,
+		NoPersistIndex:     *noPersist,
+		WarmIndex:          !*cold,
+		JournalPath:        *journal,
+		JournalSync:        *jsync,
+		RepairBudget:       *budget,
+		RepairVisitBudget:  *visits,
+		CompactThreshold:   *compactAt,
+		CompactInterval:    *compactIv,
+		CompactBytes:       *compactBy,
+		FollowURL:          *follow,
+		FollowPoll:         *followIv,
+		MinEpochWait:       *minWait,
+		MemoEvery:          *memoEvery,
+		CacheCompactFactor: *cacheCF,
 	})
 	if err != nil {
 		fail("serve: %v", err)
@@ -144,8 +157,12 @@ func runServe(args []string) {
 	// materializing a full graph just for a log line would start every
 	// journaled boot with live.materializations=1.
 	snap := srv.Store().Snapshot()
-	log.Printf("teamdisc serve: expertgraph{nodes: %d, edges: %d} on %s (γ=%.2f λ=%.2f)",
-		snap.NumNodes(), snap.NumEdges(), *addr, *gamma, *lambda)
+	role := "leader"
+	if *follow != "" {
+		role = fmt.Sprintf("follower of %s", *follow)
+	}
+	log.Printf("teamdisc serve: expertgraph{nodes: %d, edges: %d} on %s as %s (γ=%.2f λ=%.2f)",
+		snap.NumNodes(), snap.NumEdges(), *addr, role, *gamma, *lambda)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

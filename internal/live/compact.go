@@ -109,7 +109,7 @@ func (s *Store) Compact() (CompactStats, error) {
 	if err != nil {
 		return CompactStats{}, fmt.Errorf("live: compact: %w", err)
 	}
-	if err := s.writeBase(g, snap.Epoch()); err != nil {
+	if err := writeBaseFile(basePath(s.journalPath), g, snap.Epoch()); err != nil {
 		return CompactStats{}, err
 	}
 
@@ -138,28 +138,56 @@ func (s *Store) Compact() (CompactStats, error) {
 	return s.swapAndRebase(snap, g, staged, foldIdx, len(tail))
 }
 
-// writeBase persists the materialized fold-epoch graph atomically. It
-// is the first half of Compact; a crash after it leaves a recoverable
-// base/journal overlap, never a hole.
-func (s *Store) writeBase(g *expertgraph.Graph, epoch uint64) error {
-	path := basePath(s.journalPath)
+// WriteBaseStream encodes a base graph and its epoch in the compacted
+// base file format (gob header + expertgraph encoding). It is the
+// single codec behind the on-disk <journal>.base file and the
+// replication base transfer, so a follower can adopt a streamed base
+// byte-for-byte compatible with what a local fold would have written.
+func WriteBaseStream(w io.Writer, g *expertgraph.Graph, epoch uint64) error {
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(&baseHeader{Version: baseFormatVersion, Epoch: epoch}); err != nil {
+		return fmt.Errorf("live: base encode: %w", err)
+	}
+	if err := expertgraph.Write(bw, g); err != nil {
+		return fmt.Errorf("live: base encode: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("live: base encode: %w", err)
+	}
+	return nil
+}
+
+// ReadBaseStream decodes a graph and its epoch written by
+// WriteBaseStream.
+func ReadBaseStream(r io.Reader) (*expertgraph.Graph, uint64, error) {
+	br := bufio.NewReader(r)
+	var hdr baseHeader
+	if err := gob.NewDecoder(br).Decode(&hdr); err != nil {
+		return nil, 0, fmt.Errorf("live: base decode: %w", err)
+	}
+	if hdr.Version != baseFormatVersion {
+		return nil, 0, fmt.Errorf("live: base: unsupported version %d", hdr.Version)
+	}
+	g, err := expertgraph.Read(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("live: base decode: %w", err)
+	}
+	return g, hdr.Epoch, nil
+}
+
+// writeBaseFile persists the materialized fold-epoch graph atomically
+// (temp file + fsync + rename). It is the first half of Compact — and
+// of AdoptBase; a crash after it leaves a recoverable base/journal
+// pairing, never a hole.
+func writeBaseFile(path string, g *expertgraph.Graph, epoch uint64) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("live: compact: %w", err)
 	}
-	bw := bufio.NewWriter(f)
-	if err := gob.NewEncoder(bw).Encode(&baseHeader{Version: baseFormatVersion, Epoch: epoch}); err != nil {
+	if err := WriteBaseStream(f, g, epoch); err != nil {
 		f.Close()
-		return fmt.Errorf("live: compact: %w", err)
-	}
-	if err := expertgraph.Write(bw, g); err != nil {
-		f.Close()
-		return fmt.Errorf("live: compact: %w", err)
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		return fmt.Errorf("live: compact: %w", err)
+		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
@@ -216,7 +244,7 @@ func (s *Store) swapAndRebase(snap *Snapshot, g *expertgraph.Graph, staged *stag
 	s.base = g
 	s.baseEpoch = snap.Epoch()
 	s.log = newLog
-	s.prefix = rebuildPrefix(g, newLog)
+	s.prefix = rebuildPrefix(g, newLog, s.memo)
 	next := &Snapshot{
 		epoch:         cur.epoch,
 		baseEpoch:     s.baseEpoch,
@@ -244,18 +272,18 @@ func (s *Store) swapAndRebase(snap *Snapshot, g *expertgraph.Graph, staged *stag
 }
 
 // rebuildPrefix recomputes the SnapshotAt checkpoints for a re-based
-// log: entry k-1 holds the graph size after the first k·memoEvery
+// log: entry k-1 holds the graph size after the first k·every
 // records of log on top of base.
-func rebuildPrefix(base *expertgraph.Graph, log []Mutation) []prefixCount {
-	n := len(log) / memoEvery
+func rebuildPrefix(base *expertgraph.Graph, log []Mutation, every int) []prefixCount {
+	n := len(log) / every
 	if n == 0 {
 		return nil
 	}
 	out := make([]prefixCount, 0, n)
 	nodes, edges := base.NumNodes(), base.NumEdges()
-	for i, m := range log[:n*memoEvery] {
+	for i, m := range log[:n*every] {
 		countMutation(m, &nodes, &edges)
-		if (i+1)%memoEvery == 0 {
+		if (i+1)%every == 0 {
 			out = append(out, prefixCount{nodes: nodes, edges: edges})
 		}
 	}
@@ -369,17 +397,9 @@ func loadBaseFile(path string) (*expertgraph.Graph, uint64, error) {
 		return nil, 0, fmt.Errorf("live: base graph: %w", err)
 	}
 	defer f.Close()
-	br := bufio.NewReader(f)
-	var hdr baseHeader
-	if err := gob.NewDecoder(br).Decode(&hdr); err != nil {
-		return nil, 0, fmt.Errorf("live: base graph %s: %w", path, err)
-	}
-	if hdr.Version != baseFormatVersion {
-		return nil, 0, fmt.Errorf("live: base graph %s: unsupported version %d", path, hdr.Version)
-	}
-	g, err := expertgraph.Read(br)
+	g, epoch, err := ReadBaseStream(f)
 	if err != nil {
 		return nil, 0, fmt.Errorf("live: base graph %s: %w", path, err)
 	}
-	return g, hdr.Epoch, nil
+	return g, epoch, nil
 }

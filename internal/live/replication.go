@@ -1,0 +1,470 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"authteam/internal/expertgraph"
+)
+
+// The journal doubles as a replication log: every mutation is already
+// a self-contained journal record applied in a total epoch order, so a
+// follower that replays the same records through the same apply path
+// reconstructs the identical store — snapshot by snapshot, epoch by
+// epoch. This file is the store-side half of that contract:
+//
+//   - TailSince serves the record stream (long-polling on the epoch
+//     watch channel instead of holding the writer lock),
+//   - WriteBaseTo streams the current fold snapshot (the in-memory
+//     base graph, which is immutable) for followers behind the
+//     retained window,
+//   - AdoptBase installs a fetched base wholesale, the follower-side
+//     mirror of Compact's re-base,
+//   - Follower drives a ReplicationSource — any transport — through
+//     catch-up, steady tailing, and fold-boundary recovery.
+
+// Replication errors.
+var (
+	// ErrCompactedEpoch is returned by TailSince when the requested
+	// epoch predates the retained history window (two or more folds
+	// ago): the records are gone, the caller must fetch the base
+	// snapshot and resume from its epoch.
+	ErrCompactedEpoch = errors.New("live: epoch predates the retained journal window")
+	// ErrFutureEpoch is returned by TailSince when the requested epoch
+	// is ahead of the store — the tailer and the store disagree about
+	// history, which a correct follower never does.
+	ErrFutureEpoch = errors.New("live: epoch is ahead of the store")
+)
+
+// TailSince returns the mutations of epochs from+1 .. from+max (max ≤
+// 0 means unbounded) together with the store's current epoch. When the
+// store is exactly at `from`, the call long-polls: it blocks on the
+// epoch watch until a new epoch is published or ctx is done, and a
+// timeout returns an empty batch with a nil error (the idle long-poll
+// round-trip). ErrCompactedEpoch and ErrFutureEpoch report a `from`
+// outside the retained window.
+func (s *Store) TailSince(ctx context.Context, from uint64, max int) ([]Mutation, uint64, error) {
+	for {
+		sn := s.Snapshot()
+		if from > sn.epoch {
+			return nil, sn.epoch, fmt.Errorf("%w: tail from %d, store at %d", ErrFutureEpoch, from, sn.epoch)
+		}
+		muts, ok := sn.MutationsSince(from)
+		if !ok {
+			return nil, sn.epoch, fmt.Errorf("%w: tail from %d, window starts after %d", ErrCompactedEpoch, from, sn.prevBaseEpoch)
+		}
+		if len(muts) > 0 {
+			if max > 0 && len(muts) > max {
+				muts = muts[:max:max]
+			}
+			return muts, sn.epoch, nil
+		}
+		if !s.WaitEpoch(ctx, from+1) {
+			return nil, s.Epoch(), nil
+		}
+	}
+}
+
+// WriteBaseTo streams the store's current base graph and its epoch in
+// the compacted-base format (WriteBaseStream), returning the epoch
+// written. The base graph is immutable and read from one snapshot, so
+// the stream is consistent without any locking and costs no
+// materialization — it is exactly the graph a local fold last wrote
+// (or the graph the store was opened over, at epoch 0).
+func (s *Store) WriteBaseTo(w io.Writer) (uint64, error) {
+	sn := s.Snapshot()
+	if err := WriteBaseStream(w, sn.base, sn.baseEpoch); err != nil {
+		return 0, err
+	}
+	return sn.baseEpoch, nil
+}
+
+// AdoptBase replaces the store's state wholesale with g at the given
+// epoch — the follower-side mirror of Compact's re-base, used when the
+// leader's retained window has moved past this store's epoch and
+// incremental replay is impossible. The epoch must not be behind the
+// store. With a journal, the new base is persisted first and the
+// journal then reset to an empty file anchored at the epoch (the same
+// crash window as Compact: a crash between the two leaves the base
+// ahead of the journal, which Open recovers by resetting the journal).
+//
+// History does not bridge an adoption: prevLog is dropped, so
+// MutationsSince refuses epochs below the adopted one and resident
+// 2-hop covers anchored before it are rebuilt, not silently repaired
+// across a gap whose mutations this store never saw.
+func (s *Store) AdoptBase(g *expertgraph.Graph, epoch uint64) error {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if cur := s.snap.Load().epoch; epoch < cur {
+		s.mu.Unlock()
+		return fmt.Errorf("live: adopt base at epoch %d behind store epoch %d", epoch, cur)
+	}
+	journaled := s.journal != nil && !s.journal.closed
+	var sync bool
+	if journaled {
+		sync = s.journal.sync
+	}
+	s.mu.Unlock()
+
+	// File work outside the writer lock, ordered base-first (see the
+	// crash-window note above).
+	var staged *stagedJournal
+	if journaled {
+		if err := writeBaseFile(basePath(s.journalPath), g, epoch); err != nil {
+			return err
+		}
+		var err error
+		if staged, err = stageJournal(s.journalPath, epoch, nil, sync); err != nil {
+			return err
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		if staged != nil {
+			staged.abort()
+		}
+		return ErrClosed
+	}
+	if cur := s.snap.Load().epoch; epoch < cur {
+		if staged != nil {
+			staged.abort()
+		}
+		return fmt.Errorf("live: adopt base at epoch %d behind store epoch %d", epoch, cur)
+	}
+	if staged != nil {
+		nj, err := staged.install(s.journalPath, nil)
+		if err != nil {
+			return err
+		}
+		old := s.journal
+		s.journal = nj
+		old.Close()
+	}
+	s.base, s.baseEpoch = g, epoch
+	s.log, s.prefix = nil, nil
+	s.prevBaseEpoch, s.prevLog = epoch, nil
+	s.resetWriterState()
+	s.snap.Store(&Snapshot{
+		epoch: epoch, baseEpoch: epoch,
+		base: g, g: g,
+		nodes: s.nNodes, edges: s.nEdges,
+		prevBaseEpoch: epoch,
+		matCtr:        &s.materialized,
+	})
+	s.bumpWatch()
+	s.baseAdoptions.Add(1)
+	return nil
+}
+
+// BaseAdoptions reports how many times the store adopted a base
+// snapshot wholesale (a follower recovering across a leader fold).
+func (s *Store) BaseAdoptions() uint64 { return s.baseAdoptions.Load() }
+
+// ReplicationSource is the transport-agnostic record stream a Follower
+// replays: tail journal records from an epoch, and fetch the current
+// fold snapshot when the tail has moved past the follower. *Store
+// itself is a source (SourceFromStore) for in-process replication and
+// tests; internal/repl wraps the leader's HTTP endpoints in the same
+// interface.
+type ReplicationSource interface {
+	// Tail returns the mutations of epochs from+1 onward (at most max
+	// when max > 0) and the source's current epoch. It blocks —
+	// bounded by ctx — while the source has nothing past `from`; an
+	// empty batch with a nil error is an idle poll. ErrCompactedEpoch
+	// reports that `from` predates the source's retained window (fetch
+	// Base); ErrFutureEpoch that the caller is ahead of the source.
+	Tail(ctx context.Context, from uint64, max int) ([]Mutation, uint64, error)
+	// Base returns the source's current base snapshot and its epoch.
+	Base(ctx context.Context) (*expertgraph.Graph, uint64, error)
+}
+
+// storeSource adapts a *Store into a ReplicationSource.
+type storeSource struct{ s *Store }
+
+// SourceFromStore exposes a store as a ReplicationSource, replicating
+// store-to-store inside one process (tests, embedded read replicas).
+func SourceFromStore(s *Store) ReplicationSource { return storeSource{s} }
+
+func (ss storeSource) Tail(ctx context.Context, from uint64, max int) ([]Mutation, uint64, error) {
+	return ss.s.TailSince(ctx, from, max)
+}
+
+func (ss storeSource) Base(context.Context) (*expertgraph.Graph, uint64, error) {
+	sn := ss.s.Snapshot()
+	return sn.base, sn.baseEpoch, nil
+}
+
+// FollowerConfig parameterizes StartFollower.
+type FollowerConfig struct {
+	// PollTimeout bounds each tail long-poll (default 25s).
+	PollTimeout time.Duration
+	// Backoff is the initial retry delay after a source error; it
+	// doubles per consecutive failure up to 32×. Default 500ms.
+	Backoff time.Duration
+	// MaxBatch caps the records requested per tail call (default 4096).
+	MaxBatch int
+}
+
+func (c FollowerConfig) withDefaults() FollowerConfig {
+	if c.PollTimeout <= 0 {
+		c.PollTimeout = 25 * time.Second
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 500 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	return c
+}
+
+// FollowerStats is the replication section a follower reports.
+type FollowerStats struct {
+	// Running is false once the loop stopped — by Stop, or by a fatal
+	// divergence recorded in LastError.
+	Running bool `json:"running"`
+	// Applied counts records replayed onto the local store.
+	Applied uint64 `json:"records_applied"`
+	// BaseFetches counts full base adoptions (fold-boundary catch-ups).
+	BaseFetches uint64 `json:"base_fetches"`
+	// Polls counts tail round-trips, including idle long-polls.
+	Polls uint64 `json:"polls"`
+	// Errors counts transient source failures (the loop retried).
+	Errors uint64 `json:"errors"`
+	// LeaderEpoch is the source's epoch as of the last tail response;
+	// Lag is LeaderEpoch minus the local epoch at the time of the
+	// stats call (0 when caught up).
+	LeaderEpoch uint64 `json:"leader_epoch"`
+	Lag         uint64 `json:"lag"`
+	// LastError is the most recent source or apply error ("" when the
+	// last poll succeeded).
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Follower replays a ReplicationSource onto a local store: steady
+// tailing from the store's epoch, automatic base adoption when the
+// source's retained window has moved past it, exponential backoff on
+// transport errors. The local store must not be mutated by anyone
+// else — the follower checks epoch continuity per batch and stops with
+// a sticky error on divergence rather than guessing (epochs are
+// monotonic; silently resyncing backwards would break every
+// epoch-keyed cache above the store).
+type Follower struct {
+	store *Store
+	src   ReplicationSource
+	cfg   FollowerConfig
+
+	cancel   context.CancelFunc
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	applied     atomic.Uint64
+	baseFetches atomic.Uint64
+	polls       atomic.Uint64
+	errs        atomic.Uint64
+	leaderEpoch atomic.Uint64
+	lastErr     atomic.Pointer[string]
+}
+
+// StartFollower begins replaying src onto store in a background
+// goroutine. Stop ends it.
+func StartFollower(store *Store, src ReplicationSource, cfg FollowerConfig) *Follower {
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &Follower{
+		store:  store,
+		src:    src,
+		cfg:    cfg.withDefaults(),
+		cancel: cancel,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go f.loop(ctx)
+	return f
+}
+
+// Stop halts the follower and waits for its loop to exit. The local
+// store is left at whatever epoch replication reached; a new follower
+// can resume from it later.
+func (f *Follower) Stop() {
+	f.stopOnce.Do(func() {
+		close(f.stop)
+		f.cancel()
+	})
+	<-f.done
+}
+
+// Stats reports the follower's replication counters.
+func (f *Follower) Stats() FollowerStats {
+	st := FollowerStats{
+		Applied:     f.applied.Load(),
+		BaseFetches: f.baseFetches.Load(),
+		Polls:       f.polls.Load(),
+		Errors:      f.errs.Load(),
+		LeaderEpoch: f.leaderEpoch.Load(),
+	}
+	if e := f.lastErr.Load(); e != nil {
+		st.LastError = *e
+	}
+	if local := f.store.Epoch(); st.LeaderEpoch > local {
+		st.Lag = st.LeaderEpoch - local
+	}
+	select {
+	case <-f.done:
+	default:
+		st.Running = true
+	}
+	return st
+}
+
+func (f *Follower) setErr(err error) {
+	if err == nil {
+		f.lastErr.Store(nil)
+		return
+	}
+	msg := err.Error()
+	f.lastErr.Store(&msg)
+}
+
+// sleep waits d or until Stop.
+func (f *Follower) sleep(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-f.stop:
+	case <-t.C:
+	}
+}
+
+func (f *Follower) loop(ctx context.Context) {
+	defer close(f.done)
+	backoff := f.cfg.Backoff
+	// Bootstrap: a fresh store (epoch 0, no nodes) first adopts the
+	// source's base wholesale. Tailing from epoch 0 would replay records
+	// that apply on top of the source's base graph — which an empty
+	// local store does not have. An already-seeded store (journal
+	// replayed, or opened over the leader's graph file) skips this and
+	// resumes from its own epoch.
+	if f.store.Epoch() == 0 && f.store.Snapshot().NumNodes() == 0 {
+		for {
+			select {
+			case <-f.stop:
+				return
+			default:
+			}
+			if err := f.adoptBase(ctx); err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				f.errs.Add(1)
+				f.setErr(err)
+				f.sleep(backoff)
+				backoff = min(2*backoff, 32*f.cfg.Backoff)
+				continue
+			}
+			f.setErr(nil)
+			backoff = f.cfg.Backoff
+			break
+		}
+	}
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		from := f.store.Epoch()
+		pollCtx, cancel := context.WithTimeout(ctx, f.cfg.PollTimeout)
+		muts, leaderEpoch, err := f.src.Tail(pollCtx, from, f.cfg.MaxBatch)
+		cancel()
+		f.polls.Add(1)
+		if leaderEpoch > 0 {
+			f.leaderEpoch.Store(leaderEpoch)
+		}
+
+		// Apply whatever arrived — a batch cut short by a torn stream
+		// still advances the store record by record; the next poll
+		// resumes exactly past the last applied epoch.
+		fatal := false
+		for i := range muts {
+			want := from + uint64(i) + 1
+			if local := f.store.Epoch(); local != want-1 {
+				err = fmt.Errorf("live: follower: local store at epoch %d, expected %d (mutated outside replication)", local, want-1)
+				fatal = true
+				break
+			}
+			if _, _, aerr := f.store.Apply(muts[i]); aerr != nil {
+				err = fmt.Errorf("live: follower: apply epoch %d: %w", want, aerr)
+				fatal = true
+				break
+			}
+			f.applied.Add(1)
+		}
+
+		switch {
+		case fatal || errors.Is(err, ErrClosed) || errors.Is(err, ErrFutureEpoch):
+			// Divergence between the two stores (or a closed local
+			// store): stop with a sticky error instead of guessing.
+			f.setErr(err)
+			return
+		case errors.Is(err, ErrCompactedEpoch):
+			// The source folded past us while we were away: adopt its
+			// base snapshot and resume tailing from the fold epoch.
+			if aerr := f.adoptBase(ctx); aerr != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				f.errs.Add(1)
+				f.setErr(aerr)
+				f.sleep(backoff)
+				backoff = min(2*backoff, 32*f.cfg.Backoff)
+				continue
+			}
+			f.setErr(nil)
+			backoff = f.cfg.Backoff
+		case err != nil && ctx.Err() == nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded):
+			f.errs.Add(1)
+			f.setErr(err)
+			f.sleep(backoff)
+			backoff = min(2*backoff, 32*f.cfg.Backoff)
+		case err == nil:
+			f.setErr(nil)
+			backoff = f.cfg.Backoff
+		}
+	}
+}
+
+// adoptBase fetches the source's base snapshot and installs it. The
+// fetch moves a whole graph, so it gets a generous multiple of the
+// poll budget.
+func (f *Follower) adoptBase(ctx context.Context) error {
+	fetchCtx, cancel := context.WithTimeout(ctx, 10*f.cfg.PollTimeout)
+	defer cancel()
+	g, epoch, err := f.src.Base(fetchCtx)
+	if err != nil {
+		return fmt.Errorf("live: follower: fetch base: %w", err)
+	}
+	if epoch < f.store.Epoch() {
+		// Tail said our epoch predates the window, so the source's base
+		// must be ahead of us; anything else is two sources talking.
+		return fmt.Errorf("live: follower: fetched base at epoch %d behind local epoch %d", epoch, f.store.Epoch())
+	}
+	if err := f.store.AdoptBase(g, epoch); err != nil {
+		return err
+	}
+	f.baseFetches.Add(1)
+	return nil
+}

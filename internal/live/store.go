@@ -27,8 +27,10 @@
 package live
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -121,6 +123,12 @@ type Config struct {
 	// records, keeping boot replay O(recent churn). 0 disables
 	// auto-compaction (Compact can still be called explicitly).
 	CompactThreshold int
+	// MemoEvery is the SnapshotAt checkpoint spacing: the store
+	// memoizes (nodes, edges) counts after every MemoEvery mutations so
+	// historical snapshots are reconstructed by scanning at most that
+	// many log records. Smaller values trade memory for faster
+	// SnapshotAt. ≤ 0 means the default (256).
+	MemoEvery int
 }
 
 // Store is the mutable overlay over one immutable base graph. All
@@ -156,13 +164,16 @@ type Store struct {
 	// and journal swap; mutators keep running under mu meanwhile).
 	compactMu sync.Mutex
 
-	// prefix memoizes (nodes, edges) counts after every memoEvery
+	// prefix memoizes (nodes, edges) counts after every memo
 	// mutations of the current log, so SnapshotAt reconstructs a
-	// historical snapshot by scanning at most memoEvery log records
+	// historical snapshot by scanning at most memo log records
 	// past the nearest checkpoint instead of the whole prefix.
 	// Appended under mu; published to readers inside each snapshot
 	// (same structural sharing as the log), and rebuilt on re-base.
 	prefix []prefixCount
+	// memo is the checkpoint spacing (Config.MemoEvery, default
+	// memoEvery). Immutable after Open.
+	memo int
 	// lastSnapshotScan records how many log entries the most recent
 	// SnapshotAt call scanned (test observability).
 	lastSnapshotScan atomic.Int64
@@ -187,6 +198,13 @@ type Store struct {
 	wmRecords uint64
 	wmBytes   int64
 
+	// watch is the epoch-advance notification: a channel closed (and
+	// replaced) every time a new epoch's snapshot is published, so
+	// WaitEpoch — and through it replication tailing and
+	// read-your-writes gating — blocks on a channel instead of
+	// polling. Swapped under mu; loaded lock-free.
+	watch atomic.Pointer[chan struct{}]
+
 	// Mutation counters for observability (atomics: read by /stats
 	// without the writer lock).
 	nodesAdded   atomic.Uint64
@@ -200,6 +218,9 @@ type Store struct {
 	// overlay read path keeps at zero while serving queries.
 	materialized atomic.Uint64
 	compactions  atomic.Uint64
+	// baseAdoptions counts wholesale base replacements (AdoptBase): a
+	// follower recovering across a leader fold, never a local fold.
+	baseAdoptions atomic.Uint64
 }
 
 // prefixCount is one SnapshotAt checkpoint: the graph size after the
@@ -208,7 +229,8 @@ type prefixCount struct {
 	nodes, edges int
 }
 
-// memoEvery is the SnapshotAt checkpoint spacing.
+// memoEvery is the default SnapshotAt checkpoint spacing
+// (Config.MemoEvery overrides it per store).
 const memoEvery = 256
 
 // Counters reports how many mutations of each kind the store has
@@ -254,7 +276,12 @@ func edgeKey(u, v expertgraph.NodeID) uint64 {
 // past its epoch is replayed — so replay stays O(churn since the last
 // compaction) no matter how old the deployment is.
 func Open(base *expertgraph.Graph, cfg Config) (*Store, error) {
-	s := &Store{base: base, journalPath: cfg.JournalPath}
+	s := &Store{base: base, journalPath: cfg.JournalPath, memo: cfg.MemoEvery}
+	if s.memo <= 0 {
+		s.memo = memoEvery
+	}
+	initWatch := make(chan struct{})
+	s.watch.Store(&initWatch)
 	var replay []Mutation
 	if cfg.JournalPath != "" {
 		cb, cbEpoch, err := loadBaseFile(basePath(cfg.JournalPath))
@@ -268,12 +295,30 @@ func Open(base *expertgraph.Graph, cfg Config) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
+		if s.baseEpoch > startEpoch+uint64(len(muts)) {
+			// Base ahead of the whole journal: the crash window of a base
+			// adoption (AdoptBase renames the base into place before
+			// resetting the journal — the opposite order could lose
+			// records). Every journaled epoch is already folded into the
+			// base, so reset the journal to an empty file anchored there.
+			log.Printf("live: journal %s covers epochs %d..%d behind base epoch %d; resetting journal to the base epoch",
+				cfg.JournalPath, startEpoch, startEpoch+uint64(len(muts)), s.baseEpoch)
+			j.Close()
+			staged, serr := stageJournal(cfg.JournalPath, s.baseEpoch, nil, cfg.Sync)
+			if serr != nil {
+				return nil, serr
+			}
+			if j, serr = staged.install(cfg.JournalPath, nil); serr != nil {
+				return nil, serr
+			}
+			muts, startEpoch = nil, s.baseEpoch
+		}
 		// The journal covers epochs startEpoch+1 .. startEpoch+len(muts);
 		// records up to the base epoch are already folded into the base
 		// (a crash between Compact's base rewrite and journal truncation
-		// leaves exactly this overlap). A base outside the journal's
-		// range means the two files are from different histories.
-		if s.baseEpoch < startEpoch || s.baseEpoch > startEpoch+uint64(len(muts)) {
+		// leaves exactly this overlap). A base below the journal's start
+		// means the two files are from different histories.
+		if s.baseEpoch < startEpoch {
 			j.Close()
 			return nil, fmt.Errorf("live: journal %s covers epochs %d..%d, base graph is at epoch %d",
 				cfg.JournalPath, startEpoch, startEpoch+uint64(len(muts)), s.baseEpoch)
@@ -282,23 +327,7 @@ func Open(base *expertgraph.Graph, cfg Config) (*Store, error) {
 		s.journal = j
 	}
 
-	s.nNodes = s.base.NumNodes()
-	s.nEdges = s.base.NumEdges()
-	s.edgeSet = make(map[uint64]float64, s.nEdges)
-	for u := expertgraph.NodeID(0); int(u) < s.nNodes; u++ {
-		s.base.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
-			if u < v {
-				s.edgeSet[edgeKey(u, v)] = w
-			}
-			return true
-		})
-		if s.base.Removed(u) {
-			if s.removedNodes == nil {
-				s.removedNodes = make(map[expertgraph.NodeID]struct{})
-			}
-			s.removedNodes[u] = struct{}{}
-		}
-	}
+	s.resetWriterState()
 	s.snap.Store(&Snapshot{
 		epoch: s.baseEpoch, baseEpoch: s.baseEpoch,
 		base: s.base, g: s.base,
@@ -319,6 +348,63 @@ func Open(base *expertgraph.Graph, cfg Config) (*Store, error) {
 		}
 	}
 	return s, nil
+}
+
+// resetWriterState rebuilds the O(1)-validation state — node/edge
+// counts, the live-edge weight map, the tombstone set — from the
+// in-memory base graph. Called under mu (or before the store is
+// shared): at Open, and when AdoptBase replaces the base wholesale.
+func (s *Store) resetWriterState() {
+	s.nNodes = s.base.NumNodes()
+	s.nEdges = s.base.NumEdges()
+	s.edgeSet = make(map[uint64]float64, s.nEdges)
+	s.removedNodes = nil
+	for u := expertgraph.NodeID(0); int(u) < s.nNodes; u++ {
+		s.base.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
+			if u < v {
+				s.edgeSet[edgeKey(u, v)] = w
+			}
+			return true
+		})
+		if s.base.Removed(u) {
+			if s.removedNodes == nil {
+				s.removedNodes = make(map[expertgraph.NodeID]struct{})
+			}
+			s.removedNodes[u] = struct{}{}
+		}
+	}
+}
+
+// bumpWatch wakes every WaitEpoch blocked on an epoch advance: the
+// current watch channel is closed and a fresh one installed. Called
+// under mu, after the new snapshot is published.
+func (s *Store) bumpWatch() {
+	next := make(chan struct{})
+	if old := s.watch.Swap(&next); old != nil {
+		close(*old)
+	}
+}
+
+// WaitEpoch blocks until the store's epoch reaches target (returning
+// true) or ctx is done (returning whether the epoch made it anyway).
+// It is the primitive under epoch read-your-writes and replication
+// tailing: a reader holding a mutation's epoch waits here instead of
+// polling Snapshot.
+func (s *Store) WaitEpoch(ctx context.Context, target uint64) bool {
+	for {
+		// Load the watch channel before checking the epoch: a publish
+		// between the two closes exactly this channel, so the wake is
+		// never missed.
+		ch := s.watch.Load()
+		if s.Epoch() >= target {
+			return true
+		}
+		select {
+		case <-*ch:
+		case <-ctx.Done():
+			return s.Epoch() >= target
+		}
+	}
 }
 
 // Close releases the journal. The store stays readable; further
@@ -370,10 +456,10 @@ func (s *Store) SnapshotAt(epoch uint64) (*Snapshot, bool) {
 	log := cur.log[:idx]
 	nodes, edges := cur.base.NumNodes(), cur.base.NumEdges()
 	from := 0
-	if k := idx / memoEvery; k > 0 && len(cur.prefix) >= k {
+	if k := idx / s.memo; k > 0 && len(cur.prefix) >= k {
 		cp := cur.prefix[k-1]
 		nodes, edges = cp.nodes, cp.edges
-		from = k * memoEvery
+		from = k * s.memo
 	}
 	s.lastSnapshotScan.Store(int64(idx - from))
 	for _, m := range log[from:] {
@@ -382,7 +468,7 @@ func (s *Store) SnapshotAt(epoch uint64) (*Snapshot, bool) {
 	sn := &Snapshot{
 		epoch: epoch, baseEpoch: cur.baseEpoch,
 		base: cur.base, log: log, nodes: nodes, edges: edges,
-		prefix:        cur.prefix[:idx/memoEvery],
+		prefix:        cur.prefix[:idx/s.memo],
 		prevBaseEpoch: cur.prevBaseEpoch, prevLog: cur.prevLog,
 		matCtr: cur.matCtr,
 	}
@@ -693,7 +779,7 @@ func (s *Store) apply(m Mutation, journal bool) (expertgraph.NodeID, uint64, err
 	// The writer only ever appends past every published length, so
 	// readers never observe a write.
 	s.log = append(s.log, m)
-	if len(s.log)%memoEvery == 0 {
+	if len(s.log)%s.memo == 0 {
 		s.prefix = append(s.prefix, prefixCount{nodes: s.nNodes, edges: s.nEdges})
 	}
 	prev := s.snap.Load()
@@ -710,6 +796,7 @@ func (s *Store) apply(m Mutation, journal bool) (expertgraph.NodeID, uint64, err
 		matCtr:        &s.materialized,
 	}
 	s.snap.Store(next)
+	s.bumpWatch()
 	return newID, next.epoch, nil
 }
 

@@ -1,0 +1,152 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"authteam/internal/expertgraph"
+)
+
+// Leader forwards mutations to the leader's public /v1/graph API. A
+// follower process keeps its local store read-only under replication;
+// when its owner still wants to write (the embedded Client API, or a
+// proxy deliberately absorbing writes), the mutation goes here and the
+// committed epoch comes back for read-your-writes.
+type Leader struct {
+	base string
+	hc   *http.Client
+}
+
+// NewLeader builds a mutation client for the leader at baseURL. A nil
+// client gets a 30-second-timeout http.Client — mutations are not
+// long-polls.
+func NewLeader(baseURL string, hc *http.Client) *Leader {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Leader{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// URL reports the leader base URL the client was built with.
+func (l *Leader) URL() string { return l.base }
+
+// mutationReply mirrors the server's MutationResponse. Declared here
+// rather than imported: the server depends on repl for the wire codec,
+// so repl cannot depend back on the server.
+type mutationReply struct {
+	Epoch uint64              `json:"epoch"`
+	ID    *expertgraph.NodeID `json:"id,omitempty"`
+}
+
+// errorReply mirrors the server's error body.
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+// AddNode forwards an expert addition and returns the assigned ID and
+// the leader epoch at which it became visible.
+func (l *Leader) AddNode(name string, authority float64, skills []string) (expertgraph.NodeID, uint64, error) {
+	body := map[string]any{"name": name, "authority": authority, "skills": skills}
+	rep, err := l.do(http.MethodPost, "/v1/graph/nodes", body)
+	if err != nil {
+		return 0, 0, err
+	}
+	if rep.ID == nil {
+		return 0, rep.Epoch, fmt.Errorf("repl: leader returned no node id for add")
+	}
+	return *rep.ID, rep.Epoch, nil
+}
+
+// AddEdge forwards a collaboration addition.
+func (l *Leader) AddEdge(u, v expertgraph.NodeID, w float64) (uint64, error) {
+	rep, err := l.do(http.MethodPost, "/v1/graph/edges", map[string]any{"u": u, "v": v, "w": w})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Epoch, nil
+}
+
+// UpdateNode forwards an authority/skill update. Nil authority leaves
+// it unchanged, matching the store API.
+func (l *Leader) UpdateNode(id expertgraph.NodeID, authority *float64, addSkills []string) (uint64, error) {
+	body := map[string]any{}
+	if authority != nil {
+		body["authority"] = *authority
+	}
+	if len(addSkills) > 0 {
+		body["add_skills"] = addSkills
+	}
+	rep, err := l.do(http.MethodPatch, fmt.Sprintf("/v1/graph/nodes/%d", id), body)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Epoch, nil
+}
+
+// RemoveNode forwards a node removal.
+func (l *Leader) RemoveNode(id expertgraph.NodeID) (uint64, error) {
+	rep, err := l.do(http.MethodDelete, fmt.Sprintf("/v1/graph/nodes/%d", id), nil)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Epoch, nil
+}
+
+// RemoveEdge forwards an edge removal.
+func (l *Leader) RemoveEdge(u, v expertgraph.NodeID) (uint64, error) {
+	rep, err := l.do(http.MethodDelete, "/v1/graph/edges", map[string]any{"u": u, "v": v})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Epoch, nil
+}
+
+// UpdateEdge forwards an edge re-weight.
+func (l *Leader) UpdateEdge(u, v expertgraph.NodeID, w float64) (uint64, error) {
+	rep, err := l.do(http.MethodPatch, "/v1/graph/edges", map[string]any{"u": u, "v": v, "w": w})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Epoch, nil
+}
+
+func (l *Leader) do(method, path string, body any) (mutationReply, error) {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return mutationReply{}, err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, l.base+path, rd)
+	if err != nil {
+		return mutationReply{}, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := l.hc.Do(req)
+	if err != nil {
+		return mutationReply{}, fmt.Errorf("repl: forward %s %s: %w", method, path, err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode >= 300 {
+		var er errorReply
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+			return mutationReply{}, fmt.Errorf("repl: leader rejected %s %s: %s (%s)", method, path, er.Error, resp.Status)
+		}
+		return mutationReply{}, fmt.Errorf("repl: leader rejected %s %s: %s", method, path, resp.Status)
+	}
+	var rep mutationReply
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&rep); err != nil {
+		return mutationReply{}, fmt.Errorf("repl: decode leader reply: %w", err)
+	}
+	return rep, nil
+}

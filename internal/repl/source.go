@@ -1,0 +1,116 @@
+package repl
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"authteam/internal/expertgraph"
+	"authteam/internal/live"
+)
+
+// HTTPSource implements live.ReplicationSource against a leader's
+// /v1/journal endpoints. It is safe for concurrent use, though the
+// follower loop drives it from a single goroutine.
+type HTTPSource struct {
+	base string
+	hc   *http.Client
+}
+
+// NewHTTPSource builds a source tailing the leader at baseURL (scheme
+// and host, e.g. "http://leader:7070"). A nil client gets a dedicated
+// http.Client with no overall timeout — tail requests are long-polls,
+// bounded per call by the context the follower passes in.
+func NewHTTPSource(baseURL string, hc *http.Client) *HTTPSource {
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &HTTPSource{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// waitMargin is subtracted from the request context's deadline to set
+// the server-side long-poll budget, leaving room for the response to
+// travel back before the client context fires.
+const waitMargin = 2 * time.Second
+
+// Tail long-polls GET /v1/journal/tail. A torn response (leader died
+// mid-write) is not an error here: the complete prefix is applied and
+// the next poll resumes from wherever it ended.
+func (s *HTTPSource) Tail(ctx context.Context, from uint64, max int) ([]live.Mutation, uint64, error) {
+	q := url.Values{}
+	q.Set("from", strconv.FormatUint(from, 10))
+	if max > 0 {
+		q.Set("max", strconv.Itoa(max))
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		wait := time.Until(dl) - waitMargin
+		if wait < 0 {
+			wait = 0
+		}
+		q.Set("wait_ms", strconv.FormatInt(wait.Milliseconds(), 10))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/v1/journal/tail?"+q.Encode(), nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer drainClose(resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return nil, 0, live.ErrCompactedEpoch
+	case http.StatusConflict:
+		return nil, 0, live.ErrFutureEpoch
+	default:
+		return nil, 0, httpStatusError("tail", resp)
+	}
+	muts, hdr, rerr := ReadTail(resp.Body)
+	if rerr != nil && len(muts) == 0 {
+		return nil, 0, rerr
+	}
+	// A truncated tail with a parsed prefix: hand the prefix over; the
+	// follower's next poll picks up at the tear.
+	return muts, hdr.Epoch, nil
+}
+
+// Base fetches GET /v1/journal/base: the leader's fold snapshot,
+// decoded straight off the wire.
+func (s *HTTPSource) Base(ctx context.Context) (*expertgraph.Graph, uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/v1/journal/base", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, httpStatusError("base", resp)
+	}
+	return live.ReadBaseStream(resp.Body)
+}
+
+func httpStatusError(what string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	msg := strings.TrimSpace(string(body))
+	if msg == "" {
+		return fmt.Errorf("repl: %s: leader returned %s", what, resp.Status)
+	}
+	return fmt.Errorf("repl: %s: leader returned %s: %s", what, resp.Status, msg)
+}
+
+// drainClose consumes a little of the remaining body before closing so
+// keep-alive connections stay reusable after short error replies.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 4<<10))
+	body.Close()
+}

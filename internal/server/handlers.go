@@ -131,10 +131,13 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// httpError pairs a client-facing message with its status code.
+// httpError pairs a client-facing message with its status code. A
+// non-empty location rides along as a Location header (redirects to
+// the leader).
 type httpError struct {
-	status int
-	msg    string
+	status   int
+	msg      string
+	location string
 }
 
 func errf(status int, format string, args ...any) *httpError {
@@ -500,6 +503,12 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr)
 		return
 	}
+	// Read-your-writes: a client echoing the epoch of its last write
+	// must never observe an older view, even on a lagging replica.
+	if herr := s.ensureMinEpoch(r); herr != nil {
+		writeError(w, herr)
+		return
+	}
 	resp, herr := s.discoverOne(r.Context(), &req, s.cfg.Workers)
 	if herr != nil {
 		writeError(w, herr)
@@ -521,6 +530,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if len(req.Requests) > maxBatchSize {
 		writeError(w, errf(http.StatusBadRequest,
 			"batch of %d exceeds the %d-request limit", len(req.Requests), maxBatchSize))
+		return
+	}
+	if herr := s.ensureMinEpoch(r); herr != nil {
+		writeError(w, herr)
 		return
 	}
 	start := time.Now()
@@ -597,12 +610,19 @@ type LiveStats struct {
 	RepairsInsert      uint64 `json:"repairs_insert"`
 	RepairsDecremental uint64 `json:"repairs_decremental"`
 	RepairsReweight    uint64 `json:"repairs_reweight"`
-	FullRebuilds       uint64 `json:"full_rebuilds"`
+	// RepairVisitTrips counts repairs abandoned for exceeding the
+	// per-operation visit budget (each fell back to an async rebuild).
+	RepairVisitTrips uint64 `json:"repair_visit_trips"`
+	FullRebuilds     uint64 `json:"full_rebuilds"`
 	// Materializations counts full-graph materializations; the overlay
 	// read path keeps it at zero while serving discovers (index
 	// rebuilds and compactions are the intended exceptions).
 	Materializations uint64 `json:"materializations"`
 	Compactions      uint64 `json:"compactions"`
+	// BaseAdoptions counts wholesale base replacements (a follower
+	// re-anchoring on the leader's fold snapshot after falling below
+	// the retained journal window).
+	BaseAdoptions uint64 `json:"base_adoptions"`
 	// RebaseEpoch is the epoch the in-memory store was last re-based
 	// onto (by a fold while serving, or by adopting a compacted base at
 	// boot); LogLen is the resident mutation log since then — the
@@ -624,8 +644,9 @@ type StatsResponse struct {
 	Cache CacheStats `json:"cache"`
 	// CacheEvictionsEpoch mirrors Cache.EpochEvictions at the top
 	// level for dashboards scraping a flat field.
-	CacheEvictionsEpoch uint64    `json:"cache_evictions_epoch"`
-	Live                LiveStats `json:"live"`
+	CacheEvictionsEpoch uint64           `json:"cache_evictions_epoch"`
+	Live                LiveStats        `json:"live"`
+	Replication         ReplicationStats `json:"replication"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -659,14 +680,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			RepairsInsert:      ixs.repairsInsert,
 			RepairsDecremental: ixs.repairsDecremental,
 			RepairsReweight:    ixs.repairsReweight,
+			RepairVisitTrips:   ixs.visitTrips,
 			FullRebuilds:       ixs.rebuilds,
 			Materializations:   s.store.Materializations(),
 			Compactions:        s.store.Compactions(),
+			BaseAdoptions:      s.store.BaseAdoptions(),
 			RebaseEpoch:        baseEpoch,
 			LogLen:             int(snap.Epoch() - baseEpoch),
 			Compactor:          compactor,
 			CompactorRuns:      compactor.Runs,
 		},
+		Replication: s.replicationStats(),
 	})
 }
 
@@ -687,6 +711,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, herr *httpError) {
+	if herr.location != "" {
+		w.Header().Set("Location", herr.location)
+	}
 	writeJSON(w, herr.status, errorResponse{Error: herr.msg})
 }
 

@@ -50,6 +50,12 @@ type indexSet struct {
 	store *live.Store
 	// repairBudget caps the delta length incremental repair accepts.
 	repairBudget int
+	// visitBudget caps the label-visit work of a single repair
+	// operation: a repair whose resumed Dijkstras touch more than this
+	// many labels is abandoned in favor of an async rebuild, bounding
+	// the tail latency a pathological delta (hub removal) can inject
+	// into the request path. 0 disables the cap.
+	visitBudget int
 
 	mu      sync.Mutex
 	entries map[string]*indexEntry
@@ -71,6 +77,9 @@ type indexSet struct {
 	repairsInsert      atomic.Uint64
 	repairsDecremental atomic.Uint64
 	repairsReweight    atomic.Uint64
+	// visitTrips counts repairs abandoned because they exceeded
+	// visitBudget (each one fell back to an async rebuild).
+	visitTrips atomic.Uint64
 }
 
 // indexEntry pairs a resident oracle with the snapshot it is exact
@@ -85,11 +94,12 @@ type indexEntry struct {
 	params *transform.Params
 }
 
-func newIndexSet(base string, store *live.Store, repairBudget int) *indexSet {
+func newIndexSet(base string, store *live.Store, repairBudget, visitBudget int) *indexSet {
 	return &indexSet{
 		base:         base,
 		store:        store,
 		repairBudget: repairBudget,
+		visitBudget:  visitBudget,
 		entries:      make(map[string]*indexEntry),
 		building:     make(map[string]chan struct{}),
 	}
@@ -111,6 +121,7 @@ type indexSetStats struct {
 	repairsInsert      uint64
 	repairsDecremental uint64
 	repairsReweight    uint64
+	visitTrips         uint64
 }
 
 // stats reports the set's maintenance counters.
@@ -122,6 +133,7 @@ func (s *indexSet) stats() indexSetStats {
 		repairsInsert:      s.repairsInsert.Load(),
 		repairsDecremental: s.repairsDecremental.Load(),
 		repairsReweight:    s.repairsReweight.Load(),
+		visitTrips:         s.visitTrips.Load(),
 	}
 }
 
@@ -237,11 +249,14 @@ func (s *indexSet) forMethod(v view, p *transform.Params, m core.Method) oracle.
 		}
 	}
 	if s.repairBudget >= 0 {
-		if ix, rs, ok := live.MaintainIndex(stale.oracle.Index(), stale.snap, v.snap, weight, oldWeight, s.repairBudget); ok {
+		lim := live.RepairLimits{Mutations: s.repairBudget, Visits: s.visitBudget}
+		if ix, rs, ok := live.MaintainIndexWithin(stale.oracle.Index(), stale.snap, v.snap, weight, oldWeight, lim); ok {
 			o := oracle.NewPLL(ix)
 			s.countRepair(rs)
 			install(&indexEntry{oracle: o, snap: v.snap, params: entryParams})
 			return o
+		} else if rs.VisitsExceeded {
+			s.visitTrips.Add(1)
 		}
 	}
 
@@ -324,8 +339,12 @@ func (s *indexSet) load(key string, v view, p *transform.Params, m core.Method) 
 				oldWeight = oldP.EdgeWeight()
 			}
 		}
-		repaired, rs, ok := live.MaintainIndex(ix, from, v.snap, weight, oldWeight, s.repairBudget)
+		repaired, rs, ok := live.MaintainIndexWithin(ix, from, v.snap, weight, oldWeight,
+			live.RepairLimits{Mutations: s.repairBudget, Visits: s.visitBudget})
 		if !ok {
+			if rs.VisitsExceeded {
+				s.visitTrips.Add(1)
+			}
 			log.Printf("server: ignoring index %s (epoch %d delta to %d not repairable)",
 				path, savedEpoch, v.epoch())
 			return nil

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"authteam/internal/live"
+	"authteam/internal/repl"
+)
+
+// The journal-as-replication-log endpoints. Every node serves them —
+// leaders feed followers, and a follower can relay the same stream to
+// followers of its own (fan-out trees) — because they only read the
+// store's journal window and base snapshot, never its write path.
+//
+//	GET /v1/journal/tail?from=E&max=N&wait_ms=T   records after epoch E
+//	GET /v1/journal/base                          the fold snapshot
+//
+// A tail request whose `from` has been compacted away answers 410 Gone
+// — the follower must fetch the base and re-anchor. A `from` ahead of
+// this node's epoch answers 409 — the follower is talking to a node
+// behind itself (a stale relay, or a leader restored from an old
+// backup) and must not apply anything from it.
+
+// maxTailBatch caps the records of one tail response regardless of the
+// requested max, bounding the response a slow reader pins in memory.
+const maxTailBatch = 65536
+
+// maxTailWait caps the server-side long-poll, whatever the client
+// asks for.
+const maxTailWait = 60 * time.Second
+
+func (s *Server) handleJournalTail(w http.ResponseWriter, r *http.Request) {
+	s.tailRequests.Add(1)
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil {
+		writeError(w, errf(http.StatusBadRequest, "bad from epoch %q", q.Get("from")))
+		return
+	}
+	max := 4096
+	if v := q.Get("max"); v != "" {
+		if max, err = strconv.Atoi(v); err != nil || max < 1 {
+			writeError(w, errf(http.StatusBadRequest, "bad max %q", v))
+			return
+		}
+	}
+	if max > maxTailBatch {
+		max = maxTailBatch
+	}
+	var wait time.Duration
+	if v := q.Get("wait_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms < 0 {
+			writeError(w, errf(http.StatusBadRequest, "bad wait_ms %q", v))
+			return
+		}
+		wait = time.Duration(ms) * time.Millisecond
+	}
+	if wait > maxTailWait {
+		wait = maxTailWait
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+
+	muts, epoch, terr := s.store.TailSince(ctx, from, max)
+	switch {
+	case terr == nil:
+	case errors.Is(terr, live.ErrCompactedEpoch):
+		s.tailCompacted.Add(1)
+		writeError(w, errf(http.StatusGone,
+			"epoch %d is below the retained journal window; fetch /v1/journal/base", from))
+		return
+	case errors.Is(terr, live.ErrFutureEpoch):
+		writeError(w, errf(http.StatusConflict,
+			"epoch %d is ahead of this node (at %d)", from, s.store.Epoch()))
+		return
+	default:
+		writeError(w, errf(http.StatusInternalServerError, "%v", terr))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	// Past this point the stream is committed; a write failure tears
+	// the tail mid-record, which the follower-side codec treats as a
+	// disconnect (apply the prefix, re-poll), not corruption.
+	_ = repl.WriteTail(w, from, epoch, muts)
+}
+
+func (s *Server) handleJournalBase(w http.ResponseWriter, r *http.Request) {
+	s.baseRequests.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	// Informational only (the stream itself carries the authoritative
+	// epoch); a fold racing this handler can make it lag by one.
+	w.Header().Set("X-Authteam-Base-Epoch", strconv.FormatUint(s.store.Snapshot().BaseEpoch(), 10))
+	if _, err := s.store.WriteBaseTo(w); err != nil {
+		// Headers are gone; all we can do is abort the stream so the
+		// client sees a tear instead of a truncated-but-200 body.
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// redirectToLeader answers every mutation attempt on a follower: 307
+// preserves the method and body, so a client that follows redirects
+// lands the same mutation on the leader unchanged.
+func (s *Server) redirectToLeader(w http.ResponseWriter, r *http.Request) {
+	herr := errf(http.StatusTemporaryRedirect,
+		"this node is a read replica; mutations go to the leader at %s", s.cfg.FollowURL)
+	herr.location = s.cfg.FollowURL + r.URL.RequestURI()
+	writeError(w, herr)
+}
+
+// minEpochHeader is the read-your-writes contract: a client echoes the
+// epoch of its last mutation response here, and the serving node
+// guarantees the read observes at least that epoch (or refuses).
+const minEpochHeader = "X-Authteam-Min-Epoch"
+
+// ensureMinEpoch enforces the header on a read. It returns a non-nil
+// error when the request must not be served locally: after waiting up
+// to MinEpochWait for replication to catch up, a still-behind follower
+// redirects the read to the leader and a still-behind leader (client
+// knows a future epoch this leader never produced — a restore from an
+// old backup, or the wrong endpoint) answers 409.
+func (s *Server) ensureMinEpoch(r *http.Request) *httpError {
+	v := r.Header.Get(minEpochHeader)
+	if v == "" {
+		return nil
+	}
+	min, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return errf(http.StatusBadRequest, "bad %s %q", minEpochHeader, v)
+	}
+	if s.store.Epoch() >= min {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.MinEpochWait)
+	defer cancel()
+	if s.store.WaitEpoch(ctx, min) {
+		return nil
+	}
+	if s.cfg.FollowURL != "" {
+		herr := errf(http.StatusTemporaryRedirect,
+			"replica is at epoch %d, read requires %d; retry at the leader %s",
+			s.store.Epoch(), min, s.cfg.FollowURL)
+		herr.location = s.cfg.FollowURL + r.URL.RequestURI()
+		return herr
+	}
+	return errf(http.StatusConflict,
+		"this node is at epoch %d and will not reach %d; was the write acknowledged elsewhere?",
+		s.store.Epoch(), min)
+}
+
+// ReplicationStats is the replication section of the /stats payload.
+type ReplicationStats struct {
+	// Role is "leader" or "follower".
+	Role string `json:"role"`
+	// Leader is the followed base URL (follower only).
+	Leader string `json:"leader,omitempty"`
+	// Follower reports the apply loop (follower only).
+	Follower *live.FollowerStats `json:"follower,omitempty"`
+	// Serving counters for this node's own replication log.
+	TailRequests  uint64 `json:"tail_requests"`
+	TailCompacted uint64 `json:"tail_compacted"`
+	BaseRequests  uint64 `json:"base_requests"`
+}
+
+func (s *Server) replicationStats() ReplicationStats {
+	rs := ReplicationStats{
+		Role:          "leader",
+		TailRequests:  s.tailRequests.Load(),
+		TailCompacted: s.tailCompacted.Load(),
+		BaseRequests:  s.baseRequests.Load(),
+	}
+	if s.follower != nil {
+		rs.Role = "follower"
+		rs.Leader = s.cfg.FollowURL
+		fs := s.follower.Stats()
+		rs.Follower = &fs
+	}
+	return rs
+}

@@ -16,6 +16,8 @@
 //	DELETE /v1/graph/nodes/{id}  tombstone an expert (drops its edges)
 //	DELETE /v1/graph/edges       remove a collaboration
 //	PATCH  /v1/graph/edges       re-weight a collaboration
+//	GET    /v1/journal/tail      replication: journal records after an epoch (long-poll)
+//	GET    /v1/journal/base      replication: the compacted fold snapshot
 //	GET    /healthz              liveness + graph summary + epoch
 //	GET    /stats                query counters, latency percentiles,
 //	                             cache hit rate, live-mutation state
@@ -36,15 +38,19 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"authteam/internal/expertgraph"
 	"authteam/internal/live"
+	"authteam/internal/repl"
 	"authteam/internal/transform"
 )
 
@@ -88,6 +94,35 @@ type Config struct {
 	// across by incremental repair before a full rebuild is preferred
 	// (default 512; negative disables incremental repair).
 	RepairBudget int
+	// RepairVisitBudget caps the label-visit work of one incremental
+	// repair operation: a repair touching more labels than this falls
+	// back to an async rebuild, bounding the latency a pathological
+	// delta (hub removal) injects into the request path. 0 disables
+	// the cap.
+	RepairVisitBudget int
+	// MemoEvery is the spacing of the store's reconstruction
+	// checkpoints (live.Config.MemoEvery); ≤ 0 keeps the default (256).
+	// Smaller values trade memory for faster SnapshotAt on deep
+	// histories.
+	MemoEvery int
+	// CacheCompactFactor scales the result cache's per-epoch key-list
+	// compaction threshold (sweep at factor×CacheSize dead keys; < 1
+	// means the default of 2). Larger factors sweep less often at the
+	// cost of more idle memory.
+	CacheCompactFactor int
+	// FollowURL turns the server into a read replica of the leader at
+	// this base URL: the store is bootstrapped from the leader's
+	// replication log (base snapshot + journal tail), kept current by a
+	// background follower loop, and mutation endpoints answer 307
+	// redirects to the leader. Empty (the default) serves as a leader.
+	FollowURL string
+	// FollowPoll bounds one replication long-poll (default 25s).
+	FollowPoll time.Duration
+	// MinEpochWait bounds how long a read carrying X-Authteam-Min-Epoch
+	// may block waiting for replication to catch up before the server
+	// gives up (307 to the leader on a follower, 409 on a leader).
+	// Default 5s.
+	MinEpochWait time.Duration
 	// NoPersistIndex disables writing built 2-hop covers next to the
 	// graph file.
 	NoPersistIndex bool
@@ -124,6 +159,12 @@ func (c Config) withDefaults() Config {
 	if c.RepairBudget == 0 {
 		c.RepairBudget = 512
 	}
+	if c.FollowPoll == 0 {
+		c.FollowPoll = 25 * time.Second
+	}
+	if c.MinEpochWait == 0 {
+		c.MinEpochWait = 5 * time.Second
+	}
 	return c
 }
 
@@ -138,6 +179,13 @@ type Server struct {
 	// compactor is the background journal-fold loop (nil unless
 	// Config.CompactInterval and JournalPath are set).
 	compactor *live.Compactor
+	// follower is the replication apply loop (nil unless
+	// Config.FollowURL is set).
+	follower *live.Follower
+	// Replication-serving counters (leader side of the log).
+	tailRequests  atomic.Uint64
+	tailCompacted atomic.Uint64
+	baseRequests  atomic.Uint64
 	// gamma and lambda are the resolved request defaults.
 	gamma, lambda float64
 
@@ -178,19 +226,35 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	g := cfg.Graph
 	if g == nil {
-		if cfg.GraphPath == "" {
-			return nil, fmt.Errorf("server: config needs Graph or GraphPath")
+		switch {
+		case cfg.GraphPath != "":
+			var err error
+			g, err = expertgraph.LoadFile(cfg.GraphPath)
+			if err != nil {
+				// A follower bootstraps from the leader's replication
+				// log, so a missing graph file just means an empty
+				// starting point; any other load error is still fatal.
+				if cfg.FollowURL == "" || !errors.Is(err, os.ErrNotExist) {
+					return nil, fmt.Errorf("server: %w", err)
+				}
+			}
+		case cfg.FollowURL != "":
+			// Pure follower: start empty, catch up over the wire.
+		default:
+			return nil, fmt.Errorf("server: config needs Graph, GraphPath or FollowURL")
 		}
-		var err error
-		g, err = expertgraph.LoadFile(cfg.GraphPath)
-		if err != nil {
-			return nil, fmt.Errorf("server: %w", err)
+		if g == nil {
+			var err error
+			if g, err = expertgraph.NewBuilder(0, 0).Build(); err != nil {
+				return nil, fmt.Errorf("server: %w", err)
+			}
 		}
 	}
 	store, err := live.Open(g, live.Config{
 		JournalPath:      cfg.JournalPath,
 		Sync:             cfg.JournalSync,
 		CompactThreshold: cfg.CompactThreshold,
+		MemoEvery:        cfg.MemoEvery,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -202,8 +266,8 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		store:   store,
-		indexes: newIndexSet(base, store, cfg.RepairBudget),
-		cache:   newLRU(cfg.CacheSize),
+		indexes: newIndexSet(base, store, cfg.RepairBudget, cfg.RepairVisitBudget),
+		cache:   newLRU(cfg.CacheSize, cfg.CacheCompactFactor),
 		metrics: newMetrics(),
 		gamma:   0.6,
 		lambda:  0.6,
@@ -219,7 +283,9 @@ func New(cfg Config) (*Server, error) {
 	if s.gamma < 0 || s.gamma > 1 || s.lambda < 0 || s.lambda > 1 {
 		return nil, fmt.Errorf("server: default γ=%v λ=%v out of [0,1]", s.gamma, s.lambda)
 	}
-	if cfg.WarmIndex {
+	// A follower warms its index once replication has caught up, not
+	// against the (possibly empty) bootstrap state.
+	if cfg.WarmIndex && cfg.FollowURL == "" {
 		v := s.view()
 		p, err := s.paramsFor(v, s.gamma, s.lambda)
 		if err != nil {
@@ -248,8 +314,16 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
+	if cfg.FollowURL != "" {
+		s.follower = live.StartFollower(store, repl.NewHTTPSource(cfg.FollowURL, nil), live.FollowerConfig{
+			PollTimeout: cfg.FollowPoll,
+		})
+	}
 	return s, nil
 }
+
+// Follower reports the replication apply loop, or nil on a leader.
+func (s *Server) Follower() *live.Follower { return s.follower }
 
 // Store exposes the live mutation overlay (for embedding and tests).
 func (s *Server) Store() *live.Store { return s.store }
@@ -301,21 +375,42 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/discover", s.handleDiscover)
 	mux.HandleFunc("POST /v1/discover/batch", s.handleBatch)
-	mux.HandleFunc("POST /v1/graph/nodes", s.handleAddNode)
-	mux.HandleFunc("POST /v1/graph/edges", s.handleAddEdge)
-	mux.HandleFunc("PATCH /v1/graph/nodes/{id}", s.handleUpdateNode)
-	mux.HandleFunc("DELETE /v1/graph/nodes/{id}", s.handleRemoveNode)
-	mux.HandleFunc("DELETE /v1/graph/edges", s.handleRemoveEdge)
-	mux.HandleFunc("PATCH /v1/graph/edges", s.handleUpdateEdge)
+	if s.cfg.FollowURL == "" {
+		mux.HandleFunc("POST /v1/graph/nodes", s.handleAddNode)
+		mux.HandleFunc("POST /v1/graph/edges", s.handleAddEdge)
+		mux.HandleFunc("PATCH /v1/graph/nodes/{id}", s.handleUpdateNode)
+		mux.HandleFunc("DELETE /v1/graph/nodes/{id}", s.handleRemoveNode)
+		mux.HandleFunc("DELETE /v1/graph/edges", s.handleRemoveEdge)
+		mux.HandleFunc("PATCH /v1/graph/edges", s.handleUpdateEdge)
+	} else {
+		// A follower's store is owned by the replication loop; local
+		// writes would fork the history. Same routes, but every one
+		// points the client at the writer.
+		mux.HandleFunc("POST /v1/graph/nodes", s.redirectToLeader)
+		mux.HandleFunc("POST /v1/graph/edges", s.redirectToLeader)
+		mux.HandleFunc("PATCH /v1/graph/nodes/{id}", s.redirectToLeader)
+		mux.HandleFunc("DELETE /v1/graph/nodes/{id}", s.redirectToLeader)
+		mux.HandleFunc("DELETE /v1/graph/edges", s.redirectToLeader)
+		mux.HandleFunc("PATCH /v1/graph/edges", s.redirectToLeader)
+	}
+	// The replication log is served by every node, not just leaders, so
+	// a follower can itself fan out to more followers (relay trees).
+	mux.HandleFunc("GET /v1/journal/tail", s.handleJournalTail)
+	mux.HandleFunc("GET /v1/journal/base", s.handleJournalBase)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
 }
 
-// Close stops the background compactor (if any) and releases the
-// mutation journal. Serving (reads) keeps working; further mutations
-// fail with live.ErrClosed.
+// Close stops the replication follower and background compactor (if
+// any) and releases the mutation journal. Serving (reads) keeps
+// working; further mutations fail with live.ErrClosed. The follower
+// stops first — its apply loop writes through the store the other two
+// steps shut down.
 func (s *Server) Close() error {
+	if s.follower != nil {
+		s.follower.Stop()
+	}
 	if s.compactor != nil {
 		s.compactor.Stop()
 	}
