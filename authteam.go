@@ -45,6 +45,7 @@ import (
 	"authteam/internal/dblp"
 	"authteam/internal/expertgraph"
 	"authteam/internal/live"
+	"authteam/internal/obs"
 	"authteam/internal/oracle"
 	"authteam/internal/repl"
 	"authteam/internal/team"
@@ -118,6 +119,15 @@ func NewGraphBuilder(nodeHint, edgeHint int) *GraphBuilder {
 	return expertgraph.NewBuilder(nodeHint, edgeHint)
 }
 
+// MetricsRegistry is a dependency-free metrics registry (atomic
+// counters, gauges and histograms with Prometheus text exposition via
+// WritePrometheus). Pass one in Options.Metrics to have the client's
+// live store register its instruments on it.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
 // Options configures a Client.
 type Options struct {
 	// Gamma trades connector authority against communication cost
@@ -175,6 +185,12 @@ type Options struct {
 	// epoch to replicate back before returning ErrReplicationLag
 	// (default 5s).
 	FollowWait time.Duration
+	// Metrics registers the client's store instruments (apply latency,
+	// journal append/fsync, fold duration, overlay builds, resident log
+	// length) on the given registry, e.g. one the embedding program
+	// already exposes at /metrics. Nil disables instrumentation; the
+	// client works identically either way.
+	Metrics *obs.Registry
 }
 
 // clientState is the per-epoch derived serving state: the epoch's
@@ -243,6 +259,7 @@ func New(g *Graph, opt Options) (*Client, error) {
 		JournalPath:      opt.Journal,
 		CompactThreshold: opt.CompactThreshold,
 		MemoEvery:        opt.MemoEvery,
+		Metrics:          opt.Metrics,
 	})
 	if err != nil {
 		return nil, err

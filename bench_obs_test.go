@@ -1,0 +1,131 @@
+// Observability overhead benchmark: the evidence that the metrics
+// registry and pipeline tracing stay out of the request path's way.
+// Two identical servers answer the same discover workload over HTTP —
+// one with full observation (route histograms, tracing, store and
+// index instruments), one with Config.NoObserve — and the interesting
+// number is the p50 delta between them.
+//
+// BenchmarkObservabilityOverhead emits a one-line BENCH_obs.json
+// record with both p50s and the relative overhead; the acceptance
+// budget is < 3%.
+package authteam_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"authteam/internal/server"
+	"authteam/internal/stats"
+)
+
+func emitBenchObs(name string, fields map[string]any) {
+	fields["bench"] = name
+	buf, _ := json.Marshal(fields)
+	fmt.Printf("BENCH_obs.json %s\n", buf)
+}
+
+// benchObsServer boots one server over the shared bench graph and
+// returns a closure running a single uncached discover against it.
+// Distinct seeds per request defeat the result cache, so every call
+// pays the full pipeline the instruments wrap.
+func benchObsServer(b *testing.B, noObserve bool) (func(seed int64) float64, func()) {
+	b.Helper()
+	s, err := server.New(server.Config{
+		Graph:     benchG,
+		Workers:   4,
+		CacheSize: 256,
+		NoObserve: noObserve,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	skills := make([]string, 0, len(benchProj[4]))
+	for _, sk := range benchProj[4] {
+		skills = append(skills, benchG.SkillName(sk))
+	}
+	names, _ := json.Marshal(skills)
+
+	call := func(seed int64) float64 {
+		body := fmt.Sprintf(`{"skills": %s, "method": "random", "trials": 64, "seed": %d}`, names, seed)
+		t0 := time.Now()
+		resp, err := ts.Client().Post(ts.URL+"/v1/discover", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out struct {
+			Cached bool `json:"cached"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("discover status %d", resp.StatusCode)
+		}
+		if out.Cached {
+			b.Fatal("cached response in an uncached workload")
+		}
+		return float64(time.Since(t0)) / float64(time.Millisecond)
+	}
+	cleanup := func() {
+		ts.Close()
+		s.Close()
+	}
+	return call, cleanup
+}
+
+func BenchmarkObservabilityOverhead(b *testing.B) {
+	benchSetup(b)
+	const warmup = 16
+	rng := rand.New(rand.NewSource(97))
+
+	measure := func(noObserve bool, n int) []float64 {
+		call, cleanup := benchObsServer(b, noObserve)
+		defer cleanup()
+		for i := 0; i < warmup; i++ {
+			call(rng.Int63())
+		}
+		out := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, call(rng.Int63()))
+		}
+		return out
+	}
+
+	n := max(b.N, 200)
+	b.ResetTimer()
+	// Interleave nothing: each server runs its full sample back to
+	// back, keeping the comparison within one machine state.
+	onMS := measure(false, n)
+	offMS := measure(true, n)
+	b.StopTimer()
+	if b.Failed() {
+		return
+	}
+
+	onPs := stats.Percentiles(onMS, 50, 99)
+	offPs := stats.Percentiles(offMS, 50, 99)
+	overhead := 0.0
+	if offPs[0] > 0 {
+		overhead = (onPs[0] - offPs[0]) / offPs[0] * 100
+	}
+	b.ReportMetric(onPs[0], "observed-p50-ms")
+	b.ReportMetric(offPs[0], "unobserved-p50-ms")
+	b.ReportMetric(overhead, "overhead-%")
+	emitBenchObs("observability_overhead", map[string]any{
+		"requests_per_side": n,
+		"observed_p50_ms":   round3(onPs[0]),
+		"observed_p99_ms":   round3(onPs[1]),
+		"unobserved_p50_ms": round3(offPs[0]),
+		"unobserved_p99_ms": round3(offPs[1]),
+		"overhead_p50_pct":  round3(overhead),
+		"budget_pct":        3.0,
+	})
+}

@@ -134,19 +134,23 @@ func BenchmarkReplicationStream(b *testing.B) {
 	if fs, ok := follower.FollowerStats(); ok {
 		fstats = fs
 	}
-	if len(lagMS) > 0 {
-		b.ReportMetric(stats.Percentile(lagMS, 0.50), "lag-p50-ms")
-		b.ReportMetric(stats.Percentile(lagMS, 0.99), "lag-p99-ms")
-	}
 	fields := map[string]any{
 		"writes":          len(lagMS),
-		"lag_p50_ms":      round3(stats.Percentile(lagMS, 0.50)),
-		"lag_p99_ms":      round3(stats.Percentile(lagMS, 0.99)),
 		"records_applied": fstats.Applied,
 		"base_fetches":    fstats.BaseFetches,
 	}
+	if len(lagMS) > 0 {
+		// Percentile takes p in [0,100]; a fractional p here would
+		// silently report the sub-1st percentile instead of the
+		// median/tail.
+		lagPs := stats.Percentiles(lagMS, 50, 99)
+		b.ReportMetric(lagPs[0], "lag-p50-ms")
+		b.ReportMetric(lagPs[1], "lag-p99-ms")
+		fields["lag_p50_ms"] = round3(lagPs[0])
+		fields["lag_p99_ms"] = round3(lagPs[1])
+	}
 	if len(discoverMS) > 0 {
-		fields["follower_discover_p50_ms"] = round3(stats.Percentile(discoverMS, 0.50))
+		fields["follower_discover_p50_ms"] = round3(stats.Percentile(discoverMS, 50))
 		fields["follower_discovers"] = len(discoverMS)
 	}
 	emitBenchReplication("replication_stream", fields)

@@ -23,7 +23,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -120,8 +120,23 @@ func runServe(args []string) {
 		memoEvery = fs.Int("memo-every", 0, "store reconstruction-checkpoint spacing (0 = default 256)")
 		cacheCF   = fs.Int("cache-compact-factor", 0, "result-cache per-epoch key-list compaction factor (0 = default 2)")
 		visits    = fs.Int("repair-visit-budget", 0, "max label visits one incremental index repair may spend before falling back to an async rebuild (0 disables the cap)")
+		debugAddr = fs.String("debug-addr", "", "private debug listener for pprof and /metrics (e.g. localhost:7511; empty disables)")
+		logFormat = fs.String("log-format", "text", "structured log format: text | json")
+		readyLagE = fs.Int64("ready-lag-epochs", 0, "follower /readyz turns 503 past this many epochs of replication lag (0 = default 4096, negative disables)")
+		readyLag  = fs.Duration("ready-lag", 0, "follower /readyz turns 503 after this long without confirmed catch-up (0 = default 60s, negative disables)")
+		slowQuery = fs.Duration("slow-query", 0, "log discoveries slower than this, rate-limited to one line per second (0 disables)")
+		noObserve = fs.Bool("no-observe", false, "disable tracing and the latency/maintenance instruments (the /stats counters keep working)")
 	)
 	fs.Parse(args)
+
+	switch *logFormat {
+	case "json":
+		slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	case "text":
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	default:
+		fail("serve: unknown -log-format %q (want text or json)", *logFormat)
+	}
 
 	srv, err := server.New(server.Config{
 		Addr:               *addr,
@@ -145,13 +160,19 @@ func runServe(args []string) {
 		MinEpochWait:       *minWait,
 		MemoEvery:          *memoEvery,
 		CacheCompactFactor: *cacheCF,
+		DebugAddr:          *debugAddr,
+		ReadyMaxLagEpochs:  *readyLagE,
+		ReadyMaxLag:        *readyLag,
+		SlowQueryThreshold: *slowQuery,
+		NoObserve:          *noObserve,
 	})
 	if err != nil {
 		fail("serve: %v", err)
 	}
 	if epoch := srv.Store().Epoch(); epoch > 0 {
-		log.Printf("teamdisc serve: journal replayed %d mutations (epoch %d, base epoch %d)",
-			epoch-srv.Store().BaseEpoch(), epoch, srv.Store().BaseEpoch())
+		slog.Info("teamdisc serve: journal replayed",
+			"mutations", epoch-srv.Store().BaseEpoch(),
+			"epoch", epoch, "base_epoch", srv.Store().BaseEpoch())
 	}
 	// Read the banner counts through the snapshot, not srv.Graph() —
 	// materializing a full graph just for a log line would start every
@@ -159,17 +180,19 @@ func runServe(args []string) {
 	snap := srv.Store().Snapshot()
 	role := "leader"
 	if *follow != "" {
-		role = fmt.Sprintf("follower of %s", *follow)
+		role = "follower of " + *follow
 	}
-	log.Printf("teamdisc serve: expertgraph{nodes: %d, edges: %d} on %s as %s (γ=%.2f λ=%.2f)",
-		snap.NumNodes(), snap.NumEdges(), *addr, role, *gamma, *lambda)
+	slog.Info("teamdisc serve: listening",
+		"nodes", snap.NumNodes(), "edges", snap.NumEdges(),
+		"addr", *addr, "role", role, "gamma", *gamma, "lambda", *lambda,
+		"debug_addr", *debugAddr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := srv.ListenAndServe(ctx); err != nil {
 		fail("serve: %v", err)
 	}
-	log.Printf("teamdisc serve: drained, bye")
+	slog.Info("teamdisc serve: drained, bye")
 }
 
 // runQuery answers one discovery query and exits (the original CLI).

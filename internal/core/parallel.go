@@ -26,6 +26,16 @@ import (
 // dist is nil.
 func TopKParallel(p *transform.Params, m Method, project []expertgraph.SkillID,
 	k, workers int, dist oracle.Oracle) ([]*team.Team, error) {
+	return TopKParallelStaged(p, m, project, k, workers, dist, nil)
+}
+
+// TopKParallelStaged is TopKParallel with a stage hook for pipeline
+// tracing: when lap is non-nil it is invoked at the two phase
+// boundaries — "search" once the sharded root scan has joined, and
+// "merge" once the candidate pool has been re-ranked and deduplicated.
+// The hook runs on the calling goroutine.
+func TopKParallelStaged(p *transform.Params, m Method, project []expertgraph.SkillID,
+	k, workers int, dist oracle.Oracle, lap func(stage string)) ([]*team.Team, error) {
 
 	if k <= 0 {
 		return nil, ErrBadK
@@ -43,7 +53,12 @@ func TopKParallel(p *transform.Params, m Method, project []expertgraph.SkillID,
 	g := p.Graph()
 	n := g.NumNodes()
 	if workers < 2 || n < 2*workers {
-		return newDiscoverer(nil).TopK(project, k)
+		teams, err := newDiscoverer(nil).TopK(project, k)
+		if lap != nil {
+			lap("search")
+			lap("merge") // sequential TopK merges as it scans; the stage is empty
+		}
+		return teams, err
 	}
 
 	// Shard roots contiguously.
@@ -79,6 +94,9 @@ func TopKParallel(p *transform.Params, m Method, project []expertgraph.SkillID,
 		}(w)
 	}
 	wg.Wait()
+	if lap != nil {
+		lap("search")
+	}
 
 	// Merge: collect per-shard winners with their surrogate-order
 	// proxy. Each shard's TopK is sorted by greedy cost; re-scoring
@@ -126,6 +144,9 @@ func TopKParallel(p *transform.Params, m Method, project []expertgraph.SkillID,
 		if len(merged) == k {
 			break
 		}
+	}
+	if lap != nil {
+		lap("merge")
 	}
 	return merged, nil
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"authteam/internal/expertgraph"
 )
@@ -89,6 +90,10 @@ func (s *Store) Compact() (CompactStats, error) {
 	// contend on s.mu for the final journal swap).
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
+	if s.foldHist != nil {
+		start := time.Now()
+		defer func() { s.foldHist.Observe(time.Since(start).Seconds()) }()
+	}
 
 	s.mu.Lock()
 	if s.closed {
@@ -256,6 +261,7 @@ func (s *Store) swapAndRebase(snap *Snapshot, g *expertgraph.Graph, staged *stag
 		nodes:         s.nNodes,
 		edges:         s.nEdges,
 		matCtr:        &s.materialized,
+		overlayHist:   s.overlayHist,
 	}
 	if next.epoch == next.baseEpoch {
 		next.g = g // base-epoch snapshot: Graph()/View() answer from the base directly

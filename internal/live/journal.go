@@ -7,7 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 )
 
@@ -60,7 +60,8 @@ func openJournal(path string, sync bool) ([]Mutation, uint64, *journal, error) {
 		return nil, 0, nil, fmt.Errorf("live: journal: %w", serr)
 	}
 	if good < end {
-		log.Printf("live: journal %s: truncating %d bytes of torn trailing record", path, end-good)
+		slog.Warn("live: truncating torn trailing journal record",
+			"journal", path, "torn_bytes", end-good, "good_bytes", good)
 		if err := f.Truncate(good); err != nil {
 			f.Close()
 			return nil, 0, nil, fmt.Errorf("live: journal truncate: %w", err)

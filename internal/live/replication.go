@@ -163,6 +163,7 @@ func (s *Store) AdoptBase(g *expertgraph.Graph, epoch uint64) error {
 		nodes: s.nNodes, edges: s.nEdges,
 		prevBaseEpoch: epoch,
 		matCtr:        &s.materialized,
+		overlayHist:   s.overlayHist,
 	})
 	s.bumpWatch()
 	s.baseAdoptions.Add(1)
@@ -249,6 +250,13 @@ type FollowerStats struct {
 	// stats call (0 when caught up).
 	LeaderEpoch uint64 `json:"leader_epoch"`
 	Lag         uint64 `json:"lag"`
+	// LagSeconds is how long ago the follower last confirmed it was
+	// caught up with the source (a successful poll with local epoch ≥
+	// leader epoch): 0 while caught up, and growing from the moment the
+	// follower fell — or lost contact — behind. Unlike Lag it keeps
+	// rising while the leader is unreachable, so a readiness probe can
+	// shed a stale replica even when no epoch delta is observable.
+	LagSeconds float64 `json:"lag_seconds"`
 	// LastError is the most recent source or apply error ("" when the
 	// last poll succeeded).
 	LastError string `json:"last_error,omitempty"`
@@ -278,6 +286,11 @@ type Follower struct {
 	errs        atomic.Uint64
 	leaderEpoch atomic.Uint64
 	lastErr     atomic.Pointer[string]
+	// caughtUp is true while the last successful poll confirmed local
+	// epoch ≥ leader epoch; caughtUpNS is when that was last true
+	// (start time until first confirmation), feeding LagSeconds.
+	caughtUp   atomic.Bool
+	caughtUpNS atomic.Int64
 }
 
 // StartFollower begins replaying src onto store in a background
@@ -292,6 +305,7 @@ func StartFollower(store *Store, src ReplicationSource, cfg FollowerConfig) *Fol
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	f.caughtUpNS.Store(time.Now().UnixNano())
 	go f.loop(ctx)
 	return f
 }
@@ -321,6 +335,11 @@ func (f *Follower) Stats() FollowerStats {
 	}
 	if local := f.store.Epoch(); st.LeaderEpoch > local {
 		st.Lag = st.LeaderEpoch - local
+	}
+	if !f.caughtUp.Load() {
+		if ts := f.caughtUpNS.Load(); ts > 0 {
+			st.LagSeconds = time.Since(time.Unix(0, ts)).Seconds()
+		}
 	}
 	select {
 	case <-f.done:
@@ -438,11 +457,21 @@ func (f *Follower) loop(ctx context.Context) {
 		case err != nil && ctx.Err() == nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded):
 			f.errs.Add(1)
 			f.setErr(err)
+			// Contact lost: we can no longer vouch for freshness, so
+			// LagSeconds starts (or keeps) growing from the last
+			// confirmed catch-up.
+			f.caughtUp.Store(false)
 			f.sleep(backoff)
 			backoff = min(2*backoff, 32*f.cfg.Backoff)
 		case err == nil:
 			f.setErr(nil)
 			backoff = f.cfg.Backoff
+			if f.store.Epoch() >= leaderEpoch {
+				f.caughtUpNS.Store(time.Now().UnixNano())
+				f.caughtUp.Store(true)
+			} else {
+				f.caughtUp.Store(false)
+			}
 		}
 	}
 }

@@ -30,12 +30,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"authteam/internal/expertgraph"
+	"authteam/internal/obs"
 )
 
 // Op identifies a mutation kind in the journal and the in-memory log.
@@ -129,6 +131,12 @@ type Config struct {
 	// many log records. Smaller values trade memory for faster
 	// SnapshotAt. ≤ 0 means the default (256).
 	MemoEvery int
+	// Metrics registers the store's instruments — apply latency,
+	// journal append (+fsync) duration, fold duration, overlay-build
+	// time, resident log length and epoch gauges — on the given
+	// registry. Nil leaves the store entirely uninstrumented (the
+	// hot-path observation calls become no-ops on nil instruments).
+	Metrics *obs.Registry
 }
 
 // Store is the mutable overlay over one immutable base graph. All
@@ -221,6 +229,14 @@ type Store struct {
 	// baseAdoptions counts wholesale base replacements (AdoptBase): a
 	// follower recovering across a leader fold, never a local fold.
 	baseAdoptions atomic.Uint64
+
+	// Registry-backed instruments (all nil when Config.Metrics was nil;
+	// observation on a nil instrument is a no-op). foldHist is observed
+	// by Compact, overlayHist rides inside every published snapshot.
+	applyHist   *obs.Histogram
+	appendHist  *obs.Histogram
+	foldHist    *obs.Histogram
+	overlayHist *obs.Histogram
 }
 
 // prefixCount is one SnapshotAt checkpoint: the graph size after the
@@ -280,6 +296,31 @@ func Open(base *expertgraph.Graph, cfg Config) (*Store, error) {
 	if s.memo <= 0 {
 		s.memo = memoEvery
 	}
+	if reg := cfg.Metrics; reg != nil {
+		s.applyHist = reg.Histogram("authteam_live_apply_seconds",
+			"Write-path latency of one mutation: validate, journal, apply, publish.", nil)
+		s.appendHist = reg.Histogram("authteam_live_journal_append_seconds",
+			"Journal append duration per record, including fsync when Sync is on.", nil)
+		s.foldHist = reg.Histogram("authteam_live_fold_seconds",
+			"Journal compaction (fold) duration: materialize, base rewrite, journal swap.", nil)
+		s.overlayHist = reg.Histogram("authteam_live_overlay_build_seconds",
+			"Per-epoch overlay view construction time (first read of a fresh epoch).", nil)
+		reg.GaugeFunc("authteam_live_log_len",
+			"Resident mutation-log length (epoch minus base epoch).",
+			func() float64 { return float64(s.LogLen()) })
+		reg.GaugeFunc("authteam_live_epoch",
+			"Current store epoch (mutations applied since the original base).",
+			func() float64 { return float64(s.Epoch()) })
+		reg.CounterFunc("authteam_live_compactions_total",
+			"Journal compactions performed, including the Open-time auto-fold.",
+			func() float64 { return float64(s.compactions.Load()) })
+		reg.CounterFunc("authteam_live_base_adoptions_total",
+			"Wholesale base replacements (follower recovery across a leader fold).",
+			func() float64 { return float64(s.baseAdoptions.Load()) })
+		reg.CounterFunc("authteam_live_materializations_total",
+			"Full-graph materializations (thaw + delta replay).",
+			func() float64 { return float64(s.materialized.Load()) })
+	}
 	initWatch := make(chan struct{})
 	s.watch.Store(&initWatch)
 	var replay []Mutation
@@ -301,8 +342,11 @@ func Open(base *expertgraph.Graph, cfg Config) (*Store, error) {
 			// resetting the journal — the opposite order could lose
 			// records). Every journaled epoch is already folded into the
 			// base, so reset the journal to an empty file anchored there.
-			log.Printf("live: journal %s covers epochs %d..%d behind base epoch %d; resetting journal to the base epoch",
-				cfg.JournalPath, startEpoch, startEpoch+uint64(len(muts)), s.baseEpoch)
+			slog.Warn("live: journal behind base; resetting journal to the base epoch",
+				"journal", cfg.JournalPath,
+				"journal_from", startEpoch,
+				"journal_to", startEpoch+uint64(len(muts)),
+				"base_epoch", s.baseEpoch)
 			j.Close()
 			staged, serr := stageJournal(cfg.JournalPath, s.baseEpoch, nil, cfg.Sync)
 			if serr != nil {
@@ -332,7 +376,7 @@ func Open(base *expertgraph.Graph, cfg Config) (*Store, error) {
 		epoch: s.baseEpoch, baseEpoch: s.baseEpoch,
 		base: s.base, g: s.base,
 		nodes: s.nNodes, edges: s.nEdges,
-		matCtr: &s.materialized,
+		matCtr: &s.materialized, overlayHist: s.overlayHist,
 	})
 
 	for i, m := range replay {
@@ -470,7 +514,7 @@ func (s *Store) SnapshotAt(epoch uint64) (*Snapshot, bool) {
 		base: cur.base, log: log, nodes: nodes, edges: edges,
 		prefix:        cur.prefix[:idx/s.memo],
 		prevBaseEpoch: cur.prevBaseEpoch, prevLog: cur.prevLog,
-		matCtr: cur.matCtr,
+		matCtr: cur.matCtr, overlayHist: cur.overlayHist,
 	}
 	if epoch == cur.baseEpoch {
 		sn.g = cur.base
@@ -608,9 +652,17 @@ func (s *Store) UpdateCollaboration(u, v expertgraph.NodeID, w float64) (uint64,
 // a total order; the returned epoch supports read-your-writes — any
 // snapshot resolved afterwards has at least that epoch.
 func (s *Store) Apply(m Mutation) (expertgraph.NodeID, uint64, error) {
+	var start time.Time
+	if s.applyHist != nil {
+		start = time.Now()
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.apply(m, true)
+	id, epoch, err := s.apply(m, true)
+	s.mu.Unlock()
+	if err == nil && s.applyHist != nil {
+		s.applyHist.Observe(time.Since(start).Seconds())
+	}
+	return id, epoch, err
 }
 
 // apply is Apply without the lock (held by the caller) and with
@@ -729,8 +781,15 @@ func (s *Store) apply(m Mutation, journal bool) (expertgraph.NodeID, uint64, err
 
 	// Journal first (write-ahead), then mutate in-memory state.
 	if journal && s.journal != nil {
+		var jstart time.Time
+		if s.appendHist != nil {
+			jstart = time.Now()
+		}
 		if err := s.journal.Append(m); err != nil {
 			return 0, 0, err
+		}
+		if s.appendHist != nil {
+			s.appendHist.Observe(time.Since(jstart).Seconds())
 		}
 		// Nudge the background compactor when this append crossed its
 		// fold trigger — a non-blocking watermark signal, so folds start
@@ -794,6 +853,7 @@ func (s *Store) apply(m Mutation, journal bool) (expertgraph.NodeID, uint64, err
 		nodes:         s.nNodes,
 		edges:         s.nEdges,
 		matCtr:        &s.materialized,
+		overlayHist:   s.overlayHist,
 	}
 	s.snap.Store(next)
 	s.bumpWatch()
@@ -819,6 +879,7 @@ type Snapshot struct {
 	nodes         int
 	edges         int
 	matCtr        *atomic.Uint64 // store's materialization counter (may be nil)
+	overlayHist   *obs.Histogram // overlay-build duration instrument (may be nil)
 
 	once sync.Once
 	g    *expertgraph.Graph
@@ -879,7 +940,14 @@ func (sn *Snapshot) View() expertgraph.GraphView {
 			sn.view = sn.base
 			return
 		}
+		var start time.Time
+		if sn.overlayHist != nil {
+			start = time.Now()
+		}
 		sn.view = newOverlay(sn.base, sn.log[:sn.epoch-sn.baseEpoch], sn.nodes, sn.edges)
+		if sn.overlayHist != nil {
+			sn.overlayHist.Observe(time.Since(start).Seconds())
+		}
 	})
 	return sn.view
 }

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is a lightweight span recorder for a linear pipeline. Stages
+// are recorded with Lap, which measures the time since the previous
+// lap — so the spans exactly partition the interval from trace start
+// to the last lap, and their durations sum to the traced total.
+//
+// A nil *Trace is valid and records nothing, so instrumented code can
+// thread a possibly-nil trace without guarding each call. All methods
+// are safe for concurrent use, though a pipeline normally laps from
+// one goroutine at a time.
+type Trace struct {
+	mu    sync.Mutex
+	start time.Time
+	last  time.Time
+	spans []Span
+}
+
+// Span is one recorded pipeline stage.
+type Span struct {
+	Stage string
+	Dur   time.Duration
+}
+
+// NewTrace starts a trace at the current time.
+func NewTrace() *Trace {
+	now := time.Now()
+	return &Trace{start: now, last: now}
+}
+
+// Lap closes the current stage: it records a span named stage lasting
+// from the previous lap (or the trace start) until now.
+func (t *Trace) Lap(stage string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Stage: stage, Dur: now.Sub(t.last)})
+	t.last = now
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Total returns the traced interval: trace start to the last lap.
+func (t *Trace) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.last.Sub(t.start)
+}
+
+// Header renders the spans as a compact response-header value:
+// "stage=ms;stage=ms;...", millisecond durations with 3 decimals.
+func (t *Trace) Header() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	for i, s := range t.spans {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(s.Stage)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(float64(s.Dur)/float64(time.Millisecond), 'f', 3, 64))
+	}
+	return b.String()
+}

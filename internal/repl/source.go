@@ -12,6 +12,7 @@ import (
 
 	"authteam/internal/expertgraph"
 	"authteam/internal/live"
+	"authteam/internal/obs"
 )
 
 // HTTPSource implements live.ReplicationSource against a leader's
@@ -20,6 +21,12 @@ import (
 type HTTPSource struct {
 	base string
 	hc   *http.Client
+	// tailHist and baseHist time leader round-trips (nil without
+	// Instrument; obs methods are nil-safe no-ops). A tail observation
+	// includes the server-side long-poll wait, so the histogram's upper
+	// buckets reflect the poll bound, not network trouble.
+	tailHist *obs.Histogram
+	baseHist *obs.Histogram
 }
 
 // NewHTTPSource builds a source tailing the leader at baseURL (scheme
@@ -31,6 +38,18 @@ func NewHTTPSource(baseURL string, hc *http.Client) *HTTPSource {
 		hc = &http.Client{}
 	}
 	return &HTTPSource{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// Instrument registers the source's round-trip histograms on reg and
+// returns the source for chaining.
+func (s *HTTPSource) Instrument(reg *obs.Registry) *HTTPSource {
+	if reg != nil {
+		s.tailHist = reg.Histogram("authteam_replication_tail_roundtrip_seconds",
+			"Leader tail long-poll round-trip duration (includes server-side wait).", nil)
+		s.baseHist = reg.Histogram("authteam_replication_base_roundtrip_seconds",
+			"Leader base snapshot fetch duration.", nil)
+	}
+	return s
 }
 
 // waitMargin is subtracted from the request context's deadline to set
@@ -57,6 +76,10 @@ func (s *HTTPSource) Tail(ctx context.Context, from uint64, max int) ([]live.Mut
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/v1/journal/tail?"+q.Encode(), nil)
 	if err != nil {
 		return nil, 0, err
+	}
+	if s.tailHist != nil {
+		start := time.Now()
+		defer func() { s.tailHist.Observe(time.Since(start).Seconds()) }()
 	}
 	resp, err := s.hc.Do(req)
 	if err != nil {
@@ -87,6 +110,10 @@ func (s *HTTPSource) Base(ctx context.Context) (*expertgraph.Graph, uint64, erro
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/v1/journal/base", nil)
 	if err != nil {
 		return nil, 0, err
+	}
+	if s.baseHist != nil {
+		start := time.Now()
+		defer func() { s.baseHist.Observe(time.Since(start).Seconds()) }()
 	}
 	resp, err := s.hc.Do(req)
 	if err != nil {

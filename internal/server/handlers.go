@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"authteam/internal/core"
 	"authteam/internal/expertgraph"
 	"authteam/internal/live"
+	"authteam/internal/obs"
 	"authteam/internal/oracle"
 	"authteam/internal/team"
 	"authteam/internal/transform"
@@ -104,6 +106,43 @@ type DiscoverResponse struct {
 	Pareto    []ParetoResult `json:"pareto,omitempty"`
 	Cached    bool           `json:"cached"`
 	ElapsedMS float64        `json:"elapsed_ms"`
+	// Trace is the per-stage timing breakdown, populated only when the
+	// request asked for it with ?debug=trace (and tracing is enabled).
+	Trace *TraceInfo `json:"trace,omitempty"`
+}
+
+// TraceSpan is one pipeline stage of a traced discovery.
+type TraceSpan struct {
+	Stage string  `json:"stage"`
+	MS    float64 `json:"ms"`
+}
+
+// TraceInfo is the ?debug=trace section of a response. The spans
+// partition the request's wall time, so their durations sum to
+// TotalMS by construction.
+type TraceInfo struct {
+	TotalMS float64     `json:"total_ms"`
+	Spans   []TraceSpan `json:"spans"`
+}
+
+// traceInfo converts a completed trace for the response payload; nil
+// in, nil out.
+func traceInfo(tr *obs.Trace) *TraceInfo {
+	if tr == nil {
+		return nil
+	}
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		return nil
+	}
+	info := &TraceInfo{TotalMS: float64(tr.Total()) / float64(time.Millisecond)}
+	for _, sp := range spans {
+		info.Spans = append(info.Spans, TraceSpan{
+			Stage: sp.Stage,
+			MS:    float64(sp.Dur) / float64(time.Millisecond),
+		})
+	}
+	return info
 }
 
 // BatchRequest is the body of POST /v1/discover/batch.
@@ -265,16 +304,24 @@ func (q *query) cacheKey() string {
 // discoverOne runs the full request pipeline — normalize, cache
 // lookup, timed compute, metrics — and is shared by the single and
 // batch endpoints. scanWorkers is the root-scan parallelism granted
-// to this one discovery.
-func (s *Server) discoverOne(ctx context.Context, req *DiscoverRequest, scanWorkers int) (*DiscoverResponse, *httpError) {
+// to this one discovery. The returned trace (nil with observation
+// off) partitions the request into pipeline stages; it is complete
+// only on success — a timed-out computation keeps lapping it in the
+// abandoned worker, so error paths must not read it.
+func (s *Server) discoverOne(ctx context.Context, req *DiscoverRequest, scanWorkers int) (*DiscoverResponse, *obs.Trace, *httpError) {
+	var tr *obs.Trace
+	if s.observe {
+		tr = obs.NewTrace()
+	}
 	// Resolve the epoch once; the whole request — skill resolution,
 	// cache key, search, scoring — runs against this one snapshot.
 	v := s.view()
 	q, herr := s.normalize(v, req)
 	if herr != nil {
 		s.metrics.record(methodLabel(req.Method), 0, true)
-		return nil, herr
+		return nil, nil, herr
 	}
+	tr.Lap("resolve")
 	start := time.Now()
 	// Epoch-keyed cache entries: a mutation advances the epoch and
 	// thereby orphans every cached result of the old epoch, so a
@@ -297,8 +344,10 @@ func (s *Server) discoverOne(ctx context.Context, req *DiscoverRequest, scanWork
 			// may come from a request differing in fields its method
 			// ignores (e.g. pareto's γ/λ/k).
 			resp.Gamma, resp.Lambda, resp.K = q.gamma, q.lambda, q.k
+			tr.Lap("cache")
 			s.metrics.record(q.methodName, time.Since(start), false)
-			return &resp, nil
+			s.logSlow(q, time.Since(start), true, v.epoch(), tr)
+			return &resp, tr, nil
 		}
 		s.flightMu.Lock()
 		inflight, waiting := s.flights[key]
@@ -315,10 +364,10 @@ func (s *Server) discoverOne(ctx context.Context, req *DiscoverRequest, scanWork
 			// loop to re-read.
 		case <-ctx.Done():
 			s.metrics.record(q.methodName, time.Since(start), true)
-			return nil, errf(http.StatusGatewayTimeout, "request cancelled")
+			return nil, nil, errf(http.StatusGatewayTimeout, "request cancelled")
 		case <-time.After(s.cfg.RequestTimeout):
 			s.metrics.record(q.methodName, time.Since(start), true)
-			return nil, errf(http.StatusGatewayTimeout,
+			return nil, nil, errf(http.StatusGatewayTimeout,
 				"discovery exceeded the %v request timeout", s.cfg.RequestTimeout)
 		}
 	}
@@ -331,13 +380,36 @@ func (s *Server) discoverOne(ctx context.Context, req *DiscoverRequest, scanWork
 			close(latch)
 		}
 	}
-	resp, herr := s.computeWithTimeout(ctx, v, q, key, scanWorkers, release)
+	resp, herr := s.computeWithTimeout(ctx, v, q, key, scanWorkers, release, tr)
 	if herr != nil {
 		s.metrics.record(q.methodName, time.Since(start), true)
-		return nil, herr
+		return nil, nil, herr
 	}
 	s.metrics.record(q.methodName, time.Since(start), false)
-	return resp, nil
+	s.logSlow(q, time.Since(start), false, v.epoch(), tr)
+	return resp, tr, nil
+}
+
+// logSlow emits one structured log line for a discovery slower than
+// Config.SlowQueryThreshold, rate-limited to at most one per second
+// so a pathological workload cannot flood the log. The span breakdown
+// rides along when tracing is on.
+func (s *Server) logSlow(q *query, elapsed time.Duration, cached bool, epoch uint64, tr *obs.Trace) {
+	if s.cfg.SlowQueryThreshold <= 0 || elapsed < s.cfg.SlowQueryThreshold {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := s.slowLogNS.Load()
+	if now-last < int64(time.Second) || !s.slowLogNS.CompareAndSwap(last, now) {
+		return
+	}
+	slog.Warn("server: slow discovery",
+		"method", q.methodName,
+		"skills", q.names,
+		"elapsed_ms", float64(elapsed)/float64(time.Millisecond),
+		"epoch", epoch,
+		"cached", cached,
+		"spans", tr.Header())
 }
 
 // computeWithTimeout bounds one discovery computation by the server's
@@ -348,7 +420,7 @@ func (s *Server) discoverOne(ctx context.Context, req *DiscoverRequest, scanWork
 // recomputing forever. The worker finalizes the response (ElapsedMS,
 // cache fill) before publishing it; afterwards the response is
 // immutable.
-func (s *Server) computeWithTimeout(ctx context.Context, v view, q *query, key string, scanWorkers int, release func()) (*DiscoverResponse, *httpError) {
+func (s *Server) computeWithTimeout(ctx context.Context, v view, q *query, key string, scanWorkers int, release func(), tr *obs.Trace) (*DiscoverResponse, *httpError) {
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
 	type outcome struct {
@@ -359,7 +431,7 @@ func (s *Server) computeWithTimeout(ctx context.Context, v view, q *query, key s
 	go func() {
 		defer release() // after the cache fill, so waiters re-read a hit
 		start := time.Now()
-		resp, herr := s.compute(v, q, scanWorkers)
+		resp, herr := s.compute(v, q, scanWorkers, tr)
 		if herr == nil {
 			resp.ElapsedMS = msSince(start)
 			s.cache.Put(key, v.epoch(), resp)
@@ -376,12 +448,13 @@ func (s *Server) computeWithTimeout(ctx context.Context, v view, q *query, key s
 }
 
 // compute runs the selected discovery method against the view's graph
-// and indexes.
-func (s *Server) compute(v view, q *query, scanWorkers int) (*DiscoverResponse, *httpError) {
+// and indexes, lapping tr at each pipeline stage.
+func (s *Server) compute(v view, q *query, scanWorkers int, tr *obs.Trace) (*DiscoverResponse, *httpError) {
 	p, err := s.paramsFor(v, q.gamma, q.lambda)
 	if err != nil {
 		return nil, errf(http.StatusBadRequest, "%v", err)
 	}
+	tr.Lap("fit")
 	resp := &DiscoverResponse{
 		Method: q.methodName,
 		Skills: q.names,
@@ -396,13 +469,17 @@ func (s *Server) compute(v view, q *query, scanWorkers int) (*DiscoverResponse, 
 		if err != nil {
 			return nil, discoveryError(err)
 		}
+		tr.Lap("search")
 		resp.Teams = []TeamResult{s.teamResult(v.g, tm, p)}
+		tr.Lap("score")
 	case "exact":
 		tm, err := core.Exact(p, q.project, core.ExactOptions{})
 		if err != nil {
 			return nil, discoveryError(err)
 		}
+		tr.Lap("search")
 		resp.Teams = []TeamResult{s.teamResult(v.g, tm, p)}
+		tr.Lap("score")
 	case "pareto":
 		front, err := core.ParetoFront(v.g, q.project, core.ParetoOptions{
 			// Route the sweep's per-γ indexes through the server's
@@ -417,6 +494,7 @@ func (s *Server) compute(v view, q *query, scanWorkers int) (*DiscoverResponse, 
 		if err != nil {
 			return nil, discoveryError(err)
 		}
+		tr.Lap("search")
 		for _, f := range front {
 			fp, err := s.paramsFor(v, f.Gamma, f.Lambda)
 			if err != nil {
@@ -428,18 +506,21 @@ func (s *Server) compute(v view, q *query, scanWorkers int) (*DiscoverResponse, 
 				Team: s.teamResult(v.g, f.Team, fp),
 			})
 		}
+		tr.Lap("score")
 	default: // cc | ca-cc | sa-ca-cc
 		// A nil oracle means no index is current at this epoch (a
 		// rebuild is in flight); TopKParallel then runs exact per-root
 		// Dijkstra — slower, but never a dead epoch's distances.
 		dist := s.indexes.forMethod(v, p, q.method)
-		teams, err := core.TopKParallel(p, q.method, q.project, q.k, scanWorkers, dist)
+		tr.Lap("index")
+		teams, err := core.TopKParallelStaged(p, q.method, q.project, q.k, scanWorkers, dist, tr.Lap)
 		if err != nil {
 			return nil, discoveryError(err)
 		}
 		for _, tm := range teams {
 			resp.Teams = append(resp.Teams, s.teamResult(v.g, tm, p))
 		}
+		tr.Lap("score")
 	}
 	return resp, nil
 }
@@ -509,10 +590,22 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr)
 		return
 	}
-	resp, herr := s.discoverOne(r.Context(), &req, s.cfg.Workers)
+	resp, tr, herr := s.discoverOne(r.Context(), &req, s.cfg.Workers)
 	if herr != nil {
 		writeError(w, herr)
 		return
+	}
+	if tr != nil {
+		if h := tr.Header(); h != "" {
+			w.Header().Set("X-Authteam-Trace", h)
+		}
+		if r.URL.Query().Get("debug") == "trace" {
+			// Shallow-copy before attaching: the response may be the
+			// shared cached object, which must stay immutable.
+			cp := *resp
+			cp.Trace = traceInfo(tr)
+			resp = &cp
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -537,6 +630,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	debugTrace := r.URL.Query().Get("debug") == "trace"
 	results := make([]BatchItem, len(req.Requests))
 	// Split the worker budget between batch fan-out and each item's
 	// root scan, so one batch cannot oversubscribe the CPU with up to
@@ -551,7 +645,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			resp, herr := s.discoverOne(r.Context(), &req.Requests[i], scanWorkers)
+			resp, tr, herr := s.discoverOne(r.Context(), &req.Requests[i], scanWorkers)
+			if herr == nil && debugTrace && tr != nil {
+				cp := *resp // cached responses are shared; never mutate them
+				cp.Trace = traceInfo(tr)
+				resp = &cp
+			}
 			item := BatchItem{Index: i, Status: http.StatusOK, Response: resp}
 			if herr != nil {
 				item.Status, item.Error, item.Response = herr.status, herr.msg, nil

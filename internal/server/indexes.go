@@ -3,17 +3,19 @@ package server
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"os"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"authteam/internal/core"
 	"authteam/internal/expertgraph"
 	"authteam/internal/live"
+	"authteam/internal/obs"
 	"authteam/internal/oracle"
 	"authteam/internal/pll"
 	"authteam/internal/transform"
@@ -80,6 +82,12 @@ type indexSet struct {
 	// visitTrips counts repairs abandoned because they exceeded
 	// visitBudget (each one fell back to an async rebuild).
 	visitTrips atomic.Uint64
+
+	// Registry instruments (nil with observation off; every obs method
+	// is a nil-safe no-op, so the maintenance paths need no guards).
+	repairHist   *obs.HistogramVec // authteam_index_repair_seconds{kind}
+	repairVisits *obs.CounterVec   // authteam_index_repair_visits_total{kind}
+	rebuildHist  *obs.Histogram    // authteam_index_rebuild_seconds
 }
 
 // indexEntry pairs a resident oracle with the snapshot it is exact
@@ -94,8 +102,8 @@ type indexEntry struct {
 	params *transform.Params
 }
 
-func newIndexSet(base string, store *live.Store, repairBudget, visitBudget int) *indexSet {
-	return &indexSet{
+func newIndexSet(base string, store *live.Store, repairBudget, visitBudget int, reg *obs.Registry) *indexSet {
+	s := &indexSet{
 		base:         base,
 		store:        store,
 		repairBudget: repairBudget,
@@ -103,6 +111,27 @@ func newIndexSet(base string, store *live.Store, repairBudget, visitBudget int) 
 		entries:      make(map[string]*indexEntry),
 		building:     make(map[string]chan struct{}),
 	}
+	if reg != nil {
+		s.repairHist = reg.HistogramVec("authteam_index_repair_seconds",
+			"Incremental 2-hop cover repair duration by delta kind.", nil, "kind")
+		s.repairVisits = reg.CounterVec("authteam_index_repair_visits_total",
+			"Labels touched by incremental repairs, by delta kind.", "kind")
+		s.rebuildHist = reg.Histogram("authteam_index_rebuild_seconds",
+			"Full 2-hop cover build duration.", nil)
+		reg.GaugeFunc("authteam_index_rebuild_queue_depth",
+			"Asynchronous index rebuilds currently in flight.",
+			func() float64 { return float64(s.pending.Load()) })
+		reg.CounterFunc("authteam_index_repairs_total",
+			"Incremental index repairs applied.",
+			func() float64 { return float64(s.repairs.Load()) })
+		reg.CounterFunc("authteam_index_rebuilds_total",
+			"Full index builds (cold start, stale load, async refresh).",
+			func() float64 { return float64(s.rebuilds.Load()) })
+		reg.CounterFunc("authteam_index_repair_visit_trips_total",
+			"Repairs abandoned for exceeding the visit budget.",
+			func() float64 { return float64(s.visitTrips.Load()) })
+	}
+	return s
 }
 
 // indexKey canonically names the weight function an index was built
@@ -138,20 +167,26 @@ func (s *indexSet) stats() indexSetStats {
 }
 
 // countRepair folds one successful MaintainIndex outcome into the
-// kind counters. A delta absorbed entirely for free (only skipped
-// no-ops — value-unchanged authority updates, skill grants) counts
-// toward the repair total but toward no kind: nothing was inserted,
-// removed or re-weighted.
-func (s *indexSet) countRepair(rs live.RepairStats) {
+// kind counters and the per-kind duration histogram. A delta absorbed
+// entirely for free (only skipped no-ops — value-unchanged authority
+// updates, skill grants) counts toward the repair total but toward no
+// kind: nothing was inserted, removed or re-weighted.
+func (s *indexSet) countRepair(rs live.RepairStats, elapsed time.Duration) {
 	s.repairs.Add(1)
+	kind := "noop"
 	switch {
 	case rs.Decremental():
 		s.repairsDecremental.Add(1)
+		kind = "decremental"
 	case rs.Reweight():
 		s.repairsReweight.Add(1)
+		kind = "reweight"
 	case rs.Inserted > 0:
 		s.repairsInsert.Add(1)
+		kind = "insert"
 	}
+	s.repairHist.With(kind).Observe(elapsed.Seconds())
+	s.repairVisits.With(kind).Add(uint64(rs.Visits))
 }
 
 // forMethod returns an index oracle serving method m under params p at
@@ -250,9 +285,10 @@ func (s *indexSet) forMethod(v view, p *transform.Params, m core.Method) oracle.
 	}
 	if s.repairBudget >= 0 {
 		lim := live.RepairLimits{Mutations: s.repairBudget, Visits: s.visitBudget}
+		rstart := time.Now()
 		if ix, rs, ok := live.MaintainIndexWithin(stale.oracle.Index(), stale.snap, v.snap, weight, oldWeight, lim); ok {
 			o := oracle.NewPLL(ix)
-			s.countRepair(rs)
+			s.countRepair(rs, time.Since(rstart))
 			install(&indexEntry{oracle: o, snap: v.snap, params: entryParams})
 			return o
 		} else if rs.VisitsExceeded {
@@ -282,6 +318,10 @@ func (s *indexSet) forMethod(v view, p *transform.Params, m core.Method) oracle.
 // the overlay's per-read overhead throughout; queries keep reading the
 // overlay and never wait on this copy.
 func (s *indexSet) build(v view, p *transform.Params, m core.Method) *oracle.PLLOracle {
+	if s.rebuildHist != nil {
+		start := time.Now()
+		defer func() { s.rebuildHist.Observe(time.Since(start).Seconds()) }()
+	}
 	var weight oracle.WeightFunc
 	if m != core.CC {
 		weight = p.EdgeWeight()
@@ -311,7 +351,7 @@ func (s *indexSet) load(key string, v view, p *transform.Params, m core.Method) 
 	ix, err := pll.LoadFile(path)
 	if err != nil {
 		if !errors.Is(err, os.ErrNotExist) {
-			log.Printf("server: ignoring index %s: %v", path, err)
+			slog.Warn("server: ignoring index", "path", path, "err", err)
 		}
 		return nil
 	}
@@ -319,13 +359,14 @@ func (s *indexSet) load(key string, v view, p *transform.Params, m core.Method) 
 	if savedEpoch != v.epoch() {
 		from, ok := s.store.SnapshotAt(savedEpoch)
 		if !ok {
-			log.Printf("server: ignoring index %s (saved at epoch %d, store at %d)",
-				path, savedEpoch, v.epoch())
+			slog.Warn("server: ignoring index outside the store's history",
+				"path", path, "saved_epoch", savedEpoch, "store_epoch", v.epoch())
 			return nil
 		}
 		if ix.NumNodes() != from.NumNodes() {
-			log.Printf("server: ignoring stale index %s (%d nodes, epoch %d had %d)",
-				path, ix.NumNodes(), savedEpoch, from.NumNodes())
+			slog.Warn("server: ignoring stale index",
+				"path", path, "index_nodes", ix.NumNodes(),
+				"saved_epoch", savedEpoch, "epoch_nodes", from.NumNodes())
 			return nil
 		}
 		var weight, oldWeight live.WeightFunc
@@ -339,30 +380,31 @@ func (s *indexSet) load(key string, v view, p *transform.Params, m core.Method) 
 				oldWeight = oldP.EdgeWeight()
 			}
 		}
+		rstart := time.Now()
 		repaired, rs, ok := live.MaintainIndexWithin(ix, from, v.snap, weight, oldWeight,
 			live.RepairLimits{Mutations: s.repairBudget, Visits: s.visitBudget})
 		if !ok {
 			if rs.VisitsExceeded {
 				s.visitTrips.Add(1)
 			}
-			log.Printf("server: ignoring index %s (epoch %d delta to %d not repairable)",
-				path, savedEpoch, v.epoch())
+			slog.Warn("server: ignoring index with unrepairable delta",
+				"path", path, "saved_epoch", savedEpoch, "store_epoch", v.epoch())
 			return nil
 		}
-		s.countRepair(rs)
+		s.countRepair(rs, time.Since(rstart))
 		ix = repaired
 	}
 	if ix.NumNodes() != v.g.NumNodes() {
-		log.Printf("server: ignoring stale index %s (%d nodes, graph has %d)",
-			path, ix.NumNodes(), v.g.NumNodes())
+		slog.Warn("server: ignoring stale index",
+			"path", path, "index_nodes", ix.NumNodes(), "graph_nodes", v.g.NumNodes())
 		return nil
 	}
 	o := oracle.NewPLL(ix)
 	if !s.verifyIndex(o, v, p, m) {
-		log.Printf("server: ignoring stale index %s (distances disagree with the graph)", path)
+		slog.Warn("server: ignoring stale index with mismatched distances", "path", path)
 		return nil
 	}
-	log.Printf("server: loaded index %s at epoch %d: %v", path, v.epoch(), ix.Stats())
+	slog.Info("server: loaded index", "path", path, "epoch", v.epoch(), "stats", ix.Stats())
 	return o
 }
 
@@ -435,13 +477,13 @@ func (s *indexSet) save(key string, ix *pll.Index, epoch uint64) {
 	}
 	path := s.path(key)
 	if err := pll.SaveFile(path, ix); err != nil {
-		log.Printf("server: persist index %s: %v", path, err)
+		slog.Warn("server: persist index failed", "path", path, "err", err)
 		return
 	}
 	if err := os.WriteFile(s.epochPath(key), []byte(strconv.FormatUint(epoch, 10)+"\n"), 0o644); err != nil {
-		log.Printf("server: persist index epoch %s: %v", s.epochPath(key), err)
+		slog.Warn("server: persist index epoch failed", "path", s.epochPath(key), "err", err)
 	}
-	log.Printf("server: persisted index %s at epoch %d: %v", path, epoch, ix.Stats())
+	slog.Info("server: persisted index", "path", path, "epoch", epoch, "stats", ix.Stats())
 }
 
 func (s *indexSet) path(key string) string {

@@ -4,70 +4,76 @@ import (
 	"sync"
 	"time"
 
+	"authteam/internal/obs"
 	"authteam/internal/stats"
 )
 
-// latencyWindow bounds the per-request latency samples kept for
-// percentile reporting. A few thousand samples give stable p99
-// estimates without unbounded growth under sustained traffic.
+// latencyWindow bounds the per-request latency samples kept for exact
+// percentile reporting in /stats. A few thousand samples give stable
+// p99 estimates without unbounded growth under sustained traffic.
 const latencyWindow = 4096
 
-// metrics accumulates request counters and a sliding window of
-// latencies. All methods are safe for concurrent use.
+// metrics is the request-counting layer. The registry instruments are
+// the primary surface — scraped at /metrics and re-read at /stats
+// snapshot time, so the two can never disagree — while a small
+// mutex-guarded ring of recent latencies is kept alongside them to
+// give /stats exact (not bucket-interpolated) percentiles.
 type metrics struct {
-	mu       sync.Mutex
-	start    time.Time
-	total    uint64
-	errors   uint64
-	byMethod map[string]uint64
-	welford  stats.Welford
-	window   []float64 // ring buffer of latencies in milliseconds
-	next     int
-	filled   bool
+	start time.Time
 
-	// Live-mutation counters, keyed by op (add_node, add_edge,
-	// update_node). Rejected mutations count toward mutationErrs only.
-	mutations    uint64
-	mutationErrs uint64
-	byOp         map[string]uint64
+	// Registry-backed counters and histograms (never nil; the server
+	// always owns a registry).
+	discover    *obs.CounterVec   // authteam_discover_total{method, outcome}
+	mutations   *obs.CounterVec   // authteam_mutations_total{op, outcome}
+	discoverLat *obs.HistogramVec // authteam_discover_seconds{method}
+
+	// Exact-percentile sliding window for the /stats latency section.
+	mu      sync.Mutex
+	welford stats.Welford
+	window  []float64 // ring buffer of latencies in milliseconds
+	next    int
+	// filled flips once the ring has wrapped: from then on the
+	// percentiles describe the latest latencyWindow samples only, which
+	// /stats surfaces as latency.window_full.
+	filled bool
 }
 
-func newMetrics() *metrics {
+func newMetrics(reg *obs.Registry) *metrics {
 	return &metrics{
-		start:    time.Now(),
-		byMethod: make(map[string]uint64),
-		byOp:     make(map[string]uint64),
+		start: time.Now(),
+		discover: reg.CounterVec("authteam_discover_total",
+			"Discovery requests by method and outcome.", "method", "outcome"),
+		mutations: reg.CounterVec("authteam_mutations_total",
+			"Graph mutation attempts by op and outcome.", "op", "outcome"),
+		discoverLat: reg.HistogramVec("authteam_discover_seconds",
+			"Successful discovery latency by method.", nil, "method"),
 	}
 }
 
 // recordMutation folds one /v1/graph mutation attempt into the
 // counters.
 func (m *metrics) recordMutation(op string, failed bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if failed {
-		m.mutationErrs++
+		m.mutations.With(op, "error").Inc()
 		return
 	}
-	m.mutations++
-	m.byOp[op]++
+	m.mutations.With(op, "ok").Inc()
 }
 
 // record folds one completed discovery into the counters. Failed
 // requests count toward total and errors but not toward latency, so
 // fast validation rejections do not drag the percentiles down.
 func (m *metrics) record(method string, elapsed time.Duration, failed bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.total++
-	if method != "" {
-		m.byMethod[method]++
-	}
 	if failed {
-		m.errors++
+		m.discover.With(method, "error").Inc()
 		return
 	}
+	m.discover.With(method, "ok").Inc()
+	m.discoverLat.With(method).Observe(elapsed.Seconds())
+
 	ms := float64(elapsed) / float64(time.Millisecond)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.welford.Add(ms)
 	if len(m.window) < latencyWindow {
 		m.window = append(m.window, ms)
@@ -86,6 +92,11 @@ type LatencyStats struct {
 	P50MS  float64 `json:"p50_ms"`
 	P90MS  float64 `json:"p90_ms"`
 	P99MS  float64 `json:"p99_ms"`
+	// Window is how many samples currently back the percentiles;
+	// WindowFull reports ring saturation — once true, the percentiles
+	// describe only the most recent Window samples, not the lifetime.
+	Window     int  `json:"window"`
+	WindowFull bool `json:"window_full"`
 }
 
 // MetricsSnapshot is the query-counter section of the /stats payload.
@@ -100,30 +111,44 @@ type MetricsSnapshot struct {
 	Latency        LatencyStats      `json:"latency"`
 }
 
+// snapshot re-derives the /stats counter section from the registry
+// instruments — the registry is the single source of truth — and
+// computes the exact window percentiles with one sort.
 func (m *metrics) snapshot() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		ByMethod:      make(map[string]uint64),
+		ByOp:          make(map[string]uint64),
+	}
+	m.discover.Each(func(values []string, n uint64) {
+		method, outcome := values[0], values[1]
+		snap.Queries += n
+		if outcome == "error" {
+			snap.Errors += n
+		}
+		if method != "" {
+			snap.ByMethod[method] += n
+		}
+	})
+	m.mutations.Each(func(values []string, n uint64) {
+		op, outcome := values[0], values[1]
+		if outcome == "error" {
+			snap.MutationErrors += n
+			return
+		}
+		snap.Mutations += n
+		snap.ByOp[op] += n
+	})
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	snap := MetricsSnapshot{
-		UptimeSeconds:  time.Since(m.start).Seconds(),
-		Queries:        m.total,
-		Errors:         m.errors,
-		ByMethod:       make(map[string]uint64, len(m.byMethod)),
-		Mutations:      m.mutations,
-		MutationErrors: m.mutationErrs,
-		ByOp:           make(map[string]uint64, len(m.byOp)),
-	}
-	for k, v := range m.byMethod {
-		snap.ByMethod[k] = v
-	}
-	for k, v := range m.byOp {
-		snap.ByOp[k] = v
-	}
 	snap.Latency.Count = m.welford.N()
 	snap.Latency.MeanMS = m.welford.Mean()
+	snap.Latency.Window = len(m.window)
+	snap.Latency.WindowFull = m.filled
 	if len(m.window) > 0 {
-		snap.Latency.P50MS = stats.Percentile(m.window, 50)
-		snap.Latency.P90MS = stats.Percentile(m.window, 90)
-		snap.Latency.P99MS = stats.Percentile(m.window, 99)
+		ps := stats.Percentiles(m.window, 50, 90, 99)
+		snap.Latency.P50MS, snap.Latency.P90MS, snap.Latency.P99MS = ps[0], ps[1], ps[2]
 	}
 	return snap
 }

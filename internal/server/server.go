@@ -40,16 +40,19 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"authteam/internal/expertgraph"
 	"authteam/internal/live"
+	"authteam/internal/obs"
 	"authteam/internal/repl"
 	"authteam/internal/transform"
 )
@@ -141,6 +144,34 @@ type Config struct {
 	// WarmIndex builds the default-γ G' index during New instead of on
 	// the first CA-CC/SA-CA-CC request.
 	WarmIndex bool
+	// Metrics supplies an external obs registry for the server's
+	// instruments (embedding several components under one exposition).
+	// Nil gives the server its own registry; either way GET /metrics
+	// serves it. Two servers must not share one registry — their
+	// gauge registrations would collide.
+	Metrics *obs.Registry
+	// NoObserve turns off the optional instrumentation: pipeline
+	// tracing (spans, X-Authteam-Trace, debug=trace), per-route HTTP
+	// histograms, and the live-store/index/replication instruments.
+	// The request counters behind /stats keep working. Exists so the
+	// instrumentation overhead is measurable (BENCH_obs.json).
+	NoObserve bool
+	// DebugAddr starts a second listener (ListenAndServe only) serving
+	// net/http/pprof plus /metrics, /readyz and /healthz — profiling
+	// stays off the public port. Empty disables it.
+	DebugAddr string
+	// ReadyMaxLagEpochs is the /readyz threshold on follower epoch lag:
+	// past it the probe answers 503 so a balancer sheds the stale
+	// replica. 0 means the default (4096); negative disables the check.
+	ReadyMaxLagEpochs int64
+	// ReadyMaxLag is the /readyz threshold on follower staleness in
+	// wall time (how long since the follower last confirmed catch-up).
+	// 0 means the default (60s); negative disables the check.
+	ReadyMaxLag time.Duration
+	// SlowQueryThreshold enables the sampled slow-query log: discovers
+	// slower than this are logged through slog with their pipeline
+	// spans, rate-limited to one line per second. 0 disables it.
+	SlowQueryThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -165,6 +196,12 @@ func (c Config) withDefaults() Config {
 	if c.MinEpochWait == 0 {
 		c.MinEpochWait = 5 * time.Second
 	}
+	if c.ReadyMaxLagEpochs == 0 {
+		c.ReadyMaxLagEpochs = 4096
+	}
+	if c.ReadyMaxLag == 0 {
+		c.ReadyMaxLag = 60 * time.Second
+	}
 	return c
 }
 
@@ -188,6 +225,19 @@ type Server struct {
 	baseRequests  atomic.Uint64
 	// gamma and lambda are the resolved request defaults.
 	gamma, lambda float64
+
+	// obs is the metrics registry served at /metrics (always non-nil).
+	// observe gates the optional instrumentation — pipeline tracing and
+	// the per-route HTTP histograms (httpReqs/httpHist are nil when
+	// off; observation on nil instruments is a no-op).
+	obs      *obs.Registry
+	observe  bool
+	httpReqs *obs.CounterVec   // authteam_http_requests_total{route, code}
+	httpHist *obs.HistogramVec // authteam_http_request_seconds{route}
+	// slowLogNS rate-limits the slow-query log: unix nanos of the last
+	// emitted line, CAS-advanced so at most one line per second escapes
+	// a latency storm.
+	slowLogNS atomic.Int64
 
 	// params memoizes transform fits per (γ, λ, epoch). Fitting is
 	// O(n), so the map is simply cleared if a parameter sweep (or a
@@ -250,11 +300,23 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	// The optional instruments (store, indexes, replication, routes,
+	// tracing) register only when observing; the request counters that
+	// back /stats always do.
+	var storeReg, deepReg *obs.Registry
+	if !cfg.NoObserve {
+		storeReg, deepReg = reg, reg
+	}
 	store, err := live.Open(g, live.Config{
 		JournalPath:      cfg.JournalPath,
 		Sync:             cfg.JournalSync,
 		CompactThreshold: cfg.CompactThreshold,
 		MemoEvery:        cfg.MemoEvery,
+		Metrics:          storeReg,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -266,13 +328,33 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		store:   store,
-		indexes: newIndexSet(base, store, cfg.RepairBudget, cfg.RepairVisitBudget),
+		indexes: newIndexSet(base, store, cfg.RepairBudget, cfg.RepairVisitBudget, deepReg),
 		cache:   newLRU(cfg.CacheSize, cfg.CacheCompactFactor),
-		metrics: newMetrics(),
+		metrics: newMetrics(reg),
+		obs:     reg,
+		observe: !cfg.NoObserve,
 		gamma:   0.6,
 		lambda:  0.6,
 		params:  make(map[paramsKey]*transform.Params),
 		flights: make(map[string]chan struct{}),
+	}
+	if s.observe {
+		s.httpReqs = reg.CounterVec("authteam_http_requests_total",
+			"HTTP requests by route and status code.", "route", "code")
+		s.httpHist = reg.HistogramVec("authteam_http_request_seconds",
+			"HTTP request latency by route.", nil, "route")
+		reg.CounterFunc("authteam_cache_hits_total",
+			"Result-cache hits.", func() float64 { return float64(s.cache.Stats().Hits) })
+		reg.CounterFunc("authteam_cache_misses_total",
+			"Result-cache misses.", func() float64 { return float64(s.cache.Stats().Misses) })
+		reg.GaugeFunc("authteam_cache_size",
+			"Resident result-cache entries.", func() float64 { return float64(s.cache.Stats().Size) })
+		reg.CounterFunc("authteam_journal_tail_requests_total",
+			"Replication tail round-trips served (leader side).",
+			func() float64 { return float64(s.tailRequests.Load()) })
+		reg.CounterFunc("authteam_journal_base_requests_total",
+			"Replication base snapshots served (leader side).",
+			func() float64 { return float64(s.baseRequests.Load()) })
 	}
 	if cfg.Gamma != nil {
 		s.gamma = *cfg.Gamma
@@ -303,11 +385,14 @@ func New(cfg Config) (*Server, error) {
 			MaxBytes:   cfg.CompactBytes,
 			OnFold: func(st live.CompactStats, took time.Duration, err error) {
 				if err != nil {
-					log.Printf("server: background compaction failed: %v", err)
+					slog.Error("server: background compaction failed", "err", err)
 					return
 				}
-				log.Printf("server: compacted journal at epoch %d in %v (folded %d, %d in-flight remain)",
-					st.Epoch, took.Round(time.Millisecond), st.Folded, st.Remaining)
+				slog.Info("server: compacted journal",
+					"epoch", st.Epoch,
+					"fold_ms", float64(took)/float64(time.Millisecond),
+					"folded", st.Folded,
+					"in_flight", st.Remaining)
 			},
 		})
 		if err != nil {
@@ -315,12 +400,41 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	if cfg.FollowURL != "" {
-		s.follower = live.StartFollower(store, repl.NewHTTPSource(cfg.FollowURL, nil), live.FollowerConfig{
+		src := repl.NewHTTPSource(cfg.FollowURL, nil).Instrument(storeReg)
+		s.follower = live.StartFollower(store, src, live.FollowerConfig{
 			PollTimeout: cfg.FollowPoll,
 		})
+		if s.observe {
+			// Lag in epochs and in seconds: the pair a balancer needs —
+			// epochs say how much history is missing, seconds keep
+			// growing when the leader is unreachable and no epoch delta
+			// is observable.
+			reg.GaugeFunc("authteam_replication_lag_epochs",
+				"Follower epoch lag behind the leader (0 when caught up).",
+				func() float64 { return float64(s.follower.Stats().Lag) })
+			reg.GaugeFunc("authteam_replication_lag_seconds",
+				"Seconds since the follower last confirmed catch-up (0 while caught up).",
+				func() float64 { return s.follower.Stats().LagSeconds })
+			reg.CounterFunc("authteam_replication_polls_total",
+				"Replication tail round-trips, including idle long-polls.",
+				func() float64 { return float64(s.follower.Stats().Polls) })
+			reg.CounterFunc("authteam_replication_applied_total",
+				"Journal records replayed onto the local store.",
+				func() float64 { return float64(s.follower.Stats().Applied) })
+			reg.CounterFunc("authteam_replication_base_fetches_total",
+				"Full base adoptions (fold-boundary catch-ups).",
+				func() float64 { return float64(s.follower.Stats().BaseFetches) })
+			reg.CounterFunc("authteam_replication_errors_total",
+				"Transient replication source failures.",
+				func() float64 { return float64(s.follower.Stats().Errors) })
+		}
 	}
 	return s, nil
 }
+
+// Metrics returns the server's obs registry (for embedding: scraping
+// or registering further instruments).
+func (s *Server) Metrics() *obs.Registry { return s.obs }
 
 // Follower reports the replication apply loop, or nil on a leader.
 func (s *Server) Follower() *live.Follower { return s.follower }
@@ -369,37 +483,136 @@ func (s *Server) paramsFor(v view, gamma, lambda float64) (*transform.Params, er
 	return p, nil
 }
 
+// statusWriter records the response status for the per-route request
+// counter. Flush is forwarded so streaming handlers keep working.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with the per-route latency histogram and
+// request counter. The histogram child is resolved once at wiring
+// time, so the hot path adds two atomics and a map lookup for the
+// status-coded counter. With observation off it returns h unchanged.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	if !s.observe {
+		return h
+	}
+	hist := s.httpHist.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		hist.Observe(time.Since(start).Seconds())
+		s.httpReqs.With(route, strconv.Itoa(sw.status)).Inc()
+	}
+}
+
 // Handler returns the routed HTTP handler, for embedding the server
 // under an existing mux or an httptest server.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/discover", s.handleDiscover)
-	mux.HandleFunc("POST /v1/discover/batch", s.handleBatch)
+	route := func(pattern, label string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(label, h))
+	}
+	route("POST /v1/discover", "discover", s.handleDiscover)
+	route("POST /v1/discover/batch", "batch", s.handleBatch)
 	if s.cfg.FollowURL == "" {
-		mux.HandleFunc("POST /v1/graph/nodes", s.handleAddNode)
-		mux.HandleFunc("POST /v1/graph/edges", s.handleAddEdge)
-		mux.HandleFunc("PATCH /v1/graph/nodes/{id}", s.handleUpdateNode)
-		mux.HandleFunc("DELETE /v1/graph/nodes/{id}", s.handleRemoveNode)
-		mux.HandleFunc("DELETE /v1/graph/edges", s.handleRemoveEdge)
-		mux.HandleFunc("PATCH /v1/graph/edges", s.handleUpdateEdge)
+		route("POST /v1/graph/nodes", "add_node", s.handleAddNode)
+		route("POST /v1/graph/edges", "add_edge", s.handleAddEdge)
+		route("PATCH /v1/graph/nodes/{id}", "update_node", s.handleUpdateNode)
+		route("DELETE /v1/graph/nodes/{id}", "remove_node", s.handleRemoveNode)
+		route("DELETE /v1/graph/edges", "remove_edge", s.handleRemoveEdge)
+		route("PATCH /v1/graph/edges", "update_edge", s.handleUpdateEdge)
 	} else {
 		// A follower's store is owned by the replication loop; local
 		// writes would fork the history. Same routes, but every one
 		// points the client at the writer.
-		mux.HandleFunc("POST /v1/graph/nodes", s.redirectToLeader)
-		mux.HandleFunc("POST /v1/graph/edges", s.redirectToLeader)
-		mux.HandleFunc("PATCH /v1/graph/nodes/{id}", s.redirectToLeader)
-		mux.HandleFunc("DELETE /v1/graph/nodes/{id}", s.redirectToLeader)
-		mux.HandleFunc("DELETE /v1/graph/edges", s.redirectToLeader)
-		mux.HandleFunc("PATCH /v1/graph/edges", s.redirectToLeader)
+		route("POST /v1/graph/nodes", "redirect", s.redirectToLeader)
+		route("POST /v1/graph/edges", "redirect", s.redirectToLeader)
+		route("PATCH /v1/graph/nodes/{id}", "redirect", s.redirectToLeader)
+		route("DELETE /v1/graph/nodes/{id}", "redirect", s.redirectToLeader)
+		route("DELETE /v1/graph/edges", "redirect", s.redirectToLeader)
+		route("PATCH /v1/graph/edges", "redirect", s.redirectToLeader)
 	}
 	// The replication log is served by every node, not just leaders, so
 	// a follower can itself fan out to more followers (relay trees).
-	mux.HandleFunc("GET /v1/journal/tail", s.handleJournalTail)
-	mux.HandleFunc("GET /v1/journal/base", s.handleJournalBase)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	route("GET /v1/journal/tail", "journal_tail", s.handleJournalTail)
+	route("GET /v1/journal/base", "journal_base", s.handleJournalBase)
+	route("GET /healthz", "healthz", s.handleHealthz)
+	route("GET /stats", "stats", s.handleStats)
+	// The observability surface itself is deliberately uninstrumented:
+	// scrapes should not move the latency histograms they read.
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
+}
+
+// handleMetrics serves the registry in Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.obs.WritePrometheus(w); err != nil {
+		// Headers are gone; nothing to do but note it.
+		slog.Debug("server: metrics write failed", "err", err)
+	}
+}
+
+// ReadyzResponse is the /readyz payload. Readiness is distinct from
+// /healthz liveness: a lagging follower is alive (and still serves
+// snapshot-consistent reads of its epoch) but should be pulled from a
+// freshness-sensitive balancer pool.
+type ReadyzResponse struct {
+	Ready bool   `json:"ready"`
+	Role  string `json:"role"`
+	Epoch uint64 `json:"epoch"`
+	// Reason explains a 503 ("", when ready).
+	Reason string `json:"reason,omitempty"`
+	// Follower-only lag detail (mirrors ReplicationStats).
+	LeaderEpoch uint64  `json:"leader_epoch,omitempty"`
+	LagEpochs   uint64  `json:"lag_epochs,omitempty"`
+	LagSeconds  float64 `json:"lag_seconds,omitempty"`
+}
+
+// handleReadyz answers the lag-aware readiness probe: a leader is
+// ready while it serves; a follower is ready while its replication
+// loop runs and its lag is inside the configured thresholds.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := ReadyzResponse{Ready: true, Role: "leader", Epoch: s.store.Epoch()}
+	if s.follower != nil {
+		resp.Role = "follower"
+		st := s.follower.Stats()
+		resp.LeaderEpoch = st.LeaderEpoch
+		resp.LagEpochs = st.Lag
+		resp.LagSeconds = st.LagSeconds
+		switch {
+		case !st.Running:
+			resp.Ready = false
+			resp.Reason = "replication loop stopped: " + st.LastError
+		case s.cfg.ReadyMaxLagEpochs > 0 && st.Lag > uint64(s.cfg.ReadyMaxLagEpochs):
+			resp.Ready = false
+			resp.Reason = fmt.Sprintf("lag %d epochs exceeds threshold %d", st.Lag, s.cfg.ReadyMaxLagEpochs)
+		case s.cfg.ReadyMaxLag > 0 && st.LagSeconds > s.cfg.ReadyMaxLag.Seconds():
+			resp.Ready = false
+			resp.Reason = fmt.Sprintf("stale for %.1fs, threshold %s", st.LagSeconds, s.cfg.ReadyMaxLag)
+		}
+	}
+	code := http.StatusOK
+	if !resp.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 // Close stops the replication follower and background compactor (if
@@ -417,8 +630,27 @@ func (s *Server) Close() error {
 	return s.store.Close()
 }
 
+// debugHandler builds the mux for the private debug listener
+// (Config.DebugAddr): pprof plus a second copy of the observability
+// endpoints, so profiles and scrapes work even when the public
+// address sits behind a proxy that should not expose them.
+func (s *Server) debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return mux
+}
+
 // ListenAndServe serves until ctx is cancelled, then shuts down
-// gracefully, draining in-flight requests for up to 10 seconds.
+// gracefully, draining in-flight requests for up to 10 seconds. When
+// Config.DebugAddr is set, a second listener serves pprof and the
+// observability endpoints there; it lives and dies with the main one.
 func (s *Server) ListenAndServe(ctx context.Context) error {
 	srv := &http.Server{
 		Addr:              s.cfg.Addr,
@@ -427,13 +659,35 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
+	var dbg *http.Server
+	if s.cfg.DebugAddr != "" {
+		dbg = &http.Server{
+			Addr:              s.cfg.DebugAddr,
+			Handler:           s.debugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				slog.Error("server: debug listener failed", "addr", dbg.Addr, "err", err)
+			}
+		}()
+	}
+	stopDebug := func() {
+		if dbg != nil {
+			drain, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			dbg.Shutdown(drain)
+		}
+	}
 	select {
 	case err := <-errCh:
+		stopDebug()
 		return err
 	case <-ctx.Done():
 		drain, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		err := srv.Shutdown(drain)
+		stopDebug()
 		if cerr := s.Close(); err == nil {
 			err = cerr
 		}

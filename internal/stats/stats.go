@@ -108,6 +108,34 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// Percentiles returns the requested percentiles of xs in one pass:
+// the input is copied and sorted once, then each rank is interpolated
+// from the shared sorted slice. Callers asking for several quantiles
+// of the same window (p50/p90/p99 in a stats snapshot) should prefer
+// this over repeated Percentile calls, which re-sort per call. Panics
+// like Percentile on an empty slice or out-of-range p.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentiles of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p < 0 || p > 100 {
+			panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p))
+		}
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+// percentileSorted interpolates the p-th percentile of an
+// already-sorted, non-empty slice.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if len(sorted) == 1 {
 		return sorted[0]
 	}

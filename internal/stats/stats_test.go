@@ -242,3 +242,27 @@ func TestWelfordMatchesBatchProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPercentilesMatchesPercentile(t *testing.T) {
+	xs := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5, 0}
+	ps := []float64{0, 25, 50, 90, 99, 100}
+	got := Percentiles(xs, ps...)
+	for i, p := range ps {
+		if want := Percentile(xs, p); got[i] != want {
+			t.Errorf("Percentiles[%v] = %v, want %v", p, got[i], want)
+		}
+	}
+	// The input must not be mutated (both functions sort a copy).
+	if xs[0] != 9 || xs[9] != 0 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentilesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Percentiles of empty slice should panic")
+		}
+	}()
+	Percentiles(nil, 50)
+}
