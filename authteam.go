@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -381,7 +382,7 @@ func (c *Client) refreshIndex(old *clientState, snap *live.Snapshot,
 	if err != nil {
 		return nil
 	}
-	return oracle.BuildPLL(g, oracle.WeightFunc(weight))
+	return oracle.BuildPLLParallel(g, oracle.WeightFunc(weight), runtime.NumCPU())
 }
 
 // Graph returns the expert network at the current epoch, materializing

@@ -27,6 +27,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strings"
 	"syscall"
@@ -263,10 +264,19 @@ func runQuery(args []string) {
 		// search weights and shared by every root-scan goroutine; the
 		// parallel path requires a concurrency-safe oracle, which the
 		// per-root Dijkstra oracle is not, so without -index the scan
-		// creates one Dijkstra oracle per worker internally.
+		// creates one Dijkstra oracle per worker internally. The build
+		// itself shards over -workers too (all cores when unset).
 		var dist oracle.Oracle
 		if *useIndex {
-			dist = core.BuildIndexOracle(p, method)
+			var weight oracle.WeightFunc
+			if method != core.CC {
+				weight = p.EdgeWeight()
+			}
+			bw := *workers
+			if bw < 2 {
+				bw = runtime.NumCPU()
+			}
+			dist = oracle.BuildPLLParallel(p.Graph(), weight, bw)
 		}
 		teams, err = core.TopKParallel(p, method, project, *k, *workers, dist)
 	case "random":

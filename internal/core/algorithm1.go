@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"authteam/internal/expertgraph"
@@ -101,7 +102,7 @@ func BuildIndexOracle(p *transform.Params, m Method) *oracle.PLLOracle {
 	if m != CC {
 		weight = p.EdgeWeight()
 	}
-	return oracle.BuildPLL(p.Graph(), weight)
+	return oracle.BuildPLLParallel(p.Graph(), weight, runtime.NumCPU())
 }
 
 // WithRoots restricts the candidate roots of line 3 of Algorithm 1.

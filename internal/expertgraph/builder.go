@@ -355,34 +355,55 @@ func (b *Builder) Build() (*Graph, error) {
 	}
 
 	// Weight and authority bounds for the normalizer (Def. 4 requires
-	// normalizing node and edge scales before combining them).
-	if len(b.edges) > 0 {
-		g.minW, g.maxW = b.edges[0].w, b.edges[0].w
-		for _, e := range b.edges[1:] {
-			if e.w < g.minW {
-				g.minW = e.w
-			}
-			if e.w > g.maxW {
-				g.maxW = e.w
-			}
-		}
+	// normalizing node and edge scales before combining them), with the
+	// extreme multiplicities and second-distinct values the live layer
+	// needs to tell tight bounds from covering ones after a retirement.
+	var wAcc, invAcc extremeAccum
+	for _, e := range b.edges {
+		wAcc.add(e.w)
 	}
-	first := true
 	for i, a := range g.inv {
 		if g.Removed(NodeID(i)) {
 			continue // tombstones don't participate in normalization
 		}
-		if first {
-			g.minInv, g.maxInv = a, a
-			first = false
-			continue
-		}
-		if a < g.minInv {
-			g.minInv = a
-		}
-		if a > g.maxInv {
-			g.maxInv = a
-		}
+		invAcc.add(a)
 	}
+	g.wExt, g.invExt = wAcc.s, invAcc.s
+	g.minW, g.maxW = g.wExt.Min, g.wExt.Max
+	g.minInv, g.maxInv = g.invExt.Min, g.invExt.Max
 	return g, nil
+}
+
+// extremeAccum streams values into ExtremeStats: tight min/max, their
+// multiplicities, and the second distinct value inward of each.
+type extremeAccum struct {
+	s   ExtremeStats
+	any bool
+}
+
+func (a *extremeAccum) add(v float64) {
+	if !a.any {
+		a.any = true
+		a.s = ExtremeStats{Min: v, MinCount: 1, SecondMin: v, Max: v, MaxCount: 1, SecondMax: v}
+		return
+	}
+	s := &a.s
+	switch {
+	case v < s.Min:
+		s.SecondMin = s.Min
+		s.Min, s.MinCount = v, 1
+	case v == s.Min:
+		s.MinCount++
+	case s.SecondMin == s.Min || v < s.SecondMin:
+		s.SecondMin = v
+	}
+	switch {
+	case v > s.Max:
+		s.SecondMax = s.Max
+		s.Max, s.MaxCount = v, 1
+	case v == s.Max:
+		s.MaxCount++
+	case s.SecondMax == s.Max || v > s.SecondMax:
+		s.SecondMax = v
+	}
 }

@@ -74,8 +74,41 @@ type Graph struct {
 	removed    []bool
 	numRemoved int
 
+	// Normalization bounds. These are *covering* bounds: every stored
+	// edge weight lies in [minW, maxW] and every live inverse authority
+	// in [minInv, maxInv], but the interval may be wider than the tight
+	// extremes when the graph was materialized from a live overlay whose
+	// bounds had already outlived a retired extreme (see WidenBounds).
+	// Keeping bounds covering instead of tight is what lets a deletion
+	// of the current extreme route through decremental index repair
+	// rather than invalidating every transformed weight at once.
 	minW, maxW     float64 // edge-weight bounds (0,0 when no edges)
 	minInv, maxInv float64 // inverse-authority bounds (0,0 when empty)
+
+	// Tight extreme statistics over the stored values, computed at build
+	// time and unaffected by WidenBounds: multiplicity of each extreme
+	// and the second distinct value beyond it. The live overlay uses
+	// them to tell a retirement that provably keeps the bounds tight
+	// (another value still holds the extreme) from one that may leave
+	// them covering-but-loose.
+	wExt, invExt ExtremeStats
+}
+
+// ExtremeStats describes the tight extremes of a value population (edge
+// weights or live inverse authorities): the extreme values themselves,
+// how many values hold each, and the second distinct value inward of
+// each extreme (equal to the extreme when the population holds a single
+// distinct value, zero when the population is empty). When a bound goes
+// loose — every holder of the extreme retired — the tight extreme of
+// the survivors lies between Second{Min,Max} and the old extreme, so
+// Second bounds the covering slack.
+type ExtremeStats struct {
+	Min       float64
+	MinCount  int
+	SecondMin float64
+	Max       float64
+	MaxCount  int
+	SecondMax float64
 }
 
 // NumNodes returns the number of experts.
@@ -159,13 +192,54 @@ func (g *Graph) ExpertsWithSkill(s SkillID) []NodeID {
 	return g.skillOf[g.skillOff[s]:g.skillOff[s+1]]
 }
 
-// EdgeWeightBounds returns the (min, max) edge weight over the graph,
-// or (0, 0) if the graph has no edges.
+// EdgeWeightBounds returns the covering (min, max) edge weight bounds,
+// or (0, 0) if the graph has no edges. The bounds contain every stored
+// weight but may be wider than the tight extremes; see WidenBounds.
 func (g *Graph) EdgeWeightBounds() (lo, hi float64) { return g.minW, g.maxW }
 
-// InvAuthorityBounds returns the (min, max) inverse authority over the
-// graph, or (0, 0) if the graph has no nodes.
+// InvAuthorityBounds returns the covering (min, max) inverse-authority
+// bounds over live experts, or (0, 0) if the graph has no live nodes.
 func (g *Graph) InvAuthorityBounds() (lo, hi float64) { return g.minInv, g.maxInv }
+
+// EdgeWeightExtremes returns the tight extreme statistics of the stored
+// edge weights (zero value when the graph has no edges).
+func (g *Graph) EdgeWeightExtremes() ExtremeStats { return g.wExt }
+
+// InvAuthorityExtremes returns the tight extreme statistics of the live
+// experts' inverse authorities (zero value when there are none).
+func (g *Graph) InvAuthorityExtremes() ExtremeStats { return g.invExt }
+
+// WidenBounds expands the graph's normalization bounds to cover the
+// given intervals, leaving the tight extreme statistics untouched. The
+// live layer calls it after materializing an overlay whose covering
+// bounds have outlived retired extremes, so the packed graph answers
+// the exact same bounds as the overlay it replaces — a graph and its
+// overlay disagreeing on bounds would make every transformed edge
+// weight (and with it every 2-hop cover) silently inconsistent. A
+// population the graph does not have (no edges, or no live nodes)
+// adopts the incoming interval verbatim.
+func (g *Graph) WidenBounds(minW, maxW, minInv, maxInv float64) {
+	if g.numEdges == 0 {
+		g.minW, g.maxW = minW, maxW
+	} else {
+		if minW < g.minW {
+			g.minW = minW
+		}
+		if maxW > g.maxW {
+			g.maxW = maxW
+		}
+	}
+	if len(g.nodes) == g.numRemoved {
+		g.minInv, g.maxInv = minInv, maxInv
+	} else {
+		if minInv < g.minInv {
+			g.minInv = minInv
+		}
+		if maxInv > g.maxInv {
+			g.maxInv = maxInv
+		}
+	}
+}
 
 // ValidNode reports whether u is a (live) node of this graph; removed
 // experts fail even though their ID slot remains.

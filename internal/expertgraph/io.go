@@ -19,7 +19,14 @@ const ioFormatVersion = 1
 // Removed (tombstoned experts) was added after version 1 shipped; gob
 // matches fields by name, so old files decode with no tombstones and
 // old readers simply drop the flags (removed nodes are isolated and
-// skill-less either way), keeping the format version stable.
+// skill-less either way), keeping the format version stable. The
+// HasBounds/bounds fields were added the same way: a graph carrying
+// covering normalization bounds wider than its tight extremes (the
+// live layer widens materialized graphs, see Graph.WidenBounds) must
+// persist them, or a restart would silently shrink the bounds and
+// invalidate every index built over them. Old files decode with
+// HasBounds false and keep the recomputed tight bounds, exactly what
+// they were saved with.
 type flatGraph struct {
 	Version    int
 	Nodes      []Node
@@ -30,6 +37,11 @@ type flatGraph struct {
 	EdgeV      []NodeID
 	EdgeW      []float64
 	Removed    []bool
+	HasBounds  bool
+	MinW       float64
+	MaxW       float64
+	MinInv     float64
+	MaxInv     float64
 }
 
 // Write encodes g to w.
@@ -44,6 +56,9 @@ func Write(w io.Writer, g *Graph) error {
 	if g.numRemoved > 0 {
 		f.Removed = g.removed
 	}
+	f.HasBounds = true
+	f.MinW, f.MaxW = g.minW, g.maxW
+	f.MinInv, f.MaxInv = g.minInv, g.maxInv
 	f.EdgeU = make([]NodeID, 0, g.numEdges)
 	f.EdgeV = make([]NodeID, 0, g.numEdges)
 	f.EdgeW = make([]float64, 0, g.numEdges)
@@ -89,6 +104,9 @@ func Read(r io.Reader) (*Graph, error) {
 	g, err := b.Build()
 	if err != nil {
 		return nil, fmt.Errorf("expertgraph: rebuild: %w", err)
+	}
+	if f.HasBounds {
+		g.WidenBounds(f.MinW, f.MaxW, f.MinInv, f.MaxInv)
 	}
 	return g, nil
 }

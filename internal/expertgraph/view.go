@@ -55,11 +55,14 @@ type GraphView interface {
 	// sorted by NodeID.
 	ExpertsWithSkill(s SkillID) []NodeID
 
-	// EdgeWeightBounds returns the (min, max) edge weight, or (0, 0)
-	// when the graph has no edges.
+	// EdgeWeightBounds returns covering (min, max) edge weight bounds —
+	// every stored weight lies inside, but the interval may be wider
+	// than the tight extremes once a live view has outlived a retired
+	// extreme — or (0, 0) when the graph has no edges.
 	EdgeWeightBounds() (lo, hi float64)
-	// InvAuthorityBounds returns the (min, max) inverse authority, or
-	// (0, 0) when the graph is empty.
+	// InvAuthorityBounds returns covering (min, max) inverse-authority
+	// bounds over live experts (see EdgeWeightBounds for the covering
+	// contract), or (0, 0) when the graph is empty.
 	InvAuthorityBounds() (lo, hi float64)
 
 	// ValidNode reports whether u is a node of this graph.

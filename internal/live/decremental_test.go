@@ -480,10 +480,85 @@ func TestMaintainNoopAuthoritySkip(t *testing.T) {
 	sampleDistancesAgree(t, rng, repaired, pll.BuildWithOptions(g, pll.Options{Weight: weight}), g.NumNodes())
 }
 
-// TestOverlayDecrementalBounds pins the subtractive bound rescans: a
-// removal that retires the current extreme edge weight (or extreme
-// authority, via node removal) must shrink the overlay bounds exactly
-// as a rebuild would.
+// TestMaintainWeightedExtremeRetirement is the covering-bounds payoff:
+// removing the edge that holds the extreme weight — and re-authoring
+// the expert holding the extreme inverse authority — used to move the
+// tight normalization bounds and force a full weighted rebuild. Under
+// the covering contract the bounds stay put, sameBounds holds, the
+// delta routes through decremental repair, and the repaired index
+// agrees with a fresh build over the widened materialized graph.
+func TestMaintainWeightedExtremeRetirement(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	base := testGraph(rng, 30) // no sentinel pinning: extremes are live values
+	s := mustOpen(t, base, Config{})
+	from := s.Snapshot()
+	p, err := transform.Fit(from.View(), 0.6, 0.6, transform.Options{Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weight := p.EdgeWeight()
+	ix := pll.BuildWithOptions(base, pll.Options{Weight: weight})
+
+	// Retire the max-weight edge.
+	view := from.View()
+	var mu, mv expertgraph.NodeID
+	mw := -1.0
+	for u := 0; u < view.NumNodes(); u++ {
+		view.Neighbors(expertgraph.NodeID(u), func(v expertgraph.NodeID, w float64) bool {
+			if expertgraph.NodeID(u) < v && w > mw {
+				mu, mv, mw = expertgraph.NodeID(u), v, w
+			}
+			return true
+		})
+	}
+	if _, hi := view.EdgeWeightBounds(); mw != hi {
+		t.Fatalf("scan found max %v, bounds say %v", mw, hi)
+	}
+	if _, err := s.RemoveCollaboration(mu, mv); err != nil {
+		t.Fatal(err)
+	}
+	// Retire the max inverse authority (the lowest-authority expert).
+	lowest, lowAuth := expertgraph.NodeID(0), math.Inf(1)
+	for u := 0; u < view.NumNodes(); u++ {
+		if a := view.Authority(expertgraph.NodeID(u)); a < lowAuth {
+			lowest, lowAuth = expertgraph.NodeID(u), a
+		}
+	}
+	mid := lowAuth + 5
+	if _, err := s.UpdateExpert(lowest, &mid, nil); err != nil {
+		t.Fatal(err)
+	}
+	to := s.Snapshot()
+
+	// Covering bounds must be unchanged — that is the whole point.
+	if !sameBounds(from.View(), to.View()) {
+		t.Fatal("covering bounds moved under extreme retirement")
+	}
+	p2, err := transform.Fit(to.View(), 0.6, 0.6, transform.Options{Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, rs, ok := MaintainIndex(ix, from, to, p2.EdgeWeight(), weight, 0)
+	if !ok {
+		t.Fatal("weighted repair refused an extreme retirement; covering bounds should keep it repairable")
+	}
+	if rs.Removed != 1 || rs.Authority != 1 {
+		t.Fatalf("stats %+v, want Removed=1 Authority=1", rs)
+	}
+	g, err := to.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := pll.BuildWithOptions(g, pll.Options{Weight: p2.EdgeWeight()})
+	sampleDistancesAgree(t, rng, repaired, fresh, g.NumNodes())
+}
+
+// TestOverlayDecrementalBounds pins the covering contract on the
+// subtractive path: removals that retire the current extreme edge
+// weight (and, via node removal, the extreme authority) leave the
+// bounds in place — still containing every surviving value — while
+// BoundsTight turns false, and the materialized graph widens to answer
+// the identical bounds.
 func TestOverlayDecrementalBounds(t *testing.T) {
 	b := expertgraph.NewBuilder(4, 4)
 	b.AddNode("low", 1, "a")   // inv 1.0: the max extreme
@@ -516,8 +591,8 @@ func TestOverlayDecrementalBounds(t *testing.T) {
 		if vl != ml || vh != mh {
 			t.Fatalf("edge bounds: view (%v,%v) vs graph (%v,%v)", vl, vh, ml, mh)
 		}
-		if vh != 0.5 {
-			t.Fatalf("max weight %v, want 0.5 (extreme edge removed)", vh)
+		if vl != 0.1 || vh != 0.9 {
+			t.Fatalf("edge bounds (%v,%v), want covering (0.1,0.9) — retirements must not shrink them", vl, vh)
 		}
 	}
 	if vl, vh := gv.InvAuthorityBounds(); true {
@@ -525,9 +600,18 @@ func TestOverlayDecrementalBounds(t *testing.T) {
 		if vl != ml || vh != mh {
 			t.Fatalf("inv bounds: view (%v,%v) vs graph (%v,%v)", vl, vh, ml, mh)
 		}
-		if vl != 0.2 {
-			t.Fatalf("min inv %v, want 0.2 (extreme node tombstoned)", vl)
+		if vl != 0.1 || vh != 1.0 {
+			t.Fatalf("inv bounds (%v,%v), want covering (0.1,1.0) — tombstones must not shrink them", vl, vh)
 		}
+	}
+	// Both retired extremes had a single holder, so both bound pairs are
+	// provably no longer tight.
+	wTight, invTight := gv.(*OverlayView).BoundsTight()
+	if wTight {
+		t.Fatal("edge-weight bounds reported tight after the sole extreme holders retired")
+	}
+	if invTight {
+		t.Fatal("inverse-authority bounds reported tight after the min holder was tombstoned")
 	}
 }
 

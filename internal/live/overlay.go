@@ -17,17 +17,27 @@ import (
 //
 // Decremental mutations patch subtractively: removed or re-weighted
 // base edges are masked by key (re-weights re-appear as delta halves
-// at the new weight), tombstoned nodes answer like their materialized
-// counterparts (no edges, no skills, ValidNode false, excluded from
-// holder lists and normalization bounds), and a delta that retires a
-// current extreme — the min/max edge weight or inverse authority —
-// triggers an exact full rescan of that bound, something a monotone
-// fold cannot express.
+// at the new weight), and tombstoned nodes answer like their
+// materialized counterparts (no edges, no skills, ValidNode false,
+// excluded from holder lists and normalization bounds).
+//
+// Normalization bounds are *covering*, not tight: they seed from the
+// base graph's bounds and only ever expand as the delta folds in new
+// values — retiring the current min/max edge weight or inverse
+// authority leaves them where they are. A tight bound would have to
+// shrink on such a retirement, and a bounds move re-scales every
+// transformed edge weight of §3.2.2 at once, invalidating the whole
+// 2-hop cover; under the covering contract the retirement is just an
+// ordinary decremental delta the index repairs through. The overlay
+// still tracks, conservatively, whether each bound provably remains
+// tight (another value is known to hold the extreme — see the base
+// graph's ExtremeStats) and reports it via BoundsTight.
 //
 // The view is semantically identical to the graph Snapshot.Graph()
 // would materialize: same IDs (nodes, skills), same holder ordering
-// (ExpertsWithSkill stays sorted by NodeID), same exact normalization
-// bounds. Only the Neighbors visit order differs (base edges first,
+// (ExpertsWithSkill stays sorted by NodeID), same covering
+// normalization bounds (materialization widens the packed graph to
+// match). Only the Neighbors visit order differs (base edges first,
 // then delta edges), which GraphView leaves implementation-defined.
 //
 // OverlayView is immutable after construction and safe for concurrent
@@ -69,6 +79,82 @@ type OverlayView struct {
 
 	minW, maxW     float64
 	minInv, maxInv float64
+
+	// Per-bound tightness tracking (see boundSide).
+	wLo, wHi, invLo, invHi boundSide
+}
+
+// boundSide tracks one covering bound: its value, how many live values
+// are known to hold it (the base extreme's multiplicity, plus delta
+// values landing exactly on it), and how many of those holders the
+// delta retired. The bound is provably tight while retirements stay
+// below known holders; the zero count is the conservative "inherited a
+// covering-loose bound" state, which reports not-tight until a delta
+// value lands on the bound.
+type boundSide struct {
+	val   float64
+	have  bool
+	known int
+	gone  int
+}
+
+// lower folds v toward a minimum bound.
+func (b *boundSide) lower(v float64) {
+	switch {
+	case !b.have:
+		b.val, b.known, b.gone, b.have = v, 1, 0, true
+	case v < b.val:
+		b.val, b.known, b.gone = v, 1, 0
+	case v == b.val:
+		b.known++
+	}
+}
+
+// raise folds v toward a maximum bound.
+func (b *boundSide) raise(v float64) {
+	switch {
+	case !b.have:
+		b.val, b.known, b.gone, b.have = v, 1, 0, true
+	case v > b.val:
+		b.val, b.known, b.gone = v, 1, 0
+	case v == b.val:
+		b.known++
+	}
+}
+
+// retire records that a value holding the bound left the population.
+func (b *boundSide) retire(v float64) {
+	if b.have && v == b.val {
+		b.gone++
+	}
+}
+
+// tight reports whether the bound provably equals the population's
+// tight extreme.
+func (b *boundSide) tight() bool {
+	return !b.have || b.gone < b.known
+}
+
+// seedBounds initializes a (lo, hi) boundSide pair from a base graph's
+// covering bounds. A bound inherits the base extreme's multiplicity as
+// its known holder count only when it actually sits on the tight
+// extreme; a base bound already covering-loose (widened past a retired
+// extreme by an earlier epoch) seeds with zero holders and stays
+// reported not-tight. An absent population (have false) seeds empty
+// sides that adopt the first folded value.
+func seedBounds(have bool, lo, hi float64, ext expertgraph.ExtremeStats) (loSide, hiSide boundSide) {
+	if !have {
+		return
+	}
+	loSide = boundSide{val: lo, have: true}
+	if lo == ext.Min {
+		loSide.known = ext.MinCount
+	}
+	hiSide = boundSide{val: hi, have: true}
+	if hi == ext.Max {
+		hiSide.known = ext.MaxCount
+	}
+	return
 }
 
 type halfEdge struct {
@@ -93,12 +179,10 @@ func newOverlay(base *expertgraph.Graph, muts []Mutation, nodes, edges int) *Ove
 		nodes: nodes,
 		edges: edges,
 	}
-	o.minW, o.maxW = base.EdgeWeightBounds()
-	o.minInv, o.maxInv = base.InvAuthorityBounds()
-	haveW := base.NumEdges() > 0
-	haveInv := o.nb > base.NumRemoved()
-	invRescan := false
-	wRescan := false
+	wlo, whi := base.EdgeWeightBounds()
+	ilo, ihi := base.InvAuthorityBounds()
+	o.wLo, o.wHi = seedBounds(base.NumEdges() > 0, wlo, whi, base.EdgeWeightExtremes())
+	o.invLo, o.invHi = seedBounds(o.nb > base.NumRemoved(), ilo, ihi, base.InvAuthorityExtremes())
 
 	// addedHolders accumulates per-skill holder additions and
 	// droppedHolders per-skill removals (tombstoned nodes); both are
@@ -138,39 +222,12 @@ func newOverlay(base *expertgraph.Graph, muts []Mutation, nodes, edges int) *Ove
 		}
 		set[u] = struct{}{}
 	}
-	foldInv := func(inv float64) {
-		if !haveInv {
-			o.minInv, o.maxInv = inv, inv
-			haveInv = true
-			return
-		}
-		if inv < o.minInv {
-			o.minInv = inv
-		}
-		if inv > o.maxInv {
-			o.maxInv = inv
-		}
-	}
-	foldW := func(w float64) {
-		if !haveW {
-			o.minW, o.maxW = w, w
-			haveW = true
-			return
-		}
-		if w < o.minW {
-			o.minW = w
-		}
-		if w > o.maxW {
-			o.maxW = w
-		}
-	}
-	// retireW flags the rescan when a removed or replaced edge weight
-	// may have held the current extreme.
-	retireW := func(w float64) {
-		if w == o.minW || w == o.maxW {
-			wRescan = true
-		}
-	}
+	// Bounds only ever expand (covering contract, see the type doc);
+	// retirements just update the tightness bookkeeping.
+	foldInv := func(inv float64) { o.invLo.lower(inv); o.invHi.raise(inv) }
+	foldW := func(w float64) { o.wLo.lower(w); o.wHi.raise(w) }
+	retireInv := func(inv float64) { o.invLo.retire(inv); o.invHi.retire(inv) }
+	retireW := func(w float64) { o.wLo.retire(w); o.wHi.retire(w) }
 	effInv := func(u expertgraph.NodeID) float64 {
 		if int(u) >= o.nb {
 			return o.newInv[int(u)-o.nb]
@@ -200,16 +257,12 @@ func newOverlay(base *expertgraph.Graph, muts []Mutation, nodes, edges int) *Ove
 			}
 			o.newSkills = append(o.newSkills, sk)
 			o.newAdj = append(o.newAdj, nil)
-			if !invRescan {
-				foldInv(inv)
-			}
+			foldInv(inv)
 
 		case OpAddEdge:
 			o.addHalf(m.U, halfEdge{to: m.V, w: m.W})
 			o.addHalf(m.V, halfEdge{to: m.U, w: m.W})
-			if !wRescan {
-				foldW(m.W)
-			}
+			foldW(m.W)
 
 		case OpRemoveEdge:
 			o.maskEdge(m.U, m.V)
@@ -226,9 +279,7 @@ func newOverlay(base *expertgraph.Graph, muts []Mutation, nodes, edges int) *Ove
 				o.addHalf(m.V, halfEdge{to: m.U, w: m.W})
 			}
 			retireW(m.OldW)
-			if !wRescan {
-				foldW(m.W)
-			}
+			foldW(m.W)
 
 		case OpRemoveNode:
 			for _, e := range m.Edges {
@@ -236,10 +287,9 @@ func newOverlay(base *expertgraph.Graph, muts []Mutation, nodes, edges int) *Ove
 				retireW(e.W)
 			}
 			// The tombstone retires the node's authority from the
-			// bounds and its skills from the inverted index.
-			if inv := effInv(m.Node); inv == o.minInv || inv == o.maxInv {
-				invRescan = true
-			}
+			// tightness bookkeeping (bounds stay put — covering) and
+			// its skills from the inverted index.
+			retireInv(effInv(m.Node))
 			for _, s := range o.effectiveSkills(m.Node) {
 				dropHolder(s, m.Node)
 			}
@@ -260,14 +310,9 @@ func newOverlay(base *expertgraph.Graph, muts []Mutation, nodes, edges int) *Ove
 			if m.SetAuthority != nil {
 				auth := *m.SetAuthority
 				inv := 1 / auth
-				old := effInv(m.Node)
-				// Replacing the value that holds the current extreme may
-				// shrink the bounds — something a monotone fold cannot
-				// express — so flag a full rescan for the end. Folding
-				// handles every other case exactly.
-				if old == o.minInv || old == o.maxInv {
-					invRescan = true
-				}
+				// The old value leaves the population, the new one joins
+				// it; the bounds only ever expand.
+				retireInv(effInv(m.Node))
 				if int(m.Node) >= o.nb {
 					i := int(m.Node) - o.nb
 					o.newAuth[i], o.newInv[i] = auth, inv
@@ -277,9 +322,7 @@ func newOverlay(base *expertgraph.Graph, muts []Mutation, nodes, edges int) *Ove
 					}
 					o.authPatch[m.Node] = authOverride{auth: auth, inv: inv}
 				}
-				if !invRescan {
-					foldInv(inv)
-				}
+				foldInv(inv)
 			}
 			for _, name := range m.AddSkills {
 				s := skillID(name)
@@ -303,51 +346,8 @@ func newOverlay(base *expertgraph.Graph, muts []Mutation, nodes, edges int) *Ove
 		}
 	}
 
-	if invRescan {
-		first := true
-		lo, hi := 0.0, 0.0
-		for u := 0; u < o.nodes; u++ {
-			if o.isRemoved(expertgraph.NodeID(u)) {
-				continue
-			}
-			inv := effInv(expertgraph.NodeID(u))
-			if first {
-				lo, hi = inv, inv
-				first = false
-				continue
-			}
-			if inv < lo {
-				lo = inv
-			}
-			if inv > hi {
-				hi = inv
-			}
-		}
-		o.minInv, o.maxInv = lo, hi
-	}
-	if wRescan {
-		// Exact recomputation over the effective edge set (base minus
-		// masks, plus delta halves), matching what Build would compute.
-		first := true
-		lo, hi := 0.0, 0.0
-		for u := 0; u < o.nodes; u++ {
-			o.Neighbors(expertgraph.NodeID(u), func(_ expertgraph.NodeID, w float64) bool {
-				if first {
-					lo, hi = w, w
-					first = false
-					return true
-				}
-				if w < lo {
-					lo = w
-				}
-				if w > hi {
-					hi = w
-				}
-				return true
-			})
-		}
-		o.minW, o.maxW = lo, hi
-	}
+	o.minW, o.maxW = o.wLo.val, o.wHi.val
+	o.minInv, o.maxInv = o.invLo.val, o.invHi.val
 
 	if len(addedHolders) > 0 || len(droppedHolders) > 0 {
 		o.holdersPatch = make(map[expertgraph.SkillID][]expertgraph.NodeID, len(addedHolders)+len(droppedHolders))
@@ -729,13 +729,23 @@ func (o *OverlayView) ExpertsWithSkill(s expertgraph.SkillID) []expertgraph.Node
 	return nil
 }
 
-// EdgeWeightBounds returns the exact (min, max) edge weight at this
-// epoch — identical to what materializing the graph would compute.
+// EdgeWeightBounds returns the covering (min, max) edge weight bounds
+// at this epoch — identical to what materializing the graph (which
+// widens to match, see Snapshot.Graph) would answer.
 func (o *OverlayView) EdgeWeightBounds() (lo, hi float64) { return o.minW, o.maxW }
 
-// InvAuthorityBounds returns the exact (min, max) inverse authority at
-// this epoch, over live (non-tombstoned) experts.
+// InvAuthorityBounds returns the covering (min, max) inverse-authority
+// bounds at this epoch, over live (non-tombstoned) experts.
 func (o *OverlayView) InvAuthorityBounds() (lo, hi float64) { return o.minInv, o.maxInv }
+
+// BoundsTight reports whether the covering edge-weight and
+// inverse-authority bounds are each provably tight at this epoch —
+// i.e. some live value is known to still hold every extreme. False is
+// conservative: the bounds remain valid covering bounds either way,
+// only possibly wider than the live population's true extremes.
+func (o *OverlayView) BoundsTight() (w, inv bool) {
+	return o.wLo.tight() && o.wHi.tight(), o.invLo.tight() && o.invHi.tight()
+}
 
 // ValidNode reports whether u is a live node of this view (tombstoned
 // experts fail, as on a materialized graph).

@@ -731,8 +731,8 @@ func (s *Store) apply(m Mutation, journal bool) (expertgraph.NodeID, uint64, err
 			return 0, 0, fmt.Errorf("%w: (%d,%d)", ErrUnknownEdge, m.U, m.V)
 		}
 		// Journal the removed edge's stored weight: decremental index
-		// repair and the overlay bound rescan both need it, and replay
-		// must not depend on reconstructing pre-removal state.
+		// repair and the overlay bounds bookkeeping both need it, and
+		// replay must not depend on reconstructing pre-removal state.
 		m.W, m.OldW = w, 0
 	case OpUpdateEdge:
 		switch {
@@ -1020,5 +1020,67 @@ func materialize(base *expertgraph.Graph, muts []Mutation) (*expertgraph.Graph, 
 	if err != nil {
 		return nil, fmt.Errorf("live: materialize: %w", err)
 	}
+	// Build computed tight bounds over the surviving values; widen them
+	// to the epoch's covering bounds so the materialized graph and the
+	// overlay serving the same epoch answer bit-identical normalization
+	// bounds (a §3.2.2 invariant — disagreeing bounds would re-scale
+	// every transformed edge weight and silently invalidate the 2-hop
+	// cover built over the other view).
+	g.WidenBounds(coverBounds(base, muts))
 	return g, nil
+}
+
+// coverBounds replays newOverlay's covering-bounds fold over the delta:
+// seed from the base graph's bounds where its populations are nonempty,
+// expand with every value the delta introduces, ignore retirements. The
+// result equals the overlay's bounds exactly — same fold over the same
+// floats, and min/max folds are order-insensitive.
+func coverBounds(base *expertgraph.Graph, muts []Mutation) (minW, maxW, minInv, maxInv float64) {
+	haveW := base.NumEdges() > 0
+	if haveW {
+		minW, maxW = base.EdgeWeightBounds()
+	}
+	haveInv := base.NumNodes() > base.NumRemoved()
+	if haveInv {
+		minInv, maxInv = base.InvAuthorityBounds()
+	}
+	foldW := func(w float64) {
+		if !haveW {
+			minW, maxW, haveW = w, w, true
+			return
+		}
+		if w < minW {
+			minW = w
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	foldInv := func(inv float64) {
+		if !haveInv {
+			minInv, maxInv, haveInv = inv, inv, true
+			return
+		}
+		if inv < minInv {
+			minInv = inv
+		}
+		if inv > maxInv {
+			maxInv = inv
+		}
+	}
+	for _, m := range muts {
+		switch m.Op {
+		case OpAddNode:
+			foldInv(1 / m.Authority)
+		case OpAddEdge:
+			foldW(m.W)
+		case OpUpdateEdge:
+			foldW(m.W)
+		case OpUpdateNode:
+			if m.SetAuthority != nil {
+				foldInv(1 / *m.SetAuthority)
+			}
+		}
+	}
+	return
 }

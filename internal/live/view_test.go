@@ -330,10 +330,12 @@ func TestOverlayDifferential(t *testing.T) {
 	}
 }
 
-// TestOverlayBoundsRescan pins the one subtle overlay bound case: an
-// authority update that *removes* the current inverse-authority
-// extreme must shrink the bounds exactly as a rebuild would.
-func TestOverlayBoundsRescan(t *testing.T) {
+// TestOverlayBoundsCovering pins the covering-bounds contract: an
+// authority update that retires the current inverse-authority extreme
+// leaves the bounds where they are (still covering, provably no longer
+// tight), the materialized graph widens to answer the identical
+// bounds, and BoundsTight reports the looseness honestly.
+func TestOverlayBoundsCovering(t *testing.T) {
 	b := expertgraph.NewBuilder(3, 2)
 	b.AddNode("low", 1, "a")   // inv 1.0 — the max extreme
 	b.AddNode("mid", 4, "b")   // inv 0.25
@@ -348,7 +350,7 @@ func TestOverlayBoundsRescan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	auth := 5.0 // inv 0.2: the old max (1.0) disappears
+	auth := 5.0 // inv 0.2: the old max (1.0) retires
 	if _, err := st.UpdateExpert(0, &auth, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -361,10 +363,28 @@ func TestOverlayBoundsRescan(t *testing.T) {
 	vl, vh := gv.InvAuthorityBounds()
 	ml, mh := gm.InvAuthorityBounds()
 	if vl != ml || vh != mh {
-		t.Fatalf("bounds after extreme removal: view (%v,%v) vs graph (%v,%v)", vl, vh, ml, mh)
+		t.Fatalf("bounds after extreme retirement: view (%v,%v) vs graph (%v,%v)", vl, vh, ml, mh)
 	}
-	if vh != 0.25 {
-		t.Fatalf("max inv = %v, want 0.25 (old extreme must vanish)", vh)
+	if vl != 0.1 || vh != 1.0 {
+		t.Fatalf("covering bounds = (%v,%v), want (0.1,1.0) — retirement must not shrink them", vl, vh)
+	}
+	wTight, invTight := gv.(*OverlayView).BoundsTight()
+	if !wTight {
+		t.Fatal("edge-weight bounds reported loose; no weight was touched")
+	}
+	if invTight {
+		t.Fatal("inverse-authority bounds reported tight; the sole max holder retired")
+	}
+
+	// A second expert re-occupying the old extreme makes the bound
+	// provably tight again.
+	auth2 := 1.0 // inv 1.0 lands exactly on the covering max
+	if _, err := st.UpdateExpert(1, &auth2, nil); err != nil {
+		t.Fatal(err)
+	}
+	gv2 := st.Snapshot().View()
+	if _, invTight2 := gv2.(*OverlayView).BoundsTight(); !invTight2 {
+		t.Fatal("inverse-authority bounds still reported loose after a value re-occupied the extreme")
 	}
 }
 

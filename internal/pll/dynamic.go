@@ -81,23 +81,20 @@ type DynamicIndex struct {
 	visits int
 }
 
-// NewDynamic thaws ix into a mutable index. The weight function must
-// be the one the index was built over (nil for stored weights); it is
-// used to expand resumed Dijkstras. ix itself is not modified.
+// NewDynamic thaws ix into a mutable index, unpacking the packed
+// labels into per-node entry slices. The weight function must be the
+// one the index was built over (nil for stored weights); it is used to
+// expand resumed Dijkstras. ix itself is not modified.
 func NewDynamic(ix *Index, weight func(u, v expertgraph.NodeID, w float64) float64) *DynamicIndex {
 	n := ix.n
 	d := &DynamicIndex{
-		labels:  make([][]labelEntry, n),
+		labels:  ix.unpackLabels(),
 		rankOf:  append([]int32(nil), ix.rankOf...),
 		nodeAt:  append([]expertgraph.NodeID(nil), ix.nodeAt...),
 		weight:  weight,
 		dist:    make([]float64, n),
 		hubDist: make([]float64, n),
 		heap:    newPairHeap(64),
-	}
-	for u := 0; u < n; u++ {
-		lo, hi := ix.off[u], ix.off[u+1]
-		d.labels[u] = append([]labelEntry(nil), ix.entries[lo:hi]...)
 	}
 	for i := range d.dist {
 		d.dist[i] = infinity
@@ -743,24 +740,9 @@ func (d *DynamicIndex) recomputeRegion(g Neighborhood, region affectedRegion) {
 	}
 }
 
-// Freeze packs the labels into an immutable CSR Index for concurrent
+// Freeze packs the labels into an immutable Index for concurrent
 // readers. The DynamicIndex remains usable afterwards.
 func (d *DynamicIndex) Freeze() *Index {
-	n := len(d.labels)
-	ix := &Index{
-		n:      n,
-		off:    make([]int32, n+1),
-		rankOf: append([]int32(nil), d.rankOf...),
-		nodeAt: append([]expertgraph.NodeID(nil), d.nodeAt...),
-	}
-	total := 0
-	for i, l := range d.labels {
-		total += len(l)
-		ix.off[i+1] = int32(total)
-	}
-	ix.entries = make([]labelEntry, 0, total)
-	for _, l := range d.labels {
-		ix.entries = append(ix.entries, l...)
-	}
-	return ix
+	return packIndex(d.labels, append([]int32(nil), d.rankOf...),
+		append([]expertgraph.NodeID(nil), d.nodeAt...))
 }

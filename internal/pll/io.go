@@ -2,6 +2,7 @@ package pll
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -12,9 +13,22 @@ import (
 
 // Index serialization: building a 2-hop cover is the expensive step, so
 // tools persist it next to the graph and reload in milliseconds.
+//
+// Version 2 (current) persists the packed label store verbatim behind
+// a magic header, so loading is one gob decode with no re-encoding
+// pass. Version 1 files — a headerless gob of the unpacked entry
+// arrays — are still readable: Read sniffs the magic and falls back to
+// the v1 decoder, packing the entries on load.
 
-const ioFormatVersion = 1
+// magicV2 prefixes every version-2 file. Gob streams of flatIndex
+// cannot begin with these bytes (a gob stream opens with a
+// type-definition section whose leading bytes differ), so sniffing is
+// unambiguous.
+var magicV2 = []byte("PLLIDX02")
 
+// flatIndex is the legacy version-1 serialized form: the unpacked
+// label entries as parallel rank/distance arrays, with Off counting
+// entries. All fields are exported for gob.
 type flatIndex struct {
 	Version int
 	N       int
@@ -25,20 +39,30 @@ type flatIndex struct {
 	NodeAt  []expertgraph.NodeID
 }
 
-// Write encodes the index to w.
+// flatIndexV2 is the version-2 serialized form: the packed label store
+// exactly as resident in memory, with Off counting bytes. All fields
+// are exported for gob.
+type flatIndexV2 struct {
+	N      int
+	Total  int
+	Off    []int32
+	Data   []byte
+	RankOf []int32
+	NodeAt []expertgraph.NodeID
+}
+
+// Write encodes the index to w in the current (version 2) format.
 func Write(w io.Writer, ix *Index) error {
-	f := flatIndex{
-		Version: ioFormatVersion,
-		N:       ix.n,
-		Off:     ix.off,
-		Ranks:   make([]int32, len(ix.entries)),
-		Dists:   make([]float64, len(ix.entries)),
-		RankOf:  ix.rankOf,
-		NodeAt:  ix.nodeAt,
+	if _, err := w.Write(magicV2); err != nil {
+		return fmt.Errorf("pll: encode: %w", err)
 	}
-	for i, e := range ix.entries {
-		f.Ranks[i] = e.rank
-		f.Dists[i] = e.dist
+	f := flatIndexV2{
+		N:      ix.n,
+		Total:  ix.total,
+		Off:    ix.off,
+		Data:   ix.data,
+		RankOf: ix.rankOf,
+		NodeAt: ix.nodeAt,
 	}
 	if err := gob.NewEncoder(w).Encode(&f); err != nil {
 		return fmt.Errorf("pll: encode: %w", err)
@@ -46,24 +70,84 @@ func Write(w io.Writer, ix *Index) error {
 	return nil
 }
 
-// Read decodes an index previously written with Write.
+// writeV1 encodes the index in the legacy version-1 format. It exists
+// so the v1→v2 load path stays covered by tests; production writers
+// always emit version 2.
+func writeV1(w io.Writer, ix *Index) error {
+	f := flatIndex{
+		Version: 1,
+		N:       ix.n,
+		Off:     make([]int32, 1, ix.n+1),
+		Ranks:   make([]int32, 0, ix.total),
+		Dists:   make([]float64, 0, ix.total),
+		RankOf:  ix.rankOf,
+		NodeAt:  ix.nodeAt,
+	}
+	for u := 0; u < ix.n; u++ {
+		c := ix.cursor(expertgraph.NodeID(u))
+		for c.next() {
+			f.Ranks = append(f.Ranks, c.rank)
+			f.Dists = append(f.Dists, c.dist)
+		}
+		f.Off = append(f.Off, int32(len(f.Ranks)))
+	}
+	if err := gob.NewEncoder(w).Encode(&f); err != nil {
+		return fmt.Errorf("pll: encode: %w", err)
+	}
+	return nil
+}
+
+// Read decodes an index previously written with Write, accepting both
+// the current version-2 format and legacy version-1 files.
 func Read(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(magicV2))
+	if err == nil && bytes.Equal(head, magicV2) {
+		br.Discard(len(magicV2))
+		var f flatIndexV2
+		if err := gob.NewDecoder(br).Decode(&f); err != nil {
+			return nil, fmt.Errorf("pll: decode: %w", err)
+		}
+		if len(f.Off) != f.N+1 || len(f.RankOf) != f.N || len(f.NodeAt) != f.N {
+			return nil, fmt.Errorf("pll: decode: inconsistent v2 index shape")
+		}
+		return &Index{
+			n:      f.N,
+			off:    f.Off,
+			data:   f.Data,
+			total:  f.Total,
+			rankOf: f.RankOf,
+			nodeAt: f.NodeAt,
+		}, nil
+	}
+	// No magic: a legacy v1 gob stream (or garbage — the decoder will
+	// say). The peeked bytes are still buffered, so decode through br.
 	var f flatIndex
-	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+	if err := gob.NewDecoder(br).Decode(&f); err != nil {
 		return nil, fmt.Errorf("pll: decode: %w", err)
 	}
-	if f.Version != ioFormatVersion {
+	if f.Version != 1 {
 		return nil, fmt.Errorf("pll: unsupported format version %d", f.Version)
 	}
-	ix := &Index{
-		n:       f.N,
-		off:     f.Off,
-		entries: make([]labelEntry, len(f.Ranks)),
-		rankOf:  f.RankOf,
-		nodeAt:  f.NodeAt,
+	if len(f.Off) != f.N+1 || len(f.Ranks) != len(f.Dists) ||
+		len(f.RankOf) != f.N || len(f.NodeAt) != f.N {
+		return nil, fmt.Errorf("pll: decode: inconsistent v1 index shape")
 	}
-	for i := range f.Ranks {
-		ix.entries[i] = labelEntry{rank: f.Ranks[i], dist: f.Dists[i]}
+	ix := &Index{
+		n:      f.N,
+		off:    make([]int32, 1, f.N+1),
+		total:  len(f.Ranks),
+		rankOf: f.RankOf,
+		nodeAt: f.NodeAt,
+	}
+	ix.data = make([]byte, 0, 6*len(f.Ranks))
+	for u := 0; u < f.N; u++ {
+		prev := int32(-1)
+		for i := f.Off[u]; i < f.Off[u+1]; i++ {
+			ix.data = appendEntry(ix.data, prev, f.Ranks[i], f.Dists[i])
+			prev = f.Ranks[i]
+		}
+		ix.off = append(ix.off, int32(len(ix.data)))
 	}
 	return ix, nil
 }

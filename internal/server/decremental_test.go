@@ -246,6 +246,102 @@ func TestMixedChurnRepairsNotRebuilds(t *testing.T) {
 	}
 }
 
+// TestExtremeRetirementChurnRepairsNotRebuilds pins the covering-bounds
+// fix at the serving layer: a churn stream that *deliberately* retires
+// the current extremes every round — removing the max-weight edge,
+// re-authoring or tombstoning the expert holding the max inverse
+// authority — used to move the tight normalization bounds and force a
+// full weighted rebuild per round. Covering bounds never shrink, so
+// every one of these deltas must now be absorbed by decremental repair
+// with full_rebuilds flat at its warmup value.
+func TestExtremeRetirementChurnRepairsNotRebuilds(t *testing.T) {
+	// No sentinel pins: the extremes are live values the churn retires.
+	b := expertgraph.NewBuilder(24, 60)
+	for i := 0; i < 24; i++ {
+		b.AddNode(fmt.Sprintf("e%d", i), 2+float64(i), "s", fmt.Sprintf("k%d", i%4))
+	}
+	for i := 1; i < 24; i++ {
+		b.AddEdge(expertgraph.NodeID(i-1), expertgraph.NodeID(i), 0.2+0.02*float64(i))
+	}
+	for i := 0; i < 12; i++ {
+		b.AddEdge(expertgraph.NodeID(i), expertgraph.NodeID(i+12), 0.3+0.01*float64(i))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, func(cfg *Config) {
+		cfg.Graph = g
+		cfg.WarmIndex = true
+	})
+	warm := s.indexes.stats().rebuilds
+	store := s.Store()
+	discover := func() {
+		status, data := postJSON(t, ts.URL+"/v1/discover", `{"skills": ["k0", "k1", "k2"], "method": "sa-ca-cc"}`)
+		if status != http.StatusOK {
+			t.Fatalf("discover: %d %s", status, data)
+		}
+	}
+	discover()
+
+	for round := 0; round < 12; round++ {
+		v := store.Snapshot().View()
+
+		// Retire the edge holding the current max weight.
+		var mu, mv expertgraph.NodeID
+		mw := -1.0
+		for u := 0; u < v.NumNodes(); u++ {
+			v.Neighbors(expertgraph.NodeID(u), func(w expertgraph.NodeID, wt float64) bool {
+				if expertgraph.NodeID(u) < w && wt > mw {
+					mu, mv, mw = expertgraph.NodeID(u), w, wt
+				}
+				return true
+			})
+		}
+		if mw >= 0 {
+			if _, err := store.RemoveCollaboration(mu, mv); err != nil {
+				t.Fatalf("round %d: remove max edge: %v", round, err)
+			}
+		}
+
+		// Retire the expert holding the current max inverse authority
+		// (lowest authority): re-author most rounds, tombstone some.
+		lowest, lowAuth := expertgraph.NodeID(-1), 1e18
+		for u := 0; u < v.NumNodes(); u++ {
+			id := expertgraph.NodeID(u)
+			if !v.ValidNode(id) {
+				continue
+			}
+			if a := v.Authority(id); a < lowAuth {
+				lowest, lowAuth = id, a
+			}
+		}
+		if round%5 == 2 {
+			if _, err := store.RemoveExpert(lowest); err != nil {
+				t.Fatalf("round %d: tombstone extreme expert: %v", round, err)
+			}
+		} else {
+			// Strictly inside the covering authority range (2, 25].
+			mid := 12 + 0.1*float64(round)
+			if _, err := store.UpdateExpert(lowest, &mid, nil); err != nil {
+				t.Fatalf("round %d: re-author extreme expert: %v", round, err)
+			}
+		}
+		discover()
+	}
+
+	ixs := s.indexes.stats()
+	if ixs.rebuilds != warm {
+		t.Errorf("full_rebuilds moved under extreme-retirement churn: %d, want warmup value %d", ixs.rebuilds, warm)
+	}
+	if ixs.repairsDecremental == 0 {
+		t.Errorf("decremental repairs did not absorb the stream: %+v", ixs)
+	}
+	if ixs.pending {
+		t.Error("async rebuild pending under extreme-retirement churn")
+	}
+}
+
 // randomStoreEdge picks a random edge among the first n nodes (the
 // churn population; sentinel extremes are excluded).
 func randomStoreEdge(rng *rand.Rand, store *live.Store, n int) (expertgraph.NodeID, expertgraph.NodeID, bool) {

@@ -318,7 +318,7 @@ func (s *Server) discoverOne(ctx context.Context, req *DiscoverRequest, scanWork
 	v := s.view()
 	q, herr := s.normalize(v, req)
 	if herr != nil {
-		s.metrics.record(methodLabel(req.Method), 0, true)
+		s.metrics.record(methodLabel(req.Method), 0, true, nil)
 		return nil, nil, herr
 	}
 	tr.Lap("resolve")
@@ -345,7 +345,7 @@ func (s *Server) discoverOne(ctx context.Context, req *DiscoverRequest, scanWork
 			// ignores (e.g. pareto's γ/λ/k).
 			resp.Gamma, resp.Lambda, resp.K = q.gamma, q.lambda, q.k
 			tr.Lap("cache")
-			s.metrics.record(q.methodName, time.Since(start), false)
+			s.metrics.record(q.methodName, time.Since(start), false, tr)
 			s.logSlow(q, time.Since(start), true, v.epoch(), tr)
 			return &resp, tr, nil
 		}
@@ -363,10 +363,10 @@ func (s *Server) discoverOne(ctx context.Context, req *DiscoverRequest, scanWork
 			// Leader's worker finished (filling the cache on success);
 			// loop to re-read.
 		case <-ctx.Done():
-			s.metrics.record(q.methodName, time.Since(start), true)
+			s.metrics.record(q.methodName, time.Since(start), true, nil)
 			return nil, nil, errf(http.StatusGatewayTimeout, "request cancelled")
 		case <-time.After(s.cfg.RequestTimeout):
-			s.metrics.record(q.methodName, time.Since(start), true)
+			s.metrics.record(q.methodName, time.Since(start), true, nil)
 			return nil, nil, errf(http.StatusGatewayTimeout,
 				"discovery exceeded the %v request timeout", s.cfg.RequestTimeout)
 		}
@@ -382,10 +382,10 @@ func (s *Server) discoverOne(ctx context.Context, req *DiscoverRequest, scanWork
 	}
 	resp, herr := s.computeWithTimeout(ctx, v, q, key, scanWorkers, release, tr)
 	if herr != nil {
-		s.metrics.record(q.methodName, time.Since(start), true)
+		s.metrics.record(q.methodName, time.Since(start), true, nil)
 		return nil, nil, herr
 	}
-	s.metrics.record(q.methodName, time.Since(start), false)
+	s.metrics.record(q.methodName, time.Since(start), false, tr)
 	s.logSlow(q, time.Since(start), false, v.epoch(), tr)
 	return resp, tr, nil
 }

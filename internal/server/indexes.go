@@ -52,6 +52,10 @@ type indexSet struct {
 	store *live.Store
 	// repairBudget caps the delta length incremental repair accepts.
 	repairBudget int
+	// workers is the number of goroutines sharding each full 2-hop
+	// cover build (see pll.Options.Workers); repairs stay serial, they
+	// are already sub-millisecond.
+	workers int
 	// visitBudget caps the label-visit work of a single repair
 	// operation: a repair whose resumed Dijkstras touch more than this
 	// many labels is abandoned in favor of an async rebuild, bounding
@@ -87,7 +91,7 @@ type indexSet struct {
 	// is a nil-safe no-op, so the maintenance paths need no guards).
 	repairHist   *obs.HistogramVec // authteam_index_repair_seconds{kind}
 	repairVisits *obs.CounterVec   // authteam_index_repair_visits_total{kind}
-	rebuildHist  *obs.Histogram    // authteam_index_rebuild_seconds
+	rebuildHist  *obs.HistogramVec // authteam_index_rebuild_seconds{mode}
 }
 
 // indexEntry pairs a resident oracle with the snapshot it is exact
@@ -102,11 +106,15 @@ type indexEntry struct {
 	params *transform.Params
 }
 
-func newIndexSet(base string, store *live.Store, repairBudget, visitBudget int, reg *obs.Registry) *indexSet {
+func newIndexSet(base string, store *live.Store, repairBudget, visitBudget, workers int, reg *obs.Registry) *indexSet {
+	if workers < 1 {
+		workers = 1
+	}
 	s := &indexSet{
 		base:         base,
 		store:        store,
 		repairBudget: repairBudget,
+		workers:      workers,
 		visitBudget:  visitBudget,
 		entries:      make(map[string]*indexEntry),
 		building:     make(map[string]chan struct{}),
@@ -116,8 +124,11 @@ func newIndexSet(base string, store *live.Store, repairBudget, visitBudget int, 
 			"Incremental 2-hop cover repair duration by delta kind.", nil, "kind")
 		s.repairVisits = reg.CounterVec("authteam_index_repair_visits_total",
 			"Labels touched by incremental repairs, by delta kind.", "kind")
-		s.rebuildHist = reg.Histogram("authteam_index_rebuild_seconds",
-			"Full 2-hop cover build duration.", nil)
+		s.rebuildHist = reg.HistogramVec("authteam_index_rebuild_seconds",
+			"Full 2-hop cover build duration by build mode.", nil, "mode")
+		reg.GaugeFunc("authteam_index_rebuild_workers",
+			"Goroutines sharding each full 2-hop cover build.",
+			func() float64 { return float64(s.workers) })
 		reg.GaugeFunc("authteam_index_rebuild_queue_depth",
 			"Asynchronous index rebuilds currently in flight.",
 			func() float64 { return float64(s.pending.Load()) })
@@ -318,22 +329,36 @@ func (s *indexSet) forMethod(v view, p *transform.Params, m core.Method) oracle.
 // the overlay's per-read overhead throughout; queries keep reading the
 // overlay and never wait on this copy.
 func (s *indexSet) build(v view, p *transform.Params, m core.Method) *oracle.PLLOracle {
+	mode := "sequential"
+	if s.workers > 1 {
+		mode = "parallel"
+	}
 	if s.rebuildHist != nil {
 		start := time.Now()
-		defer func() { s.rebuildHist.Observe(time.Since(start).Seconds()) }()
+		defer func() { s.rebuildHist.With(mode).Observe(time.Since(start).Seconds()) }()
 	}
 	var weight oracle.WeightFunc
 	if m != core.CC {
 		weight = p.EdgeWeight()
 	}
-	g, err := v.snap.Graph()
-	if err != nil {
-		// Mutations are validated before admission, so materialization
-		// cannot fail on a live store; fall back to the overlay view so
-		// a broken invariant degrades to a slower build, not an outage.
-		return oracle.BuildPLL(v.g, weight)
+	gv := expertgraph.GraphView(v.g)
+	if g, err := v.snap.Graph(); err == nil {
+		gv = g
 	}
-	return oracle.BuildPLL(g, weight)
+	// Mutations are validated before admission, so materialization
+	// cannot fail on a live store; falling back to the overlay view
+	// degrades a broken invariant to a slower build, not an outage.
+	tr := obs.NewTrace()
+	ix := pll.BuildWithOptions(gv, pll.Options{
+		Weight:  weight,
+		Workers: s.workers,
+		OnBlock: func(lo, hi int, _ time.Duration) {
+			tr.Lap(fmt.Sprintf("ranks[%d,%d)", lo, hi))
+		},
+	})
+	slog.Debug("server: index build", "mode", mode, "workers", s.workers,
+		"total", tr.Total(), "blocks", tr.Header())
+	return oracle.NewPLL(ix)
 }
 
 // load reads a previously persisted index for key. The index is

@@ -36,6 +36,24 @@ type metrics struct {
 	// percentiles describe the latest latencyWindow samples only, which
 	// /stats surfaces as latency.window_full.
 	filled bool
+
+	// Exemplar traces: the slowest successful discovery of the current
+	// stats window and of the previous (completed) one. The slot rolls
+	// over every latencyWindow samples, in step with the percentile
+	// ring, so /stats always pairs its percentiles with a concrete
+	// worst request — and its pipeline breakdown, when tracing is on —
+	// from the same era instead of a lifetime outlier.
+	slowCur, slowPrev *SlowestTrace
+}
+
+// SlowestTrace is the exemplar surfaced in /stats: the slowest
+// successful discovery of one stats window. Trace carries the stage
+// breakdown when the server runs with tracing enabled, and is omitted
+// otherwise.
+type SlowestTrace struct {
+	Method    string     `json:"method"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+	Trace     *TraceInfo `json:"trace,omitempty"`
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -61,9 +79,12 @@ func (m *metrics) recordMutation(op string, failed bool) {
 }
 
 // record folds one completed discovery into the counters. Failed
-// requests count toward total and errors but not toward latency, so
-// fast validation rejections do not drag the percentiles down.
-func (m *metrics) record(method string, elapsed time.Duration, failed bool) {
+// requests count toward total and errors but not toward latency (or
+// the exemplar slot), so fast validation rejections do not drag the
+// percentiles down. tr may be nil (failure paths, tracing off); when
+// the request is this window's slowest, its breakdown is kept as the
+// exemplar.
+func (m *metrics) record(method string, elapsed time.Duration, failed bool, tr *obs.Trace) {
 	if failed {
 		m.discover.With(method, "error").Inc()
 		return
@@ -75,13 +96,29 @@ func (m *metrics) record(method string, elapsed time.Duration, failed bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.welford.Add(ms)
+	if m.slowCur == nil || ms > m.slowCur.ElapsedMS {
+		m.slowCur = &SlowestTrace{Method: method, ElapsedMS: ms, Trace: traceInfo(tr)}
+	}
 	if len(m.window) < latencyWindow {
 		m.window = append(m.window, ms)
+		if len(m.window) == latencyWindow {
+			m.rollWindow()
+		}
 		return
 	}
 	m.window[m.next] = ms
 	m.next = (m.next + 1) % latencyWindow
 	m.filled = true
+	if m.next == 0 {
+		m.rollWindow()
+	}
+}
+
+// rollWindow retires the current exemplar window (called with mu held,
+// every latencyWindow samples): the finished window's slowest becomes
+// the previous exemplar and the slot restarts empty.
+func (m *metrics) rollWindow() {
+	m.slowPrev, m.slowCur = m.slowCur, nil
 }
 
 // LatencyStats is the latency section of the /stats payload, in
@@ -109,6 +146,12 @@ type MetricsSnapshot struct {
 	MutationErrors uint64            `json:"mutation_errors"`
 	ByOp           map[string]uint64 `json:"by_op"`
 	Latency        LatencyStats      `json:"latency"`
+	// SlowestTrace is the slowest successful discovery of the current
+	// stats window (the same window backing Latency's percentiles);
+	// PrevSlowestTrace is the completed window before it, so a scrape
+	// right after a window roll still sees a mature exemplar.
+	SlowestTrace     *SlowestTrace `json:"slowest_trace,omitempty"`
+	PrevSlowestTrace *SlowestTrace `json:"slowest_trace_prev,omitempty"`
 }
 
 // snapshot re-derives the /stats counter section from the registry
@@ -150,5 +193,7 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		ps := stats.Percentiles(m.window, 50, 90, 99)
 		snap.Latency.P50MS, snap.Latency.P90MS, snap.Latency.P99MS = ps[0], ps[1], ps[2]
 	}
+	snap.SlowestTrace = m.slowCur
+	snap.PrevSlowestTrace = m.slowPrev
 	return snap
 }

@@ -328,7 +328,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		store:   store,
-		indexes: newIndexSet(base, store, cfg.RepairBudget, cfg.RepairVisitBudget, deepReg),
+		indexes: newIndexSet(base, store, cfg.RepairBudget, cfg.RepairVisitBudget, cfg.Workers, deepReg),
 		cache:   newLRU(cfg.CacheSize, cfg.CacheCompactFactor),
 		metrics: newMetrics(reg),
 		obs:     reg,

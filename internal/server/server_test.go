@@ -17,6 +17,7 @@ import (
 
 	"authteam/internal/dblp"
 	"authteam/internal/expertgraph"
+	"authteam/internal/obs"
 	"authteam/internal/workload"
 )
 
@@ -319,6 +320,55 @@ func TestStats(t *testing.T) {
 	}
 	if out.Latency.Count != 2 {
 		t.Errorf("latency count = %d, want 2", out.Latency.Count)
+	}
+}
+
+// TestStatsSlowestTraceExemplar: /stats pairs its latency percentiles
+// with the window's slowest successful discovery, including the stage
+// breakdown while tracing is on (the default), and the exemplar rolls
+// to the _prev slot when the sample window completes.
+func TestStatsSlowestTraceExemplar(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	postJSON(t, ts.URL+"/v1/discover", `{"skills": ["analytics"]}`)
+	postJSON(t, ts.URL+"/v1/discover", `{"skills": ["communities"]}`)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	ex := out.SlowestTrace
+	if ex == nil {
+		t.Fatal("no slowest-trace exemplar after successful discoveries")
+	}
+	if ex.Method != "sa-ca-cc" || ex.ElapsedMS < 0 {
+		t.Fatalf("exemplar %+v", ex)
+	}
+	if ex.Trace == nil || len(ex.Trace.Spans) == 0 {
+		t.Fatalf("exemplar carries no stage breakdown with tracing on: %+v", ex)
+	}
+
+	// Window roll: after latencyWindow samples the exemplar retires to
+	// the previous slot and the current one restarts. Drive the metrics
+	// layer directly — 4096 HTTP round trips would dwarf the test.
+	m := newMetrics(obs.NewRegistry())
+	m.record("sa-ca-cc", 5*time.Millisecond, false, nil)
+	for i := 0; i < latencyWindow-1; i++ {
+		m.record("sa-ca-cc", time.Millisecond, false, nil)
+	}
+	snap := m.snapshot()
+	if snap.PrevSlowestTrace == nil || snap.PrevSlowestTrace.ElapsedMS != 5 {
+		t.Fatalf("completed window's exemplar not retired: %+v", snap.PrevSlowestTrace)
+	}
+	if snap.SlowestTrace != nil {
+		t.Fatalf("fresh window should start with no exemplar, got %+v", snap.SlowestTrace)
+	}
+	m.record("pareto", 9*time.Millisecond, false, nil)
+	if snap = m.snapshot(); snap.SlowestTrace == nil || snap.SlowestTrace.Method != "pareto" {
+		t.Fatalf("new window's exemplar: %+v", snap.SlowestTrace)
 	}
 }
 

@@ -258,6 +258,7 @@ func main() {
 		"authteam_index_repair_seconds",
 		"authteam_index_rebuild_seconds",
 		"authteam_index_rebuild_queue_depth",
+		"authteam_index_rebuild_workers",
 		"authteam_cache_hits_total",
 	}
 	lf := scrape("leader", lURL+"/metrics")
