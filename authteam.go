@@ -172,6 +172,15 @@ type Options struct {
 	// checkpoints; ≤ 0 keeps the default (256). Smaller values trade
 	// memory for faster historical-epoch reconstruction.
 	MemoEvery int
+	// CommitBatch caps how many queued mutations the store's group
+	// committer covers with one journal write + epoch publish; ≤ 0
+	// keeps the default (256).
+	CommitBatch int
+	// CommitInterval makes the group committer wait this long after a
+	// batch's first mutation for more to accumulate (fewer fsyncs
+	// under heavy concurrent writes, at the cost of per-op latency).
+	// 0 — the default — commits as soon as the queue drains.
+	CommitInterval time.Duration
 	// Follow turns the client into a read replica of the team discovery
 	// server at this base URL (e.g. "http://leader:7411"): the local
 	// store is bootstrapped and kept current from the leader's
@@ -260,6 +269,8 @@ func New(g *Graph, opt Options) (*Client, error) {
 		JournalPath:      opt.Journal,
 		CompactThreshold: opt.CompactThreshold,
 		MemoEvery:        opt.MemoEvery,
+		CommitBatch:      opt.CommitBatch,
+		CommitInterval:   opt.CommitInterval,
 		Metrics:          opt.Metrics,
 	})
 	if err != nil {

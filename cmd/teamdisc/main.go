@@ -119,6 +119,8 @@ func runServe(args []string) {
 		followIv  = fs.Duration("follow-poll", 0, "replication long-poll bound (0 = default 25s)")
 		minWait   = fs.Duration("min-epoch-wait", 0, "max time a read carrying X-Authteam-Min-Epoch blocks for replication before redirecting/failing (0 = default 5s)")
 		memoEvery = fs.Int("memo-every", 0, "store reconstruction-checkpoint spacing (0 = default 256)")
+		commitBat = fs.Int("commit-batch", 0, "max mutations per group commit — one journal write + one epoch publish per batch (0 = default 256)")
+		commitIv  = fs.Duration("commit-interval", 0, "group-commit accumulation window: wait this long after a batch's first mutation for more before committing (0 commits as soon as the queue drains)")
 		cacheCF   = fs.Int("cache-compact-factor", 0, "result-cache per-epoch key-list compaction factor (0 = default 2)")
 		visits    = fs.Int("repair-visit-budget", 0, "max label visits one incremental index repair may spend before falling back to an async rebuild (0 disables the cap)")
 		debugAddr = fs.String("debug-addr", "", "private debug listener for pprof and /metrics (e.g. localhost:7511; empty disables)")
@@ -160,6 +162,8 @@ func runServe(args []string) {
 		FollowPoll:         *followIv,
 		MinEpochWait:       *minWait,
 		MemoEvery:          *memoEvery,
+		CommitBatch:        *commitBat,
+		CommitInterval:     *commitIv,
 		CacheCompactFactor: *cacheCF,
 		DebugAddr:          *debugAddr,
 		ReadyMaxLagEpochs:  *readyLagE,

@@ -1,0 +1,628 @@
+package live
+
+import (
+	"authteam/internal/expertgraph"
+)
+
+// chainView answers GraphView reads for one epoch as a patch layer
+// over the *previous* epoch's memoized view instead of a fresh fold
+// over the whole resident delta. Where OverlayView costs O(|delta|) to
+// build (it refolds every mutation since the base), a chainView costs
+// O(|batch|): the committer derives epoch E+1's view from epoch E's
+// view plus the just-committed batch, so under a sustained write
+// stream the per-epoch view-build cost stays flat no matter how long
+// ago the last fold was.
+//
+// The chain is semantically identical to a refold. Bounds continue the
+// parent's covering fold (boundSide state is copied by value and the
+// batch folded on top — the same sequential fold a full refold runs),
+// holder lists merge the parent's sorted lists with the batch's sorted
+// additions (the same merge a refold does against the base), and the
+// subtractive mask applies to every parent edge by key, which
+// subsumes OverlayView's split between masked base entries and
+// dropped delta halves. Only the Neighbors visit order can differ —
+// GraphView leaves it implementation-defined.
+//
+// Deep chains accumulate lookup layers (each read walks down the
+// parent chain on a patch miss), so the committer bounds depth at
+// maxChainDepth and resets the chain with a full refold — the
+// "periodic refold guard" — keeping reads O(1)-ish layers and
+// amortizing the O(|delta|) refold over maxChainDepth cheap chained
+// builds. Compaction and base adoption publish snapshots with fresh
+// lazy views, resetting the chain at every rebase/fold boundary.
+//
+// chainView is immutable after construction and safe for concurrent
+// readers; it reads the parent view, which is itself immutable.
+type chainView struct {
+	parent chainableView
+	pn     int // parent node count
+	pnSk   int // parent skill count
+	depth  int // chain links above the refolded root (root = 0)
+	nodes  int
+	edges  int
+
+	// Nodes appended by the batch (IDs pn, pn+1, …).
+	newNames  []string
+	newAuth   []float64
+	newInv    []float64
+	newSkills [][]expertgraph.SkillID
+	newAdj    [][]halfEdge
+
+	// Patches on parent nodes (same shapes as OverlayView's).
+	authPatch  map[expertgraph.NodeID]authOverride
+	extraAdj   map[expertgraph.NodeID][]halfEdge
+	skillPatch map[expertgraph.NodeID][]expertgraph.SkillID
+
+	// Subtractive patches: parent edges masked by key (removed or
+	// re-weighted by this batch), the per-endpoint masked count, and
+	// nodes tombstoned by this batch.
+	removedEdges map[uint64]struct{}
+	removedDeg   map[expertgraph.NodeID]int
+	removedNodes map[expertgraph.NodeID]struct{}
+
+	newSkillNames []string
+	newSkillIDs   map[string]expertgraph.SkillID
+	holdersPatch  map[expertgraph.SkillID][]expertgraph.NodeID
+
+	minW, maxW     float64
+	minInv, maxInv float64
+
+	wLo, wHi, invLo, invHi boundSide
+}
+
+// chainableView is a view another epoch's view can chain off: it
+// exposes the covering-bounds fold state so the child can continue the
+// fold exactly where the parent left it. Both overlay flavors qualify;
+// the raw base graph does not (a chain starting at the base epoch is
+// just a fresh OverlayView over the batch).
+type chainableView interface {
+	expertgraph.GraphView
+	boundsState() (wLo, wHi, invLo, invHi boundSide)
+}
+
+func (o *OverlayView) boundsState() (wLo, wHi, invLo, invHi boundSide) {
+	return o.wLo, o.wHi, o.invLo, o.invHi
+}
+
+func (c *chainView) boundsState() (wLo, wHi, invLo, invHi boundSide) {
+	return c.wLo, c.wHi, c.invLo, c.invHi
+}
+
+// chainOverlay folds one committed batch into a patch layer over the
+// previous epoch's view. muts must be the validated batch (same
+// guarantees as newOverlay's log), nodes/edges the counts at the new
+// epoch, and depth the parent's chain depth plus one.
+func chainOverlay(parent chainableView, muts []Mutation, nodes, edges int, depth int) *chainView {
+	c := &chainView{
+		parent: parent,
+		pn:     parent.NumNodes(),
+		pnSk:   parent.NumSkills(),
+		depth:  depth,
+		nodes:  nodes,
+		edges:  edges,
+	}
+	// Continue the parent's covering-bounds fold: copying the boundSide
+	// state and folding the batch on top runs the exact sequential fold
+	// a full refold from base would, so bounds and tightness come out
+	// bit-identical.
+	c.wLo, c.wHi, c.invLo, c.invHi = parent.boundsState()
+
+	var addedHolders map[expertgraph.SkillID][]expertgraph.NodeID
+	var droppedHolders map[expertgraph.SkillID]map[expertgraph.NodeID]struct{}
+
+	skillID := func(name string) expertgraph.SkillID {
+		if id, ok := c.parent.SkillID(name); ok {
+			return id
+		}
+		if id, ok := c.newSkillIDs[name]; ok {
+			return id
+		}
+		id := expertgraph.SkillID(c.pnSk + len(c.newSkillNames))
+		c.newSkillNames = append(c.newSkillNames, name)
+		if c.newSkillIDs == nil {
+			c.newSkillIDs = make(map[string]expertgraph.SkillID)
+		}
+		c.newSkillIDs[name] = id
+		return id
+	}
+	addHolder := func(s expertgraph.SkillID, u expertgraph.NodeID) {
+		if addedHolders == nil {
+			addedHolders = make(map[expertgraph.SkillID][]expertgraph.NodeID)
+		}
+		addedHolders[s] = append(addedHolders[s], u)
+	}
+	dropHolder := func(s expertgraph.SkillID, u expertgraph.NodeID) {
+		if droppedHolders == nil {
+			droppedHolders = make(map[expertgraph.SkillID]map[expertgraph.NodeID]struct{})
+		}
+		set := droppedHolders[s]
+		if set == nil {
+			set = make(map[expertgraph.NodeID]struct{})
+			droppedHolders[s] = set
+		}
+		set[u] = struct{}{}
+	}
+	foldInv := func(inv float64) { c.invLo.lower(inv); c.invHi.raise(inv) }
+	foldW := func(w float64) { c.wLo.lower(w); c.wHi.raise(w) }
+	retireInv := func(inv float64) { c.invLo.retire(inv); c.invHi.retire(inv) }
+	retireW := func(w float64) { c.wLo.retire(w); c.wHi.retire(w) }
+	effInv := func(u expertgraph.NodeID) float64 {
+		if int(u) >= c.pn {
+			return c.newInv[int(u)-c.pn]
+		}
+		if ov, ok := c.authPatch[u]; ok {
+			return ov.inv
+		}
+		return c.parent.InvAuthority(u)
+	}
+
+	for _, m := range muts {
+		switch m.Op {
+		case OpAddNode:
+			id := expertgraph.NodeID(c.pn + len(c.newNames))
+			inv := 1 / m.Authority
+			c.newNames = append(c.newNames, m.Name)
+			c.newAuth = append(c.newAuth, m.Authority)
+			c.newInv = append(c.newInv, inv)
+			var sk []expertgraph.SkillID
+			for _, name := range m.Skills {
+				s := skillID(name)
+				if containsSkill(sk, s) {
+					continue
+				}
+				sk = append(sk, s)
+				addHolder(s, id)
+			}
+			c.newSkills = append(c.newSkills, sk)
+			c.newAdj = append(c.newAdj, nil)
+			foldInv(inv)
+
+		case OpAddEdge:
+			c.addHalf(m.U, halfEdge{to: m.V, w: m.W})
+			c.addHalf(m.V, halfEdge{to: m.U, w: m.W})
+			foldW(m.W)
+
+		case OpRemoveEdge:
+			c.maskEdge(m.U, m.V)
+			retireW(m.W)
+
+		case OpUpdateEdge:
+			if c.updateHalf(m.U, m.V, m.W) {
+				c.updateHalf(m.V, m.U, m.W)
+			} else {
+				// An edge the parent already serves: mask it by key and
+				// carry the new weight as batch halves.
+				c.maskEdge(m.U, m.V)
+				c.addHalf(m.U, halfEdge{to: m.V, w: m.W})
+				c.addHalf(m.V, halfEdge{to: m.U, w: m.W})
+			}
+			retireW(m.OldW)
+			foldW(m.W)
+
+		case OpRemoveNode:
+			for _, e := range m.Edges {
+				c.maskEdge(m.Node, e.V)
+				retireW(e.W)
+			}
+			retireInv(effInv(m.Node))
+			for _, s := range c.effectiveSkills(m.Node) {
+				dropHolder(s, m.Node)
+			}
+			if int(m.Node) >= c.pn {
+				c.newSkills[int(m.Node)-c.pn] = nil
+			} else {
+				if c.skillPatch == nil {
+					c.skillPatch = make(map[expertgraph.NodeID][]expertgraph.SkillID)
+				}
+				c.skillPatch[m.Node] = []expertgraph.SkillID{}
+			}
+			if c.removedNodes == nil {
+				c.removedNodes = make(map[expertgraph.NodeID]struct{})
+			}
+			c.removedNodes[m.Node] = struct{}{}
+
+		case OpUpdateNode:
+			if m.SetAuthority != nil {
+				auth := *m.SetAuthority
+				inv := 1 / auth
+				retireInv(effInv(m.Node))
+				if int(m.Node) >= c.pn {
+					i := int(m.Node) - c.pn
+					c.newAuth[i], c.newInv[i] = auth, inv
+				} else {
+					if c.authPatch == nil {
+						c.authPatch = make(map[expertgraph.NodeID]authOverride)
+					}
+					c.authPatch[m.Node] = authOverride{auth: auth, inv: inv}
+				}
+				foldInv(inv)
+			}
+			for _, name := range m.AddSkills {
+				s := skillID(name)
+				if containsSkill(c.effectiveSkills(m.Node), s) {
+					continue
+				}
+				if int(m.Node) >= c.pn {
+					i := int(m.Node) - c.pn
+					c.newSkills[i] = append(c.newSkills[i], s)
+				} else {
+					if c.skillPatch == nil {
+						c.skillPatch = make(map[expertgraph.NodeID][]expertgraph.SkillID)
+					}
+					if _, ok := c.skillPatch[m.Node]; !ok {
+						c.skillPatch[m.Node] = append([]expertgraph.SkillID(nil), c.parent.Skills(m.Node)...)
+					}
+					c.skillPatch[m.Node] = append(c.skillPatch[m.Node], s)
+				}
+				addHolder(s, m.Node)
+			}
+		}
+	}
+
+	c.minW, c.maxW = c.wLo.val, c.wHi.val
+	c.minInv, c.maxInv = c.invLo.val, c.invHi.val
+
+	if len(addedHolders) > 0 || len(droppedHolders) > 0 {
+		c.holdersPatch = make(map[expertgraph.SkillID][]expertgraph.NodeID, len(addedHolders)+len(droppedHolders))
+		patchSkill := func(s expertgraph.SkillID) {
+			if _, done := c.holdersPatch[s]; done {
+				return
+			}
+			dropped := droppedHolders[s]
+			var parentHolders []expertgraph.NodeID
+			if int(s) < c.pnSk {
+				parentHolders = c.parent.ExpertsWithSkill(s)
+			}
+			if len(dropped) > 0 {
+				kept := make([]expertgraph.NodeID, 0, len(parentHolders))
+				for _, u := range parentHolders {
+					if _, gone := dropped[u]; !gone {
+						kept = append(kept, u)
+					}
+				}
+				parentHolders = kept
+			}
+			added := addedHolders[s]
+			if len(dropped) > 0 && len(added) > 0 {
+				kept := make([]expertgraph.NodeID, 0, len(added))
+				for _, u := range added {
+					if _, gone := dropped[u]; !gone {
+						kept = append(kept, u)
+					}
+				}
+				added = kept
+			} else if len(added) > 0 {
+				added = append([]expertgraph.NodeID(nil), added...)
+			}
+			sortNodeIDs(added)
+			c.holdersPatch[s] = mergeSortedNodeIDs(parentHolders, added)
+		}
+		for s := range addedHolders {
+			patchSkill(s)
+		}
+		for s := range droppedHolders {
+			patchSkill(s)
+		}
+	}
+	return c
+}
+
+func (c *chainView) addHalf(u expertgraph.NodeID, e halfEdge) {
+	if int(u) >= c.pn {
+		i := int(u) - c.pn
+		c.newAdj[i] = append(c.newAdj[i], e)
+		return
+	}
+	if c.extraAdj == nil {
+		c.extraAdj = make(map[expertgraph.NodeID][]halfEdge)
+	}
+	c.extraAdj[u] = append(c.extraAdj[u], e)
+}
+
+// dropHalf deletes this layer's half-edge u→v if present, reporting
+// whether it existed.
+func (c *chainView) dropHalf(u, v expertgraph.NodeID) bool {
+	var adj []halfEdge
+	if int(u) >= c.pn {
+		adj = c.newAdj[int(u)-c.pn]
+	} else {
+		adj = c.extraAdj[u]
+	}
+	for i, e := range adj {
+		if e.to == v {
+			last := len(adj) - 1
+			adj[i] = adj[last]
+			adj = adj[:last]
+			if int(u) >= c.pn {
+				c.newAdj[int(u)-c.pn] = adj
+			} else if last == 0 {
+				delete(c.extraAdj, u)
+			} else {
+				c.extraAdj[u] = adj
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// updateHalf re-weights this layer's half-edge u→v in place, reporting
+// whether it existed.
+func (c *chainView) updateHalf(u, v expertgraph.NodeID, w float64) bool {
+	var adj []halfEdge
+	if int(u) >= c.pn {
+		adj = c.newAdj[int(u)-c.pn]
+	} else {
+		adj = c.extraAdj[u]
+	}
+	for i := range adj {
+		if adj[i].to == v {
+			adj[i].w = w
+			return true
+		}
+	}
+	return false
+}
+
+// maskEdge removes the effective edge (u, v) mid-fold: a half pair
+// added by this batch is dropped outright; an edge the parent serves
+// (whatever layer it lives in there) is masked by key.
+func (c *chainView) maskEdge(u, v expertgraph.NodeID) {
+	if c.dropHalf(u, v) {
+		c.dropHalf(v, u)
+		return
+	}
+	if c.removedEdges == nil {
+		c.removedEdges = make(map[uint64]struct{})
+		c.removedDeg = make(map[expertgraph.NodeID]int)
+	}
+	c.removedEdges[edgeKey(u, v)] = struct{}{}
+	c.removedDeg[u]++
+	c.removedDeg[v]++
+}
+
+// isRemoved reports whether u is tombstoned — by this batch or already
+// in the parent.
+func (c *chainView) isRemoved(u expertgraph.NodeID) bool {
+	if _, gone := c.removedNodes[u]; gone {
+		return true
+	}
+	return int(u) < c.pn && !c.parent.ValidNode(u)
+}
+
+// effectiveSkills returns u's skill set mid-fold (shared slices; do
+// not modify).
+func (c *chainView) effectiveSkills(u expertgraph.NodeID) []expertgraph.SkillID {
+	if int(u) >= c.pn {
+		return c.newSkills[int(u)-c.pn]
+	}
+	if sk, ok := c.skillPatch[u]; ok {
+		return sk
+	}
+	return c.parent.Skills(u)
+}
+
+// --- expertgraph.GraphView ----------------------------------------------
+
+// NumNodes returns the expert count at this epoch.
+func (c *chainView) NumNodes() int { return c.nodes }
+
+// NumEdges returns the undirected edge count at this epoch.
+func (c *chainView) NumEdges() int { return c.edges }
+
+// NumSkills returns the size of the skill universe at this epoch.
+func (c *chainView) NumSkills() int { return c.pnSk + len(c.newSkillNames) }
+
+// Name returns the display name of expert u.
+func (c *chainView) Name(u expertgraph.NodeID) string {
+	if int(u) >= c.pn {
+		return c.newNames[int(u)-c.pn]
+	}
+	return c.parent.Name(u)
+}
+
+// Authority returns a(u), the raw authority of expert u.
+func (c *chainView) Authority(u expertgraph.NodeID) float64 {
+	if int(u) >= c.pn {
+		return c.newAuth[int(u)-c.pn]
+	}
+	if len(c.authPatch) != 0 {
+		if ov, ok := c.authPatch[u]; ok {
+			return ov.auth
+		}
+	}
+	return c.parent.Authority(u)
+}
+
+// InvAuthority returns a'(u) = 1/a(u).
+func (c *chainView) InvAuthority(u expertgraph.NodeID) float64 {
+	if int(u) >= c.pn {
+		return c.newInv[int(u)-c.pn]
+	}
+	if len(c.authPatch) != 0 {
+		if ov, ok := c.authPatch[u]; ok {
+			return ov.inv
+		}
+	}
+	return c.parent.InvAuthority(u)
+}
+
+// Pubs returns the publication count of expert u.
+func (c *chainView) Pubs(u expertgraph.NodeID) int {
+	if int(u) >= c.pn {
+		return 0
+	}
+	return c.parent.Pubs(u)
+}
+
+// Degree returns the number of neighbours of expert u.
+func (c *chainView) Degree(u expertgraph.NodeID) int {
+	if _, gone := c.removedNodes[u]; gone {
+		return 0
+	}
+	if int(u) >= c.pn {
+		return len(c.newAdj[int(u)-c.pn])
+	}
+	d := c.parent.Degree(u)
+	if len(c.removedDeg) != 0 {
+		d -= c.removedDeg[u]
+	}
+	if len(c.extraAdj) != 0 {
+		d += len(c.extraAdj[u])
+	}
+	return d
+}
+
+// Neighbors visits the parent's edges first (minus any this batch
+// masked), then this batch's edges.
+func (c *chainView) Neighbors(u expertgraph.NodeID, fn func(v expertgraph.NodeID, w float64) bool) {
+	if _, gone := c.removedNodes[u]; gone {
+		return
+	}
+	if int(u) >= c.pn {
+		for _, e := range c.newAdj[int(u)-c.pn] {
+			if !fn(e.to, e.w) {
+				return
+			}
+		}
+		return
+	}
+	extra := c.extraAdj[u]
+	if len(c.removedEdges) == 0 {
+		if len(extra) == 0 {
+			c.parent.Neighbors(u, fn)
+			return
+		}
+		stopped := false
+		c.parent.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
+			if !fn(v, w) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	} else {
+		stopped := false
+		c.parent.Neighbors(u, func(v expertgraph.NodeID, w float64) bool {
+			if _, masked := c.removedEdges[edgeKey(u, v)]; masked {
+				return true
+			}
+			if !fn(v, w) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+	for _, e := range extra {
+		if !fn(e.to, e.w) {
+			return
+		}
+	}
+}
+
+// EdgeWeight returns the weight of edge (u,v) and whether it exists.
+// This batch's halves take precedence (they carry re-weights); masked
+// parent entries are invisible.
+func (c *chainView) EdgeWeight(u, v expertgraph.NodeID) (float64, bool) {
+	var extra []halfEdge
+	if int(u) >= c.pn {
+		extra = c.newAdj[int(u)-c.pn]
+	} else {
+		extra = c.extraAdj[u]
+	}
+	for _, e := range extra {
+		if e.to == v {
+			return e.w, true
+		}
+	}
+	if int(u) < c.pn && int(v) < c.pn {
+		if len(c.removedEdges) != 0 {
+			if _, masked := c.removedEdges[edgeKey(u, v)]; masked {
+				return 0, false
+			}
+		}
+		return c.parent.EdgeWeight(u, v)
+	}
+	return 0, false
+}
+
+// SkillID resolves a skill name to its ID.
+func (c *chainView) SkillID(name string) (expertgraph.SkillID, bool) {
+	if id, ok := c.parent.SkillID(name); ok {
+		return id, true
+	}
+	id, ok := c.newSkillIDs[name]
+	return id, ok
+}
+
+// SkillName returns the name of skill s.
+func (c *chainView) SkillName(s expertgraph.SkillID) string {
+	if int(s) >= c.pnSk {
+		return c.newSkillNames[int(s)-c.pnSk]
+	}
+	return c.parent.SkillName(s)
+}
+
+// Skills returns the skills held by expert u. The returned slice is
+// shared with the view and must not be modified.
+func (c *chainView) Skills(u expertgraph.NodeID) []expertgraph.SkillID {
+	if int(u) >= c.pn {
+		return c.newSkills[int(u)-c.pn]
+	}
+	if len(c.skillPatch) != 0 {
+		if sk, ok := c.skillPatch[u]; ok {
+			return sk
+		}
+	}
+	return c.parent.Skills(u)
+}
+
+// HasSkill reports whether expert u holds skill s.
+func (c *chainView) HasSkill(u expertgraph.NodeID, s expertgraph.SkillID) bool {
+	return containsSkill(c.Skills(u), s)
+}
+
+// ExpertsWithSkill returns C(s) sorted by NodeID. The returned slice
+// is shared with the view and must not be modified.
+func (c *chainView) ExpertsWithSkill(s expertgraph.SkillID) []expertgraph.NodeID {
+	if len(c.holdersPatch) != 0 {
+		if holders, ok := c.holdersPatch[s]; ok {
+			return holders
+		}
+	}
+	if int(s) < c.pnSk {
+		return c.parent.ExpertsWithSkill(s)
+	}
+	return nil
+}
+
+// EdgeWeightBounds returns the covering (min, max) edge weight bounds
+// at this epoch — bit-identical to a full refold's (same sequential
+// fold, resumed from the parent's state).
+func (c *chainView) EdgeWeightBounds() (lo, hi float64) { return c.minW, c.maxW }
+
+// InvAuthorityBounds returns the covering (min, max) inverse-authority
+// bounds at this epoch, over live (non-tombstoned) experts.
+func (c *chainView) InvAuthorityBounds() (lo, hi float64) { return c.minInv, c.maxInv }
+
+// BoundsTight reports whether the covering bounds are each provably
+// tight at this epoch (see OverlayView.BoundsTight).
+func (c *chainView) BoundsTight() (w, inv bool) {
+	return c.wLo.tight() && c.wHi.tight(), c.invLo.tight() && c.invHi.tight()
+}
+
+// ValidNode reports whether u is a live node of this view.
+func (c *chainView) ValidNode(u expertgraph.NodeID) bool {
+	return u >= 0 && int(u) < c.nodes && !c.isRemoved(u)
+}
+
+var _ expertgraph.GraphView = (*chainView)(nil)
+var _ chainableView = (*chainView)(nil)
+var _ chainableView = (*OverlayView)(nil)

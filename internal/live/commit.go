@@ -1,0 +1,394 @@
+package live
+
+import (
+	"log/slog"
+	"sort"
+	"time"
+
+	"authteam/internal/expertgraph"
+)
+
+// Group commit. Mutators don't take the writer lock themselves: they
+// enqueue onto an MPSC channel and block on a per-op future while a
+// single committer goroutine drains the queue in batches. One batch
+// costs one journal record group (one write syscall, one fsync under
+// Sync), one writer-lock acquisition, and one epoch publish covering
+// every op in it — so N concurrent mutators share the fixed per-commit
+// costs instead of each paying them. Epoch numbering stays per-op
+// (op i of a batch starting at epoch E gets epoch E+i+1, and the log
+// stays strictly per-op), so replication tailing, SnapshotAt,
+// MutationsSince and epoch read-your-writes are oblivious to batching.
+
+// defaultCommitBatch caps ops per group commit (Config.CommitBatch
+// overrides it).
+const defaultCommitBatch = 256
+
+// maxChainDepth is the chained-overlay refold guard: a batch whose
+// parent view already sits at this depth gets a full refold from base
+// instead of another chain link, bounding per-read layer walks and
+// amortizing the O(|delta|) refold over maxChainDepth O(|batch|)
+// chained builds.
+const maxChainDepth = 16
+
+// commitBatchBuckets sizes the batch-occupancy histogram: powers of
+// two up to the default batch cap.
+var commitBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// applyReq is one mutation in flight through the commit pipeline.
+type applyReq struct {
+	m     Mutation
+	newID expertgraph.NodeID // assigned by validation (add_node)
+	err   error              // validation failure, settled per-op
+	done  chan applyResult   // buffered(1): the committer never blocks
+}
+
+type applyResult struct {
+	id    expertgraph.NodeID
+	epoch uint64
+	err   error
+}
+
+// committer is the single consumer of applyCh: it batches queued
+// mutations and commits each batch as one journal group + one epoch
+// publish. It exits when Close closes the channel, after committing
+// everything already enqueued.
+func (s *Store) committer() {
+	defer close(s.committerDone)
+	for req := range s.applyCh {
+		s.commitBatch(s.collectBatch(req))
+	}
+}
+
+// collectBatch gathers up to commitBatchMax ops: everything already
+// queued behind first, plus — when CommitInterval is set — whatever
+// else arrives within the interval. With a zero interval batching
+// comes only from arrival concurrency (ops that queued while the
+// previous commit was in flight) and adds no latency.
+func (s *Store) collectBatch(first *applyReq) []*applyReq {
+	batch := append(make([]*applyReq, 0, min(s.commitBatchMax, 16)), first)
+	if s.commitInterval <= 0 {
+		for len(batch) < s.commitBatchMax {
+			select {
+			case req, ok := <-s.applyCh:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, req)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(s.commitInterval)
+	defer timer.Stop()
+	for len(batch) < s.commitBatchMax {
+		select {
+		case req, ok := <-s.applyCh:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, req)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// commitBatch runs one group commit: validate every op against the
+// writer state plus the staged effects of earlier ops in the batch,
+// write the survivors as one journal record group, fold them into the
+// writer state, publish one snapshot covering all of them (with the
+// next chained overlay preset), and only then settle the per-op
+// futures — so a mutator's returned epoch is always resolvable
+// (read-your-writes).
+func (s *Store) commitBatch(batch []*applyReq) {
+	var start time.Time
+	if s.commitHist != nil {
+		start = time.Now()
+	}
+	s.mu.Lock()
+	if s.closed || s.ioErr != nil {
+		err := s.ioErr
+		if err == nil {
+			err = ErrClosed
+		}
+		s.mu.Unlock()
+		for _, r := range batch {
+			r.done <- applyResult{err: err}
+		}
+		return
+	}
+
+	// Phase 1: validate. Failed ops settle their own future with the
+	// validation error and drop out; survivors stage their effects into
+	// the shadow so later ops in the batch validate against them.
+	sh := s.newBatchShadow()
+	staged := make([]*applyReq, 0, len(batch))
+	ms := make([]Mutation, 0, len(batch))
+	for _, r := range batch {
+		id, err := s.validateMutation(&r.m, sh, true)
+		if err != nil {
+			r.err = err
+			continue
+		}
+		r.newID = id
+		sh.stage(r.m)
+		staged = append(staged, r)
+		ms = append(ms, r.m)
+	}
+
+	// Phase 2: one journal record group for the whole batch
+	// (write-ahead: nothing mutates writer state before it is durable).
+	if len(staged) > 0 && s.journal != nil {
+		var jstart time.Time
+		if s.appendHist != nil {
+			jstart = time.Now()
+		}
+		fatal, err := s.journal.appendGroup(ms)
+		if err != nil {
+			if fatal {
+				// The journal can no longer be appended to safely;
+				// poison the store rather than risk replaying a
+				// different history than the one served.
+				s.ioErr = err
+				slog.Error("live: journal unrecoverable; store no longer accepts writes", "err", err)
+			}
+			s.mu.Unlock()
+			for _, r := range batch {
+				if r.err == nil {
+					r.err = err
+				}
+				r.done <- applyResult{err: r.err}
+			}
+			return
+		}
+		if s.appendHist != nil {
+			s.appendHist.Observe(time.Since(jstart).Seconds())
+		}
+		// Nudge the background compactor when this group crossed its
+		// fold trigger — a non-blocking watermark signal, so folds
+		// start promptly under write bursts without a tight poll
+		// interval.
+		if s.wmCh != nil &&
+			((s.wmRecords > 0 && s.journal.records >= s.wmRecords) ||
+				(s.wmBytes > 0 && s.journal.bytes >= s.wmBytes)) {
+			select {
+			case s.wmCh <- struct{}{}:
+			default:
+			}
+		}
+	}
+
+	// Phase 3: fold the batch into the writer state and publish one
+	// snapshot at the final epoch, its overlay view pre-derived from
+	// the previous epoch's view where possible.
+	epoch0 := s.baseEpoch + uint64(len(s.log))
+	if len(staged) > 0 {
+		for _, r := range staged {
+			s.stateApply(r.m)
+		}
+		prev := s.snap.Load()
+		next := s.buildSnapshotLocked()
+		s.presetView(prev, next, ms)
+		s.snap.Store(next)
+		s.bumpWatch()
+		s.commits.Add(1)
+	}
+	s.mu.Unlock()
+
+	// Phase 4: instruments and futures, off the writer lock. The
+	// snapshot is already published, so a mutator that wakes here and
+	// immediately reads sees its own write.
+	if len(staged) > 0 {
+		if s.batchHist != nil {
+			s.batchHist.Observe(float64(len(staged)))
+		}
+		if s.commitHist != nil {
+			s.commitHist.Observe(time.Since(start).Seconds())
+		}
+	}
+	for i, r := range staged {
+		r.done <- applyResult{id: r.newID, epoch: epoch0 + uint64(i) + 1}
+	}
+	for _, r := range batch {
+		if r.err != nil {
+			r.done <- applyResult{err: r.err}
+		}
+	}
+}
+
+// presetView derives next's overlay view at commit time: chained off
+// prev's memoized view when one exists (O(|batch|)), refolded from
+// base when the chain hit the depth guard, and left lazy when prev's
+// view was never built — a write-only stretch shouldn't pay for views
+// nobody reads. Caller holds mu; next is not yet published.
+func (s *Store) presetView(prev, next *Snapshot, batch []Mutation) {
+	var start time.Time
+	var view expertgraph.GraphView
+	switch {
+	case prev.epoch == prev.baseEpoch:
+		// Chain root: folding just the batch is already the full
+		// refold, since nothing precedes it in the resident log.
+		if s.overlayHist != nil {
+			start = time.Now()
+		}
+		view = newOverlay(next.base, next.log[:next.epoch-next.baseEpoch], next.nodes, next.edges)
+	case prev.viewReady.Load():
+		parent, ok := prev.view.(chainableView)
+		if !ok {
+			return
+		}
+		depth := 0
+		if cv, isChain := parent.(*chainView); isChain {
+			depth = cv.depth
+		}
+		if s.overlayHist != nil {
+			start = time.Now()
+		}
+		if depth >= maxChainDepth {
+			// Periodic refold guard: reset the chain with a full fold
+			// from base.
+			view = newOverlay(next.base, next.log[:next.epoch-next.baseEpoch], next.nodes, next.edges)
+			s.refolds.Add(1)
+		} else {
+			view = chainOverlay(parent, batch, next.nodes, next.edges, depth+1)
+		}
+	default:
+		return
+	}
+	if s.overlayHist != nil {
+		s.overlayHist.Observe(time.Since(start).Seconds())
+	}
+	next.view = view
+	next.viewOnce.Do(func() {}) // burn the once; View returns the preset
+	next.viewReady.Store(true)
+}
+
+// batchShadow overlays the writer state with the staged effects of the
+// current (not yet applied) batch prefix, so op k of a batch validates
+// against the world as of op k−1 — exactly what it would have seen
+// under the old one-op-one-commit path.
+type batchShadow struct {
+	s     *Store
+	nodes int                 // add_node count staged this batch
+	added map[uint64]float64  // edges added (or removed-then-re-added) this batch
+	chgd  map[uint64]*float64 // pre-batch edges re-weighted (ptr) or removed (nil)
+	gone  map[expertgraph.NodeID]struct{}
+}
+
+func (s *Store) newBatchShadow() *batchShadow { return &batchShadow{s: s} }
+
+func (sh *batchShadow) numNodes() int { return sh.s.nNodes + sh.nodes }
+
+func (sh *batchShadow) isRemoved(id expertgraph.NodeID) bool {
+	if _, g := sh.gone[id]; g {
+		return true
+	}
+	return sh.s.isRemoved(id)
+}
+
+func (sh *batchShadow) edgeWeight(u, v expertgraph.NodeID) (float64, bool) {
+	k := edgeKey(u, v)
+	if w, ok := sh.added[k]; ok {
+		return w, true
+	}
+	if p, ok := sh.chgd[k]; ok {
+		if p == nil {
+			return 0, false
+		}
+		return *p, true
+	}
+	w, ok := sh.s.edgeSet[k]
+	return w, ok
+}
+
+// stage folds one validated mutation's effects into the shadow.
+func (sh *batchShadow) stage(m Mutation) {
+	switch m.Op {
+	case OpAddNode:
+		sh.nodes++
+	case OpAddEdge:
+		if sh.added == nil {
+			sh.added = make(map[uint64]float64)
+		}
+		sh.added[edgeKey(m.U, m.V)] = m.W
+	case OpUpdateEdge:
+		k := edgeKey(m.U, m.V)
+		if _, ok := sh.added[k]; ok {
+			sh.added[k] = m.W
+			return
+		}
+		w := m.W
+		if sh.chgd == nil {
+			sh.chgd = make(map[uint64]*float64)
+		}
+		sh.chgd[k] = &w
+	case OpRemoveEdge:
+		sh.dropEdge(edgeKey(m.U, m.V))
+	case OpRemoveNode:
+		for _, e := range m.Edges {
+			sh.dropEdge(edgeKey(m.Node, e.V))
+		}
+		if sh.gone == nil {
+			sh.gone = make(map[expertgraph.NodeID]struct{})
+		}
+		sh.gone[m.Node] = struct{}{}
+	}
+}
+
+func (sh *batchShadow) dropEdge(k uint64) {
+	if _, ok := sh.added[k]; ok {
+		// Added this batch: un-adding it suffices. If the same key was
+		// also a pre-batch edge removed earlier in the batch, chgd[k]
+		// stays nil and keeps masking it.
+		delete(sh.added, k)
+		return
+	}
+	if sh.chgd == nil {
+		sh.chgd = make(map[uint64]*float64)
+	}
+	sh.chgd[k] = nil
+}
+
+// incidentEdges captures node's incident edges as of the staged batch
+// prefix — the pre-batch snapshot view adjusted by the shadow — sorted
+// by far endpoint so the journaled remove_node record (and therefore
+// replay and repair) is deterministic.
+func (sh *batchShadow) incidentEdges(node expertgraph.NodeID) []RemovedEdge {
+	var out []RemovedEdge
+	sn := sh.s.snap.Load()
+	if int(node) < sn.NumNodes() {
+		// Pre-batch node: walk the published view's adjacency, dropping
+		// edges the batch removed and re-weighting ones it changed.
+		// Keys in added are skipped here and picked up below (a
+		// removed-then-re-added pre-batch edge lives there).
+		sn.View().Neighbors(node, func(v expertgraph.NodeID, w float64) bool {
+			k := edgeKey(node, v)
+			if _, re := sh.added[k]; re {
+				return true
+			}
+			if p, ok := sh.chgd[k]; ok {
+				if p == nil {
+					return true
+				}
+				out = append(out, RemovedEdge{V: v, W: *p})
+				return true
+			}
+			out = append(out, RemovedEdge{V: v, W: w})
+			return true
+		})
+	}
+	for k, w := range sh.added {
+		u, v := expertgraph.NodeID(k>>32), expertgraph.NodeID(uint32(k))
+		switch node {
+		case u:
+			out = append(out, RemovedEdge{V: v, W: w})
+		case v:
+			out = append(out, RemovedEdge{V: u, W: w})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].V < out[j].V })
+	return out
+}

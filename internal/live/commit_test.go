@@ -1,0 +1,310 @@
+package live
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"authteam/internal/expertgraph"
+)
+
+// TestGroupCommitSoak hammers the group-commit pipeline with many
+// concurrent writers and readers: every mutation must receive a
+// distinct per-op epoch (the batch boundary is invisible in epoch
+// numbering), read-your-writes must hold the instant Apply returns,
+// and a killed-and-restarted store must replay the batched journal to
+// the identical graph. Run it under -race.
+func TestGroupCommitSoak(t *testing.T) {
+	const (
+		writers      = 8
+		opsPerWriter = 60
+		total        = writers * opsPerWriter
+		baseNodes    = writers * (opsPerWriter - 1)
+	)
+	rng := rand.New(rand.NewSource(71))
+	base := testGraph(rng, baseNodes)
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	// Sync makes each commit pay a real fsync, so mutations queue while
+	// one is in flight and batches form from arrival concurrency alone.
+	s := mustOpen(t, base, Config{JournalPath: path, Sync: true})
+
+	var (
+		done      atomic.Bool
+		reads     atomic.Int64
+		writersWg sync.WaitGroup
+		readersWg sync.WaitGroup
+		epochMu   sync.Mutex
+	)
+	seen := make(map[uint64]bool, total)
+	errCh := make(chan error, writers+2)
+
+	// Readers: snapshot counters must always agree with each other and
+	// epochs must be monotone per reader.
+	for r := 0; r < 2; r++ {
+		readersWg.Add(1)
+		go func() {
+			defer readersWg.Done()
+			var last uint64
+			for !done.Load() {
+				sn := s.Snapshot()
+				if sn.Epoch() < last {
+					errCh <- errors.New("snapshot epoch went backwards")
+					return
+				}
+				last = sn.Epoch()
+				gv := sn.View()
+				if gv.NumNodes() != sn.NumNodes() {
+					errCh <- errors.New("view node count disagrees with snapshot")
+					return
+				}
+				reads.Add(1)
+			}
+		}()
+	}
+
+	// Writers: each registers one fresh expert, then wires it to a
+	// disjoint range of base nodes — a fresh endpoint can never collide
+	// with a pre-existing edge, so every op succeeds and the only
+	// coordination is the commit pipeline itself.
+	for w := 0; w < writers; w++ {
+		writersWg.Add(1)
+		go func(w int) {
+			defer writersWg.Done()
+			var hub expertgraph.NodeID
+			for i := 0; i < opsPerWriter; i++ {
+				var epoch uint64
+				var err error
+				if i == 0 {
+					hub, epoch, err = s.AddExpert("soak", 3, []string{"analytics"})
+				} else {
+					v := expertgraph.NodeID(w*(opsPerWriter-1) + i - 1)
+					epoch, err = s.AddCollaboration(hub, v, 0.25)
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+				// Read-your-writes: the published snapshot must already
+				// cover this op's epoch.
+				if got := s.Snapshot().Epoch(); got < epoch {
+					errCh <- errors.New("Apply returned before its epoch was published")
+					return
+				}
+				epochMu.Lock()
+				dup := seen[epoch]
+				seen[epoch] = true
+				epochMu.Unlock()
+				if dup {
+					errCh <- errors.New("duplicate epoch handed to two mutations")
+					return
+				}
+			}
+		}(w)
+	}
+
+	writersWg.Wait()
+	done.Store(true)
+	readersWg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// The epochs handed out must be exactly 1..total: per-op-absolute
+	// numbering with no gaps or reuse across batch boundaries.
+	if len(seen) != total {
+		t.Fatalf("distinct epochs %d, want %d", len(seen), total)
+	}
+	for e := uint64(1); e <= total; e++ {
+		if !seen[e] {
+			t.Fatalf("epoch %d never handed out", e)
+		}
+	}
+	if s.Epoch() != total {
+		t.Fatalf("final epoch %d, want %d", s.Epoch(), total)
+	}
+	if s.Commits() == 0 || s.Commits() > total {
+		t.Fatalf("commits = %d for %d ops", s.Commits(), total)
+	}
+	if rec, _ := s.JournalStats(); rec != total {
+		t.Fatalf("journal records %d, want %d", rec, total)
+	}
+	t.Logf("group-commit soak: %d ops in %d commits (%.1f ops/commit), %d reads",
+		total, s.Commits(), float64(total)/float64(s.Commits()), reads.Load())
+
+	wantG, err := s.Snapshot().Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: batched appends must replay identically to per-op ones.
+	s2 := mustOpen(t, base, Config{JournalPath: path})
+	if s2.Epoch() != total {
+		t.Fatalf("replayed epoch %d, want %d", s2.Epoch(), total)
+	}
+	g2, err := s2.Snapshot().Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, wantG, g2)
+}
+
+// TestGroupCommitBatching pins that a commit interval actually groups
+// concurrent mutations: with an accumulation window open, N parallel
+// ops must land in far fewer than N commits, while epoch numbering and
+// replay stay per-op.
+func TestGroupCommitBatching(t *testing.T) {
+	const ops = 24
+	rng := rand.New(rand.NewSource(72))
+	base := testGraph(rng, ops+4)
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	s := mustOpen(t, base, Config{
+		JournalPath:    path,
+		CommitInterval: 50 * time.Millisecond,
+	})
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, ops)
+	for i := 0; i < ops; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.AddCollaboration(expertgraph.NodeID(i), expertgraph.NodeID(i+2), 0.5); err != nil &&
+				!errors.Is(err, ErrDuplicateEdge) {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if s.Epoch() == 0 {
+		t.Fatal("no ops committed")
+	}
+	if s.Commits() >= s.Epoch() {
+		t.Fatalf("commits %d not below ops %d — the window never grouped anything",
+			s.Commits(), s.Epoch())
+	}
+
+	wantEpoch := s.Epoch()
+	wantG, err := s.Snapshot().Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, base, Config{JournalPath: path})
+	if s2.Epoch() != wantEpoch {
+		t.Fatalf("replayed epoch %d, want %d", s2.Epoch(), wantEpoch)
+	}
+	g2, err := s2.Snapshot().Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, wantG, g2)
+}
+
+// TestGroupCommitIntraBatchValidation pins the sequencing contract
+// inside one batch: of two conflicting mutations accumulated into the
+// same commit window, exactly one may win — the loser must see the
+// same error the serial write path produced, not a torn half-applied
+// state.
+func TestGroupCommitIntraBatchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	base := testGraph(rng, 20)
+	s := mustOpen(t, base, Config{CommitInterval: 50 * time.Millisecond})
+
+	var wg sync.WaitGroup
+	var dups, oks atomic.Int64
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			switch _, err := s.AddCollaboration(2, 17, 0.4); {
+			case err == nil:
+				oks.Add(1)
+			case errors.Is(err, ErrDuplicateEdge):
+				dups.Add(1)
+			default:
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if oks.Load() != 1 || dups.Load() != 1 {
+		t.Fatalf("conflicting pair resolved as %d ok / %d duplicate, want 1/1",
+			oks.Load(), dups.Load())
+	}
+	if s.Epoch() != 1 {
+		t.Fatalf("epoch %d after one winning op, want 1", s.Epoch())
+	}
+	gv := s.Snapshot().View()
+	if w, ok := gv.EdgeWeight(2, 17); !ok || w != 0.4 {
+		t.Fatalf("edge after batch: %v %v", w, ok)
+	}
+}
+
+// TestGroupCommitTornBatch simulates a crash that tears a group write
+// mid-record: a batch of two appends where the second record is cut
+// off without its newline. Replay must keep every complete record and
+// drop the torn tail, exactly as with per-op appends, and the next
+// write must start clean.
+func TestGroupCommitTornBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	base := testGraph(rng, 20)
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+
+	s := mustOpen(t, base, Config{JournalPath: path})
+	for i := 0; i < 3; i++ {
+		if _, err := s.AddCollaboration(expertgraph.NodeID(i), expertgraph.NodeID(i+10), 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-append what a torn two-record group write leaves behind: the
+	// first record intact, the second cut mid-JSON.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{\"op\":\"add_edge\",\"u\":5,\"v\":15,\"w\":0.3}\n{\"op\":\"add_edge\",\"u\":6,\"v\":1"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := mustOpen(t, base, Config{JournalPath: path})
+	if s2.Epoch() != 4 {
+		t.Fatalf("epoch after torn-batch replay: %d, want 4 (3 ops + surviving batch head)", s2.Epoch())
+	}
+	gv := s2.Snapshot().View()
+	if w, ok := gv.EdgeWeight(5, 15); !ok || w != 0.3 {
+		t.Fatalf("complete record of the torn batch lost: %v %v", w, ok)
+	}
+	if _, ok := gv.EdgeWeight(6, 1); ok {
+		t.Fatal("torn record of the batch was applied")
+	}
+	// The truncated tail must be gone so the next group write appends
+	// cleanly and survives another replay.
+	if _, err := s2.AddCollaboration(7, 12, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := mustOpen(t, base, Config{JournalPath: path})
+	if s3.Epoch() != 5 {
+		t.Fatalf("epoch after truncate+append replay: %d, want 5", s3.Epoch())
+	}
+}

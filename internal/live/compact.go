@@ -77,6 +77,13 @@ const baseFormatVersion = 1
 // own base+log references and stay valid, and writers are only blocked
 // for the final journal swap + re-base, not for the materialization.
 //
+// A fold is also a chained-overlay boundary: the first snapshot
+// published after the re-base has a different base graph than its
+// predecessor, so its view cannot patch the previous epoch's — it
+// refolds from the new (short) log and later batches chain from that
+// fresh root (see chain.go). That refold is exactly the O(churn)
+// bound above, so folding keeps the chain's reset cost small too.
+//
 // After the re-base, SnapshotAt refuses epochs below the fold (their
 // graphs can no longer be reconstructed), while MutationsSince keeps
 // answering across exactly one fold boundary (the folded generation's

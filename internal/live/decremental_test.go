@@ -606,7 +606,7 @@ func TestOverlayDecrementalBounds(t *testing.T) {
 	}
 	// Both retired extremes had a single holder, so both bound pairs are
 	// provably no longer tight.
-	wTight, invTight := gv.(*OverlayView).BoundsTight()
+	wTight, invTight := gv.(interface{ BoundsTight() (bool, bool) }).BoundsTight()
 	if wTight {
 		t.Fatal("edge-weight bounds reported tight after the sole extreme holders retired")
 	}

@@ -138,29 +138,49 @@ func readJournal(f *os.File) ([]Mutation, uint64, int64, error) {
 	}
 }
 
-// Append writes one mutation record. The write happens before the
-// mutation is applied (write-ahead), so a mutation is never visible to
-// readers without being durable in the journal.
-func (j *journal) Append(m Mutation) error {
+// appendGroup writes a group of mutation records with a single Write
+// and — when Sync is on — a single fsync: the journal half of group
+// commit. The on-disk format is byte-identical to len(ms) individual
+// appends (one JSON object per line), so replay, replication tailing
+// and compaction cannot tell groups apart.
+//
+// On a failed group write the partially written bytes are truncated
+// away, restoring the known-good prefix: the error is then recoverable
+// (the batch fails, the journal keeps accepting appends). If the
+// rollback itself fails — or an fsync fails, after which the kernel
+// may have silently dropped dirty pages — fatal is true and the caller
+// must stop writing through this journal: appending past a torn group
+// would turn it into interior corruption on replay.
+func (j *journal) appendGroup(ms []Mutation) (fatal bool, err error) {
 	if j.closed {
-		return errors.New("live: journal closed")
+		return false, errors.New("live: journal closed")
 	}
-	buf, err := json.Marshal(m)
-	if err != nil {
-		return fmt.Errorf("live: journal encode: %w", err)
+	var buf []byte
+	for i := range ms {
+		b, merr := json.Marshal(ms[i])
+		if merr != nil {
+			return false, fmt.Errorf("live: journal encode: %w", merr)
+		}
+		buf = append(buf, b...)
+		buf = append(buf, '\n')
 	}
-	buf = append(buf, '\n')
-	if _, err := j.f.Write(buf); err != nil {
-		return fmt.Errorf("live: journal append: %w", err)
+	if _, werr := j.f.Write(buf); werr != nil {
+		if terr := j.f.Truncate(j.bytes); terr != nil {
+			return true, fmt.Errorf("live: journal append: %v (rollback failed: %w)", werr, terr)
+		}
+		if _, serr := j.f.Seek(j.bytes, io.SeekStart); serr != nil {
+			return true, fmt.Errorf("live: journal append: %v (reseek failed: %w)", werr, serr)
+		}
+		return false, fmt.Errorf("live: journal append: %w", werr)
 	}
 	if j.sync {
-		if err := j.f.Sync(); err != nil {
-			return fmt.Errorf("live: journal sync: %w", err)
+		if serr := j.f.Sync(); serr != nil {
+			return true, fmt.Errorf("live: journal sync: %w", serr)
 		}
 	}
-	j.records++
+	j.records += uint64(len(ms))
 	j.bytes += int64(len(buf))
-	return nil
+	return false, nil
 }
 
 // Close closes the journal file.

@@ -12,6 +12,11 @@ import (
 // rebuilds when the delta is not repairable (or too large to be worth
 // repairing — repaired labels are a superset of a fresh build's, so
 // unbounded repair would let them drift).
+//
+// Group commit leaves this file's contract untouched: epochs remain
+// per-op-absolute (a batch of N ops advances the epoch by N), so the
+// MutationsSince windows repair consumes are the same op-granular
+// deltas they were under the serial writer.
 
 // WeightFunc mirrors oracle.WeightFunc / pll.Options.Weight: the
 // search-weight transformation the index was built over (nil = stored

@@ -27,6 +27,15 @@ import (
 //     mirror of Compact's re-base,
 //   - Follower drives a ReplicationSource — any transport — through
 //     catch-up, steady tailing, and fold-boundary recovery.
+//
+// Group commit on the leader is invisible at this layer: a batch is
+// journaled as N ordinary records carrying consecutive per-op epochs,
+// byte-identical to what N serial appends would have written, so the
+// tail stream, the base snapshot, and the follower's replay need no
+// notion of batch boundaries. (A follower still group-commits its own
+// applies locally; the win it cannot get today is applying a whole
+// leader batch under one lock acquisition — that would need batch
+// framing in the wire protocol, noted as a follow-up in ROADMAP.md.)
 
 // Replication errors.
 var (

@@ -164,7 +164,14 @@ func TestFollowerCatchUp(t *testing.T) {
 
 	// The bootstrap adopted the leader's fold base (epoch 0 here — the
 	// leader has never folded), so every epoch arrived as a record.
+	// The applied counter trails the epoch publication by a few
+	// instructions in the follower loop (the epoch is visible the
+	// moment the group commit publishes, before Apply's future even
+	// resolves), so poll briefly instead of reading it once.
 	st := f.Stats()
+	for deadline := time.Now().Add(5 * time.Second); st.Applied != leader.Epoch() && time.Now().Before(deadline); st = f.Stats() {
+		time.Sleep(time.Millisecond)
+	}
 	if !st.Running || st.Applied != leader.Epoch() || st.BaseFetches != 1 {
 		t.Fatalf("stats %+v, want running, %d applied, 1 bootstrap base fetch", st, leader.Epoch())
 	}

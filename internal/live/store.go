@@ -6,9 +6,17 @@
 // two with an epoch-versioned overlay:
 //
 //   - Store accepts mutations (add/remove experts and collaborations,
-//     update authority/skills/edge weights), serialized through a
-//     single writer lock.
-//   - Every mutation produces a new immutable Snapshot, published with
+//     update authority/skills/edge weights) through a group-commit
+//     pipeline: mutators enqueue onto an MPSC channel, a single
+//     committer goroutine drains it in batches, writes one journal
+//     record group with one fsync, and publishes one epoch covering
+//     the whole batch. Each mutation still gets its own absolute
+//     epoch number (the log stays strictly per-op), and every mutator
+//     blocks on a per-op result future, so the synchronous error
+//     contract and read-your-writes semantics are those of the old
+//     one-lock-one-fsync-per-op path — only the throughput scaling is
+//     new.
+//   - Every commit produces a new immutable Snapshot, published with
 //     an atomic pointer swap; readers resolve the current snapshot
 //     without locks and keep a consistent view for as long as they
 //     hold it (snapshot isolation).
@@ -31,7 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
-	"sort"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -131,6 +139,19 @@ type Config struct {
 	// many log records. Smaller values trade memory for faster
 	// SnapshotAt. ≤ 0 means the default (256).
 	MemoEvery int
+	// CommitBatch caps how many queued mutations one group commit may
+	// cover: one journal record group (one write, one fsync under
+	// Sync) and one published epoch per batch. ≤ 0 means the default
+	// (256).
+	CommitBatch int
+	// CommitInterval is how long the committer waits after the first
+	// queued mutation of a batch for more to accumulate before
+	// committing. 0 (the default) commits as soon as the queue drains:
+	// batching then comes only from arrival concurrency — ops that
+	// queued while the previous commit was in flight — and adds no
+	// latency. Positive values trade per-op latency for larger groups
+	// (fewer fsyncs), which matters mostly under Sync on slow disks.
+	CommitInterval time.Duration
 	// Metrics registers the store's instruments — apply latency,
 	// journal append (+fsync) duration, fold duration, overlay-build
 	// time, resident log length and epoch gauges — on the given
@@ -168,6 +189,11 @@ type Store struct {
 	prevLog       []Mutation
 	journal       *journal // nil when journaling is disabled
 	closed        bool     // set by Close; mutators fail with ErrClosed
+	// ioErr poisons the store after an unrecoverable journal failure
+	// (a torn group that could not be rolled back, or a failed fsync):
+	// every further mutation fails with it, because appending past the
+	// tear would replay as interior corruption. Set under mu.
+	ioErr error
 	// compactMu serializes Compact calls (held across the base write
 	// and journal swap; mutators keep running under mu meanwhile).
 	compactMu sync.Mutex
@@ -206,6 +232,21 @@ type Store struct {
 	wmRecords uint64
 	wmBytes   int64
 
+	// Group-commit plumbing. Mutators enqueue onto applyCh and block on
+	// a per-op future; the committer goroutine (started by Open) drains
+	// the channel in batches of up to commitBatchMax ops, waiting
+	// commitInterval after the first op of a batch for stragglers.
+	// closing gates new senders during Close; senders counts mutators
+	// between the gate check and their channel send, so Close knows
+	// when applyCh can safely be closed. committerDone is closed when
+	// the committer has drained everything and exited.
+	applyCh        chan *applyReq
+	closing        atomic.Bool
+	senders        atomic.Int64
+	committerDone  chan struct{}
+	commitBatchMax int
+	commitInterval time.Duration
+
 	// watch is the epoch-advance notification: a channel closed (and
 	// replaced) every time a new epoch's snapshot is published, so
 	// WaitEpoch — and through it replication tailing and
@@ -229,6 +270,12 @@ type Store struct {
 	// baseAdoptions counts wholesale base replacements (AdoptBase): a
 	// follower recovering across a leader fold, never a local fold.
 	baseAdoptions atomic.Uint64
+	// commits counts group commits (published batches); commits ≤ epoch
+	// and the gap is the batching win. refolds counts chained-overlay
+	// chain resets forced by the depth guard (full O(|delta|) refolds
+	// amortized over maxChainDepth cheap chained builds).
+	commits atomic.Uint64
+	refolds atomic.Uint64
 
 	// Registry-backed instruments (all nil when Config.Metrics was nil;
 	// observation on a nil instrument is a no-op). foldHist is observed
@@ -237,6 +284,8 @@ type Store struct {
 	appendHist  *obs.Histogram
 	foldHist    *obs.Histogram
 	overlayHist *obs.Histogram
+	batchHist   *obs.Histogram
+	commitHist  *obs.Histogram
 }
 
 // prefixCount is one SnapshotAt checkpoint: the graph size after the
@@ -292,15 +341,29 @@ func edgeKey(u, v expertgraph.NodeID) uint64 {
 // past its epoch is replayed — so replay stays O(churn since the last
 // compaction) no matter how old the deployment is.
 func Open(base *expertgraph.Graph, cfg Config) (*Store, error) {
-	s := &Store{base: base, journalPath: cfg.JournalPath, memo: cfg.MemoEvery}
+	s := &Store{
+		base:           base,
+		journalPath:    cfg.JournalPath,
+		memo:           cfg.MemoEvery,
+		commitBatchMax: cfg.CommitBatch,
+		commitInterval: cfg.CommitInterval,
+	}
 	if s.memo <= 0 {
 		s.memo = memoEvery
 	}
+	if s.commitBatchMax <= 0 {
+		s.commitBatchMax = defaultCommitBatch
+	}
 	if reg := cfg.Metrics; reg != nil {
 		s.applyHist = reg.Histogram("authteam_live_apply_seconds",
-			"Write-path latency of one mutation: validate, journal, apply, publish.", nil)
+			"Write-path latency of one mutation: enqueue, group commit, future resolution.", nil)
 		s.appendHist = reg.Histogram("authteam_live_journal_append_seconds",
-			"Journal append duration per record, including fsync when Sync is on.", nil)
+			"Journal append duration per record group, including fsync when Sync is on.", nil)
+		s.batchHist = reg.Histogram("authteam_live_commit_batch_ops",
+			"Mutations covered by one group commit (one journal write, one published epoch).",
+			commitBatchBuckets)
+		s.commitHist = reg.Histogram("authteam_live_commit_seconds",
+			"Group-commit latency for one batch: validate, journal group write, apply, publish.", nil)
 		s.foldHist = reg.Histogram("authteam_live_fold_seconds",
 			"Journal compaction (fold) duration: materialize, base rewrite, journal swap.", nil)
 		s.overlayHist = reg.Histogram("authteam_live_overlay_build_seconds",
@@ -320,6 +383,15 @@ func Open(base *expertgraph.Graph, cfg Config) (*Store, error) {
 		reg.CounterFunc("authteam_live_materializations_total",
 			"Full-graph materializations (thaw + delta replay).",
 			func() float64 { return float64(s.materialized.Load()) })
+		reg.CounterFunc("authteam_live_commits_total",
+			"Group commits published; epoch minus this is the batching win.",
+			func() float64 { return float64(s.commits.Load()) })
+		reg.CounterFunc("authteam_live_overlay_refolds_total",
+			"Full overlay refolds forced by the chain depth guard.",
+			func() float64 { return float64(s.refolds.Load()) })
+		reg.GaugeFunc("authteam_live_overlay_chain_depth",
+			"Chain depth of the current epoch's overlay view (0 = refolded from base).",
+			func() float64 { return float64(s.ChainDepth()) })
 	}
 	initWatch := make(chan struct{})
 	s.watch.Store(&initWatch)
@@ -379,11 +451,23 @@ func Open(base *expertgraph.Graph, cfg Config) (*Store, error) {
 		matCtr: &s.materialized, overlayHist: s.overlayHist,
 	})
 
-	for i, m := range replay {
-		if _, _, err := s.apply(m, false); err != nil {
-			s.journal.Close()
-			return nil, fmt.Errorf("live: journal record %d (epoch %d): %w", i+1, s.baseEpoch+uint64(i)+1, err)
+	// Replay is in effect one giant batch: each record is validated and
+	// folded into the writer state, and a single snapshot is published
+	// at the final epoch — readers only ever see the store fully
+	// recovered. The shadow stays empty because stateApply runs per
+	// record, so validation reads the real writer state directly.
+	if len(replay) > 0 {
+		sh := s.newBatchShadow()
+		for i := range replay {
+			m := replay[i]
+			if _, err := s.validateMutation(&m, sh, false); err != nil {
+				s.journal.Close()
+				return nil, fmt.Errorf("live: journal record %d (epoch %d): %w", i+1, s.baseEpoch+uint64(i)+1, err)
+			}
+			s.stateApply(m)
 		}
+		s.snap.Store(s.buildSnapshotLocked())
+		s.bumpWatch()
 	}
 	if cfg.CompactThreshold > 0 && len(replay) >= cfg.CompactThreshold {
 		if _, err := s.Compact(); err != nil {
@@ -391,6 +475,9 @@ func Open(base *expertgraph.Graph, cfg Config) (*Store, error) {
 			return nil, err
 		}
 	}
+	s.applyCh = make(chan *applyReq, s.commitBatchMax)
+	s.committerDone = make(chan struct{})
+	go s.committer()
 	return s, nil
 }
 
@@ -451,16 +538,30 @@ func (s *Store) WaitEpoch(ctx context.Context, target uint64) bool {
 	}
 }
 
-// Close releases the journal. The store stays readable; further
-// mutations fail with ErrClosed — with or without a journal.
+// Close drains the commit pipeline and releases the journal. Mutations
+// already enqueued are committed (and journaled) before the committer
+// exits; mutations arriving after Close fail with ErrClosed. The store
+// stays readable.
 func (s *Store) Close() error {
+	if s.closing.CompareAndSwap(false, true) {
+		// New mutators now bounce off the closing gate before touching
+		// applyCh; wait out the ones already past it (senders is
+		// incremented before the gate check and decremented after the
+		// send), then close the channel — the committer drains what is
+		// left and exits.
+		for s.senders.Load() != 0 {
+			runtime.Gosched()
+		}
+		close(s.applyCh)
+	}
+	<-s.committerDone
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
 	if s.journal == nil {
 		return nil
 	}
-	// Close marks the journal closed in place (further Appends fail)
+	// Close marks the journal closed in place (further appends fail)
 	// but keeps it referenced so JournalStats still reports the real
 	// record/byte counts.
 	return s.journal.Close()
@@ -532,6 +633,30 @@ func (s *Store) Materializations() uint64 { return s.materialized.Load() }
 // performed (including the auto-compaction at Open).
 func (s *Store) Compactions() uint64 { return s.compactions.Load() }
 
+// Commits reports how many group commits (published batches) the
+// committer has performed; Epoch()−BaseEpoch-relative growth of the
+// gap between epoch and commits is the batching win.
+func (s *Store) Commits() uint64 { return s.commits.Load() }
+
+// Refolds reports how many full overlay refolds the chain depth guard
+// has forced (each one resets the chained-view lineage to a fresh
+// fold from base).
+func (s *Store) Refolds() uint64 { return s.refolds.Load() }
+
+// ChainDepth reports the chain depth of the current epoch's overlay
+// view: 0 when the view is refolded straight from the base (or not
+// built yet), k when it patches a depth k−1 view.
+func (s *Store) ChainDepth() int {
+	sn := s.snap.Load()
+	if !sn.viewReady.Load() {
+		return 0
+	}
+	if cv, ok := sn.view.(*chainView); ok {
+		return cv.depth
+	}
+	return 0
+}
+
 // BaseEpoch returns the epoch of the store's in-memory base graph: 0
 // for a fresh store, the latest fold epoch after Open adopted a
 // compacted base or Compact re-based the store in place.
@@ -563,21 +688,6 @@ func (s *Store) Counters() Counters {
 func (s *Store) isRemoved(id expertgraph.NodeID) bool {
 	_, gone := s.removedNodes[id]
 	return gone
-}
-
-// incidentEdges captures node's current incident edges from the
-// pre-mutation snapshot view, sorted by far endpoint so the journaled
-// record (and therefore replay and repair) is deterministic. Caller
-// holds mu; the view is the memoized per-snapshot overlay readers
-// share, so this is not an extra materialization.
-func (s *Store) incidentEdges(node expertgraph.NodeID) []RemovedEdge {
-	var out []RemovedEdge
-	s.snap.Load().View().Neighbors(node, func(v expertgraph.NodeID, w float64) bool {
-		out = append(out, RemovedEdge{V: v, W: w})
-		return true
-	})
-	sort.Slice(out, func(i, j int) bool { return out[i].V < out[j].V })
-	return out
 }
 
 // setWatermark registers (or, with a nil channel, clears) the
@@ -646,70 +756,86 @@ func (s *Store) UpdateCollaboration(u, v expertgraph.NodeID, w float64) (uint64,
 	return epoch, err
 }
 
-// Apply validates m, journals it, applies it and publishes the new
-// epoch's snapshot. It returns the assigned NodeID for add_node
-// mutations (0 otherwise) and the new epoch. Mutations are applied in
-// a total order; the returned epoch supports read-your-writes — any
-// snapshot resolved afterwards has at least that epoch.
+// Apply validates m, journals it, applies it and returns once the
+// epoch containing it is published. It returns the assigned NodeID for
+// add_node mutations (0 otherwise) and the mutation's own epoch.
+// Mutations are applied in a total order; the returned epoch supports
+// read-your-writes — any snapshot resolved afterwards has at least
+// that epoch (the committer publishes a batch's snapshot before
+// completing its futures).
+//
+// Internally the mutation rides the group-commit pipeline: it is
+// enqueued to the committer goroutine, validated against the writer
+// state plus the effects of earlier ops in the same batch, journaled
+// as part of one record group, and applied with the rest of the batch
+// under one epoch publish. The call blocks until all of that happened,
+// so the error contract is exactly the old synchronous one.
 func (s *Store) Apply(m Mutation) (expertgraph.NodeID, uint64, error) {
 	var start time.Time
 	if s.applyHist != nil {
 		start = time.Now()
 	}
-	s.mu.Lock()
-	id, epoch, err := s.apply(m, true)
-	s.mu.Unlock()
-	if err == nil && s.applyHist != nil {
-		s.applyHist.Observe(time.Since(start).Seconds())
-	}
-	return id, epoch, err
-}
-
-// apply is Apply without the lock (held by the caller) and with
-// journaling optional (off during replay).
-func (s *Store) apply(m Mutation, journal bool) (expertgraph.NodeID, uint64, error) {
-	if s.closed {
+	s.senders.Add(1)
+	if s.closing.Load() {
+		s.senders.Add(-1)
 		return 0, 0, ErrClosed
 	}
-	var newID expertgraph.NodeID
+	req := &applyReq{m: m, done: make(chan applyResult, 1)}
+	s.applyCh <- req
+	s.senders.Add(-1)
+	res := <-req.done
+	if res.err == nil && s.applyHist != nil {
+		s.applyHist.Observe(time.Since(start).Seconds())
+	}
+	return res.id, res.epoch, res.err
+}
 
-	// Validate before touching any state.
+// validateMutation checks m against the writer state overlaid with sh
+// (the effects of earlier ops in the same uncommitted batch) and fills
+// the apply-time fields: W/OldW for edge removals and re-weights, and
+// — when fresh is true — the incident-edge list of a node removal.
+// Replay and follower apply pass fresh=false and trust the journaled
+// list instead: it was captured when the mutation was first applied,
+// and recomputing it would have to reconstruct pre-removal state.
+// It returns the NodeID an add_node will be assigned. Caller holds mu.
+func (s *Store) validateMutation(m *Mutation, sh *batchShadow, fresh bool) (expertgraph.NodeID, error) {
+	var newID expertgraph.NodeID
 	switch m.Op {
 	case OpAddNode:
 		if m.Name == "" {
-			return 0, 0, ErrEmptyName
+			return 0, ErrEmptyName
 		}
 		if m.Authority < 1 {
 			m.Authority = 1
 		}
-		newID = expertgraph.NodeID(s.nNodes)
+		newID = expertgraph.NodeID(sh.numNodes())
 	case OpAddEdge:
 		switch {
 		case m.U == m.V:
-			return 0, 0, fmt.Errorf("%w: node %d", ErrSelfLoop, m.U)
+			return 0, fmt.Errorf("%w: node %d", ErrSelfLoop, m.U)
 		case m.W < 0:
-			return 0, 0, fmt.Errorf("%w: %v", ErrNegativeW, m.W)
-		case m.U < 0 || int(m.U) >= s.nNodes:
-			return 0, 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.U)
-		case m.V < 0 || int(m.V) >= s.nNodes:
-			return 0, 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.V)
-		case s.isRemoved(m.U):
-			return 0, 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.U)
-		case s.isRemoved(m.V):
-			return 0, 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.V)
+			return 0, fmt.Errorf("%w: %v", ErrNegativeW, m.W)
+		case m.U < 0 || int(m.U) >= sh.numNodes():
+			return 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.U)
+		case m.V < 0 || int(m.V) >= sh.numNodes():
+			return 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.V)
+		case sh.isRemoved(m.U):
+			return 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.U)
+		case sh.isRemoved(m.V):
+			return 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.V)
 		}
-		if _, dup := s.edgeSet[edgeKey(m.U, m.V)]; dup {
-			return 0, 0, fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, m.U, m.V)
+		if _, dup := sh.edgeWeight(m.U, m.V); dup {
+			return 0, fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, m.U, m.V)
 		}
 	case OpUpdateNode:
-		if m.Node < 0 || int(m.Node) >= s.nNodes {
-			return 0, 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.Node)
+		if m.Node < 0 || int(m.Node) >= sh.numNodes() {
+			return 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.Node)
 		}
-		if s.isRemoved(m.Node) {
-			return 0, 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.Node)
+		if sh.isRemoved(m.Node) {
+			return 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.Node)
 		}
 		if m.SetAuthority == nil && len(m.AddSkills) == 0 {
-			return 0, 0, ErrEmptyUpdate
+			return 0, ErrEmptyUpdate
 		}
 		if m.SetAuthority != nil && *m.SetAuthority < 1 {
 			one := 1.0
@@ -717,18 +843,18 @@ func (s *Store) apply(m Mutation, journal bool) (expertgraph.NodeID, uint64, err
 		}
 	case OpRemoveEdge:
 		switch {
-		case m.U < 0 || int(m.U) >= s.nNodes:
-			return 0, 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.U)
-		case m.V < 0 || int(m.V) >= s.nNodes:
-			return 0, 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.V)
-		case s.isRemoved(m.U):
-			return 0, 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.U)
-		case s.isRemoved(m.V):
-			return 0, 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.V)
+		case m.U < 0 || int(m.U) >= sh.numNodes():
+			return 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.U)
+		case m.V < 0 || int(m.V) >= sh.numNodes():
+			return 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.V)
+		case sh.isRemoved(m.U):
+			return 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.U)
+		case sh.isRemoved(m.V):
+			return 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.V)
 		}
-		w, ok := s.edgeSet[edgeKey(m.U, m.V)]
+		w, ok := sh.edgeWeight(m.U, m.V)
 		if !ok {
-			return 0, 0, fmt.Errorf("%w: (%d,%d)", ErrUnknownEdge, m.U, m.V)
+			return 0, fmt.Errorf("%w: (%d,%d)", ErrUnknownEdge, m.U, m.V)
 		}
 		// Journal the removed edge's stored weight: decremental index
 		// repair and the overlay bounds bookkeeping both need it, and
@@ -737,73 +863,53 @@ func (s *Store) apply(m Mutation, journal bool) (expertgraph.NodeID, uint64, err
 	case OpUpdateEdge:
 		switch {
 		case m.W < 0:
-			return 0, 0, fmt.Errorf("%w: %v", ErrNegativeW, m.W)
-		case m.U < 0 || int(m.U) >= s.nNodes:
-			return 0, 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.U)
-		case m.V < 0 || int(m.V) >= s.nNodes:
-			return 0, 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.V)
-		case s.isRemoved(m.U):
-			return 0, 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.U)
-		case s.isRemoved(m.V):
-			return 0, 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.V)
+			return 0, fmt.Errorf("%w: %v", ErrNegativeW, m.W)
+		case m.U < 0 || int(m.U) >= sh.numNodes():
+			return 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.U)
+		case m.V < 0 || int(m.V) >= sh.numNodes():
+			return 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.V)
+		case sh.isRemoved(m.U):
+			return 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.U)
+		case sh.isRemoved(m.V):
+			return 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.V)
 		}
-		old, ok := s.edgeSet[edgeKey(m.U, m.V)]
+		old, ok := sh.edgeWeight(m.U, m.V)
 		if !ok {
-			return 0, 0, fmt.Errorf("%w: (%d,%d)", ErrUnknownEdge, m.U, m.V)
+			return 0, fmt.Errorf("%w: (%d,%d)", ErrUnknownEdge, m.U, m.V)
 		}
 		if old == m.W {
-			return 0, 0, fmt.Errorf("%w: edge (%d,%d) already weighs %v", ErrEmptyUpdate, m.U, m.V, m.W)
+			return 0, fmt.Errorf("%w: edge (%d,%d) already weighs %v", ErrEmptyUpdate, m.U, m.V, m.W)
 		}
 		m.OldW = old
 	case OpRemoveNode:
-		if m.Node < 0 || int(m.Node) >= s.nNodes {
-			return 0, 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.Node)
+		if m.Node < 0 || int(m.Node) >= sh.numNodes() {
+			return 0, fmt.Errorf("%w: %d", ErrUnknownNode, m.Node)
 		}
-		if s.isRemoved(m.Node) {
-			return 0, 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.Node)
+		if sh.isRemoved(m.Node) {
+			return 0, fmt.Errorf("%w: %d", ErrRemovedNode, m.Node)
 		}
-		if journal {
-			// Fresh apply: capture the node's incident edges from the
-			// pre-mutation snapshot view (shared with readers, so the
-			// overlay fold is not an extra cost). Replay trusts the
-			// journaled list — it was captured and validated when the
-			// mutation was first applied.
-			m.Edges = s.incidentEdges(m.Node)
+		if fresh {
+			// Fresh apply: capture the node's incident edges — the
+			// pre-batch snapshot view adjusted by the staged batch
+			// effects, so mid-batch removals see mid-batch adjacency.
+			m.Edges = sh.incidentEdges(m.Node)
 		}
 		for _, e := range m.Edges {
-			if _, ok := s.edgeSet[edgeKey(m.Node, e.V)]; !ok {
-				return 0, 0, fmt.Errorf("%w: (%d,%d)", ErrUnknownEdge, m.Node, e.V)
+			if _, ok := sh.edgeWeight(m.Node, e.V); !ok {
+				return 0, fmt.Errorf("%w: (%d,%d)", ErrUnknownEdge, m.Node, e.V)
 			}
 		}
 	default:
-		return 0, 0, fmt.Errorf("live: unknown op %q", m.Op)
+		return 0, fmt.Errorf("live: unknown op %q", m.Op)
 	}
+	return newID, nil
+}
 
-	// Journal first (write-ahead), then mutate in-memory state.
-	if journal && s.journal != nil {
-		var jstart time.Time
-		if s.appendHist != nil {
-			jstart = time.Now()
-		}
-		if err := s.journal.Append(m); err != nil {
-			return 0, 0, err
-		}
-		if s.appendHist != nil {
-			s.appendHist.Observe(time.Since(jstart).Seconds())
-		}
-		// Nudge the background compactor when this append crossed its
-		// fold trigger — a non-blocking watermark signal, so folds start
-		// promptly under write bursts without a tight poll interval.
-		if s.wmCh != nil &&
-			((s.wmRecords > 0 && s.journal.records >= s.wmRecords) ||
-				(s.wmBytes > 0 && s.journal.bytes >= s.wmBytes)) {
-			select {
-			case s.wmCh <- struct{}{}:
-			default:
-			}
-		}
-	}
-
+// stateApply folds one validated mutation into the writer state and
+// the append-only log, checkpointing SnapshotAt prefixes on the way.
+// It never publishes — the caller (committer batch, journal replay,
+// follower apply) publishes once per batch. Caller holds mu.
+func (s *Store) stateApply(m Mutation) {
 	switch m.Op {
 	case OpAddNode:
 		s.nNodes++
@@ -841,9 +947,14 @@ func (s *Store) apply(m Mutation, journal bool) (expertgraph.NodeID, uint64, err
 	if len(s.log)%s.memo == 0 {
 		s.prefix = append(s.prefix, prefixCount{nodes: s.nNodes, edges: s.nEdges})
 	}
-	prev := s.snap.Load()
+}
+
+// buildSnapshotLocked assembles (without publishing) the snapshot of
+// the current writer state. Caller holds mu, or has exclusive access
+// during Open.
+func (s *Store) buildSnapshotLocked() *Snapshot {
 	next := &Snapshot{
-		epoch:         prev.epoch + 1,
+		epoch:         s.baseEpoch + uint64(len(s.log)),
 		baseEpoch:     s.baseEpoch,
 		base:          s.base,
 		log:           s.log,
@@ -855,9 +966,10 @@ func (s *Store) apply(m Mutation, journal bool) (expertgraph.NodeID, uint64, err
 		matCtr:        &s.materialized,
 		overlayHist:   s.overlayHist,
 	}
-	s.snap.Store(next)
-	s.bumpWatch()
-	return newID, next.epoch, nil
+	if next.epoch == next.baseEpoch {
+		next.g = s.base
+	}
+	return next
 }
 
 // Snapshot is one epoch's immutable, consistent view of the network.
@@ -887,6 +999,11 @@ type Snapshot struct {
 
 	viewOnce sync.Once
 	view     expertgraph.GraphView
+	// viewReady flips true once view is built (by View, or preset by
+	// the committer before publication). The committer loads it to
+	// decide whether the next batch can chain off this epoch's view
+	// without forcing a build nobody asked for.
+	viewReady atomic.Bool
 }
 
 // Epoch returns the snapshot's epoch (the base epoch = the unmodified
@@ -938,6 +1055,7 @@ func (sn *Snapshot) View() expertgraph.GraphView {
 	sn.viewOnce.Do(func() {
 		if sn.epoch == sn.baseEpoch {
 			sn.view = sn.base
+			sn.viewReady.Store(true)
 			return
 		}
 		var start time.Time
@@ -948,6 +1066,7 @@ func (sn *Snapshot) View() expertgraph.GraphView {
 		if sn.overlayHist != nil {
 			sn.overlayHist.Observe(time.Since(start).Seconds())
 		}
+		sn.viewReady.Store(true)
 	})
 	return sn.view
 }

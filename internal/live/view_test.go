@@ -205,6 +205,68 @@ func checkViewStructure(t *testing.T, gv expertgraph.GraphView, gm *expertgraph.
 	}
 }
 
+// assertViewsIdentical compares two GraphViews over the full read
+// surface: sizes, bounds *and* tightness flags, every node record,
+// adjacency set, skill table and holder list (order-exact — the
+// contract sorts holders). It is the chained-vs-refolded differential:
+// a view derived by patching a memoized parent must be observationally
+// identical to one folded from the base in a single pass.
+func assertViewsIdentical(t *testing.T, a, b expertgraph.GraphView) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() || a.NumSkills() != b.NumSkills() {
+		t.Fatalf("sizes: (%d,%d,%d) vs (%d,%d,%d)",
+			a.NumNodes(), a.NumEdges(), a.NumSkills(),
+			b.NumNodes(), b.NumEdges(), b.NumSkills())
+	}
+	al, ah := a.EdgeWeightBounds()
+	bl, bh := b.EdgeWeightBounds()
+	if al != bl || ah != bh {
+		t.Fatalf("edge bounds: (%v,%v) vs (%v,%v)", al, ah, bl, bh)
+	}
+	ail, aih := a.InvAuthorityBounds()
+	bil, bih := b.InvAuthorityBounds()
+	if ail != bil || aih != bih {
+		t.Fatalf("inv-authority bounds: (%v,%v) vs (%v,%v)", ail, aih, bil, bih)
+	}
+	awt, ait := a.(interface{ BoundsTight() (bool, bool) }).BoundsTight()
+	bwt, bit := b.(interface{ BoundsTight() (bool, bool) }).BoundsTight()
+	if awt != bwt || ait != bit {
+		t.Fatalf("tightness flags: (%v,%v) vs (%v,%v)", awt, ait, bwt, bit)
+	}
+	for u := expertgraph.NodeID(0); int(u) < a.NumNodes(); u++ {
+		if a.Name(u) != b.Name(u) || a.Authority(u) != b.Authority(u) ||
+			a.InvAuthority(u) != b.InvAuthority(u) || a.Pubs(u) != b.Pubs(u) ||
+			a.ValidNode(u) != b.ValidNode(u) || a.Degree(u) != b.Degree(u) {
+			t.Fatalf("node %d records differ", u)
+		}
+		adjA := map[expertgraph.NodeID]float64{}
+		a.Neighbors(u, func(v expertgraph.NodeID, w float64) bool { adjA[v] = w; return true })
+		adjB := map[expertgraph.NodeID]float64{}
+		b.Neighbors(u, func(v expertgraph.NodeID, w float64) bool { adjB[v] = w; return true })
+		if !reflect.DeepEqual(adjA, adjB) {
+			t.Fatalf("node %d adjacency: %v vs %v", u, adjA, adjB)
+		}
+		if !reflect.DeepEqual(
+			append([]expertgraph.SkillID(nil), a.Skills(u)...),
+			append([]expertgraph.SkillID(nil), b.Skills(u)...)) {
+			t.Fatalf("node %d skills differ", u)
+		}
+	}
+	for s := expertgraph.SkillID(0); int(s) < a.NumSkills(); s++ {
+		if a.SkillName(s) != b.SkillName(s) {
+			t.Fatalf("skill %d name differs", s)
+		}
+		if id, ok := b.SkillID(a.SkillName(s)); !ok || id != s {
+			t.Fatalf("skill %q resolves to (%d,%v), want %d", a.SkillName(s), id, ok, s)
+		}
+		if !reflect.DeepEqual(
+			append([]expertgraph.NodeID(nil), a.ExpertsWithSkill(s)...),
+			append([]expertgraph.NodeID(nil), b.ExpertsWithSkill(s)...)) {
+			t.Fatalf("holders of %q differ (order matters)", a.SkillName(s))
+		}
+	}
+}
+
 // feasibleProject picks project skills that have holders on g.
 func feasibleProject(rng *rand.Rand, g expertgraph.GraphView, want int) []expertgraph.SkillID {
 	var have []expertgraph.SkillID
@@ -283,10 +345,38 @@ func TestOverlayDifferential(t *testing.T) {
 		return out
 	}
 
+	sawChain := false
 	for round := 0; round < 4; round++ {
 		mutateRandomly(t, st, rng, 30)
 		snap := st.Snapshot()
 		gv := snap.View()
+
+		// Chained-vs-refolded differential: apply one more mutation on
+		// top of the just-built view, so the committer derives the next
+		// epoch's view by patching gv (or resets the chain at the refold
+		// guard). Either way it must be observationally identical to a
+		// one-pass fold of the same log over the same base.
+		var anchor expertgraph.NodeID
+		for int(anchor) < snap.NumNodes() && !gv.ValidNode(anchor) {
+			anchor++
+		}
+		refoldsBefore := st.Refolds()
+		auth := float64(5 + round)
+		if _, err := st.UpdateExpert(anchor, &auth, nil); err != nil {
+			t.Fatal(err)
+		}
+		chained := st.Snapshot()
+		cgv := chained.View()
+		if d := st.ChainDepth(); d > 0 {
+			sawChain = true
+		} else if st.Refolds() == refoldsBefore && chained.epoch > chained.baseEpoch {
+			t.Fatalf("round %d: view after mutation neither chained nor refolded", round)
+		}
+		refold := newOverlay(chained.base, chained.log[:chained.epoch-chained.baseEpoch],
+			chained.nodes, chained.edges)
+		assertViewsIdentical(t, cgv, refold)
+		snap = chained
+		gv = cgv
 
 		before := st.Materializations()
 		project := feasibleProject(rand.New(rand.NewSource(int64(round))), gv, 3)
@@ -328,6 +418,9 @@ func TestOverlayDifferential(t *testing.T) {
 				round, st.BaseEpoch(), st.LogLen(), snap.Epoch())
 		}
 	}
+	if !sawChain {
+		t.Fatal("chained views never engaged across the mutation stream")
+	}
 }
 
 // TestOverlayBoundsCovering pins the covering-bounds contract: an
@@ -368,7 +461,7 @@ func TestOverlayBoundsCovering(t *testing.T) {
 	if vl != 0.1 || vh != 1.0 {
 		t.Fatalf("covering bounds = (%v,%v), want (0.1,1.0) — retirement must not shrink them", vl, vh)
 	}
-	wTight, invTight := gv.(*OverlayView).BoundsTight()
+	wTight, invTight := gv.(interface{ BoundsTight() (bool, bool) }).BoundsTight()
 	if !wTight {
 		t.Fatal("edge-weight bounds reported loose; no weight was touched")
 	}
@@ -383,7 +476,7 @@ func TestOverlayBoundsCovering(t *testing.T) {
 		t.Fatal(err)
 	}
 	gv2 := st.Snapshot().View()
-	if _, invTight2 := gv2.(*OverlayView).BoundsTight(); !invTight2 {
+	if _, invTight2 := gv2.(interface{ BoundsTight() (bool, bool) }).BoundsTight(); !invTight2 {
 		t.Fatal("inverse-authority bounds still reported loose after a value re-occupied the extreme")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"authteam/internal/expertgraph"
@@ -14,17 +15,24 @@ import (
 // Index serialization: building a 2-hop cover is the expensive step, so
 // tools persist it next to the graph and reload in milliseconds.
 //
-// Version 2 (current) persists the packed label store verbatim behind
-// a magic header, so loading is one gob decode with no re-encoding
-// pass. Version 1 files — a headerless gob of the unpacked entry
-// arrays — are still readable: Read sniffs the magic and falls back to
-// the v1 decoder, packing the entries on load.
+// Version 3 (current) persists the packed label store verbatim behind
+// a magic header — one gob decode, no re-encoding pass — plus the
+// per-index fixed-point scale the distFixed payloads were quantized
+// under. Version 2 files are identical except the scale field: they
+// predate per-index scales, so every distFixed payload in them was
+// written at the old global 2^16 scale and Read pins quant to that.
+// Version 1 files — a headerless gob of the unpacked entry arrays —
+// are still readable too: Read falls back to the v1 decoder and packs
+// the entries on load, which re-runs the scale chooser.
 
-// magicV2 prefixes every version-2 file. Gob streams of flatIndex
-// cannot begin with these bytes (a gob stream opens with a
-// type-definition section whose leading bytes differ), so sniffing is
-// unambiguous.
-var magicV2 = []byte("PLLIDX02")
+// magicV2 and magicV3 prefix version-2 and version-3 files. Gob
+// streams of flatIndex cannot begin with these bytes (a gob stream
+// opens with a type-definition section whose leading bytes differ),
+// so sniffing is unambiguous.
+var (
+	magicV2 = []byte("PLLIDX02")
+	magicV3 = []byte("PLLIDX03")
+)
 
 // flatIndex is the legacy version-1 serialized form: the unpacked
 // label entries as parallel rank/distance arrays, with Off counting
@@ -40,8 +48,9 @@ type flatIndex struct {
 }
 
 // flatIndexV2 is the version-2 serialized form: the packed label store
-// exactly as resident in memory, with Off counting bytes. All fields
-// are exported for gob.
+// exactly as resident in memory, with Off counting bytes and every
+// distFixed payload at the fixed 2^16 scale. All fields are exported
+// for gob.
 type flatIndexV2 struct {
 	N      int
 	Total  int
@@ -51,18 +60,61 @@ type flatIndexV2 struct {
 	NodeAt []expertgraph.NodeID
 }
 
-// Write encodes the index to w in the current (version 2) format.
+// flatIndexV3 is the version-3 serialized form: flatIndexV2 plus the
+// per-index fixed-point scale. All fields are exported for gob.
+type flatIndexV3 struct {
+	N      int
+	Total  int
+	Quant  float64
+	Off    []int32
+	Data   []byte
+	RankOf []int32
+	NodeAt []expertgraph.NodeID
+}
+
+// Write encodes the index to w in the current (version 3) format.
 func Write(w io.Writer, ix *Index) error {
-	if _, err := w.Write(magicV2); err != nil {
+	if _, err := w.Write(magicV3); err != nil {
 		return fmt.Errorf("pll: encode: %w", err)
 	}
-	f := flatIndexV2{
+	f := flatIndexV3{
 		N:      ix.n,
 		Total:  ix.total,
+		Quant:  ix.quant,
 		Off:    ix.off,
 		Data:   ix.data,
 		RankOf: ix.rankOf,
 		NodeAt: ix.nodeAt,
+	}
+	if err := gob.NewEncoder(w).Encode(&f); err != nil {
+		return fmt.Errorf("pll: encode: %w", err)
+	}
+	return nil
+}
+
+// writeV2 encodes the index in the legacy version-2 format, re-packing
+// the labels at the fixed 2^16 scale v2 readers assume. It exists so
+// the v2→v3 load path stays covered by tests; production writers
+// always emit version 3.
+func writeV2(w io.Writer, ix *Index) error {
+	f := flatIndexV2{
+		N:      ix.n,
+		Total:  ix.total,
+		Off:    make([]int32, 1, ix.n+1),
+		RankOf: ix.rankOf,
+		NodeAt: ix.nodeAt,
+	}
+	f.Data = make([]byte, 0, len(ix.data))
+	for u := 0; u < ix.n; u++ {
+		prev := int32(-1)
+		for c := ix.cursor(expertgraph.NodeID(u)); c.next(); {
+			f.Data = appendEntry(f.Data, prev, c.rank, c.dist, defaultQuantScale)
+			prev = c.rank
+		}
+		f.Off = append(f.Off, int32(len(f.Data)))
+	}
+	if _, err := w.Write(magicV2); err != nil {
+		return fmt.Errorf("pll: encode: %w", err)
 	}
 	if err := gob.NewEncoder(w).Encode(&f); err != nil {
 		return fmt.Errorf("pll: encode: %w", err)
@@ -97,11 +149,33 @@ func writeV1(w io.Writer, ix *Index) error {
 	return nil
 }
 
-// Read decodes an index previously written with Write, accepting both
-// the current version-2 format and legacy version-1 files.
+// Read decodes an index previously written with Write, accepting the
+// current version-3 format plus legacy version-2 and version-1 files.
 func Read(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
-	head, err := br.Peek(len(magicV2))
+	head, err := br.Peek(len(magicV3))
+	if err == nil && bytes.Equal(head, magicV3) {
+		br.Discard(len(magicV3))
+		var f flatIndexV3
+		if err := gob.NewDecoder(br).Decode(&f); err != nil {
+			return nil, fmt.Errorf("pll: decode: %w", err)
+		}
+		if len(f.Off) != f.N+1 || len(f.RankOf) != f.N || len(f.NodeAt) != f.N {
+			return nil, fmt.Errorf("pll: decode: inconsistent v3 index shape")
+		}
+		if f.Quant < 1 || f.Quant != math.Trunc(f.Quant) {
+			return nil, fmt.Errorf("pll: decode: invalid v3 quant scale %v", f.Quant)
+		}
+		return &Index{
+			n:      f.N,
+			off:    f.Off,
+			data:   f.Data,
+			total:  f.Total,
+			quant:  f.Quant,
+			rankOf: f.RankOf,
+			nodeAt: f.NodeAt,
+		}, nil
+	}
 	if err == nil && bytes.Equal(head, magicV2) {
 		br.Discard(len(magicV2))
 		var f flatIndexV2
@@ -111,11 +185,14 @@ func Read(r io.Reader) (*Index, error) {
 		if len(f.Off) != f.N+1 || len(f.RankOf) != f.N || len(f.NodeAt) != f.N {
 			return nil, fmt.Errorf("pll: decode: inconsistent v2 index shape")
 		}
+		// v2 payloads were quantized under the then-global 2^16 scale;
+		// the data is adopted verbatim, so the scale must be too.
 		return &Index{
 			n:      f.N,
 			off:    f.Off,
 			data:   f.Data,
 			total:  f.Total,
+			quant:  defaultQuantScale,
 			rankOf: f.RankOf,
 			nodeAt: f.NodeAt,
 		}, nil
@@ -133,23 +210,20 @@ func Read(r io.Reader) (*Index, error) {
 		len(f.RankOf) != f.N || len(f.NodeAt) != f.N {
 		return nil, fmt.Errorf("pll: decode: inconsistent v1 index shape")
 	}
-	ix := &Index{
-		n:      f.N,
-		off:    make([]int32, 1, f.N+1),
-		total:  len(f.Ranks),
-		rankOf: f.RankOf,
-		nodeAt: f.NodeAt,
-	}
-	ix.data = make([]byte, 0, 6*len(f.Ranks))
+	// Re-pack through packIndex so the scale chooser runs over the
+	// unpacked entries, exactly as a fresh build would.
+	labels := make([][]labelEntry, f.N)
 	for u := 0; u < f.N; u++ {
-		prev := int32(-1)
-		for i := f.Off[u]; i < f.Off[u+1]; i++ {
-			ix.data = appendEntry(ix.data, prev, f.Ranks[i], f.Dists[i])
-			prev = f.Ranks[i]
+		if f.Off[u] == f.Off[u+1] {
+			continue
 		}
-		ix.off = append(ix.off, int32(len(ix.data)))
+		l := make([]labelEntry, 0, f.Off[u+1]-f.Off[u])
+		for i := f.Off[u]; i < f.Off[u+1]; i++ {
+			l = append(l, labelEntry{rank: f.Ranks[i], dist: f.Dists[i]})
+		}
+		labels[u] = l
 	}
-	return ix, nil
+	return packIndex(labels, f.RankOf, f.NodeAt), nil
 }
 
 // SaveFile writes the index to path.

@@ -35,10 +35,10 @@ func TestPackedEncodingRoundTrip(t *testing.T) {
 		var data []byte
 		prev := int32(-1)
 		for _, e := range entries {
-			data = appendEntry(data, prev, e.rank, e.dist)
+			data = appendEntry(data, prev, e.rank, e.dist, defaultQuantScale)
 			prev = e.rank
 		}
-		c := labelCursor{data: data, pos: 0, end: len(data), rank: -1}
+		c := labelCursor{data: data, pos: 0, end: len(data), rank: -1, quant: defaultQuantScale}
 		for i, e := range entries {
 			if !c.next() {
 				t.Fatalf("trial %d: cursor ended at entry %d/%d", trial, i, nEntries)
@@ -150,6 +150,118 @@ func TestReadV1Format(t *testing.T) {
 		d1, d2 := ix.Dist(u, v), loaded.Dist(u, v)
 		if d1 != d2 && !(math.IsInf(d1, 1) && math.IsInf(d2, 1)) {
 			t.Fatalf("v1 round-trip distance mismatch at (%d,%d): %v vs %v", u, v, d1, d2)
+		}
+	}
+}
+
+// TestQuantChooser pins the per-index scale chooser on hand-built
+// entry sets where the best scale is known.
+func TestQuantChooser(t *testing.T) {
+	entries := func(dists ...float64) [][]labelEntry {
+		l := make([]labelEntry, len(dists))
+		for i, d := range dists {
+			l[i] = labelEntry{rank: int32(i), dist: d}
+		}
+		return [][]labelEntry{l}
+	}
+	cases := []struct {
+		name   string
+		labels [][]labelEntry
+		want   float64
+	}{
+		{"empty", nil, defaultQuantScale},
+		{"zeros only", entries(0, 0), defaultQuantScale},
+		{"irrational", entries(math.Pi, math.Sqrt2, 1e-12), defaultQuantScale},
+		{"integers", entries(1, 7, 42), 1},
+		{"halves beat integers", entries(1, 2, 0.5, 1.5), 2},
+		{"huge integers need scale 1", entries(1e10, 3e10, 5e10), 1},
+		{"fine dyadics", entries(1.0/(1<<20), 3.0/(1<<20)), 1 << 20},
+		{"majority wins", entries(0.25, 0.75, 1.25, math.Pi), 4},
+	}
+	for _, tc := range cases {
+		if got := chooseQuant(tc.labels); got != tc.want {
+			t.Errorf("%s: chooseQuant = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestQuantLargeDistancesPackFixed is the regression the per-index
+// scale exists for: a graph whose distances are integers too large for
+// the old global 2^16 scale (dist·2^16 ≥ 2^49 falls back to raw
+// floats) must now choose scale 1 and pack every entry fixed-point,
+// still answering bit-exact distances.
+func TestQuantLargeDistancesPackFixed(t *testing.T) {
+	const w = 1e10 // integer edge weight; path distances reach 39e10 ≈ 2^38.5
+	n := 40
+	b := expertgraph.NewBuilder(n, n-1)
+	for i := 0; i < n; i++ {
+		b.AddNode("", 1)
+	}
+	for i := 1; i < n; i++ {
+		b.AddEdge(expertgraph.NodeID(i-1), expertgraph.NodeID(i), w)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := Build(g)
+	if ix.quant != 1 {
+		t.Fatalf("quant = %v, want 1 for huge integer distances", ix.quant)
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			want := w * math.Abs(float64(u-v))
+			if got := ix.Dist(expertgraph.NodeID(u), expertgraph.NodeID(v)); got != want {
+				t.Fatalf("Dist(%d,%d) = %v, want %v", u, v, got, want)
+			}
+		}
+	}
+	// Every nonzero entry must have taken the fixed path: header (≤2
+	// bytes for these rank deltas) + uvarint(dist) ≤ 6 bytes, versus 9+
+	// for a float fallback. Byte budget proves no entry fell back.
+	if max := ix.total * 8; len(ix.data) >= max {
+		t.Errorf("packed %d bytes for %d entries — float fallbacks slipped in", len(ix.data), ix.total)
+	}
+	// And the index must survive a serialization round trip with its
+	// scale intact.
+	var buf bytes.Buffer
+	if err := Write(&buf, ix); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !indexesIdentical(ix, loaded) {
+		t.Fatal("v3 round trip changed the index")
+	}
+}
+
+// TestReadV2Format proves version-2 files (fixed 2^16 scale, no quant
+// field) still load: the packed bytes are adopted verbatim with the
+// scale pinned to the legacy constant, and distances stay bit-exact.
+func TestReadV2Format(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := randomGraph(rng, 40, 80)
+	ix := Build(g)
+	var buf bytes.Buffer
+	if err := writeV2(&buf, ix); err != nil {
+		t.Fatalf("writeV2: %v", err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read v2: %v", err)
+	}
+	if loaded.quant != defaultQuantScale {
+		t.Fatalf("v2 load quant = %v, want legacy %v", loaded.quant, float64(defaultQuantScale))
+	}
+	for trial := 0; trial < 200; trial++ {
+		u := expertgraph.NodeID(rng.Intn(40))
+		v := expertgraph.NodeID(rng.Intn(40))
+		d1, d2 := ix.Dist(u, v), loaded.Dist(u, v)
+		if math.Float64bits(d1) != math.Float64bits(d2) &&
+			!(math.IsInf(d1, 1) && math.IsInf(d2, 1)) {
+			t.Fatalf("v2 round-trip distance mismatch at (%d,%d): %v vs %v", u, v, d1, d2)
 		}
 	}
 }

@@ -15,7 +15,7 @@ import (
 // — same packed bytes, offsets and landmark order — which implies
 // identical label sets and identical stored distances.
 func indexesIdentical(a, b *Index) bool {
-	return a.n == b.n && a.total == b.total &&
+	return a.n == b.n && a.total == b.total && a.quant == b.quant &&
 		reflect.DeepEqual(a.off, b.off) &&
 		bytes.Equal(a.data, b.data) &&
 		reflect.DeepEqual(a.rankOf, b.rankOf) &&

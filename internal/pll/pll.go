@@ -58,7 +58,8 @@ const unpackedEntryBytes = 16
 // data[off[u]:off[u+1]], each entry encoding its hub rank as a varint
 // delta over the previous entry (labels are sorted by rank ascending)
 // and its distance in one of three kind-tagged forms (zero, exact
-// fixed-point, raw float64). Decoding is exactness-preserving — Dist
+// fixed-point under the index's chosen power-of-two scale, raw
+// float64). Decoding is exactness-preserving — Dist
 // over the packed form returns bit-identical distances to the unpacked
 // merge-join.
 type Index struct {
@@ -66,6 +67,7 @@ type Index struct {
 	off   []int32 // byte offsets into data, len n+1
 	data  []byte  // packed label entries
 	total int     // total entry count across all labels
+	quant float64 // fixed-point scale for distFixed entries, a power of two
 	// rankOf maps NodeID to its construction rank, and nodeAt is the
 	// inverse; exposed for diagnostics and serialization.
 	rankOf []int32
@@ -268,28 +270,88 @@ const (
 	distFloat = 2 // 8 bytes follow: the raw IEEE-754 little-endian bits
 )
 
-// quantScale is the fixed-point denominator for distFixed entries.
-// Scaling by a power of two is exact in binary floating point, so a
-// distance is stored quantized only when float64(q)/quantScale
-// round-trips to the identical bit pattern — integer and small dyadic
-// distances (unit-weight graphs, halved weights) pack into a few bytes
-// while arbitrary sums fall back to distFloat. Exactness of Dist never
-// depends on the quantization hit rate.
-const quantScale = 1 << 16
+// defaultQuantScale is the fixed-point denominator used when the scale
+// chooser has no signal (an empty index) and for legacy files that
+// predate per-index scales. Scaling by a power of two is exact in
+// binary floating point, so a distance is stored quantized only when
+// float64(q)/quant round-trips to the identical bit pattern — integer
+// and dyadic distances (unit-weight graphs, halved weights) pack into
+// a few bytes while arbitrary sums fall back to distFloat. Exactness
+// of Dist never depends on the quantization hit rate.
+const defaultQuantScale = 1 << 16
 
 // maxFixed bounds the fixed-point payload: beyond it the uvarint would
 // be at least as long as the 8 raw float bytes.
 const maxFixed = 1 << 49
 
+// maxQuantShift caps the per-index scale exponent considered by
+// chooseQuant: scales above 2^30 leave less than 19 bits of integer
+// headroom under maxFixed, too little for real distance ranges.
+const maxQuantShift = 30
+
+// chooseQuant picks the fixed-point scale for one index: the power of
+// two 2^k (k in [0, maxQuantShift]) under which the most label
+// distances encode as distFixed. For each nonzero distance the set of
+// workable exponents is a contiguous window [lo, hi] — lo the first k
+// making dist·2^k integral, hi the last keeping it under maxFixed —
+// so a difference array over k counts every window in one pass. Ties
+// prefer the smallest k, which yields the shortest uvarint payloads;
+// with no signal at all the legacy default wins.
+func chooseQuant(labels [][]labelEntry) float64 {
+	var diff [maxQuantShift + 2]int
+	for _, l := range labels {
+		for _, e := range l {
+			d := e.dist
+			if d <= 0 {
+				continue // distZero entries need no scale
+			}
+			lo := -1
+			s := d
+			for k := 0; k <= maxQuantShift; k++ {
+				if s >= maxFixed {
+					break
+				}
+				if s == math.Trunc(s) {
+					lo = k
+					break
+				}
+				s *= 2
+			}
+			if lo < 0 {
+				continue
+			}
+			hi := lo
+			for hi < maxQuantShift && s*2 < maxFixed {
+				hi++
+				s *= 2
+			}
+			diff[lo]++
+			diff[hi+1]--
+		}
+	}
+	best, bestCount, covered := 0, 0, 0
+	for k := 0; k <= maxQuantShift; k++ {
+		covered += diff[k]
+		if covered > bestCount {
+			best, bestCount = k, covered
+		}
+	}
+	if bestCount == 0 {
+		return defaultQuantScale
+	}
+	return float64(uint64(1) << uint(best))
+}
+
 // appendEntry appends one packed label entry to data and returns the
 // extended slice. prevRank is the rank of the previous entry in the
-// same label (-1 for the first).
-func appendEntry(data []byte, prevRank, rank int32, dist float64) []byte {
+// same label (-1 for the first); quant is the index's fixed-point
+// scale, a power of two.
+func appendEntry(data []byte, prevRank, rank int32, dist, quant float64) []byte {
 	delta := uint64(rank - prevRank)
 	if dist == 0 {
 		return binary.AppendUvarint(data, delta<<2|distZero)
 	}
-	if s := dist * quantScale; s > 0 && s < maxFixed && s == math.Trunc(s) {
+	if s := dist * quant; s > 0 && s < maxFixed && s == math.Trunc(s) {
 		data = binary.AppendUvarint(data, delta<<2|distFixed)
 		return binary.AppendUvarint(data, uint64(s))
 	}
@@ -303,11 +365,15 @@ type labelCursor struct {
 	pos, end int
 	rank     int32
 	dist     float64
+	quant    float64 // owning index's fixed-point scale
 }
 
 // cursor positions a labelCursor at the start of u's label.
 func (ix *Index) cursor(u expertgraph.NodeID) labelCursor {
-	return labelCursor{data: ix.data, pos: int(ix.off[u]), end: int(ix.off[u+1]), rank: -1}
+	return labelCursor{
+		data: ix.data, pos: int(ix.off[u]), end: int(ix.off[u+1]),
+		rank: -1, quant: ix.quant,
+	}
 }
 
 // next decodes the next entry into c.rank/c.dist, reporting false at
@@ -322,7 +388,7 @@ func (c *labelCursor) next() bool {
 	case distZero:
 		c.dist = 0
 	case distFixed:
-		c.dist = float64(c.uvarint()) / quantScale
+		c.dist = float64(c.uvarint()) / c.quant
 	default:
 		c.dist = math.Float64frombits(binary.LittleEndian.Uint64(c.data[c.pos:]))
 		c.pos += 8
@@ -355,6 +421,7 @@ func packIndex(labels [][]labelEntry, rankOf []int32, nodeAt []expertgraph.NodeI
 	ix := &Index{
 		n:      n,
 		off:    make([]int32, n+1),
+		quant:  chooseQuant(labels),
 		rankOf: rankOf,
 		nodeAt: nodeAt,
 	}
@@ -367,7 +434,7 @@ func packIndex(labels [][]labelEntry, rankOf []int32, nodeAt []expertgraph.NodeI
 	for u, l := range labels {
 		prev := int32(-1)
 		for _, e := range l {
-			ix.data = appendEntry(ix.data, prev, e.rank, e.dist)
+			ix.data = appendEntry(ix.data, prev, e.rank, e.dist, ix.quant)
 			prev = e.rank
 		}
 		ix.off[u+1] = int32(len(ix.data))

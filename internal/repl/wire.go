@@ -31,6 +31,12 @@ import (
 // epoch, exactly like the file header); epoch is the leader's current
 // epoch at response time, which a follower uses for lag reporting. An
 // idle long-poll returns just the header.
+//
+// The leader's group commit writes each batch as plain consecutive
+// records, so batches never appear on the wire — this codec predates
+// group commit and did not have to change for it. Any node serving
+// the journal endpoints speaks this format, which is what lets a
+// follower relay the stream to second-tier followers.
 
 // TailHeader is the first line of a tail response.
 type TailHeader struct {

@@ -717,7 +717,15 @@ type LiveStats struct {
 	// read path keeps it at zero while serving discovers (index
 	// rebuilds and compactions are the intended exceptions).
 	Materializations uint64 `json:"materializations"`
-	Compactions      uint64 `json:"compactions"`
+	// Commits counts group commits (published batches); Epoch−Commits
+	// is the lifetime batching win. OverlayChainDepth is the chain
+	// depth of the current epoch's overlay view (0 = refolded from the
+	// base) and OverlayRefolds counts the full refolds the chain depth
+	// guard forced.
+	Commits           uint64 `json:"commits"`
+	OverlayChainDepth int    `json:"overlay_chain_depth"`
+	OverlayRefolds    uint64 `json:"overlay_refolds"`
+	Compactions       uint64 `json:"compactions"`
 	// BaseAdoptions counts wholesale base replacements (a follower
 	// re-anchoring on the leader's fold snapshot after falling below
 	// the retained journal window).
@@ -782,6 +790,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			RepairVisitTrips:   ixs.visitTrips,
 			FullRebuilds:       ixs.rebuilds,
 			Materializations:   s.store.Materializations(),
+			Commits:            s.store.Commits(),
+			OverlayChainDepth:  s.store.ChainDepth(),
+			OverlayRefolds:     s.store.Refolds(),
 			Compactions:        s.store.Compactions(),
 			BaseAdoptions:      s.store.BaseAdoptions(),
 			RebaseEpoch:        baseEpoch,

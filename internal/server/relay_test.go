@@ -1,0 +1,129 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReplicationRelayDepth2 wires a two-tier replication tree — a
+// second-level follower tails a first-level follower, not the leader —
+// and drives a write stream through a leader fold. The journal
+// endpoints are served by every node precisely so fan-out trees work;
+// this pins that the relayed stream is the same stream: both tiers
+// must converge to the leader's epoch and answer discover queries
+// byte-identically, including across the fold's base re-anchor.
+func TestReplicationRelayDepth2(t *testing.T) {
+	dir := t.TempDir()
+	ls, lts := newTestServer(t, func(cfg *Config) {
+		cfg.JournalPath = filepath.Join(dir, "leader.wal")
+	})
+
+	// Seed churn so both tiers bootstrap from a non-trivial stream.
+	rng := rand.New(rand.NewSource(90))
+	churn := func(n int, tag string) {
+		for i := 0; i < n; i++ {
+			var status int
+			var data []byte
+			if rng.Intn(3) == 0 {
+				status, data = postJSON(t, lts.URL+"/v1/graph/nodes",
+					fmt.Sprintf(`{"name": "%s%d", "authority": %d, "skills": ["s%d"]}`,
+						tag, i, 1+rng.Intn(20), rng.Intn(6)))
+			} else {
+				status, data = postJSON(t, lts.URL+"/v1/graph/edges",
+					fmt.Sprintf(`{"u": %d, "v": %d, "w": %.2f}`,
+						rng.Intn(8), rng.Intn(8), 0.1+0.8*rng.Float64()))
+			}
+			// Duplicate edges and self-loops are rejected harmlessly;
+			// server errors are not.
+			if status >= 500 {
+				t.Fatalf("churn write: %d: %s", status, data)
+			}
+		}
+	}
+	churn(20, "a")
+
+	// Tier 1 follows the leader; tier 2 follows tier 1 and never talks
+	// to the leader at all.
+	f1, f1ts := newFollowerServer(t, lts.URL, ls.store.Epoch(), nil)
+	defer f1.Close()
+	f2, f2ts := newFollowerServer(t, f1ts.URL, f1.store.Epoch(), nil)
+	defer f2.Close()
+
+	// Mid-stream: churn, fold the leader's journal, churn again. The
+	// relay keeps serving from tier 1's own log, so tier 2 must ride
+	// straight across the leader's re-base.
+	churn(20, "b")
+	if _, err := ls.store.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	churn(20, "c")
+
+	waitServerEpoch(t, f1, ls.store.Epoch())
+	waitServerEpoch(t, f2, ls.store.Epoch())
+
+	leaderAns, _ := json.Marshal(discoverAt(t, lts.URL))
+	tier1Ans, _ := json.Marshal(discoverAt(t, f1ts.URL))
+	tier2Ans, _ := json.Marshal(discoverAt(t, f2ts.URL))
+	if string(leaderAns) != string(tier1Ans) {
+		t.Fatalf("tier-1 diverged:\nleader %s\ntier1  %s", leaderAns, tier1Ans)
+	}
+	if string(leaderAns) != string(tier2Ans) {
+		t.Fatalf("tier-2 diverged across the relay:\nleader %s\ntier2  %s", leaderAns, tier2Ans)
+	}
+
+	// Read-your-writes through the relay: a fresh leader write's epoch,
+	// echoed as the min-epoch gate on the second tier, must be honored.
+	status, data := postJSON(t, lts.URL+"/v1/graph/nodes",
+		`{"name": "relayed", "authority": 7, "skills": ["analytics"]}`)
+	if status != http.StatusCreated {
+		t.Fatalf("gate write: %d: %s", status, data)
+	}
+	var mr MutationResponse
+	if err := json.Unmarshal(data, &mr); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest("POST", f2ts.URL+"/v1/discover", strings.NewReader(discoverBody))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Authteam-Min-Epoch", fmt.Sprint(mr.Epoch))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out DiscoverResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || out.Epoch < mr.Epoch {
+		t.Fatalf("gated relay read: status %d at epoch %d, want 200 at ≥ %d",
+			resp.StatusCode, out.Epoch, mr.Epoch)
+	}
+
+	// The topology must be what the test claims: tier 2 followed tier 1
+	// (not the leader), and tier 1 actually served the relayed stream.
+	f2st := getStats(t, f2ts.URL)
+	if f2st.Replication.Role != "follower" || f2st.Replication.Leader != f1ts.URL {
+		t.Fatalf("tier-2 replication section: %+v", f2st.Replication)
+	}
+	if f2st.Replication.Follower == nil || f2st.Replication.Follower.Applied == 0 {
+		t.Fatalf("tier-2 applied nothing through the relay: %+v", f2st.Replication)
+	}
+	f1st := getStats(t, f1ts.URL)
+	if f1st.Replication.TailRequests == 0 {
+		t.Fatal("tier-1 served no tail requests — tier 2 bypassed the relay?")
+	}
+
+	// Final convergence check after the gate write drained everywhere.
+	waitServerEpoch(t, f1, ls.store.Epoch())
+	waitServerEpoch(t, f2, ls.store.Epoch())
+	leaderAns, _ = json.Marshal(discoverAt(t, lts.URL))
+	tier2Ans, _ = json.Marshal(discoverAt(t, f2ts.URL))
+	if string(leaderAns) != string(tier2Ans) {
+		t.Fatalf("post-gate divergence:\nleader %s\ntier2  %s", leaderAns, tier2Ans)
+	}
+}

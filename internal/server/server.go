@@ -108,6 +108,15 @@ type Config struct {
 	// Smaller values trade memory for faster SnapshotAt on deep
 	// histories.
 	MemoEvery int
+	// CommitBatch caps how many queued mutations the store's group
+	// committer covers with one journal write + epoch publish
+	// (live.Config.CommitBatch); ≤ 0 keeps the default (256).
+	CommitBatch int
+	// CommitInterval makes the group committer wait this long after a
+	// batch's first mutation for stragglers before committing — fewer
+	// fsyncs under JournalSync at the cost of per-op latency. 0 (the
+	// default) commits as soon as the queue drains.
+	CommitInterval time.Duration
 	// CacheCompactFactor scales the result cache's per-epoch key-list
 	// compaction threshold (sweep at factor×CacheSize dead keys; < 1
 	// means the default of 2). Larger factors sweep less often at the
@@ -316,6 +325,8 @@ func New(cfg Config) (*Server, error) {
 		Sync:             cfg.JournalSync,
 		CompactThreshold: cfg.CompactThreshold,
 		MemoEvery:        cfg.MemoEvery,
+		CommitBatch:      cfg.CommitBatch,
+		CommitInterval:   cfg.CommitInterval,
 		Metrics:          storeReg,
 	})
 	if err != nil {

@@ -255,6 +255,11 @@ func main() {
 		"authteam_live_overlay_build_seconds",
 		"authteam_live_log_len",
 		"authteam_live_epoch",
+		"authteam_live_commit_batch_ops",
+		"authteam_live_commit_seconds",
+		"authteam_live_commits_total",
+		"authteam_live_overlay_refolds_total",
+		"authteam_live_overlay_chain_depth",
 		"authteam_index_repair_seconds",
 		"authteam_index_rebuild_seconds",
 		"authteam_index_rebuild_queue_depth",
