@@ -38,8 +38,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net/url"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"authteam/internal/core"
@@ -181,6 +183,11 @@ type Options struct {
 	// under heavy concurrent writes, at the cost of per-op latency).
 	// 0 — the default — commits as soon as the queue drains.
 	CommitInterval time.Duration
+	// CommitAuto replaces the fixed CommitInterval with an adaptive
+	// straggler window: the committer batches only while journal
+	// appends are slower than mutation arrivals (fsync-bound) and
+	// commits immediately otherwise. Overrides CommitInterval.
+	CommitAuto bool
 	// Follow turns the client into a read replica of the team discovery
 	// server at this base URL (e.g. "http://leader:7411"): the local
 	// store is bootstrapped and kept current from the leader's
@@ -189,6 +196,13 @@ type Options struct {
 	// holds. New may be called with a nil graph in this mode. Empty
 	// (the default) means a standalone client.
 	Follow string
+	// Peers lists candidate cluster nodes (base URLs) for mutation
+	// failover on a following client. When a forward fails because the
+	// target was fenced, demoted, or unreachable, the client asks every
+	// peer for its /v1/cluster/role, repoints at the leader claiming
+	// the highest term, and retries the mutation once. Empty disables
+	// failover (a failed forward is returned as-is).
+	Peers []string
 	// FollowPoll bounds one replication long-poll (default 25s).
 	FollowPoll time.Duration
 	// FollowWait bounds how long a forwarded mutation waits for its
@@ -237,9 +251,10 @@ type Client struct {
 	// follower and leader implement replica mode (nil unless
 	// Options.Follow is set): follower is the background apply loop
 	// pulling the leader's log, leader forwards this client's
-	// mutations.
+	// mutations. leader is behind an atomic pointer because failover
+	// (Options.Peers) repoints it while mutators run.
 	follower *live.Follower
-	leader   *repl.Leader
+	leader   atomic.Pointer[repl.Leader]
 
 	mu sync.Mutex
 	st *clientState
@@ -271,6 +286,7 @@ func New(g *Graph, opt Options) (*Client, error) {
 		MemoEvery:        opt.MemoEvery,
 		CommitBatch:      opt.CommitBatch,
 		CommitInterval:   opt.CommitInterval,
+		CommitAuto:       opt.CommitAuto,
 		Metrics:          opt.Metrics,
 	})
 	if err != nil {
@@ -297,12 +313,54 @@ func New(g *Graph, opt Options) (*Client, error) {
 		}
 	}
 	if opt.Follow != "" {
-		c.leader = repl.NewLeader(opt.Follow, nil)
-		c.follower = live.StartFollower(store, repl.NewHTTPSource(opt.Follow, nil), live.FollowerConfig{
+		// Both directions claim the store's term: tails so a superseded
+		// source fences us instead of feeding a stale lineage, forwards
+		// so a partitioned old leader self-demotes on first contact.
+		c.leader.Store(repl.NewLeader(opt.Follow, nil).WithTerm(store.Term))
+		c.follower = live.StartFollower(store, repl.NewHTTPSource(opt.Follow, nil).WithTerm(store.Term), live.FollowerConfig{
 			PollTimeout: opt.FollowPoll,
 		})
 	}
 	return c, nil
+}
+
+// forward runs one leader RPC with failover: when the current target
+// rejects the mutation as fenced/demoted or is unreachable and a peer
+// list is configured, the client re-resolves the leader (highest term
+// claiming the role wins) and retries exactly once. A successful retry
+// repoints the client so later mutations go straight to the new
+// leader.
+func (c *Client) forward(do func(l *repl.Leader) (uint64, error)) (uint64, error) {
+	epoch, err := do(c.leader.Load())
+	if err == nil || len(c.opt.Peers) == 0 || !failoverWorthy(err) {
+		return epoch, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	url, _, rerr := repl.ResolveLeader(ctx, nil, c.opt.Peers)
+	if rerr != nil {
+		return 0, fmt.Errorf("authteam: forward failed (%v) and leader re-resolution failed: %w", err, rerr)
+	}
+	nl := repl.NewLeader(url, nil).WithTerm(c.store.Term)
+	epoch, err = do(nl)
+	if err == nil {
+		c.leader.Store(nl)
+	}
+	return epoch, err
+}
+
+// failoverWorthy reports whether a forward failure can plausibly be
+// cured by talking to a different node: a fence (the target is not the
+// leader on the current term) or a transport-level failure (target
+// dead, or a redirect loop between confused nodes — net/http surfaces
+// both as *url.Error). Application-level rejections (validation, 404s)
+// fail the same way everywhere and are returned as-is.
+func failoverWorthy(err error) bool {
+	if errors.Is(err, live.ErrFenced) {
+		return true
+	}
+	var uerr *url.Error
+	return errors.As(err, &uerr)
 }
 
 // state returns a derived state at least as new as the epoch current
@@ -499,8 +557,13 @@ func (c *Client) awaitEpoch(epoch uint64) error {
 // following client the mutation is forwarded to the leader and then
 // waited for locally.
 func (c *Client) AddExpert(name string, authority float64, skills ...string) (NodeID, error) {
-	if c.leader != nil {
-		id, epoch, err := c.leader.AddNode(name, authority, skills)
+	if c.leader.Load() != nil {
+		var id NodeID
+		epoch, err := c.forward(func(l *repl.Leader) (uint64, error) {
+			i, e, err := l.AddNode(name, authority, skills)
+			id = i
+			return e, err
+		})
 		if err != nil {
 			return 0, err
 		}
@@ -513,8 +576,8 @@ func (c *Client) AddExpert(name string, authority float64, skills ...string) (No
 // AddCollaboration adds an undirected collaboration edge between two
 // experts with communication cost w.
 func (c *Client) AddCollaboration(u, v NodeID, w float64) error {
-	if c.leader != nil {
-		epoch, err := c.leader.AddEdge(u, v, w)
+	if c.leader.Load() != nil {
+		epoch, err := c.forward(func(l *repl.Leader) (uint64, error) { return l.AddEdge(u, v, w) })
 		if err != nil {
 			return err
 		}
@@ -527,8 +590,8 @@ func (c *Client) AddCollaboration(u, v NodeID, w float64) error {
 // UpdateExpert updates an expert's authority (nil leaves it unchanged)
 // and/or grants additional skills.
 func (c *Client) UpdateExpert(id NodeID, authority *float64, addSkills ...string) error {
-	if c.leader != nil {
-		epoch, err := c.leader.UpdateNode(id, authority, addSkills)
+	if c.leader.Load() != nil {
+		epoch, err := c.forward(func(l *repl.Leader) (uint64, error) { return l.UpdateNode(id, authority, addSkills) })
 		if err != nil {
 			return err
 		}
@@ -542,8 +605,8 @@ func (c *Client) UpdateExpert(id NodeID, authority *float64, addSkills ...string
 // experts. Subsequent queries never route through it (read-your-writes
 // holds, as for every mutation).
 func (c *Client) RemoveCollaboration(u, v NodeID) error {
-	if c.leader != nil {
-		epoch, err := c.leader.RemoveEdge(u, v)
+	if c.leader.Load() != nil {
+		epoch, err := c.forward(func(l *repl.Leader) (uint64, error) { return l.RemoveEdge(u, v) })
 		if err != nil {
 			return err
 		}
@@ -557,8 +620,8 @@ func (c *Client) RemoveCollaboration(u, v NodeID) error {
 // its skills cleared, and every further mutation referencing it fails
 // with live.ErrRemovedNode. The NodeID is never reused.
 func (c *Client) RemoveExpert(id NodeID) error {
-	if c.leader != nil {
-		epoch, err := c.leader.RemoveNode(id)
+	if c.leader.Load() != nil {
+		epoch, err := c.forward(func(l *repl.Leader) (uint64, error) { return l.RemoveNode(id) })
 		if err != nil {
 			return err
 		}
@@ -571,8 +634,8 @@ func (c *Client) RemoveExpert(id NodeID) error {
 // UpdateCollaboration replaces the communication cost of an existing
 // collaboration edge.
 func (c *Client) UpdateCollaboration(u, v NodeID, w float64) error {
-	if c.leader != nil {
-		epoch, err := c.leader.UpdateEdge(u, v, w)
+	if c.leader.Load() != nil {
+		epoch, err := c.forward(func(l *repl.Leader) (uint64, error) { return l.UpdateEdge(u, v, w) })
 		if err != nil {
 			return err
 		}

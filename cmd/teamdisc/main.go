@@ -12,6 +12,8 @@
 //	         -compact-threshold 100000 -compact-interval 1m
 //	teamdisc serve -addr :7412 -follow http://leader:7411
 //	teamdisc compact -graph graph.bin -journal graph.wal
+//	teamdisc cluster -peers http://a:7411,http://b:7412
+//	teamdisc cluster -peers http://a:7411,http://b:7412 -promote http://b:7412
 //
 // The daemon's /v1/graph API is fully dynamic: POST adds nodes/edges,
 // PATCH re-weights edges and updates node authority/skills, DELETE
@@ -20,11 +22,15 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -37,6 +43,7 @@ import (
 	"authteam/internal/expertgraph"
 	"authteam/internal/live"
 	"authteam/internal/oracle"
+	"authteam/internal/repl"
 	"authteam/internal/server"
 	"authteam/internal/team"
 	"authteam/internal/transform"
@@ -50,6 +57,9 @@ func main() {
 			return
 		case "compact":
 			runCompact(os.Args[2:])
+			return
+		case "cluster":
+			runCluster(os.Args[2:])
 			return
 		}
 	}
@@ -96,6 +106,81 @@ func runCompact(args []string) {
 		*journal, stats.Epoch, stats.Folded, *journal, stats.Removed, stats.Remaining)
 }
 
+// runCluster inspects (and optionally changes) cluster roles: it polls
+// every peer's /v1/cluster/role, prints the membership with terms and
+// epochs, and with -promote drives a follower through the epoch-fenced
+// promotion so it becomes the new leader.
+func runCluster(args []string) {
+	fs := flag.NewFlagSet("teamdisc cluster", flag.ExitOnError)
+	var (
+		peersArg = fs.String("peers", "", "comma-separated cluster node base URLs (required)")
+		promote  = fs.String("promote", "", "promote the follower at this base URL to leader")
+		term     = fs.Uint64("term", 0, "explicit term for -promote (0 = one past the follower's current term)")
+		timeout  = fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	)
+	fs.Parse(args)
+	if *peersArg == "" {
+		fail("cluster: missing -peers")
+	}
+	var peers []string
+	for _, p := range strings.Split(*peersArg, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, strings.TrimRight(p, "/"))
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	if *promote != "" {
+		target := strings.TrimRight(strings.TrimSpace(*promote), "/")
+		body, err := json.Marshal(map[string]uint64{"term": *term})
+		if err != nil {
+			fail("cluster: %v", err)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/cluster/promote", bytes.NewReader(body))
+		if err != nil {
+			fail("cluster: %v", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			fail("cluster: promote %s: %v", target, err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if resp.StatusCode != http.StatusOK {
+			fail("cluster: promote %s: %s: %s", target, resp.Status, strings.TrimSpace(string(raw)))
+		}
+		var pr struct {
+			Role        string `json:"role"`
+			Term        uint64 `json:"term"`
+			SealedEpoch uint64 `json:"sealed_epoch"`
+		}
+		if err := json.Unmarshal(raw, &pr); err != nil {
+			fail("cluster: promote %s: decode reply: %v", target, err)
+		}
+		fmt.Printf("promoted %s: role=%s term=%d sealed_epoch=%d\n", target, pr.Role, pr.Term, pr.SealedEpoch)
+	}
+
+	for _, p := range peers {
+		ri, err := repl.FetchRole(ctx, nil, p)
+		if err != nil {
+			fmt.Printf("%-32s unreachable: %v\n", p, err)
+			continue
+		}
+		line := fmt.Sprintf("%-32s role=%-9s term=%-4d epoch=%d", p, ri.Role, ri.Term, ri.Epoch)
+		if ri.Leader != "" {
+			line += "  leader=" + ri.Leader
+		}
+		fmt.Println(line)
+	}
+	if url, ri, err := repl.ResolveLeader(ctx, nil, peers); err == nil {
+		fmt.Printf("leader: %s (term %d, epoch %d)\n", url, ri.Term, ri.Epoch)
+	} else {
+		fmt.Printf("leader: %v\n", err)
+	}
+}
+
 // runServe starts the long-lived query-serving daemon.
 func runServe(args []string) {
 	fs := flag.NewFlagSet("teamdisc serve", flag.ExitOnError)
@@ -120,7 +205,7 @@ func runServe(args []string) {
 		minWait   = fs.Duration("min-epoch-wait", 0, "max time a read carrying X-Authteam-Min-Epoch blocks for replication before redirecting/failing (0 = default 5s)")
 		memoEvery = fs.Int("memo-every", 0, "store reconstruction-checkpoint spacing (0 = default 256)")
 		commitBat = fs.Int("commit-batch", 0, "max mutations per group commit — one journal write + one epoch publish per batch (0 = default 256)")
-		commitIv  = fs.Duration("commit-interval", 0, "group-commit accumulation window: wait this long after a batch's first mutation for more before committing (0 commits as soon as the queue drains)")
+		commitIv  = fs.String("commit-interval", "", "group-commit accumulation window: a duration waits that long after a batch's first mutation for more before committing; 'auto' opens the window only while journal appends are slower than arrivals (fsync-bound); empty commits as soon as the queue drains")
 		cacheCF   = fs.Int("cache-compact-factor", 0, "result-cache per-epoch key-list compaction factor (0 = default 2)")
 		visits    = fs.Int("repair-visit-budget", 0, "max label visits one incremental index repair may spend before falling back to an async rebuild (0 disables the cap)")
 		debugAddr = fs.String("debug-addr", "", "private debug listener for pprof and /metrics (e.g. localhost:7511; empty disables)")
@@ -139,6 +224,19 @@ func runServe(args []string) {
 		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 	default:
 		fail("serve: unknown -log-format %q (want text or json)", *logFormat)
+	}
+
+	var commitWindow time.Duration
+	var commitAuto bool
+	switch *commitIv {
+	case "", "0", "0s":
+	case "auto":
+		commitAuto = true
+	default:
+		var perr error
+		if commitWindow, perr = time.ParseDuration(*commitIv); perr != nil {
+			fail("serve: bad -commit-interval %q (want a duration or 'auto')", *commitIv)
+		}
 	}
 
 	srv, err := server.New(server.Config{
@@ -163,7 +261,8 @@ func runServe(args []string) {
 		MinEpochWait:       *minWait,
 		MemoEvery:          *memoEvery,
 		CommitBatch:        *commitBat,
-		CommitInterval:     *commitIv,
+		CommitInterval:     commitWindow,
+		CommitAuto:         commitAuto,
 		CacheCompactFactor: *cacheCF,
 		DebugAddr:          *debugAddr,
 		ReadyMaxLagEpochs:  *readyLagE,

@@ -1,0 +1,130 @@
+package authteam_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"authteam"
+	"authteam/internal/live"
+	"authteam/internal/repl"
+	"authteam/internal/server"
+)
+
+// waitPeerEpoch polls a node's /v1/cluster/role until its epoch
+// reaches target.
+func waitPeerEpoch(t *testing.T, url string, target uint64) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	for {
+		ri, err := repl.FetchRole(ctx, nil, url)
+		if err == nil && ri.Epoch >= target {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("peer %s stuck below epoch %d (last: %+v, %v)", url, target, ri, err)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// TestClientFailover exercises the peer-list failover of an embedded
+// following client: when its leader is fenced out of the lineage (or
+// simply dead), a mutation re-resolves the leader from Options.Peers —
+// the node claiming the role on the highest term — retries there, and
+// repoints. The local replica still tails the dead leader, so the
+// read-your-writes wait reports replication lag; the writes themselves
+// land durably on the survivor.
+func TestClientFailover(t *testing.T) {
+	g := liveBase(t)
+	as, err := server.New(server.Config{Graph: g, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer as.Close()
+	ats := httptest.NewServer(as.Handler())
+	defer ats.Close()
+
+	bs, err := server.New(server.Config{FollowURL: ats.URL, FollowPoll: 100 * time.Millisecond, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bs.Close()
+	bts := httptest.NewServer(bs.Handler())
+	defer bts.Close()
+
+	c, err := authteam.New(nil, authteam.Options{
+		Follow:     ats.URL,
+		Peers:      []string{ats.URL, bts.URL},
+		FollowPoll: 100 * time.Millisecond,
+		FollowWait: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Normal operation: the write forwards to A and replicates back.
+	if _, err := c.AddExpert("pre", 5, "databases"); err != nil {
+		t.Fatalf("pre-failover write: %v", err)
+	}
+	waitPeerEpoch(t, bts.URL, 1)
+
+	// Failover: B is promoted to term 1 and A is fenced by the first
+	// post-partition contact claiming the new term.
+	resp, err := http.Post(bts.URL+"/v1/cluster/promote", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote B: %s", resp.Status)
+	}
+	if _, ferr := repl.NewLeader(ats.URL, nil).WithTerm(bs.Store().Term).AddEdge(0, 2, 0.9); !errors.Is(ferr, live.ErrFenced) {
+		t.Fatalf("fencing contact: %v, want ErrFenced", ferr)
+	}
+
+	// The client's next mutation bounces off fenced A, re-resolves the
+	// leader from the peer list, and lands on B. The local replica is
+	// stuck on the dead lineage, so read-your-writes times out as lag —
+	// the documented contract for a not-yet-repointed replica.
+	if _, err := c.AddExpert("post", 4, "ml"); !errors.Is(err, authteam.ErrReplicationLag) {
+		t.Fatalf("failover write: %v, want ErrReplicationLag (durable at survivor)", err)
+	}
+	waitPeerEpoch(t, bts.URL, 2)
+
+	// Repointed: the follow-up mutation goes straight to B.
+	if err := c.AddCollaboration(0, 2, 0.7); !errors.Is(err, authteam.ErrReplicationLag) {
+		t.Fatalf("post-failover write: %v, want ErrReplicationLag", err)
+	}
+	waitPeerEpoch(t, bts.URL, 3)
+
+	// Transport-level failover: a client whose leader is simply gone
+	// takes the same path off a *url.Error.
+	ats.CloseClientConnections()
+	ats.Close()
+	c2, err := authteam.New(nil, authteam.Options{
+		Follow:     ats.URL,
+		Peers:      []string{ats.URL, bts.URL},
+		FollowPoll: 100 * time.Millisecond,
+		FollowWait: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.AddExpert("late", 3, "networks"); !errors.Is(err, authteam.ErrReplicationLag) {
+		t.Fatalf("dead-leader write: %v, want ErrReplicationLag", err)
+	}
+	waitPeerEpoch(t, bts.URL, 4)
+
+	if ri, err := repl.FetchRole(context.Background(), nil, bts.URL); err != nil || ri.Role != "leader" || ri.Term != 1 {
+		t.Fatalf("survivor role: %+v, %v", ri, err)
+	}
+}

@@ -34,6 +34,11 @@ const maxChainDepth = 16
 // two up to the default batch cap.
 var commitBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
+// maxAutoInterval caps the straggler window the adaptive commit
+// interval (Config.CommitAuto) will open: even on a disk whose fsync
+// is slower than this, no mutation waits longer for company.
+const maxAutoInterval = 5 * time.Millisecond
+
 // applyReq is one mutation in flight through the commit pipeline.
 type applyReq struct {
 	m     Mutation
@@ -66,7 +71,11 @@ func (s *Store) committer() {
 // previous commit was in flight) and adds no latency.
 func (s *Store) collectBatch(first *applyReq) []*applyReq {
 	batch := append(make([]*applyReq, 0, min(s.commitBatchMax, 16)), first)
-	if s.commitInterval <= 0 {
+	interval := s.commitInterval
+	if s.commitAuto {
+		interval = s.autoInterval()
+	}
+	if interval <= 0 {
 		for len(batch) < s.commitBatchMax {
 			select {
 			case req, ok := <-s.applyCh:
@@ -80,7 +89,7 @@ func (s *Store) collectBatch(first *applyReq) []*applyReq {
 		}
 		return batch
 	}
-	timer := time.NewTimer(s.commitInterval)
+	timer := time.NewTimer(interval)
 	defer timer.Stop()
 	for len(batch) < s.commitBatchMax {
 		select {
@@ -96,6 +105,21 @@ func (s *Store) collectBatch(first *applyReq) []*applyReq {
 	return batch
 }
 
+// autoInterval decides the adaptive straggler window: zero (the
+// no-latency fast path) unless the journal append EWMA exceeds the
+// arrival-gap EWMA — i.e. more than one mutation arrives, on average,
+// while one fsync runs, so waiting about one append's worth collects a
+// batch that amortizes it. Anything else — idle store, fast disk,
+// journaling off — keeps the fast path.
+func (s *Store) autoInterval() time.Duration {
+	app := s.ewmaAppendNS.Load()
+	gap := s.ewmaGapNS.Load()
+	if app <= 0 || gap <= 0 || app <= gap {
+		return 0
+	}
+	return min(time.Duration(app), maxAutoInterval)
+}
+
 // commitBatch runs one group commit: validate every op against the
 // writer state plus the staged effects of earlier ops in the batch,
 // write the survivors as one journal record group, fold them into the
@@ -109,10 +133,15 @@ func (s *Store) commitBatch(batch []*applyReq) {
 		start = time.Now()
 	}
 	s.mu.Lock()
-	if s.closed || s.ioErr != nil {
-		err := s.ioErr
-		if err == nil {
+	if s.closed || s.ioErr != nil || s.fenced.Load() {
+		var err error
+		switch {
+		case s.closed:
 			err = ErrClosed
+		case s.ioErr != nil:
+			err = s.ioErr
+		default:
+			err = &FencedError{Term: s.term.Load()}
 		}
 		s.mu.Unlock()
 		for _, r := range batch {
@@ -123,15 +152,27 @@ func (s *Store) commitBatch(batch []*applyReq) {
 
 	// Phase 1: validate. Failed ops settle their own future with the
 	// validation error and drop out; survivors stage their effects into
-	// the shadow so later ops in the batch validate against them.
+	// the shadow so later ops in the batch validate against them. Term
+	// stamping happens here too: a fresh op (term 0) adopts the current
+	// term, a replicated record keeps the term it was minted under, and
+	// a record minted under an *older* term than ours is a deposed
+	// leader's write — fenced.
+	curTerm := s.term.Load()
 	sh := s.newBatchShadow()
 	staged := make([]*applyReq, 0, len(batch))
 	ms := make([]Mutation, 0, len(batch))
 	for _, r := range batch {
+		if r.m.Term != 0 && r.m.Term < curTerm {
+			r.err = &FencedError{Term: curTerm}
+			continue
+		}
 		id, err := s.validateMutation(&r.m, sh, true)
 		if err != nil {
 			r.err = err
 			continue
+		}
+		if r.m.Term == 0 {
+			r.m.Term = curTerm
 		}
 		r.newID = id
 		sh.stage(r.m)
@@ -143,7 +184,7 @@ func (s *Store) commitBatch(batch []*applyReq) {
 	// (write-ahead: nothing mutates writer state before it is durable).
 	if len(staged) > 0 && s.journal != nil {
 		var jstart time.Time
-		if s.appendHist != nil {
+		if s.appendHist != nil || s.commitAuto {
 			jstart = time.Now()
 		}
 		fatal, err := s.journal.appendGroup(ms)
@@ -164,8 +205,21 @@ func (s *Store) commitBatch(batch []*applyReq) {
 			}
 			return
 		}
-		if s.appendHist != nil {
-			s.appendHist.Observe(time.Since(jstart).Seconds())
+		if s.appendHist != nil || s.commitAuto {
+			d := time.Since(jstart)
+			if s.appendHist != nil {
+				s.appendHist.Observe(d.Seconds())
+			}
+			if s.commitAuto {
+				// Whole-group duration, not per-op: an fsync costs about
+				// the same however many records ride it, and "one append
+				// outlasts the average arrival gap" is exactly the
+				// bottleneck condition the window exists for. Tracking
+				// per-op cost instead would close the window as soon as
+				// batching starts winning and oscillate.
+				old := s.ewmaAppendNS.Load()
+				s.ewmaAppendNS.Store(old + (int64(d)-old)/4)
+			}
 		}
 		// Nudge the background compactor when this group crossed its
 		// fold trigger — a non-blocking watermark signal, so folds
@@ -186,7 +240,15 @@ func (s *Store) commitBatch(batch []*applyReq) {
 	// the previous epoch's view where possible.
 	epoch0 := s.baseEpoch + uint64(len(s.log))
 	if len(staged) > 0 {
-		for _, r := range staged {
+		for i, r := range staged {
+			// Organic term adoption: a replicated record minted under a
+			// newer term raises the local term the moment it commits —
+			// it is already journaled above, so the adoption is durable
+			// by construction. Its epoch is the new lineage's first.
+			if r.m.Term > s.term.Load() {
+				s.term.Store(r.m.Term)
+				s.termStart.Store(epoch0 + uint64(i))
+			}
 			s.stateApply(r.m)
 		}
 		prev := s.snap.Load()

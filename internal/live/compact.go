@@ -55,10 +55,15 @@ type CompactStats struct {
 // basePath locates the compacted base graph next to a journal.
 func basePath(journalPath string) string { return journalPath + ".base" }
 
-// baseHeader precedes the graph in the compacted base file.
+// baseHeader precedes the graph in the compacted base file. Term is
+// the fencing term of the lineage that folded the base (see
+// promote.go); gob matches fields by name, so bases written before
+// terms existed decode with Term 0 and newer bases stay readable by
+// older code, keeping the format at version 1.
 type baseHeader struct {
 	Version int
 	Epoch   uint64
+	Term    uint64
 }
 
 const baseFormatVersion = 1
@@ -121,7 +126,8 @@ func (s *Store) Compact() (CompactStats, error) {
 	if err != nil {
 		return CompactStats{}, fmt.Errorf("live: compact: %w", err)
 	}
-	if err := writeBaseFile(basePath(s.journalPath), g, snap.Epoch()); err != nil {
+	ts := termState{term: s.term.Load(), termStart: s.termStart.Load(), fenced: s.fenced.Load()}
+	if err := writeBaseFile(basePath(s.journalPath), g, snap.Epoch(), ts.term); err != nil {
 		return CompactStats{}, err
 	}
 
@@ -143,21 +149,22 @@ func (s *Store) Compact() (CompactStats, error) {
 	sync := s.journal.sync
 	s.mu.Unlock()
 
-	staged, err := stageJournal(s.journalPath, snap.Epoch(), tail, sync)
+	staged, err := stageJournal(s.journalPath, snap.Epoch(), tail, sync, ts)
 	if err != nil {
 		return CompactStats{}, err
 	}
 	return s.swapAndRebase(snap, g, staged, foldIdx, len(tail))
 }
 
-// WriteBaseStream encodes a base graph and its epoch in the compacted
-// base file format (gob header + expertgraph encoding). It is the
-// single codec behind the on-disk <journal>.base file and the
-// replication base transfer, so a follower can adopt a streamed base
-// byte-for-byte compatible with what a local fold would have written.
-func WriteBaseStream(w io.Writer, g *expertgraph.Graph, epoch uint64) error {
+// WriteBaseStream encodes a base graph, its epoch and the writing
+// lineage's term in the compacted base file format (gob header +
+// expertgraph encoding). It is the single codec behind the on-disk
+// <journal>.base file and the replication base transfer, so a follower
+// can adopt a streamed base byte-for-byte compatible with what a local
+// fold would have written.
+func WriteBaseStream(w io.Writer, g *expertgraph.Graph, epoch, term uint64) error {
 	bw := bufio.NewWriter(w)
-	if err := gob.NewEncoder(bw).Encode(&baseHeader{Version: baseFormatVersion, Epoch: epoch}); err != nil {
+	if err := gob.NewEncoder(bw).Encode(&baseHeader{Version: baseFormatVersion, Epoch: epoch, Term: term}); err != nil {
 		return fmt.Errorf("live: base encode: %w", err)
 	}
 	if err := expertgraph.Write(bw, g); err != nil {
@@ -169,35 +176,35 @@ func WriteBaseStream(w io.Writer, g *expertgraph.Graph, epoch uint64) error {
 	return nil
 }
 
-// ReadBaseStream decodes a graph and its epoch written by
-// WriteBaseStream.
-func ReadBaseStream(r io.Reader) (*expertgraph.Graph, uint64, error) {
+// ReadBaseStream decodes a graph, its epoch and its term written by
+// WriteBaseStream (term 0 for bases from before fencing existed).
+func ReadBaseStream(r io.Reader) (*expertgraph.Graph, uint64, uint64, error) {
 	br := bufio.NewReader(r)
 	var hdr baseHeader
 	if err := gob.NewDecoder(br).Decode(&hdr); err != nil {
-		return nil, 0, fmt.Errorf("live: base decode: %w", err)
+		return nil, 0, 0, fmt.Errorf("live: base decode: %w", err)
 	}
 	if hdr.Version != baseFormatVersion {
-		return nil, 0, fmt.Errorf("live: base: unsupported version %d", hdr.Version)
+		return nil, 0, 0, fmt.Errorf("live: base: unsupported version %d", hdr.Version)
 	}
 	g, err := expertgraph.Read(br)
 	if err != nil {
-		return nil, 0, fmt.Errorf("live: base decode: %w", err)
+		return nil, 0, 0, fmt.Errorf("live: base decode: %w", err)
 	}
-	return g, hdr.Epoch, nil
+	return g, hdr.Epoch, hdr.Term, nil
 }
 
 // writeBaseFile persists the materialized fold-epoch graph atomically
 // (temp file + fsync + rename). It is the first half of Compact — and
 // of AdoptBase; a crash after it leaves a recoverable base/journal
 // pairing, never a hole.
-func writeBaseFile(path string, g *expertgraph.Graph, epoch uint64) error {
+func writeBaseFile(path string, g *expertgraph.Graph, epoch, term uint64) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("live: compact: %w", err)
 	}
-	if err := WriteBaseStream(f, g, epoch); err != nil {
+	if err := WriteBaseStream(f, g, epoch, term); err != nil {
 		f.Close()
 		return err
 	}
@@ -317,8 +324,9 @@ type stagedJournal struct {
 
 // stageJournal writes a fresh journal (header + tail records) to a
 // temp file and fsyncs it, leaving installation — straggler append +
-// rename — to the short critical section.
-func stageJournal(path string, startEpoch uint64, tail []Mutation, sync bool) (*stagedJournal, error) {
+// rename — to the short critical section. ts is the term state the
+// header persists alongside the start epoch.
+func stageJournal(path string, startEpoch uint64, tail []Mutation, sync bool, ts termState) (*stagedJournal, error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -326,7 +334,12 @@ func stageJournal(path string, startEpoch uint64, tail []Mutation, sync bool) (*
 	}
 	st := &stagedJournal{f: f, tmp: tmp, sync: sync, startEpoch: startEpoch}
 	bw := bufio.NewWriter(f)
-	hdr, err := json.Marshal(journalHeader{JournalStart: &startEpoch})
+	hdr, err := json.Marshal(journalHeader{
+		JournalStart: &startEpoch,
+		Term:         ts.term,
+		TermStart:    ts.termStart,
+		Fenced:       ts.fenced,
+	})
 	if err != nil {
 		st.abort()
 		return nil, fmt.Errorf("live: compact journal: %w", err)
@@ -398,21 +411,21 @@ func (st *stagedJournal) abort() {
 	os.Remove(st.tmp)
 }
 
-// loadBaseFile reads a compacted base graph and its epoch. A missing
-// file returns (nil, 0, nil) — the store then starts from the caller's
-// graph at epoch 0.
-func loadBaseFile(path string) (*expertgraph.Graph, uint64, error) {
+// loadBaseFile reads a compacted base graph, its epoch and its term.
+// A missing file returns (nil, 0, 0, nil) — the store then starts from
+// the caller's graph at epoch 0.
+func loadBaseFile(path string) (*expertgraph.Graph, uint64, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return nil, 0, nil
+			return nil, 0, 0, nil
 		}
-		return nil, 0, fmt.Errorf("live: base graph: %w", err)
+		return nil, 0, 0, fmt.Errorf("live: base graph: %w", err)
 	}
 	defer f.Close()
-	g, epoch, err := ReadBaseStream(f)
+	g, epoch, term, err := ReadBaseStream(f)
 	if err != nil {
-		return nil, 0, fmt.Errorf("live: base graph %s: %w", path, err)
+		return nil, 0, 0, fmt.Errorf("live: base graph %s: %w", path, err)
 	}
-	return g, epoch, nil
+	return g, epoch, term, nil
 }

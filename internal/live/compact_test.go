@@ -138,7 +138,7 @@ func TestCompactCrashBetweenBaseAndTruncate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := writeBaseFile(basePath(journal), g, snap.Epoch()); err != nil {
+	if err := writeBaseFile(basePath(journal), g, snap.Epoch(), 0); err != nil {
 		t.Fatal(err)
 	}
 	want := viewFingerprint(snap.View())

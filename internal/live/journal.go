@@ -24,9 +24,15 @@ import (
 
 // journalHeader is the optional first line of a compacted journal.
 // Mutations always carry "op", the header never does, so the two are
-// unambiguous.
+// unambiguous. Besides the start epoch it persists the cluster term
+// state (see promote.go): the fencing token, the epoch its lineage
+// began at, and whether the store was demoted. Journals written before
+// terms existed decode to term 0, which every real term exceeds.
 type journalHeader struct {
 	JournalStart *uint64 `json:"journal_start"`
+	Term         uint64  `json:"term,omitempty"`
+	TermStart    uint64  `json:"term_start,omitempty"`
+	Fenced       bool    `json:"fenced,omitempty"`
 }
 
 // journal appends mutations to the WAL.
@@ -42,61 +48,67 @@ type journal struct {
 }
 
 // openJournal reads (and crash-repairs) an existing journal at path,
-// returning the mutations it holds, the epoch its first record applies
-// on top of, and the open append handle.
-func openJournal(path string, sync bool) ([]Mutation, uint64, *journal, error) {
+// returning the mutations it holds, the decoded header (start epoch +
+// term state), and the open append handle.
+func openJournal(path string, sync bool) ([]Mutation, journalHeader, *journal, error) {
+	var none journalHeader
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
-		return nil, 0, nil, fmt.Errorf("live: journal: %w", err)
+		return nil, none, nil, fmt.Errorf("live: journal: %w", err)
 	}
-	muts, start, good, err := readJournal(f)
+	muts, hdr, good, err := readJournal(f)
 	if err != nil {
 		f.Close()
-		return nil, 0, nil, err
+		return nil, none, nil, err
 	}
 	end, serr := f.Seek(0, io.SeekEnd)
 	if serr != nil {
 		f.Close()
-		return nil, 0, nil, fmt.Errorf("live: journal: %w", serr)
+		return nil, none, nil, fmt.Errorf("live: journal: %w", serr)
 	}
 	if good < end {
 		slog.Warn("live: truncating torn trailing journal record",
 			"journal", path, "torn_bytes", end-good, "good_bytes", good)
 		if err := f.Truncate(good); err != nil {
 			f.Close()
-			return nil, 0, nil, fmt.Errorf("live: journal truncate: %w", err)
+			return nil, none, nil, fmt.Errorf("live: journal truncate: %w", err)
 		}
 		if _, err := f.Seek(good, io.SeekStart); err != nil {
 			f.Close()
-			return nil, 0, nil, fmt.Errorf("live: journal: %w", err)
+			return nil, none, nil, fmt.Errorf("live: journal: %w", err)
 		}
 	}
+	start := uint64(0)
+	if hdr.JournalStart != nil {
+		start = *hdr.JournalStart
+	}
 	j := &journal{f: f, sync: sync, startEpoch: start, records: uint64(len(muts)), bytes: good}
-	return muts, start, j, nil
+	return muts, hdr, j, nil
 }
 
 // readJournal parses the journal from the start, returning the parsed
-// mutations, the start epoch from the header (0 when absent) and the
+// mutations, the decoded header (zero-valued when absent) and the
 // byte offset of the end of the last good record. A malformed or torn
 // *final* record is tolerated (the offset stops before it); corruption
 // followed by further records is an error, because silently skipping
 // an interior mutation would replay a different history than the one
 // that was served.
-func readJournal(f *os.File) ([]Mutation, uint64, int64, error) {
+func readJournal(f *os.File) ([]Mutation, journalHeader, int64, error) {
+	var none journalHeader
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, 0, 0, fmt.Errorf("live: journal: %w", err)
+		return nil, none, 0, fmt.Errorf("live: journal: %w", err)
 	}
 	var (
-		muts  []Mutation
-		start uint64
-		good  int64
+		muts []Mutation
+		hdr  journalHeader
+		good int64
 	)
 	r := bufio.NewReader(f)
 	for lineNo := 1; ; lineNo++ {
 		line, err := r.ReadBytes('\n')
 		complete := err == nil
 		if err != nil && !errors.Is(err, io.EOF) {
-			return nil, 0, 0, fmt.Errorf("live: journal: %w", err)
+			return nil, none, 0, fmt.Errorf("live: journal: %w", err)
 		}
 		trimmed := bytes.TrimSpace(line)
 		if len(trimmed) > 0 {
@@ -105,13 +117,12 @@ func readJournal(f *os.File) ([]Mutation, uint64, int64, error) {
 			if jerr == nil && m.Op == "" && complete {
 				// Not a mutation: the compaction header (first line
 				// only) or garbage.
-				var hdr journalHeader
 				if lineNo == 1 {
 					if herr := json.Unmarshal(trimmed, &hdr); herr == nil && hdr.JournalStart != nil {
-						start = *hdr.JournalStart
 						good += int64(len(line))
 						continue
 					}
+					hdr = none
 				}
 				jerr = fmt.Errorf("record has no op")
 			}
@@ -120,12 +131,12 @@ func readJournal(f *os.File) ([]Mutation, uint64, int64, error) {
 				// truncates the remainder. Anything after it would be
 				// interior corruption.
 				if !complete {
-					return muts, start, good, nil
+					return muts, hdr, good, nil
 				}
 				if _, peekErr := r.Peek(1); peekErr == nil {
-					return nil, 0, 0, fmt.Errorf("live: journal record %d is corrupt mid-file: %v", lineNo, jerr)
+					return nil, none, 0, fmt.Errorf("live: journal record %d is corrupt mid-file: %v", lineNo, jerr)
 				}
-				return muts, start, good, nil
+				return muts, hdr, good, nil
 			}
 			muts = append(muts, m)
 		}
@@ -133,7 +144,7 @@ func readJournal(f *os.File) ([]Mutation, uint64, int64, error) {
 			good += int64(len(line))
 		}
 		if !complete { // EOF
-			return muts, start, good, nil
+			return muts, hdr, good, nil
 		}
 	}
 }

@@ -1,0 +1,165 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Cluster roles and epoch fencing. The store carries a persisted,
+// monotonic *term* — the fencing token of the replication lineage it
+// belongs to. Every fresh append is stamped with the writer's current
+// term, replicated records keep the term of the leader that minted
+// them, and a record whose term is *behind* the local term is refused
+// with ErrFenced. Promotion of a follower bumps the term and records
+// the epoch the new lineage starts at (termStart); demotion fences the
+// store so a deposed leader can never extend the old lineage:
+//
+//   - Promote(term): seal the current epoch as the last epoch of the
+//     old lineage, adopt the (strictly larger) term, and resume
+//     accepting local writes. The new term is persisted in the journal
+//     header before it takes effect in memory — a crash mid-promotion
+//     leaves the store a follower of the old term, never a second
+//     leader of the new one.
+//   - Demote(term): refuse all further appends with ErrFenced (also
+//     persisted, so a restarted deposed leader stays fenced), adopting
+//     the newer term it was fenced by. The only way back into a
+//     lineage is AdoptBase — wholesale replacement by a base snapshot
+//     of the new term, which clears the fence along with the divergent
+//     state it guarded.
+//
+// Followers adopt newer terms organically: the first replicated record
+// stamped with a higher term raises the local term when it commits
+// (and, by landing in the local journal, persists it), so the whole
+// replica tree converges on the new lineage without any side channel.
+
+// ErrFenced reports a write refused by the fencing token: the store
+// was demoted, or the record belongs to an older term than the store's.
+// Errors carrying it are usually a *FencedError holding the term that
+// did the fencing.
+var ErrFenced = errors.New("live: store fenced by a newer term")
+
+// FencedError is the concrete fencing rejection: errors.Is(err,
+// ErrFenced) matches it, and Term is the fencing term — what a deposed
+// leader adopts when it self-demotes, and what a transport layer echoes
+// to the peer so it can tell "I am stale" from "the source is stale".
+type FencedError struct {
+	// Term is the current term of the store (or peer) that refused the
+	// write.
+	Term uint64
+}
+
+func (e *FencedError) Error() string {
+	return fmt.Sprintf("live: fenced by term %d", e.Term)
+}
+
+// Is makes errors.Is(err, ErrFenced) true for every FencedError.
+func (e *FencedError) Is(target error) bool { return target == ErrFenced }
+
+// termState is the persisted fencing state: the current term, the
+// epoch the term's lineage began at (records of epochs > termStart
+// belong to it), and whether the store is demoted.
+type termState struct {
+	term      uint64
+	termStart uint64
+	fenced    bool
+}
+
+// Term returns the store's current fencing term: 0 for a store that
+// never saw a promotion, monotonically increasing across the cluster
+// otherwise.
+func (s *Store) Term() uint64 { return s.term.Load() }
+
+// TermStart returns the epoch at which the current term's lineage
+// began: records of epochs > TermStart carry the current term. A
+// deposed leader whose epoch ran past TermStart under the old term is
+// exactly the divergence fencing exists to reject.
+func (s *Store) TermStart() uint64 { return s.termStart.Load() }
+
+// Fenced reports whether the store was demoted: every mutation fails
+// with ErrFenced, and it refuses to serve the replication stream (its
+// suffix past TermStart may diverge from the surviving lineage).
+func (s *Store) Fenced() bool { return s.fenced.Load() }
+
+// Promote seals the store's current epoch as the end of the old
+// lineage and adopts term as its new writer term, returning the sealed
+// epoch. The caller (the serving layer) must have stopped the follower
+// loop first — promotion of a store still applying a remote stream
+// would interleave two writers. term must exceed the current term;
+// 0 means "current term + 1". The new term is persisted (journal
+// header rewrite) before it takes effect, so a crash mid-promotion
+// never yields a leader the cluster doesn't know about.
+func (s *Store) Promote(term uint64) (sealedEpoch uint64, err error) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if s.ioErr != nil {
+		return 0, s.ioErr
+	}
+	cur := s.term.Load()
+	if term == 0 {
+		term = cur + 1
+	}
+	if term <= cur {
+		return 0, fmt.Errorf("live: promote to term %d not beyond current term %d", term, cur)
+	}
+	epoch := s.baseEpoch + uint64(len(s.log))
+	if err := s.persistTermLocked(termState{term: term, termStart: epoch}); err != nil {
+		return 0, err
+	}
+	s.term.Store(term)
+	s.termStart.Store(epoch)
+	s.fenced.Store(false)
+	return epoch, nil
+}
+
+// Demote fences the store: every further mutation fails with ErrFenced
+// and the replication endpoints refuse to serve it. term is the newer
+// term that deposed it (0 just fences at the current term). The fence
+// takes effect in memory even when persisting it fails — failing open
+// here would be the exact split-brain fencing exists to prevent.
+func (s *Store) Demote(term uint64) error {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fenced.Store(true)
+	if cur := s.term.Load(); term > cur {
+		// The lineage boundary of the deposing term is unknown from
+		// here; anchoring it at the local epoch is safe because a
+		// fenced store never serves the stream anyway.
+		s.term.Store(term)
+		s.termStart.Store(s.baseEpoch + uint64(len(s.log)))
+	}
+	if s.closed || s.ioErr != nil {
+		return nil // fence recorded in memory; nothing durable to update
+	}
+	return s.persistTermLocked(termState{term: s.term.Load(), termStart: s.termStart.Load(), fenced: true})
+}
+
+// persistTermLocked rewrites the journal header with ts, keeping every
+// resident record. Stores without a journal (or with a closed one)
+// keep term state in memory only. Caller holds mu and compactMu; the
+// journal is short by construction (compaction keeps it to churn since
+// the last fold), so the rewrite is cheap at the rare moments —
+// promotion, demotion — this runs.
+func (s *Store) persistTermLocked(ts termState) error {
+	if s.journal == nil || s.journal.closed {
+		return nil
+	}
+	staged, err := stageJournal(s.journalPath, s.baseEpoch, s.log, s.journal.sync, ts)
+	if err != nil {
+		return err
+	}
+	nj, err := staged.install(s.journalPath, nil)
+	if err != nil {
+		return err
+	}
+	old := s.journal
+	s.journal = nj
+	old.Close()
+	return nil
+}

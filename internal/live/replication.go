@@ -59,6 +59,12 @@ var (
 // outside the retained window.
 func (s *Store) TailSince(ctx context.Context, from uint64, max int) ([]Mutation, uint64, error) {
 	for {
+		if s.fenced.Load() {
+			// A demoted store's suffix past TermStart may diverge from
+			// the surviving lineage; serving it would replicate the
+			// split-brain fencing just prevented.
+			return nil, s.Epoch(), &FencedError{Term: s.term.Load()}
+		}
 		sn := s.Snapshot()
 		if from > sn.epoch {
 			return nil, sn.epoch, fmt.Errorf("%w: tail from %d, store at %d", ErrFutureEpoch, from, sn.epoch)
@@ -84,10 +90,13 @@ func (s *Store) TailSince(ctx context.Context, from uint64, max int) ([]Mutation
 // written. The base graph is immutable and read from one snapshot, so
 // the stream is consistent without any locking and costs no
 // materialization — it is exactly the graph a local fold last wrote
-// (or the graph the store was opened over, at epoch 0).
+// (or the graph the store was opened over, at epoch 0). The stream
+// carries the store's *current* term: an adopter is joining the
+// current lineage at a prefix of it, whatever term that prefix was
+// originally written under.
 func (s *Store) WriteBaseTo(w io.Writer) (uint64, error) {
 	sn := s.Snapshot()
-	if err := WriteBaseStream(w, sn.base, sn.baseEpoch); err != nil {
+	if err := WriteBaseStream(w, sn.base, sn.baseEpoch, s.term.Load()); err != nil {
 		return 0, err
 	}
 	return sn.baseEpoch, nil
@@ -102,11 +111,18 @@ func (s *Store) WriteBaseTo(w io.Writer) (uint64, error) {
 // crash window as Compact: a crash between the two leaves the base
 // ahead of the journal, which Open recovers by resetting the journal).
 //
+// term is the fencing term the base was served under: a newer term is
+// adopted (the store joins that lineage at the adopted epoch), and
+// adopting a term at least the store's own clears a demotion fence —
+// the divergent state the fence guarded is exactly what the adoption
+// just discarded. term 0 (an in-process source predating fencing)
+// leaves the term state alone.
+//
 // History does not bridge an adoption: prevLog is dropped, so
 // MutationsSince refuses epochs below the adopted one and resident
 // 2-hop covers anchored before it are rebuilt, not silently repaired
 // across a gap whose mutations this store never saw.
-func (s *Store) AdoptBase(g *expertgraph.Graph, epoch uint64) error {
+func (s *Store) AdoptBase(g *expertgraph.Graph, epoch, term uint64) error {
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
 
@@ -119,6 +135,13 @@ func (s *Store) AdoptBase(g *expertgraph.Graph, epoch uint64) error {
 		s.mu.Unlock()
 		return fmt.Errorf("live: adopt base at epoch %d behind store epoch %d", epoch, cur)
 	}
+	ts := termState{term: s.term.Load(), termStart: s.termStart.Load(), fenced: s.fenced.Load()}
+	if term > ts.term {
+		ts.term, ts.termStart = term, epoch
+	}
+	if term >= ts.term {
+		ts.fenced = false
+	}
 	journaled := s.journal != nil && !s.journal.closed
 	var sync bool
 	if journaled {
@@ -130,11 +153,11 @@ func (s *Store) AdoptBase(g *expertgraph.Graph, epoch uint64) error {
 	// crash-window note above).
 	var staged *stagedJournal
 	if journaled {
-		if err := writeBaseFile(basePath(s.journalPath), g, epoch); err != nil {
+		if err := writeBaseFile(basePath(s.journalPath), g, epoch, ts.term); err != nil {
 			return err
 		}
 		var err error
-		if staged, err = stageJournal(s.journalPath, epoch, nil, sync); err != nil {
+		if staged, err = stageJournal(s.journalPath, epoch, nil, sync, ts); err != nil {
 			return err
 		}
 	}
@@ -165,6 +188,9 @@ func (s *Store) AdoptBase(g *expertgraph.Graph, epoch uint64) error {
 	s.base, s.baseEpoch = g, epoch
 	s.log, s.prefix = nil, nil
 	s.prevBaseEpoch, s.prevLog = epoch, nil
+	s.term.Store(ts.term)
+	s.termStart.Store(ts.termStart)
+	s.fenced.Store(ts.fenced)
 	s.resetWriterState()
 	s.snap.Store(&Snapshot{
 		epoch: epoch, baseEpoch: epoch,
@@ -195,10 +221,28 @@ type ReplicationSource interface {
 	// bounded by ctx — while the source has nothing past `from`; an
 	// empty batch with a nil error is an idle poll. ErrCompactedEpoch
 	// reports that `from` predates the source's retained window (fetch
-	// Base); ErrFutureEpoch that the caller is ahead of the source.
+	// Base); ErrFutureEpoch that the caller is ahead of the source;
+	// ErrFenced that the caller's lineage diverged from the source's
+	// (the caller must demote itself — resuming would split-brain).
 	Tail(ctx context.Context, from uint64, max int) ([]Mutation, uint64, error)
-	// Base returns the source's current base snapshot and its epoch.
-	Base(ctx context.Context) (*expertgraph.Graph, uint64, error)
+	// Base returns the source's current base snapshot, its epoch, and
+	// the term it is served under (0 from sources predating fencing).
+	Base(ctx context.Context) (*expertgraph.Graph, uint64, uint64, error)
+}
+
+// GroupedSource is an optional ReplicationSource extension: a source
+// whose tail preserves batch framing, so a follower can hand each
+// group to ApplyGroup and pay one journal fsync and one epoch publish
+// per group instead of per record. A Follower uses it when the source
+// implements it and falls back to Tail (per-record apply) otherwise —
+// which is also what a grouped transport does transparently when the
+// *remote* end predates group framing.
+type GroupedSource interface {
+	ReplicationSource
+	// TailGroups is Tail with the flat record stream split into
+	// apply-together groups; concatenated in order, the groups are
+	// exactly what Tail would have returned.
+	TailGroups(ctx context.Context, from uint64, max int) ([][]Mutation, uint64, error)
 }
 
 // storeSource adapts a *Store into a ReplicationSource.
@@ -206,15 +250,24 @@ type storeSource struct{ s *Store }
 
 // SourceFromStore exposes a store as a ReplicationSource, replicating
 // store-to-store inside one process (tests, embedded read replicas).
+// The source is grouped: each tail batch arrives as one group.
 func SourceFromStore(s *Store) ReplicationSource { return storeSource{s} }
 
 func (ss storeSource) Tail(ctx context.Context, from uint64, max int) ([]Mutation, uint64, error) {
 	return ss.s.TailSince(ctx, from, max)
 }
 
-func (ss storeSource) Base(context.Context) (*expertgraph.Graph, uint64, error) {
+func (ss storeSource) TailGroups(ctx context.Context, from uint64, max int) ([][]Mutation, uint64, error) {
+	muts, epoch, err := ss.s.TailSince(ctx, from, max)
+	if len(muts) == 0 {
+		return nil, epoch, err
+	}
+	return [][]Mutation{muts}, epoch, err
+}
+
+func (ss storeSource) Base(context.Context) (*expertgraph.Graph, uint64, uint64, error) {
 	sn := ss.s.Snapshot()
-	return sn.base, sn.baseEpoch, nil
+	return sn.base, sn.baseEpoch, ss.s.term.Load(), nil
 }
 
 // FollowerConfig parameterizes StartFollower.
@@ -282,7 +335,12 @@ type FollowerStats struct {
 type Follower struct {
 	store *Store
 	src   ReplicationSource
-	cfg   FollowerConfig
+	// grouped is src when it also implements GroupedSource: tail
+	// batches then arrive with framing and each group is applied as
+	// one ApplyGroup run (one fsync, one publish) instead of
+	// record-by-record.
+	grouped GroupedSource
+	cfg     FollowerConfig
 
 	cancel   context.CancelFunc
 	stop     chan struct{}
@@ -313,6 +371,9 @@ func StartFollower(store *Store, src ReplicationSource, cfg FollowerConfig) *Fol
 		cancel: cancel,
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
+	}
+	if gs, ok := src.(GroupedSource); ok {
+		f.grouped = gs
 	}
 	f.caughtUpNS.Store(time.Now().UnixNano())
 	go f.loop(ctx)
@@ -416,7 +477,22 @@ func (f *Follower) loop(ctx context.Context) {
 		}
 		from := f.store.Epoch()
 		pollCtx, cancel := context.WithTimeout(ctx, f.cfg.PollTimeout)
-		muts, leaderEpoch, err := f.src.Tail(pollCtx, from, f.cfg.MaxBatch)
+		var (
+			groups      [][]Mutation
+			leaderEpoch uint64
+			err         error
+		)
+		if f.grouped != nil {
+			groups, leaderEpoch, err = f.grouped.TailGroups(pollCtx, from, f.cfg.MaxBatch)
+		} else {
+			// Ungrouped source: apply record by record, exactly the
+			// pre-framing behavior.
+			var muts []Mutation
+			muts, leaderEpoch, err = f.src.Tail(pollCtx, from, f.cfg.MaxBatch)
+			for i := range muts {
+				groups = append(groups, muts[i:i+1:i+1])
+			}
+		}
 		cancel()
 		f.polls.Add(1)
 		if leaderEpoch > 0 {
@@ -424,25 +500,48 @@ func (f *Follower) loop(ctx context.Context) {
 		}
 
 		// Apply whatever arrived — a batch cut short by a torn stream
-		// still advances the store record by record; the next poll
+		// still advances the store group by group; the next poll
 		// resumes exactly past the last applied epoch.
 		fatal := false
-		for i := range muts {
-			want := from + uint64(i) + 1
-			if local := f.store.Epoch(); local != want-1 {
-				err = fmt.Errorf("live: follower: local store at epoch %d, expected %d (mutated outside replication)", local, want-1)
+		want := from
+		for _, grp := range groups {
+			if local := f.store.Epoch(); local != want {
+				err = fmt.Errorf("live: follower: local store at epoch %d, expected %d (mutated outside replication)", local, want)
 				fatal = true
 				break
 			}
-			if _, _, aerr := f.store.Apply(muts[i]); aerr != nil {
-				err = fmt.Errorf("live: follower: apply epoch %d: %w", want, aerr)
+			last, n, aerr := f.store.ApplyGroup(grp)
+			f.applied.Add(uint64(n))
+			if aerr != nil {
+				err = fmt.Errorf("live: follower: apply epoch %d..%d: %w", want+1, want+uint64(len(grp)), aerr)
 				fatal = true
 				break
 			}
-			f.applied.Add(1)
+			if n != len(grp) || last != want+uint64(n) {
+				err = fmt.Errorf("live: follower: group of %d applied as %d records ending at epoch %d, expected %d (mutated outside replication)",
+					len(grp), n, last, want+uint64(len(grp)))
+				fatal = true
+				break
+			}
+			want = last
 		}
 
 		switch {
+		case errors.Is(err, ErrFenced):
+			// The source — or the local store — fenced this lineage:
+			// our suffix diverged from the surviving one. Demote the
+			// local store (persisting the fence and the deposing term)
+			// and stop; only a wholesale resync can rejoin the cluster.
+			var fe *FencedError
+			var term uint64
+			if errors.As(err, &fe) {
+				term = fe.Term
+			}
+			if derr := f.store.Demote(term); derr != nil {
+				err = fmt.Errorf("%w (demote: %v)", err, derr)
+			}
+			f.setErr(err)
+			return
 		case fatal || errors.Is(err, ErrClosed) || errors.Is(err, ErrFutureEpoch):
 			// Divergence between the two stores (or a closed local
 			// store): stop with a sticky error instead of guessing.
@@ -491,7 +590,7 @@ func (f *Follower) loop(ctx context.Context) {
 func (f *Follower) adoptBase(ctx context.Context) error {
 	fetchCtx, cancel := context.WithTimeout(ctx, 10*f.cfg.PollTimeout)
 	defer cancel()
-	g, epoch, err := f.src.Base(fetchCtx)
+	g, epoch, term, err := f.src.Base(fetchCtx)
 	if err != nil {
 		return fmt.Errorf("live: follower: fetch base: %w", err)
 	}
@@ -500,7 +599,7 @@ func (f *Follower) adoptBase(ctx context.Context) error {
 		// must be ahead of us; anything else is two sources talking.
 		return fmt.Errorf("live: follower: fetched base at epoch %d behind local epoch %d", epoch, f.store.Epoch())
 	}
-	if err := f.store.AdoptBase(g, epoch); err != nil {
+	if err := f.store.AdoptBase(g, epoch, term); err != nil {
 		return err
 	}
 	f.baseFetches.Add(1)

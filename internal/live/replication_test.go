@@ -303,7 +303,7 @@ func TestAdoptBaseCrashWindow(t *testing.T) {
 	leader.Close()
 
 	// Crash window: base file updated, journal untouched.
-	if err := writeBaseFile(basePath(journal), lg, adoptedEpoch); err != nil {
+	if err := writeBaseFile(basePath(journal), lg, adoptedEpoch, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -351,7 +351,7 @@ func TestAdoptBasePersists(t *testing.T) {
 	epoch := lsnap.Epoch()
 	leader.Close()
 
-	if err := st.AdoptBase(lg, epoch); err != nil {
+	if err := st.AdoptBase(lg, epoch, 0); err != nil {
 		t.Fatal(err)
 	}
 	if st.Epoch() != epoch || st.BaseAdoptions() != 1 {

@@ -77,6 +77,15 @@ type RemovedEdge struct {
 type Mutation struct {
 	Op Op `json:"op"`
 
+	// Term is the fencing term of the leader that minted this record
+	// (see promote.go). Fresh local appends are stamped with the
+	// store's current term at commit time; replicated records keep the
+	// term they were minted under, which is how followers adopt a new
+	// lineage's term — and how a deposed leader's stale-term records
+	// are recognized and refused. 0 on records from before the cluster
+	// ever promoted (term 0 predates fencing).
+	Term uint64 `json:"term,omitempty"`
+
 	// add_node
 	Name      string   `json:"name,omitempty"`
 	Authority float64  `json:"authority,omitempty"`
@@ -152,6 +161,14 @@ type Config struct {
 	// latency. Positive values trade per-op latency for larger groups
 	// (fewer fsyncs), which matters mostly under Sync on slow disks.
 	CommitInterval time.Duration
+	// CommitAuto opens the CommitInterval batching window adaptively:
+	// the committer tracks the journal append duration (the quantity
+	// behind authteam_live_journal_append_seconds) against the mutation
+	// arrival gap, and waits for stragglers only while the append —
+	// fsync included — is the bottleneck (append EWMA > arrival-gap
+	// EWMA). Idle or append-cheap workloads keep the zero-latency
+	// fast path. Overrides CommitInterval when set.
+	CommitAuto bool
 	// Metrics registers the store's instruments — apply latency,
 	// journal append (+fsync) duration, fold duration, overlay-build
 	// time, resident log length and epoch gauges — on the given
@@ -246,6 +263,24 @@ type Store struct {
 	committerDone  chan struct{}
 	commitBatchMax int
 	commitInterval time.Duration
+	// Adaptive commit interval (Config.CommitAuto): EWMAs of the
+	// journal append duration and the mutation arrival gap, in
+	// nanoseconds. The committer opens a straggler window only while
+	// the append (fsync included) is the slower of the two. Sloppy
+	// lock-free updates — a lost EWMA step skews a heuristic, nothing
+	// else.
+	commitAuto    bool
+	ewmaAppendNS  atomic.Int64
+	ewmaGapNS     atomic.Int64
+	lastArrivalNS atomic.Int64
+
+	// Cluster term state (promote.go): the persisted fencing token,
+	// the epoch its lineage began at, and the demotion fence. Written
+	// under mu (Open, Promote, Demote, AdoptBase, record-term adoption
+	// in commitBatch); read lock-free by the serving layer.
+	term      atomic.Uint64
+	termStart atomic.Uint64
+	fenced    atomic.Bool
 
 	// watch is the epoch-advance notification: a channel closed (and
 	// replaced) every time a new epoch's snapshot is published, so
@@ -347,6 +382,7 @@ func Open(base *expertgraph.Graph, cfg Config) (*Store, error) {
 		memo:           cfg.MemoEvery,
 		commitBatchMax: cfg.CommitBatch,
 		commitInterval: cfg.CommitInterval,
+		commitAuto:     cfg.CommitAuto,
 	}
 	if s.memo <= 0 {
 		s.memo = memoEvery
@@ -397,16 +433,34 @@ func Open(base *expertgraph.Graph, cfg Config) (*Store, error) {
 	s.watch.Store(&initWatch)
 	var replay []Mutation
 	if cfg.JournalPath != "" {
-		cb, cbEpoch, err := loadBaseFile(basePath(cfg.JournalPath))
+		cb, cbEpoch, cbTerm, err := loadBaseFile(basePath(cfg.JournalPath))
 		if err != nil {
 			return nil, err
 		}
 		if cb != nil {
 			s.base, s.baseEpoch = cb, cbEpoch
 		}
-		muts, startEpoch, j, err := openJournal(cfg.JournalPath, cfg.Sync)
+		muts, jhdr, j, err := openJournal(cfg.JournalPath, cfg.Sync)
 		if err != nil {
 			return nil, err
+		}
+		startEpoch := j.startEpoch
+		// Recover the term state: the journal header's pair, raised by
+		// any record minted under a later term (a follower adopts terms
+		// through replicated records, so its header can lag them), and
+		// raised again by the base file's term (the AdoptBase crash
+		// window leaves a new base over an old journal). The fence flag
+		// only ever comes from the header — a fenced store stops
+		// applying records, so records can never out-vote it.
+		ts := termState{term: jhdr.Term, termStart: jhdr.TermStart, fenced: jhdr.Fenced}
+		for i := range muts {
+			if muts[i].Term > ts.term {
+				ts.term = muts[i].Term
+				ts.termStart = startEpoch + uint64(i)
+			}
+		}
+		if cbTerm > ts.term {
+			ts.term, ts.termStart = cbTerm, cbEpoch
 		}
 		if s.baseEpoch > startEpoch+uint64(len(muts)) {
 			// Base ahead of the whole journal: the crash window of a base
@@ -420,7 +474,7 @@ func Open(base *expertgraph.Graph, cfg Config) (*Store, error) {
 				"journal_to", startEpoch+uint64(len(muts)),
 				"base_epoch", s.baseEpoch)
 			j.Close()
-			staged, serr := stageJournal(cfg.JournalPath, s.baseEpoch, nil, cfg.Sync)
+			staged, serr := stageJournal(cfg.JournalPath, s.baseEpoch, nil, cfg.Sync, ts)
 			if serr != nil {
 				return nil, serr
 			}
@@ -429,6 +483,9 @@ func Open(base *expertgraph.Graph, cfg Config) (*Store, error) {
 			}
 			muts, startEpoch = nil, s.baseEpoch
 		}
+		s.term.Store(ts.term)
+		s.termStart.Store(ts.termStart)
+		s.fenced.Store(ts.fenced)
 		// The journal covers epochs startEpoch+1 .. startEpoch+len(muts);
 		// records up to the base epoch are already folded into the base
 		// (a crash between Compact's base rewrite and journal truncation
@@ -775,6 +832,9 @@ func (s *Store) Apply(m Mutation) (expertgraph.NodeID, uint64, error) {
 	if s.applyHist != nil {
 		start = time.Now()
 	}
+	if s.commitAuto {
+		s.observeArrival()
+	}
 	s.senders.Add(1)
 	if s.closing.Load() {
 		s.senders.Add(-1)
@@ -788,6 +848,72 @@ func (s *Store) Apply(m Mutation) (expertgraph.NodeID, uint64, error) {
 		s.applyHist.Observe(time.Since(start).Seconds())
 	}
 	return res.id, res.epoch, res.err
+}
+
+// ApplyGroup enqueues ms as one contiguous run through the commit
+// pipeline and waits for all of them, returning the epoch of the last
+// applied mutation, how many applied, and the first per-op error. The
+// run shares the committer's group commits — a whole replicated batch
+// costs one (or a few) journal fsyncs and epoch publishes instead of
+// len(ms) — which is the follower-side half of batch-aware replication
+// framing. Ops are committed in order; like Apply, each op's epoch is
+// its own. The store must not be receiving interleaved mutations from
+// other writers if the caller needs the run to be contiguous (a
+// replication follower is the intended caller, and its store has no
+// other writers by contract).
+func (s *Store) ApplyGroup(ms []Mutation) (lastEpoch uint64, applied int, err error) {
+	if len(ms) == 0 {
+		return s.Epoch(), 0, nil
+	}
+	if s.commitAuto {
+		s.observeArrival()
+	}
+	s.senders.Add(1)
+	if s.closing.Load() {
+		s.senders.Add(-1)
+		return 0, 0, ErrClosed
+	}
+	reqs := make([]*applyReq, len(ms))
+	for i := range ms {
+		reqs[i] = &applyReq{m: ms[i], done: make(chan applyResult, 1)}
+		s.applyCh <- reqs[i]
+	}
+	s.senders.Add(-1)
+	for _, r := range reqs {
+		res := <-r.done
+		switch {
+		case res.err != nil:
+			if err == nil {
+				err = res.err
+			}
+		default:
+			applied++
+			lastEpoch = res.epoch
+		}
+	}
+	return lastEpoch, applied, err
+}
+
+// observeArrival folds the gap since the previous mutation arrival
+// into the arrival-gap EWMA the adaptive commit interval compares
+// against the append duration. Lock-free and sloppy by design.
+func (s *Store) observeArrival() {
+	now := time.Now().UnixNano()
+	last := s.lastArrivalNS.Swap(now)
+	if last == 0 {
+		return
+	}
+	gap := now - last
+	if gap < 0 {
+		return
+	}
+	if gap > int64(maxAutoInterval)*8 {
+		// A long idle stretch is not an arrival rate; decay toward
+		// "slow arrivals" without letting one pause dominate forever.
+		gap = int64(maxAutoInterval) * 8
+	}
+	old := s.ewmaGapNS.Load()
+	s.ewmaGapNS.Store(old + (gap-old)/4)
 }
 
 // validateMutation checks m against the writer state overlaid with sh

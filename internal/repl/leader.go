@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -20,6 +21,11 @@ import (
 type Leader struct {
 	base string
 	hc   *http.Client
+	// termFn, when set, reports the forwarder's current term; each
+	// forward then claims it in the TermHeader, so a partitioned old
+	// leader self-demotes on the first post-partition forward instead
+	// of accepting a write onto its dead-end lineage.
+	termFn func() uint64
 }
 
 // NewLeader builds a mutation client for the leader at baseURL. A nil
@@ -34,6 +40,13 @@ func NewLeader(baseURL string, hc *http.Client) *Leader {
 
 // URL reports the leader base URL the client was built with.
 func (l *Leader) URL() string { return l.base }
+
+// WithTerm sets the callback reporting the forwarder's current term
+// and returns the client for chaining.
+func (l *Leader) WithTerm(fn func() uint64) *Leader {
+	l.termFn = fn
+	return l
+}
 
 // mutationReply mirrors the server's MutationResponse. Declared here
 // rather than imported: the server depends on repl for the wire codec,
@@ -131,11 +144,22 @@ func (l *Leader) do(method, path string, body any) (mutationReply, error) {
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if l.termFn != nil {
+		if term := l.termFn(); term > 0 {
+			req.Header.Set(TermHeader, strconv.FormatUint(term, 10))
+		}
+	}
 	resp, err := l.hc.Do(req)
 	if err != nil {
 		return mutationReply{}, fmt.Errorf("repl: forward %s %s: %w", method, path, err)
 	}
 	defer drainClose(resp.Body)
+	if resp.StatusCode == http.StatusPreconditionFailed {
+		// The forward target is fenced or demoted — it is not the
+		// leader (anymore). Surface a typed error so callers with a
+		// peer list can re-resolve the leader and retry.
+		return mutationReply{}, fmt.Errorf("repl: forward %s %s: %w", method, path, fencedError(resp))
+	}
 	if resp.StatusCode >= 300 {
 		var er errorReply
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))

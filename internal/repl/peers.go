@@ -1,0 +1,92 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// RoleInfo mirrors the server's GET /v1/cluster/role reply: which role
+// a node is playing, on which term, at which epoch. Clients use it to
+// find the writer; operators use it to watch a failover settle.
+type RoleInfo struct {
+	Role  string `json:"role"`
+	Term  uint64 `json:"term"`
+	Epoch uint64 `json:"epoch"`
+	// Leader is the upstream URL a follower is replicating from, empty
+	// on a leader. A resolving client can chase it when the follower's
+	// peer list is stale.
+	Leader string `json:"leader,omitempty"`
+}
+
+// ErrNoLeader reports that none of the polled peers claimed the leader
+// role.
+var ErrNoLeader = errors.New("repl: no reachable peer claims leader role")
+
+// FetchRole asks one node for its cluster role.
+func FetchRole(ctx context.Context, hc *http.Client, baseURL string) (RoleInfo, error) {
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	base := strings.TrimRight(baseURL, "/")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/cluster/role", nil)
+	if err != nil {
+		return RoleInfo{}, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return RoleInfo{}, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return RoleInfo{}, httpStatusError("role", resp)
+	}
+	var ri RoleInfo
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&ri); err != nil {
+		return RoleInfo{}, fmt.Errorf("repl: decode role reply: %w", err)
+	}
+	return ri, nil
+}
+
+// ResolveLeader polls every peer for its role and returns the URL of
+// the leader on the highest term — after a partition heals, both an
+// old leader (not yet fenced) and the promoted follower may claim the
+// role, and the term is exactly the tiebreaker the fencing protocol
+// provides. Unreachable peers are skipped; if no peer claims leader,
+// ErrNoLeader comes back wrapped with the last per-peer error (if any)
+// for diagnosis.
+func ResolveLeader(ctx context.Context, hc *http.Client, peers []string) (string, RoleInfo, error) {
+	var (
+		bestURL  string
+		best     RoleInfo
+		lastErr  error
+		anyAlive bool
+	)
+	for _, p := range peers {
+		if p == "" {
+			continue
+		}
+		ri, err := FetchRole(ctx, hc, p)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		anyAlive = true
+		if ri.Role == "leader" && (bestURL == "" || ri.Term > best.Term) {
+			bestURL = strings.TrimRight(p, "/")
+			best = ri
+		}
+	}
+	if bestURL == "" {
+		if lastErr != nil && !anyAlive {
+			return "", RoleInfo{}, fmt.Errorf("%w: %v", ErrNoLeader, lastErr)
+		}
+		return "", RoleInfo{}, ErrNoLeader
+	}
+	return bestURL, best, nil
+}

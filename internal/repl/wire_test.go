@@ -23,7 +23,7 @@ func sampleMutations() []live.Mutation {
 func TestTailRoundTrip(t *testing.T) {
 	in := sampleMutations()
 	var buf bytes.Buffer
-	if err := WriteTail(&buf, 7, 12, in); err != nil {
+	if err := WriteTail(&buf, 7, 12, 3, in); err != nil {
 		t.Fatal(err)
 	}
 	out, hdr, err := ReadTail(&buf)
@@ -50,7 +50,7 @@ func auth(in []live.Mutation) float64 { return *in[2].SetAuthority }
 
 func TestTailRoundTripEmpty(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteTail(&buf, 42, 42, nil); err != nil {
+	if err := WriteTail(&buf, 42, 42, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	out, hdr, err := ReadTail(&buf)
@@ -68,7 +68,7 @@ func TestTailRoundTripEmpty(t *testing.T) {
 func TestTailTorn(t *testing.T) {
 	in := sampleMutations()
 	var buf bytes.Buffer
-	if err := WriteTail(&buf, 0, uint64(len(in)), in); err != nil {
+	if err := WriteTail(&buf, 0, uint64(len(in)), 1, in); err != nil {
 		t.Fatal(err)
 	}
 	whole := buf.Bytes()
@@ -113,7 +113,7 @@ func TestTailNoHeader(t *testing.T) {
 
 func TestTailGarbageRecord(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteTail(&buf, 0, 2, sampleMutations()[:1]); err != nil {
+	if err := WriteTail(&buf, 0, 2, 0, sampleMutations()[:1]); err != nil {
 		t.Fatal(err)
 	}
 	buf.WriteString("{{{not json\n")
@@ -123,5 +123,102 @@ func TestTailGarbageRecord(t *testing.T) {
 	}
 	if len(out) != 1 {
 		t.Fatalf("%d records before the garbage, want 1", len(out))
+	}
+}
+
+// TestTailGroupsRoundTrip checks the batch-framed stream: commit-batch
+// boundaries survive the wire, empty groups are elided, and the term
+// rides the header.
+func TestTailGroupsRoundTrip(t *testing.T) {
+	in := sampleMutations()
+	groups := [][]live.Mutation{in[:2], nil, in[2:4], in[4:]}
+	var buf bytes.Buffer
+	if err := WriteTailGroups(&buf, 7, 12, 9, groups); err != nil {
+		t.Fatal(err)
+	}
+	out, hdr, err := ReadTailGroups(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Epoch != 12 || hdr.Term != 9 {
+		t.Fatalf("header %+v, want epoch 12 term 9", hdr)
+	}
+	want := [][]live.Mutation{in[:2], in[2:4], in[4:]}
+	if len(out) != len(want) {
+		t.Fatalf("%d groups out, want %d (empty group elided)", len(out), len(want))
+	}
+	for gi, g := range want {
+		if len(out[gi]) != len(g) {
+			t.Fatalf("group %d: %d records, want %d", gi, len(out[gi]), len(g))
+		}
+		for i := range g {
+			if out[gi][i].Op != g[i].Op || out[gi][i].U != g[i].U || out[gi][i].V != g[i].V {
+				t.Fatalf("group %d record %d: %+v != %+v", gi, i, out[gi][i], g[i])
+			}
+		}
+	}
+}
+
+// TestTailGroupsFlatFallback runs a plain (ungrouped) stream through
+// ReadTailGroups: an old leader ignoring groups=1 must decode as
+// singleton groups — same records, no error.
+func TestTailGroupsFlatFallback(t *testing.T) {
+	in := sampleMutations()
+	var buf bytes.Buffer
+	if err := WriteTail(&buf, 0, 5, 2, in); err != nil {
+		t.Fatal(err)
+	}
+	out, hdr, err := ReadTailGroups(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Term != 2 {
+		t.Fatalf("term %d, want 2", hdr.Term)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("%d groups from a flat stream, want %d singletons", len(out), len(in))
+	}
+	for i, g := range out {
+		if len(g) != 1 || g[0].Op != in[i].Op {
+			t.Fatalf("group %d: %+v, want singleton %+v", i, g, in[i])
+		}
+	}
+}
+
+// TestTailGroupsTorn cuts a grouped stream at every byte offset: the
+// reader must return only whole-record prefixes with ErrTruncatedTail,
+// never a phantom record, and a group cut mid-way keeps its complete
+// prefix (the follower re-polls from the tear; atomicity of the batch
+// is the applier's concern, not the codec's).
+func TestTailGroupsTorn(t *testing.T) {
+	in := sampleMutations()
+	groups := [][]live.Mutation{in[:3], in[3:]}
+	var buf bytes.Buffer
+	if err := WriteTailGroups(&buf, 0, uint64(len(in)), 1, groups); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	headerLen := bytes.IndexByte(whole, '\n') + 1
+
+	for cut := 0; cut < len(whole); cut++ {
+		out, _, err := ReadTailGroups(bytes.NewReader(whole[:cut]))
+		if cut <= headerLen {
+			if err == nil && cut < headerLen {
+				t.Fatalf("cut %d: torn header accepted", cut)
+			}
+			continue
+		}
+		if err != nil && !errors.Is(err, ErrTruncatedTail) {
+			t.Fatalf("cut %d: %v, want ErrTruncatedTail or nil", cut, err)
+		}
+		flat := 0
+		for gi, g := range out {
+			for _, m := range g {
+				if flat >= len(in) || m.Op != in[flat].Op {
+					t.Fatalf("cut %d group %d: unexpected record %+v", cut, gi, m)
+				}
+				flat++
+			}
+		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"authteam/internal/live"
 	"authteam/internal/obs"
 	"authteam/internal/oracle"
+	"authteam/internal/repl"
 	"authteam/internal/team"
 	"authteam/internal/transform"
 )
@@ -177,6 +179,9 @@ type httpError struct {
 	status   int
 	msg      string
 	location string
+	// term, when non-nil, is emitted as the X-Authteam-Term header so a
+	// fenced (412) reply tells the peer which term rejected it.
+	term *uint64
 }
 
 func errf(status int, format string, args ...any) *httpError {
@@ -823,6 +828,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func writeError(w http.ResponseWriter, herr *httpError) {
 	if herr.location != "" {
 		w.Header().Set("Location", herr.location)
+	}
+	if herr.term != nil {
+		w.Header().Set(repl.TermHeader, strconv.FormatUint(*herr.term, 10))
 	}
 	writeJSON(w, herr.status, errorResponse{Error: herr.msg})
 }

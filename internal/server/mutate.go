@@ -185,10 +185,18 @@ func (s *Server) mutationResponse(epoch uint64, id *expertgraph.NodeID) Mutation
 // mutationError maps live-store errors to HTTP statuses: unknown
 // nodes and edges are 404, a tombstoned node is 410 Gone (it existed,
 // and its ID will never come back), an already-existing edge is a 409
-// conflict, the remaining validation failures are 400, and anything
-// else (journal I/O) is a server fault.
+// conflict, a fenced store (demoted between dispatch and apply) is a
+// 412 carrying the fencing term, the remaining validation failures are
+// 400, and anything else (journal I/O) is a server fault.
 func mutationError(err error) *httpError {
 	switch {
+	case errors.Is(err, live.ErrFenced):
+		herr := errf(http.StatusPreconditionFailed, "%v", err)
+		var fe *live.FencedError
+		if errors.As(err, &fe) {
+			herr.term = &fe.Term
+		}
+		return herr
 	case errors.Is(err, live.ErrUnknownNode),
 		errors.Is(err, live.ErrUnknownEdge):
 		return errf(http.StatusNotFound, "%v", err)

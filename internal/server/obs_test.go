@@ -222,7 +222,7 @@ func TestReadyzFollowerLag(t *testing.T) {
 			from, _ := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
 			// A leader whose log the follower cannot drain: report
 			// the true epoch, ship nothing.
-			if err := repl.WriteTail(w, from, ls.store.Epoch(), nil); err != nil {
+			if err := repl.WriteTail(w, from, ls.store.Epoch(), 0, nil); err != nil {
 				t.Errorf("write tail: %v", err)
 			}
 			return

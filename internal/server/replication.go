@@ -24,6 +24,20 @@ import (
 // this node's epoch answers 409 — the follower is talking to a node
 // behind itself (a stale relay, or a leader restored from an old
 // backup) and must not apply anything from it.
+//
+// Term fencing (412 + X-Authteam-Term): a requester claiming a term
+// below ours AND asking from past our term boundary carries records of
+// a superseded lineage — serving it would splice divergent histories,
+// so it is fenced and told the current term (its follower loop demotes
+// its store). A requester claiming a term above ours proves that WE
+// are superseded: a leader self-demotes on the spot (split-brain
+// ends at the first post-partition request), and either way the reply
+// is a 412 carrying our own, lower term — which the requester reads as
+// "source is stale", not as a fence on itself.
+//
+// With `groups=1` the response frames the batch with group headers so
+// the follower applies it as one group commit (see repl wire docs);
+// old peers never ask and get the flat stream.
 
 // maxTailBatch caps the records of one tail response regardless of the
 // requested max, bounding the response a slow reader pins in memory.
@@ -63,12 +77,46 @@ func (s *Server) handleJournalTail(w http.ResponseWriter, r *http.Request) {
 	if wait > maxTailWait {
 		wait = maxTailWait
 	}
+
+	curTerm := s.store.Term()
+	if reqTerm := requestTerm(r); reqTerm != 0 {
+		switch {
+		case reqTerm > curTerm:
+			// The requester is on a newer lineage: this node is the
+			// stale one. A leader learns it was superseded right here —
+			// before it can feed anyone its dead-end records.
+			if s.role.Load() == roleLeader {
+				s.demoteSelf(reqTerm)
+			}
+			writeError(w, fencedErrf(curTerm,
+				"this node is on term %d, behind your term %d; it cannot serve your tail", curTerm, reqTerm))
+			return
+		case reqTerm < curTerm && from > s.store.TermStart():
+			// The requester's post-boundary history belongs to a
+			// superseded lineage; a tail from there would splice
+			// histories. (From at or below the boundary is shared
+			// prefix: serving it lets a lagging old-term follower adopt
+			// the new term organically from the records.)
+			s.fencedRequests.Add(1)
+			writeError(w, fencedErrf(curTerm,
+				"term %d was superseded by term %d at epoch %d; adopt the new lineage",
+				reqTerm, curTerm, s.store.TermStart()))
+			return
+		}
+	}
+
 	ctx, cancel := context.WithTimeout(r.Context(), wait)
 	defer cancel()
 
 	muts, epoch, terr := s.store.TailSince(ctx, from, max)
 	switch {
 	case terr == nil:
+	case errors.Is(terr, live.ErrFenced):
+		// A demoted store refuses to serve its superseded lineage.
+		s.fencedRequests.Add(1)
+		writeError(w, fencedErrf(s.store.Term(),
+			"this node was fenced by term %d and no longer serves the journal", s.store.Term()))
+		return
 	case errors.Is(terr, live.ErrCompactedEpoch):
 		s.tailCompacted.Add(1)
 		writeError(w, errf(http.StatusGone,
@@ -86,11 +134,29 @@ func (s *Server) handleJournalTail(w http.ResponseWriter, r *http.Request) {
 	// Past this point the stream is committed; a write failure tears
 	// the tail mid-record, which the follower-side codec treats as a
 	// disconnect (apply the prefix, re-poll), not corruption.
-	_ = repl.WriteTail(w, from, epoch, muts)
+	if q.Get("groups") != "" {
+		// Batch-aware framing: the whole tail batch is one group, so
+		// the follower lands it as a single group commit (one journal
+		// append + one epoch publish) instead of len(muts) of each.
+		var groups [][]live.Mutation
+		if len(muts) > 0 {
+			groups = [][]live.Mutation{muts}
+		}
+		_ = repl.WriteTailGroups(w, from, epoch, curTerm, groups)
+		return
+	}
+	_ = repl.WriteTail(w, from, epoch, curTerm, muts)
 }
 
 func (s *Server) handleJournalBase(w http.ResponseWriter, r *http.Request) {
 	s.baseRequests.Add(1)
+	if s.role.Load() == roleDemoted {
+		// A fenced node must not seed followers with superseded state.
+		s.fencedRequests.Add(1)
+		writeError(w, fencedErrf(s.store.Term(),
+			"this node was fenced by term %d and no longer serves base snapshots", s.store.Term()))
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	// Informational only (the stream itself carries the authoritative
 	// epoch); a fold racing this handler can make it lag by one.
@@ -106,9 +172,10 @@ func (s *Server) handleJournalBase(w http.ResponseWriter, r *http.Request) {
 // preserves the method and body, so a client that follows redirects
 // lands the same mutation on the leader unchanged.
 func (s *Server) redirectToLeader(w http.ResponseWriter, r *http.Request) {
+	leader := s.currentLeaderURL()
 	herr := errf(http.StatusTemporaryRedirect,
-		"this node is a read replica; mutations go to the leader at %s", s.cfg.FollowURL)
-	herr.location = s.cfg.FollowURL + r.URL.RequestURI()
+		"this node is a read replica; mutations go to the leader at %s", leader)
+	herr.location = leader + r.URL.RequestURI()
 	writeError(w, herr)
 }
 
@@ -140,11 +207,11 @@ func (s *Server) ensureMinEpoch(r *http.Request) *httpError {
 	if s.store.WaitEpoch(ctx, min) {
 		return nil
 	}
-	if s.cfg.FollowURL != "" {
+	if leader := s.currentLeaderURL(); s.role.Load() == roleFollower && leader != "" {
 		herr := errf(http.StatusTemporaryRedirect,
 			"replica is at epoch %d, read requires %d; retry at the leader %s",
-			s.store.Epoch(), min, s.cfg.FollowURL)
-		herr.location = s.cfg.FollowURL + r.URL.RequestURI()
+			s.store.Epoch(), min, leader)
+		herr.location = leader + r.URL.RequestURI()
 		return herr
 	}
 	return errf(http.StatusConflict,
@@ -154,8 +221,13 @@ func (s *Server) ensureMinEpoch(r *http.Request) *httpError {
 
 // ReplicationStats is the replication section of the /stats payload.
 type ReplicationStats struct {
-	// Role is "leader" or "follower".
+	// Role is "leader", "follower", "promoting" or "demoted" — the live
+	// cluster role, not the boot-time configuration.
 	Role string `json:"role"`
+	// Term and TermStart are the store's fencing token and the epoch
+	// its lineage began at.
+	Term      uint64 `json:"term"`
+	TermStart uint64 `json:"term_start"`
 	// Leader is the followed base URL (follower only).
 	Leader string `json:"leader,omitempty"`
 	// Follower reports the apply loop (follower only).
@@ -164,18 +236,25 @@ type ReplicationStats struct {
 	TailRequests  uint64 `json:"tail_requests"`
 	TailCompacted uint64 `json:"tail_compacted"`
 	BaseRequests  uint64 `json:"base_requests"`
+	// Cluster-role transitions and fences witnessed by this node.
+	Promotions     uint64 `json:"promotions"`
+	FencedRequests uint64 `json:"fenced_requests"`
 }
 
 func (s *Server) replicationStats() ReplicationStats {
+	role := s.role.Load()
 	rs := ReplicationStats{
-		Role:          "leader",
-		TailRequests:  s.tailRequests.Load(),
-		TailCompacted: s.tailCompacted.Load(),
-		BaseRequests:  s.baseRequests.Load(),
+		Role:           roleName(role),
+		Term:           s.store.Term(),
+		TermStart:      s.store.TermStart(),
+		TailRequests:   s.tailRequests.Load(),
+		TailCompacted:  s.tailCompacted.Load(),
+		BaseRequests:   s.baseRequests.Load(),
+		Promotions:     s.promotions.Load(),
+		FencedRequests: s.fencedRequests.Load(),
 	}
-	if s.follower != nil {
-		rs.Role = "follower"
-		rs.Leader = s.cfg.FollowURL
+	if role == roleFollower {
+		rs.Leader = s.currentLeaderURL()
 		fs := s.follower.Stats()
 		rs.Follower = &fs
 	}

@@ -117,6 +117,12 @@ type Config struct {
 	// fsyncs under JournalSync at the cost of per-op latency. 0 (the
 	// default) commits as soon as the queue drains.
 	CommitInterval time.Duration
+	// CommitAuto replaces the fixed CommitInterval with an adaptive
+	// straggler window: the committer opens a batching window only
+	// while journal appends are slower than mutation arrivals (fsync is
+	// the bottleneck), and otherwise commits immediately. Overrides
+	// CommitInterval when set.
+	CommitAuto bool
 	// CacheCompactFactor scales the result cache's per-epoch key-list
 	// compaction threshold (sweep at factor×CacheSize dead keys; < 1
 	// means the default of 2). Larger factors sweep less often at the
@@ -226,8 +232,19 @@ type Server struct {
 	// Config.CompactInterval and JournalPath are set).
 	compactor *live.Compactor
 	// follower is the replication apply loop (nil unless
-	// Config.FollowURL is set).
+	// Config.FollowURL is set). It survives promotion as a stopped
+	// loop; role, not this pointer, decides how requests are served.
 	follower *live.Follower
+	// role is the cluster-role state machine (cluster.go); leaderURL is
+	// the follower's current upstream ("" once promoted). promoteMu
+	// serializes the promote/demote transitions.
+	role       atomic.Int32
+	leaderURL  atomic.Value // string
+	promoteMu  sync.Mutex
+	promotions atomic.Uint64
+	// fencedRequests counts requests refused (or a leadership lost)
+	// because a peer proved a newer term.
+	fencedRequests atomic.Uint64
 	// Replication-serving counters (leader side of the log).
 	tailRequests  atomic.Uint64
 	tailCompacted atomic.Uint64
@@ -327,6 +344,7 @@ func New(cfg Config) (*Server, error) {
 		MemoEvery:        cfg.MemoEvery,
 		CommitBatch:      cfg.CommitBatch,
 		CommitInterval:   cfg.CommitInterval,
+		CommitAuto:       cfg.CommitAuto,
 		Metrics:          storeReg,
 	})
 	if err != nil {
@@ -348,6 +366,39 @@ func New(cfg Config) (*Server, error) {
 		lambda:  0.6,
 		params:  make(map[paramsKey]*transform.Params),
 		flights: make(map[string]chan struct{}),
+	}
+	// Boot-time role: FollowURL makes a follower, otherwise a leader —
+	// unless the journal replayed a persisted fence, in which case the
+	// node restarts demoted: its store would 412 every write anyway, so
+	// advertising leadership (and readiness) would only send clients to
+	// a dead lineage. From here on the role atomic — not the config —
+	// drives request dispatch, so a promotion can flip the node while
+	// it serves.
+	s.leaderURL.Store(cfg.FollowURL)
+	switch {
+	case store.Fenced():
+		s.role.Store(roleDemoted)
+	case cfg.FollowURL != "":
+		s.role.Store(roleFollower)
+	default:
+		s.role.Store(roleLeader)
+	}
+	if s.observe {
+		// The cluster family is exported on every role: a dashboard
+		// watches the same four series through a failover instead of
+		// series appearing and vanishing with the role.
+		reg.GaugeFunc("authteam_cluster_term",
+			"Current fencing term of the local store.",
+			func() float64 { return float64(s.store.Term()) })
+		reg.GaugeFunc("authteam_cluster_role",
+			"Cluster role code: 0 leader, 1 follower, 2 promoting, 3 demoted.",
+			func() float64 { return float64(s.role.Load()) })
+		reg.CounterFunc("authteam_cluster_promotions_total",
+			"Follower-to-leader promotions completed by this node.",
+			func() float64 { return float64(s.promotions.Load()) })
+		reg.CounterFunc("authteam_cluster_fenced_total",
+			"Requests refused (or leaderships lost) because a peer proved a newer term.",
+			func() float64 { return float64(s.fencedRequests.Load()) })
 	}
 	if s.observe {
 		s.httpReqs = reg.CounterVec("authteam_http_requests_total",
@@ -411,7 +462,11 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	if cfg.FollowURL != "" {
-		src := repl.NewHTTPSource(cfg.FollowURL, nil).Instrument(storeReg)
+		// The source claims this store's term on every tail, so a
+		// superseded upstream fences us (and we stop, demoted) instead
+		// of feeding us a stale lineage; group framing lets a whole
+		// upstream batch land as one local group commit.
+		src := repl.NewHTTPSource(cfg.FollowURL, nil).WithTerm(store.Term).Instrument(storeReg)
 		s.follower = live.StartFollower(store, src, live.FollowerConfig{
 			PollTimeout: cfg.FollowPoll,
 		})
@@ -539,28 +594,24 @@ func (s *Server) Handler() http.Handler {
 	}
 	route("POST /v1/discover", "discover", s.handleDiscover)
 	route("POST /v1/discover/batch", "batch", s.handleBatch)
-	if s.cfg.FollowURL == "" {
-		route("POST /v1/graph/nodes", "add_node", s.handleAddNode)
-		route("POST /v1/graph/edges", "add_edge", s.handleAddEdge)
-		route("PATCH /v1/graph/nodes/{id}", "update_node", s.handleUpdateNode)
-		route("DELETE /v1/graph/nodes/{id}", "remove_node", s.handleRemoveNode)
-		route("DELETE /v1/graph/edges", "remove_edge", s.handleRemoveEdge)
-		route("PATCH /v1/graph/edges", "update_edge", s.handleUpdateEdge)
-	} else {
-		// A follower's store is owned by the replication loop; local
-		// writes would fork the history. Same routes, but every one
-		// points the client at the writer.
-		route("POST /v1/graph/nodes", "redirect", s.redirectToLeader)
-		route("POST /v1/graph/edges", "redirect", s.redirectToLeader)
-		route("PATCH /v1/graph/nodes/{id}", "redirect", s.redirectToLeader)
-		route("DELETE /v1/graph/nodes/{id}", "redirect", s.redirectToLeader)
-		route("DELETE /v1/graph/edges", "redirect", s.redirectToLeader)
-		route("PATCH /v1/graph/edges", "redirect", s.redirectToLeader)
-	}
+	// Mutation routes are wired once and dispatch on the live role: a
+	// leader applies locally, a follower 307s to the writer, a demoted
+	// node answers the fence. A follower's store is owned by its
+	// replication loop — local writes would fork the history — which is
+	// exactly what the dispatch (and under it, the store's own fencing)
+	// prevents.
+	route("POST /v1/graph/nodes", "add_node", s.dispatchMutation(s.handleAddNode))
+	route("POST /v1/graph/edges", "add_edge", s.dispatchMutation(s.handleAddEdge))
+	route("PATCH /v1/graph/nodes/{id}", "update_node", s.dispatchMutation(s.handleUpdateNode))
+	route("DELETE /v1/graph/nodes/{id}", "remove_node", s.dispatchMutation(s.handleRemoveNode))
+	route("DELETE /v1/graph/edges", "remove_edge", s.dispatchMutation(s.handleRemoveEdge))
+	route("PATCH /v1/graph/edges", "update_edge", s.dispatchMutation(s.handleUpdateEdge))
 	// The replication log is served by every node, not just leaders, so
 	// a follower can itself fan out to more followers (relay trees).
 	route("GET /v1/journal/tail", "journal_tail", s.handleJournalTail)
 	route("GET /v1/journal/base", "journal_base", s.handleJournalBase)
+	route("GET /v1/cluster/role", "cluster_role", s.handleClusterRole)
+	route("POST /v1/cluster/promote", "cluster_promote", s.handleClusterPromote)
 	route("GET /healthz", "healthz", s.handleHealthz)
 	route("GET /stats", "stats", s.handleStats)
 	// The observability surface itself is deliberately uninstrumented:
@@ -596,13 +647,17 @@ type ReadyzResponse struct {
 	LagSeconds  float64 `json:"lag_seconds,omitempty"`
 }
 
-// handleReadyz answers the lag-aware readiness probe: a leader is
-// ready while it serves; a follower is ready while its replication
-// loop runs and its lag is inside the configured thresholds.
+// handleReadyz answers the lag-aware readiness probe, following the
+// cluster role live: a leader is ready while it serves; a follower is
+// ready while its replication loop runs and its lag is inside the
+// configured thresholds; a node mid-promotion or fenced out of the
+// lineage is not ready (the balancer must stop routing to it even
+// though its snapshot reads still work).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	resp := ReadyzResponse{Ready: true, Role: "leader", Epoch: s.store.Epoch()}
-	if s.follower != nil {
-		resp.Role = "follower"
+	role := s.role.Load()
+	resp := ReadyzResponse{Ready: true, Role: roleName(role), Epoch: s.store.Epoch()}
+	switch role {
+	case roleFollower:
 		st := s.follower.Stats()
 		resp.LeaderEpoch = st.LeaderEpoch
 		resp.LagEpochs = st.Lag
@@ -618,6 +673,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			resp.Ready = false
 			resp.Reason = fmt.Sprintf("stale for %.1fs, threshold %s", st.LagSeconds, s.cfg.ReadyMaxLag)
 		}
+	case rolePromoting:
+		resp.Ready = false
+		resp.Reason = "promotion in progress"
+	case roleDemoted:
+		resp.Ready = false
+		resp.Reason = fmt.Sprintf("fenced by term %d; no longer part of the serving lineage", s.store.Term())
 	}
 	code := http.StatusOK
 	if !resp.Ready {

@@ -265,6 +265,12 @@ func main() {
 		"authteam_index_rebuild_queue_depth",
 		"authteam_index_rebuild_workers",
 		"authteam_cache_hits_total",
+		// Cluster-role families are exported on every role so a
+		// dashboard can watch a node move through the state machine.
+		"authteam_cluster_term",
+		"authteam_cluster_role",
+		"authteam_cluster_promotions_total",
+		"authteam_cluster_fenced_total",
 	}
 	lf := scrape("leader", lURL+"/metrics")
 	requireFamilies("leader", lf, coreFamilies...)
@@ -293,5 +299,51 @@ func main() {
 	checkReadyz("leader", lURL)
 	checkReadyz("follower", fURL)
 
-	fmt.Println("obssmoke: OK — exposition well-formed on leader, follower and debug listener; trace spans partition totals; readiness green")
+	// Failover drill: promote the follower and verify the role flip is
+	// visible end to end — /v1/cluster/role, a locally-applied
+	// mutation, and the cluster gauges on /metrics.
+	status, data := postJSON(fURL+"/v1/cluster/promote", "{}")
+	if status != http.StatusOK {
+		fail("promote follower: %d: %s", status, data)
+	}
+	var ri struct {
+		Role string `json:"role"`
+		Term uint64 `json:"term"`
+	}
+	roleResp, err := http.Get(fURL + "/v1/cluster/role")
+	if err != nil {
+		fail("promoted role: %v", err)
+	}
+	if err := json.NewDecoder(roleResp.Body).Decode(&ri); err != nil {
+		fail("decode promoted role: %v", err)
+	}
+	roleResp.Body.Close()
+	if ri.Role != "leader" || ri.Term != 1 {
+		fail("promoted node reports %+v, want leader at term 1", ri)
+	}
+	if status, data := postJSON(fURL+"/v1/graph/nodes",
+		fmt.Sprintf(`{"name": "post-promotion", "authority": 5, "skills": [%q]}`, skills[0])); status != http.StatusCreated {
+		fail("promoted node: local mutation: %d: %s", status, data)
+	}
+	pf := scrape("promoted", fURL+"/metrics")
+	requireFamilies("promoted", pf, coreFamilies...)
+	gauge := func(name string) float64 {
+		fam, ok := pf[name]
+		if !ok || len(fam.Samples) == 0 {
+			fail("promoted: %s missing a sample", name)
+		}
+		return fam.Samples[0].Value
+	}
+	if v := gauge("authteam_cluster_term"); v != 1 {
+		fail("promoted: cluster_term = %v, want 1", v)
+	}
+	if v := gauge("authteam_cluster_role"); v != 0 {
+		fail("promoted: cluster_role = %v, want 0 (leader)", v)
+	}
+	if v := gauge("authteam_cluster_promotions_total"); v != 1 {
+		fail("promoted: cluster_promotions_total = %v, want 1", v)
+	}
+	checkReadyz("promoted", fURL)
+
+	fmt.Println("obssmoke: OK — exposition well-formed on leader, follower and debug listener; trace spans partition totals; readiness green; promotion flips role, term and gauges")
 }
