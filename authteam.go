@@ -252,9 +252,15 @@ type Client struct {
 	// Options.Follow is set): follower is the background apply loop
 	// pulling the leader's log, leader forwards this client's
 	// mutations. leader is behind an atomic pointer because failover
-	// (Options.Peers) repoints it while mutators run.
-	follower *live.Follower
-	leader   atomic.Pointer[repl.Leader]
+	// (Options.Peers) repoints it while mutators run; follower is
+	// guarded by followMu because failover restarts it too (refollow),
+	// and Close must not race a restart. followClosed marks the client
+	// shut down so a late refollow cannot start a loop on a closed
+	// store.
+	leader       atomic.Pointer[repl.Leader]
+	followMu     sync.Mutex
+	follower     *live.Follower
+	followClosed bool
 
 	mu sync.Mutex
 	st *clientState
@@ -328,8 +334,11 @@ func New(g *Graph, opt Options) (*Client, error) {
 // rejects the mutation as fenced/demoted or is unreachable and a peer
 // list is configured, the client re-resolves the leader (highest term
 // claiming the role wins) and retries exactly once. A successful retry
-// repoints the client so later mutations go straight to the new
-// leader.
+// repoints the whole client at the new leader: later mutations forward
+// straight to it, and the replication tail is restarted against it too
+// (refollow) — leaving the follower on the dead leader would freeze
+// local reads and fail every read-your-writes wait with
+// ErrReplicationLag forever.
 func (c *Client) forward(do func(l *repl.Leader) (uint64, error)) (uint64, error) {
 	epoch, err := do(c.leader.Load())
 	if err == nil || len(c.opt.Peers) == 0 || !failoverWorthy(err) {
@@ -345,8 +354,29 @@ func (c *Client) forward(do func(l *repl.Leader) (uint64, error)) (uint64, error
 	epoch, err = do(nl)
 	if err == nil {
 		c.leader.Store(nl)
+		c.refollow(url)
 	}
 	return epoch, err
+}
+
+// refollow restarts the replication tail against the leader a
+// successful failover resolved. The old loop is stopped (it may
+// already have stopped itself: its first contact with the demoted old
+// leader fences the local store) and a fresh one started on the new
+// source. If the store was fenced in the meantime, the new loop's
+// bootstrap resyncs it wholesale — AdoptBase of the new lineage's
+// base, which discards the divergent suffix and clears the fence — so
+// the client fully rejoins the cluster instead of serving frozen state.
+func (c *Client) refollow(url string) {
+	c.followMu.Lock()
+	defer c.followMu.Unlock()
+	if c.followClosed || c.follower == nil {
+		return
+	}
+	c.follower.Stop()
+	c.follower = live.StartFollower(c.store, repl.NewHTTPSource(url, nil).WithTerm(c.store.Term), live.FollowerConfig{
+		PollTimeout: c.opt.FollowPoll,
+	})
 }
 
 // failoverWorthy reports whether a forward failure can plausibly be
@@ -375,8 +405,12 @@ func (c *Client) state() (*clientState, error) {
 	for {
 		// A state at least as new as the query's admission epoch is a
 		// valid consistent view (read-your-writes holds; a refresher
-		// may legitimately have moved past `want`).
-		if c.st != nil && c.st.snap.Epoch() >= want {
+		// may legitimately have moved past `want`). A state *ahead* of
+		// the store's current epoch is the one exception: the store was
+		// rewound by a failover resync (AdoptBase discarding a fenced
+		// suffix), so the derived state belongs to the dead lineage and
+		// must be rebuilt.
+		if c.st != nil && c.st.snap.Epoch() >= want && c.st.snap.Epoch() <= c.store.Epoch() {
 			st := c.st
 			c.mu.Unlock()
 			return st, nil
@@ -509,8 +543,12 @@ func (c *Client) LogLen() int { return c.store.LogLen() }
 // further mutations fail with ErrClosed. The follower stops first —
 // its apply loop writes through the store being shut down.
 func (c *Client) Close() error {
-	if c.follower != nil {
-		c.follower.Stop()
+	c.followMu.Lock()
+	c.followClosed = true
+	f := c.follower
+	c.followMu.Unlock()
+	if f != nil {
+		f.Stop()
 	}
 	if c.compactor != nil {
 		c.compactor.Stop()
@@ -526,13 +564,17 @@ func (c *Client) WaitEpoch(ctx context.Context, epoch uint64) bool {
 	return c.store.WaitEpoch(ctx, epoch)
 }
 
-// FollowerStats reports the replication apply loop; ok is false on a
-// standalone (non-following) client.
+// FollowerStats reports the replication apply loop (the current one,
+// after a failover restarted it); ok is false on a standalone
+// (non-following) client.
 func (c *Client) FollowerStats() (live.FollowerStats, bool) {
-	if c.follower == nil {
+	c.followMu.Lock()
+	f := c.follower
+	c.followMu.Unlock()
+	if f == nil {
 		return live.FollowerStats{}, false
 	}
-	return c.follower.Stats(), true
+	return f.Stats(), true
 }
 
 // awaitEpoch is the read-your-writes tail of a forwarded mutation:

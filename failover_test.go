@@ -37,10 +37,11 @@ func waitPeerEpoch(t *testing.T, url string, target uint64) {
 // TestClientFailover exercises the peer-list failover of an embedded
 // following client: when its leader is fenced out of the lineage (or
 // simply dead), a mutation re-resolves the leader from Options.Peers —
-// the node claiming the role on the highest term — retries there, and
-// repoints. The local replica still tails the dead leader, so the
-// read-your-writes wait reports replication lag; the writes themselves
-// land durably on the survivor.
+// the node claiming the role on the highest term — retries there,
+// repoints the forwarder AND restarts the local replication loop
+// against the survivor. The local replica resyncs onto the surviving
+// lineage, so read-your-writes settles and every later write is fully
+// acknowledged — no permanent ErrReplicationLag, no frozen reads.
 func TestClientFailover(t *testing.T) {
 	g := liveBase(t)
 	as, err := server.New(server.Config{Graph: g, Workers: 2})
@@ -63,7 +64,7 @@ func TestClientFailover(t *testing.T) {
 		Follow:     ats.URL,
 		Peers:      []string{ats.URL, bts.URL},
 		FollowPoll: 100 * time.Millisecond,
-		FollowWait: 300 * time.Millisecond,
+		FollowWait: 5 * time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -91,19 +92,33 @@ func TestClientFailover(t *testing.T) {
 	}
 
 	// The client's next mutation bounces off fenced A, re-resolves the
-	// leader from the peer list, and lands on B. The local replica is
-	// stuck on the dead lineage, so read-your-writes times out as lag —
-	// the documented contract for a not-yet-repointed replica.
-	if _, err := c.AddExpert("post", 4, "ml"); !errors.Is(err, authteam.ErrReplicationLag) {
-		t.Fatalf("failover write: %v, want ErrReplicationLag (durable at survivor)", err)
+	// leader from the peer list, lands on B, and restarts the local
+	// replication loop against B. The restarted loop finds the local
+	// store fenced, resyncs from B's base onto the surviving lineage,
+	// and catches up — so read-your-writes settles and the write is
+	// fully acknowledged.
+	if _, err := c.AddExpert("post", 4, "ml"); err != nil {
+		t.Fatalf("failover write: %v, want full recovery", err)
 	}
 	waitPeerEpoch(t, bts.URL, 2)
 
-	// Repointed: the follow-up mutation goes straight to B.
-	if err := c.AddCollaboration(0, 2, 0.7); !errors.Is(err, authteam.ErrReplicationLag) {
-		t.Fatalf("post-failover write: %v, want ErrReplicationLag", err)
+	// Repointed: the follow-up mutation goes straight to B and the
+	// already-resynced replica confirms it without drama.
+	if err := c.AddCollaboration(0, 2, 0.7); err != nil {
+		t.Fatalf("post-failover write: %v", err)
 	}
 	waitPeerEpoch(t, bts.URL, 3)
+
+	// The replica recovered for real: the loop is running against the
+	// survivor, the fence is gone, and the local epoch reached the
+	// surviving lineage's head (awaitEpoch already proved this for each
+	// write; pin it explicitly).
+	if fs, ok := c.FollowerStats(); !ok || !fs.Running {
+		t.Fatalf("follower after failover: ok=%v stats=%+v, want running", ok, fs)
+	}
+	if got := c.Epoch(); got < 3 {
+		t.Fatalf("client epoch after failover: %d, want >= 3", got)
+	}
 
 	// Transport-level failover: a client whose leader is simply gone
 	// takes the same path off a *url.Error.
@@ -113,14 +128,14 @@ func TestClientFailover(t *testing.T) {
 		Follow:     ats.URL,
 		Peers:      []string{ats.URL, bts.URL},
 		FollowPoll: 100 * time.Millisecond,
-		FollowWait: 300 * time.Millisecond,
+		FollowWait: 5 * time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	if _, err := c2.AddExpert("late", 3, "networks"); !errors.Is(err, authteam.ErrReplicationLag) {
-		t.Fatalf("dead-leader write: %v, want ErrReplicationLag", err)
+	if _, err := c2.AddExpert("late", 3, "networks"); err != nil {
+		t.Fatalf("dead-leader write: %v, want full recovery", err)
 	}
 	waitPeerEpoch(t, bts.URL, 4)
 

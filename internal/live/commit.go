@@ -1,6 +1,7 @@
 package live
 
 import (
+	"fmt"
 	"log/slog"
 	"sort"
 	"time"
@@ -45,7 +46,18 @@ type applyReq struct {
 	newID expertgraph.NodeID // assigned by validation (add_node)
 	err   error              // validation failure, settled per-op
 	done  chan applyResult   // buffered(1): the committer never blocks
+	// group, when non-nil, marks the op as part of an all-or-nothing
+	// run (ApplyGroup): the first validation failure of any member
+	// aborts every not-yet-committed member, so a replicated batch can
+	// never land a suffix at shifted-down epochs past a dropped record.
+	// Touched only by the single committer goroutine.
+	group *commitGroup
 }
+
+// commitGroup is the shared abort flag of one ApplyGroup run. err is
+// the first member failure; once set, every member in the same or a
+// later batch is refused instead of committed.
+type commitGroup struct{ err error }
 
 type applyResult struct {
 	id    expertgraph.NodeID
@@ -157,27 +169,55 @@ func (s *Store) commitBatch(batch []*applyReq) {
 	// term, a replicated record keeps the term it was minted under, and
 	// a record minted under an *older* term than ours is a deposed
 	// leader's write — fenced.
+	//
+	// Grouped ops (ApplyGroup) are all-or-nothing within the batch: the
+	// first failure marks the group and validation restarts with every
+	// member excluded, so members staged *before* the failure are
+	// un-staged too — nothing of a failed group reaches the journal, and
+	// a replicated run can never commit records at epochs shifted down
+	// by a dropped one. Each restart permanently fails one more group,
+	// so the loop is bounded by the number of groups in the batch.
 	curTerm := s.term.Load()
-	sh := s.newBatchShadow()
 	staged := make([]*applyReq, 0, len(batch))
 	ms := make([]Mutation, 0, len(batch))
+	for {
+		sh := s.newBatchShadow()
+		staged, ms = staged[:0], ms[:0]
+		restart := false
+		for _, r := range batch {
+			if r.group != nil && r.group.err != nil {
+				continue // settled after the loop with the group error
+			}
+			r.err = nil
+			if r.m.Term != 0 && r.m.Term < curTerm {
+				r.err = &FencedError{Term: curTerm}
+			} else {
+				var id expertgraph.NodeID
+				if id, r.err = s.validateMutation(&r.m, sh, true); r.err == nil {
+					if r.m.Term == 0 {
+						r.m.Term = curTerm
+					}
+					r.newID = id
+					sh.stage(r.m)
+					staged = append(staged, r)
+					ms = append(ms, r.m)
+					continue
+				}
+			}
+			if r.group != nil {
+				r.group.err = r.err
+				restart = true
+				break
+			}
+		}
+		if !restart {
+			break
+		}
+	}
 	for _, r := range batch {
-		if r.m.Term != 0 && r.m.Term < curTerm {
-			r.err = &FencedError{Term: curTerm}
-			continue
+		if r.group != nil && r.group.err != nil && r.err == nil {
+			r.err = fmt.Errorf("live: record aborted with its group: %w", r.group.err)
 		}
-		id, err := s.validateMutation(&r.m, sh, true)
-		if err != nil {
-			r.err = err
-			continue
-		}
-		if r.m.Term == 0 {
-			r.m.Term = curTerm
-		}
-		r.newID = id
-		sh.stage(r.m)
-		staged = append(staged, r)
-		ms = append(ms, r.m)
 	}
 
 	// Phase 2: one journal record group for the whole batch

@@ -95,6 +95,13 @@ func (s *Store) TailSince(ctx context.Context, from uint64, max int) ([]Mutation
 // current lineage at a prefix of it, whatever term that prefix was
 // originally written under.
 func (s *Store) WriteBaseTo(w io.Writer) (uint64, error) {
+	if s.fenced.Load() {
+		// A demoted store's base may already contain folded records of
+		// the superseded suffix; an adopter would take them for the
+		// winning lineage (AdoptBase clears its fence) and re-introduce
+		// exactly the split-brain splice the fence prevented.
+		return 0, &FencedError{Term: s.term.Load()}
+	}
 	sn := s.Snapshot()
 	if err := WriteBaseStream(w, sn.base, sn.baseEpoch, s.term.Load()); err != nil {
 		return 0, err
@@ -118,6 +125,11 @@ func (s *Store) WriteBaseTo(w io.Writer) (uint64, error) {
 // just discarded. term 0 (an in-process source predating fencing)
 // leaves the term state alone.
 //
+// The adopted epoch must not be behind the store — with one exception:
+// a *fenced* store adopting the surviving lineage (term at least its
+// own) may rewind, because its suffix past the fence is divergent
+// history whose wholesale discard is the entire point of the resync.
+//
 // History does not bridge an adoption: prevLog is dropped, so
 // MutationsSince refuses epochs below the adopted one and resident
 // 2-hop covers anchored before it are rebuilt, not silently repaired
@@ -131,11 +143,14 @@ func (s *Store) AdoptBase(g *expertgraph.Graph, epoch, term uint64) error {
 		s.mu.Unlock()
 		return ErrClosed
 	}
-	if cur := s.snap.Load().epoch; epoch < cur {
+	ts := termState{term: s.term.Load(), termStart: s.termStart.Load(), fenced: s.fenced.Load()}
+	// Demote and Promote hold compactMu too, so the fence decision is
+	// stable for the rest of the call.
+	rewind := ts.fenced && term >= ts.term
+	if cur := s.snap.Load().epoch; epoch < cur && !rewind {
 		s.mu.Unlock()
 		return fmt.Errorf("live: adopt base at epoch %d behind store epoch %d", epoch, cur)
 	}
-	ts := termState{term: s.term.Load(), termStart: s.termStart.Load(), fenced: s.fenced.Load()}
 	if term > ts.term {
 		ts.term, ts.termStart = term, epoch
 	}
@@ -170,7 +185,7 @@ func (s *Store) AdoptBase(g *expertgraph.Graph, epoch, term uint64) error {
 		}
 		return ErrClosed
 	}
-	if cur := s.snap.Load().epoch; epoch < cur {
+	if cur := s.snap.Load().epoch; epoch < cur && !rewind {
 		if staged != nil {
 			staged.abort()
 		}
@@ -266,6 +281,11 @@ func (ss storeSource) TailGroups(ctx context.Context, from uint64, max int) ([][
 }
 
 func (ss storeSource) Base(context.Context) (*expertgraph.Graph, uint64, uint64, error) {
+	if ss.s.fenced.Load() {
+		// Same rule as WriteBaseTo: a fenced store must not seed
+		// adopters with its superseded lineage.
+		return nil, 0, 0, &FencedError{Term: ss.s.term.Load()}
+	}
 	sn := ss.s.Snapshot()
 	return sn.base, sn.baseEpoch, ss.s.term.Load(), nil
 }
@@ -446,8 +466,12 @@ func (f *Follower) loop(ctx context.Context) {
 	// that apply on top of the source's base graph — which an empty
 	// local store does not have. An already-seeded store (journal
 	// replayed, or opened over the leader's graph file) skips this and
-	// resumes from its own epoch.
-	if f.store.Epoch() == 0 && f.store.Snapshot().NumNodes() == 0 {
+	// resumes from its own epoch. A *fenced* store — demoted out of its
+	// old lineage, restarted against the surviving one (client failover)
+	// — must also resync wholesale: its suffix diverged, and AdoptBase
+	// of the new lineage's base is what discards it and clears the
+	// fence; incremental tailing would be refused (and wrong) anyway.
+	if f.store.Fenced() || (f.store.Epoch() == 0 && f.store.Snapshot().NumNodes() == 0) {
 		for {
 			select {
 			case <-f.stop:
@@ -594,9 +618,12 @@ func (f *Follower) adoptBase(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("live: follower: fetch base: %w", err)
 	}
-	if epoch < f.store.Epoch() {
+	if epoch < f.store.Epoch() && !f.store.Fenced() {
 		// Tail said our epoch predates the window, so the source's base
 		// must be ahead of us; anything else is two sources talking.
+		// (A fenced store is the exception: resyncing onto the surviving
+		// lineage may legitimately rewind past its divergent suffix —
+		// AdoptBase enforces the term condition.)
 		return fmt.Errorf("live: follower: fetched base at epoch %d behind local epoch %d", epoch, f.store.Epoch())
 	}
 	if err := f.store.AdoptBase(g, epoch, term); err != nil {

@@ -861,6 +861,13 @@ func (s *Store) Apply(m Mutation) (expertgraph.NodeID, uint64, error) {
 // other writers if the caller needs the run to be contiguous (a
 // replication follower is the intended caller, and its store has no
 // other writers by contract).
+//
+// The run fails closed on divergence: the first record to fail
+// validation aborts every record sharing its commit batch and every
+// later one, so nothing past the failure is committed — the store is
+// left at a clean prefix boundary (a run longer than the committer's
+// batch cap may have durably committed whole earlier batches), never
+// with a suffix journaled at epochs shifted down by a dropped record.
 func (s *Store) ApplyGroup(ms []Mutation) (lastEpoch uint64, applied int, err error) {
 	if len(ms) == 0 {
 		return s.Epoch(), 0, nil
@@ -873,9 +880,10 @@ func (s *Store) ApplyGroup(ms []Mutation) (lastEpoch uint64, applied int, err er
 		s.senders.Add(-1)
 		return 0, 0, ErrClosed
 	}
+	grp := &commitGroup{}
 	reqs := make([]*applyReq, len(ms))
 	for i := range ms {
-		reqs[i] = &applyReq{m: ms[i], done: make(chan applyResult, 1)}
+		reqs[i] = &applyReq{m: ms[i], done: make(chan applyResult, 1), group: grp}
 		s.applyCh <- reqs[i]
 	}
 	s.senders.Add(-1)

@@ -44,7 +44,30 @@ func roleName(code int32) string {
 }
 
 // Role reports the server's current cluster role.
-func (s *Server) Role() string { return roleName(s.role.Load()) }
+func (s *Server) Role() string { return roleName(s.syncRole()) }
+
+// syncRole reconciles the role atomic with the store's fence and
+// returns the current role. The store can be demoted out-of-band —
+// most importantly by the follower loop, which fences the store and
+// exits when its source proves a newer lineage, without ever touching
+// the server — so every role-sensitive path reads the role through
+// here: a fenced store IS a demoted node, whatever the atomic last
+// said. Without this, a loop-fenced follower would keep role=follower
+// forever and, crucially, keep serving /v1/journal/base — seeding
+// downstream followers with its divergent suffix stamped under the
+// new term, the exact splice fencing exists to prevent.
+func (s *Server) syncRole() int32 {
+	role := s.role.Load()
+	if role == roleDemoted || !s.store.Fenced() {
+		return role
+	}
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	if s.role.Load() != roleDemoted && s.store.Fenced() {
+		s.role.Store(roleDemoted)
+	}
+	return roleDemoted
+}
 
 // currentLeaderURL is the upstream this node redirects mutations to
 // while it is a follower ("" once promoted, or on a born leader).
@@ -58,12 +81,13 @@ func (s *Server) currentLeaderURL() string {
 // handleClusterRole answers GET /v1/cluster/role: the role, term and
 // epoch a client needs to find (or re-find) the writer.
 func (s *Server) handleClusterRole(w http.ResponseWriter, r *http.Request) {
+	role := s.syncRole()
 	ri := repl.RoleInfo{
-		Role:  s.Role(),
+		Role:  roleName(role),
 		Term:  s.store.Term(),
 		Epoch: s.store.Epoch(),
 	}
-	if s.role.Load() == roleFollower {
+	if role == roleFollower {
 		ri.Leader = s.currentLeaderURL()
 	}
 	writeJSON(w, http.StatusOK, ri)
@@ -103,7 +127,16 @@ func (s *Server) handleClusterPromote(w http.ResponseWriter, r *http.Request) {
 	}
 	s.promoteMu.Lock()
 	defer s.promoteMu.Unlock()
-	switch s.role.Load() {
+	// Read the role through the fence: a follower whose replication loop
+	// was fenced (the loop demotes the store and exits without touching
+	// the server) is a demoted node and must not be promotable — its
+	// suffix diverged from the lineage that deposed it.
+	role := s.role.Load()
+	if role != roleDemoted && s.store.Fenced() {
+		s.role.Store(roleDemoted)
+		role = roleDemoted
+	}
+	switch role {
 	case roleLeader:
 		// Already the writer. If this node was promoted earlier the
 		// repeat is a retry of a timed-out call; answer what it would
@@ -118,11 +151,16 @@ func (s *Server) handleClusterPromote(w http.ResponseWriter, r *http.Request) {
 		herr.term = &term
 		writeError(w, herr)
 		return
-	case rolePromoting:
-		// promoteMu means another promotion cannot be in flight; this
-		// state is only reachable if a previous attempt failed mid-way.
-		writeError(w, errf(http.StatusConflict, "a previous promotion failed; this node needs operator attention"))
-		return
+	}
+	// Reject an unusable explicit term before any side effect: a bad
+	// request must not cost the node its follower role (the failure path
+	// below demotes, durably).
+	if req.Term != 0 {
+		if cur := s.store.Term(); req.Term <= cur {
+			writeError(w, errf(http.StatusConflict,
+				"requested term %d is not beyond the current term %d", req.Term, cur))
+			return
+		}
 	}
 	s.role.Store(rolePromoting)
 	// Drain: the follower loop finishes (or abandons) its current apply
@@ -134,8 +172,11 @@ func (s *Server) handleClusterPromote(w http.ResponseWriter, r *http.Request) {
 	sealed, err := s.store.Promote(req.Term)
 	if err != nil {
 		// The follower loop is already stopped and the store may be in
-		// an unknown term state: fail closed into demoted rather than
-		// pretending to still be a healthy replica.
+		// an unknown term state: fail closed into demoted — and persist
+		// it (store.Demote writes the fence into the journal header), so
+		// a restart boots the node back demoted instead of as a healthy
+		// follower or leader the operator was told needs attention.
+		_ = s.store.Demote(0) // fences in memory even when persisting fails
 		s.role.Store(roleDemoted)
 		writeError(w, errf(http.StatusInternalServerError, "promote: %v", err))
 		return
@@ -199,7 +240,7 @@ func fencedErrf(term uint64, format string, args ...any) *httpError {
 // a demoted node answers the fence.
 func (s *Server) dispatchMutation(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		switch s.role.Load() {
+		switch s.syncRole() {
 		case roleLeader:
 			if reqTerm := requestTerm(r); reqTerm > s.store.Term() {
 				old := s.store.Term()

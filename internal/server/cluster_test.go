@@ -411,6 +411,99 @@ func TestPromotionSoak(t *testing.T) {
 	}
 }
 
+// TestLoopFencedFollowerDemotesRole: a follower whose replication loop
+// is fenced by its source demotes its own *store* and exits — without
+// ever touching the server's role atomic. The server must fold the
+// store fence into every role surface anyway: before the fix it kept
+// reporting "follower" and, crucially, kept serving /v1/journal/base —
+// seeding downstream followers with its divergent suffix stamped under
+// the new term.
+func TestLoopFencedFollowerDemotesRole(t *testing.T) {
+	as, ats := newTestServer(t, nil)
+	if status, data := postJSON(t, ats.URL+"/v1/graph/nodes",
+		`{"name": "pre", "authority": 6, "skills": ["analytics"]}`); status != http.StatusCreated {
+		t.Fatalf("seed write: %d: %s", status, data)
+	}
+	bs, bts := newFollowerServer(t, ats.URL, as.store.Epoch(), nil)
+
+	// A newer lineage fences A out-of-band (a promoted peer's first
+	// contact, compressed to the store call). B's next poll gets the
+	// 412 carrying term 9, demotes its own store, and stops.
+	if err := as.store.Demote(9); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for !bs.store.Fenced() {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower store never fenced; follower stats: %+v", bs.follower.Stats())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if ri := getRole(t, bts.URL); ri.Role != "demoted" || ri.Term != 9 {
+		t.Fatalf("loop-fenced follower role: %+v, want demoted at term 9", ri)
+	}
+	resp, err := http.Get(bts.URL + "/v1/journal/base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("base of loop-fenced follower: %d, want 412", resp.StatusCode)
+	}
+	if status, _, raw := promoteNode(t, bts.URL, ""); status != http.StatusConflict {
+		t.Fatalf("promote loop-fenced follower: %d: %s", status, raw)
+	}
+	if code, out := getReadyz(t, bts.URL); code == http.StatusOK || out.Ready {
+		t.Fatalf("loop-fenced follower readyz: %d %+v", code, out)
+	}
+	st := getStats(t, bts.URL)
+	if st.Replication.Role != "demoted" {
+		t.Fatalf("loop-fenced follower stats role: %+v", st.Replication)
+	}
+}
+
+// TestPromoteStaleExplicitTermKeepsFollower: an explicit promote term
+// that is not beyond the node's current term is a bad request, not a
+// failed promotion — it must answer 409 with the node's role intact.
+// Before the fix the store.Promote failure path demoted the node (now
+// durably), so an operator typo cost a healthy follower permanently.
+func TestPromoteStaleExplicitTermKeepsFollower(t *testing.T) {
+	as, ats := newTestServer(t, nil)
+	if status, data := postJSON(t, ats.URL+"/v1/graph/nodes",
+		`{"name": "pre", "authority": 6, "skills": ["analytics"]}`); status != http.StatusCreated {
+		t.Fatalf("seed write: %d: %s", status, data)
+	}
+	bs, bts := newFollowerServer(t, ats.URL, as.store.Epoch(), nil)
+	status, pr, raw := promoteNode(t, bts.URL, `{"term": 5}`)
+	if status != http.StatusOK || pr.Term != 5 {
+		t.Fatalf("promote to explicit term: %d %+v %s", status, pr, raw)
+	}
+	if status, data := postJSON(t, bts.URL+"/v1/graph/nodes",
+		`{"name": "post", "authority": 4, "skills": ["matrix"]}`); status != http.StatusCreated {
+		t.Fatalf("write on promoted node: %d: %s", status, data)
+	}
+
+	// C follows the new leader and adopts term 5 from the stream.
+	cs, cts := newFollowerServer(t, bts.URL, bs.store.Epoch(), nil)
+	if got := cs.store.Term(); got != 5 {
+		t.Fatalf("follower term %d, want 5 adopted from the leader", got)
+	}
+
+	status, _, raw = promoteNode(t, cts.URL, `{"term": 3}`)
+	if status != http.StatusConflict {
+		t.Fatalf("stale explicit term: %d: %s", status, raw)
+	}
+	if ri := getRole(t, cts.URL); ri.Role != "follower" || cs.store.Fenced() {
+		t.Fatalf("after rejected promote: %+v fenced %v, want an intact follower", ri, cs.store.Fenced())
+	}
+	// Still promotable with a genuinely newer term.
+	status, pr, raw = promoteNode(t, cts.URL, `{"term": 9}`)
+	if status != http.StatusOK || pr.Term != 9 {
+		t.Fatalf("promote after rejected attempt: %d %+v %s", status, pr, raw)
+	}
+}
+
 // TestDemotedRoleSurvivesRestart: a journaled node whose store was
 // fenced out of the lineage must come back up demoted — not as a
 // self-proclaimed ready leader whose every write 412s. The store-level

@@ -130,6 +130,20 @@ func (s *Server) handleJournalTail(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errf(http.StatusInternalServerError, "%v", terr))
 		return
 	}
+	// Re-check the fence after the long-poll: this node may have adopted
+	// a newer term while the tail waited (organically, from a replicated
+	// record), in which case a stale requester asking from past the new
+	// boundary must be fenced now — serving the poll's records would
+	// splice histories exactly as the pre-poll check prevents. The term
+	// is re-read for the response header for the same reason.
+	curTerm = s.store.Term()
+	if reqTerm := requestTerm(r); reqTerm != 0 && reqTerm < curTerm && from > s.store.TermStart() {
+		s.fencedRequests.Add(1)
+		writeError(w, fencedErrf(curTerm,
+			"term %d was superseded by term %d at epoch %d; adopt the new lineage",
+			reqTerm, curTerm, s.store.TermStart()))
+		return
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	// Past this point the stream is committed; a write failure tears
 	// the tail mid-record, which the follower-side codec treats as a
@@ -150,7 +164,13 @@ func (s *Server) handleJournalTail(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJournalBase(w http.ResponseWriter, r *http.Request) {
 	s.baseRequests.Add(1)
-	if s.role.Load() == roleDemoted {
+	// syncRole folds the store fence into the role: a relay follower
+	// whose replication loop fenced itself (and exited without touching
+	// the server role) must refuse here too, or it would seed downstream
+	// followers with its divergent suffix — stamped, after Demote raised
+	// the term, as if it were the winning lineage. WriteBaseTo below
+	// enforces the same fence at the store layer as a backstop.
+	if s.syncRole() == roleDemoted {
 		// A fenced node must not seed followers with superseded state.
 		s.fencedRequests.Add(1)
 		writeError(w, fencedErrf(s.store.Term(),
@@ -207,7 +227,7 @@ func (s *Server) ensureMinEpoch(r *http.Request) *httpError {
 	if s.store.WaitEpoch(ctx, min) {
 		return nil
 	}
-	if leader := s.currentLeaderURL(); s.role.Load() == roleFollower && leader != "" {
+	if leader := s.currentLeaderURL(); s.syncRole() == roleFollower && leader != "" {
 		herr := errf(http.StatusTemporaryRedirect,
 			"replica is at epoch %d, read requires %d; retry at the leader %s",
 			s.store.Epoch(), min, leader)
@@ -242,7 +262,7 @@ type ReplicationStats struct {
 }
 
 func (s *Server) replicationStats() ReplicationStats {
-	role := s.role.Load()
+	role := s.syncRole()
 	rs := ReplicationStats{
 		Role:           roleName(role),
 		Term:           s.store.Term(),

@@ -392,7 +392,7 @@ func New(cfg Config) (*Server, error) {
 			func() float64 { return float64(s.store.Term()) })
 		reg.GaugeFunc("authteam_cluster_role",
 			"Cluster role code: 0 leader, 1 follower, 2 promoting, 3 demoted.",
-			func() float64 { return float64(s.role.Load()) })
+			func() float64 { return float64(s.syncRole()) })
 		reg.CounterFunc("authteam_cluster_promotions_total",
 			"Follower-to-leader promotions completed by this node.",
 			func() float64 { return float64(s.promotions.Load()) })
@@ -654,7 +654,7 @@ type ReadyzResponse struct {
 // lineage is not ready (the balancer must stop routing to it even
 // though its snapshot reads still work).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	role := s.role.Load()
+	role := s.syncRole()
 	resp := ReadyzResponse{Ready: true, Role: roleName(role), Epoch: s.store.Epoch()}
 	switch role {
 	case roleFollower:
